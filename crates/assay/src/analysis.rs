@@ -1,0 +1,269 @@
+//! Retrospective analysis of campaign results: Figure 4 (prediction vs
+//! inhibition scatter), Table 8 (correlations on the >1% subset) and
+//! Figure 5 (precision/recall at the 33% inhibition threshold, with
+//! Cohen's κ against a random classifier).
+
+use crate::campaign::{CampaignOutput, TestedCompound};
+use dfchem::pocket::TargetSite;
+use dfmetrics::{pearson, spearman, Confusion, PrCurve};
+use serde::{Deserialize, Serialize};
+
+/// The three scoring methods compared retrospectively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    Vina,
+    AmplMmGbsa,
+    CoherentFusion,
+}
+
+impl Method {
+    pub const ALL: [Method; 3] = [Method::Vina, Method::AmplMmGbsa, Method::CoherentFusion];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Vina => "Vina",
+            Method::AmplMmGbsa => "AMPL MM/GBSA",
+            Method::CoherentFusion => "Coherent Fusion",
+        }
+    }
+
+    /// Extracts this method's prediction as a "higher = stronger" score.
+    /// §5.3: "the absolute value of the Vina and MM/GBSA scores are used,
+    /// as their predictions are negative values."
+    pub fn strength(self, t: &TestedCompound) -> f64 {
+        match self {
+            Method::Vina => t.pred.vina.abs(),
+            Method::AmplMmGbsa => t.pred.ampl_mmgbsa.abs(),
+            Method::CoherentFusion => t.pred.fusion,
+        }
+    }
+}
+
+/// One scatter point of Figure 4.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScatterPoint {
+    pub predicted: f64,
+    pub inhibition: f64,
+}
+
+/// Figure 4: Coherent-Fusion predicted affinity vs percent inhibition per
+/// target, excluding non-binders (≤ 1% inhibition).
+pub fn figure4(out: &CampaignOutput) -> Vec<(TargetSite, Vec<ScatterPoint>)> {
+    TargetSite::ALL
+        .into_iter()
+        .map(|target| {
+            let points = out
+                .for_target(target)
+                .into_iter()
+                .filter(|t| t.inhibition > 1.0)
+                .map(|t| ScatterPoint {
+                    predicted: Method::CoherentFusion.strength(t),
+                    inhibition: t.inhibition,
+                })
+                .collect();
+            (target, points)
+        })
+        .collect()
+}
+
+/// One Table 8 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table8Row {
+    pub method: Method,
+    pub target: TargetSite,
+    pub pearson: f64,
+    pub spearman: f64,
+    /// Number of >1% compounds the correlation is computed over.
+    pub n: usize,
+}
+
+/// Table 8: correlation of predicted binding and percent inhibition on the
+/// subset of compounds with > 1% inhibition.
+pub fn table8(out: &CampaignOutput) -> Vec<Table8Row> {
+    let mut rows = Vec::new();
+    for target in TargetSite::ALL {
+        let binders: Vec<&TestedCompound> = out
+            .for_target(target)
+            .into_iter()
+            .filter(|t| t.inhibition > 1.0)
+            .collect();
+        let inhibition: Vec<f64> = binders.iter().map(|t| t.inhibition).collect();
+        for method in Method::ALL {
+            let preds: Vec<f64> = binders.iter().map(|t| method.strength(t)).collect();
+            rows.push(Table8Row {
+                method,
+                target,
+                pearson: pearson(&preds, &inhibition),
+                spearman: spearman(&preds, &inhibition),
+                n: binders.len(),
+            });
+        }
+    }
+    rows
+}
+
+/// Per-method classification results for one target (Figure 5 panel).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure5Panel {
+    pub target: TargetSite,
+    pub positives: usize,
+    pub negatives: usize,
+    /// Precision of a random classifier (the dashed line).
+    pub random_baseline: f64,
+    pub methods: Vec<Figure5Method>,
+}
+
+/// One method's curve and summary on a target.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure5Method {
+    pub method: Method,
+    pub best_f1: f64,
+    pub average_precision: f64,
+    pub kappa: f64,
+    /// (recall, precision) points of the P/R curve.
+    pub curve: Vec<(f64, f64)>,
+}
+
+/// Figure 5: binary classification at `threshold`% inhibition (paper: 33%
+/// "to avoid severe class imbalances").
+pub fn figure5(out: &CampaignOutput, threshold: f64) -> Vec<Figure5Panel> {
+    TargetSite::ALL
+        .into_iter()
+        .filter_map(|target| {
+            let tested = out.for_target(target);
+            let labels: Vec<bool> = tested.iter().map(|t| t.inhibition > threshold).collect();
+            let positives = labels.iter().filter(|&&l| l).count();
+            let negatives = labels.len() - positives;
+            if positives == 0 || negatives == 0 {
+                return None; // degenerate panel (tiny test runs)
+            }
+            let methods = Method::ALL
+                .into_iter()
+                .map(|method| {
+                    let scores: Vec<f64> = tested.iter().map(|t| method.strength(t)).collect();
+                    let curve = PrCurve::compute(&scores, &labels);
+                    let best = curve.best_f1();
+                    let kappa =
+                        Confusion::at_threshold(&scores, &labels, best.threshold).cohens_kappa();
+                    Figure5Method {
+                        method,
+                        best_f1: best.f1,
+                        average_precision: curve.average_precision,
+                        kappa,
+                        curve: curve.points.iter().map(|p| (p.recall, p.precision)).collect(),
+                    }
+                })
+                .collect();
+            Some(Figure5Panel {
+                target,
+                positives,
+                negatives,
+                random_baseline: positives as f64 / labels.len() as f64,
+                methods,
+            })
+        })
+        .collect()
+}
+
+/// The best method per target by F1 (used to check the paper's winner
+/// pattern: AMPL on protease1, Fusion on protease2/spike1, Vina on spike2).
+pub fn best_method_by_f1(panels: &[Figure5Panel]) -> Vec<(TargetSite, Method)> {
+    panels
+        .iter()
+        .map(|p| {
+            let best = p
+                .methods
+                .iter()
+                .max_by(|a, b| a.best_f1.partial_cmp(&b.best_f1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("methods non-empty");
+            (p.target, best.method)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{MethodPredictions, TestedCompound};
+    use dfchem::genmol::{CompoundId, Library};
+
+    fn tc(target: TargetSite, i: u64, fusion: f64, vina: f64, inhibition: f64) -> TestedCompound {
+        TestedCompound {
+            compound: CompoundId { library: Library::Chembl, index: i },
+            target,
+            // AMPL is held constant so it never ties a correlated method.
+            pred: MethodPredictions { vina, ampl_mmgbsa: -2.0, fusion },
+            inhibition,
+        }
+    }
+
+    fn synthetic_output() -> CampaignOutput {
+        // Fusion scores correlate with inhibition on spike1, anti on
+        // spike2 where |vina| correlates.
+        let mut tested = Vec::new();
+        for i in 0..20u64 {
+            let inh = i as f64 * 4.0;
+            tested.push(tc(TargetSite::Spike1, i, 2.0 + inh / 20.0, -3.0, inh));
+            tested.push(tc(TargetSite::Spike2, i, 5.0, -(inh / 10.0) - 1.0, inh));
+        }
+        CampaignOutput { tested }
+    }
+
+    #[test]
+    fn figure4_filters_non_binders() {
+        let mut out = synthetic_output();
+        out.tested.push(tc(TargetSite::Spike1, 99, 9.0, -9.0, 0.5));
+        let panels = figure4(&out);
+        let spike1 = panels.iter().find(|(t, _)| *t == TargetSite::Spike1).unwrap();
+        // The 0.5% compound is excluded; i=0 (inh 0.0) also excluded.
+        assert!(spike1.1.iter().all(|p| p.inhibition > 1.0));
+    }
+
+    #[test]
+    fn table8_reflects_engineered_correlations() {
+        let rows = table8(&synthetic_output());
+        let get = |m: Method, t: TargetSite| {
+            rows.iter().find(|r| r.method == m && r.target == t).unwrap().pearson
+        };
+        assert!(get(Method::CoherentFusion, TargetSite::Spike1) > 0.95);
+        assert!(get(Method::Vina, TargetSite::Spike2) > 0.95, "uses |vina|");
+        // Constant predictions give zero correlation.
+        assert_eq!(get(Method::CoherentFusion, TargetSite::Spike2), 0.0);
+    }
+
+    #[test]
+    fn figure5_panels_have_baselines_and_kappa() {
+        let panels = figure5(&synthetic_output(), 33.0);
+        assert_eq!(panels.len(), 2);
+        for p in &panels {
+            assert!(p.positives > 0 && p.negatives > 0);
+            let expect = p.positives as f64 / (p.positives + p.negatives) as f64;
+            assert!((p.random_baseline - expect).abs() < 1e-12);
+            assert_eq!(p.methods.len(), 3);
+        }
+        // The engineered perfect classifier hits F1 = 1 and κ = 1.
+        let spike1 = panels.iter().find(|p| p.target == TargetSite::Spike1).unwrap();
+        let fusion =
+            spike1.methods.iter().find(|m| m.method == Method::CoherentFusion).unwrap();
+        assert!((fusion.best_f1 - 1.0).abs() < 1e-9);
+        assert!((fusion.kappa - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_method_detection() {
+        let panels = figure5(&synthetic_output(), 33.0);
+        let winners = best_method_by_f1(&panels);
+        let spike1 = winners.iter().find(|(t, _)| *t == TargetSite::Spike1).unwrap();
+        assert_eq!(spike1.1, Method::CoherentFusion);
+        let spike2 = winners.iter().find(|(t, _)| *t == TargetSite::Spike2).unwrap();
+        assert_eq!(spike2.1, Method::Vina);
+    }
+
+    #[test]
+    fn degenerate_panels_are_dropped() {
+        let out = CampaignOutput {
+            tested: (0..5).map(|i| tc(TargetSite::Spike1, i, 5.0, -5.0, 0.0)).collect(),
+        };
+        assert!(figure5(&out, 33.0).is_empty());
+    }
+}

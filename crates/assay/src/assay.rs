@@ -1,0 +1,251 @@
+//! Wet-lab assay simulation (§5.1).
+//!
+//! The paper's experimental screens — FRET / SDS-PAGE protease activity
+//! assays at 100 µM and pseudo-typed-virus / BLI spike assays at 10 µM —
+//! produce a percent inhibition per compound. We simulate that endpoint
+//! from first principles:
+//!
+//! 1. a latent *cellular* activity combines the structural binding terms
+//!    (the same shape / interaction / electrostatic descriptors the hidden
+//!    oracle uses) under **per-target weights** — real targets reward
+//!    different interaction chemistry, which is the mechanism behind the
+//!    paper's observation that the best scoring method varies by target;
+//! 2. pharmacokinetic confounders no structure-based scorer can see
+//!    (solubility from logP, permeability from size) attenuate activity;
+//! 3. occupancy follows a Hill curve at the assay concentration, so the
+//!    100 µM Mpro assays admit weaker binders than the 10 µM spike assays
+//!    (§5.3);
+//! 4. heavy measurement noise yields the mostly-negative outcome the
+//!    paper reports (most tested compounds show ≤ 1% inhibition).
+
+use dfchem::mol::Molecule;
+use dfchem::pocket::{BindingPocket, TargetSite};
+use dfdata::oracle::oracle_terms;
+use dftensor::rng::{derive_seed, normal_with, rng};
+use serde::{Deserialize, Serialize};
+
+/// Per-target weighting of the structural binding components.
+///
+/// The profiles are chosen so that each scoring method's "favourite"
+/// component dominates a different target, reproducing the paper's
+/// result pattern: AMPL MM/GBSA best on protease1, Coherent Fusion best on
+/// protease2 and spike1, Vina best on spike2 (Table 8 / Figure 5).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TargetActivityProfile {
+    pub w_shape: f64,
+    pub w_interaction: f64,
+    pub w_electrostatic: f64,
+    /// Base effective potency (pK units) of a typical screened compound
+    /// on this target. Calibrated so that at the assay concentration most
+    /// compounds sit below 1% inhibition while the strong tail can exceed
+    /// 33% — spike assays run at 10 µM, so their base sits higher.
+    pub base_pk: f64,
+}
+
+impl TargetActivityProfile {
+    pub fn for_target(target: TargetSite) -> TargetActivityProfile {
+        match target {
+            // Electrostatics/solvation-driven site → MM/GBSA-visible.
+            TargetSite::Protease1 => TargetActivityProfile {
+                w_shape: 0.3,
+                w_interaction: 0.4,
+                w_electrostatic: 1.5,
+                base_pk: 1.45,
+            },
+            // Interaction-pattern-driven conformation → fusion-visible.
+            TargetSite::Protease2 => TargetActivityProfile {
+                w_shape: 0.7,
+                w_interaction: 1.4,
+                w_electrostatic: 0.4,
+                base_pk: 1.35,
+            },
+            // Balanced shape+interaction site → fusion-visible, strongest
+            // correlations of the four (§5.3).
+            TargetSite::Spike1 => TargetActivityProfile {
+                w_shape: 1.0,
+                w_interaction: 1.2,
+                w_electrostatic: 0.5,
+                base_pk: 2.45,
+            },
+            // Steric/hydrophobic groove → Vina-visible.
+            TargetSite::Spike2 => TargetActivityProfile {
+                w_shape: 1.6,
+                w_interaction: 0.3,
+                w_electrostatic: 0.2,
+                base_pk: 2.35,
+            },
+        }
+    }
+}
+
+/// Assay noise and confounder strengths.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AssayConfig {
+    /// Std-dev of the latent-activity noise (pK units).
+    pub biology_noise: f64,
+    /// Std-dev of the inhibition readout noise (percentage points).
+    pub readout_noise: f64,
+    /// Strength of the solubility confounder (per logP unit above 4).
+    pub solubility_penalty: f64,
+    /// Strength of the permeability confounder (per 100 Da above 450).
+    pub permeability_penalty: f64,
+    /// Global shift of effective pK (sets the hit rate).
+    pub potency_shift: f64,
+    pub seed: u64,
+}
+
+impl Default for AssayConfig {
+    fn default() -> Self {
+        Self {
+            biology_noise: 1.3,
+            readout_noise: 2.0,
+            solubility_penalty: 0.5,
+            permeability_penalty: 0.4,
+            potency_shift: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// One assay measurement.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AssayResult {
+    /// Percent inhibition in [0, 100].
+    pub inhibition: f64,
+    /// The latent effective pK that generated it (hidden from analyses;
+    /// exposed for tests).
+    pub effective_pk: f64,
+}
+
+/// Simulates the experimental assay for one compound's best bound pose.
+///
+/// `pose` should be the strongest docked pose; `compound_key` seeds the
+/// compound-specific noise so repeated assays of the same compound agree.
+pub fn run_assay(
+    cfg: &AssayConfig,
+    pose: &Molecule,
+    pocket: &BindingPocket,
+    compound_key: u64,
+) -> AssayResult {
+    let terms = oracle_terms(pose, pocket);
+    let profile = TargetActivityProfile::for_target(pocket.target);
+    let structural = profile.w_shape * terms.shape
+        + profile.w_interaction * terms.interaction
+        + profile.w_electrostatic * terms.electrostatic;
+
+    // Pharmacokinetic confounders.
+    let logp = pose.logp_estimate();
+    let mw = pose.molecular_weight();
+    let solubility = cfg.solubility_penalty * (logp - 4.0).max(0.0);
+    let permeability = cfg.permeability_penalty * ((mw - 450.0).max(0.0) / 100.0);
+
+    let mut r = rng(derive_seed(cfg.seed, 0xA55A ^ compound_key));
+    let effective_pk = profile.base_pk + structural - solubility - permeability
+        + cfg.potency_shift
+        + normal_with(&mut r, 0.0, cfg.biology_noise);
+
+    // Hill occupancy at the assay concentration.
+    let conc_molar = pocket.target.assay_concentration_um() * 1e-6;
+    let kd_molar = 10f64.powf(-effective_pk);
+    let occupancy = conc_molar / (conc_molar + kd_molar);
+
+    let inhibition =
+        (100.0 * occupancy + normal_with(&mut r, 0.0, cfg.readout_noise)).clamp(0.0, 100.0);
+    AssayResult { inhibition, effective_pk }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfchem::genmol::{Compound, Library};
+    use dfchem::pocket::BindingPocket;
+    use dfdock::search::{dock, DockConfig};
+
+    fn tested(target: TargetSite, n: u64, cfg: &AssayConfig) -> Vec<AssayResult> {
+        let pocket = BindingPocket::generate(target, 3);
+        (0..n)
+            .map(|i| {
+                let c = Compound::materialize(Library::EnamineVirtual, i, 3);
+                let pose = dock(
+                    &DockConfig { mc_restarts: 2, mc_steps: 25, ..Default::default() },
+                    &c.mol,
+                    &pocket,
+                    i,
+                )
+                .remove(0)
+                .ligand;
+                run_assay(cfg, &pose, &pocket, i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn assay_is_deterministic_per_compound() {
+        let pocket = BindingPocket::generate(TargetSite::Spike1, 1);
+        let c = Compound::materialize(Library::Chembl, 4, 1);
+        let a = run_assay(&AssayConfig::default(), &c.mol, &pocket, 4);
+        let b = run_assay(&AssayConfig::default(), &c.mol, &pocket, 4);
+        assert_eq!(a.inhibition, b.inhibition);
+        // A different compound key draws different noise.
+        let c2 = run_assay(&AssayConfig::default(), &c.mol, &pocket, 5);
+        assert_ne!(a.inhibition, c2.inhibition);
+    }
+
+    #[test]
+    fn inhibition_is_bounded() {
+        for r in tested(TargetSite::Protease1, 30, &AssayConfig::default()) {
+            assert!((0.0..=100.0).contains(&r.inhibition));
+        }
+    }
+
+    #[test]
+    fn most_compounds_are_inactive() {
+        // The paper: "most experimentally tested compounds are negatives".
+        let results = tested(TargetSite::Protease1, 40, &AssayConfig::default());
+        let negatives = results.iter().filter(|r| r.inhibition <= 1.0).count();
+        assert!(
+            negatives as f64 / results.len() as f64 > 0.4,
+            "expected plenty of negatives, got {negatives}/40"
+        );
+        // ...but not literally everything.
+        assert!(negatives < results.len(), "some compounds must show activity");
+    }
+
+    #[test]
+    fn higher_concentration_admits_weaker_binders() {
+        // The same effective pK produces higher occupancy at 100 µM than
+        // at 10 µM: check the Hill arithmetic directly.
+        let occ = |conc_um: f64, pk: f64| {
+            let c = conc_um * 1e-6;
+            let kd = 10f64.powf(-pk);
+            c / (c + kd)
+        };
+        assert!(occ(100.0, 4.5) > occ(10.0, 4.5));
+        assert!(occ(100.0, 4.5) > 0.5);
+        assert!(occ(10.0, 4.5) < 0.5);
+    }
+
+    #[test]
+    fn profiles_differ_across_targets() {
+        let profiles: Vec<_> =
+            TargetSite::ALL.iter().map(|&t| TargetActivityProfile::for_target(t)).collect();
+        // Each target emphasizes a different component.
+        assert!(profiles[0].w_electrostatic > profiles[0].w_shape, "protease1 electrostatic");
+        assert!(profiles[1].w_interaction > profiles[1].w_shape, "protease2 interaction");
+        assert!(profiles[3].w_shape > profiles[3].w_interaction, "spike2 steric");
+    }
+
+    #[test]
+    fn stronger_latent_pk_gives_higher_inhibition_on_average() {
+        let results = tested(TargetSite::Spike1, 40, &AssayConfig::default());
+        // Split by the hidden effective pK; stronger half must show more
+        // inhibition on average.
+        let mut sorted = results.clone();
+        sorted.sort_by(|a, b| a.effective_pk.partial_cmp(&b.effective_pk).unwrap());
+        let lo: f64 =
+            sorted[..20].iter().map(|r| r.inhibition).sum::<f64>() / 20.0;
+        let hi: f64 =
+            sorted[20..].iter().map(|r| r.inhibition).sum::<f64>() / 20.0;
+        assert!(hi >= lo, "inhibition must track latent potency: {lo} vs {hi}");
+    }
+}

@@ -1,0 +1,333 @@
+//! The §4–§5 campaign: screen compounds against the four SARS-CoV-2
+//! targets with three scoring methods, down-select by a hand-tailored cost
+//! function, "test" the selected compounds in the simulated assay, and
+//! hand the results to the retrospective analysis (Figure 4, Table 8,
+//! Figure 5).
+
+use crate::ampl::AmplSurrogate;
+use crate::assay::{run_assay, AssayConfig};
+use dfchem::genmol::{Compound, CompoundId, Library};
+use dfchem::mol::Molecule;
+use dfchem::pocket::{BindingPocket, TargetSite};
+use dfdock::mmgbsa::MmGbsaConfig;
+use dfdock::search::{dock, DockConfig};
+use dfhts::scorer::{Scorer, ScorerFactory};
+use dftensor::rng::derive_seed;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated per-method predictions for one (compound, site) pair — the
+/// strongest prediction across its ≤10 docked poses (§5.2: maximum for
+/// Coherent Fusion, minimum for Vina and MM/GBSA).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MethodPredictions {
+    pub vina: f64,
+    pub ampl_mmgbsa: f64,
+    pub fusion: f64,
+}
+
+/// One experimentally tested compound.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TestedCompound {
+    pub compound: CompoundId,
+    pub target: TargetSite,
+    pub pred: MethodPredictions,
+    /// Percent inhibition from the simulated assay.
+    pub inhibition: f64,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    pub seed: u64,
+    /// Compounds screened per target before down-selection.
+    pub screen_pool: usize,
+    /// Compounds selected ("purchased") for testing per target. The paper
+    /// tested 341/216/241/244 across the four sites.
+    pub tested_per_target: usize,
+    pub dock: DockConfig,
+    pub mmgbsa: MmGbsaConfig,
+    pub assay: AssayConfig,
+    /// AMPL surrogate training-sample size per target.
+    pub ampl_training: usize,
+    /// Worker threads for the screening stage.
+    pub threads: usize,
+    /// Cost-function weights over (fusion, vina, ampl) rank scores.
+    pub cost_weights: [f64; 3],
+}
+
+impl CampaignConfig {
+    /// A scaled-down default campaign.
+    pub fn small(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            seed,
+            screen_pool: 120,
+            tested_per_target: 60,
+            dock: DockConfig { mc_restarts: 3, mc_steps: 40, num_poses: 5, ..Default::default() },
+            mmgbsa: MmGbsaConfig { born_iterations: 3, ..Default::default() },
+            assay: AssayConfig { seed, ..Default::default() },
+            ampl_training: 24,
+            threads: 4,
+            cost_weights: [0.5, 0.25, 0.25],
+        }
+    }
+
+    /// Minimal configuration for unit tests.
+    pub fn tiny(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            screen_pool: 14,
+            tested_per_target: 8,
+            dock: DockConfig { mc_restarts: 2, mc_steps: 20, num_poses: 3, ..Default::default() },
+            mmgbsa: MmGbsaConfig { born_iterations: 2, ..Default::default() },
+            ampl_training: 10,
+            threads: 2,
+            ..CampaignConfig::small(seed)
+        }
+    }
+}
+
+/// Everything screened for one (compound, target): poses plus predictions.
+#[derive(Debug, Clone)]
+struct ScreenedCompound {
+    compound: CompoundId,
+    pred: MethodPredictions,
+    best_pose: Molecule,
+}
+
+/// Full campaign output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignOutput {
+    pub tested: Vec<TestedCompound>,
+}
+
+impl CampaignOutput {
+    /// Tested compounds for one target.
+    pub fn for_target(&self, target: TargetSite) -> Vec<&TestedCompound> {
+        self.tested.iter().filter(|t| t.target == target).collect()
+    }
+
+    /// Fraction of tested compounds above an inhibition threshold (the
+    /// paper reports a 10.4% hit rate at 33%).
+    pub fn hit_rate(&self, threshold: f64) -> f64 {
+        if self.tested.is_empty() {
+            return 0.0;
+        }
+        self.tested.iter().filter(|t| t.inhibition > threshold).count() as f64
+            / self.tested.len() as f64
+    }
+}
+
+/// Runs the campaign for every target with the supplied fusion scorer.
+pub fn run_campaign(cfg: &CampaignConfig, fusion: &dyn ScorerFactory) -> CampaignOutput {
+    let mut tested = Vec::new();
+    for target in TargetSite::ALL {
+        tested.extend(run_target(cfg, target, fusion));
+    }
+    CampaignOutput { tested }
+}
+
+fn run_target(
+    cfg: &CampaignConfig,
+    target: TargetSite,
+    fusion: &dyn ScorerFactory,
+) -> Vec<TestedCompound> {
+    let pocket = BindingPocket::generate(target, cfg.seed);
+
+    // --- AMPL surrogate: train on docked poses of a compound sample. ---
+    let training_poses: Vec<Molecule> = (0..cfg.ampl_training as u64)
+        .map(|i| {
+            let c = Compound::materialize(Library::EMolecules, 9_000_000 + i, cfg.seed);
+            dock(&cfg.dock, &c.mol, &pocket, derive_seed(cfg.seed, 0xA3 ^ i))
+                .remove(0)
+                .ligand
+        })
+        .collect();
+    let ampl = AmplSurrogate::fit(&training_poses, &pocket, &cfg.mmgbsa, 1e-3);
+
+    // --- Parallel screening of the candidate pool. ---
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let results: Vec<Mutex<Option<ScreenedCompound>>> =
+        (0..cfg.screen_pool).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|s| {
+        for _ in 0..cfg.threads.max(1) {
+            s.spawn(|_| {
+                let mut fusion_scorer: Box<dyn Scorer> = fusion.build();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= cfg.screen_pool as u64 {
+                        break;
+                    }
+                    // Mix libraries deterministically.
+                    let library = Library::ALL[(i % 4) as usize];
+                    let compound = Compound::materialize(library, i, cfg.seed);
+                    let poses = dock(
+                        &cfg.dock,
+                        &compound.mol,
+                        &pocket,
+                        derive_seed(cfg.seed, 0x5C4EE ^ i),
+                    );
+                    if poses.is_empty() {
+                        continue;
+                    }
+                    let ligs: Vec<Molecule> = poses.iter().map(|p| p.ligand.clone()).collect();
+                    let vina_best =
+                        poses.iter().map(|p| p.vina).fold(f64::INFINITY, f64::min);
+                    let ampl_best = ligs
+                        .iter()
+                        .map(|l| ampl.predict(l, &pocket))
+                        .fold(f64::INFINITY, f64::min);
+                    let fusion_scores = fusion_scorer.score_poses(&ligs, &pocket);
+                    let fusion_best =
+                        fusion_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    *results[i as usize].lock() = Some(ScreenedCompound {
+                        compound: compound.id,
+                        pred: MethodPredictions {
+                            vina: vina_best,
+                            ampl_mmgbsa: ampl_best,
+                            fusion: fusion_best,
+                        },
+                        best_pose: ligs[0].clone(),
+                    });
+                }
+            });
+        }
+    })
+    .expect("screen worker panicked");
+    let screened: Vec<ScreenedCompound> =
+        results.into_iter().filter_map(|m| m.into_inner()).collect();
+
+    // --- Hand-tailored cost function (§5, ref [32]): rank-combine. ---
+    let selected = select_by_cost_function(&screened, cfg.cost_weights, cfg.tested_per_target);
+
+    // --- Experimental testing of the selected compounds. ---
+    selected
+        .into_iter()
+        .map(|sc| {
+            let assay = run_assay(&cfg.assay, &sc.best_pose, &pocket, sc.compound.index);
+            TestedCompound {
+                compound: sc.compound,
+                target,
+                pred: sc.pred,
+                inhibition: assay.inhibition,
+            }
+        })
+        .collect()
+}
+
+/// Rank-normalizes each method (1 = strongest) and combines with weights,
+/// keeping the best `n`. Fusion ranks descend (higher pK is stronger);
+/// Vina/AMPL ranks ascend (lower energy is stronger).
+fn select_by_cost_function(
+    screened: &[ScreenedCompound],
+    weights: [f64; 3],
+    n: usize,
+) -> Vec<ScreenedCompound> {
+    let m = screened.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let rank_of = |values: Vec<f64>, ascending: bool| -> Vec<f64> {
+        let ranks = dfmetrics::ranks(&values);
+        // `ranks` are 1..=m ascending; convert to strength in [0, 1].
+        ranks
+            .iter()
+            .map(|&r| {
+                if ascending {
+                    1.0 - (r - 1.0) / (m.max(2) - 1) as f64
+                } else {
+                    (r - 1.0) / (m.max(2) - 1) as f64
+                }
+            })
+            .collect()
+    };
+    let fusion_rank = rank_of(screened.iter().map(|s| s.pred.fusion).collect(), false);
+    let vina_rank = rank_of(screened.iter().map(|s| s.pred.vina).collect(), true);
+    let ampl_rank = rank_of(screened.iter().map(|s| s.pred.ampl_mmgbsa).collect(), true);
+
+    let mut order: Vec<usize> = (0..m).collect();
+    let cost = |i: usize| {
+        weights[0] * fusion_rank[i] + weights[1] * vina_rank[i] + weights[2] * ampl_rank[i]
+    };
+    order.sort_by(|&a, &b| cost(b).partial_cmp(&cost(a)).unwrap_or(std::cmp::Ordering::Equal));
+    order.truncate(n.min(m));
+    order.into_iter().map(|i| screened[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfhts::scorer::VinaScorerFactory;
+
+    /// The campaign mechanics do not require a trained fusion model; the
+    /// Vina factory stands in as "a scorer" for structural tests.
+    fn stub_fusion() -> VinaScorerFactory {
+        VinaScorerFactory
+    }
+
+    #[test]
+    fn campaign_tests_the_requested_number_of_compounds() {
+        let cfg = CampaignConfig::tiny(5);
+        let out = run_campaign(&cfg, &stub_fusion());
+        assert_eq!(out.tested.len(), 4 * cfg.tested_per_target);
+        for target in TargetSite::ALL {
+            assert_eq!(out.for_target(target).len(), cfg.tested_per_target);
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let cfg = CampaignConfig::tiny(9);
+        let a = run_campaign(&cfg, &stub_fusion());
+        let b = run_campaign(&cfg, &stub_fusion());
+        assert_eq!(a.tested.len(), b.tested.len());
+        for (x, y) in a.tested.iter().zip(&b.tested) {
+            assert_eq!(x.compound, y.compound);
+            assert_eq!(x.inhibition, y.inhibition);
+        }
+    }
+
+    #[test]
+    fn predictions_are_aggregated_strongest_per_method() {
+        let cfg = CampaignConfig::tiny(3);
+        let out = run_campaign(&cfg, &stub_fusion());
+        for t in &out.tested {
+            assert!(t.pred.vina.is_finite());
+            assert!(t.pred.fusion.is_finite());
+            assert!(t.pred.ampl_mmgbsa.is_finite());
+            assert!((0.0..=100.0).contains(&t.inhibition));
+        }
+    }
+
+    #[test]
+    fn cost_function_prefers_strong_predictions() {
+        let mk = |fusion: f64, vina: f64| ScreenedCompound {
+            compound: CompoundId { library: Library::Chembl, index: (fusion * 10.0) as u64 },
+            pred: MethodPredictions { vina, ampl_mmgbsa: vina, fusion },
+            best_pose: Molecule::new("x"),
+        };
+        let screened = vec![
+            mk(9.0, -9.0), // strong everywhere
+            mk(5.0, -5.0),
+            mk(2.0, -1.0), // weak everywhere
+        ];
+        let picked = select_by_cost_function(&screened, [0.5, 0.25, 0.25], 2);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].pred.fusion, 9.0);
+        assert_eq!(picked[1].pred.fusion, 5.0);
+    }
+
+    #[test]
+    fn hit_rate_counts_threshold_exceedances() {
+        let out = CampaignOutput {
+            tested: (0..10)
+                .map(|i| TestedCompound {
+                    compound: CompoundId { library: Library::Chembl, index: i },
+                    target: TargetSite::Spike1,
+                    pred: MethodPredictions { vina: 0.0, ampl_mmgbsa: 0.0, fusion: 0.0 },
+                    inhibition: if i < 2 { 50.0 } else { 0.0 },
+                })
+                .collect(),
+        };
+        assert!((out.hit_rate(33.0) - 0.2).abs() < 1e-12);
+    }
+}

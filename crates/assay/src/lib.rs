@@ -1,0 +1,23 @@
+//! `dfassay` — the wet-lab substitute and §5 retrospective analysis.
+//!
+//! * [`assay`] — FRET/SDS-PAGE (Mpro, 100 µM) and pseudo-virus/BLI (spike,
+//!   10 µM) percent-inhibition simulation with per-target activity
+//!   profiles and pharmacokinetic confounders;
+//! * [`ampl`] — the AMPL-style per-target MM/GBSA surrogate;
+//! * [`campaign`] — screen → cost-function down-select → test;
+//! * [`analysis`] — Figure 4, Table 8 and Figure 5 computations.
+
+pub mod ampl;
+pub mod analysis;
+pub mod assay;
+pub mod campaign;
+
+pub use ampl::{descriptors, AmplSurrogate};
+pub use analysis::{
+    best_method_by_f1, figure4, figure5, table8, Figure5Method, Figure5Panel, Method,
+    ScatterPoint, Table8Row,
+};
+pub use assay::{run_assay, AssayConfig, AssayResult, TargetActivityProfile};
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignOutput, MethodPredictions, TestedCompound,
+};

@@ -1,0 +1,57 @@
+//! Featurization throughput: voxel grids and spatial graphs per pose —
+//! the work the paper's 12 parallel data loaders per rank hide behind GPU
+//! inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfchem::featurize::{build_graph, voxelize, GraphConfig, VoxelConfig};
+use dfchem::genmol::{generate_molecule, MolGenConfig};
+use dfchem::pocket::{BindingPocket, TargetSite};
+use std::hint::black_box;
+
+fn inputs() -> (Vec<dfchem::Molecule>, BindingPocket) {
+    let pocket = BindingPocket::generate(TargetSite::Protease1, 1);
+    let ligs = (0..8)
+        .map(|i| {
+            let mut m = generate_molecule(&MolGenConfig::default(), "m", i);
+            let c = m.centroid();
+            m.translate(c.scale(-1.0));
+            m
+        })
+        .collect();
+    (ligs, pocket)
+}
+
+fn bench_voxelize(c: &mut Criterion) {
+    let (ligs, pocket) = inputs();
+    let mut group = c.benchmark_group("voxelize");
+    for grid in [8usize, 16, 24] {
+        let cfg = VoxelConfig { grid_dim: grid, resolution: 24.0 / grid as f64 };
+        group.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, _| {
+            b.iter(|| {
+                for l in &ligs {
+                    black_box(voxelize(&cfg, l, &pocket));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_graph(c: &mut Criterion) {
+    let (ligs, pocket) = inputs();
+    let mut group = c.benchmark_group("build_graph");
+    for k in [2usize, 4, 8] {
+        let cfg = GraphConfig { covalent_k: k, noncovalent_k: k, ..GraphConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                for l in &ligs {
+                    black_box(build_graph(&cfg, l, &pocket));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_voxelize, bench_build_graph);
+criterion_main!(benches);

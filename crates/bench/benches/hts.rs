@@ -1,0 +1,64 @@
+//! HTS substrate micro-benchmarks: allgather latency and h5lite write/read
+//! throughput (the file-output bottleneck §4.2 engineered around).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfchem::genmol::{CompoundId, Library};
+use dfchem::pocket::TargetSite;
+use dfhts::allgather::Communicator;
+use dfhts::h5lite::{read_file, H5Writer, ScoreRecord};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_allgather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allgather");
+    group.sample_size(20);
+    for ranks in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let comm: Arc<Communicator<u64>> = Communicator::new(ranks);
+                crossbeam::scope(|s| {
+                    for rank in 0..ranks {
+                        let comm = Arc::clone(&comm);
+                        s.spawn(move |_| {
+                            black_box(comm.allgather(rank, vec![rank as u64; 256]));
+                        });
+                    }
+                })
+                .unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn records(n: u64) -> Vec<ScoreRecord> {
+    (0..n)
+        .map(|i| ScoreRecord {
+            compound: CompoundId { library: Library::EnamineVirtual, index: i },
+            target: TargetSite::Spike1,
+            pose_rank: (i % 10) as u16,
+            score: i as f64 * 0.01,
+        })
+        .collect()
+}
+
+fn bench_h5lite(c: &mut Criterion) {
+    let recs = records(10_000);
+    let dir = std::env::temp_dir().join(format!("dfh5_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.dfh5");
+    c.bench_function("h5lite_write_10k", |b| {
+        b.iter(|| {
+            let mut w = H5Writer::create(&path).unwrap();
+            w.write_chunk("p", &recs).unwrap();
+            black_box(w.finish().unwrap());
+        });
+    });
+    c.bench_function("h5lite_read_10k", |b| {
+        b.iter(|| black_box(read_file(&path).unwrap()));
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_allgather, bench_h5lite);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Data-loader scaling: featurized-batch throughput vs worker count — the
+//! "parallel data loaders keep the GPU fed" design of §3.2/§4.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfchem::featurize::VoxelConfig;
+use dfdata::loader::{DataLoader, LoaderConfig};
+use dfdata::pdbbind::{PdbBind, PdbBindConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_loader_workers(c: &mut Criterion) {
+    let dataset = Arc::new(PdbBind::generate(&PdbBindConfig::tiny(), 9));
+    let indices: Vec<usize> = (0..dataset.entries.len()).collect();
+    let mut group = c.benchmark_group("loader_epoch");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let loader = DataLoader::new(
+            Arc::clone(&dataset),
+            indices.clone(),
+            LoaderConfig {
+                batch_size: 6,
+                num_workers: workers,
+                voxel: VoxelConfig { grid_dim: 12, resolution: 2.0 },
+                ..Default::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| {
+                let n: usize = loader.epoch(1).map(|batch| black_box(batch.len())).sum();
+                black_box(n)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loader_workers);
+criterion_main!(benches);

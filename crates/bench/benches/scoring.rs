@@ -1,0 +1,36 @@
+//! Per-pose scorer cost: the §4.1 hierarchy (Vina fast, MM/GBSA orders of
+//! magnitude slower, fusion inference in between).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfchem::genmol::{generate_molecule, MolGenConfig};
+use dfchem::pocket::{BindingPocket, TargetSite};
+use dfdock::mmgbsa::{mmgbsa_score, MmGbsaConfig};
+use dfdock::vina::vina_score;
+use std::hint::black_box;
+
+fn pose() -> (dfchem::Molecule, BindingPocket) {
+    let pocket = BindingPocket::generate(TargetSite::Protease1, 1);
+    let mut lig = generate_molecule(&MolGenConfig::default(), "m", 5);
+    let c = lig.centroid();
+    lig.translate(c.scale(-1.0));
+    (lig, pocket)
+}
+
+fn bench_scorers(c: &mut Criterion) {
+    let (lig, pocket) = pose();
+    c.bench_function("vina_score", |b| {
+        b.iter(|| black_box(vina_score(&lig, &pocket)));
+    });
+    let mut group = c.benchmark_group("mmgbsa");
+    group.sample_size(10);
+    for iters in [5usize, 40] {
+        let cfg = MmGbsaConfig { born_iterations: iters, ..Default::default() };
+        group.bench_function(format!("born_{iters}"), |b| {
+            b.iter(|| black_box(mmgbsa_score(&cfg, &lig, &pocket)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scorers);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the dftensor kernels that dominate model cost:
+//! matmul, conv3d forward+backward and the graph gather/scatter ops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dftensor::rng::rng;
+use dftensor::{Graph, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [16usize, 64, 128] {
+        let mut r = rng(1);
+        let a = Tensor::randn(&[n, n], &mut r);
+        let b = Tensor::randn(&[n, n], &mut r);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv3d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv3d_fwd_bwd");
+    group.sample_size(20);
+    for (grid, ch) in [(8usize, 4usize), (12, 8), (16, 16)] {
+        let mut r = rng(2);
+        let x = Tensor::randn(&[1, ch, grid, grid, grid], &mut r);
+        let w = Tensor::randn(&[8, ch, 3, 3, 3], &mut r);
+        let b = Tensor::zeros(&[8]);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{grid}cube_{ch}ch")),
+            &grid,
+            |bch, _| {
+                bch.iter(|| {
+                    let mut g = Graph::new();
+                    let xv = g.input(x.clone());
+                    let wv = g.input(w.clone());
+                    let bv = g.input(b.clone());
+                    let y = g.conv3d(xv, wv, bv, 1);
+                    let loss = g.mean_all(y);
+                    black_box(g.backward(loss));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_segment_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_gather");
+    for n_nodes in [128usize, 512, 2048] {
+        let mut r = rng(3);
+        let x = Tensor::randn(&[n_nodes, 32], &mut r);
+        // Ring edges, both directions.
+        let idx: Vec<usize> = (0..n_nodes).chain(0..n_nodes).collect();
+        let seg: Vec<usize> = (0..2 * n_nodes).map(|i| (i + 1) % n_nodes).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n_nodes), &n_nodes, |bch, _| {
+            bch.iter(|| {
+                let mut g = Graph::new();
+                let xv = g.input(x.clone());
+                let gathered = g.index_select_rows(xv, &idx);
+                let pooled = g.segment_sum(gathered, &seg, n_nodes);
+                black_box(g.value(pooled).sum());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_conv3d, bench_segment_ops);
+criterion_main!(benches);

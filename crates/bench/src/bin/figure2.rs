@@ -1,0 +1,129 @@
+//! Figure 2 and the §3.4 docking-space evaluation: re-dock the core-set
+//! complexes with the ConveyorLC-style pipeline, filter to complexes whose
+//! best pose is close to the crystal pose, then compare Vina, MM/GBSA and
+//! Coherent Fusion — Pearson correlation against the true labels, plus the
+//! strong-binder (pK > 8) vs weak-binder (pK < 6) precision/recall curves.
+//!
+//! Paper reference points: Vina 0.579, MM/GBSA 0.591, Coherent Fusion
+//! 0.745 Pearson on docked poses; Fusion's P/R curve dominates.
+//!
+//! ```sh
+//! cargo run --release -p dfbench --bin figure2 -- --scale full
+//! ```
+
+use dfbench::{arg_value, fusion_scorer, seed_from, trained_models, write_artifact, Scale};
+use dfchem::rmsd::rmsd;
+use dfdock::mmgbsa::{mmgbsa_score, MmGbsaConfig};
+use dfdock::search::{dock, DockConfig};
+use dfhts::scorer::ScorerFactory;
+use dfmetrics::{pearson, PrCurve};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let seed = seed_from(&args);
+    let rmsd_cut: f64 = arg_value(&args, "--rmsd").and_then(|s| s.parse().ok()).unwrap_or(2.0);
+
+    println!("== Figure 2: docking-space evaluation (scale {}, seed {seed}) ==\n", scale.name());
+    let (ds, models) = trained_models(scale, seed);
+    let fusion_factory = fusion_scorer(&models);
+    let mut fusion = fusion_factory.build();
+    let core = ds.indices(dfdata::Group::Core);
+    println!("re-docking {} core complexes (RMSD filter < {rmsd_cut} Å)...", core.len());
+
+    let dock_cfg = DockConfig::default();
+    let mmgbsa_cfg = MmGbsaConfig { born_iterations: 5, ..Default::default() };
+
+    let mut labels = Vec::new();
+    let mut vina_best = Vec::new();
+    let mut mmgbsa_best = Vec::new();
+    let mut fusion_best = Vec::new();
+    let mut kept = 0usize;
+    for &i in &core {
+        let entry = &ds.entries[i];
+        let poses = dock(&dock_cfg, &entry.ligand, &entry.pocket, seed ^ (i as u64) << 3);
+        if poses.is_empty() {
+            continue;
+        }
+        // Keep the complex only when some pose recovered the crystal
+        // geometry (the paper filters at RMSD < 1 Å on real structures;
+        // the CLI default is looser because our MC search is smaller).
+        let recovered = poses.iter().any(|p| rmsd(&p.ligand, &entry.ligand) < rmsd_cut);
+        if !recovered {
+            continue;
+        }
+        kept += 1;
+        let ligs: Vec<_> = poses.iter().map(|p| p.ligand.clone()).collect();
+        labels.push(entry.pk);
+        vina_best.push(poses.iter().map(|p| p.vina).fold(f64::INFINITY, f64::min));
+        mmgbsa_best.push(
+            ligs.iter()
+                .map(|l| mmgbsa_score(&mmgbsa_cfg, l, &entry.pocket).total)
+                .fold(f64::INFINITY, f64::min),
+        );
+        let preds = fusion.score_poses(&ligs, &entry.pocket);
+        fusion_best.push(preds.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+    println!("{kept}/{} complexes passed the pose-recovery filter\n", core.len());
+    if kept < 8 {
+        println!("too few complexes for statistics; rerun with --scale full or a looser --rmsd");
+        return;
+    }
+
+    // Docking-space correlations (higher-is-stronger orientation).
+    let vina_strength: Vec<f64> = vina_best.iter().map(|v| -v).collect();
+    let mmgbsa_strength: Vec<f64> = mmgbsa_best.iter().map(|v| -v).collect();
+    println!("## Pearson correlation with experimental pK on docked poses");
+    println!("{:<18} {:>8}   (paper)", "Method", "Pearson");
+    println!("{:<18} {:>8.3}   (0.579)", "Vina", pearson(&vina_strength, &labels));
+    println!("{:<18} {:>8.3}   (0.591)", "MM/GBSA", pearson(&mmgbsa_strength, &labels));
+    println!("{:<18} {:>8.3}   (0.745)", "Coherent Fusion", pearson(&fusion_best, &labels));
+
+    // Binary strong (pK > threshold_hi) vs weak (pK < threshold_lo).
+    // The paper uses >8 / <6 on PDBbind's label scale; the synthetic label
+    // distribution is narrower, so thresholds sit at its tertiles.
+    let mut sorted = labels.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let lo = sorted[sorted.len() / 3];
+    let hi = sorted[2 * sorted.len() / 3];
+    println!("\n## Strong/weak classification (strong: pK > {hi:.2}, weak: pK < {lo:.2})");
+    let mut csv = String::from("method,threshold,precision,recall,f1\n");
+    for (name, scores) in [
+        ("vina", &vina_strength),
+        ("mmgbsa", &mmgbsa_strength),
+        ("fusion", &fusion_best),
+    ] {
+        let mut cls_scores = Vec::new();
+        let mut cls_labels = Vec::new();
+        for ((&s, &l), _) in scores.iter().zip(&labels).zip(0..) {
+            if l > hi {
+                cls_scores.push(s);
+                cls_labels.push(true);
+            } else if l < lo {
+                cls_scores.push(s);
+                cls_labels.push(false);
+            }
+        }
+        if !cls_labels.iter().any(|&l| l) || cls_labels.iter().all(|&l| l) {
+            println!("  {name:<8} (degenerate class split, skipped)");
+            continue;
+        }
+        let curve = PrCurve::compute(&cls_scores, &cls_labels);
+        let best = curve.best_f1();
+        println!(
+            "  {name:<8} best F1 {:.3} (AP {:.3}, baseline precision {:.3}, {} strong / {} weak)",
+            best.f1,
+            curve.average_precision,
+            curve.baseline_precision,
+            cls_labels.iter().filter(|&&l| l).count(),
+            cls_labels.iter().filter(|&&l| !l).count()
+        );
+        for p in &curve.points {
+            csv.push_str(&format!(
+                "{name},{:.5},{:.5},{:.5},{:.5}\n",
+                p.threshold, p.precision, p.recall, p.f1
+            ));
+        }
+    }
+    write_artifact(&format!("figure2_pr_{}_{}.csv", scale.name(), seed), &csv);
+}

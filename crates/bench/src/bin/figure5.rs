@@ -1,0 +1,99 @@
+//! Figure 5: precision/recall curves and F1 at the 33% experimental
+//! inhibition threshold per target, with Cohen's κ against a random
+//! classifier and the overall hit rate.
+//!
+//! Paper reference points: positives 30/20/32/26 per target, κ > 0 for
+//! every model except Vina on spike1, and a 10.4% hit rate at 33%.
+//!
+//! ```sh
+//! cargo run --release -p dfbench --bin figure5 -- --scale full
+//! ```
+
+use dfassay::{best_method_by_f1, figure5, Method};
+use dfbench::{arg_value, campaign, seed_from, write_artifact, Scale};
+use dfchem::pocket::TargetSite;
+use dfhts::enrichment::{enrichment_factor, FunnelReport, ScreenItem};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let seed = seed_from(&args);
+    let threshold: f64 = arg_value(&args, "--threshold").and_then(|s| s.parse().ok()).unwrap_or(33.0);
+
+    println!(
+        "== Figure 5: classification at {threshold}% inhibition (scale {}, seed {seed}) ==\n",
+        scale.name()
+    );
+    let out = campaign(scale, seed);
+    let panels = figure5(&out, threshold);
+    if panels.is_empty() {
+        println!("no target produced both positives and negatives; rerun with --scale full");
+        return;
+    }
+
+    let mut csv = String::from("target,method,recall,precision\n");
+    for panel in &panels {
+        println!(
+            "## {} — {} positive / {} negative (random precision {:.3})",
+            panel.target.name(),
+            panel.positives,
+            panel.negatives,
+            panel.random_baseline
+        );
+        for m in &panel.methods {
+            println!(
+                "  {:<17} best F1 {:.3}   AP {:.3}   kappa {:+.3} {}",
+                m.method.name(),
+                m.best_f1,
+                m.average_precision,
+                m.kappa,
+                if m.kappa > 0.0 { "(beats random ✓)" } else { "(≤ random)" }
+            );
+            for (r, p) in &m.curve {
+                csv.push_str(&format!(
+                    "{},{},{:.5},{:.5}\n",
+                    panel.target.name(),
+                    m.method.name(),
+                    r,
+                    p
+                ));
+            }
+        }
+        println!();
+    }
+
+    println!("## Winner per target by F1 (paper pattern in parentheses)");
+    for (target, method) in best_method_by_f1(&panels) {
+        let expect = match target {
+            TargetSite::Protease1 => "AMPL MM/GBSA",
+            TargetSite::Protease2 => "Coherent Fusion",
+            TargetSite::Spike1 => "Coherent Fusion",
+            TargetSite::Spike2 => "Vina",
+        };
+        let hit = if method.name() == expect { "✓" } else { "✗" };
+        println!("  {:<11} → {:<17} (paper: {expect}) {hit}", target.name(), method.name());
+    }
+
+    // Screening economics: enrichment factor of each method over the
+    // tested set, plus the funnel arithmetic the paper headlines.
+    println!("\n## Enrichment factor at 20% of the tested set (EF=1 ⇔ random)");
+    for method in Method::ALL {
+        let items: Vec<ScreenItem> = out
+            .tested
+            .iter()
+            .map(|t| ScreenItem { score: method.strength(t), active: t.inhibition > threshold })
+            .collect();
+        println!("  {:<17} EF@20% = {:.2}", method.name(), enrichment_factor(&items, 0.2));
+    }
+
+    let hit_rate = out.hit_rate(threshold);
+    let paper = FunnelReport::paper();
+    println!(
+        "\nhit rate at {threshold}%: {:.1}% of {} tested compounds (paper: {:.1}% of {})",
+        100.0 * hit_rate,
+        out.tested.len(),
+        100.0 * paper.hit_rate(),
+        paper.tested
+    );
+    write_artifact(&format!("figure5_pr_{}_{}.csv", scale.name(), seed), &csv);
+}

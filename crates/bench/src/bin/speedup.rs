@@ -1,0 +1,124 @@
+//! §4.1/§4.2 scorer cost comparison: wall-clock per pose for Vina,
+//! MM/GBSA and the Coherent Fusion model on identical docked poses.
+//!
+//! Paper reference: per Lassen node, Vina ≈ 10 poses/s, MM/GBSA ≈ 0.067
+//! poses/s, Fusion ≈ 27 poses/s → Fusion is 2.7× Vina and 403× MM/GBSA.
+//! Our substrate preserves the cost *hierarchy* (MM/GBSA orders of
+//! magnitude above Vina; fusion inference in between) — the exact ratios
+//! depend on the host CPU and the scaled-down model, and both measured and
+//! paper ratios are printed.
+//!
+//! ```sh
+//! cargo run --release -p dfbench --bin speedup
+//! ```
+
+use dfbench::{fusion_scorer, seed_from, trained_models, write_artifact, Scale};
+use dfchem::genmol::{Compound, Library};
+use dfchem::pocket::{BindingPocket, TargetSite};
+use dfdock::search::{dock, DockConfig};
+use dfhts::scorer::{MmGbsaScorerFactory, ScorerFactory, VinaScorerFactory};
+use dfhts::throughput::SpeedupReport;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let seed = seed_from(&args);
+    let n_poses = match scale {
+        Scale::Tiny => 20,
+        Scale::Small => 60,
+        Scale::Full => 200,
+    };
+
+    println!("== Scorer speedups (scale {}, seed {seed}) ==\n", scale.name());
+    let (_, models) = trained_models(scale, seed);
+
+    // A shared set of docked poses.
+    println!("docking {n_poses} poses...");
+    let pocket = BindingPocket::generate(TargetSite::Protease1, seed);
+    let mut poses = Vec::with_capacity(n_poses);
+    let mut ci = 0u64;
+    while poses.len() < n_poses {
+        let c = Compound::materialize(Library::EnamineVirtual, ci, seed);
+        for p in dock(&DockConfig { mc_restarts: 2, mc_steps: 40, ..Default::default() }, &c.mol, &pocket, seed ^ ci) {
+            if poses.len() < n_poses {
+                poses.push(p.ligand);
+            }
+        }
+        ci += 1;
+    }
+
+    // Docking itself (the Vina stage cost includes the MC search).
+    let t0 = Instant::now();
+    let mut docked = 0usize;
+    for i in 0..(n_poses / 10).max(1) as u64 {
+        let c = Compound::materialize(Library::EnamineVirtual, 10_000 + i, seed);
+        docked += dock(&DockConfig::default(), &c.mol, &pocket, seed ^ i).len();
+    }
+    let dock_rate = docked as f64 / t0.elapsed().as_secs_f64();
+
+    // Pure scoring passes over the same poses.
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    let mut vina = VinaScorerFactory.build();
+    let t = Instant::now();
+    let _ = vina.score_poses(&poses, &pocket);
+    results.push(("vina-score", poses.len() as f64 / t.elapsed().as_secs_f64()));
+
+    let mut mmgbsa = MmGbsaScorerFactory(Default::default()).build();
+    let t = Instant::now();
+    let _ = mmgbsa.score_poses(&poses, &pocket);
+    results.push(("mmgbsa", poses.len() as f64 / t.elapsed().as_secs_f64()));
+
+    let mut fusion = fusion_scorer(&models).build();
+    // Warm-up pass excluded from timing.
+    let _ = fusion.score_poses(&poses[..poses.len().min(8)], &pocket);
+    let t = Instant::now();
+    let _ = fusion.score_poses(&poses, &pocket);
+    results.push(("fusion", poses.len() as f64 / t.elapsed().as_secs_f64()));
+
+    println!("\n## Measured single-thread pose rates");
+    println!("{:<14} {:>12}", "Scorer", "poses/s");
+    println!("{:<14} {:>12.2}   (full MC docking incl. search)", "vina-dock", dock_rate);
+    for (name, rate) in &results {
+        println!("{name:<14} {rate:>12.2}");
+    }
+
+    let rate_of = |n: &str| results.iter().find(|(k, _)| *k == n).map(|(_, r)| *r).unwrap_or(0.0);
+    let measured = SpeedupReport {
+        fusion_poses_per_sec: rate_of("fusion"),
+        // The paper's Vina number is the full docking stage, not a single
+        // function evaluation.
+        vina_poses_per_sec: dock_rate,
+        mmgbsa_poses_per_sec: rate_of("mmgbsa"),
+    };
+    let paper = SpeedupReport::paper();
+    println!("\n## Fusion speedups (ours vs paper)");
+    println!(
+        "  vs Vina docking : {:>8.1}x   (paper: {:.1}x)",
+        measured.fusion_over_vina(),
+        paper.fusion_over_vina()
+    );
+    println!(
+        "  vs MM/GBSA      : {:>8.1}x   (paper: {:.0}x)",
+        measured.fusion_over_mmgbsa(),
+        paper.fusion_over_mmgbsa()
+    );
+    println!(
+        "\ncost hierarchy preserved: mmgbsa ≪ vina-dock < fusion  → {}",
+        if measured.mmgbsa_poses_per_sec < measured.vina_poses_per_sec
+            && measured.fusion_poses_per_sec > measured.mmgbsa_poses_per_sec
+        {
+            "✓"
+        } else {
+            "✗"
+        }
+    );
+
+    let csv = format!(
+        "scorer,poses_per_sec\nvina-dock,{dock_rate:.3}\nvina-score,{:.3}\nmmgbsa,{:.3}\nfusion,{:.3}\n",
+        rate_of("vina-score"),
+        rate_of("mmgbsa"),
+        rate_of("fusion")
+    );
+    write_artifact(&format!("speedup_{}_{}.csv", scale.name(), seed), &csv);
+}

@@ -1,0 +1,43 @@
+//! Table 1: the hyper-parameter search space handed to PB2 for each model.
+//!
+//! ```sh
+//! cargo run --release -p dfbench --bin table1
+//! ```
+
+use dffusion::{ParamRange, SearchSpace};
+
+fn render(space: &SearchSpace) {
+    println!("## {} search space", space.model);
+    println!("{:<32} Range", "Hyper-parameter");
+    for dim in &space.dims {
+        let range = match &dim.range {
+            ParamRange::Bool => "T/F".to_string(),
+            ParamRange::Choice(opts) => opts
+                .iter()
+                .map(|v| {
+                    if v.fract() == 0.0 {
+                        format!("{v:.0}")
+                    } else {
+                        format!("{v}")
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(","),
+            ParamRange::Uniform { lo, hi } => format!("{lo} - {hi} (uniform)"),
+            ParamRange::LogUniform { lo, hi } => format!("{lo:e} - {hi:e} (log-uniform)"),
+        };
+        println!("{:<32} {range}", dim.name);
+    }
+    println!();
+}
+
+fn main() {
+    println!("== Table 1: PB2 hyper-parameter ranges per model ==\n");
+    render(&SearchSpace::sgcnn());
+    render(&SearchSpace::cnn3d());
+    render(&SearchSpace::fusion());
+    println!(
+        "(Fixed per Table 1: 3D-CNN dropout 0.25/0.125, SG-CNN dropout 0, \
+         heads use Adam; fusion optimizer options are Adam/AdamW/RMSprop/Adadelta.)"
+    );
+}

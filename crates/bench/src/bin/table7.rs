@@ -1,0 +1,131 @@
+//! Table 7: throughput of fusion evaluation jobs — single job vs peak.
+//!
+//! Three layers:
+//! 1. **measured** — a real multi-rank job with the trained fusion model
+//!    on this CPU, with phase timings (startup / evaluate / output);
+//! 2. **measured scaling** — the fault-tolerant scheduler over 1..N
+//!    parallel jobs, demonstrating the near-linear job-level scaling the
+//!    paper exploits;
+//! 3. **modeled** — the paper's Lassen constants rendered as Table 7, plus
+//!    the V100-equivalence factor that links our measured rank rate to the
+//!    modeled GPU rank.
+//!
+//! ```sh
+//! cargo run --release -p dfbench --bin table7
+//! ```
+
+use dfbench::{fusion_scorer, seed_from, trained_models, write_artifact, Scale};
+use dfchem::genmol::Library;
+use dfchem::pocket::TargetSite;
+use dfhts::{
+    run_campaign, run_job, FaultConfig, JobConfig, JobSpec, LassenModel, SchedulerConfig,
+    SyntheticPoseSource,
+};
+
+fn specs(jobs: u64, compounds: u64, seed: u64) -> Vec<JobSpec> {
+    (0..jobs)
+        .map(|j| JobSpec {
+            job_id: j,
+            target: TargetSite::ALL[(j % 4) as usize],
+            library: Library::EnamineVirtual,
+            first_compound: j * compounds,
+            num_compounds: compounds,
+            campaign_seed: seed,
+            attempt: 0,
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let seed = seed_from(&args);
+    let (compounds_per_job, poses_per_compound) = match scale {
+        Scale::Tiny => (20, 3),
+        Scale::Small => (60, 5),
+        Scale::Full => (150, 10),
+    };
+
+    println!("== Table 7: evaluation-job throughput (scale {}, seed {seed}) ==\n", scale.name());
+    let (_, models) = trained_models(scale, seed);
+    let fusion = fusion_scorer(&models);
+
+    let out_dir = std::env::temp_dir().join(format!("df_table7_{}", std::process::id()));
+    std::fs::create_dir_all(&out_dir).ok();
+    let job_cfg = JobConfig {
+        nodes: 2,
+        ranks_per_node: 2,
+        batch_size: 56,
+        output_dir: out_dir.clone(),
+        faults: FaultConfig::default(),
+    };
+
+    // --- 1. Single measured job. ---
+    println!("## Measured single job ({} ranks, {} compounds x {} poses)", job_cfg.num_ranks(), compounds_per_job, poses_per_compound);
+    let out = run_job(
+        &job_cfg,
+        &specs(1, compounds_per_job, seed)[0],
+        &fusion,
+        &SyntheticPoseSource { poses_per_compound },
+    )
+    .expect("single job");
+    let t = out.timing;
+    println!("  startup   {:>10.3?}", t.startup);
+    println!("  evaluate  {:>10.3?}", t.evaluate);
+    println!("  output    {:>10.3?}", t.output);
+    println!("  poses     {:>10}", t.poses_evaluated);
+    println!("  poses/s   {:>10.1} (eval-only {:.1})", t.poses_per_sec(), t.eval_poses_per_sec());
+    let measured_rank_rate = t.eval_poses_per_sec() / job_cfg.num_ranks() as f64;
+    println!("  per-rank  {measured_rank_rate:>10.1} poses/s\n");
+
+    // --- 2. Job-level scaling with the fault-tolerant scheduler. ---
+    println!("## Measured job-level scaling (faults on)");
+    println!("{:>14} {:>12} {:>10}", "parallel jobs", "poses/s", "speedup");
+    let mut csv = String::from("parallel_jobs,poses_per_sec,speedup\n");
+    let mut base = 0.0f64;
+    for parallel in [1usize, 2, 4] {
+        std::fs::remove_dir_all(&out_dir).ok();
+        std::fs::create_dir_all(&out_dir).ok();
+        let noisy = JobConfig { faults: FaultConfig::noisy(seed), ..job_cfg.clone() };
+        let report = run_campaign(
+            &SchedulerConfig { max_parallel_jobs: parallel, max_attempts: 6 },
+            &noisy,
+            specs(parallel as u64 * 2, compounds_per_job / 2, seed),
+            &fusion,
+            &SyntheticPoseSource { poses_per_compound },
+        );
+        let rate = report.poses_per_sec();
+        if parallel == 1 {
+            base = rate;
+        }
+        println!(
+            "{parallel:>14} {rate:>12.1} {:>9.2}x   ({} reschedules)",
+            rate / base.max(1e-9),
+            report.failed_attempts
+        );
+        csv.push_str(&format!("{parallel},{rate:.2},{:.3}\n", rate / base.max(1e-9)));
+    }
+    println!("(CPU cores bound the measured scaling; Lassen's 125-job peak is modeled below)\n");
+
+    // --- 3. The Lassen model: Table 7 proper. ---
+    let model = LassenModel::default();
+    println!("## Modeled Table 7 (Lassen constants)");
+    println!("{:<22} {:>14} {:>14}", "Metric", "Single Job", "Peak");
+    let mut table_csv = String::from("metric,single_job,peak\n");
+    for row in model.table7() {
+        println!("{:<22} {:>14} {:>14}", row.metric, row.single_job, row.peak);
+        table_csv.push_str(&format!("{},{},{}\n", row.metric, row.single_job, row.peak));
+    }
+    println!(
+        "\nV100-equivalence: one modeled V100 rank = {:.2} of our measured CPU ranks",
+        model.v100_equivalence(measured_rank_rate)
+    );
+    println!(
+        "peak/single throughput ratio: {:.0}x (paper: \"more than 100 times\")",
+        model.poses_per_sec_peak() / model.poses_per_sec_single()
+    );
+
+    write_artifact(&format!("table7_model_{}_{}.csv", scale.name(), seed), &table_csv);
+    write_artifact(&format!("table7_scaling_{}_{}.csv", scale.name(), seed), &csv);
+    std::fs::remove_dir_all(&out_dir).ok();
+}

@@ -1,0 +1,220 @@
+//! `dfbench` — harnesses that regenerate every table and figure of the
+//! paper's evaluation (see DESIGN.md's experiment index) plus Criterion
+//! micro-benchmarks of the substrates.
+//!
+//! Each `src/bin/*` binary reproduces one artifact:
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `table1` | PB2 search-space definition |
+//! | `tables2to5` | PB2-optimized hyper-parameters per model |
+//! | `table6` | core-set regression metrics for all fusion variants |
+//! | `figure2` | docking-space correlations + strong/weak P/R curves |
+//! | `table7` | single-job vs peak throughput (measured + Lassen model) |
+//! | `figure4` | predicted pK vs % inhibition scatter |
+//! | `table8` | >1%-inhibition correlations per method × target |
+//! | `figure5` | P/R + F1 + κ at 33% inhibition per target |
+//! | `speedup` | fusion vs Vina vs MM/GBSA per-pose cost |
+//!
+//! Heavy intermediates (trained models, campaign outputs) are cached under
+//! `results/` so the binaries compose without re-running the expensive
+//! stages.
+
+pub mod trainables;
+
+use dfassay::{run_campaign, CampaignConfig, CampaignOutput};
+use dfdata::pdbbind::{PdbBind, PdbBindConfig};
+use dffusion::{train_all_variants, TrainedModels, WorkflowConfig};
+use dfhts::FusionScorerFactory;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Experiment scale, selectable with `--scale tiny|small|full` on every
+/// binary. `full` is still CPU-sized — it trades minutes of runtime for
+/// tighter statistics; the paper's absolute GPU-scale numbers come from
+/// the calibrated Lassen model, not from scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Tiny,
+    Small,
+    Full,
+}
+
+impl Scale {
+    pub fn parse(args: &[String]) -> Scale {
+        match arg_value(args, "--scale").as_deref() {
+            Some("tiny") => Scale::Tiny,
+            Some("full") => Scale::Full,
+            _ => Scale::Small,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// Returns the value following a `--flag` argument.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// The campaign seed every harness shares by default (override with
+/// `--seed N`).
+pub const DEFAULT_SEED: u64 = 2021;
+
+pub fn seed_from(args: &[String]) -> u64 {
+    arg_value(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED)
+}
+
+/// Root of the results/cache tree (override with `DF_RESULTS`).
+pub fn results_dir() -> PathBuf {
+    std::env::var("DF_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"))
+}
+
+/// Dataset sizing per scale.
+pub fn dataset_config(scale: Scale) -> PdbBindConfig {
+    match scale {
+        Scale::Tiny => PdbBindConfig { num_complexes: 60, core_size: 12, ..PdbBindConfig::tiny() },
+        Scale::Small => PdbBindConfig { num_complexes: 260, core_size: 36, ..Default::default() },
+        Scale::Full => PdbBindConfig { num_complexes: 700, core_size: 72, ..Default::default() },
+    }
+}
+
+/// Workflow sizing per scale.
+pub fn workflow_config(scale: Scale, seed: u64) -> WorkflowConfig {
+    match scale {
+        Scale::Tiny => WorkflowConfig::tiny(seed),
+        Scale::Small => WorkflowConfig::small(seed),
+        Scale::Full => {
+            let mut cfg = WorkflowConfig::small(seed);
+            cfg.sgcnn.epochs = 48;
+            cfg.sgcnn.noncovalent_gather_width = 48;
+            cfg.sgcnn.covalent_gather_width = 16;
+            cfg.cnn3d.epochs = 36;
+            cfg.cnn3d.conv_filters_1 = 12;
+            cfg.cnn3d.conv_filters_2 = 16;
+            cfg.cnn3d.num_dense_nodes = 48;
+            cfg.midlevel.epochs = 24;
+            cfg.midlevel.num_dense_nodes = 32;
+            cfg.coherent.epochs = 18;
+            cfg.coherent.num_dense_nodes = 32;
+            cfg
+        }
+    }
+}
+
+/// The shared synthetic PDBbind for a scale/seed.
+pub fn dataset(scale: Scale, seed: u64) -> Arc<PdbBind> {
+    Arc::new(PdbBind::generate(&dataset_config(scale), seed))
+}
+
+/// Trains (or loads from cache) the full set of model variants.
+pub fn trained_models(scale: Scale, seed: u64) -> (Arc<PdbBind>, TrainedModels) {
+    let ds = dataset(scale, seed);
+    let cfg = workflow_config(scale, seed);
+    let cache = results_dir().join(format!("cache/models_{}_{}", scale.name(), seed));
+    if let Some(models) = TrainedModels::load(&cfg, &cache) {
+        eprintln!("[dfbench] loaded trained models from {}", cache.display());
+        return (ds, models);
+    }
+    eprintln!("[dfbench] training models at scale {} (cached afterwards)...", scale.name());
+    let models = train_all_variants(Arc::clone(&ds), &cfg);
+    if let Err(e) = models.save(&cache) {
+        eprintln!("[dfbench] warning: could not cache models: {e}");
+    }
+    (ds, models)
+}
+
+/// A screening-ready fusion scorer from the trained coherent model.
+pub fn fusion_scorer(models: &TrainedModels) -> FusionScorerFactory {
+    FusionScorerFactory {
+        model: models.coherent.clone(),
+        params: models.coherent_params.clone(),
+        voxel: models.voxel,
+        graph: models.config.sgcnn.graph_config(),
+        batch_size: 56,
+    }
+}
+
+/// Campaign sizing per scale.
+pub fn campaign_config(scale: Scale, seed: u64) -> CampaignConfig {
+    match scale {
+        Scale::Tiny => CampaignConfig::tiny(seed),
+        Scale::Small => CampaignConfig::small(seed),
+        Scale::Full => CampaignConfig {
+            screen_pool: 600,
+            tested_per_target: 250,
+            threads: 8,
+            ..CampaignConfig::small(seed)
+        },
+    }
+}
+
+/// Runs (or loads from cache) the reference assay campaign.
+pub fn campaign(scale: Scale, seed: u64) -> CampaignOutput {
+    let cache = results_dir().join(format!("cache/campaign_{}_{}.json", scale.name(), seed));
+    if let Ok(raw) = std::fs::read_to_string(&cache) {
+        if let Ok(out) = serde_json::from_str::<CampaignOutput>(&raw) {
+            eprintln!("[dfbench] loaded campaign from {}", cache.display());
+            return out;
+        }
+    }
+    let (_, models) = trained_models(scale, seed);
+    let fusion = fusion_scorer(&models);
+    eprintln!("[dfbench] running campaign at scale {}...", scale.name());
+    let out = run_campaign(&campaign_config(scale, seed), &fusion);
+    if let Some(parent) = cache.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    if let Ok(json) = serde_json::to_string(&out) {
+        std::fs::write(&cache, json).ok();
+    }
+    out
+}
+
+/// Writes a CSV/text artifact under `results/`, logging its path.
+pub fn write_artifact(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match std::fs::write(&path, contents) {
+        Ok(()) => eprintln!("[dfbench] wrote {}", path.display()),
+        Err(e) => eprintln!("[dfbench] could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(Scale::parse(&args(&["--scale", "tiny"])), Scale::Tiny);
+        assert_eq!(Scale::parse(&args(&["--scale", "full"])), Scale::Full);
+        assert_eq!(Scale::parse(&args(&[])), Scale::Small);
+        assert_eq!(seed_from(&args(&["--seed", "7"])), 7);
+        assert_eq!(seed_from(&args(&[])), DEFAULT_SEED);
+    }
+
+    #[test]
+    fn configs_scale_monotonically() {
+        assert!(
+            dataset_config(Scale::Tiny).num_complexes < dataset_config(Scale::Small).num_complexes
+        );
+        assert!(
+            dataset_config(Scale::Small).num_complexes < dataset_config(Scale::Full).num_complexes
+        );
+        let s = workflow_config(Scale::Small, 1);
+        let f = workflow_config(Scale::Full, 1);
+        assert!(f.sgcnn.epochs >= s.sgcnn.epochs);
+    }
+}

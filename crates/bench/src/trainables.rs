@@ -1,0 +1,443 @@
+//! PB2 [`Trainable`] adapters for the real models, used by the
+//! `tables2to5` harness to re-run the paper's hyper-parameter
+//! optimizations at CPU scale.
+
+use dfchem::featurize::VoxelConfig;
+use dfdata::loader::{DataLoader, LoaderConfig};
+use dfdata::pdbbind::PdbBind;
+use dffusion::{
+    train, Cnn3d, Cnn3dConfig, FusionConfig, FusionKind, FusionModel, SgCnn, SgCnnConfig,
+    TrainConfig,
+};
+use dfhpo::{ConfigValues, Range, Space, Trainable};
+use dftensor::nn::Activation;
+use dftensor::optim::OptimizerKind;
+use dftensor::params::{ParamSnapshot, ParamStore};
+use std::sync::Arc;
+
+/// Which model a PB2 run optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    SgCnn,
+    Cnn3d,
+    MidFusion,
+    Coherent,
+}
+
+impl ModelKind {
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        match s {
+            "sgcnn" => Some(ModelKind::SgCnn),
+            "cnn3d" => Some(ModelKind::Cnn3d),
+            "midfusion" => Some(ModelKind::MidFusion),
+            "coherent" => Some(ModelKind::Coherent),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::SgCnn => "SG-CNN (Table 2)",
+            ModelKind::Cnn3d => "3D-CNN (Table 3)",
+            ModelKind::MidFusion => "Mid-level Fusion (Table 4)",
+            ModelKind::Coherent => "Coherent Fusion (Table 5)",
+        }
+    }
+
+    /// CPU-scaled subset of the Table 1 search space for this model: the
+    /// dimensions that matter most, with ranges trimmed to tractable model
+    /// sizes.
+    pub fn space(self) -> Space {
+        match self {
+            ModelKind::SgCnn => Space::new(vec![
+                ("learning_rate", Range::LogUniform { lo: 2e-4, hi: 2e-2 }),
+                ("noncovalent_k", Range::Choice(vec![1.0, 2.0, 3.0])),
+                ("covalent_k", Range::Choice(vec![1.0, 2.0, 3.0])),
+                ("noncovalent_gather_width", Range::Choice(vec![8.0, 16.0, 24.0, 32.0])),
+                ("covalent_gather_width", Range::Choice(vec![8.0, 16.0])),
+            ]),
+            ModelKind::Cnn3d => Space::new(vec![
+                ("learning_rate", Range::LogUniform { lo: 1e-5, hi: 3e-3 }),
+                ("num_dense_nodes", Range::Choice(vec![16.0, 32.0, 48.0])),
+                ("conv_filters_1", Range::Choice(vec![4.0, 8.0, 12.0])),
+                ("conv_filters_2", Range::Choice(vec![8.0, 12.0, 16.0])),
+                ("residual_1", Range::Bool),
+                ("residual_2", Range::Bool),
+                ("batch_norm", Range::Bool),
+            ]),
+            ModelKind::MidFusion | ModelKind::Coherent => Space::new(vec![
+                ("learning_rate", Range::LogUniform { lo: 1e-5, hi: 1e-3 }),
+                ("optimizer", Range::Choice(vec![0.0, 1.0, 2.0, 3.0])),
+                ("activation", Range::Choice(vec![0.0, 1.0, 2.0])),
+                ("num_fusion_layers", Range::Choice(vec![3.0, 4.0, 5.0])),
+                ("num_dense_nodes", Range::Choice(vec![8.0, 16.0, 24.0])),
+                ("dropout_1", Range::Uniform { lo: 0.0, hi: 0.5 }),
+                ("dropout_2", Range::Uniform { lo: 0.0, hi: 0.25 }),
+                ("dropout_3", Range::Uniform { lo: 0.0, hi: 0.125 }),
+                ("residual_fusion", Range::Bool),
+                ("model_specific_layers", Range::Bool),
+                ("batch_norm", Range::Bool),
+            ]),
+        }
+    }
+}
+
+fn optimizer_of(v: f64) -> OptimizerKind {
+    OptimizerKind::fusion_options()[(v as usize).min(3)]
+}
+
+fn activation_of(v: f64) -> Activation {
+    Activation::all()[(v as usize).min(2)]
+}
+
+/// Shared data context for every trial of one PB2 run.
+pub struct TrialData {
+    pub dataset: Arc<PdbBind>,
+    pub train_idx: Vec<usize>,
+    pub val_idx: Vec<usize>,
+    pub voxel: VoxelConfig,
+    /// Epochs per perturbation interval (`t_ready`).
+    pub epochs_per_interval: usize,
+}
+
+impl TrialData {
+    fn loader(&self, idx: &[usize], shuffle: bool) -> DataLoader {
+        DataLoader::new(
+            Arc::clone(&self.dataset),
+            idx.to_vec(),
+            LoaderConfig {
+                batch_size: 8,
+                num_workers: 2,
+                voxel: self.voxel,
+                shuffle,
+                ..Default::default()
+            },
+        )
+    }
+}
+
+/// Generic PB2 trial over any of the four models.
+pub struct ModelTrial {
+    kind: ModelKind,
+    data: Arc<TrialData>,
+    seed: u64,
+    state: Option<TrialState>,
+    intervals_done: usize,
+    /// Checkpoint received before the model was built (PB2's
+    /// interruption-resume path); applied lazily at the next `step`.
+    pending_checkpoint: Option<Vec<u8>>,
+}
+
+enum TrialState {
+    Sg(SgCnn, ParamStore, SgCnnConfig),
+    Cnn(Cnn3d, ParamStore, Cnn3dConfig),
+    Fusion(Box<FusionModel>, ParamStore, FusionConfig),
+}
+
+impl ModelTrial {
+    pub fn new(kind: ModelKind, data: Arc<TrialData>, seed: u64) -> ModelTrial {
+        ModelTrial { kind, data, seed, state: None, intervals_done: 0, pending_checkpoint: None }
+    }
+
+    /// An architecture signature: trials can only exchange weights when it
+    /// matches (PB2 restore across different shapes re-initializes).
+    fn signature(values: &ConfigValues, kind: ModelKind) -> String {
+        let keys: &[&str] = match kind {
+            ModelKind::SgCnn => &["noncovalent_gather_width", "covalent_gather_width"],
+            ModelKind::Cnn3d => &["num_dense_nodes", "conv_filters_1", "conv_filters_2"],
+            ModelKind::MidFusion | ModelKind::Coherent => {
+                &["num_fusion_layers", "num_dense_nodes", "model_specific_layers"]
+            }
+        };
+        keys.iter()
+            .map(|k| format!("{k}={}", values.get(*k).copied().unwrap_or(0.0)))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    fn build(&self, values: &ConfigValues) -> TrialState {
+        match self.kind {
+            ModelKind::SgCnn => {
+                let cfg = SgCnnConfig {
+                    learning_rate: values["learning_rate"],
+                    noncovalent_k: values["noncovalent_k"] as usize,
+                    covalent_k: values["covalent_k"] as usize,
+                    noncovalent_gather_width: values["noncovalent_gather_width"] as usize,
+                    covalent_gather_width: values["covalent_gather_width"] as usize,
+                    ..SgCnnConfig::table2()
+                };
+                let mut ps = ParamStore::new();
+                let m = SgCnn::new(&cfg, &mut ps, "sg", self.seed);
+                TrialState::Sg(m, ps, cfg)
+            }
+            ModelKind::Cnn3d => {
+                let cfg = Cnn3dConfig {
+                    learning_rate: values["learning_rate"],
+                    num_dense_nodes: values["num_dense_nodes"] as usize,
+                    conv_filters_1: values["conv_filters_1"] as usize,
+                    conv_filters_2: values["conv_filters_2"] as usize,
+                    residual_1: values["residual_1"] > 0.5,
+                    residual_2: values["residual_2"] > 0.5,
+                    batch_norm: values["batch_norm"] > 0.5,
+                    ..Cnn3dConfig::table3()
+                };
+                let mut ps = ParamStore::new();
+                let m = Cnn3d::new(&cfg, &self.data.voxel, &mut ps, "cnn", self.seed);
+                TrialState::Cnn(m, ps, cfg)
+            }
+            ModelKind::MidFusion | ModelKind::Coherent => {
+                let kind = if self.kind == ModelKind::Coherent {
+                    FusionKind::Coherent
+                } else {
+                    FusionKind::MidLevel
+                };
+                let cfg = FusionConfig {
+                    kind,
+                    learning_rate: values["learning_rate"],
+                    optimizer: optimizer_of(values["optimizer"]),
+                    activation: activation_of(values["activation"]),
+                    num_fusion_layers: values["num_fusion_layers"] as usize,
+                    num_dense_nodes: values["num_dense_nodes"] as usize,
+                    dropout_1: values["dropout_1"],
+                    dropout_2: values["dropout_2"],
+                    dropout_3: values["dropout_3"],
+                    residual_fusion: values["residual_fusion"] > 0.5,
+                    model_specific_layers: values["model_specific_layers"] > 0.5,
+                    batch_norm: values["batch_norm"] > 0.5,
+                    ..FusionConfig::small(kind)
+                };
+                let heads_sg = SgCnnConfig {
+                    noncovalent_gather_width: 16,
+                    covalent_gather_width: 8,
+                    covalent_k: 2,
+                    noncovalent_k: 2,
+                    ..SgCnnConfig::table2()
+                };
+                let heads_cnn = Cnn3dConfig {
+                    conv_filters_1: 6,
+                    conv_filters_2: 8,
+                    num_dense_nodes: 16,
+                    ..Cnn3dConfig::table3()
+                };
+                let mut ps = ParamStore::new();
+                let m = FusionModel::new(&cfg, &heads_sg, &heads_cnn, &self.data.voxel, &mut ps, self.seed);
+                TrialState::Fusion(Box::new(m), ps, cfg)
+            }
+        }
+    }
+}
+
+impl Trainable for ModelTrial {
+    fn step(&mut self, values: &ConfigValues) -> f64 {
+        // Rebuild when the architecture signature changed.
+        let needs_rebuild = match &self.state {
+            None => true,
+            Some(state) => {
+                let current = match state {
+                    TrialState::Sg(_, _, c) => Self::signature(
+                        &space_values_sg(c),
+                        ModelKind::SgCnn,
+                    ),
+                    TrialState::Cnn(_, _, c) => Self::signature(
+                        &space_values_cnn(c),
+                        ModelKind::Cnn3d,
+                    ),
+                    TrialState::Fusion(_, _, c) => Self::signature(
+                        &space_values_fusion(c),
+                        self.kind,
+                    ),
+                };
+                current != Self::signature(values, self.kind)
+            }
+        };
+        if needs_rebuild {
+            self.state = Some(self.build(values));
+        }
+        // Apply a checkpoint that arrived before the model existed (the
+        // scheduler-interruption path rebuilds trials from factories).
+        if let Some(ckpt) = self.pending_checkpoint.take() {
+            self.restore(&ckpt);
+        }
+
+        let train_loader = self.data.loader(&self.data.train_idx, true);
+        let val_loader = self.data.loader(&self.data.val_idx, false);
+        let tc = |lr: f64, opt: OptimizerKind, seed: u64| TrainConfig {
+            epochs: self.data.epochs_per_interval,
+            learning_rate: lr,
+            optimizer: opt,
+            seed,
+            ..Default::default()
+        };
+        let seed = self.seed + self.intervals_done as u64 * 97;
+        let objective = match self.state.as_mut().expect("state built") {
+            TrialState::Sg(m, ps, _) => {
+                train(m, ps, &train_loader, &val_loader, &tc(values["learning_rate"], OptimizerKind::Adam, seed))
+                    .best_val_mse
+            }
+            TrialState::Cnn(m, ps, _) => {
+                train(m, ps, &train_loader, &val_loader, &tc(values["learning_rate"], OptimizerKind::Adam, seed))
+                    .best_val_mse
+            }
+            TrialState::Fusion(m, ps, _) => train(
+                m.as_mut(),
+                ps,
+                &train_loader,
+                &val_loader,
+                &tc(values["learning_rate"], optimizer_of(values["optimizer"]), seed),
+            )
+            .best_val_mse,
+        };
+        self.intervals_done += 1;
+        objective
+    }
+
+    fn save(&self) -> Vec<u8> {
+        let Some(state) = &self.state else { return Vec::new() };
+        let (sig, snap): (String, ParamSnapshot) = match state {
+            TrialState::Sg(_, ps, c) => {
+                (Self::signature(&space_values_sg(c), ModelKind::SgCnn), ps.snapshot())
+            }
+            TrialState::Cnn(_, ps, c) => {
+                (Self::signature(&space_values_cnn(c), ModelKind::Cnn3d), ps.snapshot())
+            }
+            TrialState::Fusion(_, ps, c) => {
+                (Self::signature(&space_values_fusion(c), self.kind), ps.snapshot())
+            }
+        };
+        serde_json::to_vec(&(sig, self.intervals_done, snap)).expect("serialize trial")
+    }
+
+    fn restore(&mut self, ckpt: &[u8]) {
+        if ckpt.is_empty() {
+            self.state = None;
+            self.intervals_done = 0;
+            return;
+        }
+        // Not built yet (interruption-resume rebuilds trials cold): keep
+        // the checkpoint and apply it after the next build.
+        if self.state.is_none() {
+            self.pending_checkpoint = Some(ckpt.to_vec());
+            return;
+        }
+        let (sig, intervals, snap): (String, usize, ParamSnapshot) =
+            serde_json::from_slice(ckpt).expect("deserialize trial");
+        // Only adopt weights when the current architecture matches;
+        // otherwise exploitation degenerates to a fresh start (the PB2
+        // paper's behaviour for incompatible architectures).
+        if let Some(state) = &mut self.state {
+            let ps = match state {
+                TrialState::Sg(_, ps, c) => {
+                    if Self::signature(&space_values_sg(c), ModelKind::SgCnn) != sig {
+                        return;
+                    }
+                    ps
+                }
+                TrialState::Cnn(_, ps, c) => {
+                    if Self::signature(&space_values_cnn(c), ModelKind::Cnn3d) != sig {
+                        return;
+                    }
+                    ps
+                }
+                TrialState::Fusion(_, ps, c) => {
+                    if Self::signature(&space_values_fusion(c), self.kind) != sig {
+                        return;
+                    }
+                    ps
+                }
+            };
+            if ps.restore(&snap).is_ok() {
+                self.intervals_done = intervals;
+            }
+        }
+    }
+}
+
+fn space_values_sg(c: &SgCnnConfig) -> ConfigValues {
+    [
+        ("noncovalent_gather_width".to_string(), c.noncovalent_gather_width as f64),
+        ("covalent_gather_width".to_string(), c.covalent_gather_width as f64),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn space_values_cnn(c: &Cnn3dConfig) -> ConfigValues {
+    [
+        ("num_dense_nodes".to_string(), c.num_dense_nodes as f64),
+        ("conv_filters_1".to_string(), c.conv_filters_1 as f64),
+        ("conv_filters_2".to_string(), c.conv_filters_2 as f64),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn space_values_fusion(c: &FusionConfig) -> ConfigValues {
+    [
+        ("num_fusion_layers".to_string(), c.num_fusion_layers as f64),
+        ("num_dense_nodes".to_string(), c.num_dense_nodes as f64),
+        (
+            "model_specific_layers".to_string(),
+            if c.model_specific_layers { 1.0 } else { 0.0 },
+        ),
+    ]
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfdata::pdbbind::PdbBindConfig;
+
+    fn data() -> Arc<TrialData> {
+        let dataset = Arc::new(PdbBind::generate(&PdbBindConfig::tiny(), 50));
+        let n = dataset.entries.len();
+        Arc::new(TrialData {
+            dataset,
+            train_idx: (0..n * 3 / 4).collect(),
+            val_idx: (n * 3 / 4..n).collect(),
+            voxel: VoxelConfig { grid_dim: 8, resolution: 2.5 },
+            epochs_per_interval: 1,
+        })
+    }
+
+    #[test]
+    fn all_model_kinds_step_and_checkpoint() {
+        let data = data();
+        for kind in [ModelKind::SgCnn, ModelKind::Cnn3d, ModelKind::MidFusion, ModelKind::Coherent] {
+            let space = kind.space();
+            let mut r = dftensor::rng::rng(3);
+            let cfg = space.sample(&mut r);
+            let mut trial = ModelTrial::new(kind, Arc::clone(&data), 3);
+            let obj = trial.step(&cfg);
+            assert!(obj.is_finite() && obj > 0.0, "{kind:?} objective {obj}");
+            let ckpt = trial.save();
+            assert!(!ckpt.is_empty());
+            // Restore into a twin with the same config.
+            let mut twin = ModelTrial::new(kind, Arc::clone(&data), 3);
+            twin.step(&cfg); // builds the same architecture
+            twin.restore(&ckpt);
+            assert_eq!(twin.intervals_done, 1);
+        }
+    }
+
+    #[test]
+    fn incompatible_restore_is_a_safe_noop() {
+        let data = data();
+        let space = ModelKind::SgCnn.space();
+        let mut r = dftensor::rng::rng(4);
+        let mut a_cfg = space.sample(&mut r);
+        a_cfg.insert("noncovalent_gather_width".into(), 8.0);
+        let mut b_cfg = a_cfg.clone();
+        b_cfg.insert("noncovalent_gather_width".into(), 24.0);
+
+        let mut a = ModelTrial::new(ModelKind::SgCnn, Arc::clone(&data), 4);
+        a.step(&a_cfg);
+        let ckpt = a.save();
+        let mut b = ModelTrial::new(ModelKind::SgCnn, Arc::clone(&data), 4);
+        b.step(&b_cfg);
+        b.restore(&ckpt); // widths differ: must not panic or corrupt
+        let obj = b.step(&b_cfg);
+        assert!(obj.is_finite());
+    }
+}

@@ -1,0 +1,242 @@
+//! Chemical elements and the per-element properties the pipeline needs:
+//! van-der-Waals / covalent radii, masses, electronegativities and the
+//! pharmacophore flags used by the Vina-like scoring function and the
+//! voxel/graph featurizers.
+
+use serde::{Deserialize, Serialize};
+
+/// Heavy-atom elements occurring in drug-like molecules plus hydrogen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Element {
+    H,
+    C,
+    N,
+    O,
+    S,
+    P,
+    F,
+    Cl,
+    Br,
+    I,
+}
+
+impl Element {
+    /// All supported elements.
+    pub const ALL: [Element; 10] = [
+        Element::H,
+        Element::C,
+        Element::N,
+        Element::O,
+        Element::S,
+        Element::P,
+        Element::F,
+        Element::Cl,
+        Element::Br,
+        Element::I,
+    ];
+
+    /// Atomic number.
+    pub fn atomic_number(self) -> u8 {
+        match self {
+            Element::H => 1,
+            Element::C => 6,
+            Element::N => 7,
+            Element::O => 8,
+            Element::S => 16,
+            Element::P => 15,
+            Element::F => 9,
+            Element::Cl => 17,
+            Element::Br => 35,
+            Element::I => 53,
+        }
+    }
+
+    /// Atomic mass in Daltons (used for the PDBbind refined-set molecular
+    /// weight cut at 1000 Da).
+    pub fn mass(self) -> f64 {
+        match self {
+            Element::H => 1.008,
+            Element::C => 12.011,
+            Element::N => 14.007,
+            Element::O => 15.999,
+            Element::S => 32.06,
+            Element::P => 30.974,
+            Element::F => 18.998,
+            Element::Cl => 35.45,
+            Element::Br => 79.904,
+            Element::I => 126.904,
+        }
+    }
+
+    /// Van-der-Waals radius in Å (Bondi-like values).
+    pub fn vdw_radius(self) -> f64 {
+        match self {
+            Element::H => 1.20,
+            Element::C => 1.70,
+            Element::N => 1.55,
+            Element::O => 1.52,
+            Element::S => 1.80,
+            Element::P => 1.80,
+            Element::F => 1.47,
+            Element::Cl => 1.75,
+            Element::Br => 1.85,
+            Element::I => 1.98,
+        }
+    }
+
+    /// Single-bond covalent radius in Å.
+    pub fn covalent_radius(self) -> f64 {
+        match self {
+            Element::H => 0.31,
+            Element::C => 0.76,
+            Element::N => 0.71,
+            Element::O => 0.66,
+            Element::S => 1.05,
+            Element::P => 1.07,
+            Element::F => 0.57,
+            Element::Cl => 1.02,
+            Element::Br => 1.20,
+            Element::I => 1.39,
+        }
+    }
+
+    /// Pauling electronegativity (drives the Gasteiger-lite partial
+    /// charges).
+    pub fn electronegativity(self) -> f64 {
+        match self {
+            Element::H => 2.20,
+            Element::C => 2.55,
+            Element::N => 3.04,
+            Element::O => 3.44,
+            Element::S => 2.58,
+            Element::P => 2.19,
+            Element::F => 3.98,
+            Element::Cl => 3.16,
+            Element::Br => 2.96,
+            Element::I => 2.66,
+        }
+    }
+
+    /// Maximum number of covalent bonds formed in neutral molecules.
+    pub fn max_valence(self) -> usize {
+        match self {
+            Element::H | Element::F | Element::Cl | Element::Br | Element::I => 1,
+            Element::O => 2,
+            Element::N | Element::P => 3,
+            Element::C => 4,
+            Element::S => 2,
+        }
+    }
+
+    /// Carbon and sulfur surfaces are treated as hydrophobic, matching the
+    /// Vina atom-typing convention.
+    pub fn is_hydrophobic(self) -> bool {
+        matches!(self, Element::C | Element::S)
+    }
+
+    /// Can accept a hydrogen bond.
+    pub fn is_hbond_acceptor(self) -> bool {
+        matches!(self, Element::N | Element::O | Element::F)
+    }
+
+    /// Can (when protonated) donate a hydrogen bond — we use the heavy-atom
+    /// convention since generated molecules are implicit-hydrogen.
+    pub fn is_hbond_donor(self) -> bool {
+        matches!(self, Element::N | Element::O)
+    }
+
+    /// Halogen flag (one voxel channel groups all halogens).
+    pub fn is_halogen(self) -> bool {
+        matches!(self, Element::F | Element::Cl | Element::Br | Element::I)
+    }
+
+    /// Coarse element class used for featurization channels:
+    /// C=0, N=1, O=2, S=3, P=4, halogen=5, H/other=6.
+    pub fn channel_class(self) -> usize {
+        match self {
+            Element::C => 0,
+            Element::N => 1,
+            Element::O => 2,
+            Element::S => 3,
+            Element::P => 4,
+            Element::F | Element::Cl | Element::Br | Element::I => 5,
+            Element::H => 6,
+        }
+    }
+
+    /// Number of distinct channel classes.
+    pub const NUM_CLASSES: usize = 7;
+
+    /// One-letter/two-letter symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::H => "H",
+            Element::C => "C",
+            Element::N => "N",
+            Element::O => "O",
+            Element::S => "S",
+            Element::P => "P",
+            Element::F => "F",
+            Element::Cl => "Cl",
+            Element::Br => "Br",
+            Element::I => "I",
+        }
+    }
+
+    /// Parses a symbol (case-sensitive, matching [`Element::symbol`]).
+    pub fn from_symbol(s: &str) -> Option<Element> {
+        Element::ALL.into_iter().find(|e| e.symbol() == s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_round_trip() {
+        for e in Element::ALL {
+            assert_eq!(Element::from_symbol(e.symbol()), Some(e));
+        }
+        assert_eq!(Element::from_symbol("Xx"), None);
+    }
+
+    #[test]
+    fn radii_ordering_is_physical() {
+        // vdW radius is always larger than the covalent radius.
+        for e in Element::ALL {
+            assert!(e.vdw_radius() > e.covalent_radius(), "{e:?}");
+        }
+        // Iodine is the largest halogen.
+        assert!(Element::I.vdw_radius() > Element::F.vdw_radius());
+    }
+
+    #[test]
+    fn valences_match_chemistry() {
+        assert_eq!(Element::C.max_valence(), 4);
+        assert_eq!(Element::N.max_valence(), 3);
+        assert_eq!(Element::O.max_valence(), 2);
+        assert_eq!(Element::H.max_valence(), 1);
+    }
+
+    #[test]
+    fn channel_classes_are_dense() {
+        let mut seen = [false; Element::NUM_CLASSES];
+        for e in Element::ALL {
+            let c = e.channel_class();
+            assert!(c < Element::NUM_CLASSES);
+            seen[c] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every class used");
+    }
+
+    #[test]
+    fn pharmacophore_flags() {
+        assert!(Element::C.is_hydrophobic());
+        assert!(!Element::O.is_hydrophobic());
+        assert!(Element::O.is_hbond_acceptor());
+        assert!(Element::N.is_hbond_donor());
+        assert!(Element::Cl.is_halogen());
+        assert!(!Element::C.is_halogen());
+    }
+}

@@ -1,0 +1,8 @@
+//! Featurization of protein–ligand complexes into the two model input
+//! representations: voxel grids (3D-CNN) and spatial graphs (SG-CNN).
+
+pub mod graph;
+pub mod voxel;
+
+pub use graph::{build_graph, GraphConfig, MolGraph, NODE_FEATURES};
+pub use voxel::{voxelize, VoxelConfig};

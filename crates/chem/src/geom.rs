@@ -1,0 +1,165 @@
+//! Minimal 3-D geometry: vectors and rotations.
+
+use serde::{Deserialize, Serialize};
+
+/// A 3-D point/vector in Å.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+#[allow(clippy::should_implement_trait)] // add/sub are the natural names for a math vector
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    pub fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+
+    pub fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+
+    pub fn scale(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    pub fn dist(self, o: Vec3) -> f64 {
+        self.sub(o).norm()
+    }
+
+    pub fn dist2(self, o: Vec3) -> f64 {
+        let d = self.sub(o);
+        d.dot(d)
+    }
+
+    /// Unit vector in the same direction; returns +x for the zero vector.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n < 1e-12 {
+            Vec3::new(1.0, 0.0, 0.0)
+        } else {
+            self.scale(1.0 / n)
+        }
+    }
+}
+
+/// A 3×3 rotation matrix (row major).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rotation {
+    pub m: [[f64; 3]; 3],
+}
+
+impl Rotation {
+    /// Identity rotation.
+    pub fn identity() -> Self {
+        Self { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] }
+    }
+
+    /// Rotation of `angle` radians about a (normalized) axis, via the
+    /// Rodrigues formula.
+    pub fn about_axis(axis: Vec3, angle: f64) -> Self {
+        let a = axis.normalized();
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        let (x, y, z) = (a.x, a.y, a.z);
+        Self {
+            m: [
+                [t * x * x + c, t * x * y - s * z, t * x * z + s * y],
+                [t * x * y + s * z, t * y * y + c, t * y * z - s * x],
+                [t * x * z - s * y, t * y * z + s * x, t * z * z + c],
+            ],
+        }
+    }
+
+    /// Applies the rotation to a vector.
+    pub fn apply(&self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0][0] * v.x + self.m[0][1] * v.y + self.m[0][2] * v.z,
+            self.m[1][0] * v.x + self.m[1][1] * v.y + self.m[1][2] * v.z,
+            self.m[2][0] * v.x + self.m[2][1] * v.y + self.m[2][2] * v.z,
+        )
+    }
+
+    /// Composition `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &Rotation) -> Rotation {
+        let mut m = [[0.0; 3]; 3];
+        for (i, row) in m.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| self.m[i][k] * other.m[k][j]).sum();
+            }
+        }
+        Rotation { m }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a.add(b), Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b.sub(a), Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a.dot(b), 32.0);
+        assert_eq!(a.cross(b), Vec3::new(-3.0, 6.0, -3.0));
+        assert!((Vec3::new(3.0, 4.0, 0.0).norm() - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert!((Vec3::ZERO.normalized().norm() - 1.0).abs() < EPS);
+        let v = Vec3::new(0.0, 0.0, 7.0).normalized();
+        assert!((v.z - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn rotation_preserves_length() {
+        let r = Rotation::about_axis(Vec3::new(1.0, 1.0, 0.0), 1.234);
+        let v = Vec3::new(3.0, -1.0, 2.0);
+        assert!((r.apply(v).norm() - v.norm()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn quarter_turn_about_z() {
+        let r = Rotation::about_axis(Vec3::new(0.0, 0.0, 1.0), std::f64::consts::FRAC_PI_2);
+        let v = r.apply(Vec3::new(1.0, 0.0, 0.0));
+        assert!(v.x.abs() < 1e-12 && (v.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let r1 = Rotation::about_axis(Vec3::new(0.0, 1.0, 0.0), 0.5);
+        let r2 = Rotation::about_axis(Vec3::new(1.0, 0.0, 0.0), -0.8);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let seq = r2.apply(r1.apply(v));
+        let comp = r2.compose(&r1).apply(v);
+        assert!(seq.dist(comp) < 1e-10);
+    }
+}

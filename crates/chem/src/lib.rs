@@ -1,0 +1,34 @@
+//! `dfchem` — the cheminformatics substrate for the Deep Fusion
+//! reproduction.
+//!
+//! Replaces the RDKit/OpenBabel/Chimera toolchain and the crystal-structure
+//! inputs the paper relies on:
+//!
+//! * [`element`]/[`mol`] — atoms, bonds, 3-D conformers and descriptors;
+//! * [`genmol`] — deterministic drug-like molecule generation and the four
+//!   compound libraries of the screening campaign;
+//! * [`pocket`] — procedural binding pockets for the four SARS-CoV-2
+//!   targets (protease1/2, spike1/2);
+//! * [`featurize`] — voxel grids for the 3D-CNN and spatial graphs for the
+//!   SG-CNN;
+//! * [`rmsd`] — pose-similarity metrics used by the docking filters.
+
+pub mod descriptors;
+pub mod element;
+pub mod featurize;
+pub mod genmol;
+pub mod geom;
+pub mod linnot;
+pub mod mol;
+pub mod pocket;
+pub mod rmsd;
+
+pub use descriptors::{fsp3, ring_count, tpsa_estimate, Descriptors};
+pub use element::Element;
+pub use featurize::{build_graph, voxelize, GraphConfig, MolGraph, VoxelConfig, NODE_FEATURES};
+pub use genmol::{generate_molecule, Compound, CompoundId, Library, MolGenConfig};
+pub use geom::{Rotation, Vec3};
+pub use linnot::{parse_linnot, same_graph, write_linnot, LinNotError};
+pub use mol::{Atom, Bond, BondOrder, Molecule};
+pub use pocket::{BindingPocket, TargetSite};
+pub use rmsd::{centered_rmsd, rmsd};

@@ -1,0 +1,417 @@
+//! LinNot — a SMILES-like linear notation for molecular graphs.
+//!
+//! The screening campaign needs a compact, human-readable serialization of
+//! compound structures (the paper's pipeline passes SMILES between ZINC /
+//! ChEMBL / Enamine, ligand preparation and the data portal). A full
+//! SMILES implementation (aromaticity perception, stereo, tautomers) is a
+//! project of its own; LinNot implements the structural core with the same
+//! grammar shape:
+//!
+//! * atoms as element symbols (`C`, `N`, `Cl`, ...),
+//! * `=` / `#` bond-order prefixes,
+//! * parenthesised branches,
+//! * single-digit ring-closure labels (`C1CCCCC1`), reusable after close.
+//!
+//! Writing walks a DFS spanning tree of the bond graph; parsing rebuilds
+//! the graph. Coordinates are not encoded — a parsed molecule gets a fresh
+//! conformer via [`crate::genmol::relax_conformer`]-style embedding, which
+//! is how the lazily-materialized compound libraries behave too.
+
+use crate::element::Element;
+use crate::geom::Vec3;
+use crate::mol::{Atom, BondOrder, Molecule};
+
+/// Errors from parsing a LinNot string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinNotError {
+    UnexpectedChar { pos: usize, ch: char },
+    UnbalancedParen { pos: usize },
+    UnknownElement { pos: usize, symbol: String },
+    DanglingRingBond { label: u8 },
+    SelfRingBond { pos: usize },
+    DanglingBondSymbol { pos: usize },
+    BondWithoutAtom { pos: usize },
+    Empty,
+}
+
+impl std::fmt::Display for LinNotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinNotError::UnexpectedChar { pos, ch } => {
+                write!(f, "unexpected character {ch:?} at {pos}")
+            }
+            LinNotError::UnbalancedParen { pos } => write!(f, "unbalanced parenthesis at {pos}"),
+            LinNotError::UnknownElement { pos, symbol } => {
+                write!(f, "unknown element {symbol:?} at {pos}")
+            }
+            LinNotError::DanglingRingBond { label } => {
+                write!(f, "ring bond {label} opened but never closed")
+            }
+            LinNotError::SelfRingBond { pos } => {
+                write!(f, "ring label closes onto the same atom at {pos}")
+            }
+            LinNotError::DanglingBondSymbol { pos } => {
+                write!(f, "bond symbol not followed by an atom or ring label at {pos}")
+            }
+            LinNotError::BondWithoutAtom { pos } => {
+                write!(f, "bond symbol with no preceding atom at {pos}")
+            }
+            LinNotError::Empty => write!(f, "empty notation"),
+        }
+    }
+}
+
+impl std::error::Error for LinNotError {}
+
+fn bond_char(order: BondOrder) -> Option<char> {
+    match order {
+        BondOrder::Single => None,
+        BondOrder::Double => Some('='),
+        BondOrder::Triple => Some('#'),
+    }
+}
+
+/// Serializes a connected molecule to LinNot.
+///
+/// The output is deterministic (DFS from atom 0, neighbours in index
+/// order) so equal graphs with equal atom numbering produce equal strings.
+pub fn write_linnot(mol: &Molecule) -> String {
+    if mol.atoms.is_empty() {
+        return String::new();
+    }
+    assert!(mol.is_connected(), "LinNot requires a connected molecule");
+
+    // Adjacency with bond orders.
+    let mut adj: Vec<Vec<(usize, BondOrder)>> = vec![Vec::new(); mol.num_atoms()];
+    for b in &mol.bonds {
+        adj[b.a].push((b.b, b.order));
+        adj[b.b].push((b.a, b.order));
+    }
+    for l in &mut adj {
+        l.sort_by_key(|&(n, _)| n);
+    }
+
+    // DFS spanning tree; non-tree edges become ring closures.
+    let n = mol.num_atoms();
+    let mut visited = vec![false; n];
+    let mut ring_labels: Vec<Vec<(u8, BondOrder)>> = vec![Vec::new(); n];
+    let mut used_labels = [false; 10];
+    let mut tree_children: Vec<Vec<(usize, BondOrder)>> = vec![Vec::new(); n];
+
+    // Iterative DFS to mark tree edges and ring closures.
+    let mut stack = vec![(0usize, usize::MAX)];
+    visited[0] = true;
+    let mut closure_pairs: Vec<(usize, usize, BondOrder)> = Vec::new();
+    while let Some((u, parent)) = stack.pop() {
+        // Push children in reverse so lower-index neighbours are visited
+        // first (stable output).
+        for &(v, ord) in adj[u].iter().rev() {
+            if v == parent {
+                continue;
+            }
+            if visited[v] {
+                // Ring closure; record once (when u > v in visit order the
+                // pair was already added from the other side).
+                if !closure_pairs.iter().any(|&(a, b, _)| (a == v && b == u) || (a == u && b == v))
+                {
+                    closure_pairs.push((u, v, ord));
+                }
+            } else {
+                visited[v] = true;
+                tree_children[u].push((v, ord));
+                stack.push((v, u));
+            }
+        }
+    }
+    // tree_children were collected in reversed order; restore index order.
+    for c in &mut tree_children {
+        c.sort_by_key(|&(v, _)| v);
+    }
+
+    // Assign ring labels (digits 0-9, reusable — enough for drug-like
+    // molecules whose simultaneous open rings rarely exceed a handful).
+    for &(a, b, ord) in &closure_pairs {
+        let label = (0..10u8)
+            .find(|&l| !used_labels[l as usize])
+            .expect("more than 10 simultaneously open rings");
+        used_labels[label as usize] = true;
+        ring_labels[a].push((label, ord));
+        ring_labels[b].push((label, ord));
+        // Labels stay "used" for the whole write for simplicity; with ≤10
+        // rings in generated compounds this never exhausts.
+    }
+
+    // Emit DFS recursively (explicit stack to avoid recursion depth).
+    let mut out = String::new();
+    emit(mol, 0, &tree_children, &ring_labels, &mut out);
+    out
+}
+
+fn emit(
+    mol: &Molecule,
+    u: usize,
+    children: &[Vec<(usize, BondOrder)>],
+    ring_labels: &[Vec<(u8, BondOrder)>],
+    out: &mut String,
+) {
+    out.push_str(mol.atoms[u].element.symbol());
+    for &(label, ord) in &ring_labels[u] {
+        if let Some(c) = bond_char(ord) {
+            out.push(c);
+        }
+        out.push(char::from(b'0' + label));
+    }
+    let kids = &children[u];
+    for (i, &(v, ord)) in kids.iter().enumerate() {
+        let last = i + 1 == kids.len();
+        if !last {
+            out.push('(');
+        }
+        if let Some(c) = bond_char(ord) {
+            out.push(c);
+        }
+        emit(mol, v, children, ring_labels, out);
+        if !last {
+            out.push(')');
+        }
+    }
+}
+
+/// Parses LinNot into a molecule with placeholder coordinates (a rough
+/// chain embedding; call `relax_conformer` for a physical conformer).
+pub fn parse_linnot(s: &str) -> Result<Molecule, LinNotError> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return Err(LinNotError::Empty);
+    }
+    let mut mol = Molecule::new("linnot");
+    let mut prev: Option<usize> = None;
+    let mut pending_bond = BondOrder::Single;
+    let mut branch_stack: Vec<usize> = Vec::new();
+    let mut open_rings: std::collections::HashMap<u8, (usize, BondOrder)> =
+        std::collections::HashMap::new();
+    let mut i = 0usize;
+    let mut placed = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '(' => {
+                let Some(p) = prev else {
+                    return Err(LinNotError::BondWithoutAtom { pos: i });
+                };
+                branch_stack.push(p);
+                i += 1;
+            }
+            ')' => {
+                if pending_bond != BondOrder::Single {
+                    return Err(LinNotError::DanglingBondSymbol { pos: i });
+                }
+                prev = Some(branch_stack.pop().ok_or(LinNotError::UnbalancedParen { pos: i })?);
+                i += 1;
+            }
+            '=' => {
+                pending_bond = BondOrder::Double;
+                i += 1;
+            }
+            '#' => {
+                pending_bond = BondOrder::Triple;
+                i += 1;
+            }
+            '0'..='9' => {
+                let label = c as u8 - b'0';
+                let Some(p) = prev else {
+                    return Err(LinNotError::BondWithoutAtom { pos: i });
+                };
+                match open_rings.remove(&label) {
+                    Some((other, _)) if other == p => {
+                        return Err(LinNotError::SelfRingBond { pos: i });
+                    }
+                    Some((other, ord)) => {
+                        // Closing: the order was fixed at opening (or by a
+                        // bond char just before either digit).
+                        let order = if pending_bond != BondOrder::Single {
+                            pending_bond
+                        } else {
+                            ord
+                        };
+                        mol.add_bond(other, p, order);
+                    }
+                    None => {
+                        open_rings.insert(label, (p, pending_bond));
+                    }
+                }
+                pending_bond = BondOrder::Single;
+                i += 1;
+            }
+            'A'..='Z' => {
+                // Greedy two-letter symbol match (Cl, Br), else one letter.
+                let mut symbol = c.to_string();
+                if i + 1 < chars.len() && chars[i + 1].is_ascii_lowercase() {
+                    symbol.push(chars[i + 1]);
+                }
+                let (elem, advance) = match Element::from_symbol(&symbol) {
+                    Some(e) => (e, symbol.len()),
+                    None => match Element::from_symbol(&symbol[..1]) {
+                        Some(e) => (e, 1),
+                        None => {
+                            return Err(LinNotError::UnknownElement { pos: i, symbol });
+                        }
+                    },
+                };
+                // Placeholder zig-zag coordinates.
+                let pos = Vec3::new(
+                    placed as f64 * 1.4,
+                    if placed.is_multiple_of(2) { 0.0 } else { 0.9 },
+                    (placed % 3) as f64 * 0.3,
+                );
+                placed += 1;
+                let idx = mol.add_atom(Atom::new(elem, pos));
+                if let Some(p) = prev {
+                    mol.add_bond(p, idx, pending_bond);
+                }
+                pending_bond = BondOrder::Single;
+                prev = Some(idx);
+                i += advance;
+            }
+            _ => return Err(LinNotError::UnexpectedChar { pos: i, ch: c }),
+        }
+    }
+    if !branch_stack.is_empty() {
+        return Err(LinNotError::UnbalancedParen { pos: chars.len() });
+    }
+    if pending_bond != BondOrder::Single {
+        return Err(LinNotError::DanglingBondSymbol { pos: chars.len() });
+    }
+    if let Some((&label, _)) = open_rings.iter().next() {
+        return Err(LinNotError::DanglingRingBond { label });
+    }
+    mol.assign_partial_charges();
+    Ok(mol)
+}
+
+/// Renumbering-robust structural comparison: element multiset, typed bond
+/// multiset and per-element degree sequences must all match. This is a
+/// strong necessary condition for graph isomorphism (the writer renumbers
+/// atoms into DFS order, so index-wise comparison would be wrong), and in
+/// practice it separates every distinct generated compound.
+pub fn same_graph(a: &Molecule, b: &Molecule) -> bool {
+    if a.num_atoms() != b.num_atoms() || a.bonds.len() != b.bonds.len() {
+        return false;
+    }
+    /// (sorted atomic numbers, sorted typed bonds, sorted (element, degree)).
+    type Signature = (Vec<u8>, Vec<(u8, u8, usize)>, Vec<(u8, usize)>);
+    fn signature(m: &Molecule) -> Signature {
+        let mut elems: Vec<u8> = m.atoms.iter().map(|x| x.element.atomic_number()).collect();
+        elems.sort_unstable();
+        let mut bonds: Vec<(u8, u8, usize)> = m
+            .bonds
+            .iter()
+            .map(|bd| {
+                let x = m.atoms[bd.a].element.atomic_number();
+                let y = m.atoms[bd.b].element.atomic_number();
+                (x.min(y), x.max(y), bd.order.valence())
+            })
+            .collect();
+        bonds.sort_unstable();
+        let degrees = m.degrees();
+        let mut deg: Vec<(u8, usize)> = m
+            .atoms
+            .iter()
+            .zip(&degrees)
+            .map(|(at, &d)| (at.element.atomic_number(), d))
+            .collect();
+        deg.sort_unstable();
+        (elems, bonds, deg)
+    }
+    signature(a) == signature(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genmol::{generate_molecule, MolGenConfig};
+
+    #[test]
+    fn writes_simple_chain() {
+        let mut m = Molecule::new("propanol-ish");
+        let c1 = m.add_atom(Atom::new(Element::C, Vec3::ZERO));
+        let c2 = m.add_atom(Atom::new(Element::C, Vec3::new(1.5, 0.0, 0.0)));
+        let o = m.add_atom(Atom::new(Element::O, Vec3::new(3.0, 0.0, 0.0)));
+        m.add_bond(c1, c2, BondOrder::Single);
+        m.add_bond(c2, o, BondOrder::Single);
+        assert_eq!(write_linnot(&m), "CCO");
+    }
+
+    #[test]
+    fn writes_branch_and_double_bond() {
+        // C(=O)C : acetaldehyde-like fragment
+        let mut m = Molecule::new("m");
+        let c1 = m.add_atom(Atom::new(Element::C, Vec3::ZERO));
+        let o = m.add_atom(Atom::new(Element::O, Vec3::new(0.0, 1.2, 0.0)));
+        let c2 = m.add_atom(Atom::new(Element::C, Vec3::new(1.5, 0.0, 0.0)));
+        m.add_bond(c1, o, BondOrder::Double);
+        m.add_bond(c1, c2, BondOrder::Single);
+        assert_eq!(write_linnot(&m), "C(=O)C");
+    }
+
+    #[test]
+    fn ring_round_trip() {
+        // Cyclohexane: C0CCCCC0 (label digits start at 0 here).
+        let mut m = Molecule::new("ring");
+        for k in 0..6 {
+            m.add_atom(Atom::new(Element::C, Vec3::new(k as f64, 0.0, 0.0)));
+        }
+        for k in 1..6 {
+            m.add_bond(k - 1, k, BondOrder::Single);
+        }
+        m.add_bond(0, 5, BondOrder::Single);
+        let s = write_linnot(&m);
+        let back = parse_linnot(&s).unwrap();
+        assert!(same_graph(&m, &back), "{s}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_inputs() {
+        assert!(matches!(parse_linnot(""), Err(LinNotError::Empty)));
+        assert!(matches!(parse_linnot("C)C"), Err(LinNotError::UnbalancedParen { .. })));
+        assert!(matches!(parse_linnot("C(C"), Err(LinNotError::UnbalancedParen { .. })));
+        assert!(matches!(parse_linnot("Xx"), Err(LinNotError::UnknownElement { .. })));
+        assert!(matches!(parse_linnot("C1CC"), Err(LinNotError::DanglingRingBond { .. })));
+        assert!(matches!(parse_linnot("(CC)"), Err(LinNotError::BondWithoutAtom { .. })));
+        assert!(matches!(parse_linnot("C$"), Err(LinNotError::UnexpectedChar { .. })));
+        assert!(matches!(parse_linnot("C00"), Err(LinNotError::SelfRingBond { .. })));
+        assert!(matches!(parse_linnot("C(=)O"), Err(LinNotError::DanglingBondSymbol { .. })));
+        assert!(matches!(parse_linnot("CC="), Err(LinNotError::DanglingBondSymbol { .. })));
+    }
+
+    #[test]
+    fn two_letter_elements_parse() {
+        let ok = parse_linnot("C(Cl)(Br)I").unwrap();
+        assert_eq!(ok.num_atoms(), 4);
+        assert_eq!(ok.atoms[1].element, Element::Cl);
+        assert_eq!(ok.atoms[2].element, Element::Br);
+        assert_eq!(ok.atoms[3].element, Element::I);
+    }
+
+    #[test]
+    fn generated_molecules_round_trip() {
+        for seed in 0..30 {
+            let m = generate_molecule(&MolGenConfig::default(), "m", seed);
+            let s = write_linnot(&m);
+            let back = parse_linnot(&s).unwrap_or_else(|e| panic!("seed {seed}: {e} in {s}"));
+            assert!(
+                same_graph(&m, &back),
+                "seed {seed}: graph mismatch for {s} ({} vs {} bonds)",
+                m.bonds.len(),
+                back.bonds.len()
+            );
+        }
+    }
+
+    #[test]
+    fn notation_is_deterministic() {
+        let m = generate_molecule(&MolGenConfig::default(), "m", 7);
+        assert_eq!(write_linnot(&m), write_linnot(&m));
+    }
+}

@@ -1,0 +1,395 @@
+//! Molecules: atoms, bonds, conformers and the descriptors the screening
+//! pipeline filters on.
+
+use crate::element::Element;
+use crate::geom::{Rotation, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// One atom of a molecule or pocket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Atom {
+    pub element: Element,
+    pub pos: Vec3,
+    /// Gasteiger-lite partial charge in elementary-charge units.
+    pub partial_charge: f64,
+}
+
+impl Atom {
+    pub fn new(element: Element, pos: Vec3) -> Self {
+        Self { element, pos, partial_charge: 0.0 }
+    }
+}
+
+/// Covalent bond order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BondOrder {
+    Single,
+    Double,
+    Triple,
+}
+
+impl BondOrder {
+    /// Valence units the bond consumes on each endpoint.
+    pub fn valence(self) -> usize {
+        match self {
+            BondOrder::Single => 1,
+            BondOrder::Double => 2,
+            BondOrder::Triple => 3,
+        }
+    }
+}
+
+/// A covalent bond between atom indices `a < b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bond {
+    pub a: usize,
+    pub b: usize,
+    pub order: BondOrder,
+}
+
+/// A small molecule with one 3-D conformer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Molecule {
+    pub name: String,
+    pub atoms: Vec<Atom>,
+    pub bonds: Vec<Bond>,
+}
+
+impl Molecule {
+    /// Creates an empty named molecule.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), atoms: Vec::new(), bonds: Vec::new() }
+    }
+
+    /// Number of atoms.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of non-hydrogen atoms.
+    pub fn num_heavy_atoms(&self) -> usize {
+        self.atoms.iter().filter(|a| a.element != Element::H).count()
+    }
+
+    /// Adds an atom, returning its index.
+    pub fn add_atom(&mut self, atom: Atom) -> usize {
+        self.atoms.push(atom);
+        self.atoms.len() - 1
+    }
+
+    /// Adds a bond (indices are normalized so `a < b`); panics on
+    /// out-of-range or self bonds.
+    pub fn add_bond(&mut self, a: usize, b: usize, order: BondOrder) {
+        assert!(a != b, "self-bond on atom {a}");
+        assert!(a < self.atoms.len() && b < self.atoms.len(), "bond index out of range");
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        self.bonds.push(Bond { a, b, order });
+    }
+
+    /// Molecular weight in Daltons.
+    pub fn molecular_weight(&self) -> f64 {
+        self.atoms.iter().map(|a| a.element.mass()).sum()
+    }
+
+    /// Geometric centroid of all atoms.
+    pub fn centroid(&self) -> Vec3 {
+        if self.atoms.is_empty() {
+            return Vec3::ZERO;
+        }
+        let mut c = Vec3::ZERO;
+        for a in &self.atoms {
+            c = c.add(a.pos);
+        }
+        c.scale(1.0 / self.atoms.len() as f64)
+    }
+
+    /// Radius of gyration (spread of the conformer).
+    pub fn radius_of_gyration(&self) -> f64 {
+        if self.atoms.is_empty() {
+            return 0.0;
+        }
+        let c = self.centroid();
+        let s: f64 = self.atoms.iter().map(|a| a.pos.dist2(c)).sum();
+        (s / self.atoms.len() as f64).sqrt()
+    }
+
+    /// Translates every atom by `delta`.
+    pub fn translate(&mut self, delta: Vec3) {
+        for a in &mut self.atoms {
+            a.pos = a.pos.add(delta);
+        }
+    }
+
+    /// Rotates the conformer about its centroid.
+    pub fn rotate_about_centroid(&mut self, rot: &Rotation) {
+        let c = self.centroid();
+        for a in &mut self.atoms {
+            a.pos = rot.apply(a.pos.sub(c)).add(c);
+        }
+    }
+
+    /// Per-atom degree (number of bonds touching each atom).
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.atoms.len()];
+        for b in &self.bonds {
+            d[b.a] += 1;
+            d[b.b] += 1;
+        }
+        d
+    }
+
+    /// Valence units already consumed per atom.
+    pub fn used_valence(&self) -> Vec<usize> {
+        let mut v = vec![0usize; self.atoms.len()];
+        for b in &self.bonds {
+            v[b.a] += b.order.valence();
+            v[b.b] += b.order.valence();
+        }
+        v
+    }
+
+    /// Adjacency list over bonds.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.atoms.len()];
+        for b in &self.bonds {
+            adj[b.a].push(b.b);
+            adj[b.b].push(b.a);
+        }
+        adj
+    }
+
+    /// True when the bond graph is a single connected component.
+    pub fn is_connected(&self) -> bool {
+        if self.atoms.is_empty() {
+            return true;
+        }
+        let adj = self.adjacency();
+        let mut seen = vec![false; self.atoms.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(i) = stack.pop() {
+            for &j in &adj[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    count += 1;
+                    stack.push(j);
+                }
+            }
+        }
+        count == self.atoms.len()
+    }
+
+    /// Marks which bonds are bridges (removal disconnects the graph), via
+    /// Tarjan's low-link algorithm. Bonds inside rings are not bridges.
+    pub fn bridge_bonds(&self) -> Vec<bool> {
+        let n = self.atoms.len();
+        let adj: Vec<Vec<(usize, usize)>> = {
+            let mut a = vec![Vec::new(); n];
+            for (bi, b) in self.bonds.iter().enumerate() {
+                a[b.a].push((b.b, bi));
+                a[b.b].push((b.a, bi));
+            }
+            a
+        };
+        let mut disc = vec![usize::MAX; n];
+        let mut low = vec![usize::MAX; n];
+        let mut is_bridge = vec![false; self.bonds.len()];
+        let mut timer = 0usize;
+        // Iterative DFS to avoid recursion limits on long chains.
+        for start in 0..n {
+            if disc[start] != usize::MAX {
+                continue;
+            }
+            // stack entries: (node, parent_edge, neighbor cursor)
+            let mut stack: Vec<(usize, usize, usize)> = vec![(start, usize::MAX, 0)];
+            disc[start] = timer;
+            low[start] = timer;
+            timer += 1;
+            while let Some(&(u, pe, cursor)) = stack.last() {
+                if cursor < adj[u].len() {
+                    stack.last_mut().expect("non-empty").2 += 1;
+                    let (v, ei) = adj[u][cursor];
+                    if ei == pe {
+                        continue;
+                    }
+                    if disc[v] == usize::MAX {
+                        disc[v] = timer;
+                        low[v] = timer;
+                        timer += 1;
+                        stack.push((v, ei, 0));
+                    } else {
+                        low[u] = low[u].min(disc[v]);
+                    }
+                } else {
+                    stack.pop();
+                    if let Some(&(p, _, _)) = stack.last() {
+                        low[p] = low[p].min(low[u]);
+                        if low[u] > disc[p] {
+                            is_bridge[pe] = true;
+                        }
+                    }
+                }
+            }
+        }
+        is_bridge
+    }
+
+    /// Rotatable bonds: single-order bridges whose endpoints are both
+    /// non-terminal heavy atoms — the definition Vina's torsion-count
+    /// penalty uses.
+    pub fn num_rotatable_bonds(&self) -> usize {
+        let bridges = self.bridge_bonds();
+        let degrees = self.degrees();
+        self.bonds
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| {
+                bridges[*i]
+                    && b.order == BondOrder::Single
+                    && degrees[b.a] > 1
+                    && degrees[b.b] > 1
+                    && self.atoms[b.a].element != Element::H
+                    && self.atoms[b.b].element != Element::H
+            })
+            .count()
+    }
+
+    /// Crude cLogP-style lipophilicity descriptor: hydrophobic atoms add,
+    /// polar atoms subtract. Used by the drug-likeness filters and the
+    /// assay simulator's solubility confounder.
+    pub fn logp_estimate(&self) -> f64 {
+        self.atoms
+            .iter()
+            .map(|a| match a.element {
+                Element::C => 0.36,
+                Element::S => 0.25,
+                Element::F | Element::Cl | Element::Br | Element::I => 0.55,
+                Element::N => -0.60,
+                Element::O => -0.70,
+                Element::P => -0.40,
+                Element::H => 0.0,
+            })
+            .sum()
+    }
+
+    /// Count of hydrogen-bond donors (heavy-atom convention).
+    pub fn num_hbond_donors(&self) -> usize {
+        self.atoms.iter().filter(|a| a.element.is_hbond_donor()).count()
+    }
+
+    /// Count of hydrogen-bond acceptors.
+    pub fn num_hbond_acceptors(&self) -> usize {
+        self.atoms.iter().filter(|a| a.element.is_hbond_acceptor()).count()
+    }
+
+    /// Assigns Gasteiger-lite partial charges: each bond shifts charge from
+    /// the less to the more electronegative endpoint proportionally to the
+    /// electronegativity difference.
+    pub fn assign_partial_charges(&mut self) {
+        for a in &mut self.atoms {
+            a.partial_charge = 0.0;
+        }
+        for b in &self.bonds {
+            let ea = self.atoms[b.a].element.electronegativity();
+            let eb = self.atoms[b.b].element.electronegativity();
+            let shift = 0.08 * (eb - ea) * b.order.valence() as f64;
+            self.atoms[b.a].partial_charge += shift;
+            self.atoms[b.b].partial_charge -= shift;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Molecule {
+        let mut m = Molecule::new("chain");
+        for i in 0..n {
+            m.add_atom(Atom::new(Element::C, Vec3::new(i as f64 * 1.5, 0.0, 0.0)));
+        }
+        for i in 1..n {
+            m.add_bond(i - 1, i, BondOrder::Single);
+        }
+        m
+    }
+
+    fn ring(n: usize) -> Molecule {
+        let mut m = chain(n);
+        m.add_bond(0, n - 1, BondOrder::Single);
+        m
+    }
+
+    #[test]
+    fn weight_and_centroid() {
+        let m = chain(3);
+        assert!((m.molecular_weight() - 3.0 * 12.011).abs() < 1e-9);
+        assert!((m.centroid().x - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translate_and_rotate_preserve_internal_geometry() {
+        let mut m = chain(4);
+        let d01 = m.atoms[0].pos.dist(m.atoms[1].pos);
+        m.translate(Vec3::new(3.0, -2.0, 1.0));
+        m.rotate_about_centroid(&Rotation::about_axis(Vec3::new(0.0, 1.0, 1.0), 0.7));
+        assert!((m.atoms[0].pos.dist(m.atoms[1].pos) - d01).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chain_bonds_are_bridges_ring_bonds_are_not() {
+        let c = chain(5);
+        assert!(c.bridge_bonds().iter().all(|&b| b));
+        let r = ring(6);
+        assert!(r.bridge_bonds().iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn ring_with_tail_mixes_bridges() {
+        let mut m = ring(5);
+        let t = m.add_atom(Atom::new(Element::C, Vec3::new(10.0, 0.0, 0.0)));
+        m.add_bond(0, t, BondOrder::Single);
+        let bridges = m.bridge_bonds();
+        assert!(bridges[m.bonds.len() - 1], "tail bond must be a bridge");
+        assert_eq!(bridges.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn rotatable_bond_counting() {
+        // Butane-like chain C-C-C-C: the middle bond is rotatable, the
+        // terminal ones are not (degree-1 endpoints).
+        let m = chain(4);
+        assert_eq!(m.num_rotatable_bonds(), 1);
+        // A pure ring has none.
+        assert_eq!(ring(6).num_rotatable_bonds(), 0);
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut m = chain(3);
+        assert!(m.is_connected());
+        m.add_atom(Atom::new(Element::O, Vec3::new(99.0, 0.0, 0.0)));
+        assert!(!m.is_connected());
+    }
+
+    #[test]
+    fn partial_charges_are_conservative_and_polar() {
+        let mut m = Molecule::new("co");
+        let c = m.add_atom(Atom::new(Element::C, Vec3::ZERO));
+        let o = m.add_atom(Atom::new(Element::O, Vec3::new(1.4, 0.0, 0.0)));
+        m.add_bond(c, o, BondOrder::Single);
+        m.assign_partial_charges();
+        let total: f64 = m.atoms.iter().map(|a| a.partial_charge).sum();
+        assert!(total.abs() < 1e-12, "charge must be conserved");
+        assert!(m.atoms[o].partial_charge < 0.0, "oxygen pulls charge");
+        assert!(m.atoms[c].partial_charge > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-bond")]
+    fn self_bonds_rejected() {
+        let mut m = chain(2);
+        m.add_bond(1, 1, BondOrder::Single);
+    }
+}

@@ -1,0 +1,285 @@
+//! Synthetic protein binding pockets for the four SARS-CoV-2 targets.
+//!
+//! The paper screens two binding sites on the spike protein (`spike1`,
+//! `spike2`) and two conformations of the main-protease active site
+//! (`protease1`, `protease2`). We cannot ship the crystal structures
+//! (PDB 6LU7 etc.), so each target is a procedurally generated pocket: a
+//! roughly hemispherical shell of protein atoms around an origin-centered
+//! cavity, with per-target size and chemistry matching the paper's
+//! qualitative description — Mpro sites are large pockets, spike sites are
+//! small and shallow (§5.3). `protease2` is the same site as `protease1`
+//! under a conformational perturbation.
+
+use crate::element::Element;
+use crate::geom::Vec3;
+use crate::mol::Atom;
+use dftensor::rng::{derive_seed, normal_with, rng, uniform};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The four screening targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetSite {
+    Protease1,
+    Protease2,
+    Spike1,
+    Spike2,
+}
+
+impl TargetSite {
+    pub const ALL: [TargetSite; 4] =
+        [TargetSite::Protease1, TargetSite::Protease2, TargetSite::Spike1, TargetSite::Spike2];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetSite::Protease1 => "protease1",
+            TargetSite::Protease2 => "protease2",
+            TargetSite::Spike1 => "spike1",
+            TargetSite::Spike2 => "spike2",
+        }
+    }
+
+    /// Parent protein.
+    pub fn protein(self) -> &'static str {
+        match self {
+            TargetSite::Protease1 | TargetSite::Protease2 => "Mpro",
+            TargetSite::Spike1 | TargetSite::Spike2 => "spike",
+        }
+    }
+
+    /// Assay concentration used experimentally: 100 µM for Mpro, 10 µM for
+    /// spike (§5.2).
+    pub fn assay_concentration_um(self) -> f64 {
+        match self.protein() {
+            "Mpro" => 100.0,
+            _ => 10.0,
+        }
+    }
+
+    fn spec(self) -> PocketSpec {
+        match self {
+            // Large, enclosed protease pockets; conformation 2 is the same
+            // chemistry with perturbed geometry.
+            TargetSite::Protease1 => PocketSpec {
+                base_seed_stream: 0xA1,
+                radius: 10.5,
+                num_atoms: 150,
+                hydrophobic_frac: 0.46,
+                acceptor_frac: 0.30,
+                openness: 0.35,
+                conformational_jitter: 0.0,
+            },
+            TargetSite::Protease2 => PocketSpec {
+                base_seed_stream: 0xA1, // same site...
+                radius: 10.5,
+                num_atoms: 150,
+                hydrophobic_frac: 0.46,
+                acceptor_frac: 0.30,
+                openness: 0.35,
+                conformational_jitter: 0.9, // ...different conformation
+            },
+            // Small, shallow spike interface sites.
+            TargetSite::Spike1 => PocketSpec {
+                base_seed_stream: 0xB1,
+                radius: 6.8,
+                num_atoms: 70,
+                hydrophobic_frac: 0.30,
+                acceptor_frac: 0.42,
+                openness: 0.65,
+                conformational_jitter: 0.0,
+            },
+            TargetSite::Spike2 => PocketSpec {
+                base_seed_stream: 0xB2,
+                radius: 7.4,
+                num_atoms: 78,
+                hydrophobic_frac: 0.34,
+                acceptor_frac: 0.38,
+                openness: 0.60,
+                conformational_jitter: 0.0,
+            },
+        }
+    }
+}
+
+/// Per-target pocket generation parameters.
+#[derive(Debug, Clone, Copy)]
+struct PocketSpec {
+    base_seed_stream: u64,
+    /// Shell radius in Å; also the cavity size a ligand can occupy.
+    radius: f64,
+    num_atoms: usize,
+    hydrophobic_frac: f64,
+    acceptor_frac: f64,
+    /// Fraction of the sphere left open as the entrance (0 = fully
+    /// enclosed, 1 = flat surface patch).
+    openness: f64,
+    /// Positional noise applied after generation to model an alternative
+    /// conformation of the same site.
+    conformational_jitter: f64,
+}
+
+/// A receptor binding site: a shell of protein atoms around the origin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BindingPocket {
+    pub target: TargetSite,
+    pub atoms: Vec<Atom>,
+    /// Cavity radius in Å (ligand placement volume).
+    pub radius: f64,
+    /// Unit vector of the pocket entrance (ligands enter along -entrance).
+    pub entrance: Vec3,
+}
+
+impl BindingPocket {
+    /// Deterministically generates the pocket for a target under a campaign
+    /// seed. `protease1`/`protease2` share a base structure and differ by a
+    /// conformational perturbation, mirroring the two Mpro conformations.
+    pub fn generate(target: TargetSite, campaign_seed: u64) -> BindingPocket {
+        let spec = target.spec();
+        // The base structure seed ignores the conformational jitter so the
+        // two protease conformations start identical.
+        let mut r = rng(derive_seed(campaign_seed, spec.base_seed_stream));
+        let mut atoms = Vec::with_capacity(spec.num_atoms);
+        // The entrance cap is around +z: atoms are only placed where
+        // z/r < 1 - 2*openness.
+        let z_cap = 1.0 - 2.0 * spec.openness;
+        while atoms.len() < spec.num_atoms {
+            // Uniform direction on the sphere.
+            let z = uniform(&mut r, -1.0, 1.0);
+            let phi = uniform(&mut r, 0.0, std::f64::consts::TAU);
+            if z > z_cap {
+                continue; // entrance opening
+            }
+            let xy = (1.0 - z * z).sqrt();
+            let dir = Vec3::new(xy * phi.cos(), xy * phi.sin(), z);
+            let rad = spec.radius + normal_with(&mut r, 1.2, 0.5).abs();
+            let pos = dir.scale(rad);
+            let u: f64 = r.gen();
+            let element = if u < spec.hydrophobic_frac {
+                if r.gen::<f64>() < 0.9 {
+                    Element::C
+                } else {
+                    Element::S
+                }
+            } else if u < spec.hydrophobic_frac + spec.acceptor_frac {
+                if r.gen::<f64>() < 0.6 {
+                    Element::O
+                } else {
+                    Element::N
+                }
+            } else if u < spec.hydrophobic_frac + spec.acceptor_frac + 0.18 {
+                Element::N
+            } else {
+                Element::C
+            };
+            let mut atom = Atom::new(element, pos);
+            // Protein partial charges: polar atoms carry fractional charge.
+            atom.partial_charge = match element {
+                Element::O => normal_with(&mut r, -0.45, 0.08),
+                Element::N => normal_with(&mut r, -0.30, 0.10),
+                Element::S => normal_with(&mut r, -0.10, 0.05),
+                _ => normal_with(&mut r, 0.05, 0.05),
+            };
+            atoms.push(atom);
+        }
+        // Conformational perturbation for the alternate protease state —
+        // seeded separately so it is deterministic per target.
+        if spec.conformational_jitter > 0.0 {
+            let mut jr = rng(derive_seed(campaign_seed, spec.base_seed_stream ^ 0xC0FFEE));
+            for a in &mut atoms {
+                a.pos = a.pos.add(Vec3::new(
+                    normal_with(&mut jr, 0.0, spec.conformational_jitter),
+                    normal_with(&mut jr, 0.0, spec.conformational_jitter),
+                    normal_with(&mut jr, 0.0, spec.conformational_jitter),
+                ));
+            }
+        }
+        BindingPocket {
+            target,
+            atoms,
+            radius: spec.radius,
+            entrance: Vec3::new(0.0, 0.0, 1.0),
+        }
+    }
+
+    /// Number of pocket atoms.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Fraction of hydrophobic pocket atoms (used by tests and the oracle).
+    pub fn hydrophobic_fraction(&self) -> f64 {
+        if self.atoms.is_empty() {
+            return 0.0;
+        }
+        self.atoms.iter().filter(|a| a.element.is_hydrophobic()).count() as f64
+            / self.atoms.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_target() {
+        for t in TargetSite::ALL {
+            let a = BindingPocket::generate(t, 11);
+            let b = BindingPocket::generate(t, 11);
+            assert_eq!(a, b, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn protease_pockets_are_larger_than_spike() {
+        let p1 = BindingPocket::generate(TargetSite::Protease1, 1);
+        let s1 = BindingPocket::generate(TargetSite::Spike1, 1);
+        assert!(p1.radius > s1.radius);
+        assert!(p1.num_atoms() > s1.num_atoms());
+    }
+
+    #[test]
+    fn protease_conformations_share_chemistry_but_differ_geometrically() {
+        let p1 = BindingPocket::generate(TargetSite::Protease1, 5);
+        let p2 = BindingPocket::generate(TargetSite::Protease2, 5);
+        assert_eq!(p1.num_atoms(), p2.num_atoms());
+        // Same elements in the same order (same base structure)...
+        for (a, b) in p1.atoms.iter().zip(&p2.atoms) {
+            assert_eq!(a.element, b.element);
+        }
+        // ...but displaced positions.
+        let mean_shift: f64 = p1
+            .atoms
+            .iter()
+            .zip(&p2.atoms)
+            .map(|(a, b)| a.pos.dist(b.pos))
+            .sum::<f64>()
+            / p1.num_atoms() as f64;
+        assert!(mean_shift > 0.5, "mean conformational shift {mean_shift}");
+    }
+
+    #[test]
+    fn pocket_atoms_surround_a_cavity() {
+        for t in TargetSite::ALL {
+            let p = BindingPocket::generate(t, 3);
+            for a in &p.atoms {
+                let d = a.pos.norm();
+                assert!(d >= p.radius * 0.9, "{t:?}: atom inside cavity at {d:.1}");
+            }
+        }
+    }
+
+    #[test]
+    fn entrance_region_is_open() {
+        let p = BindingPocket::generate(TargetSite::Protease1, 9);
+        // No atom directly above the opening (z close to +radius).
+        let blocked = p.atoms.iter().any(|a| a.pos.z / a.pos.norm() > 0.6);
+        assert!(!blocked, "entrance cap should be empty");
+    }
+
+    #[test]
+    fn assay_concentrations_match_paper() {
+        assert_eq!(TargetSite::Protease1.assay_concentration_um(), 100.0);
+        assert_eq!(TargetSite::Spike2.assay_concentration_um(), 10.0);
+    }
+}

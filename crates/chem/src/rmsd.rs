@@ -1,0 +1,100 @@
+//! RMSD between conformers/poses of the same molecule.
+//!
+//! The paper's Figure 2 filters docked core-set complexes to those with a
+//! pose within 1 Å RMSD of the crystal structure; poses here live in the
+//! shared pocket frame so the plain (unaligned) RMSD is the physically
+//! meaningful quantity, with a centroid-removed variant for shape-only
+//! comparisons.
+
+use crate::mol::Molecule;
+
+/// Plain RMSD over matched atom indices (same frame, no alignment).
+pub fn rmsd(a: &Molecule, b: &Molecule) -> f64 {
+    assert_eq!(
+        a.num_atoms(),
+        b.num_atoms(),
+        "RMSD requires equal atom counts: {} vs {}",
+        a.num_atoms(),
+        b.num_atoms()
+    );
+    if a.num_atoms() == 0 {
+        return 0.0;
+    }
+    let s: f64 = a.atoms.iter().zip(&b.atoms).map(|(x, y)| x.pos.dist2(y.pos)).sum();
+    (s / a.num_atoms() as f64).sqrt()
+}
+
+/// RMSD after removing the centroid translation (orientation-sensitive,
+/// translation-invariant).
+pub fn centered_rmsd(a: &Molecule, b: &Molecule) -> f64 {
+    assert_eq!(a.num_atoms(), b.num_atoms(), "RMSD requires equal atom counts");
+    if a.num_atoms() == 0 {
+        return 0.0;
+    }
+    let ca = a.centroid();
+    let cb = b.centroid();
+    let s: f64 = a
+        .atoms
+        .iter()
+        .zip(&b.atoms)
+        .map(|(x, y)| x.pos.sub(ca).dist2(y.pos.sub(cb)))
+        .sum();
+    (s / a.num_atoms() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use crate::geom::{Rotation, Vec3};
+    use crate::mol::Atom;
+
+    fn mol3() -> Molecule {
+        let mut m = Molecule::new("m");
+        m.add_atom(Atom::new(Element::C, Vec3::new(0.0, 0.0, 0.0)));
+        m.add_atom(Atom::new(Element::C, Vec3::new(1.5, 0.0, 0.0)));
+        m.add_atom(Atom::new(Element::O, Vec3::new(1.5, 1.4, 0.0)));
+        m
+    }
+
+    #[test]
+    fn identical_conformers_have_zero_rmsd() {
+        let m = mol3();
+        assert_eq!(rmsd(&m, &m), 0.0);
+        assert_eq!(centered_rmsd(&m, &m), 0.0);
+    }
+
+    #[test]
+    fn translation_shows_in_rmsd_but_not_centered() {
+        let a = mol3();
+        let mut b = mol3();
+        b.translate(Vec3::new(3.0, 4.0, 0.0));
+        assert!((rmsd(&a, &b) - 5.0).abs() < 1e-12);
+        assert!(centered_rmsd(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn rotation_shows_in_centered_rmsd() {
+        let a = mol3();
+        let mut b = mol3();
+        b.rotate_about_centroid(&Rotation::about_axis(Vec3::new(0.0, 0.0, 1.0), 1.0));
+        assert!(centered_rmsd(&a, &b) > 0.1);
+    }
+
+    #[test]
+    fn rmsd_is_symmetric() {
+        let a = mol3();
+        let mut b = mol3();
+        b.translate(Vec3::new(0.3, -0.2, 0.9));
+        assert!((rmsd(&a, &b) - rmsd(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal atom counts")]
+    fn mismatched_sizes_panic() {
+        let a = mol3();
+        let mut b = mol3();
+        b.add_atom(Atom::new(Element::N, Vec3::ZERO));
+        rmsd(&a, &b);
+    }
+}

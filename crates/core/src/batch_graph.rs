@@ -1,0 +1,150 @@
+//! Batching of molecular graphs, PyTorch-Geometric style: the nodes of all
+//! graphs in a batch are stacked into one feature matrix, edges are offset
+//! accordingly, and a segment vector maps each node back to its graph for
+//! the readout.
+
+use dfchem::featurize::MolGraph;
+use dftensor::Tensor;
+
+/// A batch of molecular graphs flattened into one disjoint union graph.
+#[derive(Debug, Clone)]
+pub struct BatchedGraph {
+    /// `[total_nodes, F]` stacked node features.
+    pub node_feats: Tensor,
+    /// Directed covalent edges with batch offsets applied.
+    pub covalent_edges: Vec<(usize, usize)>,
+    /// Per-edge distances aligned with `covalent_edges`.
+    pub covalent_dists: Vec<f64>,
+    /// Directed non-covalent edges with batch offsets applied.
+    pub noncovalent_edges: Vec<(usize, usize)>,
+    /// Per-edge distances aligned with `noncovalent_edges`.
+    pub noncovalent_dists: Vec<f64>,
+    /// Graph id of each node.
+    pub node_graph: Vec<usize>,
+    /// Ligand-node mask over all nodes.
+    pub ligand_mask: Vec<bool>,
+    /// Number of graphs in the batch.
+    pub num_graphs: usize,
+}
+
+impl BatchedGraph {
+    /// Builds the disjoint union of the given graphs.
+    pub fn from_graphs(graphs: &[MolGraph]) -> BatchedGraph {
+        assert!(!graphs.is_empty(), "cannot batch zero graphs");
+        let f = graphs[0].node_feats.shape()[1];
+        let total: usize = graphs.iter().map(|g| g.num_nodes()).sum();
+        let mut node_feats = Tensor::zeros(&[total, f]);
+        let mut covalent_edges = Vec::new();
+        let mut covalent_dists = Vec::new();
+        let mut noncovalent_edges = Vec::new();
+        let mut noncovalent_dists = Vec::new();
+        let mut node_graph = Vec::with_capacity(total);
+        let mut ligand_mask = Vec::with_capacity(total);
+        let mut offset = 0usize;
+        for (gi, g) in graphs.iter().enumerate() {
+            assert_eq!(g.node_feats.shape()[1], f, "inconsistent node feature width");
+            let n = g.num_nodes();
+            node_feats.data_mut()[offset * f..(offset + n) * f]
+                .copy_from_slice(g.node_feats.data());
+            covalent_edges.extend(g.covalent_edges.iter().map(|&(a, b)| (a + offset, b + offset)));
+            covalent_dists.extend_from_slice(&g.covalent_dists);
+            noncovalent_edges
+                .extend(g.noncovalent_edges.iter().map(|&(a, b)| (a + offset, b + offset)));
+            noncovalent_dists.extend_from_slice(&g.noncovalent_dists);
+            node_graph.extend(std::iter::repeat_n(gi, n));
+            ligand_mask.extend_from_slice(&g.ligand_mask);
+            offset += n;
+        }
+        BatchedGraph {
+            node_feats,
+            covalent_edges,
+            covalent_dists,
+            noncovalent_edges,
+            noncovalent_dists,
+            node_graph,
+            ligand_mask,
+            num_graphs: graphs.len(),
+        }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.node_graph.len()
+    }
+
+    /// Edge list split into (sources, targets) index vectors.
+    pub fn edge_endpoints(edges: &[(usize, usize)]) -> (Vec<usize>, Vec<usize>) {
+        let src = edges.iter().map(|&(s, _)| s).collect();
+        let dst = edges.iter().map(|&(_, d)| d).collect();
+        (src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfchem::element::Element;
+    use dfchem::featurize::{build_graph, GraphConfig};
+    use dfchem::geom::Vec3;
+    use dfchem::mol::{Atom, BondOrder, Molecule};
+    use dfchem::pocket::{BindingPocket, TargetSite};
+
+    fn graph_of(n: usize) -> MolGraph {
+        let mut m = Molecule::new("m");
+        for i in 0..n {
+            m.add_atom(Atom::new(Element::C, Vec3::new(i as f64 * 1.5, 0.0, 0.0)));
+        }
+        for i in 1..n {
+            m.add_bond(i - 1, i, BondOrder::Single);
+        }
+        let pocket = BindingPocket {
+            target: TargetSite::Spike1,
+            atoms: vec![],
+            radius: 5.0,
+            entrance: Vec3::new(0.0, 0.0, 1.0),
+        };
+        build_graph(&GraphConfig::default(), &m, &pocket)
+    }
+
+    #[test]
+    fn batching_offsets_edges_and_segments() {
+        let g1 = graph_of(3);
+        let g2 = graph_of(4);
+        let b = BatchedGraph::from_graphs(&[g1.clone(), g2.clone()]);
+        assert_eq!(b.num_nodes(), 7);
+        assert_eq!(b.num_graphs, 2);
+        assert_eq!(b.node_graph, vec![0, 0, 0, 1, 1, 1, 1]);
+        // Second graph's edges are shifted by 3.
+        for &(a, bb) in &b.covalent_edges {
+            if a >= 3 || bb >= 3 {
+                assert!(a >= 3 && bb >= 3, "edges must not cross graphs");
+            }
+        }
+        assert_eq!(
+            b.covalent_edges.len(),
+            g1.covalent_edges.len() + g2.covalent_edges.len()
+        );
+    }
+
+    #[test]
+    fn features_are_copied_in_node_order() {
+        let g1 = graph_of(2);
+        let g2 = graph_of(2);
+        let b = BatchedGraph::from_graphs(&[g1.clone(), g2]);
+        assert_eq!(b.node_feats.row(0), g1.node_feats.row(0));
+        assert_eq!(b.node_feats.shape()[0], 4);
+    }
+
+    #[test]
+    fn single_graph_batch_is_identity() {
+        let g = graph_of(5);
+        let b = BatchedGraph::from_graphs(&[g.clone()]);
+        assert_eq!(b.covalent_edges, g.covalent_edges);
+        assert!(b.node_feats.allclose(&g.node_feats, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero graphs")]
+    fn empty_batch_rejected() {
+        BatchedGraph::from_graphs(&[]);
+    }
+}

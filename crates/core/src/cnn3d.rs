@@ -1,0 +1,279 @@
+//! 3D convolutional network over the voxelized complex.
+//!
+//! Per §3.3.1: relative to the original FAST 3D-CNN this model has two
+//! additional convolutional layers, filters starting at 5×5×5 and reducing
+//! to 3×3×3, the two residual options of Figure 1 as hyper-parameters,
+//! dropout above the first two dense layers, and a second dense layer
+//! whose width is the first reduced by a factor of 2.
+
+use crate::config::Cnn3dConfig;
+use dfchem::featurize::VoxelConfig;
+use dftensor::graph::{Graph, VarId};
+use dftensor::nn::{BatchNorm, Conv3d, Dropout, Linear};
+use dftensor::params::ParamStore;
+use dftensor::rng::rng;
+use dftensor::Tensor;
+use rand::rngs::StdRng;
+
+/// The 3D-CNN model.
+#[derive(Debug, Clone)]
+pub struct Cnn3d {
+    pub config: Cnn3dConfig,
+    conv1: Conv3d,
+    conv2: Conv3d,
+    conv3: Conv3d,
+    conv4: Conv3d,
+    bn1: BatchNorm,
+    bn2: BatchNorm,
+    dense1: Linear,
+    dense2: Linear,
+    out: Linear,
+    drop1: Dropout,
+    drop2: Dropout,
+    dropout_rng: StdRng,
+    /// Spatial grid dim the dense head was sized for.
+    grid_dim: usize,
+}
+
+/// Output of a 3D-CNN forward pass.
+pub struct Cnn3dOutput {
+    /// `[B, 1]` affinity predictions.
+    pub pred: VarId,
+    /// `[B, dense2_width]` latent from Layer^(M-1) (input to fusion).
+    pub latent: VarId,
+}
+
+impl Cnn3d {
+    /// Builds the model for a given voxel grid, registering parameters
+    /// under `prefix`.
+    pub fn new(
+        cfg: &Cnn3dConfig,
+        voxel: &VoxelConfig,
+        ps: &mut ParamStore,
+        prefix: &str,
+        seed: u64,
+    ) -> Self {
+        let mut r = rng(seed);
+        let c_in = VoxelConfig::NUM_CHANNELS;
+        let f1 = cfg.conv_filters_1;
+        let f2 = cfg.conv_filters_2;
+        let conv1 = Conv3d::new(ps, &format!("{prefix}.conv1"), c_in, f1, 5, 2, &mut r);
+        let conv2 = Conv3d::new(ps, &format!("{prefix}.conv2"), f1, f2, 3, 1, &mut r);
+        let conv3 = Conv3d::new(ps, &format!("{prefix}.conv3"), f2, f2, 3, 1, &mut r);
+        let conv4 = Conv3d::new(ps, &format!("{prefix}.conv4"), f2, f2, 3, 1, &mut r);
+        let bn1 = BatchNorm::new(ps, &format!("{prefix}.bn1"), f1);
+        let bn2 = BatchNorm::new(ps, &format!("{prefix}.bn2"), f2);
+        // After three 2× pools.
+        let reduced = (voxel.grid_dim / 2 / 2 / 2).max(1);
+        let flat = f2 * reduced * reduced * reduced;
+        let w1 = cfg.num_dense_nodes;
+        let w2 = (w1 / 2).max(2);
+        Self {
+            config: cfg.clone(),
+            conv1,
+            conv2,
+            conv3,
+            conv4,
+            bn1,
+            bn2,
+            dense1: Linear::new(ps, &format!("{prefix}.dense1"), flat, w1, &mut r),
+            dense2: Linear::new(ps, &format!("{prefix}.dense2"), w1, w2, &mut r),
+            out: Linear::new(ps, &format!("{prefix}.out"), w2, 1, &mut r),
+            drop1: Dropout::new(cfg.dropout_1 as f32),
+            drop2: Dropout::new(cfg.dropout_2 as f32),
+            dropout_rng: rng(dftensor::rng::derive_seed(seed, 0x3D)),
+            grid_dim: voxel.grid_dim,
+        }
+    }
+
+    /// Forward pass over `[B, C, D, H, W]` voxels.
+    pub fn forward(
+        &mut self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        voxels: &Tensor,
+        train: bool,
+        frozen: bool,
+    ) -> Cnn3dOutput {
+        assert_eq!(
+            voxels.shape()[2],
+            self.grid_dim,
+            "voxel grid {} does not match model grid {}",
+            voxels.shape()[2],
+            self.grid_dim
+        );
+        let b = voxels.shape()[0];
+        let x = g.input(voxels.clone());
+
+        // Stage 1: 5³ conv, optional BN, pool.
+        let mut h = self.conv1.forward(g, ps, x, frozen);
+        if self.config.batch_norm {
+            h = self.bn1.forward(g, ps, h, train, frozen);
+        }
+        let h = g.relu(h);
+        let h = g.maxpool3d(h, 2);
+
+        // Stage 2: 3³ conv, optional BN, pool.
+        let mut h = self.conv2.forward(g, ps, h, frozen);
+        if self.config.batch_norm {
+            h = self.bn2.forward(g, ps, h, train, frozen);
+        }
+        let h = g.relu(h);
+        let h2 = g.maxpool3d(h, 2);
+
+        // Stage 3 with residual option 1.
+        let c3 = self.conv3.forward(g, ps, h2, frozen);
+        let c3 = g.relu(c3);
+        let h3 = if self.config.residual_1 { g.add(c3, h2) } else { c3 };
+
+        // Stage 4 with residual option 2, final pool.
+        let c4 = self.conv4.forward(g, ps, h3, frozen);
+        let c4 = g.relu(c4);
+        let h4 = if self.config.residual_2 { g.add(c4, h3) } else { c4 };
+        let h4 = g.maxpool3d(h4, 2);
+
+        // Dense head with dropout above the first two dense layers.
+        let shape = g.value(h4).shape().to_vec();
+        let flat: usize = shape[1..].iter().product();
+        let flat_v = g.reshape(h4, &[b, flat]);
+        let d = self.drop1.forward(g, flat_v, train, &mut self.dropout_rng);
+        let d1 = self.dense1.forward(g, ps, d, frozen);
+        let d1 = g.relu(d1);
+        let d = self.drop2.forward(g, d1, train, &mut self.dropout_rng);
+        let d2 = self.dense2.forward(g, ps, d, frozen);
+        let latent = g.relu(d2);
+        let pred = self.out.forward(g, ps, latent, frozen);
+        Cnn3dOutput { pred, latent }
+    }
+
+    /// Width of the latent vector exposed to fusion.
+    pub fn latent_width(&self) -> usize {
+        (self.config.num_dense_nodes / 2).max(2)
+    }
+
+    /// Initializes the output bias (e.g. to the training-label mean) so
+    /// optimization starts near the label scale instead of zero.
+    pub fn set_output_bias(&self, ps: &mut ParamStore, value: f32) {
+        ps.value_mut(self.out.b).data_mut()[0] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Cnn3d, ParamStore, VoxelConfig) {
+        let mut ps = ParamStore::new();
+        let voxel = VoxelConfig { grid_dim: 8, resolution: 2.0 };
+        let cfg = Cnn3dConfig {
+            conv_filters_1: 4,
+            conv_filters_2: 6,
+            num_dense_nodes: 12,
+            ..Cnn3dConfig::table3()
+        };
+        let model = Cnn3d::new(&cfg, &voxel, &mut ps, "cnn", 7);
+        (model, ps, voxel)
+    }
+
+    fn voxels(b: usize, grid: usize, seed: u64) -> Tensor {
+        let mut r = rng(seed);
+        Tensor::randn(&[b, VoxelConfig::NUM_CHANNELS, grid, grid, grid], &mut r).scale(0.1)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (mut model, ps, _) = tiny();
+        let v = voxels(2, 8, 1);
+        let mut g = Graph::new();
+        let out = model.forward(&mut g, &ps, &v, false, false);
+        assert_eq!(g.value(out.pred).shape(), &[2, 1]);
+        assert_eq!(g.value(out.latent).shape(), &[2, 6]);
+        assert_eq!(model.latent_width(), 6);
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic_train_mode_uses_dropout() {
+        let (mut model, ps, _) = tiny();
+        let v = voxels(1, 8, 2);
+        let eval = |m: &mut Cnn3d| {
+            let mut g = Graph::new();
+            let out = m.forward(&mut g, &ps, &v, false, false);
+            g.value(out.pred).item()
+        };
+        assert_eq!(eval(&mut model), eval(&mut model));
+        // Train-mode passes differ because the dropout RNG advances.
+        let train = |m: &mut Cnn3d| {
+            let mut g = Graph::new();
+            let out = m.forward(&mut g, &ps, &v, true, false);
+            g.value(out.pred).item()
+        };
+        let a = train(&mut model);
+        let b = train(&mut model);
+        assert_ne!(a, b, "dropout should vary across train passes");
+    }
+
+    #[test]
+    fn residual_options_change_the_function() {
+        let voxel = VoxelConfig { grid_dim: 8, resolution: 2.0 };
+        let v = voxels(1, 8, 3);
+        let pred_for = |r1: bool, r2: bool| {
+            let mut ps = ParamStore::new();
+            let cfg = Cnn3dConfig {
+                conv_filters_1: 4,
+                conv_filters_2: 6,
+                num_dense_nodes: 12,
+                residual_1: r1,
+                residual_2: r2,
+                ..Cnn3dConfig::table3()
+            };
+            let mut m = Cnn3d::new(&cfg, &voxel, &mut ps, "cnn", 7);
+            let mut g = Graph::new();
+            let out = m.forward(&mut g, &ps, &v, false, false);
+            g.value(out.pred).item()
+        };
+        // Same seed → same weights; toggling residuals changes the output.
+        assert_ne!(pred_for(false, true), pred_for(false, false));
+        assert_ne!(pred_for(true, true), pred_for(false, true));
+    }
+
+    #[test]
+    fn gradients_reach_conv_and_dense_parameters() {
+        let (mut model, mut ps, _) = tiny();
+        let v = voxels(2, 8, 4);
+        let mut g = Graph::new();
+        let out = model.forward(&mut g, &ps, &v, true, false);
+        let t = g.input(Tensor::zeros(&[2, 1]));
+        let loss = g.mse_loss(out.pred, t);
+        ps.zero_grad();
+        g.backward(loss).accumulate_into(&mut ps);
+        // BN params are unused with batch_norm = false; everything else
+        // must receive gradient.
+        let mut dead = Vec::new();
+        for (id, e) in ps.iter() {
+            let name = ps.name(id);
+            if !name.contains(".bn") && e.grad.norm() == 0.0 {
+                dead.push(name.to_string());
+            }
+        }
+        assert!(dead.is_empty(), "zero-grad params: {dead:?}");
+    }
+
+    #[test]
+    fn batch_norm_path_runs() {
+        let mut ps = ParamStore::new();
+        let voxel = VoxelConfig { grid_dim: 8, resolution: 2.0 };
+        let cfg = Cnn3dConfig {
+            conv_filters_1: 4,
+            conv_filters_2: 6,
+            num_dense_nodes: 12,
+            batch_norm: true,
+            ..Cnn3dConfig::table3()
+        };
+        let mut m = Cnn3d::new(&cfg, &voxel, &mut ps, "cnn", 9);
+        let v = voxels(3, 8, 5);
+        let mut g = Graph::new();
+        let out = m.forward(&mut g, &ps, &v, true, false);
+        assert!(!g.value(out.pred).has_non_finite());
+        assert!(m.bn1.running_mean.norm() > 0.0, "BN stats should update");
+    }
+}

@@ -1,0 +1,430 @@
+//! Hyper-parameter configurations for every model, mirroring the paper's
+//! Tables 1–5.
+//!
+//! * [`SgCnnConfig::table2`] — the optimized SG-CNN (Table 2),
+//! * [`Cnn3dConfig::table3`] — the optimized 3D-CNN (Table 3),
+//! * [`FusionConfig::table4_midlevel`] — the optimized Mid-level Fusion
+//!   model (Table 4),
+//! * [`FusionConfig::table5_coherent`] — the optimized Coherent Fusion
+//!   model (Table 5),
+//! * [`SearchSpace`] — the PB2 ranges of Table 1, consumed by `dfhpo`.
+
+use dfchem::featurize::GraphConfig;
+use dftensor::nn::Activation;
+use dftensor::optim::OptimizerKind;
+use serde::{Deserialize, Serialize};
+
+/// SG-CNN hyper-parameters (Table 2 layout).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SgCnnConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub learning_rate: f64,
+    /// Message-passing steps over each edge type.
+    pub covalent_k: usize,
+    pub noncovalent_k: usize,
+    /// Neighbour thresholds in Å (also drive graph featurization).
+    pub covalent_threshold: f64,
+    pub noncovalent_threshold: f64,
+    /// Hidden/gather widths per stage.
+    pub covalent_gather_width: usize,
+    pub noncovalent_gather_width: usize,
+}
+
+impl SgCnnConfig {
+    /// The optimized values of Table 2.
+    pub fn table2() -> Self {
+        Self {
+            epochs: 213,
+            batch_size: 16,
+            learning_rate: 2.66e-3,
+            covalent_k: 6,
+            noncovalent_k: 3,
+            covalent_threshold: 2.24,
+            noncovalent_threshold: 5.22,
+            covalent_gather_width: 24,
+            noncovalent_gather_width: 128,
+        }
+    }
+
+    /// A scaled-down configuration for CPU training runs.
+    pub fn small() -> Self {
+        Self {
+            epochs: 30,
+            covalent_gather_width: 12,
+            noncovalent_gather_width: 32,
+            covalent_k: 2,
+            noncovalent_k: 2,
+            ..Self::table2()
+        }
+    }
+
+    /// The graph featurization induced by these hyper-parameters.
+    pub fn graph_config(&self) -> GraphConfig {
+        GraphConfig {
+            covalent_k: self.covalent_k.max(1),
+            noncovalent_k: self.noncovalent_k.max(1),
+            covalent_threshold: self.covalent_threshold,
+            noncovalent_threshold: self.noncovalent_threshold,
+        }
+    }
+
+    /// Dense-head widths: the paper sets them from the non-covalent gather
+    /// width, "sequentially reduced in size by a factor of 1.5 and then 2".
+    pub fn dense_widths(&self) -> (usize, usize) {
+        let w1 = ((self.noncovalent_gather_width as f64) / 1.5).round() as usize;
+        let w2 = (w1 as f64 / 2.0).round() as usize;
+        (w1.max(2), w2.max(2))
+    }
+}
+
+/// 3D-CNN hyper-parameters (Table 3 layout).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cnn3dConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub learning_rate: f64,
+    pub batch_norm: bool,
+    /// First dense layer width; the second is reduced by a factor of 2.
+    pub num_dense_nodes: usize,
+    /// Filters for the 5×5×5 and 3×3×3 convolution stages.
+    pub conv_filters_1: usize,
+    pub conv_filters_2: usize,
+    /// Residual options of Figure 1.
+    pub residual_1: bool,
+    pub residual_2: bool,
+    /// Fixed dropouts from Table 1 (0.25 early, 0.125 mid).
+    pub dropout_1: f64,
+    pub dropout_2: f64,
+    /// Random-flip augmentation of training inputs (§3.3.1).
+    pub flip_augment: bool,
+}
+
+impl Cnn3dConfig {
+    /// The optimized values of Table 3.
+    pub fn table3() -> Self {
+        Self {
+            epochs: 75,
+            batch_size: 12,
+            learning_rate: 4.90e-5,
+            batch_norm: false,
+            num_dense_nodes: 128,
+            conv_filters_1: 32,
+            conv_filters_2: 64,
+            residual_1: false,
+            residual_2: true,
+            dropout_1: 0.25,
+            dropout_2: 0.125,
+            flip_augment: true,
+        }
+    }
+
+    /// A scaled-down configuration for CPU training runs.
+    pub fn small() -> Self {
+        Self {
+            epochs: 25,
+            num_dense_nodes: 32,
+            conv_filters_1: 8,
+            conv_filters_2: 12,
+            learning_rate: 4.0e-4,
+            ..Self::table3()
+        }
+    }
+}
+
+/// Which fusion formulation to build (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FusionKind {
+    /// Unweighted mean of the two heads' predictions.
+    Late,
+    /// Learned fusion layers over frozen heads' latent spaces.
+    MidLevel,
+    /// One coherently back-propagated model: fusion layers *and* both
+    /// heads receive gradient.
+    Coherent,
+}
+
+/// Fusion-model hyper-parameters (Tables 4 and 5 layout).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FusionConfig {
+    pub kind: FusionKind,
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub learning_rate: f64,
+    pub batch_norm: bool,
+    pub optimizer: OptimizerKind,
+    pub activation: Activation,
+    /// Residual connections between fusion layers.
+    pub residual_fusion: bool,
+    /// Per-head dense layers before concatenation (Figure 1's optional
+    /// "model-specific" fusion layers).
+    pub model_specific_layers: bool,
+    /// Load pre-trained heads (Table 5: T for Coherent Fusion).
+    pub pretrained: bool,
+    pub dropout_1: f64,
+    pub dropout_2: f64,
+    pub dropout_3: f64,
+    pub num_fusion_layers: usize,
+    /// Width of the fusion dense layers.
+    pub num_dense_nodes: usize,
+}
+
+impl FusionConfig {
+    /// The optimized Mid-level Fusion model of Table 4.
+    pub fn table4_midlevel() -> Self {
+        Self {
+            kind: FusionKind::MidLevel,
+            epochs: 64,
+            batch_size: 1,
+            learning_rate: 4.03e-4,
+            batch_norm: false,
+            optimizer: OptimizerKind::Adam,
+            activation: Activation::Selu,
+            residual_fusion: true,
+            model_specific_layers: true,
+            pretrained: true,
+            dropout_1: 0.251,
+            dropout_2: 0.125,
+            dropout_3: 0.0,
+            num_fusion_layers: 5,
+            num_dense_nodes: 64,
+        }
+    }
+
+    /// The optimized Coherent Fusion model of Table 5: simpler fusion
+    /// architecture (4 layers, no model-specific layers, no residual) with
+    /// markedly stronger dropout, on pre-trained heads.
+    pub fn table5_coherent() -> Self {
+        Self {
+            kind: FusionKind::Coherent,
+            epochs: 18,
+            batch_size: 48,
+            learning_rate: 1.08e-4,
+            batch_norm: false,
+            optimizer: OptimizerKind::Adam,
+            activation: Activation::Selu,
+            residual_fusion: false,
+            model_specific_layers: false,
+            pretrained: true,
+            dropout_1: 0.386,
+            dropout_2: 0.247,
+            dropout_3: 0.055,
+            num_fusion_layers: 4,
+            num_dense_nodes: 64,
+        }
+    }
+
+    /// Late Fusion has no learnable fusion parameters.
+    pub fn late() -> Self {
+        Self {
+            kind: FusionKind::Late,
+            epochs: 0,
+            batch_size: 16,
+            learning_rate: 0.0,
+            batch_norm: false,
+            optimizer: OptimizerKind::Adam,
+            activation: Activation::Relu,
+            residual_fusion: false,
+            model_specific_layers: false,
+            pretrained: true,
+            dropout_1: 0.0,
+            dropout_2: 0.0,
+            dropout_3: 0.0,
+            num_fusion_layers: 0,
+            num_dense_nodes: 0,
+        }
+    }
+
+    /// Scaled-down fusion configs for CPU runs.
+    pub fn small(kind: FusionKind) -> Self {
+        let base = match kind {
+            FusionKind::Late => Self::late(),
+            FusionKind::MidLevel => Self::table4_midlevel(),
+            FusionKind::Coherent => Self::table5_coherent(),
+        };
+        Self {
+            epochs: if kind == FusionKind::Late { 0 } else { 16 },
+            batch_size: 8,
+            num_dense_nodes: 24,
+            // Frozen-head latents can be large early in training; keep the
+            // scaled-down fusion rate conservative to avoid divergence.
+            learning_rate: if kind == FusionKind::MidLevel { 1.0e-4 } else { 2.0e-4 },
+            ..base
+        }
+    }
+}
+
+/// One hyper-parameter's admissible values in the PB2 search (Table 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ParamRange {
+    /// Boolean switch (T/F).
+    Bool,
+    /// Discrete list of choices.
+    Choice(Vec<f64>),
+    /// Continuous uniform range.
+    Uniform { lo: f64, hi: f64 },
+    /// Continuous log-uniform range (learning rates).
+    LogUniform { lo: f64, hi: f64 },
+}
+
+/// One named dimension of a search space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchDim {
+    pub name: String,
+    pub range: ParamRange,
+}
+
+/// A model's full search space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchSpace {
+    pub model: String,
+    pub dims: Vec<SearchDim>,
+}
+
+fn dim(name: &str, range: ParamRange) -> SearchDim {
+    SearchDim { name: name.to_string(), range }
+}
+
+impl SearchSpace {
+    /// Table 1, SG-CNN column.
+    pub fn sgcnn() -> SearchSpace {
+        SearchSpace {
+            model: "sgcnn".into(),
+            dims: vec![
+                dim("batch_size", ParamRange::Choice(vec![4.0, 8.0, 12.0, 16.0])),
+                dim("learning_rate", ParamRange::LogUniform { lo: 2e-4, hi: 2e-2 }),
+                dim("covalent_k", ParamRange::Choice(vec![2., 3., 4., 5., 6., 7., 8.])),
+                dim("noncovalent_k", ParamRange::Choice(vec![2., 3., 4., 5., 6., 7., 8.])),
+                dim("covalent_threshold", ParamRange::Uniform { lo: 1.2, hi: 2.6 }),
+                dim("noncovalent_threshold", ParamRange::Uniform { lo: 2.6, hi: 5.9 }),
+                dim(
+                    "covalent_gather_width",
+                    ParamRange::Choice(vec![8., 24., 40., 64., 88., 104., 128.]),
+                ),
+                dim(
+                    "noncovalent_gather_width",
+                    ParamRange::Choice(vec![8., 24., 40., 64., 88., 104., 128.]),
+                ),
+            ],
+        }
+    }
+
+    /// Table 1, 3D-CNN column.
+    pub fn cnn3d() -> SearchSpace {
+        SearchSpace {
+            model: "cnn3d".into(),
+            dims: vec![
+                dim("batch_size", ParamRange::Choice(vec![8.0, 12.0, 24.0])),
+                dim("learning_rate", ParamRange::LogUniform { lo: 1e-6, hi: 1e-4 }),
+                dim("batch_norm", ParamRange::Bool),
+                dim("num_dense_nodes", ParamRange::Choice(vec![40., 64., 88., 104., 128.])),
+                dim("conv_filters_1", ParamRange::Choice(vec![32., 64., 96.])),
+                dim("conv_filters_2", ParamRange::Choice(vec![64., 96., 128.])),
+                dim("residual_1", ParamRange::Bool),
+                dim("residual_2", ParamRange::Bool),
+            ],
+        }
+    }
+
+    /// Table 1, Fusion column.
+    pub fn fusion() -> SearchSpace {
+        SearchSpace {
+            model: "fusion".into(),
+            dims: vec![
+                dim("optimizer", ParamRange::Choice(vec![0.0, 1.0, 2.0, 3.0])),
+                dim("activation", ParamRange::Choice(vec![0.0, 1.0, 2.0])),
+                dim(
+                    "batch_size",
+                    ParamRange::Choice(vec![
+                        1., 2., 4., 5., 8., 12., 16., 24., 28., 34., 38., 48., 56.,
+                    ]),
+                ),
+                dim("learning_rate", ParamRange::LogUniform { lo: 1e-8, hi: 1e-3 }),
+                dim("model_specific_layers", ParamRange::Bool),
+                dim("pretrained", ParamRange::Bool),
+                dim("batch_norm", ParamRange::Bool),
+                dim("dropout_1", ParamRange::Uniform { lo: 0.0, hi: 0.50 }),
+                dim("dropout_2", ParamRange::Uniform { lo: 0.0, hi: 0.25 }),
+                dim("dropout_3", ParamRange::Uniform { lo: 0.0, hi: 0.125 }),
+                dim("num_fusion_layers", ParamRange::Choice(vec![3., 4., 5.])),
+                dim(
+                    "num_dense_nodes",
+                    ParamRange::Choice(vec![8., 24., 40., 64., 88., 104., 128.]),
+                ),
+                dim("residual_fusion", ParamRange::Bool),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_match_paper() {
+        let c = SgCnnConfig::table2();
+        assert_eq!(c.epochs, 213);
+        assert_eq!(c.batch_size, 16);
+        assert!((c.learning_rate - 2.66e-3).abs() < 1e-12);
+        assert_eq!(c.covalent_k, 6);
+        assert_eq!(c.noncovalent_k, 3);
+        assert!((c.noncovalent_threshold - 5.22).abs() < 1e-12);
+        assert!((c.covalent_threshold - 2.24).abs() < 1e-12);
+        assert_eq!(c.noncovalent_gather_width, 128);
+        assert_eq!(c.covalent_gather_width, 24);
+    }
+
+    #[test]
+    fn sgcnn_dense_widths_follow_reduction_rule() {
+        let c = SgCnnConfig::table2();
+        // 128 / 1.5 = 85.33 → 85; 85 / 2 = 42.5 → 43 (round)
+        let (w1, w2) = c.dense_widths();
+        assert_eq!(w1, 85);
+        assert_eq!(w2, 43);
+    }
+
+    #[test]
+    fn table3_values_match_paper() {
+        let c = Cnn3dConfig::table3();
+        assert_eq!(c.epochs, 75);
+        assert_eq!(c.batch_size, 12);
+        assert!((c.learning_rate - 4.90e-5).abs() < 1e-15);
+        assert!(!c.batch_norm);
+        assert_eq!(c.num_dense_nodes, 128);
+        assert_eq!(c.conv_filters_1, 32);
+        assert_eq!(c.conv_filters_2, 64);
+        assert!(!c.residual_1);
+        assert!(c.residual_2);
+    }
+
+    #[test]
+    fn table4_and_5_contrast_matches_paper() {
+        let mid = FusionConfig::table4_midlevel();
+        let coh = FusionConfig::table5_coherent();
+        // The paper's observation: Coherent converged to a simpler fusion
+        // architecture with stronger regularization and larger batches.
+        assert!(coh.num_fusion_layers < mid.num_fusion_layers);
+        assert!(!coh.model_specific_layers && mid.model_specific_layers);
+        assert!(!coh.residual_fusion && mid.residual_fusion);
+        assert!(coh.dropout_1 > mid.dropout_1);
+        assert!(coh.batch_size > mid.batch_size);
+        assert!(coh.epochs < mid.epochs);
+        assert_eq!(mid.activation, Activation::Selu);
+        assert_eq!(coh.activation, Activation::Selu);
+    }
+
+    #[test]
+    fn search_spaces_cover_table1() {
+        assert_eq!(SearchSpace::sgcnn().dims.len(), 8);
+        assert_eq!(SearchSpace::cnn3d().dims.len(), 8);
+        assert_eq!(SearchSpace::fusion().dims.len(), 13);
+    }
+
+    #[test]
+    fn graph_config_propagates_thresholds() {
+        let g = SgCnnConfig::table2().graph_config();
+        assert!((g.noncovalent_threshold - 5.22).abs() < 1e-12);
+        assert_eq!(g.covalent_k, 6);
+    }
+}

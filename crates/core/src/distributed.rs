@@ -1,0 +1,254 @@
+//! Distributed data-parallel training (§3.2).
+//!
+//! The paper distributes individual hyper-parameter trials across 1–12
+//! ranks, each rank holding a model replica and averaging gradients — the
+//! Horovod pattern. Here a rank is a thread: each epoch's batches are
+//! dealt round-robin to replicas, every replica accumulates gradients on
+//! its shard of a step's batches, gradients are averaged (allreduce) and
+//! one optimizer applies the update to the single authoritative parameter
+//! store, which is then re-broadcast.
+//!
+//! As in any synchronous data-parallel setup, N ranks take one optimizer
+//! step per N batches with an N-fold larger effective batch, so the rank
+//! count trades step count against batch size (the classic large-batch
+//! regime) rather than changing the learning problem — which is what let
+//! the paper resize trials freely between 1 and 12 ranks.
+
+use crate::train::{EpochStats, Predictor, TrainConfig, TrainHistory};
+use dfdata::loader::{Batch, DataLoader};
+use dftensor::graph::Graph;
+use dftensor::params::ParamStore;
+use parking_lot::Mutex;
+
+/// A factory producing per-rank replicas of the model. Each replica must
+/// be architecturally identical (they share one parameter store).
+pub trait ReplicaFactory<M: Predictor + Send>: Sync {
+    fn replica(&self) -> M;
+}
+
+impl<M: Predictor + Send, F: Fn() -> M + Sync> ReplicaFactory<M> for F {
+    fn replica(&self) -> M {
+        self()
+    }
+}
+
+/// Trains with `ranks` data-parallel replicas; semantics match
+/// [`crate::train::train`] (MSE objective, best-validation snapshot
+/// restored at the end).
+pub fn train_distributed<M: Predictor + Send>(
+    factory: &dyn ReplicaFactory<M>,
+    ps: &mut ParamStore,
+    train_loader: &DataLoader,
+    val_loader: &DataLoader,
+    cfg: &TrainConfig,
+    ranks: usize,
+) -> TrainHistory {
+    assert!(ranks >= 1, "need at least one rank");
+    let mut opt = cfg.optimizer.build(cfg.learning_rate as f32);
+    let mut history = Vec::with_capacity(cfg.epochs);
+    let mut best_val = f64::INFINITY;
+    let mut best_snapshot = ps.snapshot();
+    let mut val_replica = factory.replica();
+
+    for epoch in 0..cfg.epochs {
+        let batches: Vec<Batch> =
+            train_loader.epoch(dftensor::rng::derive_seed(cfg.seed, epoch as u64)).collect();
+        let mut train_sum = 0.0f64;
+        let mut train_n = 0usize;
+
+        // One optimizer step per `ranks` batches: each rank takes one
+        // batch of the group, gradients are averaged across the group.
+        for group in batches.chunks(ranks) {
+            ps.zero_grad();
+            let group_stats: Mutex<(f64, usize)> = Mutex::new((0.0, 0));
+            let grad_stores: Vec<Mutex<Option<ParamStore>>> =
+                group.iter().map(|_| Mutex::new(None)).collect();
+            crossbeam::scope(|s| {
+                for (slot, batch) in grad_stores.iter().zip(group) {
+                    let ps_ref: &ParamStore = ps;
+                    let stats = &group_stats;
+                    s.spawn(move |_| {
+                        // Each rank owns a replica and a private gradient
+                        // accumulator (a clone of the store).
+                        let mut replica = factory.replica();
+                        let mut local = ps_ref.clone();
+                        let mut g = Graph::new();
+                        let pred = replica.forward_batch(&mut g, ps_ref, batch, true);
+                        let target = g.input(batch.labels.clone());
+                        let loss = g.mse_loss(pred, target);
+                        let l = g.value(loss).item() as f64;
+                        local.zero_grad();
+                        g.backward(loss).accumulate_into(&mut local);
+                        {
+                            let mut st = stats.lock();
+                            st.0 += l * batch.len() as f64;
+                            st.1 += batch.len();
+                        }
+                        *slot.lock() = Some(local);
+                    });
+                }
+            })
+            .expect("rank thread panicked");
+
+            // Allreduce: average rank gradients into the main store.
+            let n_contrib = grad_stores.len().max(1) as f32;
+            for slot in grad_stores {
+                let local = slot.into_inner().expect("rank finished");
+                for (id, entry) in local.iter() {
+                    ps.accumulate_grad(id, &entry.grad);
+                }
+            }
+            ps.scale_grads(1.0 / n_contrib);
+            if cfg.clip_norm > 0.0 {
+                ps.clip_grad_norm(cfg.clip_norm);
+            }
+            opt.step(ps);
+            let (s, n) = group_stats.into_inner();
+            train_sum += s;
+            train_n += n;
+        }
+
+        // Validation on rank 0's replica.
+        let (val_preds, val_labels) = crate::train::predict(&mut val_replica, ps, val_loader);
+        let val_mse = if val_preds.is_empty() {
+            0.0
+        } else {
+            val_preds
+                .iter()
+                .zip(&val_labels)
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f64>()
+                / val_preds.len() as f64
+        };
+        if val_mse < best_val {
+            best_val = val_mse;
+            best_snapshot = ps.snapshot();
+        }
+        history.push(EpochStats {
+            epoch,
+            train_mse: if train_n > 0 { train_sum / train_n as f64 } else { 0.0 },
+            val_mse,
+        });
+    }
+    if cfg.epochs > 0 {
+        ps.restore(&best_snapshot).expect("snapshot from same store");
+    }
+    TrainHistory { epochs: history, best_val_mse: best_val, best_snapshot }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnn3d::Cnn3d;
+    use crate::config::Cnn3dConfig;
+    use dfchem::featurize::VoxelConfig;
+    use dfdata::loader::LoaderConfig;
+    use dfdata::pdbbind::{PdbBind, PdbBindConfig};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<PdbBind>, DataLoader, DataLoader, ParamStore, Cnn3dConfig, VoxelConfig) {
+        let ds = Arc::new(PdbBind::generate(&PdbBindConfig::tiny(), 61));
+        let n = ds.entries.len();
+        let voxel = VoxelConfig { grid_dim: 8, resolution: 2.5 };
+        let loader_cfg = LoaderConfig { batch_size: 4, num_workers: 2, voxel, ..Default::default() };
+        let train_l = DataLoader::new(Arc::clone(&ds), (0..n * 3 / 4).collect(), loader_cfg.clone());
+        let val_l = DataLoader::new(
+            Arc::clone(&ds),
+            (n * 3 / 4..n).collect(),
+            LoaderConfig { shuffle: false, ..loader_cfg },
+        );
+        let cfg = Cnn3dConfig {
+            conv_filters_1: 4,
+            conv_filters_2: 6,
+            num_dense_nodes: 12,
+            flip_augment: false,
+            ..Cnn3dConfig::table3()
+        };
+        (ds, train_l, val_l, ParamStore::new(), cfg, voxel)
+    }
+
+    #[test]
+    fn distributed_training_reduces_loss() {
+        let (_ds, train_l, val_l, mut ps, cfg, voxel) = setup();
+        let model = Cnn3d::new(&cfg, &voxel, &mut ps, "cnn", 5);
+        let factory = move || model.clone();
+        let hist = train_distributed(
+            &factory,
+            &mut ps,
+            &train_l,
+            &val_l,
+            &TrainConfig { epochs: 5, learning_rate: 1e-3, ..Default::default() },
+            3,
+        );
+        let first = hist.epochs.first().unwrap().train_mse;
+        let last = hist.epochs.last().unwrap().train_mse;
+        assert!(last < first, "distributed training should learn: {first:.3} → {last:.3}");
+    }
+
+    #[test]
+    fn rank_counts_learn_equivalently() {
+        // N ranks = one step per N batches with an N-fold batch: the
+        // trajectory differs, but both must learn the same problem to a
+        // comparable level.
+        let run = |ranks: usize| {
+            let (_ds, train_l, val_l, mut ps, cfg, voxel) = setup();
+            let model = Cnn3d::new(&cfg, &voxel, &mut ps, "cnn", 5);
+            let factory = move || model.clone();
+            train_distributed(
+                &factory,
+                &mut ps,
+                &train_l,
+                &val_l,
+                &TrainConfig { epochs: 4, learning_rate: 1e-3, ..Default::default() },
+                ranks,
+            )
+        };
+        let a = run(1);
+        let b = run(3);
+        let improved = |h: &TrainHistory| {
+            h.epochs.last().unwrap().train_mse < h.epochs.first().unwrap().train_mse
+        };
+        assert!(improved(&a), "1-rank run failed to learn");
+        assert!(improved(&b), "3-rank run failed to learn");
+        assert!(
+            b.best_val_mse < a.best_val_mse * 3.0 && a.best_val_mse < b.best_val_mse * 3.0,
+            "rank counts reached very different quality: {} vs {}",
+            a.best_val_mse,
+            b.best_val_mse
+        );
+    }
+
+    #[test]
+    fn dropout_replicas_stay_independent_but_deterministic() {
+        let (_ds, train_l, val_l, mut ps, cfg, voxel) = setup();
+        let model = Cnn3d::new(&cfg, &voxel, &mut ps, "cnn", 9);
+        let factory = move || model.clone();
+        let snap_a = {
+            let mut ps2 = ps.clone();
+            train_distributed(
+                &factory,
+                &mut ps2,
+                &train_l,
+                &val_l,
+                &TrainConfig { epochs: 1, learning_rate: 1e-3, ..Default::default() },
+                2,
+            );
+            ps2.snapshot()
+        };
+        let snap_b = {
+            let mut ps2 = ps.clone();
+            train_distributed(
+                &factory,
+                &mut ps2,
+                &train_l,
+                &val_l,
+                &TrainConfig { epochs: 1, learning_rate: 1e-3, ..Default::default() },
+                2,
+            );
+            ps2.snapshot()
+        };
+        for (x, y) in snap_a.params.iter().zip(&snap_b.params) {
+            assert_eq!(x.data, y.data, "same run twice must be identical: {}", x.name);
+        }
+    }
+}

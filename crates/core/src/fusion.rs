@@ -1,0 +1,367 @@
+//! The three fusion formulations (§2): Late, Mid-level and Coherent.
+//!
+//! All variants share one network shape — a 3D-CNN head, an SG-CNN head
+//! and (for Mid-level/Coherent) fusion layers over the concatenated head
+//! latents. The variants differ only in what receives gradient:
+//!
+//! * **Late** — no fusion parameters at all; the prediction is the
+//!   unweighted mean of the two heads' outputs.
+//! * **Mid-level** — heads are injected frozen; only fusion layers train.
+//! * **Coherent** — the identical graph with the heads injected trainable,
+//!   so one MSE loss back-propagates coherently through fusion layers and
+//!   both heads (the paper's key innovation).
+
+use crate::batch_graph::BatchedGraph;
+use crate::cnn3d::Cnn3d;
+use crate::config::{Cnn3dConfig, FusionConfig, FusionKind, SgCnnConfig};
+use crate::sgcnn::SgCnn;
+use dfchem::featurize::VoxelConfig;
+use dftensor::graph::{Graph, VarId};
+use dftensor::nn::{BatchNorm, Dropout, Linear};
+use dftensor::params::ParamStore;
+use dftensor::rng::{derive_seed, rng};
+use dftensor::Tensor;
+use rand::rngs::StdRng;
+
+/// A complete fusion model over both input representations.
+#[derive(Debug, Clone)]
+pub struct FusionModel {
+    pub config: FusionConfig,
+    pub cnn3d: Cnn3d,
+    pub sgcnn: SgCnn,
+    spec_3d: Option<Linear>,
+    spec_sg: Option<Linear>,
+    fusion_layers: Vec<Linear>,
+    fusion_bns: Vec<BatchNorm>,
+    out: Option<Linear>,
+    drop1: Dropout,
+    drop2: Dropout,
+    drop3: Dropout,
+    dropout_rng: StdRng,
+}
+
+impl FusionModel {
+    /// Builds the model; head hyper-parameters are given separately so the
+    /// same optimized head configs (Tables 2–3) can back every variant.
+    pub fn new(
+        cfg: &FusionConfig,
+        sg_cfg: &SgCnnConfig,
+        cnn_cfg: &Cnn3dConfig,
+        voxel: &VoxelConfig,
+        ps: &mut ParamStore,
+        seed: u64,
+    ) -> Self {
+        let mut r = rng(derive_seed(seed, 0xF0510));
+        let cnn3d = Cnn3d::new(cnn_cfg, voxel, ps, "fusion.cnn3d", derive_seed(seed, 1));
+        let sgcnn = SgCnn::new(sg_cfg, ps, "fusion.sgcnn", derive_seed(seed, 2));
+
+        let l3 = cnn3d.latent_width();
+        let lsg = sgcnn.latent_width();
+        let dn = cfg.num_dense_nodes.max(2);
+
+        let (spec_3d, spec_sg, fusion_layers, fusion_bns, out) =
+            if cfg.kind == FusionKind::Late {
+                (None, None, Vec::new(), Vec::new(), None)
+            } else {
+                let (s3, ssg) = if cfg.model_specific_layers {
+                    (
+                        Some(Linear::new(ps, "fusion.spec3d", l3, dn, &mut r)),
+                        Some(Linear::new(ps, "fusion.specsg", lsg, dn, &mut r)),
+                    )
+                } else {
+                    (None, None)
+                };
+                // Concatenated fusion input: raw latents plus (optionally)
+                // their model-specific projections.
+                let mut width = l3 + lsg;
+                if cfg.model_specific_layers {
+                    width += 2 * dn;
+                }
+                let mut layers = Vec::new();
+                let mut bns = Vec::new();
+                let n_hidden = cfg.num_fusion_layers.saturating_sub(1).max(1);
+                let mut in_w = width;
+                for i in 0..n_hidden {
+                    layers.push(Linear::new(ps, &format!("fusion.f{i}"), in_w, dn, &mut r));
+                    bns.push(BatchNorm::new(ps, &format!("fusion.bn{i}"), dn));
+                    in_w = dn;
+                }
+                let out = Linear::new(ps, "fusion.out", in_w, 1, &mut r);
+                // Down-scale the output weights: the residual SELU stack
+                // amplifies activations ~2× per layer, so a full-scale
+                // random output projection would start predictions an order
+                // of magnitude off the label scale. A small (not zero, so
+                // gradient still reaches the heads) init keeps the first
+                // prediction near the bias, which the trainer sets to the
+                // label mean.
+                ps.value_mut(out.w).map_inplace(|w| w * 0.02);
+                (s3, ssg, layers, bns, Some(out))
+            };
+
+        Self {
+            config: cfg.clone(),
+            cnn3d,
+            sgcnn,
+            spec_3d,
+            spec_sg,
+            fusion_layers,
+            fusion_bns,
+            out,
+            drop1: Dropout::new(cfg.dropout_1 as f32),
+            drop2: Dropout::new(cfg.dropout_2 as f32),
+            drop3: Dropout::new(cfg.dropout_3 as f32),
+            dropout_rng: rng(derive_seed(seed, 0xDD)),
+        }
+    }
+
+    /// True when the heads train along with the fusion layers.
+    pub fn heads_trainable(&self) -> bool {
+        self.config.kind == FusionKind::Coherent
+    }
+
+    /// Initializes the fusion output bias to the given value (typically
+    /// the training-label mean); the heads have their own
+    /// `set_output_bias` for the same purpose.
+    pub fn set_output_bias(&self, ps: &mut ParamStore, value: f32) {
+        if let Some(out) = &self.out {
+            ps.value_mut(out.b).data_mut()[0] = value;
+        }
+    }
+
+    /// Forward pass over a batch (`voxels: [B,C,D,H,W]`, graphs batched).
+    pub fn forward(
+        &mut self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        voxels: &Tensor,
+        graphs: &BatchedGraph,
+        train: bool,
+    ) -> VarId {
+        let heads_frozen = !self.heads_trainable();
+        // In Late/Mid-level fusion the heads also run in eval mode (their
+        // dropout stays off); Coherent fine-tunes them, so they train.
+        let heads_train = train && !heads_frozen;
+        let cnn_out = self.cnn3d.forward(g, ps, voxels, heads_train, heads_frozen);
+        let sg_out = self.sgcnn.forward(g, ps, graphs, heads_train, heads_frozen);
+
+        if self.config.kind == FusionKind::Late {
+            let sum = g.add(cnn_out.pred, sg_out.pred);
+            return g.scale(sum, 0.5);
+        }
+
+        let act = self.config.activation;
+        // Latent standardization: the heads' latent scales are unbounded
+        // (and grow as the heads train), which destabilizes the stacked
+        // SELU fusion layers — the role batch norm plays in the paper's
+        // search space. RMS-normalizing each latent keeps fusion inputs
+        // O(1) without learnable state.
+        let cnn_latent = g.rms_norm_rows(cnn_out.latent, 1e-6);
+        let sg_latent = g.rms_norm_rows(sg_out.latent, 1e-6);
+        let mut parts = vec![cnn_latent, sg_latent];
+        if let (Some(s3), Some(ssg)) = (&self.spec_3d, &self.spec_sg) {
+            let p3 = s3.forward(g, ps, cnn_latent, false);
+            let p3 = act.apply(g, p3);
+            let psg = ssg.forward(g, ps, sg_latent, false);
+            let psg = act.apply(g, psg);
+            parts.push(p3);
+            parts.push(psg);
+        }
+        let mut h = g.concat_cols(&parts);
+        h = self.drop1.forward(g, h, train, &mut self.dropout_rng);
+
+        let n = self.fusion_layers.len();
+        let mid = n / 2;
+        let use_bn = self.config.batch_norm;
+        let residual = self.config.residual_fusion;
+        for i in 0..n {
+            let lin = self.fusion_layers[i].forward(g, ps, h, false);
+            let mut z = act.apply(g, lin);
+            if use_bn {
+                z = self.fusion_bns[i].forward(g, ps, z, train, false);
+            }
+            // Residual connections are only shape-compatible from the
+            // second fusion layer onward (width dn → dn).
+            if residual && i >= 1 {
+                z = g.add(z, h);
+            }
+            h = z;
+            if i + 1 == mid.max(1) {
+                h = self.drop2.forward(g, h, train, &mut self.dropout_rng);
+            }
+        }
+        h = self.drop3.forward(g, h, train, &mut self.dropout_rng);
+        self.out
+            .as_ref()
+            .expect("non-late fusion has an output layer")
+            .forward(g, ps, h, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfchem::featurize::{build_graph, GraphConfig};
+    use dfchem::genmol::{generate_molecule, MolGenConfig};
+    use dfchem::pocket::{BindingPocket, TargetSite};
+
+    fn tiny_voxel() -> VoxelConfig {
+        VoxelConfig { grid_dim: 8, resolution: 2.0 }
+    }
+
+    fn tiny_heads() -> (SgCnnConfig, Cnn3dConfig) {
+        (
+            SgCnnConfig {
+                covalent_gather_width: 6,
+                noncovalent_gather_width: 8,
+                covalent_k: 1,
+                noncovalent_k: 1,
+                ..SgCnnConfig::table2()
+            },
+            Cnn3dConfig {
+                conv_filters_1: 4,
+                conv_filters_2: 6,
+                num_dense_nodes: 8,
+                ..Cnn3dConfig::table3()
+            },
+        )
+    }
+
+    fn tiny_inputs(b: usize) -> (Tensor, BatchedGraph) {
+        let pocket = BindingPocket::generate(TargetSite::Spike1, 2);
+        let mut graphs = Vec::new();
+        let mut r = rng(5);
+        for i in 0..b {
+            let mut lig = generate_molecule(
+                &MolGenConfig { min_heavy: 6, max_heavy: 9, ..Default::default() },
+                "m",
+                i as u64,
+            );
+            let c = lig.centroid();
+            lig.translate(c.scale(-1.0));
+            graphs.push(build_graph(&GraphConfig::default(), &lig, &pocket));
+        }
+        let voxels =
+            Tensor::randn(&[b, VoxelConfig::NUM_CHANNELS, 8, 8, 8], &mut r).scale(0.1);
+        (voxels, BatchedGraph::from_graphs(&graphs))
+    }
+
+    fn build(kind: FusionKind) -> (FusionModel, ParamStore) {
+        let mut ps = ParamStore::new();
+        let (sg, cnn) = tiny_heads();
+        let cfg = FusionConfig { num_dense_nodes: 8, ..FusionConfig::small(kind) };
+        let m = FusionModel::new(&cfg, &sg, &cnn, &tiny_voxel(), &mut ps, 11);
+        (m, ps)
+    }
+
+    #[test]
+    fn late_fusion_is_the_mean_of_heads() {
+        let (mut m, ps) = build(FusionKind::Late);
+        let (v, bg) = tiny_inputs(2);
+        let mut g = Graph::new();
+        let pred = m.forward(&mut g, &ps, &v, &bg, false);
+        let fused = g.value(pred).clone();
+        let mut g2 = Graph::new();
+        let p3 = m.cnn3d.forward(&mut g2, &ps, &v, false, true);
+        let psg = m.sgcnn.forward(&mut g2, &ps, &bg, false, true);
+        for i in 0..2 {
+            let expect =
+                0.5 * (g2.value(p3.pred).data()[i] + g2.value(psg.pred).data()[i]);
+            assert!((fused.data()[i] - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn midlevel_trains_only_fusion_parameters() {
+        let (mut m, mut ps) = build(FusionKind::MidLevel);
+        let (v, bg) = tiny_inputs(2);
+        let mut g = Graph::new();
+        let pred = m.forward(&mut g, &ps, &v, &bg, true);
+        let t = g.input(Tensor::zeros(&[2, 1]));
+        let loss = g.mse_loss(pred, t);
+        ps.zero_grad();
+        g.backward(loss).accumulate_into(&mut ps);
+        for (id, e) in ps.iter() {
+            let name = ps.name(id).to_string();
+            let is_head = name.contains("cnn3d") || name.contains("sgcnn");
+            if is_head {
+                assert_eq!(e.grad.norm(), 0.0, "{name} should be frozen");
+            }
+        }
+        // At least the fusion output layer must receive gradient.
+        let got: f32 = ps
+            .iter()
+            .filter(|(id, _)| ps.name(*id).starts_with("fusion.f") || ps.name(*id).starts_with("fusion.out"))
+            .map(|(_, e)| e.grad.norm())
+            .sum();
+        assert!(got > 0.0, "fusion layers must train");
+    }
+
+    #[test]
+    fn coherent_trains_heads_too() {
+        let (mut m, mut ps) = build(FusionKind::Coherent);
+        let (v, bg) = tiny_inputs(2);
+        let mut g = Graph::new();
+        let pred = m.forward(&mut g, &ps, &v, &bg, true);
+        let t = g.input(Tensor::zeros(&[2, 1]));
+        let loss = g.mse_loss(pred, t);
+        ps.zero_grad();
+        g.backward(loss).accumulate_into(&mut ps);
+        let head_grad: f32 = ps
+            .iter()
+            .filter(|(id, _)| {
+                let n = ps.name(*id);
+                n.contains("cnn3d.conv1") || n.contains("sgcnn.embed_cov")
+            })
+            .map(|(_, e)| e.grad.norm())
+            .sum();
+        assert!(head_grad > 0.0, "coherent fusion must back-propagate into the heads");
+    }
+
+    #[test]
+    fn model_specific_layers_change_architecture() {
+        let mut ps_a = ParamStore::new();
+        let mut ps_b = ParamStore::new();
+        let (sg, cnn) = tiny_heads();
+        let with = FusionConfig {
+            model_specific_layers: true,
+            num_dense_nodes: 8,
+            ..FusionConfig::small(FusionKind::MidLevel)
+        };
+        let without = FusionConfig { model_specific_layers: false, ..with.clone() };
+        FusionModel::new(&with, &sg, &cnn, &tiny_voxel(), &mut ps_a, 1);
+        FusionModel::new(&without, &sg, &cnn, &tiny_voxel(), &mut ps_b, 1);
+        assert!(ps_a.num_scalars() > ps_b.num_scalars());
+    }
+
+    #[test]
+    fn residual_fusion_runs_and_differs() {
+        let (v, bg) = tiny_inputs(2);
+        let pred_with = |residual: bool| {
+            let mut ps = ParamStore::new();
+            let (sg, cnn) = tiny_heads();
+            let cfg = FusionConfig {
+                residual_fusion: residual,
+                num_fusion_layers: 4,
+                num_dense_nodes: 8,
+                ..FusionConfig::small(FusionKind::MidLevel)
+            };
+            let mut m = FusionModel::new(&cfg, &sg, &cnn, &tiny_voxel(), &mut ps, 3);
+            let mut g = Graph::new();
+            let p = m.forward(&mut g, &ps, &v, &bg, false);
+            g.value(p).data().to_vec()
+        };
+        assert_ne!(pred_with(true), pred_with(false));
+    }
+
+    #[test]
+    fn eval_forward_is_deterministic() {
+        let (mut m, ps) = build(FusionKind::Coherent);
+        let (v, bg) = tiny_inputs(3);
+        let run = |m: &mut FusionModel| {
+            let mut g = Graph::new();
+            let p = m.forward(&mut g, &ps, &v, &bg, false);
+            g.value(p).data().to_vec()
+        };
+        assert_eq!(run(&mut m), run(&mut m));
+    }
+}

@@ -1,0 +1,32 @@
+//! `dffusion` — the paper's primary contribution: structure-based Deep
+//! Fusion models for protein–ligand binding-affinity prediction.
+//!
+//! * [`sgcnn`] — PotentialNet-style spatial graph network,
+//! * [`cnn3d`] — volumetric CNN over voxelized complexes,
+//! * [`fusion`] — Late / Mid-level / **Coherent** fusion (the coherently
+//!   back-propagated formulation introduced by the paper),
+//! * [`config`] — hyper-parameter structs mirroring Tables 1–5,
+//! * [`train`] — MSE training with best-validation snapshotting,
+//! * [`batch_graph`] — PyG-style graph batching.
+
+pub mod batch_graph;
+pub mod distributed;
+pub mod finetune;
+pub mod cnn3d;
+pub mod config;
+pub mod fusion;
+pub mod sgcnn;
+pub mod train;
+pub mod workflow;
+
+pub use batch_graph::BatchedGraph;
+pub use cnn3d::{Cnn3d, Cnn3dOutput};
+pub use config::{
+    Cnn3dConfig, FusionConfig, FusionKind, ParamRange, SearchDim, SearchSpace, SgCnnConfig,
+};
+pub use distributed::{train_distributed, ReplicaFactory};
+pub use finetune::{fine_tune_for_target, predict_poses, target_local_dataset, FineTuneConfig, FineTuneReport};
+pub use fusion::FusionModel;
+pub use sgcnn::{SgCnn, SgCnnOutput};
+pub use train::{predict, predict_batch, train, EpochStats, Predictor, TrainConfig, TrainHistory};
+pub use workflow::{train_all_variants, EvalModel, TrainedModels, WorkflowConfig};

@@ -1,0 +1,324 @@
+//! Training and evaluation loops shared by all models.
+//!
+//! Every model implements [`Predictor`] (forward over a [`Batch`] to a
+//! `[B, 1]` prediction node); [`train`] then runs MSE optimization with
+//! per-epoch validation, tracking the best validation snapshot exactly as
+//! the paper's PB2 objective ("minimum validation set MSE loss", §3.2)
+//! requires.
+
+use crate::batch_graph::BatchedGraph;
+use crate::cnn3d::Cnn3d;
+use crate::fusion::FusionModel;
+use crate::sgcnn::SgCnn;
+use dfdata::loader::{Batch, DataLoader};
+use dftensor::graph::{Graph, VarId};
+use dftensor::optim::OptimizerKind;
+use dftensor::params::{ParamSnapshot, ParamStore};
+use serde::{Deserialize, Serialize};
+
+/// A model that can score a featurized batch.
+pub trait Predictor {
+    /// Builds the forward graph for a batch, returning the `[B,1]`
+    /// prediction node.
+    fn forward_batch(&mut self, g: &mut Graph, ps: &ParamStore, batch: &Batch, train: bool)
+        -> VarId;
+}
+
+impl Predictor for Cnn3d {
+    fn forward_batch(
+        &mut self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        batch: &Batch,
+        train: bool,
+    ) -> VarId {
+        self.forward(g, ps, &batch.voxels, train, false).pred
+    }
+}
+
+impl Predictor for SgCnn {
+    fn forward_batch(
+        &mut self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        batch: &Batch,
+        train: bool,
+    ) -> VarId {
+        let bg = BatchedGraph::from_graphs(&batch.graphs);
+        self.forward(g, ps, &bg, train, false).pred
+    }
+}
+
+impl Predictor for FusionModel {
+    fn forward_batch(
+        &mut self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        batch: &Batch,
+        train: bool,
+    ) -> VarId {
+        let bg = BatchedGraph::from_graphs(&batch.graphs);
+        self.forward(g, ps, &batch.voxels, &bg, train)
+    }
+}
+
+/// Training-loop configuration (model hyper-parameters supply the values).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    pub epochs: usize,
+    pub learning_rate: f64,
+    pub optimizer: OptimizerKind,
+    /// Global gradient-norm clip (0 disables).
+    pub clip_norm: f32,
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            learning_rate: 1e-3,
+            optimizer: OptimizerKind::Adam,
+            clip_norm: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Loss trace of one epoch.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EpochStats {
+    pub epoch: usize,
+    pub train_mse: f64,
+    pub val_mse: f64,
+}
+
+/// Full training record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainHistory {
+    pub epochs: Vec<EpochStats>,
+    /// Lowest validation MSE seen.
+    pub best_val_mse: f64,
+    /// Parameter snapshot at the best validation epoch.
+    pub best_snapshot: ParamSnapshot,
+}
+
+/// Trains a model to minimize MSE, restoring the best-validation weights
+/// into `ps` before returning.
+pub fn train(
+    model: &mut dyn Predictor,
+    ps: &mut ParamStore,
+    train_loader: &DataLoader,
+    val_loader: &DataLoader,
+    cfg: &TrainConfig,
+) -> TrainHistory {
+    let mut opt = cfg.optimizer.build(cfg.learning_rate as f32);
+    let mut history = Vec::with_capacity(cfg.epochs);
+    let mut best_val = f64::INFINITY;
+    let mut best_snapshot = ps.snapshot();
+
+    for epoch in 0..cfg.epochs {
+        // --- Train ---
+        let mut train_sum = 0.0f64;
+        let mut train_n = 0usize;
+        for batch in train_loader.epoch(dftensor::rng::derive_seed(cfg.seed, epoch as u64)) {
+            let mut g = Graph::new();
+            let pred = model.forward_batch(&mut g, ps, &batch, true);
+            let target = g.input(batch.labels.clone());
+            let loss = g.mse_loss(pred, target);
+            let l = g.value(loss).item() as f64;
+            train_sum += l * batch.len() as f64;
+            train_n += batch.len();
+            ps.zero_grad();
+            g.backward(loss).accumulate_into(ps);
+            if cfg.clip_norm > 0.0 {
+                ps.clip_grad_norm(cfg.clip_norm);
+            }
+            opt.step(ps);
+        }
+
+        // --- Validate ---
+        let (val_preds, val_labels) = predict(model, ps, val_loader);
+        let val_mse = mse(&val_preds, &val_labels);
+        if val_mse < best_val {
+            best_val = val_mse;
+            best_snapshot = ps.snapshot();
+        }
+        history.push(EpochStats {
+            epoch,
+            train_mse: if train_n > 0 { train_sum / train_n as f64 } else { 0.0 },
+            val_mse,
+        });
+    }
+
+    // Restore the best weights (the paper keeps the minimum-val-MSE model).
+    if cfg.epochs > 0 {
+        ps.restore(&best_snapshot).expect("snapshot from same store");
+    }
+    TrainHistory { epochs: history, best_val_mse: best_val, best_snapshot }
+}
+
+/// Runs the model in eval mode over a loader, returning (preds, labels) in
+/// loader order. Use an unshuffled loader for stable pairing with entries.
+pub fn predict(
+    model: &mut dyn Predictor,
+    ps: &ParamStore,
+    loader: &DataLoader,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut preds = Vec::with_capacity(loader.num_samples());
+    let mut labels = Vec::with_capacity(loader.num_samples());
+    for batch in loader.epoch(0) {
+        let mut g = Graph::new();
+        let p = model.forward_batch(&mut g, ps, &batch, false);
+        preds.extend(g.value(p).data().iter().map(|&v| v as f64));
+        labels.extend(batch.labels.data().iter().map(|&v| v as f64));
+    }
+    (preds, labels)
+}
+
+/// Scores one pre-assembled batch in eval mode.
+pub fn predict_batch(model: &mut dyn Predictor, ps: &ParamStore, batch: &Batch) -> Vec<f64> {
+    let mut g = Graph::new();
+    let p = model.forward_batch(&mut g, ps, batch, false);
+    g.value(p).data().iter().map(|&v| v as f64).collect()
+}
+
+fn mse(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Cnn3dConfig, SgCnnConfig};
+    use dfchem::featurize::{GraphConfig, VoxelConfig};
+    use dfdata::loader::LoaderConfig;
+    use dfdata::pdbbind::{PdbBind, PdbBindConfig};
+    use std::sync::Arc;
+
+    fn loaders() -> (Arc<PdbBind>, DataLoader, DataLoader) {
+        let ds = Arc::new(PdbBind::generate(&PdbBindConfig::tiny(), 13));
+        let n = ds.entries.len();
+        let cfg = LoaderConfig {
+            batch_size: 6,
+            num_workers: 2,
+            voxel: VoxelConfig { grid_dim: 8, resolution: 2.0 },
+            graph: GraphConfig::default(),
+            ..Default::default()
+        };
+        let train =
+            DataLoader::new(Arc::clone(&ds), (0..n * 3 / 4).collect(), cfg.clone());
+        let val = DataLoader::new(
+            Arc::clone(&ds),
+            (n * 3 / 4..n).collect(),
+            LoaderConfig { shuffle: false, ..cfg },
+        );
+        (ds, train, val)
+    }
+
+    #[test]
+    fn training_cnn3d_improves_train_mse() {
+        let (_ds, train_l, val_l) = loaders();
+        let mut ps = ParamStore::new();
+        let voxel = VoxelConfig { grid_dim: 8, resolution: 2.0 };
+        let cfg = Cnn3dConfig {
+            conv_filters_1: 4,
+            conv_filters_2: 6,
+            num_dense_nodes: 12,
+            flip_augment: false,
+            ..Cnn3dConfig::table3()
+        };
+        let mut model = Cnn3d::new(&cfg, &voxel, &mut ps, "cnn", 3);
+        let hist = train(
+            &mut model,
+            &mut ps,
+            &train_l,
+            &val_l,
+            &TrainConfig { epochs: 6, learning_rate: 1e-3, ..Default::default() },
+        );
+        assert_eq!(hist.epochs.len(), 6);
+        let first = hist.epochs.first().unwrap().train_mse;
+        let last = hist.epochs.last().unwrap().train_mse;
+        assert!(last < first, "train MSE should fall: {first:.3} → {last:.3}");
+        assert!(hist.best_val_mse.is_finite());
+    }
+
+    #[test]
+    fn training_sgcnn_improves_train_mse() {
+        let (_ds, train_l, val_l) = loaders();
+        let mut ps = ParamStore::new();
+        let cfg = SgCnnConfig {
+            covalent_gather_width: 6,
+            noncovalent_gather_width: 10,
+            covalent_k: 2,
+            noncovalent_k: 1,
+            ..SgCnnConfig::table2()
+        };
+        let mut model = SgCnn::new(&cfg, &mut ps, "sg", 3);
+        let hist = train(
+            &mut model,
+            &mut ps,
+            &train_l,
+            &val_l,
+            &TrainConfig { epochs: 6, learning_rate: 3e-3, ..Default::default() },
+        );
+        let first = hist.epochs.first().unwrap().train_mse;
+        let last = hist.epochs.last().unwrap().train_mse;
+        assert!(last < first, "train MSE should fall: {first:.3} → {last:.3}");
+    }
+
+    #[test]
+    fn best_weights_are_restored() {
+        let (_ds, train_l, val_l) = loaders();
+        let mut ps = ParamStore::new();
+        let voxel = VoxelConfig { grid_dim: 8, resolution: 2.0 };
+        let cfg = Cnn3dConfig {
+            conv_filters_1: 4,
+            conv_filters_2: 6,
+            num_dense_nodes: 12,
+            flip_augment: false,
+            ..Cnn3dConfig::table3()
+        };
+        let mut model = Cnn3d::new(&cfg, &voxel, &mut ps, "cnn", 5);
+        let hist = train(
+            &mut model,
+            &mut ps,
+            &train_l,
+            &val_l,
+            &TrainConfig { epochs: 4, learning_rate: 1e-3, ..Default::default() },
+        );
+        // Re-evaluating with the restored weights reproduces best_val_mse.
+        let (p, l) = predict(&mut model, &ps, &val_l);
+        let re = mse(&p, &l);
+        assert!(
+            (re - hist.best_val_mse).abs() < 1e-6,
+            "restored val MSE {re} vs recorded {}",
+            hist.best_val_mse
+        );
+    }
+
+    #[test]
+    fn predict_pairs_with_loader_order() {
+        let (ds, _t, val_l) = loaders();
+        let mut ps = ParamStore::new();
+        let voxel = VoxelConfig { grid_dim: 8, resolution: 2.0 };
+        let cfg = Cnn3dConfig {
+            conv_filters_1: 4,
+            conv_filters_2: 6,
+            num_dense_nodes: 12,
+            ..Cnn3dConfig::table3()
+        };
+        let mut model = Cnn3d::new(&cfg, &voxel, &mut ps, "cnn", 7);
+        let (preds, labels) = predict(&mut model, &ps, &val_l);
+        assert_eq!(preds.len(), val_l.num_samples());
+        // Labels match the dataset entries in order (unshuffled loader).
+        let n = ds.entries.len();
+        let expect: Vec<f64> = (n * 3 / 4..n).map(|i| ds.entries[i].pk).collect();
+        for (a, b) in labels.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! End-to-end training workflows: the §3 protocol in one call.
+//!
+//! [`train_all_variants`] reproduces the paper's model-building sequence:
+//! train the SG-CNN and 3D-CNN heads individually on the synthetic
+//! PDBbind (general+refined, quintile-split), then build the three fusion
+//! variants — Late (frozen heads, no training), Mid-level (frozen heads,
+//! trained fusion layers) and Coherent (pre-trained heads fine-tuned
+//! end-to-end) — and evaluate everything on the held-out core set.
+
+use crate::cnn3d::Cnn3d;
+use crate::config::{Cnn3dConfig, FusionConfig, FusionKind, SgCnnConfig};
+use crate::fusion::FusionModel;
+use crate::sgcnn::SgCnn;
+use crate::train::{predict, train, TrainConfig, TrainHistory};
+use dfchem::featurize::VoxelConfig;
+use dfdata::loader::{DataLoader, LoaderConfig};
+use dfdata::pdbbind::{Group, PdbBind};
+use dfdata::split::paper_split;
+use dfmetrics::RegressionReport;
+use dftensor::params::ParamStore;
+use dftensor::rng::derive_seed;
+use std::sync::Arc;
+
+/// Sizing knobs for a workflow run (model widths track the configs).
+#[derive(Debug, Clone)]
+pub struct WorkflowConfig {
+    pub sgcnn: SgCnnConfig,
+    pub cnn3d: Cnn3dConfig,
+    pub midlevel: FusionConfig,
+    pub coherent: FusionConfig,
+    pub voxel: VoxelConfig,
+    pub loader: LoaderConfig,
+    pub seed: u64,
+}
+
+impl WorkflowConfig {
+    /// CPU-tractable sizes for examples and tests.
+    pub fn small(seed: u64) -> WorkflowConfig {
+        let voxel = VoxelConfig { grid_dim: 12, resolution: 2.0 };
+        let sgcnn = SgCnnConfig::small();
+        WorkflowConfig {
+            loader: LoaderConfig {
+                batch_size: 8,
+                num_workers: 4,
+                voxel,
+                graph: sgcnn.graph_config(),
+                ..Default::default()
+            },
+            sgcnn,
+            cnn3d: Cnn3dConfig::small(),
+            midlevel: FusionConfig::small(FusionKind::MidLevel),
+            coherent: FusionConfig::small(FusionKind::Coherent),
+            voxel,
+            seed,
+        }
+    }
+
+    /// An even smaller configuration for unit tests.
+    pub fn tiny(seed: u64) -> WorkflowConfig {
+        let mut cfg = WorkflowConfig::small(seed);
+        cfg.voxel = VoxelConfig { grid_dim: 8, resolution: 2.5 };
+        cfg.loader.voxel = cfg.voxel;
+        cfg.sgcnn.epochs = 3;
+        cfg.sgcnn.covalent_gather_width = 6;
+        cfg.sgcnn.noncovalent_gather_width = 10;
+        cfg.cnn3d.epochs = 3;
+        cfg.cnn3d.conv_filters_1 = 4;
+        cfg.cnn3d.conv_filters_2 = 6;
+        cfg.cnn3d.num_dense_nodes = 12;
+        cfg.midlevel.epochs = 3;
+        cfg.midlevel.num_dense_nodes = 12;
+        cfg.coherent.epochs = 2;
+        cfg.coherent.num_dense_nodes = 12;
+        cfg
+    }
+}
+
+/// Everything the workflow produces.
+pub struct TrainedModels {
+    pub sgcnn: SgCnn,
+    pub sgcnn_params: ParamStore,
+    pub sgcnn_history: TrainHistory,
+    pub cnn3d: Cnn3d,
+    pub cnn3d_params: ParamStore,
+    pub cnn3d_history: TrainHistory,
+    pub late: FusionModel,
+    pub late_params: ParamStore,
+    pub midlevel: FusionModel,
+    pub midlevel_params: ParamStore,
+    pub midlevel_history: TrainHistory,
+    pub coherent: FusionModel,
+    pub coherent_params: ParamStore,
+    pub coherent_history: TrainHistory,
+    pub voxel: VoxelConfig,
+    pub config: WorkflowConfig,
+}
+
+/// Copies trained head weights into a fusion model's parameter store by
+/// name (`sg.` → `fusion.sgcnn.`, `cnn.` → `fusion.cnn3d.`).
+fn load_pretrained_heads(
+    fusion_params: &mut ParamStore,
+    sg_params: &ParamStore,
+    cnn_params: &ParamStore,
+) {
+    let ids: Vec<_> = fusion_params.iter().map(|(id, _)| id).collect();
+    for id in ids {
+        let name = fusion_params.name(id).to_string();
+        let source = if let Some(rest) = name.strip_prefix("fusion.sgcnn.") {
+            sg_params
+                .iter()
+                .find(|(sid, _)| sg_params.name(*sid) == format!("sg.{rest}"))
+                .map(|(_, e)| e.value.clone())
+        } else if let Some(rest) = name.strip_prefix("fusion.cnn3d.") {
+            cnn_params
+                .iter()
+                .find(|(cid, _)| cnn_params.name(*cid) == format!("cnn.{rest}"))
+                .map(|(_, e)| e.value.clone())
+        } else {
+            None
+        };
+        if let Some(v) = source {
+            assert_eq!(
+                v.shape(),
+                fusion_params.value(id).shape(),
+                "pretrained shape mismatch for {name}"
+            );
+            *fusion_params.value_mut(id) = v;
+        }
+    }
+}
+
+/// Runs the full §3 training protocol on a dataset.
+pub fn train_all_variants(dataset: Arc<PdbBind>, cfg: &WorkflowConfig) -> TrainedModels {
+    // --- Splits: quintile sub-sampling on general+refined (§3.1). ---
+    let general = dataset.indices(Group::General);
+    let refined = dataset.indices(Group::Refined);
+    let labels = dataset.labels();
+    let (train_idx, val_idx) = paper_split(&general, &refined, &labels, cfg.seed);
+
+    // Output layers start at the training-label mean so the first epochs
+    // descend the residual structure instead of the global offset.
+    let label_mean = if train_idx.is_empty() {
+        0.0
+    } else {
+        train_idx.iter().map(|&i| labels[i]).sum::<f64>() / train_idx.len() as f64
+    } as f32;
+
+    let train_loader = DataLoader::new(Arc::clone(&dataset), train_idx.clone(), cfg.loader.clone());
+    let train_loader_aug = DataLoader::new(
+        Arc::clone(&dataset),
+        train_idx,
+        LoaderConfig { flip_augment: cfg.cnn3d.flip_augment, ..cfg.loader.clone() },
+    );
+    let val_loader = DataLoader::new(
+        Arc::clone(&dataset),
+        val_idx,
+        LoaderConfig { shuffle: false, ..cfg.loader.clone() },
+    );
+
+    // --- Individual heads. ---
+    let mut sg_params = ParamStore::new();
+    let mut sgcnn = SgCnn::new(&cfg.sgcnn, &mut sg_params, "sg", derive_seed(cfg.seed, 1));
+    sgcnn.set_output_bias(&mut sg_params, label_mean);
+    let sgcnn_history = train(
+        &mut sgcnn,
+        &mut sg_params,
+        &train_loader,
+        &val_loader,
+        &TrainConfig {
+            epochs: cfg.sgcnn.epochs,
+            learning_rate: cfg.sgcnn.learning_rate,
+            seed: derive_seed(cfg.seed, 11),
+            ..Default::default()
+        },
+    );
+
+    let mut cnn_params = ParamStore::new();
+    let mut cnn3d =
+        Cnn3d::new(&cfg.cnn3d, &cfg.voxel, &mut cnn_params, "cnn", derive_seed(cfg.seed, 2));
+    cnn3d.set_output_bias(&mut cnn_params, label_mean);
+    let cnn3d_history = train(
+        &mut cnn3d,
+        &mut cnn_params,
+        &train_loader_aug,
+        &val_loader,
+        &TrainConfig {
+            epochs: cfg.cnn3d.epochs,
+            learning_rate: cfg.cnn3d.learning_rate,
+            seed: derive_seed(cfg.seed, 12),
+            ..Default::default()
+        },
+    );
+
+    // --- Fusion variants over pre-trained heads. ---
+    let build_fusion = |fcfg: &FusionConfig, stream: u64| -> (FusionModel, ParamStore) {
+        let mut ps = ParamStore::new();
+        let model = FusionModel::new(
+            fcfg,
+            &cfg.sgcnn,
+            &cfg.cnn3d,
+            &cfg.voxel,
+            &mut ps,
+            derive_seed(cfg.seed, stream),
+        );
+        if fcfg.pretrained {
+            load_pretrained_heads(&mut ps, &sg_params, &cnn_params);
+        }
+        model.set_output_bias(&mut ps, label_mean);
+        (model, ps)
+    };
+
+    let (late, late_params) = build_fusion(&FusionConfig::late(), 3);
+
+    let (mut midlevel, mut midlevel_params) = build_fusion(&cfg.midlevel, 4);
+    let midlevel_history = train(
+        &mut midlevel,
+        &mut midlevel_params,
+        &train_loader,
+        &val_loader,
+        &TrainConfig {
+            epochs: cfg.midlevel.epochs,
+            learning_rate: cfg.midlevel.learning_rate,
+            optimizer: cfg.midlevel.optimizer,
+            seed: derive_seed(cfg.seed, 13),
+            ..Default::default()
+        },
+    );
+
+    let (mut coherent, mut coherent_params) = build_fusion(&cfg.coherent, 5);
+    let coherent_history = train(
+        &mut coherent,
+        &mut coherent_params,
+        &train_loader,
+        &val_loader,
+        &TrainConfig {
+            epochs: cfg.coherent.epochs,
+            learning_rate: cfg.coherent.learning_rate,
+            optimizer: cfg.coherent.optimizer,
+            seed: derive_seed(cfg.seed, 14),
+            ..Default::default()
+        },
+    );
+
+    TrainedModels {
+        sgcnn,
+        sgcnn_params: sg_params,
+        sgcnn_history,
+        cnn3d,
+        cnn3d_params: cnn_params,
+        cnn3d_history,
+        late,
+        late_params,
+        midlevel,
+        midlevel_params,
+        midlevel_history,
+        coherent,
+        coherent_params,
+        coherent_history,
+        voxel: cfg.voxel,
+        config: cfg.clone(),
+    }
+}
+
+impl TrainedModels {
+    /// Evaluates one variant on a set of dataset indices, returning the
+    /// Table 6 regression metrics.
+    pub fn evaluate(
+        &mut self,
+        dataset: &Arc<PdbBind>,
+        indices: &[usize],
+        which: EvalModel,
+    ) -> RegressionReport {
+        let loader = DataLoader::new(
+            Arc::clone(dataset),
+            indices.to_vec(),
+            LoaderConfig { shuffle: false, ..self.config.loader.clone() },
+        );
+        let (preds, labels) = match which {
+            EvalModel::SgCnn => predict(&mut self.sgcnn, &self.sgcnn_params, &loader),
+            EvalModel::Cnn3d => predict(&mut self.cnn3d, &self.cnn3d_params, &loader),
+            EvalModel::Late => predict(&mut self.late, &self.late_params, &loader),
+            EvalModel::MidLevel => predict(&mut self.midlevel, &self.midlevel_params, &loader),
+            EvalModel::Coherent => predict(&mut self.coherent, &self.coherent_params, &loader),
+        };
+        RegressionReport::compute(&preds, &labels)
+    }
+}
+
+/// Which trained model to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalModel {
+    SgCnn,
+    Cnn3d,
+    Late,
+    MidLevel,
+    Coherent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfdata::pdbbind::PdbBindConfig;
+
+    #[test]
+    fn workflow_trains_and_evaluates_all_variants() {
+        let ds = Arc::new(PdbBind::generate(&PdbBindConfig::tiny(), 21));
+        let cfg = WorkflowConfig::tiny(21);
+        let mut models = train_all_variants(Arc::clone(&ds), &cfg);
+        let core = ds.indices(Group::Core);
+        for which in
+            [EvalModel::SgCnn, EvalModel::Cnn3d, EvalModel::Late, EvalModel::MidLevel, EvalModel::Coherent]
+        {
+            let report = models.evaluate(&ds, &core, which);
+            assert!(report.rmse.is_finite(), "{which:?} produced NaN metrics");
+            assert!(report.rmse > 0.0);
+        }
+        // Histories recorded the right number of epochs.
+        assert_eq!(models.sgcnn_history.epochs.len(), cfg.sgcnn.epochs);
+        assert_eq!(models.coherent_history.epochs.len(), cfg.coherent.epochs);
+    }
+
+    #[test]
+    fn pretrained_heads_are_loaded_into_fusion() {
+        let ds = Arc::new(PdbBind::generate(&PdbBindConfig::tiny(), 22));
+        let cfg = WorkflowConfig::tiny(22);
+        let models = train_all_variants(Arc::clone(&ds), &cfg);
+        // The late-fusion store must contain the trained SG-CNN weights
+        // verbatim (Late never trains, so they stay identical).
+        let mut checked = 0;
+        for (id, e) in models.late_params.iter() {
+            let name = models.late_params.name(id);
+            if let Some(rest) = name.strip_prefix("fusion.sgcnn.") {
+                let want = format!("sg.{rest}");
+                let src = models
+                    .sgcnn_params
+                    .iter()
+                    .find(|(sid, _)| models.sgcnn_params.name(*sid) == want)
+                    .expect("matching head param");
+                assert!(e.value.allclose(&src.1.value, 0.0), "{name} not loaded");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no head params were checked");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing: persist a trained workflow so expensive runs (the bench
+// harnesses) can be reused across binaries.
+// ---------------------------------------------------------------------
+
+impl TrainedModels {
+    /// Saves every variant's weights and training history into `dir`.
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let save_store = |name: &str, ps: &ParamStore| -> std::io::Result<()> {
+            let json = serde_json::to_string(&ps.snapshot()).expect("serialize snapshot");
+            std::fs::write(dir.join(format!("{name}.json")), json)
+        };
+        save_store("sgcnn", &self.sgcnn_params)?;
+        save_store("cnn3d", &self.cnn3d_params)?;
+        save_store("late", &self.late_params)?;
+        save_store("midlevel", &self.midlevel_params)?;
+        save_store("coherent", &self.coherent_params)?;
+        let hist = serde_json::to_string(&(
+            &self.sgcnn_history,
+            &self.cnn3d_history,
+            &self.midlevel_history,
+            &self.coherent_history,
+        ))
+        .expect("serialize histories");
+        std::fs::write(dir.join("histories.json"), hist)?;
+        Ok(())
+    }
+
+    /// Rebuilds the models deterministically from `cfg` and restores the
+    /// saved weights; returns `None` when the cache is absent or stale
+    /// (e.g. the architecture in `cfg` no longer matches).
+    pub fn load(cfg: &WorkflowConfig, dir: &std::path::Path) -> Option<TrainedModels> {
+        let load_snap = |name: &str| -> Option<dftensor::params::ParamSnapshot> {
+            let raw = std::fs::read_to_string(dir.join(format!("{name}.json"))).ok()?;
+            serde_json::from_str(&raw).ok()
+        };
+
+        // Reconstruct with the same seed streams train_all_variants uses.
+        let mut sg_params = ParamStore::new();
+        let sgcnn = SgCnn::new(&cfg.sgcnn, &mut sg_params, "sg", derive_seed(cfg.seed, 1));
+        sg_params.restore(&load_snap("sgcnn")?).ok()?;
+
+        let mut cnn_params = ParamStore::new();
+        let cnn3d =
+            Cnn3d::new(&cfg.cnn3d, &cfg.voxel, &mut cnn_params, "cnn", derive_seed(cfg.seed, 2));
+        cnn_params.restore(&load_snap("cnn3d")?).ok()?;
+
+        let build = |fcfg: &FusionConfig, stream: u64, name: &str| -> Option<(FusionModel, ParamStore)> {
+            let mut ps = ParamStore::new();
+            let m = FusionModel::new(
+                fcfg,
+                &cfg.sgcnn,
+                &cfg.cnn3d,
+                &cfg.voxel,
+                &mut ps,
+                derive_seed(cfg.seed, stream),
+            );
+            ps.restore(&load_snap(name)?).ok()?;
+            Some((m, ps))
+        };
+        let (late, late_params) = build(&FusionConfig::late(), 3, "late")?;
+        let (midlevel, midlevel_params) = build(&cfg.midlevel, 4, "midlevel")?;
+        let (coherent, coherent_params) = build(&cfg.coherent, 5, "coherent")?;
+
+        let raw = std::fs::read_to_string(dir.join("histories.json")).ok()?;
+        let (sgcnn_history, cnn3d_history, midlevel_history, coherent_history): (
+            TrainHistory,
+            TrainHistory,
+            TrainHistory,
+            TrainHistory,
+        ) = serde_json::from_str(&raw).ok()?;
+
+        Some(TrainedModels {
+            sgcnn,
+            sgcnn_params: sg_params,
+            sgcnn_history,
+            cnn3d,
+            cnn3d_params: cnn_params,
+            cnn3d_history,
+            late,
+            late_params,
+            midlevel,
+            midlevel_params,
+            midlevel_history,
+            coherent,
+            coherent_params,
+            coherent_history,
+            voxel: cfg.voxel,
+            config: cfg.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use dfdata::pdbbind::PdbBindConfig;
+
+    #[test]
+    fn save_load_round_trips_the_workflow() {
+        let ds = Arc::new(PdbBind::generate(&PdbBindConfig::tiny(), 44));
+        let cfg = WorkflowConfig::tiny(44);
+        let mut trained = train_all_variants(Arc::clone(&ds), &cfg);
+        let dir = std::env::temp_dir().join(format!("df_wf_ckpt_{}", std::process::id()));
+        trained.save(&dir).unwrap();
+        let mut loaded = TrainedModels::load(&cfg, &dir).expect("cache loads");
+
+        // Same predictions on the core set.
+        let core = ds.indices(Group::Core);
+        let a = trained.evaluate(&ds, &core, EvalModel::Coherent);
+        let b = loaded.evaluate(&ds, &core, EvalModel::Coherent);
+        assert_eq!(a, b);
+        assert_eq!(
+            trained.coherent_history.best_val_mse,
+            loaded.coherent_history.best_val_mse
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn load_from_missing_dir_is_none() {
+        let cfg = WorkflowConfig::tiny(1);
+        assert!(TrainedModels::load(&cfg, std::path::Path::new("/nope/df")).is_none());
+    }
+}

@@ -1,0 +1,20 @@
+//! `dfdata` — synthetic PDBbind-2019 and data loading.
+//!
+//! Replaces the licensed PDBbind dataset with a generated equivalent whose
+//! labels come from a hidden, physically structured oracle ([`oracle`]),
+//! arranged into general/refined/core groups with the paper's rules
+//! ([`pdbbind`]), split by quintile sub-sampling ([`split`]) and served by
+//! a multi-worker prefetching loader ([`loader`]).
+
+pub mod loader;
+pub mod oracle;
+pub mod pdbbind;
+pub mod split;
+
+pub use loader::{
+    featurize_entry, flip_voxel_axis, Batch, BatchStream, DataLoader, FeaturizedSample,
+    LoaderConfig,
+};
+pub use oracle::{latent_pk, measured_pk, oracle_terms, OracleConfig, OracleTerms};
+pub use pdbbind::{ComplexEntry, Group, Measurement, PdbBind, PdbBindConfig};
+pub use split::{paper_split, quintile_split};

@@ -1,0 +1,140 @@
+//! Quintile sub-sampling of training/validation splits.
+//!
+//! §3.1: "Quintile sub-sampling guarantees both the training and validation
+//! sets to represent the full range of binding affinity values across
+//! PDBbind, where simple random sampling holds the risk of training and
+//! validating models on different sub-spaces of affinity values." The
+//! split is applied *independently* to the general and refined groups, with
+//! 10% of each withdrawn for validation.
+
+use dftensor::rng::{permutation, rng};
+
+/// Splits `indices` into (train, validation) by stratifying on the label
+/// quintiles: each fifth of the sorted label range contributes `val_frac`
+/// of its members to the validation set.
+pub fn quintile_split(
+    indices: &[usize],
+    labels: &[f64],
+    val_frac: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..1.0).contains(&val_frac), "val_frac must be in [0,1)");
+    if indices.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    // Sort the candidate indices by label.
+    let mut sorted: Vec<usize> = indices.to_vec();
+    sorted.sort_by(|&a, &b| {
+        labels[a].partial_cmp(&labels[b]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut train = Vec::new();
+    let mut val = Vec::new();
+    let n = sorted.len();
+    let mut r = rng(seed);
+    for q in 0..5 {
+        let lo = q * n / 5;
+        let hi = ((q + 1) * n / 5).min(n);
+        if lo >= hi {
+            continue;
+        }
+        let bucket = &sorted[lo..hi];
+        let n_val = ((bucket.len() as f64) * val_frac).round() as usize;
+        let perm = permutation(&mut r, bucket.len());
+        for (k, &p) in perm.iter().enumerate() {
+            if k < n_val {
+                val.push(bucket[p]);
+            } else {
+                train.push(bucket[p]);
+            }
+        }
+    }
+    train.sort_unstable();
+    val.sort_unstable();
+    (train, val)
+}
+
+/// The paper's train/val construction: quintile sub-sampling applied
+/// independently to the general and refined groups, 10% validation each.
+pub fn paper_split(
+    general: &[usize],
+    refined: &[usize],
+    labels: &[f64],
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    let (gt, gv) = quintile_split(general, labels, 0.10, seed ^ 0x6E6);
+    let (rt, rv) = quintile_split(refined, labels, 0.10, seed ^ 0x4EF);
+    let mut train = gt;
+    train.extend(rt);
+    let mut val = gv;
+    val.extend(rv);
+    train.sort_unstable();
+    val.sort_unstable();
+    (train, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 2.0 + 9.0 * (i as f64) / (n as f64)).collect()
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let l = labels(100);
+        let idx: Vec<usize> = (0..100).collect();
+        let (train, val) = quintile_split(&idx, &l, 0.1, 3);
+        assert_eq!(train.len() + val.len(), 100);
+        let mut all: Vec<usize> = train.iter().chain(val.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, idx);
+    }
+
+    #[test]
+    fn validation_fraction_is_respected() {
+        let l = labels(200);
+        let idx: Vec<usize> = (0..200).collect();
+        let (_, val) = quintile_split(&idx, &l, 0.1, 5);
+        assert_eq!(val.len(), 20);
+    }
+
+    #[test]
+    fn every_quintile_is_represented_in_validation() {
+        let l = labels(100);
+        let idx: Vec<usize> = (0..100).collect();
+        let (_, val) = quintile_split(&idx, &l, 0.1, 7);
+        // With sorted labels 0..100, quintiles are index ranges of 20.
+        for q in 0..5 {
+            let present = val.iter().any(|&i| i >= q * 20 && i < (q + 1) * 20);
+            assert!(present, "quintile {q} missing from validation");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let l = labels(60);
+        let idx: Vec<usize> = (0..60).collect();
+        assert_eq!(quintile_split(&idx, &l, 0.1, 9), quintile_split(&idx, &l, 0.1, 9));
+        assert_ne!(quintile_split(&idx, &l, 0.1, 9).1, quintile_split(&idx, &l, 0.1, 10).1);
+    }
+
+    #[test]
+    fn paper_split_keeps_groups_independent() {
+        let l = labels(100);
+        let general: Vec<usize> = (0..50).collect();
+        let refined: Vec<usize> = (50..100).collect();
+        let (train, val) = paper_split(&general, &refined, &l, 1);
+        assert_eq!(train.len() + val.len(), 100);
+        // Validation contains members of both groups.
+        assert!(val.iter().any(|&i| i < 50));
+        assert!(val.iter().any(|&i| i >= 50));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (t, v) = quintile_split(&[], &[], 0.1, 1);
+        assert!(t.is_empty() && v.is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! ConveyorLC-style docking pipeline (Zhang et al.).
+//!
+//! Four stages mirroring the paper's §4.1:
+//!
+//! 1. `CDT1Receptor` — protein preparation (pocket generation + charge
+//!    assignment),
+//! 2. `CDT2Ligand` — ligand preparation (drug-likeness filter, conformer
+//!    relaxation, charges),
+//! 3. `CDT3Docking` — Monte-Carlo docking with the Vina scoring function,
+//! 4. `CDT4mmgbsa` — MM/GBSA re-scoring of the top poses for a *subset* of
+//!    compounds (it is orders of magnitude more expensive).
+//!
+//! `screen` drives the stages across a crossbeam worker pool, one compound
+//! per task, matching the paper's MPI+threads hybrid on CPU nodes.
+
+use crate::mmgbsa::{mmgbsa_score, MmGbsaConfig};
+use crate::search::{dock, DockConfig, Pose};
+use dfchem::genmol::Compound;
+use dfchem::pocket::{BindingPocket, TargetSite};
+use dftensor::rng::derive_seed;
+use serde::{Deserialize, Serialize};
+
+/// Errors surfaced by pipeline stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// Ligand failed preparation (not drug-like / degenerate structure).
+    LigandRejected(String),
+    /// Docking produced no acceptable pose.
+    NoPoses(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::LigandRejected(id) => write!(f, "ligand {id} rejected in preparation"),
+            PipelineError::NoPoses(id) => write!(f, "no poses produced for {id}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Docking + optional re-scoring output for one compound on one target.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DockRecord {
+    pub compound: dfchem::genmol::CompoundId,
+    pub target: TargetSite,
+    pub poses: Vec<Pose>,
+    /// MM/GBSA totals aligned with `poses` (empty when re-scoring was
+    /// skipped for this compound).
+    pub mmgbsa: Vec<f64>,
+}
+
+impl DockRecord {
+    /// Strongest (most negative) Vina score across poses.
+    pub fn best_vina(&self) -> f64 {
+        self.poses.iter().map(|p| p.vina).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Strongest (most negative) MM/GBSA score across re-scored poses.
+    pub fn best_mmgbsa(&self) -> Option<f64> {
+        self.mmgbsa.iter().copied().fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConveyorConfig {
+    pub dock: DockConfig,
+    pub mmgbsa: MmGbsaConfig,
+    /// Re-score the top-`mmgbsa_top_poses` poses with MM/GBSA...
+    pub mmgbsa_top_poses: usize,
+    /// ...but only for every `mmgbsa_every`-th compound (cost control; the
+    /// paper re-scores only a subset of the screen). 0 disables MM/GBSA.
+    pub mmgbsa_every: usize,
+}
+
+impl Default for ConveyorConfig {
+    fn default() -> Self {
+        Self {
+            dock: DockConfig::default(),
+            mmgbsa: MmGbsaConfig::default(),
+            mmgbsa_top_poses: 3,
+            mmgbsa_every: 1,
+        }
+    }
+}
+
+/// Stage 1: protein preparation.
+pub fn cdt1_receptor(target: TargetSite, campaign_seed: u64) -> BindingPocket {
+    BindingPocket::generate(target, campaign_seed)
+}
+
+/// Stage 2: ligand preparation. Rejects non-drug-like compounds and
+/// re-relaxes the conformer (protonation/charge assignment equivalent).
+pub fn cdt2_ligand(compound: &Compound) -> Result<Compound, PipelineError> {
+    if compound.mol.num_atoms() < 3 {
+        return Err(PipelineError::LigandRejected(compound.id.to_string()));
+    }
+    if !compound.is_drug_like() {
+        return Err(PipelineError::LigandRejected(compound.id.to_string()));
+    }
+    let mut prepared = compound.clone();
+    dfchem::genmol::relax_conformer(&mut prepared.mol, 10);
+    prepared.mol.assign_partial_charges();
+    Ok(prepared)
+}
+
+/// Stage 3: docking.
+pub fn cdt3_docking(
+    cfg: &DockConfig,
+    compound: &Compound,
+    pocket: &BindingPocket,
+    campaign_seed: u64,
+) -> Result<Vec<Pose>, PipelineError> {
+    let seed = derive_seed(campaign_seed, 0xD0C0 ^ compound.id.index);
+    let poses = dock(cfg, &compound.mol, pocket, seed);
+    if poses.is_empty() {
+        return Err(PipelineError::NoPoses(compound.id.to_string()));
+    }
+    Ok(poses)
+}
+
+/// Stage 4: MM/GBSA re-scoring of the best poses.
+pub fn cdt4_mmgbsa(
+    cfg: &MmGbsaConfig,
+    poses: &[Pose],
+    pocket: &BindingPocket,
+    top: usize,
+) -> Vec<f64> {
+    poses
+        .iter()
+        .take(top)
+        .map(|p| mmgbsa_score(cfg, &p.ligand, pocket).total)
+        .collect()
+}
+
+/// Runs the full pipeline for one compound on one target.
+pub fn process_compound(
+    cfg: &ConveyorConfig,
+    compound: &Compound,
+    pocket: &BindingPocket,
+    campaign_seed: u64,
+) -> Result<DockRecord, PipelineError> {
+    let prepared = cdt2_ligand(compound)?;
+    let poses = cdt3_docking(&cfg.dock, &prepared, pocket, campaign_seed)?;
+    let rescore = cfg.mmgbsa_every > 0 && compound.id.index.is_multiple_of(cfg.mmgbsa_every as u64);
+    let mmgbsa = if rescore {
+        cdt4_mmgbsa(&cfg.mmgbsa, &poses, pocket, cfg.mmgbsa_top_poses)
+    } else {
+        Vec::new()
+    };
+    Ok(DockRecord { compound: compound.id, target: pocket.target, poses, mmgbsa })
+}
+
+/// Screens a batch of compounds against one pocket across `threads` worker
+/// threads. Rejected ligands are skipped (counted in the return).
+pub fn screen(
+    cfg: &ConveyorConfig,
+    compounds: &[Compound],
+    pocket: &BindingPocket,
+    campaign_seed: u64,
+    threads: usize,
+) -> ScreenOutput {
+    assert!(threads >= 1, "at least one worker thread required");
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<Result<DockRecord, PipelineError>>>> =
+        (0..compounds.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(compounds.len().max(1)) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= compounds.len() {
+                    break;
+                }
+                let out = process_compound(cfg, &compounds[i], pocket, campaign_seed);
+                *results[i].lock() = Some(out);
+            });
+        }
+    })
+    .expect("screening worker panicked");
+
+    let mut records = Vec::with_capacity(compounds.len());
+    let mut rejected = 0usize;
+    for slot in results {
+        match slot.into_inner().expect("every compound processed") {
+            Ok(rec) => records.push(rec),
+            Err(_) => rejected += 1,
+        }
+    }
+    ScreenOutput { records, rejected }
+}
+
+/// Output of a screening batch.
+#[derive(Debug)]
+pub struct ScreenOutput {
+    pub records: Vec<DockRecord>,
+    pub rejected: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfchem::genmol::Library;
+
+    fn quick_cfg() -> ConveyorConfig {
+        ConveyorConfig {
+            dock: DockConfig { mc_restarts: 2, mc_steps: 25, ..Default::default() },
+            mmgbsa: MmGbsaConfig { born_iterations: 2, ..Default::default() },
+            mmgbsa_top_poses: 2,
+            mmgbsa_every: 2,
+        }
+    }
+
+    fn compounds(n: u64) -> Vec<Compound> {
+        (0..n).map(|i| Compound::materialize(Library::EnamineVirtual, i, 5)).collect()
+    }
+
+    #[test]
+    fn full_pipeline_produces_records() {
+        let pocket = cdt1_receptor(TargetSite::Spike1, 5);
+        let comp = &compounds(1)[0];
+        let rec = process_compound(&quick_cfg(), comp, &pocket, 5).unwrap();
+        assert!(!rec.poses.is_empty());
+        assert!(rec.best_vina() <= rec.poses[0].vina);
+        assert_eq!(rec.target, TargetSite::Spike1);
+        // Index 0 is re-scored under mmgbsa_every=2.
+        assert!(!rec.mmgbsa.is_empty());
+        assert!(rec.best_mmgbsa().is_some());
+    }
+
+    #[test]
+    fn mmgbsa_subsetting_skips_odd_indices() {
+        let pocket = cdt1_receptor(TargetSite::Spike1, 5);
+        let comps = compounds(2);
+        let rec1 = process_compound(&quick_cfg(), &comps[1], &pocket, 5).unwrap();
+        assert!(rec1.mmgbsa.is_empty(), "odd index must skip MM/GBSA");
+        assert!(rec1.best_mmgbsa().is_none());
+    }
+
+    #[test]
+    fn parallel_screen_matches_sequential() {
+        let pocket = cdt1_receptor(TargetSite::Spike2, 9);
+        let comps = compounds(6);
+        let seq = screen(&quick_cfg(), &comps, &pocket, 9, 1);
+        let par = screen(&quick_cfg(), &comps, &pocket, 9, 4);
+        assert_eq!(seq.records.len(), par.records.len());
+        assert_eq!(seq.rejected, par.rejected);
+        for (a, b) in seq.records.iter().zip(&par.records) {
+            assert_eq!(a.compound, b.compound);
+            assert_eq!(a.best_vina(), b.best_vina());
+        }
+    }
+
+    #[test]
+    fn tiny_ligands_are_rejected() {
+        let mut c = Compound::materialize(Library::EnamineVirtual, 0, 1);
+        c.mol.atoms.truncate(2);
+        c.mol.bonds.retain(|b| b.a < 2 && b.b < 2);
+        assert!(matches!(cdt2_ligand(&c), Err(PipelineError::LigandRejected(_))));
+    }
+}

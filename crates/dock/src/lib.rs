@@ -1,0 +1,24 @@
+//! `dfdock` — the physics-based screening substrate.
+//!
+//! Re-implements the ConveyorLC toolchain the paper's campaign runs on:
+//! a Vina-style empirical scoring function ([`vina`]), Monte-Carlo pose
+//! search ([`search`]), MM/GBSA re-scoring with generalized-Born
+//! electrostatics ([`mmgbsa`]) and the four-stage parallel pipeline
+//! ([`conveyor`]). These are both the substrate that produces docked poses
+//! for the fusion models and the baselines they are compared against
+//! (Figure 2, Table 8, the §4.2 throughput comparison).
+
+pub mod conveyor;
+pub mod flex;
+pub mod mmgbsa;
+pub mod search;
+pub mod vina;
+
+pub use conveyor::{
+    cdt1_receptor, cdt2_ligand, cdt3_docking, cdt4_mmgbsa, process_compound, screen,
+    ConveyorConfig, DockRecord, PipelineError, ScreenOutput,
+};
+pub use flex::{apply_torsion, dock_flexible, find_torsions, Torsion};
+pub use mmgbsa::{mmgbsa_score, MmGbsaConfig, MmGbsaScore};
+pub use search::{dock, DockConfig, Pose};
+pub use vina::{vina_score, VinaScore};

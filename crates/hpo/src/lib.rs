@@ -1,0 +1,17 @@
+//! `dfhpo` — distributed, genetic hyper-parameter optimization.
+//!
+//! Replaces Ray/RayTune + PB2 for the reproduction: a [`space::Space`] of
+//! named hyper-parameters (Table 1 value kinds), a time-varying Gaussian
+//! process ([`gp`]) and the Population-Based Bandits scheduler ([`pb2`])
+//! with parallel trial execution, quantile-gated exploit/explore and
+//! LSF-style checkpoint/resume.
+
+pub mod gp;
+pub mod pb2;
+pub mod pbt;
+pub mod space;
+
+pub use gp::{Gp, GpConfig, Observation};
+pub use pb2::{Pb2, Pb2Config, Pb2Result, Trainable, TrainableFactory, TrialRecord};
+pub use pbt::Pbt;
+pub use space::{ConfigValues, Dim, Range, Space};

@@ -1,0 +1,437 @@
+//! Population-Based Bandits (PB2) — the paper's distributed, genetic
+//! hyper-parameter optimization (§3.2).
+//!
+//! The procedure follows the paper's description exactly: a population of
+//! randomly initialized hyper-parameter hypotheses trains in parallel;
+//! every time a trial reaches the perturbation interval `t_ready`, its
+//! performance is compared with the population quantile λ%. Trials above
+//! the quantile continue; under-performers clone a top performer's model
+//! state (**exploit**) and receive a new configuration from a parallel
+//! GP-bandit optimization over the time-varying objective (**explore**).
+//!
+//! Trials checkpoint at every interval, which doubles as the LSF-style
+//! pause/reschedule/resume capability the paper needed on Lassen:
+//! [`Pb2::run_with_interruption`] exercises that path.
+
+use crate::gp::{Gp, GpConfig, Observation};
+use crate::space::{ConfigValues, Space};
+use dftensor::rng::{derive_seed, rng};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A trainable trial under PB2 control. Implementations train a real
+/// model for one perturbation interval per `step` call and must support
+/// checkpoint save/restore so exploitation can copy state across trials.
+pub trait Trainable: Send {
+    /// Trains for one perturbation interval (`t_ready` epochs) under the
+    /// given configuration, returning the objective (validation MSE —
+    /// lower is better).
+    fn step(&mut self, config: &ConfigValues) -> f64;
+    /// Serializes the full training state.
+    fn save(&self) -> Vec<u8>;
+    /// Restores state produced by `save` (possibly from another trial).
+    fn restore(&mut self, checkpoint: &[u8]);
+}
+
+/// Builds fresh trials; called once per population slot.
+pub trait TrainableFactory: Sync {
+    fn build(&self, trial_index: usize, config: &ConfigValues) -> Box<dyn Trainable>;
+}
+
+impl<F> TrainableFactory for F
+where
+    F: Fn(usize, &ConfigValues) -> Box<dyn Trainable> + Sync,
+{
+    fn build(&self, trial_index: usize, config: &ConfigValues) -> Box<dyn Trainable> {
+        self(trial_index, config)
+    }
+}
+
+/// PB2 configuration. The paper ran λ% = 0.5 and `t_ready` = 100 epochs on
+/// populations of 90–270 trials; defaults here are scaled down.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pb2Config {
+    pub population: usize,
+    /// Quantile fraction λ: trials below this fraction exploit+explore.
+    pub quantile: f64,
+    /// Number of perturbation intervals to run (each interval = one
+    /// `Trainable::step`, i.e. `t_ready` epochs inside the trainable).
+    pub intervals: usize,
+    /// UCB exploration coefficient for the GP bandit.
+    pub ucb_beta: f64,
+    /// Probability of resampling each categorical dimension on explore.
+    pub categorical_mutation: f64,
+    /// Worker threads stepping trials in parallel.
+    pub threads: usize,
+    pub seed: u64,
+    pub gp: GpDefaults,
+}
+
+/// Serializable subset of [`GpConfig`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GpDefaults {
+    pub length_scale: f64,
+    pub time_decay: f64,
+}
+
+impl Default for Pb2Config {
+    fn default() -> Self {
+        Self {
+            population: 8,
+            quantile: 0.5,
+            intervals: 5,
+            ucb_beta: 1.5,
+            categorical_mutation: 0.25,
+            threads: 4,
+            seed: 0,
+            gp: GpDefaults { length_scale: 0.35, time_decay: 0.9 },
+        }
+    }
+}
+
+/// Per-trial, per-interval record of the optimization schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialRecord {
+    pub trial: usize,
+    pub interval: usize,
+    pub config: ConfigValues,
+    pub objective: f64,
+    /// Whether this trial exploited (cloned) another at the end of the
+    /// interval.
+    pub exploited_from: Option<usize>,
+}
+
+/// Result of a PB2 run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pb2Result {
+    pub best_config: ConfigValues,
+    pub best_objective: f64,
+    pub best_trial: usize,
+    /// Full schedule: every (trial, interval) evaluation.
+    pub history: Vec<TrialRecord>,
+}
+
+/// The PB2 optimizer.
+pub struct Pb2 {
+    pub config: Pb2Config,
+    pub space: Space,
+}
+
+struct TrialState {
+    trainable: Box<dyn Trainable>,
+    config: ConfigValues,
+    last_objective: f64,
+    checkpoint: Vec<u8>,
+}
+
+impl Pb2 {
+    pub fn new(config: Pb2Config, space: Space) -> Pb2 {
+        assert!(config.population >= 2, "population must be at least 2");
+        assert!((0.0..1.0).contains(&config.quantile), "quantile in [0,1)");
+        Pb2 { config, space }
+    }
+
+    /// Runs the full optimization.
+    pub fn run(&self, factory: &dyn TrainableFactory) -> Pb2Result {
+        self.run_inner(factory, None)
+    }
+
+    /// Runs the optimization, simulating an LSF max-runtime interruption:
+    /// after `interrupt_after` intervals every trial is torn down and
+    /// rebuilt from its checkpoint before the run continues. The result
+    /// must match an uninterrupted run.
+    pub fn run_with_interruption(
+        &self,
+        factory: &dyn TrainableFactory,
+        interrupt_after: usize,
+    ) -> Pb2Result {
+        self.run_inner(factory, Some(interrupt_after))
+    }
+
+    fn run_inner(&self, factory: &dyn TrainableFactory, interrupt: Option<usize>) -> Pb2Result {
+        let cfg = &self.config;
+        let mut seed_rng = rng(derive_seed(cfg.seed, 0x9B2u64));
+        let mut trials: Vec<TrialState> = (0..cfg.population)
+            .map(|i| {
+                let c = self.space.sample(&mut seed_rng);
+                let trainable = factory.build(i, &c);
+                let checkpoint = trainable.save();
+                TrialState { trainable, config: c, last_objective: f64::INFINITY, checkpoint }
+            })
+            .collect();
+
+        let mut history: Vec<TrialRecord> = Vec::new();
+        let mut gp_data: Vec<Observation> = Vec::new();
+
+        for interval in 0..cfg.intervals {
+            // Simulated scheduler interruption: rebuild all trials from
+            // their checkpoints.
+            if interrupt == Some(interval) {
+                for (i, t) in trials.iter_mut().enumerate() {
+                    let mut rebuilt = factory.build(i, &t.config);
+                    rebuilt.restore(&t.checkpoint);
+                    t.trainable = rebuilt;
+                }
+            }
+
+            // --- Parallel training step across the population. ---
+            self.parallel_step(&mut trials);
+
+            for (i, t) in trials.iter_mut().enumerate() {
+                t.checkpoint = t.trainable.save();
+                gp_data.push(Observation {
+                    t: interval,
+                    x: self.space.to_unit(&t.config),
+                    // GP maximizes; objective is minimized.
+                    y: -t.last_objective,
+                });
+                history.push(TrialRecord {
+                    trial: i,
+                    interval,
+                    config: t.config.clone(),
+                    objective: t.last_objective,
+                    exploited_from: None,
+                });
+            }
+
+            // --- Exploit / explore for the bottom (1-λ) fraction. ---
+            if interval + 1 < cfg.intervals {
+                self.exploit_explore(&mut trials, &gp_data, interval, &mut history);
+            }
+        }
+
+        let (best_trial, best) = trials
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                a.1.last_objective
+                    .partial_cmp(&b.1.last_objective)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty population");
+        Pb2Result {
+            best_config: best.config.clone(),
+            best_objective: best.last_objective,
+            best_trial,
+            history,
+        }
+    }
+
+    /// Steps every trial once, across the worker pool.
+    fn parallel_step(&self, trials: &mut [TrialState]) {
+        let threads = self.config.threads.max(1);
+        crossbeam::thread::scope(|s| {
+            // Hand out disjoint chunks to workers.
+            let chunk = trials.len().div_ceil(threads);
+            for batch in trials.chunks_mut(chunk) {
+                s.spawn(move |_| {
+                    for t in batch {
+                        t.last_objective = t.trainable.step(&t.config);
+                    }
+                });
+            }
+        })
+        .expect("PB2 worker panicked");
+    }
+
+    fn exploit_explore(
+        &self,
+        trials: &mut [TrialState],
+        gp_data: &[Observation],
+        interval: usize,
+        history: &mut [TrialRecord],
+    ) {
+        let cfg = &self.config;
+        let mut order: Vec<usize> = (0..trials.len()).collect();
+        order.sort_by(|&a, &b| {
+            trials[a]
+                .last_objective
+                .partial_cmp(&trials[b].last_objective)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let n_top = ((trials.len() as f64) * cfg.quantile).ceil() as usize;
+        let n_top = n_top.clamp(1, trials.len() - 1);
+        let top: Vec<usize> = order[..n_top].to_vec();
+        let bottom: Vec<usize> = order[n_top..].to_vec();
+
+        // Fit the time-varying GP once per perturbation round.
+        let gp = Gp::fit(
+            GpConfig {
+                length_scale: cfg.gp.length_scale,
+                time_decay: cfg.gp.time_decay,
+                ..GpConfig::default()
+            },
+            gp_data.to_vec(),
+        );
+
+        let mut r = rng(derive_seed(cfg.seed, 0xE7 ^ interval as u64));
+        for &loser in &bottom {
+            // Exploit: clone a random top performer's weights and config.
+            let donor = top[r.gen_range(0..top.len())];
+            let donor_ckpt = trials[donor].checkpoint.clone();
+            let donor_cfg = trials[donor].config.clone();
+            trials[loser].trainable.restore(&donor_ckpt);
+            trials[loser].checkpoint = donor_ckpt;
+
+            // Explore: GP-UCB over candidates near the donor plus fresh
+            // samples; categorical dims mutate independently.
+            let base = self.space.resample_categoricals(&donor_cfg, cfg.categorical_mutation, &mut r);
+            let mut best_cfg = base.clone();
+            let mut best_ucb = f64::NEG_INFINITY;
+            for k in 0..32 {
+                let cand = if k % 4 == 0 {
+                    self.space.sample(&mut r)
+                } else {
+                    // Jitter the donor in unit space.
+                    let mut u = self.space.to_unit(&base);
+                    for v in &mut u {
+                        *v = (*v + dftensor::rng::normal_with(&mut r, 0.0, 0.15)).clamp(0.0, 1.0);
+                    }
+                    self.space.from_unit(&u)
+                };
+                let score = gp.ucb(interval + 1, &self.space.to_unit(&cand), cfg.ucb_beta);
+                if score > best_ucb {
+                    best_ucb = score;
+                    best_cfg = cand;
+                }
+            }
+            trials[loser].config = best_cfg;
+            // Mark the exploitation in this interval's record.
+            if let Some(rec) = history
+                .iter_mut()
+                .rev()
+                .find(|rec| rec.trial == loser && rec.interval == interval)
+            {
+                rec.exploited_from = Some(donor);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Range;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    /// A synthetic trainable whose objective improves with training time
+    /// and depends on the config: objective = (x - 0.7)² + 1/(1+steps).
+    struct Quadratic {
+        steps: usize,
+    }
+
+    impl Trainable for Quadratic {
+        fn step(&mut self, config: &ConfigValues) -> f64 {
+            self.steps += 1;
+            let x = config["x"];
+            (x - 0.7) * (x - 0.7) + 1.0 / (1.0 + self.steps as f64)
+        }
+        fn save(&self) -> Vec<u8> {
+            self.steps.to_le_bytes().to_vec()
+        }
+        fn restore(&mut self, ckpt: &[u8]) {
+            self.steps = usize::from_le_bytes(ckpt.try_into().expect("8-byte checkpoint"));
+        }
+    }
+
+    fn space() -> Space {
+        Space::new(vec![("x", Range::Uniform { lo: 0.0, hi: 1.0 }), ("flag", Range::Bool)])
+    }
+
+    fn factory() -> impl TrainableFactory {
+        |_i: usize, _c: &ConfigValues| Box::new(Quadratic { steps: 0 }) as Box<dyn Trainable>
+    }
+
+    #[test]
+    fn pb2_improves_over_random_initialization() {
+        let pb2 = Pb2::new(
+            Pb2Config { population: 8, intervals: 6, seed: 3, ..Default::default() },
+            space(),
+        );
+        let result = pb2.run(&factory());
+        // The optimum x = 0.7 gives objective → 1/(1+steps). With 6
+        // intervals the best trial should be close to it.
+        assert!(
+            (result.best_config["x"] - 0.7).abs() < 0.2,
+            "best x {} should approach 0.7",
+            result.best_config["x"]
+        );
+        // History covers population × intervals evaluations.
+        assert_eq!(result.history.len(), 8 * 6);
+    }
+
+    #[test]
+    fn exploitation_happens_and_copies_training_state() {
+        let pb2 = Pb2::new(
+            Pb2Config { population: 6, intervals: 4, seed: 1, ..Default::default() },
+            space(),
+        );
+        let result = pb2.run(&factory());
+        let exploits = result.history.iter().filter(|r| r.exploited_from.is_some()).count();
+        assert!(exploits > 0, "bottom-quantile trials must exploit");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            Pb2::new(
+                Pb2Config { population: 6, intervals: 4, seed: 9, threads: 3, ..Default::default() },
+                space(),
+            )
+            .run(&factory())
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.best_objective, b.best_objective);
+        assert_eq!(a.best_config, b.best_config);
+    }
+
+    #[test]
+    fn interruption_resume_matches_uninterrupted_run() {
+        let cfg = Pb2Config { population: 6, intervals: 5, seed: 4, ..Default::default() };
+        let plain = Pb2::new(cfg.clone(), space()).run(&factory());
+        let interrupted =
+            Pb2::new(cfg, space()).run_with_interruption(&factory(), 2);
+        assert_eq!(plain.best_objective, interrupted.best_objective);
+        assert_eq!(plain.best_config, interrupted.best_config);
+    }
+
+    #[test]
+    fn all_trials_step_every_interval() {
+        let counter = Arc::new(Mutex::new(0usize));
+        struct Counting {
+            steps: usize,
+            counter: Arc<Mutex<usize>>,
+        }
+        impl Trainable for Counting {
+            fn step(&mut self, _c: &ConfigValues) -> f64 {
+                *self.counter.lock() += 1;
+                self.steps += 1;
+                1.0 / (1.0 + self.steps as f64)
+            }
+            fn save(&self) -> Vec<u8> {
+                self.steps.to_le_bytes().to_vec()
+            }
+            fn restore(&mut self, ckpt: &[u8]) {
+                self.steps = usize::from_le_bytes(ckpt.try_into().unwrap());
+            }
+        }
+        let c2 = Arc::clone(&counter);
+        let f = move |_i: usize, _c: &ConfigValues| {
+            Box::new(Counting { steps: 0, counter: Arc::clone(&c2) }) as Box<dyn Trainable>
+        };
+        let pb2 = Pb2::new(
+            Pb2Config { population: 5, intervals: 3, seed: 2, ..Default::default() },
+            space(),
+        );
+        pb2.run(&f);
+        assert_eq!(*counter.lock(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be at least 2")]
+    fn tiny_population_rejected() {
+        Pb2::new(Pb2Config { population: 1, ..Default::default() }, space());
+    }
+}

@@ -1,0 +1,205 @@
+//! Hyper-parameter spaces: named dimensions over booleans, discrete
+//! choices and (log-)uniform continuous ranges — the value kinds appearing
+//! in the paper's Table 1.
+
+use dftensor::rng::{log_uniform, uniform};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A concrete hyper-parameter assignment. Everything is carried as `f64`
+/// (booleans as 0/1, choices by value) so the GP can embed configs.
+pub type ConfigValues = BTreeMap<String, f64>;
+
+/// Admissible values of one dimension.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Range {
+    Bool,
+    Choice(Vec<f64>),
+    Uniform { lo: f64, hi: f64 },
+    LogUniform { lo: f64, hi: f64 },
+}
+
+/// One named dimension.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dim {
+    pub name: String,
+    pub range: Range,
+}
+
+/// A search space.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct Space {
+    pub dims: Vec<Dim>,
+}
+
+impl Space {
+    pub fn new(dims: Vec<(&str, Range)>) -> Space {
+        Space {
+            dims: dims
+                .into_iter()
+                .map(|(n, r)| Dim { name: n.to_string(), range: r })
+                .collect(),
+        }
+    }
+
+    /// Samples a uniformly random configuration.
+    pub fn sample(&self, rng: &mut impl Rng) -> ConfigValues {
+        self.dims
+            .iter()
+            .map(|d| {
+                let v = match &d.range {
+                    Range::Bool => {
+                        if rng.gen::<bool>() {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    Range::Choice(opts) => opts[rng.gen_range(0..opts.len())],
+                    Range::Uniform { lo, hi } => uniform(rng, *lo, *hi),
+                    Range::LogUniform { lo, hi } => log_uniform(rng, *lo, *hi),
+                };
+                (d.name.clone(), v)
+            })
+            .collect()
+    }
+
+    /// Clamps/snap a raw vector back into the space, returning a valid
+    /// config (used after GP-bandit suggestions in continuous coordinates).
+    pub fn from_unit(&self, unit: &[f64]) -> ConfigValues {
+        assert_eq!(unit.len(), self.dims.len(), "unit vector dimension mismatch");
+        self.dims
+            .iter()
+            .zip(unit)
+            .map(|(d, &u)| {
+                let u = u.clamp(0.0, 1.0);
+                let v = match &d.range {
+                    Range::Bool => {
+                        if u >= 0.5 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    Range::Choice(opts) => {
+                        let idx =
+                            ((u * opts.len() as f64) as usize).min(opts.len().saturating_sub(1));
+                        opts[idx]
+                    }
+                    Range::Uniform { lo, hi } => lo + u * (hi - lo),
+                    Range::LogUniform { lo, hi } => (lo.ln() + u * (hi.ln() - lo.ln())).exp(),
+                };
+                (d.name.clone(), v)
+            })
+            .collect()
+    }
+
+    /// Embeds a config into the unit hypercube (GP coordinates).
+    pub fn to_unit(&self, cfg: &ConfigValues) -> Vec<f64> {
+        self.dims
+            .iter()
+            .map(|d| {
+                let v = *cfg.get(&d.name).unwrap_or_else(|| panic!("missing dim {}", d.name));
+                match &d.range {
+                    Range::Bool => v,
+                    Range::Choice(opts) => {
+                        let idx = opts
+                            .iter()
+                            .position(|&o| (o - v).abs() < 1e-12)
+                            .unwrap_or(0);
+                        (idx as f64 + 0.5) / opts.len() as f64
+                    }
+                    Range::Uniform { lo, hi } => ((v - lo) / (hi - lo)).clamp(0.0, 1.0),
+                    Range::LogUniform { lo, hi } => {
+                        ((v.ln() - lo.ln()) / (hi.ln() - lo.ln())).clamp(0.0, 1.0)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Mutation used by the explore step for categorical dimensions: with
+    /// probability `p` resample the dimension; continuous dimensions are
+    /// left to the GP bandit.
+    pub fn resample_categoricals(
+        &self,
+        cfg: &ConfigValues,
+        p: f64,
+        rng: &mut impl Rng,
+    ) -> ConfigValues {
+        let mut out = cfg.clone();
+        for d in &self.dims {
+            let categorical = matches!(d.range, Range::Bool | Range::Choice(_));
+            if categorical && rng.gen::<f64>() < p {
+                let fresh = self.sample(rng);
+                out.insert(d.name.clone(), fresh[&d.name]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftensor::rng::rng;
+
+    fn demo() -> Space {
+        Space::new(vec![
+            ("flag", Range::Bool),
+            ("width", Range::Choice(vec![8.0, 16.0, 32.0])),
+            ("dropout", Range::Uniform { lo: 0.0, hi: 0.5 }),
+            ("lr", Range::LogUniform { lo: 1e-6, hi: 1e-2 }),
+        ])
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let s = demo();
+        let mut r = rng(1);
+        for _ in 0..200 {
+            let c = s.sample(&mut r);
+            assert!(c["flag"] == 0.0 || c["flag"] == 1.0);
+            assert!([8.0, 16.0, 32.0].contains(&c["width"]));
+            assert!((0.0..=0.5).contains(&c["dropout"]));
+            assert!((1e-6..=1e-2).contains(&c["lr"]));
+        }
+    }
+
+    #[test]
+    fn unit_round_trip_is_close() {
+        let s = demo();
+        let mut r = rng(2);
+        for _ in 0..50 {
+            let c = s.sample(&mut r);
+            let u = s.to_unit(&c);
+            assert!(u.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            let back = s.from_unit(&u);
+            assert_eq!(back["width"], c["width"], "choice dims reproduce exactly");
+            assert!((back["dropout"] - c["dropout"]).abs() < 1e-9);
+            // Log dims round-trip in log space.
+            assert!((back["lr"].ln() - c["lr"].ln()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_uniform_explores_decades() {
+        let s = Space::new(vec![("lr", Range::LogUniform { lo: 1e-6, hi: 1e-2 })]);
+        let mut r = rng(3);
+        let samples: Vec<f64> = (0..500).map(|_| s.sample(&mut r)["lr"]).collect();
+        let below_1e4 = samples.iter().filter(|&&v| v < 1e-4).count();
+        // Log-uniform puts half the mass below the geometric midpoint.
+        assert!((below_1e4 as f64 / 500.0 - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn resample_categoricals_touches_only_categoricals() {
+        let s = demo();
+        let mut r = rng(4);
+        let c = s.sample(&mut r);
+        let m = s.resample_categoricals(&c, 1.0, &mut r);
+        assert_eq!(m["dropout"], c["dropout"]);
+        assert_eq!(m["lr"], c["lr"]);
+    }
+}

@@ -1,0 +1,165 @@
+//! MPI-style collectives over threads.
+//!
+//! The paper's evaluation jobs are 16-rank Horovod/MPI processes that use
+//! `allgather` to compile results before parallel file writing (§4.2).
+//! Here a rank is a thread; the [`Communicator`] provides `barrier` and
+//! `allgather` with the same semantics: every rank contributes a vector
+//! and every rank receives the concatenation in rank order.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// A fixed-size group of ranks.
+pub struct Communicator<T: Clone + Send> {
+    size: usize,
+    state: Mutex<GatherState<T>>,
+    cv: Condvar,
+}
+
+struct GatherState<T> {
+    /// Contributions of the current round, by rank.
+    slots: Vec<Option<Vec<T>>>,
+    /// Completed round's result, kept until every rank has taken it.
+    result: Option<Arc<Vec<T>>>,
+    taken: usize,
+    generation: u64,
+}
+
+impl<T: Clone + Send> Communicator<T> {
+    /// Creates a communicator for `size` ranks.
+    pub fn new(size: usize) -> Arc<Communicator<T>> {
+        assert!(size >= 1, "communicator needs at least one rank");
+        Arc::new(Communicator {
+            size,
+            state: Mutex::new(GatherState {
+                slots: (0..size).map(|_| None).collect(),
+                result: None,
+                taken: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Contributes this rank's data and returns the concatenation of all
+    /// ranks' data in rank order. Blocks until every rank arrives. The
+    /// communicator is reusable for successive rounds.
+    pub fn allgather(&self, rank: usize, data: Vec<T>) -> Vec<T> {
+        assert!(rank < self.size, "rank {rank} out of range ({} ranks)", self.size);
+        let mut st = self.state.lock();
+        let my_generation = st.generation;
+        // Wait for the previous round to fully drain (slow rank re-entry).
+        while st.result.is_some() && st.generation == my_generation {
+            self.cv.wait(&mut st);
+        }
+        assert!(st.slots[rank].is_none(), "rank {rank} gathered twice in one round");
+        st.slots[rank] = Some(data);
+
+        if st.slots.iter().all(|s| s.is_some()) {
+            // Last rank in: assemble and publish.
+            let mut all = Vec::new();
+            for s in st.slots.iter_mut() {
+                all.extend(s.take().expect("slot filled"));
+            }
+            st.result = Some(Arc::new(all));
+            st.taken = 0;
+            self.cv.notify_all();
+        } else {
+            while st.result.is_none() {
+                self.cv.wait(&mut st);
+            }
+        }
+
+        let out = st.result.as_ref().expect("result published").as_ref().clone();
+        st.taken += 1;
+        if st.taken == self.size {
+            // Round complete: reset for reuse.
+            st.result = None;
+            st.generation += 1;
+            self.cv.notify_all();
+        }
+        out
+    }
+
+    /// Synchronization barrier (an allgather of nothing).
+    pub fn barrier(&self, rank: usize) {
+        let _ = self.allgather(rank, Vec::new());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gathers_in_rank_order() {
+        let comm = Communicator::new(4);
+        let results: Vec<Vec<u32>> = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|rank| {
+                    let comm = Arc::clone(&comm);
+                    s.spawn(move |_| comm.allgather(rank, vec![rank as u32 * 10, rank as u32 * 10 + 1]))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        for r in &results {
+            assert_eq!(r, &[0, 1, 10, 11, 20, 21, 30, 31]);
+        }
+    }
+
+    #[test]
+    fn unequal_contribution_sizes() {
+        let comm = Communicator::new(3);
+        let results: Vec<Vec<u8>> = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|rank| {
+                    let comm = Arc::clone(&comm);
+                    s.spawn(move |_| comm.allgather(rank, vec![rank as u8; rank]))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        for r in &results {
+            assert_eq!(r, &[1u8, 2, 2]);
+        }
+    }
+
+    #[test]
+    fn communicator_is_reusable_across_rounds() {
+        let comm = Communicator::new(2);
+        crossbeam::scope(|s| {
+            for rank in 0..2 {
+                let comm = Arc::clone(&comm);
+                s.spawn(move |_| {
+                    for round in 0..5u64 {
+                        let out = comm.allgather(rank, vec![round * 2 + rank as u64]);
+                        assert_eq!(out, vec![round * 2, round * 2 + 1], "round {round}");
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn single_rank_is_trivial() {
+        let comm = Communicator::new(1);
+        assert_eq!(comm.allgather(0, vec![7]), vec![7]);
+        comm.barrier(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_rank_panics() {
+        let comm: Arc<Communicator<u8>> = Communicator::new(2);
+        comm.allgather(5, vec![]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Simulated cluster description (Lassen, §3.2).
+//!
+//! Captures the resource shapes the paper schedules against: Lassen nodes
+//! (44 Power9 cores, 4 × 16 GB V100, 256 GB RAM) and the "rank" unit used
+//! for both training and screening (1 GPU + 10 cores + 64 GB). These feed
+//! the admission checks of job configuration and the peak-scale arithmetic
+//! of Table 7.
+
+use serde::{Deserialize, Serialize};
+
+/// One compute node's resources.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    pub cpu_cores: usize,
+    pub gpus: usize,
+    pub gpu_memory_gb: f64,
+    pub memory_gb: f64,
+}
+
+/// A homogeneous cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    pub nodes: usize,
+    pub node: NodeSpec,
+}
+
+/// The paper's rank unit: 1 GPU, 10 CPU cores, 64 GB memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankSpec {
+    pub gpus: usize,
+    pub cpu_cores: usize,
+    pub memory_gb: f64,
+    /// Parallel data-loader workers per rank (training: 24; screening: 12).
+    pub data_workers: usize,
+}
+
+impl ClusterSpec {
+    /// LLNL Lassen: 792 nodes of 44 Power9 cores + 4 V100-16GB + 256 GB.
+    pub fn lassen() -> ClusterSpec {
+        ClusterSpec {
+            nodes: 792,
+            node: NodeSpec { cpu_cores: 44, gpus: 4, gpu_memory_gb: 16.0, memory_gb: 256.0 },
+        }
+    }
+
+    /// Maximum ranks per node given a rank shape.
+    pub fn ranks_per_node(&self, rank: &RankSpec) -> usize {
+        let by_gpu = self.node.gpus.checked_div(rank.gpus).unwrap_or(usize::MAX);
+        let by_cpu = self.node.cpu_cores / rank.cpu_cores.max(1);
+        let by_mem = (self.node.memory_gb / rank.memory_gb.max(1e-9)) as usize;
+        by_gpu.min(by_cpu).min(by_mem)
+    }
+
+    /// Total ranks the cluster can host.
+    pub fn total_ranks(&self, rank: &RankSpec) -> usize {
+        self.nodes * self.ranks_per_node(rank)
+    }
+
+    /// How many `nodes_per_job`-node jobs fit in an allotment of `nodes`.
+    pub fn jobs_in_allotment(nodes: usize, nodes_per_job: usize) -> usize {
+        nodes / nodes_per_job.max(1)
+    }
+}
+
+impl RankSpec {
+    /// The screening rank of §3.2/§4.2.
+    pub fn screening() -> RankSpec {
+        RankSpec { gpus: 1, cpu_cores: 10, memory_gb: 64.0, data_workers: 12 }
+    }
+
+    /// The training rank of §3.2 (24 data workers).
+    pub fn training() -> RankSpec {
+        RankSpec { gpus: 1, cpu_cores: 10, memory_gb: 64.0, data_workers: 24 }
+    }
+}
+
+/// Memory model of a screening rank: model residency + batch staging.
+/// The paper: the Coherent Fusion model occupies 1.5 GB of GPU memory; the
+/// rest holds a 56-pose batch.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GpuMemoryModel {
+    pub model_gb: f64,
+    pub per_pose_gb: f64,
+}
+
+impl Default for GpuMemoryModel {
+    fn default() -> Self {
+        // 14.5 GB of headroom / 56 poses ≈ 0.259 GB per staged pose.
+        Self { model_gb: 1.5, per_pose_gb: (16.0 - 1.5) / 56.0 }
+    }
+}
+
+impl GpuMemoryModel {
+    /// Largest batch that fits alongside the model.
+    pub fn max_batch(&self, gpu_memory_gb: f64) -> usize {
+        // Epsilon guards the exact-fit case against float truncation.
+        ((gpu_memory_gb - self.model_gb).max(0.0) / self.per_pose_gb + 1e-9) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lassen_hosts_four_screening_ranks_per_node() {
+        let c = ClusterSpec::lassen();
+        assert_eq!(c.ranks_per_node(&RankSpec::screening()), 4);
+        assert_eq!(c.total_ranks(&RankSpec::screening()), 792 * 4);
+    }
+
+    #[test]
+    fn rank_shape_is_gpu_limited_not_cpu_limited() {
+        let c = ClusterSpec::lassen();
+        let r = RankSpec::screening();
+        assert!(c.node.cpu_cores / r.cpu_cores >= c.node.gpus, "CPU is not the binding limit");
+        assert_eq!((c.node.memory_gb / r.memory_gb) as usize, 4);
+    }
+
+    #[test]
+    fn peak_allotment_matches_paper() {
+        // 500 nodes at 4 nodes/job = 125 parallel jobs.
+        assert_eq!(ClusterSpec::jobs_in_allotment(500, 4), 125);
+    }
+
+    #[test]
+    fn gpu_memory_model_reproduces_batch_of_56() {
+        let m = GpuMemoryModel::default();
+        assert_eq!(m.max_batch(16.0), 56);
+        // A hypothetical 32 GB GPU would roughly double the batch.
+        assert!(m.max_batch(32.0) > 100);
+    }
+}

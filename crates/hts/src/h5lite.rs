@@ -1,0 +1,320 @@
+//! `h5lite` — a small chunked binary container for screening results.
+//!
+//! The paper writes predictions to HDF5 files whose layout mirrors
+//! ConveyorLC's CDT3Docking output so downstream tooling can read them
+//! (§4.2). We cannot depend on libhdf5, so this module implements a
+//! self-describing chunked format with the same role:
+//!
+//! ```text
+//! [magic "DFH5" | version u32]
+//! repeated chunks:
+//!   [name_len u32][name bytes][record_count u32][records...]
+//! record:
+//!   [library u8][compound_index u64][target u8][pose_rank u16][score f64]
+//! ```
+//!
+//! Each MPI rank writes its own file in parallel (the paper's mitigation
+//! for the file-output bottleneck); a directory of rank files is read back
+//! as one result set.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dfchem::genmol::{CompoundId, Library};
+use dfchem::pocket::TargetSite;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"DFH5";
+const VERSION: u32 = 1;
+
+/// One scored pose.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoreRecord {
+    pub compound: CompoundId,
+    pub target: TargetSite,
+    pub pose_rank: u16,
+    /// Predicted binding affinity (pK for fusion; kcal/mol for physics).
+    pub score: f64,
+}
+
+/// Errors from h5lite I/O.
+#[derive(Debug)]
+pub enum H5Error {
+    Io(std::io::Error),
+    Corrupt(String),
+}
+
+impl std::fmt::Display for H5Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            H5Error::Io(e) => write!(f, "h5lite io error: {e}"),
+            H5Error::Corrupt(m) => write!(f, "h5lite corrupt file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for H5Error {}
+
+impl From<std::io::Error> for H5Error {
+    fn from(e: std::io::Error) -> Self {
+        H5Error::Io(e)
+    }
+}
+
+fn library_code(l: Library) -> u8 {
+    match l {
+        Library::ZincWorldApproved => 0,
+        Library::Chembl => 1,
+        Library::EMolecules => 2,
+        Library::EnamineVirtual => 3,
+    }
+}
+
+fn library_from(code: u8) -> Result<Library, H5Error> {
+    Ok(match code {
+        0 => Library::ZincWorldApproved,
+        1 => Library::Chembl,
+        2 => Library::EMolecules,
+        3 => Library::EnamineVirtual,
+        other => return Err(H5Error::Corrupt(format!("bad library code {other}"))),
+    })
+}
+
+fn target_code(t: TargetSite) -> u8 {
+    match t {
+        TargetSite::Protease1 => 0,
+        TargetSite::Protease2 => 1,
+        TargetSite::Spike1 => 2,
+        TargetSite::Spike2 => 3,
+    }
+}
+
+fn target_from(code: u8) -> Result<TargetSite, H5Error> {
+    Ok(match code {
+        0 => TargetSite::Protease1,
+        1 => TargetSite::Protease2,
+        2 => TargetSite::Spike1,
+        3 => TargetSite::Spike2,
+        other => return Err(H5Error::Corrupt(format!("bad target code {other}"))),
+    })
+}
+
+/// Serializes one named chunk of records.
+fn encode_chunk(name: &str, records: &[ScoreRecord]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(12 + name.len() + records.len() * 20);
+    buf.put_u32_le(name.len() as u32);
+    buf.put_slice(name.as_bytes());
+    buf.put_u32_le(records.len() as u32);
+    for r in records {
+        buf.put_u8(library_code(r.compound.library));
+        buf.put_u64_le(r.compound.index);
+        buf.put_u8(target_code(r.target));
+        buf.put_u16_le(r.pose_rank);
+        buf.put_f64_le(r.score);
+    }
+    buf.freeze()
+}
+
+/// A writer that appends named chunks to one file.
+pub struct H5Writer {
+    file: std::fs::File,
+    pub path: PathBuf,
+}
+
+impl H5Writer {
+    /// Creates (truncates) a result file and writes the header.
+    pub fn create(path: impl AsRef<Path>) -> Result<H5Writer, H5Error> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        Ok(H5Writer { file, path: path.as_ref().to_path_buf() })
+    }
+
+    /// Appends one chunk.
+    pub fn write_chunk(&mut self, name: &str, records: &[ScoreRecord]) -> Result<(), H5Error> {
+        self.file.write_all(&encode_chunk(name, records))?;
+        Ok(())
+    }
+
+    /// Flushes to disk.
+    pub fn finish(mut self) -> Result<PathBuf, H5Error> {
+        self.file.flush()?;
+        Ok(self.path)
+    }
+}
+
+/// Reads every chunk of one file.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Vec<(String, Vec<ScoreRecord>)>, H5Error> {
+    let mut raw = Vec::new();
+    std::fs::File::open(&path)?.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 8 {
+        return Err(H5Error::Corrupt("file shorter than header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(H5Error::Corrupt("bad magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(H5Error::Corrupt(format!("unsupported version {version}")));
+    }
+    let mut chunks = Vec::new();
+    while buf.has_remaining() {
+        if buf.remaining() < 4 {
+            return Err(H5Error::Corrupt("truncated chunk header".into()));
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len + 4 {
+            return Err(H5Error::Corrupt("truncated chunk name".into()));
+        }
+        let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+            .map_err(|_| H5Error::Corrupt("chunk name not utf8".into()))?;
+        let count = buf.get_u32_le() as usize;
+        if buf.remaining() < count * 20 {
+            return Err(H5Error::Corrupt(format!("truncated records in chunk {name}")));
+        }
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            let library = library_from(buf.get_u8())?;
+            let index = buf.get_u64_le();
+            let target = target_from(buf.get_u8())?;
+            let pose_rank = buf.get_u16_le();
+            let score = buf.get_f64_le();
+            records.push(ScoreRecord {
+                compound: CompoundId { library, index },
+                target,
+                pose_rank,
+                score,
+            });
+        }
+        chunks.push((name, records));
+    }
+    Ok(chunks)
+}
+
+/// Reads every `.dfh5` file in a directory, concatenating all records.
+pub fn read_dir(dir: impl AsRef<Path>) -> Result<Vec<ScoreRecord>, H5Error> {
+    let mut out = Vec::new();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "dfh5"))
+        .collect();
+    paths.sort();
+    for p in paths {
+        for (_, mut records) in read_file(&p)? {
+            out.append(&mut records);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records(n: u64) -> Vec<ScoreRecord> {
+        (0..n)
+            .map(|i| ScoreRecord {
+                compound: CompoundId { library: Library::EnamineVirtual, index: i },
+                target: TargetSite::Spike1,
+                pose_rank: (i % 10) as u16,
+                score: 5.0 + i as f64 * 0.01,
+            })
+            .collect()
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dfh5_test_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn round_trip_single_chunk() {
+        let dir = tmpdir("rt");
+        let path = dir.join("rank0.dfh5");
+        let records = sample_records(100);
+        let mut w = H5Writer::create(&path).unwrap();
+        w.write_chunk("predictions", &records).unwrap();
+        w.finish().unwrap();
+        let chunks = read_file(&path).unwrap();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].0, "predictions");
+        assert_eq!(chunks[0].1, records);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn multiple_chunks_preserve_order() {
+        let dir = tmpdir("multi");
+        let path = dir.join("r.dfh5");
+        let mut w = H5Writer::create(&path).unwrap();
+        w.write_chunk("a", &sample_records(3)).unwrap();
+        w.write_chunk("b", &sample_records(5)).unwrap();
+        w.finish().unwrap();
+        let chunks = read_file(&path).unwrap();
+        assert_eq!(chunks.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(chunks[1].1.len(), 5);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn read_dir_merges_rank_files() {
+        let dir = tmpdir("dir");
+        for rank in 0..4 {
+            let mut w = H5Writer::create(dir.join(format!("rank{rank}.dfh5"))).unwrap();
+            w.write_chunk("p", &sample_records(10)).unwrap();
+            w.finish().unwrap();
+        }
+        // A non-result file is ignored.
+        std::fs::write(dir.join("log.txt"), b"noise").unwrap();
+        let all = read_dir(&dir).unwrap();
+        assert_eq!(all.len(), 40);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected_not_panicked() {
+        let dir = tmpdir("corrupt");
+        let p1 = dir.join("bad_magic.dfh5");
+        std::fs::write(&p1, b"NOPE0000").unwrap();
+        assert!(matches!(read_file(&p1), Err(H5Error::Corrupt(_))));
+
+        // Truncated records.
+        let p2 = dir.join("trunc.dfh5");
+        let mut w = H5Writer::create(&p2).unwrap();
+        w.write_chunk("p", &sample_records(10)).unwrap();
+        w.finish().unwrap();
+        let full = std::fs::read(&p2).unwrap();
+        std::fs::write(&p2, &full[..full.len() - 7]).unwrap();
+        assert!(matches!(read_file(&p2), Err(H5Error::Corrupt(_))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn all_libraries_and_targets_encode() {
+        let dir = tmpdir("codes");
+        let path = dir.join("x.dfh5");
+        let mut records = Vec::new();
+        for (li, l) in Library::ALL.into_iter().enumerate() {
+            for (ti, t) in TargetSite::ALL.into_iter().enumerate() {
+                records.push(ScoreRecord {
+                    compound: CompoundId { library: l, index: li as u64 },
+                    target: t,
+                    pose_rank: ti as u16,
+                    score: -7.5,
+                });
+            }
+        }
+        let mut w = H5Writer::create(&path).unwrap();
+        w.write_chunk("codes", &records).unwrap();
+        w.finish().unwrap();
+        assert_eq!(read_file(&path).unwrap()[0].1, records);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

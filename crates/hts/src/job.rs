@@ -1,0 +1,437 @@
+//! Fusion evaluation jobs: the unit of screening work (Figure 3).
+//!
+//! The paper formulates evaluation as "many, individual 4-node processes,
+//! each assigned to evaluate an independent set of 2 million poses". Here
+//! a job is a set of `nodes × ranks_per_node` rank threads. Each rank:
+//!
+//! 1. takes the compound subset with its index (round-robin split),
+//! 2. materializes poses (docking output, or a synthetic source for
+//!    throughput experiments) and scores them in batches,
+//! 3. allgathers every rank's predictions,
+//! 4. writes its assigned share of the gathered records into its own
+//!    `h5lite` file in parallel.
+//!
+//! Faults (bad metadata / broken pipe / node failure) are injected per the
+//! job's [`FaultConfig`]; node failure aborts the job so the scheduler can
+//! re-queue it — the paper's design makes that cheap by keeping jobs small.
+
+use crate::allgather::Communicator;
+use crate::fault::{FaultConfig, FaultEvent, FaultInjector};
+use crate::h5lite::{H5Writer, ScoreRecord};
+use crate::scorer::ScorerFactory;
+use dfchem::genmol::{Compound, Library};
+use dfchem::geom::{Rotation, Vec3};
+use dfchem::mol::Molecule;
+use dfchem::pocket::{BindingPocket, TargetSite};
+use dfdock::search::{dock, DockConfig};
+use dftensor::rng::{derive_seed, normal_with, rng, uniform};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Produces the poses a job evaluates for one compound.
+pub trait PoseSource: Sync {
+    fn poses(&self, compound: &Compound, pocket: &BindingPocket, seed: u64) -> Vec<Molecule>;
+}
+
+/// Real docking poses via the ConveyorLC-style search (what the campaign
+/// uses).
+pub struct DockingPoseSource(pub DockConfig);
+
+impl PoseSource for DockingPoseSource {
+    fn poses(&self, compound: &Compound, pocket: &BindingPocket, seed: u64) -> Vec<Molecule> {
+        dock(&self.0, &compound.mol, pocket, seed).into_iter().map(|p| p.ligand).collect()
+    }
+}
+
+/// Cheap synthetic poses (random rigid placements) for throughput and
+/// fault-tolerance experiments where docking cost would dominate.
+pub struct SyntheticPoseSource {
+    pub poses_per_compound: usize,
+}
+
+impl PoseSource for SyntheticPoseSource {
+    fn poses(&self, compound: &Compound, pocket: &BindingPocket, seed: u64) -> Vec<Molecule> {
+        let mut r = rng(seed);
+        (0..self.poses_per_compound)
+            .map(|_| {
+                let mut m = compound.mol.clone();
+                let c = m.centroid();
+                m.translate(c.scale(-1.0));
+                m.rotate_about_centroid(&Rotation::about_axis(
+                    Vec3::new(
+                        normal_with(&mut r, 0.0, 1.0),
+                        normal_with(&mut r, 0.0, 1.0),
+                        normal_with(&mut r, 0.0, 1.0),
+                    ),
+                    uniform(&mut r, 0.0, std::f64::consts::TAU),
+                ));
+                m.translate(Vec3::new(
+                    normal_with(&mut r, 0.0, pocket.radius * 0.3),
+                    normal_with(&mut r, 0.0, pocket.radius * 0.3),
+                    normal_with(&mut r, 0.0, pocket.radius * 0.3),
+                ));
+                m
+            })
+            .collect()
+    }
+}
+
+/// Static job-shape configuration (the paper's values in comments).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobConfig {
+    /// Nodes per job (paper: 4).
+    pub nodes: usize,
+    /// Ranks (GPUs) per node (paper: 4 → 16 ranks/job).
+    pub ranks_per_node: usize,
+    /// Poses loaded per inference batch (paper: 56).
+    pub batch_size: usize,
+    /// Output directory for the rank files.
+    pub output_dir: PathBuf,
+    pub faults: FaultConfig,
+}
+
+impl JobConfig {
+    pub fn num_ranks(&self) -> usize {
+        self.nodes * self.ranks_per_node
+    }
+}
+
+/// One job's work assignment: a contiguous compound range on one target.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    pub job_id: u64,
+    pub target: TargetSite,
+    pub library: Library,
+    pub first_compound: u64,
+    pub num_compounds: u64,
+    pub campaign_seed: u64,
+    /// Retry attempt (0 = first run); changes fault outcomes.
+    pub attempt: u32,
+}
+
+/// Job failure modes surfaced to the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    NodeFailure { job_id: u64, node: usize },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::NodeFailure { job_id, node } => {
+                write!(f, "job {job_id}: node {node} failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Wall-clock phase breakdown, mirroring Table 7's rows.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct JobTiming {
+    pub startup: Duration,
+    pub evaluate: Duration,
+    pub output: Duration,
+    pub poses_evaluated: usize,
+}
+
+impl JobTiming {
+    /// Measured poses/second over the full job lifetime.
+    pub fn poses_per_sec(&self) -> f64 {
+        let total = (self.startup + self.evaluate + self.output).as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.poses_evaluated as f64 / total
+    }
+
+    /// Measured poses/second during the evaluation phase only.
+    pub fn eval_poses_per_sec(&self) -> f64 {
+        let t = self.evaluate.as_secs_f64();
+        if t == 0.0 {
+            return 0.0;
+        }
+        self.poses_evaluated as f64 / t
+    }
+}
+
+/// A completed job.
+#[derive(Debug)]
+pub struct JobOutput {
+    pub job_id: u64,
+    pub records: Vec<ScoreRecord>,
+    pub files: Vec<PathBuf>,
+    pub faults: Vec<FaultEvent>,
+    pub timing: JobTiming,
+}
+
+/// Runs one evaluation job to completion (or node failure).
+pub fn run_job(
+    cfg: &JobConfig,
+    spec: &JobSpec,
+    scorer_factory: &dyn ScorerFactory,
+    source: &dyn PoseSource,
+) -> Result<JobOutput, JobError> {
+    let start = Instant::now();
+    let injector = FaultInjector::new(cfg.faults);
+    let num_ranks = cfg.num_ranks();
+
+    // Startup phase: receptor preparation happens once per job.
+    let pocket = BindingPocket::generate(spec.target, spec.campaign_seed);
+    let startup = start.elapsed();
+
+    // Pre-declared node failures for this attempt (a dead node kills the
+    // whole MPI job).
+    for node in 0..cfg.nodes {
+        if injector.node_fails(spec.job_id, spec.attempt, node) {
+            return Err(JobError::NodeFailure { job_id: spec.job_id, node });
+        }
+    }
+
+    let eval_start = Instant::now();
+    let comm: Arc<Communicator<ScoreRecord>> = Communicator::new(num_ranks);
+    let faults: Mutex<Vec<FaultEvent>> = Mutex::new(Vec::new());
+    // Per-rank result slot: (gathered records, output file path).
+    type RankOutput = Mutex<Option<(Vec<ScoreRecord>, PathBuf)>>;
+    let rank_outputs: Vec<RankOutput> = (0..num_ranks).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|s| {
+        for rank in 0..num_ranks {
+            let comm = Arc::clone(&comm);
+            let pocket = &pocket;
+            let faults = &faults;
+            let rank_outputs = &rank_outputs;
+            s.spawn(move |_| {
+                let mut scorer = scorer_factory.build();
+                let mut records: Vec<ScoreRecord> = Vec::new();
+                // Round-robin compound assignment by rank index.
+                let mut ci = spec.first_compound + rank as u64;
+                while ci < spec.first_compound + spec.num_compounds {
+                    if injector.bad_metadata(spec.job_id, ci) {
+                        faults.lock().push(FaultEvent::BadMetadata { compound_index: ci });
+                        ci += num_ranks as u64;
+                        continue;
+                    }
+                    let compound = Compound::materialize(spec.library, ci, spec.campaign_seed);
+                    let pose_seed = derive_seed(spec.campaign_seed, 0x9053 ^ ci);
+                    let poses = source.poses(&compound, pocket, pose_seed);
+                    let mut pose_rank = 0u16;
+                    for chunk in poses.chunks(cfg.batch_size.max(1)) {
+                        for score in scorer.score_poses(chunk, pocket) {
+                            records.push(ScoreRecord {
+                                compound: compound.id,
+                                target: spec.target,
+                                pose_rank,
+                                score,
+                            });
+                            pose_rank += 1;
+                        }
+                    }
+                    ci += num_ranks as u64;
+                }
+
+                // Gather everyone's predictions.
+                let all = comm.allgather(rank, records);
+
+                // Parallel output: this rank writes the records whose
+                // compound index hashes to it.
+                let mine: Vec<ScoreRecord> = all
+                    .iter()
+                    .filter(|r| (r.compound.index as usize) % num_ranks == rank)
+                    .copied()
+                    .collect();
+                let path = cfg
+                    .output_dir
+                    .join(format!("job{:05}_rank{:02}.dfh5", spec.job_id, rank));
+                if injector.broken_pipe(spec.job_id, spec.attempt, rank) {
+                    // First write fails; log and retry once.
+                    faults.lock().push(FaultEvent::BrokenPipe { rank, retried: true });
+                }
+                let mut w = H5Writer::create(&path).expect("create rank output");
+                w.write_chunk("predictions", &mine).expect("write predictions");
+                let path = w.finish().expect("flush rank output");
+                *rank_outputs[rank].lock() = Some((all, path));
+            });
+        }
+    })
+    .expect("job rank panicked");
+
+    let evaluate = eval_start.elapsed();
+    let out_start = Instant::now();
+    let mut files = Vec::with_capacity(num_ranks);
+    let mut records = Vec::new();
+    for (rank, slot) in rank_outputs.iter().enumerate() {
+        let (gathered, path) = slot.lock().take().expect("rank finished");
+        if rank == 0 {
+            // Every rank holds the same gathered view; keep rank 0's.
+            records = gathered;
+        }
+        files.push(path);
+    }
+    let output = out_start.elapsed();
+
+    let poses_evaluated = records.len();
+    Ok(JobOutput {
+        job_id: spec.job_id,
+        records,
+        files,
+        faults: faults.into_inner(),
+        timing: JobTiming { startup, evaluate, output, poses_evaluated },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::h5lite::read_dir;
+    use crate::scorer::VinaScorerFactory;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dfjob_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn cfg(dir: PathBuf, faults: FaultConfig) -> JobConfig {
+        JobConfig { nodes: 2, ranks_per_node: 2, batch_size: 4, output_dir: dir, faults }
+    }
+
+    fn spec(job_id: u64, n: u64) -> JobSpec {
+        JobSpec {
+            job_id,
+            target: TargetSite::Spike1,
+            library: Library::EnamineVirtual,
+            first_compound: 0,
+            num_compounds: n,
+            campaign_seed: 3,
+            attempt: 0,
+        }
+    }
+
+    #[test]
+    fn job_scores_every_compound_pose() {
+        let dir = tmpdir("basic");
+        let out = run_job(
+            &cfg(dir.clone(), FaultConfig::default()),
+            &spec(1, 8),
+            &VinaScorerFactory,
+            &SyntheticPoseSource { poses_per_compound: 3 },
+        )
+        .unwrap();
+        assert_eq!(out.records.len(), 8 * 3);
+        assert_eq!(out.timing.poses_evaluated, 24);
+        assert!(out.faults.is_empty());
+        // Every compound appears with pose ranks 0..3.
+        for ci in 0..8u64 {
+            let ranks: Vec<u16> = out
+                .records
+                .iter()
+                .filter(|r| r.compound.index == ci)
+                .map(|r| r.pose_rank)
+                .collect();
+            assert_eq!(ranks.len(), 3, "compound {ci}");
+            assert!(ranks.contains(&0) && ranks.contains(&2));
+        }
+        // Rank files jointly contain the same records.
+        let on_disk = read_dir(&dir).unwrap();
+        assert_eq!(on_disk.len(), out.records.len());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bad_metadata_skips_compounds_but_not_the_job() {
+        let dir = tmpdir("badmeta");
+        let faults = FaultConfig { p_bad_metadata: 0.3, seed: 7, ..Default::default() };
+        let out = run_job(
+            &cfg(dir.clone(), faults),
+            &spec(2, 20),
+            &VinaScorerFactory,
+            &SyntheticPoseSource { poses_per_compound: 1 },
+        )
+        .unwrap();
+        let skipped = out
+            .faults
+            .iter()
+            .filter(|f| matches!(f, FaultEvent::BadMetadata { .. }))
+            .count();
+        assert!(skipped > 0, "expected some bad-metadata skips");
+        assert_eq!(out.records.len(), 20 - skipped);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn node_failure_aborts_the_job() {
+        let dir = tmpdir("nodefail");
+        let faults = FaultConfig { p_node_failure: 1.0, seed: 1, ..Default::default() };
+        let err = run_job(
+            &cfg(dir.clone(), faults),
+            &spec(3, 4),
+            &VinaScorerFactory,
+            &SyntheticPoseSource { poses_per_compound: 1 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, JobError::NodeFailure { job_id: 3, .. }));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn broken_pipe_is_retried_and_logged() {
+        let dir = tmpdir("pipe");
+        let faults = FaultConfig { p_broken_pipe: 1.0, seed: 5, ..Default::default() };
+        let out = run_job(
+            &cfg(dir.clone(), faults),
+            &spec(4, 4),
+            &VinaScorerFactory,
+            &SyntheticPoseSource { poses_per_compound: 1 },
+        )
+        .unwrap();
+        let pipes = out
+            .faults
+            .iter()
+            .filter(|f| matches!(f, FaultEvent::BrokenPipe { retried: true, .. }))
+            .count();
+        assert_eq!(pipes, 4, "every rank retried its write");
+        // Retries succeeded: all records on disk.
+        assert_eq!(read_dir(&dir).unwrap().len(), out.records.len());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn results_are_deterministic_across_runs_and_rank_counts() {
+        let d1 = tmpdir("det1");
+        let d2 = tmpdir("det2");
+        let a = run_job(
+            &cfg(d1.clone(), FaultConfig::default()),
+            &spec(5, 6),
+            &VinaScorerFactory,
+            &SyntheticPoseSource { poses_per_compound: 2 },
+        )
+        .unwrap();
+        let mut one_rank = cfg(d2.clone(), FaultConfig::default());
+        one_rank.nodes = 1;
+        one_rank.ranks_per_node = 1;
+        let b = run_job(
+            &one_rank,
+            &spec(5, 6),
+            &VinaScorerFactory,
+            &SyntheticPoseSource { poses_per_compound: 2 },
+        )
+        .unwrap();
+        let key = |r: &ScoreRecord| (r.compound.index, r.pose_rank);
+        let mut ra = a.records.clone();
+        let mut rb = b.records.clone();
+        ra.sort_by_key(key);
+        rb.sort_by_key(key);
+        assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(key(x), key(y));
+            assert_eq!(x.score, y.score, "scores independent of rank layout");
+        }
+        std::fs::remove_dir_all(d1).ok();
+        std::fs::remove_dir_all(d2).ok();
+    }
+}

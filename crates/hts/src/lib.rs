@@ -1,0 +1,43 @@
+//! `dfhts` — the high-throughput screening substrate.
+//!
+//! Replaces the Lassen + LSF + Horovod/MPI + HDF5 stack of §4:
+//!
+//! * [`cluster`] — node/rank resource model (Lassen shapes);
+//! * [`scorer`] — pluggable pose scorers (Vina, MM/GBSA, Deep Fusion);
+//! * [`job`] — 16-rank evaluation jobs with round-robin compound
+//!   assignment, batched inference, allgather and parallel file output
+//!   (Figure 3);
+//! * [`fault`] + [`scheduler`] — fault injection and the reschedule-on-
+//!   failure campaign loop;
+//! * [`allgather`] — MPI-style collectives over rank threads;
+//! * [`h5lite`] — the chunked binary result format standing in for HDF5;
+//! * [`throughput`] — measured rates plus the calibrated Lassen model
+//!   behind Table 7 and the §4.2 speedups.
+
+pub mod allgather;
+pub mod cluster;
+pub mod enrichment;
+pub mod fault;
+pub mod h5lite;
+pub mod job;
+pub mod scheduler;
+pub mod simulate;
+pub mod scorer;
+pub mod throughput;
+
+pub use allgather::Communicator;
+pub use cluster::{ClusterSpec, GpuMemoryModel, NodeSpec, RankSpec};
+pub use enrichment::{enrichment_factor, recovery_auc, recovery_curve, FunnelReport, ScreenItem};
+pub use fault::{FaultConfig, FaultEvent, FaultInjector};
+pub use h5lite::{read_dir, read_file, H5Error, H5Writer, ScoreRecord};
+pub use job::{
+    run_job, DockingPoseSource, JobConfig, JobError, JobOutput, JobSpec, JobTiming, PoseSource,
+    SyntheticPoseSource,
+};
+pub use scheduler::{run_campaign, CampaignReport, SchedulerConfig};
+pub use simulate::{simulate_campaign, AllotmentWindow, CampaignSim, CampaignSimReport};
+pub use scorer::{
+    FusionScorer, FusionScorerFactory, MmGbsaScorer, MmGbsaScorerFactory, Scorer, ScorerFactory,
+    VinaScorer, VinaScorerFactory,
+};
+pub use throughput::{LassenModel, SpeedupReport, Table7Row};

@@ -1,0 +1,214 @@
+//! Fault-tolerant campaign scheduler.
+//!
+//! Runs many evaluation jobs across a bounded pool of "node allocations"
+//! (worker threads), re-queueing failed jobs with an incremented attempt
+//! counter. This reproduces the paper's operational design: "when a job
+//! fails it has minimal impact on overall throughput (another job takes
+//! its place) ... and only a small set of compounds are affected or need
+//! to be rescheduled" (§4.2).
+
+use crate::job::{run_job, JobConfig, JobError, JobOutput, JobSpec, PoseSource};
+use crate::scorer::ScorerFactory;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Scheduler limits.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Jobs running concurrently (the paper "regularly ran more than 10").
+    pub max_parallel_jobs: usize,
+    /// Attempts per job before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self { max_parallel_jobs: 4, max_attempts: 5 }
+    }
+}
+
+/// Campaign-level outcome.
+#[derive(Debug)]
+pub struct CampaignReport {
+    pub outputs: Vec<JobOutput>,
+    /// Jobs that exhausted their attempts.
+    pub abandoned: Vec<JobSpec>,
+    /// Total failed attempts across the run (rescheduled jobs).
+    pub failed_attempts: usize,
+    pub wall_time: Duration,
+}
+
+impl CampaignReport {
+    pub fn total_poses(&self) -> usize {
+        self.outputs.iter().map(|o| o.timing.poses_evaluated).sum()
+    }
+
+    /// Aggregate poses/second over the campaign's wall time.
+    pub fn poses_per_sec(&self) -> f64 {
+        let t = self.wall_time.as_secs_f64();
+        if t == 0.0 {
+            return 0.0;
+        }
+        self.total_poses() as f64 / t
+    }
+}
+
+/// Runs every job, retrying failures, across the worker pool.
+pub fn run_campaign(
+    sched: &SchedulerConfig,
+    job_cfg: &JobConfig,
+    specs: Vec<JobSpec>,
+    factory: &dyn ScorerFactory,
+    source: &dyn PoseSource,
+) -> CampaignReport {
+    let start = Instant::now();
+    let queue: Mutex<VecDeque<JobSpec>> = Mutex::new(specs.into());
+    let outputs: Mutex<Vec<JobOutput>> = Mutex::new(Vec::new());
+    let abandoned: Mutex<Vec<JobSpec>> = Mutex::new(Vec::new());
+    let failed_attempts = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|s| {
+        for _ in 0..sched.max_parallel_jobs.max(1) {
+            s.spawn(|_| loop {
+                let Some(spec) = queue.lock().pop_front() else { break };
+                match run_job(job_cfg, &spec, factory, source) {
+                    Ok(out) => outputs.lock().push(out),
+                    Err(JobError::NodeFailure { .. }) => {
+                        failed_attempts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let mut retry = spec;
+                        retry.attempt += 1;
+                        if retry.attempt < sched.max_attempts {
+                            // Another job takes its place: push to the back.
+                            queue.lock().push_back(retry);
+                        } else {
+                            abandoned.lock().push(retry);
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("scheduler worker panicked");
+
+    let mut outputs = outputs.into_inner();
+    outputs.sort_by_key(|o| o.job_id);
+    CampaignReport {
+        outputs,
+        abandoned: abandoned.into_inner(),
+        failed_attempts: failed_attempts.into_inner(),
+        wall_time: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use crate::job::SyntheticPoseSource;
+    use crate::scorer::VinaScorerFactory;
+    use dfchem::genmol::Library;
+    use dfchem::pocket::TargetSite;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dfsched_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn specs(n: u64, per_job: u64) -> Vec<JobSpec> {
+        (0..n)
+            .map(|j| JobSpec {
+                job_id: j,
+                target: TargetSite::Spike1,
+                library: Library::EnamineVirtual,
+                first_compound: j * per_job,
+                num_compounds: per_job,
+                campaign_seed: 4,
+                attempt: 0,
+            })
+            .collect()
+    }
+
+    fn job_cfg(dir: PathBuf, faults: FaultConfig) -> JobConfig {
+        JobConfig { nodes: 1, ranks_per_node: 2, batch_size: 4, output_dir: dir, faults }
+    }
+
+    #[test]
+    fn all_jobs_complete_without_faults() {
+        let dir = tmpdir("clean");
+        let report = run_campaign(
+            &SchedulerConfig { max_parallel_jobs: 3, max_attempts: 2 },
+            &job_cfg(dir.clone(), FaultConfig::default()),
+            specs(6, 4),
+            &VinaScorerFactory,
+            &SyntheticPoseSource { poses_per_compound: 2 },
+        );
+        assert_eq!(report.outputs.len(), 6);
+        assert!(report.abandoned.is_empty());
+        assert_eq!(report.failed_attempts, 0);
+        assert_eq!(report.total_poses(), 6 * 4 * 2);
+        assert!(report.poses_per_sec() > 0.0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn failed_jobs_are_rescheduled_and_finish() {
+        let dir = tmpdir("retry");
+        // Aggressive node failures; retries flip the outcome per attempt.
+        let faults = FaultConfig { p_node_failure: 0.4, seed: 2, ..Default::default() };
+        let report = run_campaign(
+            &SchedulerConfig { max_parallel_jobs: 2, max_attempts: 10 },
+            &job_cfg(dir.clone(), faults),
+            specs(8, 3),
+            &VinaScorerFactory,
+            &SyntheticPoseSource { poses_per_compound: 1 },
+        );
+        assert!(report.failed_attempts > 0, "some attempts should fail");
+        assert_eq!(report.outputs.len(), 8, "every job eventually completes");
+        assert!(report.abandoned.is_empty());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn permanently_failing_jobs_are_abandoned() {
+        let dir = tmpdir("abandon");
+        let faults = FaultConfig { p_node_failure: 1.0, seed: 3, ..Default::default() };
+        let report = run_campaign(
+            &SchedulerConfig { max_parallel_jobs: 2, max_attempts: 3 },
+            &job_cfg(dir.clone(), faults),
+            specs(4, 2),
+            &VinaScorerFactory,
+            &SyntheticPoseSource { poses_per_compound: 1 },
+        );
+        assert_eq!(report.abandoned.len(), 4);
+        assert_eq!(report.failed_attempts, 12, "3 attempts per job");
+        assert!(report.outputs.is_empty());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn parallelism_does_not_change_the_result_set() {
+        let d1 = tmpdir("p1");
+        let d2 = tmpdir("p4");
+        let run = |dir: PathBuf, par: usize| {
+            run_campaign(
+                &SchedulerConfig { max_parallel_jobs: par, max_attempts: 2 },
+                &job_cfg(dir, FaultConfig::default()),
+                specs(5, 3),
+                &VinaScorerFactory,
+                &SyntheticPoseSource { poses_per_compound: 2 },
+            )
+        };
+        let a = run(d1.clone(), 1);
+        let b = run(d2.clone(), 4);
+        assert_eq!(a.outputs.len(), b.outputs.len());
+        for (x, y) in a.outputs.iter().zip(&b.outputs) {
+            assert_eq!(x.job_id, y.job_id);
+            assert_eq!(x.records.len(), y.records.len());
+        }
+        std::fs::remove_dir_all(d1).ok();
+        std::fs::remove_dir_all(d2).ok();
+    }
+}

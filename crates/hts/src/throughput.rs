@@ -1,0 +1,216 @@
+//! Throughput accounting and the Lassen performance model behind Table 7
+//! and the §4.2 speedup comparison.
+//!
+//! Two layers:
+//!
+//! * **measured** — real wall-clock rates from jobs run by this crate on
+//!   the host CPU;
+//! * **modeled** — the paper's Lassen constants (20 min startup, 280 min
+//!   evaluation over 2 M poses on 16 V100 ranks, 6.5 min output; peak
+//!   allotment of 125 parallel jobs on 500 nodes). A *V100-equivalence
+//!   factor* maps measured CPU rank throughput onto the modeled GPU rank,
+//!   making the Table 7 reproduction explicit about what is measured and
+//!   what is calibrated.
+
+use serde::{Deserialize, Serialize};
+
+/// Lassen/V100 campaign constants reported in §4.2 and Table 7.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LassenModel {
+    pub startup_min: f64,
+    pub eval_min: f64,
+    pub output_min: f64,
+    pub poses_per_job: u64,
+    pub nodes_per_job: usize,
+    pub ranks_per_node: usize,
+    /// Peak parallel jobs (500 nodes / 4 nodes per job).
+    pub peak_jobs: usize,
+    /// Docked poses generated per compound (10 → compounds = poses/10).
+    pub poses_per_compound: u64,
+}
+
+impl Default for LassenModel {
+    fn default() -> Self {
+        Self {
+            startup_min: 20.0,
+            eval_min: 280.0,
+            output_min: 6.5,
+            poses_per_job: 2_000_000,
+            nodes_per_job: 4,
+            ranks_per_node: 4,
+            peak_jobs: 125,
+            poses_per_compound: 10,
+        }
+    }
+}
+
+impl LassenModel {
+    /// Total single-job runtime in minutes (paper: ≈ 5.1 h).
+    pub fn total_min(&self) -> f64 {
+        self.startup_min + self.eval_min + self.output_min
+    }
+
+    /// Single-job poses/second over the full lifetime (paper: 108).
+    pub fn poses_per_sec_single(&self) -> f64 {
+        self.poses_per_job as f64 / (self.total_min() * 60.0)
+    }
+
+    /// Single-job poses/hour (paper: 338,800).
+    pub fn poses_per_hour_single(&self) -> f64 {
+        self.poses_per_sec_single() * 3600.0
+    }
+
+    /// Single-job compounds/hour (paper: 33,880).
+    pub fn compounds_per_hour_single(&self) -> f64 {
+        self.poses_per_hour_single() / self.poses_per_compound as f64
+    }
+
+    /// Peak poses/second with `peak_jobs` concurrent jobs (paper: 13,594).
+    pub fn poses_per_sec_peak(&self) -> f64 {
+        self.poses_per_sec_single() * self.peak_jobs as f64
+    }
+
+    /// Peak poses/hour (paper: 48,600,000).
+    pub fn poses_per_hour_peak(&self) -> f64 {
+        self.poses_per_sec_peak() * 3600.0
+    }
+
+    /// Peak compounds/hour (paper: 4,860,000 — "nearly 5 million").
+    pub fn compounds_per_hour_peak(&self) -> f64 {
+        self.poses_per_hour_peak() / self.poses_per_compound as f64
+    }
+
+    /// Evaluation-phase poses/second of a single V100 rank.
+    pub fn eval_poses_per_sec_per_rank(&self) -> f64 {
+        let ranks = (self.nodes_per_job * self.ranks_per_node) as f64;
+        self.poses_per_job as f64 / (self.eval_min * 60.0) / ranks
+    }
+
+    /// How many of our measured ranks equal one modeled V100 rank.
+    pub fn v100_equivalence(&self, measured_rank_poses_per_sec: f64) -> f64 {
+        self.eval_poses_per_sec_per_rank() / measured_rank_poses_per_sec.max(1e-12)
+    }
+
+    /// Renders the Table 7 rows (single job vs peak).
+    pub fn table7(&self) -> Vec<Table7Row> {
+        let row = |metric: &str, single: String, peak: String| Table7Row {
+            metric: metric.to_string(),
+            single_job: single,
+            peak,
+        };
+        vec![
+            row("Avg. Startup", format!("{:.0} min.", self.startup_min), "\"".into()),
+            row("Avg. Evaluation", format!("{:.0} min.", self.eval_min), "\"".into()),
+            row("Avg. File Output", format!("{:.1} min.", self.output_min), "\"".into()),
+            row(
+                "Poses per sec.",
+                format!("{:.0}", self.poses_per_sec_single()),
+                format!("{:.0}", self.poses_per_sec_peak()),
+            ),
+            row(
+                "Poses per hour",
+                format!("{:.0}", self.poses_per_hour_single()),
+                format!("{:.0}", self.poses_per_hour_peak()),
+            ),
+            row(
+                "Compounds per hour",
+                format!("{:.0}", self.compounds_per_hour_single()),
+                format!("{:.0}", self.compounds_per_hour_peak()),
+            ),
+        ]
+    }
+}
+
+/// One rendered Table 7 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table7Row {
+    pub metric: String,
+    pub single_job: String,
+    pub peak: String,
+}
+
+/// §4.1/§4.2 scorer cost hierarchy and speedup comparison.
+///
+/// Paper reference points, per Lassen node: Vina ≈ 10 poses/s, MM/GBSA ≈
+/// 0.067 poses/s, Fusion ≈ 27 poses/s (108 poses/s over 4 nodes) — i.e.
+/// fusion is 2.7× Vina and 403× MM/GBSA.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpeedupReport {
+    pub fusion_poses_per_sec: f64,
+    pub vina_poses_per_sec: f64,
+    pub mmgbsa_poses_per_sec: f64,
+}
+
+impl SpeedupReport {
+    pub fn fusion_over_vina(&self) -> f64 {
+        self.fusion_poses_per_sec / self.vina_poses_per_sec.max(1e-12)
+    }
+
+    pub fn fusion_over_mmgbsa(&self) -> f64 {
+        self.fusion_poses_per_sec / self.mmgbsa_poses_per_sec.max(1e-12)
+    }
+
+    /// The paper's numbers as the reference instance.
+    pub fn paper() -> SpeedupReport {
+        SpeedupReport {
+            fusion_poses_per_sec: 27.0,
+            vina_poses_per_sec: 10.0,
+            mmgbsa_poses_per_sec: 0.067,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_job_rates_match_table7() {
+        let m = LassenModel::default();
+        // Paper: 108 poses/s. (Its "338,800 poses per hour" row is
+        // internally inconsistent — 108/s × 3600 = 388,800/h; we check the
+        // consistent value and note the discrepancy in EXPERIMENTS.md.)
+        assert!((m.poses_per_sec_single() - 108.0).abs() < 2.0, "{}", m.poses_per_sec_single());
+        assert!((m.poses_per_hour_single() - 388_800.0).abs() / 388_800.0 < 0.02);
+        assert!((m.compounds_per_hour_single() - 38_880.0).abs() / 38_880.0 < 0.02);
+        // Total runtime ≈ 5.1 hours.
+        assert!((m.total_min() / 60.0 - 5.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn peak_rates_match_table7() {
+        let m = LassenModel::default();
+        // Paper: 13,594 poses/s, 48.6M poses/h, 4.86M compounds/h.
+        assert!((m.poses_per_sec_peak() - 13_594.0).abs() / 13_594.0 < 0.02);
+        assert!((m.poses_per_hour_peak() - 48_600_000.0).abs() / 48_600_000.0 < 0.02);
+        assert!((m.compounds_per_hour_peak() - 4_860_000.0).abs() / 4_860_000.0 < 0.02);
+        // "throughput was increased more than 100 times"
+        assert!(m.poses_per_sec_peak() / m.poses_per_sec_single() > 100.0);
+    }
+
+    #[test]
+    fn per_rank_gpu_rate_is_consistent() {
+        let m = LassenModel::default();
+        // 2M poses / 280 min / 16 ranks ≈ 7.44 poses/s/rank.
+        assert!((m.eval_poses_per_sec_per_rank() - 7.44).abs() < 0.05);
+        // Equivalence factor: a CPU rank at 1 pose/s needs factor ≈ 7.44.
+        assert!((m.v100_equivalence(1.0) - 7.44).abs() < 0.05);
+    }
+
+    #[test]
+    fn paper_speedups_reproduce() {
+        let s = SpeedupReport::paper();
+        assert!((s.fusion_over_vina() - 2.7).abs() < 0.01);
+        assert!((s.fusion_over_mmgbsa() - 403.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn table7_has_all_rows() {
+        let rows = LassenModel::default().table7();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[3].metric, "Poses per sec.");
+        // 2e6 poses / 306.5 min = 108.75/s; the paper truncates to 108.
+        assert_eq!(rows[3].single_job, "109");
+        assert_eq!(rows[3].peak, "13594");
+    }
+}

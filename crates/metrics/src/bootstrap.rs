@@ -1,0 +1,166 @@
+//! Bootstrap confidence intervals for correlation statistics.
+//!
+//! The paper's Table 8 correlations are computed over small (>1%-binder)
+//! subsets — 20–30 positives per target — where point estimates are
+//! fragile ("the interpretation of near-zero correlation coefficients is
+//! unavailing"). Resampling CIs make that fragility quantitative, and the
+//! `table8` harness reports them alongside the point estimates.
+
+use crate::regression::{pearson, spearman};
+
+/// A two-sided percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    pub estimate: f64,
+    pub lo: f64,
+    pub hi: f64,
+    /// Nominal coverage (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether the interval excludes zero (a "significant" correlation in
+    /// the loose bootstrap sense).
+    pub fn excludes_zero(&self) -> bool {
+        self.lo > 0.0 || self.hi < 0.0
+    }
+}
+
+/// Deterministic xorshift for resampling (no external RNG needed here and
+/// results stay reproducible across platforms).
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+fn bootstrap_statistic(
+    a: &[f64],
+    b: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+    stat: impl Fn(&[f64], &[f64]) -> f64,
+) -> ConfidenceInterval {
+    assert_eq!(a.len(), b.len(), "paired inputs required");
+    assert!((0.0..1.0).contains(&level) && level > 0.5, "level in (0.5, 1)");
+    let estimate = stat(a, b);
+    let n = a.len();
+    if n < 3 {
+        return ConfidenceInterval { estimate, lo: -1.0, hi: 1.0, level };
+    }
+    let mut state = seed | 1;
+    let mut stats = Vec::with_capacity(resamples);
+    let mut ra = vec![0.0; n];
+    let mut rb = vec![0.0; n];
+    for _ in 0..resamples {
+        for i in 0..n {
+            let j = (xorshift(&mut state) % n as u64) as usize;
+            ra[i] = a[j];
+            rb[i] = b[j];
+        }
+        stats.push(stat(&ra, &rb));
+    }
+    stats.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = (1.0 - level) / 2.0;
+    ConfidenceInterval {
+        estimate,
+        lo: percentile(&stats, alpha),
+        hi: percentile(&stats, 1.0 - alpha),
+        level,
+    }
+}
+
+/// Percentile-bootstrap CI for the Pearson correlation.
+pub fn pearson_ci(a: &[f64], b: &[f64], resamples: usize, level: f64, seed: u64) -> ConfidenceInterval {
+    bootstrap_statistic(a, b, resamples, level, seed, pearson)
+}
+
+/// Percentile-bootstrap CI for the Spearman correlation.
+pub fn spearman_ci(a: &[f64], b: &[f64], resamples: usize, level: f64, seed: u64) -> ConfidenceInterval {
+    bootstrap_statistic(a, b, resamples, level, seed, spearman)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize, noise: f64) -> (Vec<f64>, Vec<f64>) {
+        let mut state = 42u64;
+        let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let b: Vec<f64> = a
+            .iter()
+            .map(|&x| x + noise * ((xorshift(&mut state) % 1000) as f64 / 1000.0 - 0.5))
+            .collect();
+        (a, b)
+    }
+
+    #[test]
+    fn strong_correlation_has_tight_interval_excluding_zero() {
+        let (a, b) = linear_data(80, 5.0);
+        let ci = pearson_ci(&a, &b, 500, 0.95, 7);
+        assert!(ci.estimate > 0.9);
+        assert!(ci.excludes_zero());
+        assert!(ci.hi - ci.lo < 0.2, "tight interval expected, got [{}, {}]", ci.lo, ci.hi);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+    }
+
+    #[test]
+    fn small_noise_samples_have_wide_intervals_containing_zero() {
+        // 12 weakly-correlated points (|r| ≈ 0.13 by construction): the CI
+        // must be wide and straddle zero.
+        let a: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let b: Vec<f64> =
+            vec![1.0, -1.0, 2.0, -2.0, 3.0, -3.0, 4.0, -4.0, 5.0, -5.0, 6.0, -6.0];
+        let ci = pearson_ci(&a, &b, 500, 0.95, 11);
+        assert!(!ci.excludes_zero(), "noise must not be 'significant': [{}, {}]", ci.lo, ci.hi);
+        assert!(ci.hi - ci.lo > 0.4, "small-n interval should be wide");
+    }
+
+    #[test]
+    fn spearman_ci_is_monotone_invariant() {
+        let (a, b) = linear_data(50, 2.0);
+        let exp_b: Vec<f64> = b.iter().map(|x| (x / 20.0).exp()).collect();
+        let c1 = spearman_ci(&a, &b, 300, 0.9, 3);
+        let c2 = spearman_ci(&a, &exp_b, 300, 0.9, 3);
+        assert!((c1.estimate - c2.estimate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, b) = linear_data(30, 10.0);
+        let c1 = pearson_ci(&a, &b, 200, 0.95, 5);
+        let c2 = pearson_ci(&a, &b, 200, 0.95, 5);
+        assert_eq!(c1, c2);
+        let c3 = pearson_ci(&a, &b, 200, 0.95, 6);
+        assert!(c1.lo != c3.lo || c1.hi != c3.hi);
+    }
+
+    #[test]
+    fn tiny_inputs_degrade_gracefully() {
+        let ci = pearson_ci(&[1.0, 2.0], &[2.0, 1.0], 100, 0.95, 1);
+        assert_eq!((ci.lo, ci.hi), (-1.0, 1.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert!((percentile(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+}

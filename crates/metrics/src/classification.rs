@@ -1,0 +1,273 @@
+//! Binary-classification metrics for the paper's Figures 2 and 5:
+//! precision/recall curves, F1 scores and Cohen's kappa against a random
+//! classifier baseline.
+
+/// One point on a precision/recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Score threshold generating this point (predict positive if
+    /// `score >= threshold`).
+    pub threshold: f64,
+    pub precision: f64,
+    pub recall: f64,
+    /// F1 at this operating point (0 when precision+recall == 0).
+    pub f1: f64,
+}
+
+/// A full precision/recall curve with summary statistics.
+#[derive(Debug, Clone)]
+pub struct PrCurve {
+    /// Points ordered by decreasing threshold (increasing recall).
+    pub points: Vec<PrPoint>,
+    /// Fraction of positives in the data — the precision of a random
+    /// classifier, drawn as the horizontal dashed line in Figures 2/5.
+    pub baseline_precision: f64,
+    /// Area under the curve (average precision, computed as the step-wise
+    /// sum of precision · Δrecall).
+    pub average_precision: f64,
+}
+
+impl PrCurve {
+    /// Builds the curve from scores (higher = more positive) and boolean
+    /// labels. Every distinct score is used as a threshold.
+    pub fn compute(scores: &[f64], labels: &[bool]) -> PrCurve {
+        assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+        assert!(!scores.is_empty(), "PR curve of empty data");
+        let total_pos = labels.iter().filter(|&&l| l).count();
+        assert!(total_pos > 0, "PR curve requires at least one positive");
+        let n = scores.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        // Descending score order.
+        order.sort_by(|&i, &j| {
+            scores[j].partial_cmp(&scores[i]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let mut points = Vec::new();
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut ap = 0.0f64;
+        let mut prev_recall = 0.0f64;
+        let mut k = 0usize;
+        while k < n {
+            // Advance through all items tied at this score so thresholds
+            // between tied scores are never used.
+            let score = scores[order[k]];
+            while k < n && scores[order[k]] == score {
+                if labels[order[k]] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                k += 1;
+            }
+            let precision = tp as f64 / (tp + fp) as f64;
+            let recall = tp as f64 / total_pos as f64;
+            let f1 = if precision + recall > 0.0 {
+                2.0 * precision * recall / (precision + recall)
+            } else {
+                0.0
+            };
+            ap += precision * (recall - prev_recall);
+            prev_recall = recall;
+            points.push(PrPoint { threshold: score, precision, recall, f1 });
+        }
+        PrCurve {
+            points,
+            baseline_precision: total_pos as f64 / n as f64,
+            average_precision: ap,
+        }
+    }
+
+    /// The operating point with maximal F1.
+    pub fn best_f1(&self) -> PrPoint {
+        *self
+            .points
+            .iter()
+            .max_by(|a, b| a.f1.partial_cmp(&b.f1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("curve has at least one point")
+    }
+
+    /// Serializes the curve as CSV rows `threshold,precision,recall,f1`.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("threshold,precision,recall,f1\n");
+        for p in &self.points {
+            s.push_str(&format!("{:.6},{:.6},{:.6},{:.6}\n", p.threshold, p.precision, p.recall, p.f1));
+        }
+        s
+    }
+}
+
+/// Confusion-matrix counts for a fixed threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Counts outcomes predicting positive when `score >= threshold`.
+    pub fn at_threshold(scores: &[f64], labels: &[bool], threshold: f64) -> Self {
+        assert_eq!(scores.len(), labels.len());
+        let mut c = Confusion::default();
+        for (&s, &l) in scores.iter().zip(labels) {
+            match (s >= threshold, l) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// Cohen's kappa (Equation 2 of the paper): agreement above chance,
+    /// where the chance term uses the marginal frequencies of both the
+    /// classifier and the data. A random classifier achieves κ = 0.
+    pub fn cohens_kappa(&self) -> f64 {
+        let n = self.total() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let po = self.accuracy();
+        let pred_pos = (self.tp + self.fp) as f64 / n;
+        let actual_pos = (self.tp + self.fn_) as f64 / n;
+        let pe = pred_pos * actual_pos + (1.0 - pred_pos) * (1.0 - actual_pos);
+        if (1.0 - pe).abs() < 1e-12 {
+            return 0.0;
+        }
+        (po - pe) / (1.0 - pe)
+    }
+}
+
+/// Maximum Cohen's kappa over all candidate thresholds (the paper reports
+/// per-model κ; scanning thresholds mirrors its per-curve evaluation).
+pub fn best_kappa(scores: &[f64], labels: &[bool]) -> f64 {
+    let mut thresholds: Vec<f64> = scores.to_vec();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    thresholds.dedup();
+    thresholds
+        .iter()
+        .map(|&t| Confusion::at_threshold(scores, labels, t).cohens_kappa())
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier_curve() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        let c = PrCurve::compute(&scores, &labels);
+        let best = c.best_f1();
+        assert_eq!(best.f1, 1.0);
+        assert!((c.average_precision - 1.0).abs() < 1e-12);
+        assert_eq!(c.baseline_precision, 0.5);
+    }
+
+    #[test]
+    fn random_scores_approach_baseline_precision() {
+        // Deterministic pseudo-random scores independent of labels.
+        let n = 2000;
+        let scores: Vec<f64> = (0..n).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64).collect();
+        let labels: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect(); // 25% positive
+        let c = PrCurve::compute(&scores, &labels);
+        assert!((c.average_precision - 0.25).abs() < 0.05, "ap {}", c.average_precision);
+    }
+
+    #[test]
+    fn curve_recall_is_monotone() {
+        let scores = [0.3, 0.5, 0.5, 0.9, 0.1, 0.7];
+        let labels = [false, true, false, true, true, false];
+        let c = PrCurve::compute(&scores, &labels);
+        for w in c.points.windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+            assert!(w[1].threshold <= w[0].threshold);
+        }
+        // Last point has recall 1 (threshold at min score includes all).
+        assert!((c.points.last().unwrap().recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_hand_computed() {
+        let scores = [0.9, 0.6, 0.4, 0.1];
+        let labels = [true, false, true, false];
+        let c = Confusion::at_threshold(&scores, &labels, 0.5);
+        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.accuracy(), 0.5);
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+    }
+
+    #[test]
+    fn kappa_zero_for_constant_classifier_positive_for_skill() {
+        let labels = [true, true, false, false, false, false];
+        // Constant classifier: predicts everything positive.
+        let constant = [1.0; 6];
+        let k0 = Confusion::at_threshold(&constant, &labels, 0.5).cohens_kappa();
+        assert!(k0.abs() < 1e-12, "constant classifier kappa {k0}");
+        // Skilled classifier.
+        let skilled = [0.9, 0.8, 0.3, 0.2, 0.4, 0.1];
+        let k1 = Confusion::at_threshold(&skilled, &labels, 0.5).cohens_kappa();
+        assert!(k1 > 0.9, "skilled kappa {k1}");
+    }
+
+    #[test]
+    fn best_kappa_scans_thresholds() {
+        let labels = [true, false, true, false];
+        let scores = [0.8, 0.4, 0.7, 0.3];
+        assert!((best_kappa(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let c = PrCurve::compute(&[0.9, 0.1], &[true, false]);
+        let csv = c.to_csv();
+        assert!(csv.starts_with("threshold,precision,recall,f1\n"));
+        assert_eq!(csv.lines().count(), 1 + c.points.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one positive")]
+    fn pr_requires_positives() {
+        PrCurve::compute(&[0.5], &[false]);
+    }
+}

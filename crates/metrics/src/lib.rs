@@ -1,0 +1,13 @@
+//! `dfmetrics` — evaluation metrics for the Deep Fusion reproduction.
+//!
+//! Regression metrics cover the paper's Table 6 (RMSE, MAE, R², Pearson,
+//! Spearman); classification metrics cover Figures 2 and 5 and Table 8
+//! (precision/recall curves, F1, Cohen's κ, average precision).
+
+pub mod bootstrap;
+pub mod classification;
+pub mod regression;
+
+pub use bootstrap::{pearson_ci, spearman_ci, ConfidenceInterval};
+pub use classification::{best_kappa, Confusion, PrCurve, PrPoint};
+pub use regression::{mae, pearson, r2, ranks, rmse, spearman, RegressionReport};

@@ -1,0 +1,200 @@
+//! Regression metrics used in the paper's Table 6 (RMSE, MAE, R², Pearson
+//! and Spearman correlation on the PDBbind core set).
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    check(pred, truth);
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    (s / pred.len() as f64).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    check(pred, truth);
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Coefficient of determination R² = 1 - SS_res / SS_tot.
+///
+/// Returns `f64::NEG_INFINITY`-free values: when the truth is constant
+/// (SS_tot == 0) the convention here is 0.0 for imperfect predictions and
+/// 1.0 for perfect ones.
+pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
+    check(pred, truth);
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let mean_t: f64 = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (t - p) * (t - p)).sum();
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean_t) * (t - mean_t)).sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Pearson correlation coefficient; 0.0 when either input is constant.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    check(a, b);
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let dx = x - ma;
+        let dy = y - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Spearman rank correlation (Pearson on average-ranked data, so ties are
+/// handled with midranks).
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    check(a, b);
+    pearson(&ranks(a), &ranks(b))
+}
+
+/// Midrank transform: ties receive the average of the ranks they span.
+pub fn ranks(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| x[i].partial_cmp(&x[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && x[order[j + 1]] == x[order[i]] {
+            j += 1;
+        }
+        // Average 1-based rank over the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn check(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "metric inputs must have equal length: {} vs {}", a.len(), b.len());
+}
+
+/// Bundle of all Table 6 regression metrics for one model/dataset pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionReport {
+    pub rmse: f64,
+    pub mae: f64,
+    pub r2: f64,
+    pub pearson: f64,
+    pub spearman: f64,
+}
+
+impl RegressionReport {
+    /// Computes every regression metric at once.
+    pub fn compute(pred: &[f64], truth: &[f64]) -> Self {
+        Self {
+            rmse: rmse(pred, truth),
+            mae: mae(pred, truth),
+            r2: r2(pred, truth),
+            pearson: pearson(pred, truth),
+            spearman: spearman(pred, truth),
+        }
+    }
+}
+
+impl std::fmt::Display for RegressionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RMSE {:.3}  MAE {:.3}  R2 {:.3}  Pearson {:.3}  Spearman {:.3}",
+            self.rmse, self.mae, self.r2, self.pearson, self.spearman
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let t = [1.0, 2.0, 3.0];
+        let r = RegressionReport::compute(&t, &t);
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.mae, 0.0);
+        assert_eq!(r.r2, 1.0);
+        assert!((r.pearson - 1.0).abs() < 1e-12);
+        assert!((r.spearman - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_rmse_mae() {
+        let p = [1.0, 2.0];
+        let t = [0.0, 4.0];
+        assert!((rmse(&p, &t) - (2.5f64).sqrt()).abs() < 1e-12);
+        assert!((mae(&p, &t) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_sign_and_invariance() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = b.iter().map(|x| -x).collect();
+        assert!((pearson(&a, &neg) + 1.0).abs() < 1e-12);
+        // Affine invariance.
+        let affine: Vec<f64> = b.iter().map(|x| 3.0 * x + 7.0).collect();
+        assert!((pearson(&a, &affine) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_inputs_yield_zero_correlation() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(spearman(&[2.0, 2.0], &[1.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let a = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let b: Vec<f64> = a.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        // Pearson is < 1 on the same data.
+        assert!(pearson(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties_with_midranks() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn r2_constant_truth_convention() {
+        assert_eq!(r2(&[1.0, 1.0], &[2.0, 2.0]), 0.0);
+        assert_eq!(r2(&[2.0, 2.0], &[2.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

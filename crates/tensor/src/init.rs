@@ -1,0 +1,55 @@
+//! Weight initialization schemes.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Kaiming (He) uniform initialization for ReLU-family activations:
+/// `U(-sqrt(6/fan_in), sqrt(6/fan_in))`.
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let bound = (6.0f32 / fan_in.max(1) as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+/// Xavier/Glorot uniform initialization:
+/// `U(-sqrt(6/(fan_in+fan_out)), +...)`.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let bound = (6.0f32 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+/// Bias initialization matching PyTorch's `Linear` default:
+/// `U(-1/sqrt(fan_in), 1/sqrt(fan_in))`.
+pub fn bias_uniform(len: usize, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let bound = 1.0 / (fan_in.max(1) as f32).sqrt();
+    Tensor::rand_uniform(&[len], -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng;
+
+    #[test]
+    fn kaiming_bounds() {
+        let mut r = rng(1);
+        let t = kaiming_uniform(&[100, 50], 100, &mut r);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(t.max() <= bound && t.min() >= -bound);
+        assert!(t.max() > 0.5 * bound, "should explore the range");
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut r = rng(2);
+        let t = xavier_uniform(&[30, 20], 30, 20, &mut r);
+        let bound = (6.0f32 / 50.0).sqrt();
+        assert!(t.max() <= bound && t.min() >= -bound);
+    }
+
+    #[test]
+    fn zero_fan_in_does_not_divide_by_zero() {
+        let mut r = rng(3);
+        let t = kaiming_uniform(&[2], 0, &mut r);
+        assert!(t.data().iter().all(|v| v.is_finite()));
+    }
+}

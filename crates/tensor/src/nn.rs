@@ -1,0 +1,279 @@
+//! Reusable neural-network layers built on the autodiff graph.
+//!
+//! Layers own [`ParamId`]s into a shared [`ParamStore`]; the `frozen`
+//! argument of each `forward` decides whether those parameters are injected
+//! as trainable leaves or constants. This is the mechanism behind the
+//! paper's three fusion variants: Late/Mid-level Fusion run the 3D-CNN and
+//! SG-CNN heads frozen, Coherent Fusion runs the identical network with
+//! every head unfrozen so one loss back-propagates end to end.
+
+use crate::graph::{Graph, VarId};
+use crate::init::{bias_uniform, kaiming_uniform};
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Injects a parameter as trainable or frozen.
+fn inject(g: &mut Graph, ps: &ParamStore, id: ParamId, frozen: bool) -> VarId {
+    if frozen {
+        g.param_frozen(ps, id)
+    } else {
+        g.param(ps, id)
+    }
+}
+
+/// Fully-connected layer.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    pub w: ParamId,
+    pub b: ParamId,
+    pub in_dim: usize,
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a layer with Kaiming-uniform weights.
+    pub fn new(
+        ps: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = ps.add(format!("{name}.w"), kaiming_uniform(&[in_dim, out_dim], in_dim, rng));
+        let b = ps.add(format!("{name}.b"), bias_uniform(out_dim, in_dim, rng));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Applies `x·W + b` to a `[batch, in_dim]` input.
+    pub fn forward(&self, g: &mut Graph, ps: &ParamStore, x: VarId, frozen: bool) -> VarId {
+        let w = inject(g, ps, self.w, frozen);
+        let b = inject(g, ps, self.b, frozen);
+        g.linear(x, w, b)
+    }
+}
+
+/// 3-D convolution layer (stride 1, symmetric padding).
+#[derive(Debug, Clone)]
+pub struct Conv3d {
+    pub w: ParamId,
+    pub b: ParamId,
+    pub in_channels: usize,
+    pub out_channels: usize,
+    pub kernel: usize,
+    pub pad: usize,
+}
+
+impl Conv3d {
+    /// Creates a layer with Kaiming-uniform kernels; `pad = kernel / 2`
+    /// keeps spatial dimensions for odd kernels.
+    pub fn new(
+        ps: &mut ParamStore,
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        pad: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel * kernel;
+        let w = ps.add(
+            format!("{name}.w"),
+            kaiming_uniform(
+                &[out_channels, in_channels, kernel, kernel, kernel],
+                fan_in,
+                rng,
+            ),
+        );
+        let b = ps.add(format!("{name}.b"), bias_uniform(out_channels, fan_in, rng));
+        Self { w, b, in_channels, out_channels, kernel, pad }
+    }
+
+    /// Applies the convolution to a `[N,C,D,H,W]` input.
+    pub fn forward(&self, g: &mut Graph, ps: &ParamStore, x: VarId, frozen: bool) -> VarId {
+        let w = inject(g, ps, self.w, frozen);
+        let b = inject(g, ps, self.b, frozen);
+        g.conv3d(x, w, b, self.pad)
+    }
+}
+
+/// Batch normalization layer with running statistics.
+#[derive(Debug, Clone)]
+pub struct BatchNorm {
+    pub gamma: ParamId,
+    pub beta: ParamId,
+    pub running_mean: Tensor,
+    pub running_var: Tensor,
+    pub momentum: f32,
+    pub eps: f32,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer over `channels` features/channels.
+    pub fn new(ps: &mut ParamStore, name: &str, channels: usize) -> Self {
+        let gamma = ps.add(format!("{name}.gamma"), Tensor::ones(&[channels]));
+        let beta = ps.add(format!("{name}.beta"), Tensor::zeros(&[channels]));
+        Self {
+            gamma,
+            beta,
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            momentum: 0.1,
+            eps: 1e-5,
+        }
+    }
+
+    /// Applies batch norm; in training mode also updates the running
+    /// statistics in place.
+    pub fn forward(
+        &mut self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        x: VarId,
+        train: bool,
+        frozen: bool,
+    ) -> VarId {
+        let gamma = inject(g, ps, self.gamma, frozen);
+        let beta = inject(g, ps, self.beta, frozen);
+        let out = g.batch_norm(x, gamma, beta, &self.running_mean, &self.running_var, self.eps, train);
+        if let (Some(m), Some(v)) = (out.batch_mean, out.batch_var) {
+            let mom = self.momentum;
+            self.running_mean = self.running_mean.scale(1.0 - mom).add(&m.scale(mom));
+            self.running_var = self.running_var.scale(1.0 - mom).add(&v.scale(mom));
+        }
+        out.out
+    }
+}
+
+/// Dropout layer.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    pub rate: f32,
+}
+
+impl Dropout {
+    pub fn new(rate: f32) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0,1)");
+        Self { rate }
+    }
+
+    /// Applies inverted dropout in training mode.
+    pub fn forward(&self, g: &mut Graph, x: VarId, train: bool, rng: &mut impl Rng) -> VarId {
+        g.dropout(x, self.rate, train, rng)
+    }
+}
+
+/// Activation functions selectable by the hyper-parameter search (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Activation {
+    Relu,
+    LeakyRelu,
+    Selu,
+}
+
+impl Activation {
+    /// Applies the activation on the graph.
+    pub fn apply(self, g: &mut Graph, x: VarId) -> VarId {
+        match self {
+            Activation::Relu => g.relu(x),
+            Activation::LeakyRelu => g.leaky_relu(x, 0.01),
+            Activation::Selu => g.selu(x),
+        }
+    }
+
+    /// All options offered to the optimizer for fusion layers.
+    pub fn all() -> [Activation; 3] {
+        [Activation::Relu, Activation::LeakyRelu, Activation::Selu]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng;
+
+    #[test]
+    fn linear_shapes_and_training_reduces_loss() {
+        let mut r = rng(1);
+        let mut ps = ParamStore::new();
+        let layer = Linear::new(&mut ps, "fc", 3, 2, &mut r);
+        let x = Tensor::randn(&[5, 3], &mut r);
+        let target = Tensor::randn(&[5, 2], &mut r);
+
+        let loss_value = |ps: &ParamStore| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let y = layer.forward(&mut g, ps, xv, false);
+            let t = g.input(target.clone());
+            let l = g.mse_loss(y, t);
+            g.value(l).item()
+        };
+        let before = loss_value(&ps);
+        // A few steps of plain gradient descent should reduce the loss.
+        for _ in 0..50 {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let y = layer.forward(&mut g, &ps, xv, false);
+            let t = g.input(target.clone());
+            let l = g.mse_loss(y, t);
+            ps.zero_grad();
+            g.backward(l).accumulate_into(&mut ps);
+            for (_, e) in ps.iter_mut() {
+                let g = e.grad.clone();
+                e.value.add_scaled_inplace(&g, -0.05);
+            }
+        }
+        assert!(loss_value(&ps) < before * 0.5, "training did not reduce loss");
+    }
+
+    #[test]
+    fn frozen_linear_accumulates_no_grad() {
+        let mut r = rng(2);
+        let mut ps = ParamStore::new();
+        let layer = Linear::new(&mut ps, "fc", 2, 2, &mut r);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&[3, 2], &mut r));
+        let y = layer.forward(&mut g, &ps, x, true);
+        let l = g.mean_all(y);
+        g.backward(l).accumulate_into(&mut ps);
+        assert_eq!(ps.grad(layer.w).norm(), 0.0);
+    }
+
+    #[test]
+    fn batch_norm_updates_running_stats_in_train_only() {
+        let mut r = rng(3);
+        let mut ps = ParamStore::new();
+        let mut bn = BatchNorm::new(&mut ps, "bn", 2);
+        let x = Tensor::randn(&[16, 2], &mut r).add_scalar(3.0);
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        bn.forward(&mut g, &ps, xv, true, false);
+        assert!(bn.running_mean.data()[0] != 0.0, "running mean should move");
+        let rm = bn.running_mean.clone();
+        let mut g2 = Graph::new();
+        let xv2 = g2.input(x);
+        bn.forward(&mut g2, &ps, xv2, false, false);
+        assert!(bn.running_mean.allclose(&rm, 0.0), "eval must not move stats");
+    }
+
+    #[test]
+    fn conv_layer_output_shape() {
+        let mut r = rng(4);
+        let mut ps = ParamStore::new();
+        let conv = Conv3d::new(&mut ps, "c1", 2, 4, 3, 1, &mut r);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&[1, 2, 6, 6, 6], &mut r));
+        let y = conv.forward(&mut g, &ps, x, false);
+        assert_eq!(g.value(y).shape(), &[1, 4, 6, 6, 6]);
+    }
+
+    #[test]
+    fn activation_variants_run() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_slice(&[-1.0, 0.0, 1.0]));
+        for act in Activation::all() {
+            let y = act.apply(&mut g, x);
+            assert_eq!(g.value(y).numel(), 3);
+        }
+    }
+}

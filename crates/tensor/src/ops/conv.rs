@@ -1,0 +1,294 @@
+//! 3-D convolution for the voxelized protein–ligand representation.
+//!
+//! Layout follows PyTorch: input `[N, C, D, H, W]`, kernel
+//! `[O, C, kd, kh, kw]`, bias `[O]`. Stride is fixed at 1 (the paper's
+//! 3D-CNN downsamples with max-pooling, not strided convs); zero padding is
+//! configurable so `pad = k/2` gives "same" spatial dims for odd kernels.
+
+use crate::graph::{Graph, VarId};
+use crate::tensor::Tensor;
+
+/// Spatial output size for one dimension.
+fn out_dim(input: usize, k: usize, pad: usize) -> usize {
+    input + 2 * pad + 1 - k
+}
+
+/// Direct-form forward convolution.
+fn conv3d_forward(x: &Tensor, w: &Tensor, pad: usize) -> Tensor {
+    let (n, c, d, h, wd) = dims5(x.shape());
+    let (o, cw, kd, kh, kw) = dims5(w.shape());
+    assert_eq!(c, cw, "conv3d channel mismatch: input {c}, kernel {cw}");
+    let (od, oh, ow) = (out_dim(d, kd, pad), out_dim(h, kh, pad), out_dim(wd, kw, pad));
+    let mut out = Tensor::zeros(&[n, o, od, oh, ow]);
+    let xd = x.data();
+    let wdta = w.data();
+    let odta = out.data_mut();
+    let ipad = pad as isize;
+    for bn in 0..n {
+        for oc in 0..o {
+            for ic in 0..c {
+                let wbase = (oc * c + ic) * kd * kh * kw;
+                let xbase = (bn * c + ic) * d * h * wd;
+                for zd in 0..od {
+                    for yh in 0..oh {
+                        for xw in 0..ow {
+                            let mut acc = 0.0f32;
+                            for fz in 0..kd {
+                                let iz = zd as isize + fz as isize - ipad;
+                                if iz < 0 || iz >= d as isize {
+                                    continue;
+                                }
+                                for fy in 0..kh {
+                                    let iy = yh as isize + fy as isize - ipad;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    for fx in 0..kw {
+                                        let ix = xw as isize + fx as isize - ipad;
+                                        if ix < 0 || ix >= wd as isize {
+                                            continue;
+                                        }
+                                        let xi = xbase
+                                            + (iz as usize) * h * wd
+                                            + (iy as usize) * wd
+                                            + ix as usize;
+                                        let wi = wbase + fz * kh * kw + fy * kw + fx;
+                                        acc += xd[xi] * wdta[wi];
+                                    }
+                                }
+                            }
+                            let oi = (((bn * o + oc) * od + zd) * oh + yh) * ow + xw;
+                            odta[oi] += acc;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradient w.r.t. the input (full correlation with the kernel).
+fn conv3d_backward_input(gout: &Tensor, w: &Tensor, xshape: &[usize], pad: usize) -> Tensor {
+    let (n, c, d, h, wd) = dims5(xshape);
+    let (o, _, kd, kh, kw) = dims5(w.shape());
+    let (_, _, od, oh, ow) = dims5(gout.shape());
+    let mut gx = Tensor::zeros(xshape);
+    let gd = gout.data();
+    let wdta = w.data();
+    let gxd = gx.data_mut();
+    let ipad = pad as isize;
+    for bn in 0..n {
+        for oc in 0..o {
+            for ic in 0..c {
+                let wbase = (oc * c + ic) * kd * kh * kw;
+                let xbase = (bn * c + ic) * d * h * wd;
+                for zd in 0..od {
+                    for yh in 0..oh {
+                        for xw in 0..ow {
+                            let oi = (((bn * o + oc) * od + zd) * oh + yh) * ow + xw;
+                            let g = gd[oi];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for fz in 0..kd {
+                                let iz = zd as isize + fz as isize - ipad;
+                                if iz < 0 || iz >= d as isize {
+                                    continue;
+                                }
+                                for fy in 0..kh {
+                                    let iy = yh as isize + fy as isize - ipad;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    for fx in 0..kw {
+                                        let ix = xw as isize + fx as isize - ipad;
+                                        if ix < 0 || ix >= wd as isize {
+                                            continue;
+                                        }
+                                        let xi = xbase
+                                            + (iz as usize) * h * wd
+                                            + (iy as usize) * wd
+                                            + ix as usize;
+                                        let wi = wbase + fz * kh * kw + fy * kw + fx;
+                                        gxd[xi] += g * wdta[wi];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gx
+}
+
+/// Gradient w.r.t. the kernel.
+fn conv3d_backward_weight(gout: &Tensor, x: &Tensor, wshape: &[usize], pad: usize) -> Tensor {
+    let (n, c, d, h, wd) = dims5(x.shape());
+    let (o, _, kd, kh, kw) = dims5(wshape);
+    let (_, _, od, oh, ow) = dims5(gout.shape());
+    let mut gw = Tensor::zeros(wshape);
+    let gd = gout.data();
+    let xd = x.data();
+    let gwd = gw.data_mut();
+    let ipad = pad as isize;
+    for bn in 0..n {
+        for oc in 0..o {
+            for ic in 0..c {
+                let wbase = (oc * c + ic) * kd * kh * kw;
+                let xbase = (bn * c + ic) * d * h * wd;
+                for zd in 0..od {
+                    for yh in 0..oh {
+                        for xw in 0..ow {
+                            let oi = (((bn * o + oc) * od + zd) * oh + yh) * ow + xw;
+                            let g = gd[oi];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for fz in 0..kd {
+                                let iz = zd as isize + fz as isize - ipad;
+                                if iz < 0 || iz >= d as isize {
+                                    continue;
+                                }
+                                for fy in 0..kh {
+                                    let iy = yh as isize + fy as isize - ipad;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    for fx in 0..kw {
+                                        let ix = xw as isize + fx as isize - ipad;
+                                        if ix < 0 || ix >= wd as isize {
+                                            continue;
+                                        }
+                                        let xi = xbase
+                                            + (iz as usize) * h * wd
+                                            + (iy as usize) * wd
+                                            + ix as usize;
+                                        let wi = wbase + fz * kh * kw + fy * kw + fx;
+                                        gwd[wi] += g * xd[xi];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gw
+}
+
+fn dims5(s: &[usize]) -> (usize, usize, usize, usize, usize) {
+    assert_eq!(s.len(), 5, "expected rank-5 shape, got {s:?}");
+    (s[0], s[1], s[2], s[3], s[4])
+}
+
+impl Graph {
+    /// 3-D convolution with stride 1 and symmetric zero padding, plus a
+    /// per-output-channel bias.
+    pub fn conv3d(&mut self, x: VarId, w: VarId, b: VarId, pad: usize) -> VarId {
+        let out = conv3d_forward(self.value(x), self.value(w), pad);
+        let (n_out, o, od, oh, ow) = dims5(out.shape());
+        // Add bias per output channel.
+        let bt = self.value(b);
+        assert_eq!(bt.shape(), &[o], "conv3d bias must be [out_channels]");
+        let mut out_b = out;
+        {
+            let spatial = od * oh * ow;
+            let data = out_b.data_mut();
+            for bn in 0..n_out {
+                for oc in 0..o {
+                    let bval = bt.data()[oc];
+                    let base = (bn * o + oc) * spatial;
+                    for v in &mut data[base..base + spatial] {
+                        *v += bval;
+                    }
+                }
+            }
+        }
+        let wshape = self.value(w).shape().to_vec();
+        let xshape = self.value(x).shape().to_vec();
+        self.push_op(
+            vec![x, w, b],
+            out_b,
+            Box::new(move |ctx| {
+                let gx = conv3d_backward_input(ctx.grad, ctx.parents[1], &xshape, pad);
+                let gw = conv3d_backward_weight(ctx.grad, ctx.parents[0], &wshape, pad);
+                let (n, o, od, oh, ow) = dims5(ctx.grad.shape());
+                let spatial = od * oh * ow;
+                let mut gb = Tensor::zeros(&[o]);
+                for bn in 0..n {
+                    for oc in 0..o {
+                        let base = (bn * o + oc) * spatial;
+                        let s: f32 = ctx.grad.data()[base..base + spatial].iter().sum();
+                        gb.data_mut()[oc] += s;
+                    }
+                }
+                vec![gx, gw, gb]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::GradCheck;
+    use crate::rng::rng;
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 1x1x1 kernel with weight 1 and zero bias is the identity.
+        let mut g = Graph::new();
+        let mut r = rng(1);
+        let x = Tensor::randn(&[1, 1, 3, 3, 3], &mut r);
+        let xv = g.input(x.clone());
+        let w = g.input(Tensor::ones(&[1, 1, 1, 1, 1]));
+        let b = g.input(Tensor::zeros(&[1]));
+        let y = g.conv3d(xv, w, b, 0);
+        assert!(g.value(y).allclose(&x, 1e-6));
+    }
+
+    #[test]
+    fn shapes_with_padding() {
+        let mut g = Graph::new();
+        let mut r = rng(2);
+        let x = g.input(Tensor::randn(&[2, 3, 5, 5, 5], &mut r));
+        let w = g.input(Tensor::randn(&[4, 3, 3, 3, 3], &mut r));
+        let b = g.input(Tensor::zeros(&[4]));
+        let same = g.conv3d(x, w, b, 1);
+        assert_eq!(g.value(same).shape(), &[2, 4, 5, 5, 5]);
+        let valid = g.conv3d(x, w, b, 0);
+        assert_eq!(g.value(valid).shape(), &[2, 4, 3, 3, 3]);
+    }
+
+    #[test]
+    fn hand_computed_sum_kernel() {
+        // All-ones 3³ kernel on an all-ones 3³ input without padding sums
+        // every voxel: 27.
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 1, 3, 3, 3]));
+        let w = g.input(Tensor::ones(&[1, 1, 3, 3, 3]));
+        let b = g.input(Tensor::zeros(&[1]));
+        let y = g.conv3d(x, w, b, 0);
+        assert_eq!(g.value(y).shape(), &[1, 1, 1, 1, 1]);
+        assert!((g.value(y).item() - 27.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_conv3d() {
+        let mut r = rng(3);
+        let x = Tensor::randn(&[1, 2, 3, 3, 3], &mut r);
+        let w = Tensor::randn(&[2, 2, 2, 2, 2], &mut r).scale(0.5);
+        let b = Tensor::randn(&[2], &mut r);
+        GradCheck { eps: 1e-2, tol: 5e-2 }
+            .check(&[x, w, b], |g, v| {
+                let y = g.conv3d(v[0], v[1], v[2], 1);
+                let y = g.square(y);
+                g.mean_all(y)
+            })
+            .unwrap();
+    }
+}

@@ -1,0 +1,62 @@
+//! Matrix multiplication and the dense (`linear`) composite op.
+
+use crate::graph::{Graph, VarId};
+
+impl Graph {
+    /// Matrix product of rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push_op(
+            vec![a, b],
+            v,
+            Box::new(|ctx| {
+                // dA = G · Bᵀ, dB = Aᵀ · G
+                let da = ctx.grad.matmul_nt(ctx.parents[1]);
+                let db = ctx.parents[0].matmul_tn(ctx.grad);
+                vec![da, db]
+            }),
+        )
+    }
+
+    /// Fully-connected layer primitive: `x · w + b`.
+    pub fn linear(&mut self, x: VarId, w: VarId, b: VarId) -> VarId {
+        let xw = self.matmul(x, w);
+        self.add_bias(xw, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ops::GradCheck;
+    use crate::rng::rng;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn grad_matmul() {
+        let mut r = rng(10);
+        let a = Tensor::randn(&[3, 4], &mut r);
+        let b = Tensor::randn(&[4, 2], &mut r);
+        GradCheck::default()
+            .check(&[a, b], |g, v| {
+                let c = g.matmul(v[0], v[1]);
+                let sq = g.square(c);
+                g.sum_all(sq)
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn grad_linear_chain() {
+        let mut r = rng(11);
+        let x = Tensor::randn(&[2, 3], &mut r);
+        let w = Tensor::randn(&[3, 4], &mut r);
+        let b = Tensor::randn(&[4], &mut r);
+        GradCheck::default()
+            .check(&[x, w, b], |g, v| {
+                let y = g.linear(v[0], v[1], v[2]);
+                let y = g.tanh(y);
+                g.mean_all(y)
+            })
+            .unwrap();
+    }
+}

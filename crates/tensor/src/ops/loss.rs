@@ -1,0 +1,93 @@
+//! Loss functions. The paper trains every model — individual heads and all
+//! fusion variants — with mean squared error against experimental pK values.
+
+use crate::graph::{Graph, VarId};
+
+impl Graph {
+    /// Mean squared error between two same-shape tensors, as a scalar node.
+    pub fn mse_loss(&mut self, pred: VarId, target: VarId) -> VarId {
+        let d = self.sub(pred, target);
+        let sq = self.square(d);
+        self.mean_all(sq)
+    }
+
+    /// Smooth L1 (Huber) loss with threshold `delta`; robust alternative
+    /// exposed for ablations on noisy docked-pose labels.
+    pub fn huber_loss(&mut self, pred: VarId, target: VarId, delta: f32) -> VarId {
+        assert!(delta > 0.0, "huber delta must be positive");
+        let diff = self.sub(pred, target);
+        let v = self.value(diff).map(|d| {
+            let a = d.abs();
+            if a <= delta {
+                0.5 * d * d
+            } else {
+                delta * (a - 0.5 * delta)
+            }
+        });
+        let per_elem = self.push_op(
+            vec![diff],
+            v,
+            Box::new(move |ctx| {
+                vec![ctx.grad.zip(ctx.parents[0], |g, d| {
+                    if d.abs() <= delta {
+                        g * d
+                    } else {
+                        g * delta * d.signum()
+                    }
+                })]
+            }),
+        );
+        self.mean_all(per_elem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::Graph;
+    use crate::ops::GradCheck;
+    use crate::rng::rng;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn mse_of_identical_inputs_is_zero() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_slice(&[1.0, 2.0]));
+        let loss = g.mse_loss(a, a);
+        assert_eq!(g.value(loss).item(), 0.0);
+    }
+
+    #[test]
+    fn mse_hand_computed() {
+        let mut g = Graph::new();
+        let p = g.input(Tensor::from_slice(&[1.0, 3.0]));
+        let t = g.input(Tensor::from_slice(&[0.0, 1.0]));
+        let loss = g.mse_loss(p, t);
+        // ((1)^2 + (2)^2) / 2 = 2.5
+        assert!((g.value(loss).item() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_mse_and_huber() {
+        let mut r = rng(1);
+        let p = Tensor::randn(&[6], &mut r).scale(2.0);
+        let t = Tensor::randn(&[6], &mut r);
+        GradCheck::default()
+            .check(&[p.clone(), t.clone()], |g, v| g.mse_loss(v[0], v[1]))
+            .unwrap();
+        GradCheck { eps: 1e-2, tol: 3e-2 }
+            .check(&[p, t], |g, v| g.huber_loss(v[0], v[1], 1.0))
+            .unwrap();
+    }
+
+    #[test]
+    fn huber_is_quadratic_near_zero_linear_far() {
+        let mut g = Graph::new();
+        let p = g.input(Tensor::from_slice(&[0.5]));
+        let t = g.input(Tensor::from_slice(&[0.0]));
+        let near = g.huber_loss(p, t, 1.0);
+        assert!((g.value(near).item() - 0.125).abs() < 1e-6);
+        let p2 = g.input(Tensor::from_slice(&[3.0]));
+        let far = g.huber_loss(p2, t, 1.0);
+        assert!((g.value(far).item() - 2.5).abs() < 1e-6);
+    }
+}

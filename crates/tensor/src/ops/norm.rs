@@ -1,0 +1,335 @@
+//! Batch normalization for dense (`[N,F]`) and volumetric (`[N,C,D,H,W]`)
+//! activations.
+//!
+//! The op normalizes per channel: the feature axis for rank-2 inputs and
+//! axis 1 for rank-5 inputs. In training mode batch statistics are used and
+//! also returned so the owning layer can maintain running estimates; in eval
+//! mode the provided running statistics are used.
+
+use crate::graph::{Graph, VarId};
+use crate::tensor::Tensor;
+
+/// Result of a batch-norm op: the output node plus the batch statistics
+/// (populated in training mode, `None` in eval mode).
+pub struct BatchNormOut {
+    pub out: VarId,
+    pub batch_mean: Option<Tensor>,
+    pub batch_var: Option<Tensor>,
+}
+
+/// Maps a flat element index of `shape` to its channel index.
+fn channel_of(shape: &[usize]) -> impl Fn(usize) -> usize {
+    match shape.len() {
+        2 => {
+            let f = shape[1];
+            Box::new(move |i: usize| i % f) as Box<dyn Fn(usize) -> usize>
+        }
+        5 => {
+            let c = shape[1];
+            let spatial = shape[2] * shape[3] * shape[4];
+            Box::new(move |i: usize| (i / spatial) % c)
+        }
+        _ => panic!("batch_norm supports rank 2 or 5, got {shape:?}"),
+    }
+}
+
+fn num_channels(shape: &[usize]) -> usize {
+    match shape.len() {
+        2 => shape[1],
+        5 => shape[1],
+        _ => panic!("batch_norm supports rank 2 or 5, got {shape:?}"),
+    }
+}
+
+fn per_channel_stats(x: &Tensor) -> (Tensor, Tensor) {
+    let nc = num_channels(x.shape());
+    let ch = channel_of(x.shape());
+    let mut sums = vec![0.0f64; nc];
+    let mut counts = vec![0usize; nc];
+    for (i, &v) in x.data().iter().enumerate() {
+        let c = ch(i);
+        sums[c] += v as f64;
+        counts[c] += 1;
+    }
+    let means: Vec<f32> = sums.iter().zip(&counts).map(|(&s, &n)| (s / n.max(1) as f64) as f32).collect();
+    let mut sq = vec![0.0f64; nc];
+    for (i, &v) in x.data().iter().enumerate() {
+        let c = ch(i);
+        let d = v - means[c];
+        sq[c] += (d as f64) * (d as f64);
+    }
+    let vars: Vec<f32> = sq.iter().zip(&counts).map(|(&s, &n)| (s / n.max(1) as f64) as f32).collect();
+    (Tensor::from_slice(&means), Tensor::from_slice(&vars))
+}
+
+impl Graph {
+    /// Batch normalization.
+    ///
+    /// * `gamma`, `beta` — learnable per-channel scale and shift (`[C]`).
+    /// * `running_mean`, `running_var` — used when `train == false`.
+    /// * Returns a [`BatchNormOut`] with the batch statistics when training.
+    #[allow(clippy::too_many_arguments)]
+    pub fn batch_norm(
+        &mut self,
+        x: VarId,
+        gamma: VarId,
+        beta: VarId,
+        running_mean: &Tensor,
+        running_var: &Tensor,
+        eps: f32,
+        train: bool,
+    ) -> BatchNormOut {
+        let xt = self.value(x);
+        let shape = xt.shape().to_vec();
+        let nc = num_channels(&shape);
+        assert_eq!(self.value(gamma).shape(), &[nc], "gamma must be [{nc}]");
+        assert_eq!(self.value(beta).shape(), &[nc], "beta must be [{nc}]");
+
+        let (mean, var) = if train {
+            per_channel_stats(xt)
+        } else {
+            assert_eq!(running_mean.shape(), &[nc]);
+            assert_eq!(running_var.shape(), &[nc]);
+            (running_mean.clone(), running_var.clone())
+        };
+
+        let ch = channel_of(&shape);
+        let inv_std: Vec<f32> = var.data().iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+        let gt = self.value(gamma).data().to_vec();
+        let bt = self.value(beta).data().to_vec();
+        let mut out = Tensor::zeros(&shape);
+        let mut xhat = Tensor::zeros(&shape);
+        for (i, &v) in xt.data().iter().enumerate() {
+            let c = ch(i);
+            let h = (v - mean.data()[c]) * inv_std[c];
+            xhat.data_mut()[i] = h;
+            out.data_mut()[i] = gt[c] * h + bt[c];
+        }
+
+        let shape_c = shape.clone();
+        let inv_std_c = inv_std.clone();
+        let batch_mean = train.then(|| mean.clone());
+        let batch_var = train.then(|| var.clone());
+        let out_id = self.push_op(
+            vec![x, gamma, beta],
+            out,
+            Box::new(move |ctx| {
+                let ch = channel_of(&shape_c);
+                let nc = num_channels(&shape_c);
+                let g = ctx.grad.data();
+                let gamma_v = ctx.parents[1].data();
+
+                // Per-channel reductions.
+                let mut sum_g = vec![0.0f64; nc];
+                let mut sum_gx = vec![0.0f64; nc];
+                let mut counts = vec![0usize; nc];
+                for (i, &gi) in g.iter().enumerate() {
+                    let c = ch(i);
+                    sum_g[c] += gi as f64;
+                    sum_gx[c] += (gi * xhat.data()[i]) as f64;
+                    counts[c] += 1;
+                }
+
+                let mut dgamma = Tensor::zeros(&[nc]);
+                let mut dbeta = Tensor::zeros(&[nc]);
+                for c in 0..nc {
+                    dgamma.data_mut()[c] = sum_gx[c] as f32;
+                    dbeta.data_mut()[c] = sum_g[c] as f32;
+                }
+
+                let mut dx = Tensor::zeros(&shape_c);
+                if train {
+                    // Full training-mode gradient (stats depend on x).
+                    for (i, &gi) in g.iter().enumerate() {
+                        let c = ch(i);
+                        let m = counts[c] as f32;
+                        let term = gi as f64 - sum_g[c] / m as f64
+                            - (xhat.data()[i] as f64) * sum_gx[c] / m as f64;
+                        dx.data_mut()[i] = gamma_v[c] * inv_std_c[c] * term as f32;
+                    }
+                } else {
+                    // Eval mode: stats are constants.
+                    for (i, &gi) in g.iter().enumerate() {
+                        let c = ch(i);
+                        dx.data_mut()[i] = gi * gamma_v[c] * inv_std_c[c];
+                    }
+                }
+                vec![dx, dgamma, dbeta]
+            }),
+        );
+        BatchNormOut { out: out_id, batch_mean, batch_var }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::GradCheck;
+    use crate::rng::rng;
+
+    #[test]
+    fn train_mode_normalizes_per_feature() {
+        let mut g = Graph::new();
+        let mut r = rng(1);
+        let x = g.input(Tensor::randn(&[64, 3], &mut r).scale(4.0).add_scalar(7.0));
+        let gamma = g.input(Tensor::ones(&[3]));
+        let beta = g.input(Tensor::zeros(&[3]));
+        let rm = Tensor::zeros(&[3]);
+        let rv = Tensor::ones(&[3]);
+        let bn = g.batch_norm(x, gamma, beta, &rm, &rv, 1e-5, true);
+        let out = g.value(bn.out);
+        // Mean ≈ 0, variance ≈ 1 per column.
+        for f in 0..3 {
+            let col: Vec<f32> = (0..64).map(|i| out.at(&[i, f])).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 64.0;
+            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+        assert!(bn.batch_mean.is_some() && bn.batch_var.is_some());
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![2.0, 4.0], &[2, 1]));
+        let gamma = g.input(Tensor::ones(&[1]));
+        let beta = g.input(Tensor::zeros(&[1]));
+        let rm = Tensor::from_slice(&[2.0]);
+        let rv = Tensor::from_slice(&[4.0]);
+        let bn = g.batch_norm(x, gamma, beta, &rm, &rv, 0.0, false);
+        let out = g.value(bn.out);
+        assert!((out.data()[0] - 0.0).abs() < 1e-5);
+        assert!((out.data()[1] - 1.0).abs() < 1e-5);
+        assert!(bn.batch_mean.is_none());
+    }
+
+    #[test]
+    fn volumetric_normalizes_per_channel() {
+        let mut g = Graph::new();
+        let mut r = rng(2);
+        let x = g.input(Tensor::randn(&[2, 3, 4, 4, 4], &mut r).add_scalar(5.0));
+        let gamma = g.input(Tensor::ones(&[3]));
+        let beta = g.input(Tensor::zeros(&[3]));
+        let rm = Tensor::zeros(&[3]);
+        let rv = Tensor::ones(&[3]);
+        let bn = g.batch_norm(x, gamma, beta, &rm, &rv, 1e-5, true);
+        let m = g.value(bn.out).mean();
+        assert!(m.abs() < 1e-4);
+    }
+
+    #[test]
+    fn grad_batch_norm_train() {
+        let mut r = rng(3);
+        let x = Tensor::randn(&[6, 2], &mut r);
+        let gamma = Tensor::rand_uniform(&[2], 0.5, 1.5, &mut r);
+        let beta = Tensor::randn(&[2], &mut r);
+        GradCheck { eps: 1e-2, tol: 5e-2 }
+            .check(&[x, gamma, beta], |g, v| {
+                let rm = Tensor::zeros(&[2]);
+                let rv = Tensor::ones(&[2]);
+                let bn = g.batch_norm(v[0], v[1], v[2], &rm, &rv, 1e-3, true);
+                let sq = g.square(bn.out);
+                g.sum_all(sq)
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn grad_batch_norm_eval() {
+        let mut r = rng(4);
+        let x = Tensor::randn(&[4, 3], &mut r);
+        let gamma = Tensor::rand_uniform(&[3], 0.5, 1.5, &mut r);
+        let beta = Tensor::randn(&[3], &mut r);
+        GradCheck::default()
+            .check(&[x, gamma, beta], |g, v| {
+                let rm = Tensor::from_slice(&[0.1, -0.2, 0.3]);
+                let rv = Tensor::from_slice(&[1.1, 0.9, 1.4]);
+                let bn = g.batch_norm(v[0], v[1], v[2], &rm, &rv, 1e-3, false);
+                let sq = g.square(bn.out);
+                g.sum_all(sq)
+            })
+            .unwrap();
+    }
+}
+
+impl Graph {
+    /// Per-row RMS normalization: `y = x / sqrt(mean(x²) + eps)` over each
+    /// row of a rank-2 tensor. A parameter-free stabilizer for
+    /// unbounded-scale activations (the fusion model applies it to the
+    /// heads' latent vectors before the fusion layers).
+    pub fn rms_norm_rows(&mut self, x: VarId, eps: f32) -> VarId {
+        let xt = self.value(x);
+        assert_eq!(xt.rank(), 2, "rms_norm_rows requires rank 2, got {:?}", xt.shape());
+        let (m, n) = (xt.shape()[0], xt.shape()[1]);
+        let rms: Vec<f32> = (0..m)
+            .map(|r| {
+                let row = &xt.data()[r * n..(r + 1) * n];
+                let ms: f32 = row.iter().map(|&v| v * v).sum::<f32>() / n as f32;
+                (ms + eps).sqrt()
+            })
+            .collect();
+        let mut out = xt.clone();
+        for (r, &scale) in rms.iter().enumerate() {
+            for v in &mut out.data_mut()[r * n..(r + 1) * n] {
+                *v /= scale;
+            }
+        }
+        self.push_op(
+            vec![x],
+            out,
+            Box::new(move |ctx| {
+                let xd = ctx.parents[0].data();
+                let gd = ctx.grad.data();
+                let mut dx = Tensor::zeros(&[m, n]);
+                for r in 0..m {
+                    let xr = &xd[r * n..(r + 1) * n];
+                    let gr = &gd[r * n..(r + 1) * n];
+                    let dot: f32 = xr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
+                    let r3 = rms[r] * rms[r] * rms[r];
+                    let drow = &mut dx.data_mut()[r * n..(r + 1) * n];
+                    for ((d, &xi), &gi) in drow.iter_mut().zip(xr).zip(gr) {
+                        *d = gi / rms[r] - xi * dot / (n as f32 * r3);
+                    }
+                }
+                vec![dx]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod rms_tests {
+    use crate::graph::Graph;
+    use crate::ops::GradCheck;
+    use crate::rng::rng;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn rms_norm_bounds_row_scale() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![30.0, 40.0, 0.3, 0.4], &[2, 2]));
+        let y = g.rms_norm_rows(x, 1e-6);
+        let out = g.value(y);
+        // Each row is scaled to unit RMS regardless of input magnitude.
+        for r in 0..2 {
+            let ms: f32 = (0..2).map(|c| out.at(&[r, c]).powi(2)).sum::<f32>() / 2.0;
+            assert!((ms - 1.0).abs() < 1e-4, "row {r} ms {ms}");
+        }
+        // Direction preserved.
+        assert!(out.at(&[0, 1]) / out.at(&[0, 0]) - 40.0 / 30.0 < 1e-5);
+    }
+
+    #[test]
+    fn grad_rms_norm() {
+        let mut r = rng(6);
+        let x = Tensor::randn(&[3, 5], &mut r).scale(3.0);
+        GradCheck { eps: 1e-2, tol: 3e-2 }
+            .check(&[x], |g, v| {
+                let y = g.rms_norm_rows(v[0], 1e-4);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            })
+            .unwrap();
+    }
+}

@@ -1,0 +1,112 @@
+//! Max pooling over the three spatial dimensions.
+
+use crate::graph::{Graph, VarId};
+use crate::tensor::Tensor;
+
+impl Graph {
+    /// Non-overlapping 3-D max pooling with cubic window `k` and stride `k`.
+    ///
+    /// Trailing voxels that do not fill a complete window are dropped
+    /// (floor semantics, matching PyTorch's default).
+    pub fn maxpool3d(&mut self, x: VarId, k: usize) -> VarId {
+        assert!(k >= 1, "pool window must be >= 1");
+        let xt = self.value(x);
+        let s = xt.shape();
+        assert_eq!(s.len(), 5, "maxpool3d expects [N,C,D,H,W], got {s:?}");
+        let (n, c, d, h, w) = (s[0], s[1], s[2], s[3], s[4]);
+        let (od, oh, ow) = (d / k, h / k, w / k);
+        assert!(od > 0 && oh > 0 && ow > 0, "pool window {k} larger than input {s:?}");
+        let mut out = Tensor::zeros(&[n, c, od, oh, ow]);
+        let mut argmax = vec![0usize; out.numel()];
+        {
+            let xd = xt.data();
+            let odata = out.data_mut();
+            for bn in 0..n {
+                for ch in 0..c {
+                    let xbase = (bn * c + ch) * d * h * w;
+                    for zd in 0..od {
+                        for yh in 0..oh {
+                            for xw in 0..ow {
+                                let mut best = f32::NEG_INFINITY;
+                                let mut best_i = 0usize;
+                                for fz in 0..k {
+                                    for fy in 0..k {
+                                        for fx in 0..k {
+                                            let xi = xbase
+                                                + (zd * k + fz) * h * w
+                                                + (yh * k + fy) * w
+                                                + (xw * k + fx);
+                                            if xd[xi] > best {
+                                                best = xd[xi];
+                                                best_i = xi;
+                                            }
+                                        }
+                                    }
+                                }
+                                let oi = (((bn * c + ch) * od + zd) * oh + yh) * ow + xw;
+                                odata[oi] = best;
+                                argmax[oi] = best_i;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let xshape = s.to_vec();
+        self.push_op(
+            vec![x],
+            out,
+            Box::new(move |ctx| {
+                let mut gx = Tensor::zeros(&xshape);
+                for (oi, &g) in ctx.grad.data().iter().enumerate() {
+                    gx.data_mut()[argmax[oi]] += g;
+                }
+                vec![gx]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::GradCheck;
+    use crate::rng::rng;
+
+    #[test]
+    fn pool_picks_maxima() {
+        let mut g = Graph::new();
+        let mut data = vec![0.0f32; 8];
+        data[3] = 5.0; // somewhere inside the single 2x2x2 window
+        let x = g.input(Tensor::from_vec(data, &[1, 1, 2, 2, 2]));
+        let y = g.maxpool3d(x, 2);
+        assert_eq!(g.value(y).shape(), &[1, 1, 1, 1, 1]);
+        assert_eq!(g.value(y).item(), 5.0);
+    }
+
+    #[test]
+    fn pool_shape_floors() {
+        let mut g = Graph::new();
+        let mut r = rng(1);
+        let x = g.input(Tensor::randn(&[1, 2, 5, 5, 5], &mut r));
+        let y = g.maxpool3d(x, 2);
+        assert_eq!(g.value(y).shape(), &[1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn grad_routes_to_argmax_only() {
+        let mut r = rng(2);
+        // Use well-separated values so the argmax is stable under the
+        // finite-difference perturbation.
+        let mut x = Tensor::randn(&[1, 1, 2, 2, 2], &mut r);
+        for (i, v) in x.data_mut().iter_mut().enumerate() {
+            *v += i as f32; // strictly increasing offsets break ties
+        }
+        GradCheck::default()
+            .check(&[x], |g, v| {
+                let y = g.maxpool3d(v[0], 2);
+                g.sum_all(y)
+            })
+            .unwrap();
+    }
+}

@@ -1,0 +1,178 @@
+//! Gather/scatter ops for graph neural networks.
+//!
+//! The SG-CNN batches molecular graphs the PyTorch-Geometric way: all nodes
+//! of a batch are stacked into one `[N, F]` matrix, edges index into it, and
+//! a segment vector maps each node to its graph. Message passing is then
+//! `index_select_rows` (gather endpoint features) followed by `segment_sum`
+//! (aggregate messages per node), and readout is `segment_sum`/`segment_mean`
+//! over the graph assignment.
+
+use crate::graph::{Graph, VarId};
+use crate::tensor::Tensor;
+
+impl Graph {
+    /// Gathers rows of a `[N, F]` matrix: output row `i` is `x[idx[i]]`.
+    pub fn index_select_rows(&mut self, x: VarId, idx: &[usize]) -> VarId {
+        let xt = self.value(x);
+        assert_eq!(xt.rank(), 2, "index_select_rows requires rank 2, got {:?}", xt.shape());
+        let (n, f) = (xt.shape()[0], xt.shape()[1]);
+        for &i in idx {
+            assert!(i < n, "row index {i} out of bounds for {n} rows");
+        }
+        let mut out = Tensor::zeros(&[idx.len(), f]);
+        for (r, &i) in idx.iter().enumerate() {
+            out.data_mut()[r * f..(r + 1) * f].copy_from_slice(&xt.data()[i * f..(i + 1) * f]);
+        }
+        let idx_c = idx.to_vec();
+        self.push_op(
+            vec![x],
+            out,
+            Box::new(move |ctx| {
+                let mut g = Tensor::zeros(&[n, f]);
+                for (r, &i) in idx_c.iter().enumerate() {
+                    let src = &ctx.grad.data()[r * f..(r + 1) * f];
+                    let dst = &mut g.data_mut()[i * f..(i + 1) * f];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d += s;
+                    }
+                }
+                vec![g]
+            }),
+        )
+    }
+
+    /// Sums rows of `[E, F]` into `num_segments` buckets given per-row
+    /// segment ids; output is `[num_segments, F]`.
+    pub fn segment_sum(&mut self, x: VarId, seg: &[usize], num_segments: usize) -> VarId {
+        let xt = self.value(x);
+        assert_eq!(xt.rank(), 2, "segment_sum requires rank 2");
+        let (e, f) = (xt.shape()[0], xt.shape()[1]);
+        assert_eq!(seg.len(), e, "segment vector length {} != rows {}", seg.len(), e);
+        for &s in seg {
+            assert!(s < num_segments, "segment id {s} out of range {num_segments}");
+        }
+        let mut out = Tensor::zeros(&[num_segments, f]);
+        for (r, &s) in seg.iter().enumerate() {
+            let src = &xt.data()[r * f..(r + 1) * f];
+            let dst = &mut out.data_mut()[s * f..(s + 1) * f];
+            for (d, &v) in dst.iter_mut().zip(src) {
+                *d += v;
+            }
+        }
+        let seg_c = seg.to_vec();
+        self.push_op(
+            vec![x],
+            out,
+            Box::new(move |ctx| {
+                let mut g = Tensor::zeros(&[e, f]);
+                for (r, &s) in seg_c.iter().enumerate() {
+                    g.data_mut()[r * f..(r + 1) * f]
+                        .copy_from_slice(&ctx.grad.data()[s * f..(s + 1) * f]);
+                }
+                vec![g]
+            }),
+        )
+    }
+
+    /// Mean-pools rows into segments: `segment_sum` divided by bucket size
+    /// (empty buckets yield zeros).
+    pub fn segment_mean(&mut self, x: VarId, seg: &[usize], num_segments: usize) -> VarId {
+        let mut counts = vec![0f32; num_segments];
+        for &s in seg {
+            counts[s] += 1.0;
+        }
+        let summed = self.segment_sum(x, seg, num_segments);
+        // Divide each row by its count via a constant row-scale op.
+        let st = self.value(summed);
+        let f = st.shape()[1];
+        let mut out = st.clone();
+        for (r, &c) in counts.iter().enumerate() {
+            let scale = if c > 0.0 { 1.0 / c } else { 0.0 };
+            for v in &mut out.data_mut()[r * f..(r + 1) * f] {
+                *v *= scale;
+            }
+        }
+        let counts_c = counts;
+        self.push_op(
+            vec![summed],
+            out,
+            Box::new(move |ctx| {
+                let mut g = ctx.grad.clone();
+                let f = g.shape()[1];
+                for (r, &c) in counts_c.iter().enumerate() {
+                    let scale = if c > 0.0 { 1.0 / c } else { 0.0 };
+                    for v in &mut g.data_mut()[r * f..(r + 1) * f] {
+                        *v *= scale;
+                    }
+                }
+                vec![g]
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::GradCheck;
+    use crate::rng::rng;
+
+    #[test]
+    fn gather_selects_rows() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[3, 2]));
+        let y = g.index_select_rows(x, &[2, 0, 2]);
+        assert_eq!(g.value(y).data(), &[5., 6., 1., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn segment_sum_buckets() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1., 10., 2., 20., 3., 30.], &[3, 2]));
+        let y = g.segment_sum(x, &[0, 1, 0], 2);
+        assert_eq!(g.value(y).data(), &[4., 40., 2., 20.]);
+    }
+
+    #[test]
+    fn segment_mean_averages_and_handles_empty() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![2., 4., 6., 8.], &[2, 2]));
+        let y = g.segment_mean(x, &[1, 1], 3);
+        assert_eq!(g.value(y).data(), &[0., 0., 4., 6., 0., 0.]);
+    }
+
+    #[test]
+    fn grad_gather_scatter_round_trip() {
+        let mut r = rng(1);
+        let x = Tensor::randn(&[4, 3], &mut r);
+        GradCheck::default()
+            .check(&[x], |g, v| {
+                let gathered = g.index_select_rows(v[0], &[0, 0, 1, 3, 2, 3]);
+                let pooled = g.segment_sum(gathered, &[0, 1, 1, 0, 1, 0], 2);
+                let sq = g.square(pooled);
+                g.sum_all(sq)
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn grad_segment_mean() {
+        let mut r = rng(2);
+        let x = Tensor::randn(&[5, 2], &mut r);
+        GradCheck::default()
+            .check(&[x], |g, v| {
+                let m = g.segment_mean(v[0], &[0, 0, 1, 1, 1], 2);
+                let sq = g.square(m);
+                g.sum_all(sq)
+            })
+            .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn segment_sum_validates_ids() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 1]));
+        g.segment_sum(x, &[5], 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! Trainable-parameter storage shared between model layers and optimizers.
+//!
+//! Layers register their weights in a [`ParamStore`] and keep only the
+//! returned [`ParamId`]s. Each forward pass injects the current values into a
+//! fresh [`crate::graph::Graph`]; after `backward`, gradients are scattered
+//! back into the store where an optimizer consumes them. This indirection is
+//! what lets Coherent Fusion back-propagate one loss through the fusion
+//! layers *and* both pre-trained heads at once, while Mid-level Fusion keeps
+//! the heads frozen simply by injecting them as constants.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Handle to one registered parameter tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+/// One named parameter and its accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct ParamEntry {
+    pub name: String,
+    pub value: Tensor,
+    pub grad: Tensor,
+}
+
+/// An append-only collection of named parameters.
+#[derive(Debug, Default, Clone)]
+pub struct ParamStore {
+    entries: Vec<ParamEntry>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter, returning its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.shape());
+        self.entries.push(ParamEntry { name: name.into(), value, grad });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar trainable values.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.numel()).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Mutable value of a parameter.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].value
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Adds `g` into the stored gradient of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Tensor) {
+        self.entries[id.0].grad.add_scaled_inplace(g, 1.0);
+    }
+
+    /// Scales every accumulated gradient (e.g. for gradient averaging
+    /// across data-parallel replicas).
+    pub fn scale_grads(&mut self, s: f32) {
+        for e in &mut self.entries {
+            e.grad.map_inplace(|x| x * s);
+        }
+    }
+
+    /// Clips the global gradient norm to `max_norm`, returning the norm
+    /// before clipping.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let total: f64 = self
+            .entries
+            .iter()
+            .map(|e| e.grad.data().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>())
+            .sum();
+        let norm = total.sqrt() as f32;
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            self.scale_grads(s);
+        }
+        norm
+    }
+
+    /// Zeroes every accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for e in &mut self.entries {
+            e.grad.map_inplace(|_| 0.0);
+        }
+    }
+
+    /// Iterates over `(ParamId, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &ParamEntry)> {
+        self.entries.iter().enumerate().map(|(i, e)| (ParamId(i), e))
+    }
+
+    /// Mutable iteration over entries (used by optimizers).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut ParamEntry)> {
+        self.entries.iter_mut().enumerate().map(|(i, e)| (ParamId(i), e))
+    }
+
+    /// Serializable snapshot of all parameter values (name → data+shape).
+    pub fn snapshot(&self) -> ParamSnapshot {
+        ParamSnapshot {
+            params: self
+                .entries
+                .iter()
+                .map(|e| SavedParam {
+                    name: e.name.clone(),
+                    shape: e.value.shape().to_vec(),
+                    data: e.value.data().to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores values from a snapshot taken on an identically-constructed
+    /// model (names and shapes must match, in order).
+    pub fn restore(&mut self, snap: &ParamSnapshot) -> Result<(), String> {
+        if snap.params.len() != self.entries.len() {
+            return Err(format!(
+                "snapshot has {} params, store has {}",
+                snap.params.len(),
+                self.entries.len()
+            ));
+        }
+        for (e, s) in self.entries.iter_mut().zip(&snap.params) {
+            if e.name != s.name {
+                return Err(format!("param name mismatch: {} vs {}", e.name, s.name));
+            }
+            if e.value.shape() != s.shape.as_slice() {
+                return Err(format!(
+                    "param {} shape mismatch: {:?} vs {:?}",
+                    e.name,
+                    e.value.shape(),
+                    s.shape
+                ));
+            }
+            e.value = Tensor::from_vec(s.data.clone(), &s.shape);
+        }
+        Ok(())
+    }
+}
+
+/// One serialized parameter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedParam {
+    pub name: String,
+    pub shape: Vec<usize>,
+    pub data: Vec<f32>,
+}
+
+/// Serializable snapshot of a whole [`ParamStore`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamSnapshot {
+    pub params: Vec<SavedParam>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut p = ParamStore::new();
+        let id = p.add("w", Tensor::from_slice(&[1.0, 2.0]));
+        assert_eq!(p.value(id).data(), &[1.0, 2.0]);
+        assert_eq!(p.name(id), "w");
+        assert_eq!(p.num_scalars(), 2);
+    }
+
+    #[test]
+    fn grad_accumulation_and_zero() {
+        let mut p = ParamStore::new();
+        let id = p.add("w", Tensor::zeros(&[2]));
+        p.accumulate_grad(id, &Tensor::from_slice(&[1.0, -1.0]));
+        p.accumulate_grad(id, &Tensor::from_slice(&[0.5, 0.5]));
+        assert_eq!(p.grad(id).data(), &[1.5, -0.5]);
+        p.zero_grad();
+        assert_eq!(p.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut p = ParamStore::new();
+        let id = p.add("w", Tensor::zeros(&[2]));
+        p.accumulate_grad(id, &Tensor::from_slice(&[3.0, 4.0]));
+        let before = p.clip_grad_norm(1.0);
+        assert!((before - 5.0).abs() < 1e-6);
+        assert!((p.grad(id).norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut p = ParamStore::new();
+        let id = p.add("w", Tensor::from_slice(&[1.0, 2.0, 3.0]));
+        let snap = p.snapshot();
+        p.value_mut(id).map_inplace(|_| 0.0);
+        p.restore(&snap).unwrap();
+        assert_eq!(p.value(id).data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn restore_rejects_mismatch() {
+        let mut a = ParamStore::new();
+        a.add("w", Tensor::zeros(&[2]));
+        let snap = a.snapshot();
+        let mut b = ParamStore::new();
+        b.add("x", Tensor::zeros(&[2]));
+        assert!(b.restore(&snap).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Seeded random-number helpers shared across the workspace.
+//!
+//! Everything stochastic in the reproduction takes an explicit `u64` seed so
+//! experiments are bit-for-bit reproducible. This module wraps `rand`'s
+//! `StdRng` and adds the handful of distributions the rest of the code needs
+//! (standard normal via Box–Muller, so we avoid an extra `rand_distr`
+//! dependency).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream index.
+///
+/// Uses the SplitMix64 finalizer so nearby `(seed, stream)` pairs produce
+/// uncorrelated child seeds. This is how the workspace fans one experiment
+/// seed out to many independent components (data generation, model init,
+/// dropout, docking search, ...).
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples a standard normal value using the Box–Muller transform.
+pub fn normal(rng: &mut impl Rng) -> f64 {
+    // Avoid log(0) by sampling u1 in (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a normal value with the given mean and standard deviation.
+pub fn normal_with(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+    mean + std * normal(rng)
+}
+
+/// Samples uniformly from `[lo, hi)`.
+pub fn uniform(rng: &mut impl Rng, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.gen::<f64>()
+}
+
+/// Samples log-uniformly from `[lo, hi)`; both bounds must be positive.
+///
+/// This is the standard way learning-rate-like hyper-parameters are sampled
+/// (the paper's PB2 ranges such as 1e-8..1e-3 span many decades).
+pub fn log_uniform(rng: &mut impl Rng, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi > lo, "log_uniform requires 0 < lo < hi");
+    (uniform(rng, lo.ln(), hi.ln())).exp()
+}
+
+/// Picks a uniformly random element of a slice.
+pub fn choose<'a, T>(rng: &mut impl Rng, items: &'a [T]) -> &'a T {
+    assert!(!items.is_empty(), "choose on empty slice");
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// Fisher–Yates shuffles indices `0..n` and returns the permutation.
+pub fn permutation(rng: &mut impl Rng, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rng(42);
+        let mut b = rng(42);
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_streams() {
+        let s = 7u64;
+        let children: Vec<u64> = (0..16).map(|i| derive_seed(s, i)).collect();
+        let mut uniq = children.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), children.len(), "child seeds must be distinct");
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut r = rng(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn log_uniform_stays_in_range() {
+        let mut r = rng(3);
+        for _ in 0..1000 {
+            let v = log_uniform(&mut r, 1e-8, 1e-3);
+            assert!((1e-8..1e-3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut r = rng(9);
+        let p = permutation(&mut r, 100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

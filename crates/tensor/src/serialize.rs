@@ -1,0 +1,77 @@
+//! Saving and loading parameter snapshots as JSON files.
+
+use crate::params::{ParamSnapshot, ParamStore};
+use std::path::Path;
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(std::io::Error),
+    Format(String),
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Format(e) => write!(f, "checkpoint format error: {e}"),
+            CheckpointError::Mismatch(e) => write!(f, "checkpoint mismatch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes a parameter snapshot to a JSON file.
+pub fn save_params(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let snap = store.snapshot();
+    let json = serde_json::to_string(&snap).map_err(|e| CheckpointError::Format(e.to_string()))?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a snapshot from a JSON file into an identically-built store.
+pub fn load_params(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let json = std::fs::read_to_string(path)?;
+    let snap: ParamSnapshot =
+        serde_json::from_str(&json).map_err(|e| CheckpointError::Format(e.to_string()))?;
+    store.restore(&snap).map_err(CheckpointError::Mismatch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut r = rng(1);
+        let mut a = ParamStore::new();
+        let w = a.add("w", Tensor::randn(&[3, 2], &mut r));
+        let dir = std::env::temp_dir().join("dftensor_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.json");
+        save_params(&a, &path).unwrap();
+
+        let mut b = ParamStore::new();
+        let wb = b.add("w", Tensor::zeros(&[3, 2]));
+        load_params(&mut b, &path).unwrap();
+        assert!(b.value(wb).allclose(a.value(w), 0.0));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let mut s = ParamStore::new();
+        let err = load_params(&mut s, "/definitely/not/here.json").unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}

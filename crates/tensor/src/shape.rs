@@ -1,0 +1,106 @@
+//! Shape utilities for dense, row-major tensors.
+
+/// Computes the total number of elements implied by a shape.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Computes row-major (C-order) strides for a shape.
+///
+/// The last dimension has stride 1; every other dimension's stride is the
+/// product of all dimensions to its right.
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut out = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        out[i] = out[i + 1] * shape[i + 1];
+    }
+    out
+}
+
+/// Converts a multi-dimensional index to a flat offset, panicking on
+/// out-of-bounds indices.
+pub fn flat_index(shape: &[usize], idx: &[usize]) -> usize {
+    assert_eq!(
+        shape.len(),
+        idx.len(),
+        "index rank {} does not match tensor rank {}",
+        idx.len(),
+        shape.len()
+    );
+    let mut off = 0usize;
+    let mut stride = 1usize;
+    for i in (0..shape.len()).rev() {
+        assert!(
+            idx[i] < shape[i],
+            "index {} out of bounds for dim {} of size {}",
+            idx[i],
+            i,
+            shape[i]
+        );
+        off += idx[i] * stride;
+        stride *= shape[i];
+    }
+    off
+}
+
+/// Converts a flat offset back into a multi-dimensional index.
+pub fn unflatten_index(shape: &[usize], mut flat: usize) -> Vec<usize> {
+    let mut idx = vec![0usize; shape.len()];
+    for i in (0..shape.len()).rev() {
+        let d = shape[i].max(1);
+        idx[i] = flat % d;
+        flat /= d;
+    }
+    idx
+}
+
+/// Checks that two shapes are identical, with a readable panic otherwise.
+pub fn assert_same_shape(a: &[usize], b: &[usize], op: &str) {
+    assert_eq!(a, b, "shape mismatch in {op}: {a:?} vs {b:?}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_of_empty_shape_is_one() {
+        // A rank-0 tensor is a scalar with one element.
+        assert_eq!(numel(&[]), 1);
+    }
+
+    #[test]
+    fn numel_products() {
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[7]), 7);
+        assert_eq!(numel(&[5, 0, 3]), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[5]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn flat_index_round_trip() {
+        let shape = [3, 4, 5];
+        for flat in 0..numel(&shape) {
+            let idx = unflatten_index(&shape, flat);
+            assert_eq!(flat_index(&shape, &idx), flat);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn flat_index_bounds_checked() {
+        flat_index(&[2, 2], &[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn flat_index_rank_checked() {
+        flat_index(&[2, 2], &[0]);
+    }
+}

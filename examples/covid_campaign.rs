@@ -1,0 +1,89 @@
+//! The §5 campaign in miniature: train a Coherent Fusion model, screen
+//! compounds against the four SARS-CoV-2 targets with all three scoring
+//! methods, down-select by the cost function, "test" selections in the
+//! simulated assay, and run the retrospective analysis (Figure 4, Table 8,
+//! Figure 5, hit rate).
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example covid_campaign
+//! ```
+
+use deepfusion::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let seed = 2020;
+    println!("== SARS-CoV-2 screening campaign (seed {seed}) ==\n");
+
+    // 1. Train the Coherent Fusion model on synthetic PDBbind.
+    println!("Training Coherent Fusion (scaled-down §3 protocol)...");
+    let dataset = Arc::new(PdbBind::generate(
+        &PdbBindConfig { num_complexes: 150, core_size: 20, ..PdbBindConfig::tiny() },
+        seed,
+    ));
+    let cfg = WorkflowConfig::small(seed);
+    let models = train_all_variants(Arc::clone(&dataset), &cfg);
+    let fusion = deepfusion::fusion_scorer_from(&models);
+    println!("  best validation MSE: {:.3}\n", models.coherent_history.best_val_mse);
+
+    // 2. Screen + down-select + assay on every target.
+    println!("Screening the four targets and testing selected compounds...");
+    let campaign_cfg = CampaignConfig {
+        screen_pool: 90,
+        tested_per_target: 45,
+        ..CampaignConfig::small(seed)
+    };
+    let out = run_assay_campaign(&campaign_cfg, &fusion);
+    println!("  tested {} compounds across 4 targets", out.tested.len());
+    println!(
+        "  hit rate at 33% inhibition: {:.1}% (paper: 10.4%)\n",
+        100.0 * out.hit_rate(33.0)
+    );
+
+    // 3. Figure 4: predicted pK vs % inhibition (binders only).
+    println!("Figure 4 — binders (>1% inhibition) per target:");
+    for (target, points) in deepfusion::assay::figure4(&out) {
+        println!("  {:<10} {} binders", target.name(), points.len());
+    }
+
+    // 4. Table 8: correlations on the >1% subset.
+    println!("\nTable 8 — correlation of predicted binding and % inhibition (>1%):");
+    println!("  {:<17} {:<11} {:>9} {:>9} {:>4}", "Method", "Target", "Pearson", "Spearman", "n");
+    for row in deepfusion::assay::table8(&out) {
+        println!(
+            "  {:<17} {:<11} {:>9.2} {:>9.2} {:>4}",
+            row.method.name(),
+            row.target.name(),
+            row.pearson,
+            row.spearman,
+            row.n
+        );
+    }
+
+    // 5. Figure 5: P/R at 33% inhibition with κ vs random.
+    println!("\nFigure 5 — classification at 33% inhibition:");
+    let panels = deepfusion::assay::figure5(&out, 33.0);
+    for panel in &panels {
+        println!(
+            "  {} ({} positive / {} negative, random precision {:.2}):",
+            panel.target.name(),
+            panel.positives,
+            panel.negatives,
+            panel.random_baseline
+        );
+        for m in &panel.methods {
+            println!(
+                "    {:<17} F1 {:.3}  AP {:.3}  kappa {:+.3}",
+                m.method.name(),
+                m.best_f1,
+                m.average_precision,
+                m.kappa
+            );
+        }
+    }
+    println!("\nBest method per target:");
+    for (target, method) in deepfusion::assay::best_method_by_f1(&panels) {
+        println!("  {:<10} → {}", target.name(), method.name());
+    }
+}

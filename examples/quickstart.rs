@@ -1,0 +1,81 @@
+//! Quickstart: generate a synthetic PDBbind, train the individual heads
+//! and all three fusion variants, and evaluate them on the held-out core
+//! set — a miniature of the paper's Table 6.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use deepfusion::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let seed = 42;
+    println!("== Deep Fusion quickstart (seed {seed}) ==\n");
+
+    // 1. Synthetic PDBbind-2019: general/refined/core groups, oracle labels.
+    println!("Generating synthetic PDBbind (docking every complex)...");
+    let dataset = Arc::new(PdbBind::generate(
+        &PdbBindConfig { num_complexes: 120, core_size: 16, ..PdbBindConfig::tiny() },
+        seed,
+    ));
+    let core = dataset.indices(Group::Core);
+    println!(
+        "  {} complexes ({} general / {} refined / {} core)\n",
+        dataset.entries.len(),
+        dataset.indices(Group::General).len(),
+        dataset.indices(Group::Refined).len(),
+        core.len()
+    );
+
+    // 2. Train SG-CNN + 3D-CNN heads, then Late / Mid-level / Coherent
+    //    fusion (§3 protocol, scaled down for a laptop CPU).
+    println!("Training all model variants...");
+    let cfg = WorkflowConfig::small(seed);
+    let mut models = train_all_variants(Arc::clone(&dataset), &cfg);
+    println!(
+        "  SG-CNN   best val MSE: {:.3}",
+        models.sgcnn_history.best_val_mse
+    );
+    println!(
+        "  3D-CNN   best val MSE: {:.3}",
+        models.cnn3d_history.best_val_mse
+    );
+    println!(
+        "  Mid-lvl  best val MSE: {:.3}",
+        models.midlevel_history.best_val_mse
+    );
+    println!(
+        "  Coherent best val MSE: {:.3}\n",
+        models.coherent_history.best_val_mse
+    );
+
+    // 3. Core-set evaluation (Table 6 metrics).
+    println!("Core-set evaluation (cf. Table 6):");
+    for (name, which) in [
+        ("SG-CNN", EvalModel::SgCnn),
+        ("3D-CNN", EvalModel::Cnn3d),
+        ("Late Fusion", EvalModel::Late),
+        ("Mid-level Fusion", EvalModel::MidLevel),
+        ("Coherent Fusion", EvalModel::Coherent),
+    ] {
+        let report = models.evaluate(&dataset, &core, which);
+        println!("  {name:<18} {report}");
+    }
+
+    // 4. Score a fresh compound the way the screening pipeline would.
+    let scorer_factory = deepfusion::fusion_scorer_from(&models);
+    let pocket = BindingPocket::generate(TargetSite::Protease1, seed);
+    let compound = Compound::materialize(Library::ZincWorldApproved, 7, seed);
+    let poses = dock(&DockConfig::default(), &compound.mol, &pocket, seed);
+    let ligs: Vec<Molecule> = poses.iter().map(|p| p.ligand.clone()).collect();
+    let mut scorer = scorer_factory.build();
+    let preds = scorer.score_poses(&ligs, &pocket);
+    let best = preds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "\nScreened {} against protease1: {} poses, best predicted pK = {best:.2}",
+        compound.id,
+        ligs.len()
+    );
+}

@@ -1,0 +1,106 @@
+//! Virtual screening at (simulated) scale: the Figure 3 / Table 7 job
+//! architecture end to end — evaluation jobs over rank threads, MPI-style
+//! allgather, parallel `h5lite` output, fault injection and the
+//! reschedule-on-failure campaign loop, finishing with the Lassen
+//! throughput model.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example virtual_screen
+//! ```
+
+use deepfusion::hts::{read_dir, VinaScorerFactory};
+use deepfusion::prelude::*;
+
+fn main() {
+    let seed = 7;
+    let out_dir = std::env::temp_dir().join("deepfusion_virtual_screen");
+    std::fs::remove_dir_all(&out_dir).ok();
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    // One evaluation job: 2 nodes x 4 ranks over a compound block
+    // (the paper's shape is 4 nodes x 4 ranks over ~200k compounds).
+    let job_cfg = JobConfig {
+        nodes: 2,
+        ranks_per_node: 4,
+        batch_size: 56,
+        output_dir: out_dir.clone(),
+        faults: FaultConfig { p_bad_metadata: 0.02, p_broken_pipe: 0.1, ..Default::default() },
+    };
+
+    println!("== Single evaluation job (Figure 3) ==");
+    let spec = JobSpec {
+        job_id: 0,
+        target: TargetSite::Spike1,
+        library: Library::EnamineVirtual,
+        first_compound: 0,
+        num_compounds: 400,
+        campaign_seed: seed,
+        attempt: 0,
+    };
+    let out = run_job(&job_cfg, &spec, &VinaScorerFactory, &SyntheticPoseSource {
+        poses_per_compound: 5,
+    })
+    .expect("job run");
+    println!(
+        "  evaluated {} poses across {} ranks in {:?} ({:.0} poses/s)",
+        out.timing.poses_evaluated,
+        job_cfg.num_ranks(),
+        out.timing.evaluate,
+        out.timing.eval_poses_per_sec()
+    );
+    println!("  faults logged: {}", out.faults.len());
+    let on_disk = read_dir(&out_dir).expect("read rank files");
+    println!("  records written across rank files: {}\n", on_disk.len());
+
+    // Many jobs under the fault-tolerant scheduler.
+    println!("== Fault-tolerant campaign (12 jobs, node failures on) ==");
+    std::fs::remove_dir_all(&out_dir).ok();
+    std::fs::create_dir_all(&out_dir).ok();
+    let noisy = JobConfig { faults: FaultConfig::noisy(seed), ..job_cfg.clone() };
+    let specs: Vec<JobSpec> = (0..12)
+        .map(|j| JobSpec {
+            job_id: j,
+            target: TargetSite::ALL[(j % 4) as usize],
+            library: Library::EnamineVirtual,
+            first_compound: j * 100,
+            num_compounds: 100,
+            campaign_seed: seed,
+            attempt: 0,
+        })
+        .collect();
+    let report = run_screening_campaign(
+        &SchedulerConfig { max_parallel_jobs: 4, max_attempts: 6 },
+        &noisy,
+        specs,
+        &VinaScorerFactory,
+        &SyntheticPoseSource { poses_per_compound: 3 },
+    );
+    println!(
+        "  {} jobs completed, {} attempts failed & were rescheduled, {} abandoned",
+        report.outputs.len(),
+        report.failed_attempts,
+        report.abandoned.len()
+    );
+    println!(
+        "  campaign throughput: {:.0} poses/s over {:?}\n",
+        report.poses_per_sec(),
+        report.wall_time
+    );
+
+    // The Lassen model behind Table 7.
+    println!("== Lassen throughput model (Table 7) ==");
+    let model = LassenModel::default();
+    println!("  {:<22} {:>12} {:>12}", "Metric", "Single Job", "Peak");
+    for row in model.table7() {
+        println!("  {:<22} {:>12} {:>12}", row.metric, row.single_job, row.peak);
+    }
+    let measured_rank_rate = report.poses_per_sec() / (4.0 * noisy.num_ranks() as f64);
+    println!(
+        "\n  measured CPU rank ≈ {:.1} poses/s → V100-equivalence factor {:.2}",
+        measured_rank_rate,
+        model.v100_equivalence(measured_rank_rate)
+    );
+
+    std::fs::remove_dir_all(&out_dir).ok();
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Reference experiment runs for EXPERIMENTS.md (small scale, seed 2021).
+# Heavy intermediates are cached under results/cache by the harnesses.
+set -u
+cd "$(dirname "$0")"
+LOGS=results/logs
+mkdir -p "$LOGS"
+run() {
+  local name=$1; shift
+  echo "=== $name ==="
+  ( time cargo run --release -p dfbench --bin "$@" ) >"$LOGS/$name.log" 2>&1
+  echo "--- exit $? ($name)"
+}
+run table6      table6      -- --scale small
+run calibrate   calibrate   -- --scale small
+run figure1     figure1
+run figure3     figure3     -- --scale small
+run table7      table7      -- --scale small
+run speedup     speedup     -- --scale small
+run figure4     figure4     -- --scale small
+run table8      table8      -- --scale small
+run figure5     figure5     -- --scale small
+run figure2     figure2     -- --scale small
+run finetune    finetune    -- --scale small
+run campaign_sim campaign_sim -- --poses 250000000
+run tables2to5_sgcnn    tables2to5 -- --model sgcnn --scale tiny
+run tables2to5_coherent tables2to5 -- --model coherent --scale tiny
+run ablations   ablations   -- --scale tiny
+echo ALL_REFERENCE_RUNS_DONE

@@ -1,0 +1,106 @@
+//! # deepfusion
+//!
+//! A from-scratch Rust reproduction of *"High-Throughput Virtual Screening
+//! of Small Molecule Inhibitors for SARS-CoV-2 Protein Targets with Deep
+//! Fusion Models"* (Stevenson et al., SC 2021, LLNL).
+//!
+//! The paper's system is rebuilt as a workspace of substrates; this crate
+//! is the umbrella that re-exports the public API and hosts the runnable
+//! examples and cross-crate integration tests.
+//!
+//! ## Layer map
+//!
+//! | Layer | Crate | Replaces |
+//! |-------|-------|----------|
+//! | tensors + autodiff + optimizers | [`tensor`] | PyTorch |
+//! | molecules, pockets, featurizers | [`chem`] | RDKit / OpenBabel / PDB |
+//! | Vina docking + MM/GBSA | [`dock`] | AutoDock Vina / ConveyorLC |
+//! | synthetic PDBbind + loaders | [`data`] | PDBbind-2019 |
+//! | SG-CNN, 3D-CNN, fusion models | [`fusion`] | FAST |
+//! | PB2 hyper-parameter search | [`hpo`] | Ray Tune + PB2 |
+//! | jobs, faults, scheduler, h5lite | [`hts`] | Lassen + LSF + MPI + HDF5 |
+//! | assays + campaign analysis | [`assay`] | LLNL/Sandia wet lab |
+//! | metrics | [`metrics`] | scikit-learn-style evaluation |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use deepfusion::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Generate a synthetic PDBbind and train every fusion variant.
+//! let dataset = Arc::new(PdbBind::generate(&PdbBindConfig::tiny(), 42));
+//! let cfg = WorkflowConfig::tiny(42);
+//! let mut models = train_all_variants(Arc::clone(&dataset), &cfg);
+//! let core = dataset.indices(Group::Core);
+//! let report = models.evaluate(&dataset, &core, EvalModel::Coherent);
+//! println!("Coherent Fusion on core set: {report}");
+//! ```
+
+pub use dfassay as assay;
+pub use dfchem as chem;
+pub use dfdata as data;
+pub use dfdock as dock;
+pub use dffusion as fusion;
+pub use dfhpo as hpo;
+pub use dfhts as hts;
+pub use dfmetrics as metrics;
+pub use dftensor as tensor;
+
+/// Convenience re-exports of the most used types across the workspace.
+pub mod prelude {
+    pub use dfassay::{
+        figure4, figure5, run_assay, run_campaign as run_assay_campaign, table8, AssayConfig,
+        CampaignConfig, CampaignOutput, Method,
+    };
+    pub use dfchem::{
+        build_graph, parse_linnot, voxelize, write_linnot, BindingPocket, Compound, CompoundId,
+        Descriptors, GraphConfig, Library, Molecule, TargetSite, VoxelConfig,
+    };
+    pub use dfdata::{Group, PdbBind, PdbBindConfig};
+    pub use dfdock::{
+        dock, dock_flexible, mmgbsa_score, vina_score, ConveyorConfig, DockConfig, MmGbsaConfig,
+    };
+    pub use dffusion::{
+        train_all_variants, Cnn3dConfig, EvalModel, FusionConfig, FusionKind, FusionModel,
+        SgCnnConfig, TrainedModels, WorkflowConfig,
+    };
+    pub use dfhpo::{Pb2, Pb2Config, Pbt, Space};
+    pub use dfhts::{
+        run_campaign as run_screening_campaign, run_job, simulate_campaign, CampaignSim,
+        FaultConfig, FusionScorerFactory, JobConfig, JobSpec, LassenModel, SchedulerConfig,
+        ScorerFactory, SyntheticPoseSource,
+    };
+    pub use dfmetrics::{PrCurve, RegressionReport};
+}
+
+/// Builds a [`dfhts::FusionScorerFactory`] from a trained workflow output,
+/// wiring the coherent model's weights and featurization configs into the
+/// screening stack.
+pub fn fusion_scorer_from(models: &dffusion::TrainedModels) -> dfhts::FusionScorerFactory {
+    dfhts::FusionScorerFactory {
+        model: models.coherent.clone(),
+        params: models.coherent_params.clone(),
+        voxel: models.voxel,
+        graph: models.config.sgcnn.graph_config(),
+        batch_size: 56,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn crates_are_linked() {
+        // Touch one symbol per substrate crate so the umbrella actually
+        // links everything it advertises.
+        let _ = dftensor::Tensor::zeros(&[1]);
+        let _ = dfchem::Element::C.mass();
+        let _ = dfmetrics::rmse(&[1.0], &[1.0]);
+        let _ = dfhts::LassenModel::default();
+        let _ = dfhpo::Pb2Config::default();
+        let _ = dfassay::AssayConfig::default();
+        let _ = dfdock::DockConfig::default();
+        let _ = dfdata::PdbBindConfig::tiny();
+        let _ = dffusion::SgCnnConfig::table2();
+    }
+}

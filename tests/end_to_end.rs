@@ -1,0 +1,83 @@
+//! Cross-crate integration: dataset → training → screening job → result
+//! files → retrospective analysis, all at unit-test scale.
+
+use deepfusion::hts::read_dir;
+use deepfusion::prelude::*;
+use std::sync::Arc;
+
+fn tiny_models(seed: u64) -> (Arc<PdbBind>, TrainedModels) {
+    let dataset = Arc::new(PdbBind::generate(&PdbBindConfig::tiny(), seed));
+    let cfg = WorkflowConfig::tiny(seed);
+    let models = train_all_variants(Arc::clone(&dataset), &cfg);
+    (dataset, models)
+}
+
+#[test]
+fn trained_fusion_model_drives_a_screening_job() {
+    let (_, models) = tiny_models(31);
+    let fusion = deepfusion::fusion_scorer_from(&models);
+
+    let out_dir = std::env::temp_dir().join(format!("df_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&out_dir).unwrap();
+    let job_cfg = JobConfig {
+        nodes: 1,
+        ranks_per_node: 2,
+        batch_size: 8,
+        output_dir: out_dir.clone(),
+        faults: FaultConfig::default(),
+    };
+    let spec = JobSpec {
+        job_id: 1,
+        target: TargetSite::Spike1,
+        library: Library::EnamineVirtual,
+        first_compound: 0,
+        num_compounds: 6,
+        campaign_seed: 31,
+        attempt: 0,
+    };
+    let out = run_job(&job_cfg, &spec, &fusion, &SyntheticPoseSource { poses_per_compound: 2 })
+        .expect("job runs");
+    assert_eq!(out.records.len(), 12);
+    // Predictions are pK-like values, not garbage.
+    for r in &out.records {
+        assert!(r.score.is_finite());
+        assert!((-5.0..20.0).contains(&r.score), "implausible pK {}", r.score);
+    }
+    // The h5lite files round-trip the records.
+    let on_disk = read_dir(&out_dir).unwrap();
+    assert_eq!(on_disk.len(), out.records.len());
+    std::fs::remove_dir_all(out_dir).ok();
+}
+
+#[test]
+fn campaign_analysis_runs_on_trained_model() {
+    let (_, models) = tiny_models(32);
+    let fusion = deepfusion::fusion_scorer_from(&models);
+    let cfg = CampaignConfig::tiny(32);
+    let out = run_assay_campaign(&cfg, &fusion);
+    assert_eq!(out.tested.len(), 4 * cfg.tested_per_target);
+
+    // Analyses execute and produce well-formed output even at tiny scale.
+    let fig4 = deepfusion::assay::figure4(&out);
+    assert_eq!(fig4.len(), 4);
+    let t8 = deepfusion::assay::table8(&out);
+    assert_eq!(t8.len(), 12, "3 methods x 4 targets");
+    for row in &t8 {
+        assert!(row.pearson.abs() <= 1.0 + 1e-12);
+        assert!(row.spearman.abs() <= 1.0 + 1e-12);
+    }
+    let hit = out.hit_rate(33.0);
+    assert!((0.0..=1.0).contains(&hit));
+}
+
+#[test]
+fn core_set_metrics_are_reasonable_for_all_variants() {
+    let (dataset, mut models) = tiny_models(33);
+    let core = dataset.indices(Group::Core);
+    for which in [EvalModel::Late, EvalModel::MidLevel, EvalModel::Coherent] {
+        let r = models.evaluate(&dataset, &core, which);
+        // Tiny training: just demand sanity, not paper-grade numbers.
+        assert!(r.rmse > 0.0 && r.rmse < 10.0, "{which:?} rmse {}", r.rmse);
+        assert!(r.pearson.abs() <= 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Physical invariances that every scoring path must respect: rigid
+//! motions of the whole complex change nothing (scores depend only on
+//! relative geometry), and the spatial-graph featurization is likewise
+//! rigid-motion invariant.
+
+use deepfusion::chem::{build_graph, BindingPocket, GraphConfig, Rotation, TargetSite, Vec3};
+use deepfusion::data::oracle::oracle_terms;
+use deepfusion::dock::{mmgbsa_score, vina_score, MmGbsaConfig};
+use deepfusion::prelude::*;
+
+/// Applies one rigid motion to every atom of the ligand and the pocket.
+fn transform_complex(
+    ligand: &Molecule,
+    pocket: &BindingPocket,
+    rot: &Rotation,
+    shift: Vec3,
+) -> (Molecule, BindingPocket) {
+    let mut lig = ligand.clone();
+    for a in &mut lig.atoms {
+        a.pos = rot.apply(a.pos).add(shift);
+    }
+    let mut poc = pocket.clone();
+    for a in &mut poc.atoms {
+        a.pos = rot.apply(a.pos).add(shift);
+    }
+    (lig, poc)
+}
+
+fn bound_complex(seed: u64) -> (Molecule, BindingPocket) {
+    let pocket = BindingPocket::generate(TargetSite::Protease1, seed);
+    let compound = Compound::materialize(Library::Chembl, seed, seed);
+    let pose = dock(
+        &DockConfig { mc_restarts: 2, mc_steps: 30, ..Default::default() },
+        &compound.mol,
+        &pocket,
+        seed,
+    )
+    .remove(0)
+    .ligand;
+    (pose, pocket)
+}
+
+#[test]
+fn vina_score_is_rigid_motion_invariant() {
+    let (lig, pocket) = bound_complex(3);
+    let base = vina_score(&lig, &pocket);
+    let rot = Rotation::about_axis(Vec3::new(1.0, -2.0, 0.5), 1.1);
+    let (lig2, pocket2) = transform_complex(&lig, &pocket, &rot, Vec3::new(5.0, -7.0, 2.0));
+    let moved = vina_score(&lig2, &pocket2);
+    assert!((base.total - moved.total).abs() < 1e-9, "{} vs {}", base.total, moved.total);
+    assert!((base.hbond - moved.hbond).abs() < 1e-9);
+    assert!((base.hydrophobic - moved.hydrophobic).abs() < 1e-9);
+}
+
+#[test]
+fn mmgbsa_score_is_rigid_motion_invariant() {
+    let (lig, pocket) = bound_complex(4);
+    let cfg = MmGbsaConfig { born_iterations: 3, ..Default::default() };
+    let base = mmgbsa_score(&cfg, &lig, &pocket);
+    let rot = Rotation::about_axis(Vec3::new(0.0, 1.0, 1.0), -0.7);
+    let (lig2, pocket2) = transform_complex(&lig, &pocket, &rot, Vec3::new(-3.0, 11.0, 0.4));
+    let moved = mmgbsa_score(&cfg, &lig2, &pocket2);
+    assert!(
+        (base.total - moved.total).abs() < 1e-6,
+        "{} vs {}",
+        base.total,
+        moved.total
+    );
+}
+
+#[test]
+fn oracle_terms_are_rigid_motion_invariant() {
+    let (lig, pocket) = bound_complex(5);
+    let base = oracle_terms(&lig, &pocket);
+    let rot = Rotation::about_axis(Vec3::new(2.0, 1.0, -1.0), 2.3);
+    let (lig2, pocket2) = transform_complex(&lig, &pocket, &rot, Vec3::new(0.0, 0.0, 42.0));
+    let moved = oracle_terms(&lig2, &pocket2);
+    assert!((base.shape - moved.shape).abs() < 1e-9);
+    assert!((base.interaction - moved.interaction).abs() < 1e-9);
+    assert!((base.electrostatic - moved.electrostatic).abs() < 1e-9);
+}
+
+#[test]
+fn spatial_graph_is_rigid_motion_invariant() {
+    let (lig, pocket) = bound_complex(6);
+    let cfg = GraphConfig::default();
+    let base = build_graph(&cfg, &lig, &pocket);
+    let rot = Rotation::about_axis(Vec3::new(1.0, 1.0, 1.0), 0.9);
+    let (lig2, pocket2) = transform_complex(&lig, &pocket, &rot, Vec3::new(8.0, -1.0, 3.0));
+    let moved = build_graph(&cfg, &lig2, &pocket2);
+    assert_eq!(base.num_nodes(), moved.num_nodes());
+    assert_eq!(base.covalent_edges, moved.covalent_edges);
+    assert_eq!(base.noncovalent_edges, moved.noncovalent_edges);
+    assert!(base.node_feats.allclose(&moved.node_feats, 1e-6));
+    assert_eq!(base.ligand_mask, moved.ligand_mask);
+}
+
+#[test]
+fn scores_decay_to_zero_when_complex_separates() {
+    let (lig, pocket) = bound_complex(7);
+    let mut far = lig.clone();
+    far.translate(Vec3::new(500.0, 0.0, 0.0));
+    let v = vina_score(&far, &pocket);
+    assert_eq!(v.total, 0.0, "Vina has an 8 Å cutoff");
+    let g = build_graph(&GraphConfig::default(), &far, &pocket);
+    assert_eq!(
+        g.num_nodes(),
+        far.num_atoms(),
+        "no pocket atoms should join a separated complex's graph"
+    );
+}

@@ -1,0 +1,176 @@
+//! Property-based tests over cross-crate invariants.
+
+use deepfusion::chem::{centered_rmsd, rmsd, Rotation, Vec3};
+use deepfusion::hts::{read_file, H5Writer, ScoreRecord};
+use deepfusion::metrics::{pearson, ranks, spearman, PrCurve};
+use deepfusion::prelude::*;
+use deepfusion::tensor::rng::rng;
+use deepfusion::tensor::{GradCheck, Graph, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // ------------------------------------------------------------------
+    // Tensor / autodiff
+    // ------------------------------------------------------------------
+
+    /// matmul agrees with the transpose identity (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(seed in 0u64..1000, m in 1usize..5, k in 1usize..5, n in 1usize..5) {
+        let mut r = rng(seed);
+        let a = Tensor::randn(&[m, k], &mut r);
+        let b = Tensor::randn(&[k, n], &mut r);
+        let left = a.matmul(&b).transpose2();
+        let right = b.transpose2().matmul(&a.transpose2());
+        prop_assert!(left.allclose(&right, 1e-4));
+    }
+
+    /// Autodiff gradients of a random two-layer network match finite
+    /// differences.
+    #[test]
+    fn autodiff_matches_finite_differences(seed in 0u64..500) {
+        let mut r = rng(seed);
+        let x = Tensor::randn(&[2, 3], &mut r);
+        let w = Tensor::randn(&[3, 2], &mut r).scale(0.5);
+        GradCheck { eps: 1e-2, tol: 5e-2 }
+            .check(&[x, w], |g, v| {
+                let h = g.matmul(v[0], v[1]);
+                let h = g.tanh(h);
+                let sq = g.square(h);
+                g.mean_all(sq)
+            })
+            .map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    /// Dropout in eval mode is exactly the identity for any rate.
+    #[test]
+    fn dropout_eval_identity(seed in 0u64..500, rate in 0.0f32..0.95) {
+        let mut r = rng(seed);
+        let x = Tensor::randn(&[17], &mut r);
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let y = g.dropout(xv, rate, false, &mut r);
+        prop_assert!(g.value(y).allclose(&x, 0.0));
+    }
+
+    // ------------------------------------------------------------------
+    // Chemistry / geometry
+    // ------------------------------------------------------------------
+
+    /// RMSD is a translation-respecting metric: shifting one conformer by
+    /// d changes plain RMSD to exactly d, while centered RMSD is zero.
+    #[test]
+    fn rmsd_translation_behaviour(seed in 0u64..500, dx in -10.0f64..10.0, dy in -10.0..10.0, dz in -10.0..10.0) {
+        let m = deepfusion::chem::generate_molecule(&Default::default(), "m", seed);
+        let mut shifted = m.clone();
+        shifted.translate(Vec3::new(dx, dy, dz));
+        let d = (dx * dx + dy * dy + dz * dz).sqrt();
+        prop_assert!((rmsd(&m, &shifted) - d).abs() < 1e-9);
+        prop_assert!(centered_rmsd(&m, &shifted) < 1e-9);
+    }
+
+    /// Rotation about the centroid preserves all pairwise distances.
+    #[test]
+    fn rotation_preserves_internal_distances(seed in 0u64..200, angle in 0.0f64..6.28) {
+        let m = deepfusion::chem::generate_molecule(&Default::default(), "m", seed);
+        let mut rotated = m.clone();
+        rotated.rotate_about_centroid(&Rotation::about_axis(Vec3::new(1.0, 2.0, 3.0), angle));
+        for i in 0..m.num_atoms().min(6) {
+            for j in (i + 1)..m.num_atoms().min(6) {
+                let a = m.atoms[i].pos.dist(m.atoms[j].pos);
+                let b = rotated.atoms[i].pos.dist(rotated.atoms[j].pos);
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Generated molecules always respect valence limits.
+    #[test]
+    fn generated_molecules_are_valence_correct(seed in 0u64..500) {
+        let m = deepfusion::chem::generate_molecule(&Default::default(), "m", seed);
+        let used = m.used_valence();
+        for (i, a) in m.atoms.iter().enumerate() {
+            prop_assert!(used[i] <= a.element.max_valence());
+        }
+        prop_assert!(m.is_connected());
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    /// Pearson/Spearman stay within [-1, 1] and Spearman is invariant to
+    /// monotone transforms.
+    #[test]
+    fn correlation_bounds_and_monotone_invariance(values in proptest::collection::vec(-100.0f64..100.0, 3..40)) {
+        let other: Vec<f64> = values.iter().map(|v| v * 2.0 - 3.0).collect();
+        let p = pearson(&values, &other);
+        prop_assert!(p.abs() <= 1.0 + 1e-12);
+        let monotone: Vec<f64> = values.iter().map(|v| (v / 10.0).exp()).collect();
+        let s1 = spearman(&values, &other);
+        let s2 = spearman(&monotone, &other);
+        prop_assert!((s1 - s2).abs() < 1e-9);
+    }
+
+    /// Midranks are a permutation-invariant bijection onto [1, n] sums.
+    #[test]
+    fn ranks_sum_invariant(values in proptest::collection::vec(-50.0f64..50.0, 1..50)) {
+        let r = ranks(&values);
+        let n = values.len() as f64;
+        let expect = n * (n + 1.0) / 2.0;
+        prop_assert!((r.iter().sum::<f64>() - expect).abs() < 1e-9);
+    }
+
+    /// PR curves are well-formed for any scores with mixed labels.
+    #[test]
+    fn pr_curve_wellformed(
+        scores in proptest::collection::vec(-10.0f64..10.0, 4..60),
+        flip in 0usize..4,
+    ) {
+        let labels: Vec<bool> = (0..scores.len()).map(|i| (i + flip) % 3 == 0).collect();
+        prop_assume!(labels.iter().any(|&l| l));
+        let curve = PrCurve::compute(&scores, &labels);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&curve.average_precision));
+        for w in curve.points.windows(2) {
+            prop_assert!(w[1].recall >= w[0].recall);
+        }
+        let best = curve.best_f1();
+        prop_assert!((0.0..=1.0).contains(&best.f1));
+    }
+
+    // ------------------------------------------------------------------
+    // HTS substrate
+    // ------------------------------------------------------------------
+
+    /// h5lite round-trips arbitrary record sets.
+    #[test]
+    fn h5lite_round_trip(
+        seeds in proptest::collection::vec(0u64..1_000_000, 0..50),
+    ) {
+        let records: Vec<ScoreRecord> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| ScoreRecord {
+                compound: CompoundId {
+                    library: Library::ALL[(s % 4) as usize],
+                    index: s,
+                },
+                target: TargetSite::ALL[i % 4],
+                pose_rank: (s % 10) as u16,
+                score: (s as f64) * 0.001 - 300.0,
+            })
+            .collect();
+        let path = std::env::temp_dir().join(format!(
+            "df_prop_{}_{}.dfh5",
+            std::process::id(),
+            seeds.len()
+        ));
+        let mut w = H5Writer::create(&path).unwrap();
+        w.write_chunk("p", &records).unwrap();
+        w.finish().unwrap();
+        let back = read_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(&back[0].1, &records);
+    }
+}
