@@ -77,8 +77,7 @@ impl AmplSurrogate {
         ridge: f64,
     ) -> AmplSurrogate {
         assert!(poses.len() >= NUM_FEATURES, "need at least {NUM_FEATURES} training poses");
-        let xs: Vec<[f64; NUM_FEATURES]> =
-            poses.iter().map(|p| descriptors(p, pocket)).collect();
+        let xs: Vec<[f64; NUM_FEATURES]> = poses.iter().map(|p| descriptors(p, pocket)).collect();
         let ys: Vec<f64> =
             poses.iter().map(|p| mmgbsa_score(mmgbsa_cfg, p, pocket).total).collect();
 
@@ -97,21 +96,15 @@ impl AmplSurrogate {
             row[i] += ridge;
         }
         let weights = solve(a, b);
-        let preds: Vec<f64> = xs
-            .iter()
-            .map(|x| x.iter().zip(&weights).map(|(xi, wi)| xi * wi).sum())
-            .collect();
+        let preds: Vec<f64> =
+            xs.iter().map(|x| x.iter().zip(&weights).map(|(xi, wi)| xi * wi).sum()).collect();
         let train_correlation = dfmetrics::pearson(&preds, &ys);
         AmplSurrogate { weights, train_correlation }
     }
 
     /// Predicts the MM/GBSA total for one pose.
     pub fn predict(&self, pose: &Molecule, pocket: &BindingPocket) -> f64 {
-        descriptors(pose, pocket)
-            .iter()
-            .zip(&self.weights)
-            .map(|(x, w)| x * w)
-            .sum()
+        descriptors(pose, pocket).iter().zip(&self.weights).map(|(x, w)| x * w).sum()
     }
 }
 
@@ -188,8 +181,7 @@ mod tests {
         // Held-out poses still correlate.
         let (held, _) = training_poses(12, TargetSite::Spike1);
         let preds: Vec<f64> = held.iter().map(|p| s.predict(p, &pocket)).collect();
-        let actual: Vec<f64> =
-            held.iter().map(|p| mmgbsa_score(&cfg, p, &pocket).total).collect();
+        let actual: Vec<f64> = held.iter().map(|p| mmgbsa_score(&cfg, p, &pocket).total).collect();
         let r = dfmetrics::pearson(&preds, &actual);
         assert!(r > 0.4, "held-out corr {r}");
     }
@@ -198,7 +190,8 @@ mod tests {
     fn surrogate_is_much_cheaper_than_mmgbsa() {
         let (poses, pocket) = training_poses(10, TargetSite::Spike2);
         let cfg = MmGbsaConfig::default();
-        let s = AmplSurrogate::fit(&poses, &pocket, &MmGbsaConfig { born_iterations: 2, ..cfg }, 1e-3);
+        let s =
+            AmplSurrogate::fit(&poses, &pocket, &MmGbsaConfig { born_iterations: 2, ..cfg }, 1e-3);
         let t0 = std::time::Instant::now();
         for p in &poses {
             let _ = s.predict(p, &pocket);

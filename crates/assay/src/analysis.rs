@@ -82,11 +82,8 @@ pub struct Table8Row {
 pub fn table8(out: &CampaignOutput) -> Vec<Table8Row> {
     let mut rows = Vec::new();
     for target in TargetSite::ALL {
-        let binders: Vec<&TestedCompound> = out
-            .for_target(target)
-            .into_iter()
-            .filter(|t| t.inhibition > 1.0)
-            .collect();
+        let binders: Vec<&TestedCompound> =
+            out.for_target(target).into_iter().filter(|t| t.inhibition > 1.0).collect();
         let inhibition: Vec<f64> = binders.iter().map(|t| t.inhibition).collect();
         for method in Method::ALL {
             let preds: Vec<f64> = binders.iter().map(|t| method.strength(t)).collect();
@@ -174,7 +171,9 @@ pub fn best_method_by_f1(panels: &[Figure5Panel]) -> Vec<(TargetSite, Method)> {
             let best = p
                 .methods
                 .iter()
-                .max_by(|a, b| a.best_f1.partial_cmp(&b.best_f1).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|a, b| {
+                    a.best_f1.partial_cmp(&b.best_f1).unwrap_or(std::cmp::Ordering::Equal)
+                })
                 .expect("methods non-empty");
             (p.target, best.method)
         })
@@ -243,8 +242,7 @@ mod tests {
         }
         // The engineered perfect classifier hits F1 = 1 and κ = 1.
         let spike1 = panels.iter().find(|p| p.target == TargetSite::Spike1).unwrap();
-        let fusion =
-            spike1.methods.iter().find(|m| m.method == Method::CoherentFusion).unwrap();
+        let fusion = spike1.methods.iter().find(|m| m.method == Method::CoherentFusion).unwrap();
         assert!((fusion.best_f1 - 1.0).abs() < 1e-9);
         assert!((fusion.kappa - 1.0).abs() < 1e-9);
     }

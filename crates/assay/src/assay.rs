@@ -242,10 +242,8 @@ mod tests {
         // inhibition on average.
         let mut sorted = results.clone();
         sorted.sort_by(|a, b| a.effective_pk.partial_cmp(&b.effective_pk).unwrap());
-        let lo: f64 =
-            sorted[..20].iter().map(|r| r.inhibition).sum::<f64>() / 20.0;
-        let hi: f64 =
-            sorted[20..].iter().map(|r| r.inhibition).sum::<f64>() / 20.0;
+        let lo: f64 = sorted[..20].iter().map(|r| r.inhibition).sum::<f64>() / 20.0;
+        let hi: f64 = sorted[20..].iter().map(|r| r.inhibition).sum::<f64>() / 20.0;
         assert!(hi >= lo, "inhibition must track latent potency: {lo} vs {hi}");
     }
 }

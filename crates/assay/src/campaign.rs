@@ -137,9 +137,7 @@ fn run_target(
     let training_poses: Vec<Molecule> = (0..cfg.ampl_training as u64)
         .map(|i| {
             let c = Compound::materialize(Library::EMolecules, 9_000_000 + i, cfg.seed);
-            dock(&cfg.dock, &c.mol, &pocket, derive_seed(cfg.seed, 0xA3 ^ i))
-                .remove(0)
-                .ligand
+            dock(&cfg.dock, &c.mol, &pocket, derive_seed(cfg.seed, 0xA3 ^ i)).remove(0).ligand
         })
         .collect();
     let ampl = AmplSurrogate::fit(&training_poses, &pocket, &cfg.mmgbsa, 1e-3);
@@ -160,22 +158,15 @@ fn run_target(
                     // Mix libraries deterministically.
                     let library = Library::ALL[(i % 4) as usize];
                     let compound = Compound::materialize(library, i, cfg.seed);
-                    let poses = dock(
-                        &cfg.dock,
-                        &compound.mol,
-                        &pocket,
-                        derive_seed(cfg.seed, 0x5C4EE ^ i),
-                    );
+                    let poses =
+                        dock(&cfg.dock, &compound.mol, &pocket, derive_seed(cfg.seed, 0x5C4EE ^ i));
                     if poses.is_empty() {
                         continue;
                     }
                     let ligs: Vec<Molecule> = poses.iter().map(|p| p.ligand.clone()).collect();
-                    let vina_best =
-                        poses.iter().map(|p| p.vina).fold(f64::INFINITY, f64::min);
-                    let ampl_best = ligs
-                        .iter()
-                        .map(|l| ampl.predict(l, &pocket))
-                        .fold(f64::INFINITY, f64::min);
+                    let vina_best = poses.iter().map(|p| p.vina).fold(f64::INFINITY, f64::min);
+                    let ampl_best =
+                        ligs.iter().map(|l| ampl.predict(l, &pocket)).fold(f64::INFINITY, f64::min);
                     let fusion_scores = fusion_scorer.score_poses(&ligs, &pocket);
                     let fusion_best =
                         fusion_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);

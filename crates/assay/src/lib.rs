@@ -14,8 +14,8 @@ pub mod campaign;
 
 pub use ampl::{descriptors, AmplSurrogate};
 pub use analysis::{
-    best_method_by_f1, figure4, figure5, table8, Figure5Method, Figure5Panel, Method,
-    ScatterPoint, Table8Row,
+    best_method_by_f1, figure4, figure5, table8, Figure5Method, Figure5Panel, Method, ScatterPoint,
+    Table8Row,
 };
 pub use assay::{run_assay, AssayConfig, AssayResult, TargetActivityProfile};
 pub use campaign::{

@@ -1,0 +1,113 @@
+//! Serial-vs-pooled comparison of the four screening hot paths driven by
+//! the `dfpool` work-stealing runtime.
+//!
+//! Each group benchmarks the same workload under a 1-thread (serial) pool
+//! and under pools sized 2 and 4, so the speedup — and the overhead floor
+//! on small inputs — is visible side by side. Results are identical at
+//! every thread count by construction (see `tests/parallel_determinism.rs`);
+//! only wall-clock should move.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfchem::featurize::{build_graph_batch, voxelize_batch, GraphConfig, VoxelConfig};
+use dfchem::genmol::{generate_molecule, MolGenConfig};
+use dfchem::mol::Molecule;
+use dfchem::pocket::{BindingPocket, TargetSite};
+use dfdock::search::{dock, DockConfig};
+use dfpool::Pool;
+use dftensor::rng::rng;
+use dftensor::{Graph, Tensor};
+use std::hint::black_box;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn ligands(n: u64) -> Vec<Molecule> {
+    (0..n)
+        .map(|i| {
+            generate_molecule(
+                &MolGenConfig { min_heavy: 8, max_heavy: 14, ..Default::default() },
+                "bench",
+                i,
+            )
+        })
+        .collect()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_matmul_128");
+    let mut r = rng(1);
+    let a = Tensor::randn(&[128, 128], &mut r);
+    let b = Tensor::randn(&[128, 128], &mut r);
+    for threads in THREADS {
+        let pool = Pool::new(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, _| {
+            bch.iter(|| pool.install(|| black_box(a.matmul(&b))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv3d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_conv3d_12cube");
+    group.sample_size(10);
+    let mut r = rng(2);
+    let x = Tensor::randn(&[2, 8, 12, 12, 12], &mut r);
+    let w = Tensor::randn(&[8, 8, 3, 3, 3], &mut r);
+    let b = Tensor::zeros(&[8]);
+    for threads in THREADS {
+        let pool = Pool::new(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, _| {
+            bch.iter(|| {
+                pool.install(|| {
+                    let mut g = Graph::new();
+                    let xv = g.input(x.clone());
+                    let wv = g.input(w.clone());
+                    let bv = g.input(b.clone());
+                    let y = g.conv3d(xv, wv, bv, 1);
+                    let loss = g.mean_all(y);
+                    black_box(g.backward(loss));
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_featurize_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_featurize_batch16");
+    group.sample_size(10);
+    let mols = ligands(16);
+    let refs: Vec<&Molecule> = mols.iter().collect();
+    let pocket = BindingPocket::generate(TargetSite::Protease1, 3);
+    let vcfg = VoxelConfig { grid_dim: 12, resolution: 1.5 };
+    let gcfg = GraphConfig::default();
+    for threads in THREADS {
+        let pool = Pool::new(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, _| {
+            bch.iter(|| {
+                pool.install(|| {
+                    black_box(voxelize_batch(&vcfg, &refs, &pocket));
+                    black_box(build_graph_batch(&gcfg, &refs, &pocket));
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_dock_8chains");
+    group.sample_size(10);
+    let lig = &ligands(1)[0];
+    let pocket = BindingPocket::generate(TargetSite::Spike1, 4);
+    let cfg = DockConfig { mc_restarts: 8, mc_steps: 60, ..DockConfig::default() };
+    for threads in THREADS {
+        let pool = Pool::new(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, _| {
+            bch.iter(|| pool.install(|| black_box(dock(&cfg, lig, &pocket, 9))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_conv3d, bench_featurize_batch, bench_dock);
+criterion_main!(benches);

@@ -80,7 +80,12 @@ fn main() {
     {
         let mut cfg = base.clone();
         cfg.coherent.model_specific_layers = true;
-        results.push(run_variant("coherent + model-specific layers", &ds, cfg, EvalModel::Coherent));
+        results.push(run_variant(
+            "coherent + model-specific layers",
+            &ds,
+            cfg,
+            EvalModel::Coherent,
+        ));
     }
 
     // 4. Residual fusion layers on.

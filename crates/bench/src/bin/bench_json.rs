@@ -1,0 +1,202 @@
+//! Serial-vs-pooled baseline for the screening hot paths, as JSON.
+//!
+//! Runs each `dfpool`-parallelized hot path — matmul, conv3d fwd+bwd,
+//! batch featurization, MC docking, and a full evaluation job — under
+//! pools of 1 (serial), 2, 4 and 8 threads, and writes the measured
+//! wall-clock times and speedups to `BENCH_parallel.json` at the repo
+//! root so later PRs can track scaling regressions. Timings are medians
+//! of several runs; outputs are bit-identical at every thread count (see
+//! `tests/parallel_determinism.rs`), so only wall-clock is recorded.
+//!
+//! Speedups are honest measurements on the current host: on a single-core
+//! machine every ratio sits near 1.0 (the pool falls back to near-serial
+//! cost), while multi-core hosts see the row/chain/compound-level
+//! parallelism directly. `host_cpus` is recorded so a baseline is only
+//! compared against baselines from comparable hosts.
+//!
+//! ```sh
+//! cargo run --release -p dfbench --bin bench_json
+//! ```
+
+use dfchem::featurize::{build_graph_batch, voxelize_batch, GraphConfig, VoxelConfig};
+use dfchem::genmol::{generate_molecule, Library, MolGenConfig};
+use dfchem::mol::Molecule;
+use dfchem::pocket::{BindingPocket, TargetSite};
+use dfdock::search::{dock, DockConfig};
+use dfhts::fault::FaultConfig;
+use dfhts::job::{run_job, JobConfig, JobSpec, SyntheticPoseSource};
+use dfhts::scorer::VinaScorerFactory;
+use dfpool::Pool;
+use dftensor::rng::rng;
+use dftensor::{Graph, Tensor};
+use serde::Serialize;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Serialize)]
+struct RunReport {
+    threads: usize,
+    ms: f64,
+    /// Serial time / this time (>1 = faster than serial).
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct PathReport {
+    name: String,
+    serial_ms: f64,
+    runs: Vec<RunReport>,
+    best_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    /// CPUs visible to this process; speedups are bounded by this.
+    host_cpus: usize,
+    thread_counts: Vec<usize>,
+    paths: Vec<PathReport>,
+}
+
+/// Median wall-clock (ms) of `reps` runs of `f` on `pool`.
+fn measure(pool: &Pool, reps: usize, f: &dyn Fn()) -> f64 {
+    pool.install(f); // warmup
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            pool.install(f);
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Runs one hot path across the thread ladder and reports the scaling.
+fn run_path(name: &str, reps: usize, f: &dyn Fn()) -> PathReport {
+    let mut serial_ms = 0.0;
+    let mut runs = Vec::new();
+    for threads in THREAD_COUNTS {
+        let pool = Pool::new(threads);
+        let ms = measure(&pool, reps, f);
+        if threads == 1 {
+            serial_ms = ms;
+        }
+        let speedup = if ms > 0.0 { serial_ms / ms } else { 1.0 };
+        eprintln!("  {name} @ {threads} threads: {ms:.2} ms (speedup {speedup:.2})");
+        runs.push(RunReport { threads, ms, speedup });
+    }
+    let best_speedup = runs.iter().map(|r| r.speedup).fold(1.0f64, f64::max);
+    PathReport { name: name.to_string(), serial_ms, runs, best_speedup }
+}
+
+fn ligands(n: u64) -> Vec<Molecule> {
+    (0..n)
+        .map(|i| {
+            generate_molecule(
+                &MolGenConfig { min_heavy: 8, max_heavy: 14, ..Default::default() },
+                "bj",
+                i,
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("== dfpool hot-path baseline ({host_cpus} host CPUs) ==");
+    let mut paths = Vec::new();
+
+    // 1. dftensor: matmul.
+    {
+        let mut r = rng(1);
+        let a = Tensor::randn(&[160, 160], &mut r);
+        let b = Tensor::randn(&[160, 160], &mut r);
+        paths.push(run_path("tensor_matmul_160", 9, &|| {
+            black_box(a.matmul(&b));
+        }));
+    }
+
+    // 2. dftensor: conv3d forward + backward.
+    {
+        let mut r = rng(2);
+        let x = Tensor::randn(&[2, 8, 12, 12, 12], &mut r);
+        let w = Tensor::randn(&[8, 8, 3, 3, 3], &mut r);
+        let b = Tensor::zeros(&[8]);
+        paths.push(run_path("tensor_conv3d_12cube_fwd_bwd", 5, &|| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let wv = g.input(w.clone());
+            let bv = g.input(b.clone());
+            let y = g.conv3d(xv, wv, bv, 1);
+            let loss = g.mean_all(y);
+            black_box(g.backward(loss));
+        }));
+    }
+
+    // 3. dfchem: batch featurization (voxels + spatial graphs).
+    {
+        let mols = ligands(16);
+        let refs: Vec<&Molecule> = mols.iter().collect();
+        let pocket = BindingPocket::generate(TargetSite::Protease1, 3);
+        let vcfg = VoxelConfig { grid_dim: 12, resolution: 1.5 };
+        let gcfg = GraphConfig::default();
+        paths.push(run_path("chem_featurize_batch16", 5, &|| {
+            black_box(voxelize_batch(&vcfg, &refs, &pocket));
+            black_box(build_graph_batch(&gcfg, &refs, &pocket));
+        }));
+    }
+
+    // 4. dfdock: Monte-Carlo pose search (8 independent chains).
+    {
+        let lig = &ligands(1)[0];
+        let pocket = BindingPocket::generate(TargetSite::Spike1, 4);
+        let cfg = DockConfig { mc_restarts: 8, mc_steps: 60, ..DockConfig::default() };
+        paths.push(run_path("dock_mc_8chains", 5, &|| {
+            black_box(dock(&cfg, lig, &pocket, 9));
+        }));
+    }
+
+    // 5. dfhts: full evaluation job (per-rank batch scoring + allgather).
+    {
+        let dir = std::env::temp_dir().join(format!("dfbench_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = JobConfig {
+            nodes: 1,
+            ranks_per_node: 2,
+            batch_size: 4,
+            output_dir: dir.clone(),
+            faults: FaultConfig::default(),
+        };
+        let spec = JobSpec {
+            job_id: 1,
+            target: TargetSite::Spike1,
+            library: Library::EnamineVirtual,
+            first_compound: 0,
+            num_compounds: 16,
+            campaign_seed: 5,
+            attempt: 0,
+        };
+        paths.push(run_path("hts_job_16compounds", 3, &|| {
+            black_box(
+                run_job(
+                    &cfg,
+                    &spec,
+                    &VinaScorerFactory,
+                    &SyntheticPoseSource { poses_per_compound: 4 },
+                )
+                .unwrap(),
+            );
+        }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    let baseline = Baseline { host_cpus, thread_counts: THREAD_COUNTS.to_vec(), paths };
+    let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel.json");
+    std::fs::write(&out, &json).expect("write BENCH_parallel.json");
+    eprintln!("wrote {}", out.display());
+    println!("{json}");
+}

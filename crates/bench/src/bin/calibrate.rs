@@ -30,17 +30,27 @@ fn main() {
     let vina: Vec<f64> =
         ds.entries.iter().map(|e| -vina_score(&e.ligand, &e.pocket).total).collect();
 
-    let shapes: Vec<f64> = ds.entries.iter().map(|e| oracle_terms(&e.ligand, &e.pocket).shape).collect();
+    let shapes: Vec<f64> =
+        ds.entries.iter().map(|e| oracle_terms(&e.ligand, &e.pocket).shape).collect();
     let inters: Vec<f64> =
         ds.entries.iter().map(|e| oracle_terms(&e.ligand, &e.pocket).interaction).collect();
     let elecs: Vec<f64> =
         ds.entries.iter().map(|e| oracle_terms(&e.ligand, &e.pocket).electrostatic).collect();
 
     println!("== Oracle calibration (scale {}, {} complexes) ==\n", scale.name(), ds.entries.len());
-    println!("label (measured pK):  mean {:.2}  std {:.3}", labels.iter().sum::<f64>() / labels.len() as f64, std_of(&labels));
+    println!(
+        "label (measured pK):  mean {:.2}  std {:.3}",
+        labels.iter().sum::<f64>() / labels.len() as f64,
+        std_of(&labels)
+    );
     println!("latent pK:            std {:.3}", std_of(&latents));
     println!("label noise (config): {:.3}", oracle.label_noise);
-    println!("\nterm std: shape {:.3}  interaction {:.3}  electrostatic {:.3}", std_of(&shapes), std_of(&inters), std_of(&elecs));
+    println!(
+        "\nterm std: shape {:.3}  interaction {:.3}  electrostatic {:.3}",
+        std_of(&shapes),
+        std_of(&inters),
+        std_of(&elecs)
+    );
 
     let ceiling = pearson(&latents, &labels);
     println!("\ncorr(latent, label) = {ceiling:.3}   ← Pearson ceiling for ANY model");

@@ -13,10 +13,7 @@ use dffusion::{Cnn3dConfig, FusionConfig, FusionModel, SgCnnConfig};
 use dftensor::params::ParamStore;
 
 fn count_params(ps: &ParamStore, prefix: &str) -> usize {
-    ps.iter()
-        .filter(|(id, _)| ps.name(*id).starts_with(prefix))
-        .map(|(_, e)| e.value.numel())
-        .sum()
+    ps.iter().filter(|(id, _)| ps.name(*id).starts_with(prefix)).map(|(_, e)| e.value.numel()).sum()
 }
 
 fn describe(name: &str, cfg: &FusionConfig, sg: &SgCnnConfig, cnn: &Cnn3dConfig) {
@@ -26,14 +23,28 @@ fn describe(name: &str, cfg: &FusionConfig, sg: &SgCnnConfig, cnn: &Cnn3dConfig)
     let onoff = |b: bool| if b { "ON " } else { "off" };
     println!("## {name}");
     println!("  3D-CNN head ({} params)", count_params(&ps, "fusion.cnn3d"));
-    println!("    conv 5x5x5 x{} -> pool -> conv 3x3x3 x{} -> pool", cnn.conv_filters_1, cnn.conv_filters_2);
-    println!("    conv 3x3x3 x{f} [residual 1 {r1}] -> conv 3x3x3 x{f} [residual 2 {r2}] -> pool",
-        f = cnn.conv_filters_2, r1 = onoff(cnn.residual_1), r2 = onoff(cnn.residual_2));
-    println!("    dense {} -> dense {} (latent) -> 1   [batch norm {}]",
-        cnn.num_dense_nodes, cnn.num_dense_nodes / 2, onoff(cnn.batch_norm));
+    println!(
+        "    conv 5x5x5 x{} -> pool -> conv 3x3x3 x{} -> pool",
+        cnn.conv_filters_1, cnn.conv_filters_2
+    );
+    println!(
+        "    conv 3x3x3 x{f} [residual 1 {r1}] -> conv 3x3x3 x{f} [residual 2 {r2}] -> pool",
+        f = cnn.conv_filters_2,
+        r1 = onoff(cnn.residual_1),
+        r2 = onoff(cnn.residual_2)
+    );
+    println!(
+        "    dense {} -> dense {} (latent) -> 1   [batch norm {}]",
+        cnn.num_dense_nodes,
+        cnn.num_dense_nodes / 2,
+        onoff(cnn.batch_norm)
+    );
     println!("  SG-CNN head ({} params)", count_params(&ps, "fusion.sgcnn"));
     println!("    covalent GGNN: width {}, K = {} steps", sg.covalent_gather_width, sg.covalent_k);
-    println!("    non-covalent GGNN: width {}, K = {} steps", sg.noncovalent_gather_width, sg.noncovalent_k);
+    println!(
+        "    non-covalent GGNN: width {}, K = {} steps",
+        sg.noncovalent_gather_width, sg.noncovalent_k
+    );
     let (w1, w2) = sg.dense_widths();
     println!("    gated gather (ligand nodes) -> dense {w1} -> dense {w2} -> 1");
     println!(
@@ -57,10 +68,7 @@ fn describe(name: &str, cfg: &FusionConfig, sg: &SgCnnConfig, cnn: &Cnn3dConfig)
         "    dropout 1/2/3: {:.3} / {:.3} / {:.3}",
         cfg.dropout_1, cfg.dropout_2, cfg.dropout_3
     );
-    println!(
-        "  heads trainable under this variant: {}\n",
-        model.heads_trainable()
-    );
+    println!("  heads trainable under this variant: {}\n", model.heads_trainable());
     println!("  total parameters: {}\n", ps.num_scalars());
 }
 

@@ -88,11 +88,9 @@ fn main() {
     let hi = sorted[2 * sorted.len() / 3];
     println!("\n## Strong/weak classification (strong: pK > {hi:.2}, weak: pK < {lo:.2})");
     let mut csv = String::from("method,threshold,precision,recall,f1\n");
-    for (name, scores) in [
-        ("vina", &vina_strength),
-        ("mmgbsa", &mmgbsa_strength),
-        ("fusion", &fusion_best),
-    ] {
+    for (name, scores) in
+        [("vina", &vina_strength), ("mmgbsa", &mmgbsa_strength), ("fusion", &fusion_best)]
+    {
         let mut cls_scores = Vec::new();
         let mut cls_labels = Vec::new();
         for ((&s, &l), _) in scores.iter().zip(&labels).zip(0..) {

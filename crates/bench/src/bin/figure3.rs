@@ -25,7 +25,10 @@ fn main() {
 
     println!("== Figure 3: structure of a fusion evaluation job ==\n");
     println!("paper shape: 4 nodes x 4 GPUs = 16 ranks over 2,000,000 poses;");
-    println!("this run:    {nodes} nodes x {ranks_per_node} ranks over {} poses\n", compounds * poses_per as u64);
+    println!(
+        "this run:    {nodes} nodes x {ranks_per_node} ranks over {} poses\n",
+        compounds * poses_per as u64
+    );
 
     let out_dir = std::env::temp_dir().join(format!("df_fig3_{}", std::process::id()));
     std::fs::create_dir_all(&out_dir).ok();
@@ -46,26 +49,45 @@ fn main() {
         attempt: 0,
     };
 
-    println!("[1] job receives {} compounds (round-robin split over {} ranks:", compounds, cfg.num_ranks());
+    println!(
+        "[1] job receives {} compounds (round-robin split over {} ranks:",
+        compounds,
+        cfg.num_ranks()
+    );
     for r in 0..cfg.num_ranks().min(4) {
-        let assigned = (compounds as usize).div_ceil(cfg.num_ranks()) ;
-        println!("      rank {r}: compounds {r}, {}, {}, ... (~{assigned} total)", r + cfg.num_ranks(), r + 2 * cfg.num_ranks());
+        let assigned = (compounds as usize).div_ceil(cfg.num_ranks());
+        println!(
+            "      rank {r}: compounds {r}, {}, {}, ... (~{assigned} total)",
+            r + cfg.num_ranks(),
+            r + 2 * cfg.num_ranks()
+        );
     }
     println!("      ...)");
     println!("[2] each rank loads poses into {}-pose batches and evaluates", cfg.batch_size);
 
-    let out = run_job(&cfg, &spec, &VinaScorerFactory, &SyntheticPoseSource {
-        poses_per_compound: poses_per,
-    })
+    let out = run_job(
+        &cfg,
+        &spec,
+        &VinaScorerFactory,
+        &SyntheticPoseSource { poses_per_compound: poses_per },
+    )
     .expect("job");
 
     println!("[3] allgather compiled {} predictions across ranks", out.records.len());
     println!("[4] parallel write: {} rank files", out.files.len());
     let on_disk = read_dir(&out_dir).unwrap();
-    println!("      records on disk: {} (match: {})", on_disk.len(), on_disk.len() == out.records.len());
+    println!(
+        "      records on disk: {} (match: {})",
+        on_disk.len(),
+        on_disk.len() == out.records.len()
+    );
     println!("\nphase breakdown (cf. Table 7 rows):");
     println!("  startup  {:?}", out.timing.startup);
-    println!("  evaluate {:?}  ({:.0} poses/s)", out.timing.evaluate, out.timing.eval_poses_per_sec());
+    println!(
+        "  evaluate {:?}  ({:.0} poses/s)",
+        out.timing.evaluate,
+        out.timing.eval_poses_per_sec()
+    );
     println!("  output   {:?}", out.timing.output);
     std::fs::remove_dir_all(&out_dir).ok();
 }

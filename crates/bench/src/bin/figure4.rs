@@ -13,14 +13,20 @@ fn main() {
     let scale = Scale::parse(&args);
     let seed = seed_from(&args);
 
-    println!("== Figure 4: predicted pK vs % inhibition (scale {}, seed {seed}) ==\n", scale.name());
+    println!(
+        "== Figure 4: predicted pK vs % inhibition (scale {}, seed {seed}) ==\n",
+        scale.name()
+    );
     let out = campaign(scale, seed);
 
     // Paper context: 130/81 Mpro compounds at 100 µM, 151/113 spike
     // compounds at 10 µM showed > 1% inhibition.
     let panels = figure4(&out);
     let mut csv = String::from("target,predicted_pk,percent_inhibition\n");
-    println!("{:<11} {:>9} {:>12} {:>12}  (paper binders)", "Target", "binders", "mean pred", "mean inh%");
+    println!(
+        "{:<11} {:>9} {:>12} {:>12}  (paper binders)",
+        "Target", "binders", "mean pred", "mean inh%"
+    );
     let paper_counts = [130usize, 81, 151, 113];
     for ((target, points), paper_n) in panels.iter().zip(paper_counts) {
         let mean_pred = if points.is_empty() {

@@ -18,7 +18,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = Scale::parse(&args);
     let seed = seed_from(&args);
-    let threshold: f64 = arg_value(&args, "--threshold").and_then(|s| s.parse().ok()).unwrap_or(33.0);
+    let threshold: f64 =
+        arg_value(&args, "--threshold").and_then(|s| s.parse().ok()).unwrap_or(33.0);
 
     println!(
         "== Figure 5: classification at {threshold}% inhibition (scale {}, seed {seed}) ==\n",

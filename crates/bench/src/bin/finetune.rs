@@ -25,10 +25,7 @@ fn main() {
         Scale::Full => 120,
     };
 
-    println!(
-        "{:<11} {:>14} {:>14} {:>10}",
-        "Target", "val MSE before", "val MSE after", "change"
-    );
+    println!("{:<11} {:>14} {:>14} {:>10}", "Target", "val MSE before", "val MSE after", "change");
     let mut csv = String::from("target,val_mse_before,val_mse_after\n");
     for target in TargetSite::ALL {
         // Each target fine-tunes its own copy of the baseline.

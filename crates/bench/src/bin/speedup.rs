@@ -40,7 +40,12 @@ fn main() {
     let mut ci = 0u64;
     while poses.len() < n_poses {
         let c = Compound::materialize(Library::EnamineVirtual, ci, seed);
-        for p in dock(&DockConfig { mc_restarts: 2, mc_steps: 40, ..Default::default() }, &c.mol, &pocket, seed ^ ci) {
+        for p in dock(
+            &DockConfig { mc_restarts: 2, mc_steps: 40, ..Default::default() },
+            &c.mol,
+            &pocket,
+            seed ^ ci,
+        ) {
             if poses.len() < n_poses {
                 poses.push(p.ligand);
             }

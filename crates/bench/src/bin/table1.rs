@@ -14,13 +14,7 @@ fn render(space: &SearchSpace) {
             ParamRange::Bool => "T/F".to_string(),
             ParamRange::Choice(opts) => opts
                 .iter()
-                .map(|v| {
-                    if v.fract() == 0.0 {
-                        format!("{v:.0}")
-                    } else {
-                        format!("{v}")
-                    }
-                })
+                .map(|v| if v.fract() == 0.0 { format!("{v:.0}") } else { format!("{v}") })
                 .collect::<Vec<_>>()
                 .join(","),
             ParamRange::Uniform { lo, hi } => format!("{lo} - {hi} (uniform)"),

@@ -25,11 +25,7 @@ fn main() {
         &ds.labels(),
         seed,
     );
-    println!(
-        "dataset: {} complexes, core set of {} held out\n",
-        ds.entries.len(),
-        core.len()
-    );
+    println!("dataset: {} complexes, core set of {} held out\n", ds.entries.len(), core.len());
 
     let variants = [
         ("SG-CNN", EvalModel::SgCnn),
@@ -59,7 +55,10 @@ fn main() {
     }
 
     println!("\n## Paper values (PDBbind-2019 core set, 290 complexes)");
-    println!("{:<18} {:>7} {:>7} {:>7} {:>9} {:>9}", "Model", "RMSE", "MAE", "R2", "Pearson", "Spearman");
+    println!(
+        "{:<18} {:>7} {:>7} {:>7} {:>9} {:>9}",
+        "Model", "RMSE", "MAE", "R2", "Pearson", "Spearman"
+    );
     for (name, rmse, mae, r2, p, s) in [
         ("Mid-level Fusion", "1.38", "1.10", "0.596", "0.778", "0.757"),
         ("Late Fusion", "1.33", "1.07", "0.623", "0.813", "0.805"),

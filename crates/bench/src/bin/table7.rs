@@ -61,7 +61,12 @@ fn main() {
     };
 
     // --- 1. Single measured job. ---
-    println!("## Measured single job ({} ranks, {} compounds x {} poses)", job_cfg.num_ranks(), compounds_per_job, poses_per_compound);
+    println!(
+        "## Measured single job ({} ranks, {} compounds x {} poses)",
+        job_cfg.num_ranks(),
+        compounds_per_job,
+        poses_per_compound
+    );
     let out = run_job(
         &job_cfg,
         &specs(1, compounds_per_job, seed)[0],

@@ -50,11 +50,8 @@ fn main() {
         let (pp, ps) = paper_value(row.method, row.target);
         // Bootstrap CI over the same >1% subset (small n → wide CIs, the
         // paper's "unavailing" point made quantitative).
-        let binders: Vec<&dfassay::TestedCompound> = out
-            .for_target(row.target)
-            .into_iter()
-            .filter(|t| t.inhibition > 1.0)
-            .collect();
+        let binders: Vec<&dfassay::TestedCompound> =
+            out.for_target(row.target).into_iter().filter(|t| t.inhibition > 1.0).collect();
         let preds: Vec<f64> = binders.iter().map(|t| row.method.strength(t)).collect();
         let inh: Vec<f64> = binders.iter().map(|t| t.inhibition).collect();
         let ci = pearson_ci(&preds, &inh, 400, 0.95, seed);

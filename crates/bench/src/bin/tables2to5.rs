@@ -71,9 +71,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = Scale::parse(&args);
     let seed = seed_from(&args);
-    let kind = arg_value(&args, "--model")
-        .and_then(|s| ModelKind::parse(&s))
-        .unwrap_or(ModelKind::SgCnn);
+    let kind =
+        arg_value(&args, "--model").and_then(|s| ModelKind::parse(&s)).unwrap_or(ModelKind::SgCnn);
 
     println!("== PB2 optimization of the {} ==", kind.name());
     println!("scale {}, seed {}\n", scale.name(), seed);
@@ -147,7 +146,12 @@ fn main() {
     // Persist the schedule for inspection.
     let json = serde_json::to_string_pretty(&result.history).expect("serialize history");
     dfbench::write_artifact(
-        &format!("tables2to5_{}_{}_{}.json", kind.name().split(' ').next().unwrap_or("model").to_lowercase(), scale.name(), seed),
+        &format!(
+            "tables2to5_{}_{}_{}.json",
+            kind.name().split(' ').next().unwrap_or("model").to_lowercase(),
+            scale.name(),
+            seed
+        ),
         &json,
     );
 }

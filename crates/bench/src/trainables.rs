@@ -220,7 +220,14 @@ impl ModelTrial {
                     ..Cnn3dConfig::table3()
                 };
                 let mut ps = ParamStore::new();
-                let m = FusionModel::new(&cfg, &heads_sg, &heads_cnn, &self.data.voxel, &mut ps, self.seed);
+                let m = FusionModel::new(
+                    &cfg,
+                    &heads_sg,
+                    &heads_cnn,
+                    &self.data.voxel,
+                    &mut ps,
+                    self.seed,
+                );
                 TrialState::Fusion(Box::new(m), ps, cfg)
             }
         }
@@ -234,18 +241,15 @@ impl Trainable for ModelTrial {
             None => true,
             Some(state) => {
                 let current = match state {
-                    TrialState::Sg(_, _, c) => Self::signature(
-                        &space_values_sg(c),
-                        ModelKind::SgCnn,
-                    ),
-                    TrialState::Cnn(_, _, c) => Self::signature(
-                        &space_values_cnn(c),
-                        ModelKind::Cnn3d,
-                    ),
-                    TrialState::Fusion(_, _, c) => Self::signature(
-                        &space_values_fusion(c),
-                        self.kind,
-                    ),
+                    TrialState::Sg(_, _, c) => {
+                        Self::signature(&space_values_sg(c), ModelKind::SgCnn)
+                    }
+                    TrialState::Cnn(_, _, c) => {
+                        Self::signature(&space_values_cnn(c), ModelKind::Cnn3d)
+                    }
+                    TrialState::Fusion(_, _, c) => {
+                        Self::signature(&space_values_fusion(c), self.kind)
+                    }
                 };
                 current != Self::signature(values, self.kind)
             }
@@ -271,21 +275,35 @@ impl Trainable for ModelTrial {
         let seed = self.seed + self.intervals_done as u64 * 97;
         let objective = match self.state.as_mut().expect("state built") {
             TrialState::Sg(m, ps, _) => {
-                train(m, ps, &train_loader, &val_loader, &tc(values["learning_rate"], OptimizerKind::Adam, seed))
-                    .best_val_mse
+                train(
+                    m,
+                    ps,
+                    &train_loader,
+                    &val_loader,
+                    &tc(values["learning_rate"], OptimizerKind::Adam, seed),
+                )
+                .best_val_mse
             }
             TrialState::Cnn(m, ps, _) => {
-                train(m, ps, &train_loader, &val_loader, &tc(values["learning_rate"], OptimizerKind::Adam, seed))
-                    .best_val_mse
+                train(
+                    m,
+                    ps,
+                    &train_loader,
+                    &val_loader,
+                    &tc(values["learning_rate"], OptimizerKind::Adam, seed),
+                )
+                .best_val_mse
             }
-            TrialState::Fusion(m, ps, _) => train(
-                m.as_mut(),
-                ps,
-                &train_loader,
-                &val_loader,
-                &tc(values["learning_rate"], optimizer_of(values["optimizer"]), seed),
-            )
-            .best_val_mse,
+            TrialState::Fusion(m, ps, _) => {
+                train(
+                    m.as_mut(),
+                    ps,
+                    &train_loader,
+                    &val_loader,
+                    &tc(values["learning_rate"], optimizer_of(values["optimizer"]), seed),
+                )
+                .best_val_mse
+            }
         };
         self.intervals_done += 1;
         objective
@@ -375,10 +393,7 @@ fn space_values_fusion(c: &FusionConfig) -> ConfigValues {
     [
         ("num_fusion_layers".to_string(), c.num_fusion_layers as f64),
         ("num_dense_nodes".to_string(), c.num_dense_nodes as f64),
-        (
-            "model_specific_layers".to_string(),
-            if c.model_specific_layers { 1.0 } else { 0.0 },
-        ),
+        ("model_specific_layers".to_string(), if c.model_specific_layers { 1.0 } else { 0.0 }),
     ]
     .into_iter()
     .collect()
@@ -404,7 +419,8 @@ mod tests {
     #[test]
     fn all_model_kinds_step_and_checkpoint() {
         let data = data();
-        for kind in [ModelKind::SgCnn, ModelKind::Cnn3d, ModelKind::MidFusion, ModelKind::Coherent] {
+        for kind in [ModelKind::SgCnn, ModelKind::Cnn3d, ModelKind::MidFusion, ModelKind::Coherent]
+        {
             let space = kind.space();
             let mut r = dftensor::rng::rng(3);
             let cfg = space.sample(&mut r);

@@ -113,10 +113,8 @@ fn count_components(mol: &Molecule) -> usize {
 pub fn tpsa_estimate(mol: &Molecule) -> f64 {
     let mut total = 0.0;
     for (i, atom) in mol.atoms.iter().enumerate() {
-        let has_double = mol
-            .bonds
-            .iter()
-            .any(|b| (b.a == i || b.b == i) && b.order == BondOrder::Double);
+        let has_double =
+            mol.bonds.iter().any(|b| (b.a == i || b.b == i) && b.order == BondOrder::Double);
         total += match atom.element {
             Element::O => {
                 if has_double {
@@ -149,11 +147,8 @@ pub fn fsp3(mol: &Molecule) -> f64 {
             continue;
         }
         carbons += 1;
-        let saturated = mol
-            .bonds
-            .iter()
-            .filter(|b| b.a == i || b.b == i)
-            .all(|b| b.order == BondOrder::Single);
+        let saturated =
+            mol.bonds.iter().filter(|b| b.a == i || b.b == i).all(|b| b.order == BondOrder::Single);
         if saturated {
             sp3 += 1;
         }

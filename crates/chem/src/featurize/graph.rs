@@ -95,10 +95,8 @@ pub fn build_graph(cfg: &GraphConfig, ligand: &Molecule, pocket: &BindingPocket)
         .collect();
     let nl = nodes.len();
     for pa in &pocket.atoms {
-        let near = ligand
-            .atoms
-            .iter()
-            .any(|la| la.pos.dist(pa.pos) <= cfg.noncovalent_threshold + 1.0);
+        let near =
+            ligand.atoms.iter().any(|la| la.pos.dist(pa.pos) <= cfg.noncovalent_threshold + 1.0);
         if near {
             nodes.push(Node {
                 pos: pa.pos,
@@ -126,11 +124,8 @@ pub fn build_graph(cfg: &GraphConfig, ligand: &Molecule, pocket: &BindingPocket)
 
     // Covalent adjacency: ligand bonds are authoritative; pocket pairs use
     // the distance threshold.
-    let mut covalent_pairs: Vec<(usize, usize, f64)> = ligand
-        .bonds
-        .iter()
-        .map(|b| (b.a, b.b, nodes[b.a].pos.dist(nodes[b.b].pos)))
-        .collect();
+    let mut covalent_pairs: Vec<(usize, usize, f64)> =
+        ligand.bonds.iter().map(|b| (b.a, b.b, nodes[b.a].pos.dist(nodes[b.b].pos))).collect();
     for i in nl..n {
         for j in (i + 1)..n {
             let d = nodes[i].pos.dist(nodes[j].pos);

@@ -1,8 +1,38 @@
 //! Featurization of protein–ligand complexes into the two model input
 //! representations: voxel grids (3D-CNN) and spatial graphs (SG-CNN).
+//!
+//! Featurizing one complex is pure and independent of every other complex,
+//! so the batch entry points below fan out over the current [`dfpool`]
+//! pool. Results are collected **by input index**, so batch output is
+//! bit-identical to calling the per-complex functions in a serial loop, at
+//! every thread count.
 
 pub mod graph;
 pub mod voxel;
 
 pub use graph::{build_graph, GraphConfig, MolGraph, NODE_FEATURES};
 pub use voxel::{voxelize, VoxelConfig};
+
+use crate::mol::Molecule;
+use crate::pocket::BindingPocket;
+use dftensor::tensor::Tensor;
+
+/// Voxelizes a batch of ligands against their pockets in parallel on the
+/// current pool; `out[i]` corresponds to `ligands[i]`.
+pub fn voxelize_batch(
+    cfg: &VoxelConfig,
+    ligands: &[&Molecule],
+    pocket: &BindingPocket,
+) -> Vec<Tensor> {
+    dfpool::current().parallel_map(ligands.len(), 1, |i| voxelize(cfg, ligands[i], pocket))
+}
+
+/// Builds spatial graphs for a batch of ligands in parallel on the current
+/// pool; `out[i]` corresponds to `ligands[i]`.
+pub fn build_graph_batch(
+    cfg: &GraphConfig,
+    ligands: &[&Molecule],
+    pocket: &BindingPocket,
+) -> Vec<MolGraph> {
+    dfpool::current().parallel_map(ligands.len(), 1, |i| build_graph(cfg, ligands[i], pocket))
+}

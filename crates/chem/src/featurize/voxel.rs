@@ -61,7 +61,8 @@ pub fn voxelize(cfg: &VoxelConfig, ligand: &Molecule, pocket: &BindingPocket) ->
             // Voxel-space bounding box of the truncated Gaussian.
             let lo = |c: f64| (((c - cutoff + half) / cfg.resolution).floor().max(0.0)) as usize;
             let hi = |c: f64| {
-                ((((c + cutoff + half) / cfg.resolution).ceil()) as usize).min(dim.saturating_sub(1))
+                ((((c + cutoff + half) / cfg.resolution).ceil()) as usize)
+                    .min(dim.saturating_sub(1))
             };
             let (x0, x1) = (lo(atom.pos.x), hi(atom.pos.x));
             let (y0, y1) = (lo(atom.pos.y), hi(atom.pos.y));

@@ -85,9 +85,8 @@ pub fn generate_molecule(cfg: &MolGenConfig, name: impl Into<String>, seed: u64)
         let elem = sample_element(cfg, &mut r);
         // Pick an attachment point with spare valence.
         let used = m.used_valence();
-        let candidates: Vec<usize> = (0..m.num_atoms())
-            .filter(|&i| used[i] < m.atoms[i].element.max_valence())
-            .collect();
+        let candidates: Vec<usize> =
+            (0..m.num_atoms()).filter(|&i| used[i] < m.atoms[i].element.max_valence()).collect();
         if candidates.is_empty() {
             break; // fully saturated (tiny molecules only)
         }
@@ -125,12 +124,9 @@ fn place_next_to(m: &Molecule, parent: usize, elem: Element, r: &mut StdRng) -> 
     let mut best = p.add(Vec3::new(bond_len, 0.0, 0.0));
     let mut best_score = f64::NEG_INFINITY;
     for _ in 0..12 {
-        let dir = Vec3::new(
-            normal_with(r, 0.0, 1.0),
-            normal_with(r, 0.0, 1.0),
-            normal_with(r, 0.0, 1.0),
-        )
-        .normalized();
+        let dir =
+            Vec3::new(normal_with(r, 0.0, 1.0), normal_with(r, 0.0, 1.0), normal_with(r, 0.0, 1.0))
+                .normalized();
         let cand = p.add(dir.scale(bond_len));
         let min_d = m
             .atoms
@@ -242,10 +238,9 @@ pub fn relax_conformer(m: &mut Molecule, iterations: usize) {
                 if bonded.contains(&(i, j)) {
                     continue;
                 }
-                let min_d = 0.8
-                    * (m.atoms[i].element.vdw_radius() + m.atoms[j].element.vdw_radius())
-                    * 0.5
-                    + 1.0;
+                let min_d =
+                    0.8 * (m.atoms[i].element.vdw_radius() + m.atoms[j].element.vdw_radius()) * 0.5
+                        + 1.0;
                 let d = m.atoms[j].pos.sub(m.atoms[i].pos);
                 let len = d.norm().max(1e-6);
                 if len < min_d {
@@ -276,12 +271,8 @@ pub enum Library {
 }
 
 impl Library {
-    pub const ALL: [Library; 4] = [
-        Library::ZincWorldApproved,
-        Library::Chembl,
-        Library::EMolecules,
-        Library::EnamineVirtual,
-    ];
+    pub const ALL: [Library; 4] =
+        [Library::ZincWorldApproved, Library::Chembl, Library::EMolecules, Library::EnamineVirtual];
 
     /// The real-world library size the paper quotes (compounds).
     pub fn nominal_size(self) -> u64 {
@@ -468,7 +459,10 @@ mod tests {
         };
         let chembl = mean_heavy(Library::Chembl);
         let enamine = mean_heavy(Library::EnamineVirtual);
-        assert!(chembl > enamine, "ChEMBL ({chembl:.1}) should be larger than Enamine ({enamine:.1})");
+        assert!(
+            chembl > enamine,
+            "ChEMBL ({chembl:.1}) should be larger than Enamine ({enamine:.1})"
+        );
     }
 
     #[test]

@@ -230,11 +230,8 @@ pub fn parse_linnot(s: &str) -> Result<Molecule, LinNotError> {
                     Some((other, ord)) => {
                         // Closing: the order was fixed at opening (or by a
                         // bond char just before either digit).
-                        let order = if pending_bond != BondOrder::Single {
-                            pending_bond
-                        } else {
-                            ord
-                        };
+                        let order =
+                            if pending_bond != BondOrder::Single { pending_bond } else { ord };
                         mol.add_bond(other, p, order);
                     }
                     None => {
@@ -315,12 +312,8 @@ pub fn same_graph(a: &Molecule, b: &Molecule) -> bool {
             .collect();
         bonds.sort_unstable();
         let degrees = m.degrees();
-        let mut deg: Vec<(u8, usize)> = m
-            .atoms
-            .iter()
-            .zip(&degrees)
-            .map(|(at, &d)| (at.element.atomic_number(), d))
-            .collect();
+        let mut deg: Vec<(u8, usize)> =
+            m.atoms.iter().zip(&degrees).map(|(at, &d)| (at.element.atomic_number(), d)).collect();
         deg.sort_unstable();
         (elems, bonds, deg)
     }

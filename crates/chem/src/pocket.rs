@@ -192,14 +192,16 @@ impl BindingPocket {
                     normal_with(&mut jr, 0.0, spec.conformational_jitter),
                     normal_with(&mut jr, 0.0, spec.conformational_jitter),
                 ));
+                // A conformational change rearranges the shell but must not
+                // collapse the cavity: push any atom that drifted inside the
+                // ligand volume back out to the shell radius.
+                let n = a.pos.norm();
+                if n < spec.radius && n > 0.0 {
+                    a.pos = a.pos.scale(spec.radius / n);
+                }
             }
         }
-        BindingPocket {
-            target,
-            atoms,
-            radius: spec.radius,
-            entrance: Vec3::new(0.0, 0.0, 1.0),
-        }
+        BindingPocket { target, atoms, radius: spec.radius, entrance: Vec3::new(0.0, 0.0, 1.0) }
     }
 
     /// Number of pocket atoms.
@@ -248,13 +250,9 @@ mod tests {
             assert_eq!(a.element, b.element);
         }
         // ...but displaced positions.
-        let mean_shift: f64 = p1
-            .atoms
-            .iter()
-            .zip(&p2.atoms)
-            .map(|(a, b)| a.pos.dist(b.pos))
-            .sum::<f64>()
-            / p1.num_atoms() as f64;
+        let mean_shift: f64 =
+            p1.atoms.iter().zip(&p2.atoms).map(|(a, b)| a.pos.dist(b.pos)).sum::<f64>()
+                / p1.num_atoms() as f64;
         assert!(mean_shift > 0.5, "mean conformational shift {mean_shift}");
     }
 

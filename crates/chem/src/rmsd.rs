@@ -33,12 +33,8 @@ pub fn centered_rmsd(a: &Molecule, b: &Molecule) -> f64 {
     }
     let ca = a.centroid();
     let cb = b.centroid();
-    let s: f64 = a
-        .atoms
-        .iter()
-        .zip(&b.atoms)
-        .map(|(x, y)| x.pos.sub(ca).dist2(y.pos.sub(cb)))
-        .sum();
+    let s: f64 =
+        a.atoms.iter().zip(&b.atoms).map(|(x, y)| x.pos.sub(ca).dist2(y.pos.sub(cb))).sum();
     (s / a.num_atoms() as f64).sqrt()
 }
 

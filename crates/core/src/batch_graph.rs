@@ -119,10 +119,7 @@ mod tests {
                 assert!(a >= 3 && bb >= 3, "edges must not cross graphs");
             }
         }
-        assert_eq!(
-            b.covalent_edges.len(),
-            g1.covalent_edges.len() + g2.covalent_edges.len()
-        );
+        assert_eq!(b.covalent_edges.len(), g1.covalent_edges.len() + g2.covalent_edges.len());
     }
 
     #[test]
@@ -137,7 +134,7 @@ mod tests {
     #[test]
     fn single_graph_batch_is_identity() {
         let g = graph_of(5);
-        let b = BatchedGraph::from_graphs(&[g.clone()]);
+        let b = BatchedGraph::from_graphs(std::slice::from_ref(&g));
         assert_eq!(b.covalent_edges, g.covalent_edges);
         assert!(b.node_feats.allclose(&g.node_feats, 0.0));
     }

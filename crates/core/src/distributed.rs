@@ -44,7 +44,10 @@ pub fn train_distributed<M: Predictor + Send>(
     ranks: usize,
 ) -> TrainHistory {
     assert!(ranks >= 1, "need at least one rank");
-    let mut opt = cfg.optimizer.build(cfg.learning_rate as f32);
+    // Linear scaling rule: N ranks average gradients over an N-fold
+    // effective batch and take N-fold fewer steps, so the learning rate
+    // scales with the rank count to keep per-sample progress comparable.
+    let mut opt = cfg.optimizer.build((cfg.learning_rate * ranks as f64) as f32);
     let mut history = Vec::with_capacity(cfg.epochs);
     let mut best_val = f64::INFINITY;
     let mut best_snapshot = ps.snapshot();
@@ -113,11 +116,7 @@ pub fn train_distributed<M: Predictor + Send>(
         let val_mse = if val_preds.is_empty() {
             0.0
         } else {
-            val_preds
-                .iter()
-                .zip(&val_labels)
-                .map(|(p, t)| (p - t) * (p - t))
-                .sum::<f64>()
+            val_preds.iter().zip(&val_labels).map(|(p, t)| (p - t) * (p - t)).sum::<f64>()
                 / val_preds.len() as f64
         };
         if val_mse < best_val {
@@ -150,8 +149,10 @@ mod tests {
         let ds = Arc::new(PdbBind::generate(&PdbBindConfig::tiny(), 61));
         let n = ds.entries.len();
         let voxel = VoxelConfig { grid_dim: 8, resolution: 2.5 };
-        let loader_cfg = LoaderConfig { batch_size: 4, num_workers: 2, voxel, ..Default::default() };
-        let train_l = DataLoader::new(Arc::clone(&ds), (0..n * 3 / 4).collect(), loader_cfg.clone());
+        let loader_cfg =
+            LoaderConfig { batch_size: 4, num_workers: 2, voxel, ..Default::default() };
+        let train_l =
+            DataLoader::new(Arc::clone(&ds), (0..n * 3 / 4).collect(), loader_cfg.clone());
         let val_l = DataLoader::new(
             Arc::clone(&ds),
             (n * 3 / 4..n).collect(),

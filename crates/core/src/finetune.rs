@@ -60,8 +60,7 @@ pub fn target_local_dataset(pocket: &BindingPocket, cfg: &FineTuneConfig) -> Pdb
     let mut noise_rng = rng(derive_seed(cfg.seed, 0xF1E1D));
     let entries: Vec<ComplexEntry> = (0..cfg.num_probes as u64)
         .map(|i| {
-            let compound =
-                Compound::materialize(Library::EnamineVirtual, 500_000 + i, cfg.seed);
+            let compound = Compound::materialize(Library::EnamineVirtual, 500_000 + i, cfg.seed);
             let pose = dock(&cfg.dock, &compound.mol, pocket, derive_seed(cfg.seed, i))
                 .into_iter()
                 .next()
@@ -106,8 +105,7 @@ pub fn fine_tune_for_target(
     let train_idx: Vec<usize> = (n_val..n).collect();
     let val_idx: Vec<usize> = (0..n_val).collect();
 
-    let train_loader =
-        DataLoader::new(Arc::clone(&local), train_idx, loader_template.clone());
+    let train_loader = DataLoader::new(Arc::clone(&local), train_idx, loader_template.clone());
     let val_loader = DataLoader::new(
         Arc::clone(&local),
         val_idx,

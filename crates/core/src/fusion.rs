@@ -59,44 +59,43 @@ impl FusionModel {
         let lsg = sgcnn.latent_width();
         let dn = cfg.num_dense_nodes.max(2);
 
-        let (spec_3d, spec_sg, fusion_layers, fusion_bns, out) =
-            if cfg.kind == FusionKind::Late {
-                (None, None, Vec::new(), Vec::new(), None)
+        let (spec_3d, spec_sg, fusion_layers, fusion_bns, out) = if cfg.kind == FusionKind::Late {
+            (None, None, Vec::new(), Vec::new(), None)
+        } else {
+            let (s3, ssg) = if cfg.model_specific_layers {
+                (
+                    Some(Linear::new(ps, "fusion.spec3d", l3, dn, &mut r)),
+                    Some(Linear::new(ps, "fusion.specsg", lsg, dn, &mut r)),
+                )
             } else {
-                let (s3, ssg) = if cfg.model_specific_layers {
-                    (
-                        Some(Linear::new(ps, "fusion.spec3d", l3, dn, &mut r)),
-                        Some(Linear::new(ps, "fusion.specsg", lsg, dn, &mut r)),
-                    )
-                } else {
-                    (None, None)
-                };
-                // Concatenated fusion input: raw latents plus (optionally)
-                // their model-specific projections.
-                let mut width = l3 + lsg;
-                if cfg.model_specific_layers {
-                    width += 2 * dn;
-                }
-                let mut layers = Vec::new();
-                let mut bns = Vec::new();
-                let n_hidden = cfg.num_fusion_layers.saturating_sub(1).max(1);
-                let mut in_w = width;
-                for i in 0..n_hidden {
-                    layers.push(Linear::new(ps, &format!("fusion.f{i}"), in_w, dn, &mut r));
-                    bns.push(BatchNorm::new(ps, &format!("fusion.bn{i}"), dn));
-                    in_w = dn;
-                }
-                let out = Linear::new(ps, "fusion.out", in_w, 1, &mut r);
-                // Down-scale the output weights: the residual SELU stack
-                // amplifies activations ~2× per layer, so a full-scale
-                // random output projection would start predictions an order
-                // of magnitude off the label scale. A small (not zero, so
-                // gradient still reaches the heads) init keeps the first
-                // prediction near the bias, which the trainer sets to the
-                // label mean.
-                ps.value_mut(out.w).map_inplace(|w| w * 0.02);
-                (s3, ssg, layers, bns, Some(out))
+                (None, None)
             };
+            // Concatenated fusion input: raw latents plus (optionally)
+            // their model-specific projections.
+            let mut width = l3 + lsg;
+            if cfg.model_specific_layers {
+                width += 2 * dn;
+            }
+            let mut layers = Vec::new();
+            let mut bns = Vec::new();
+            let n_hidden = cfg.num_fusion_layers.saturating_sub(1).max(1);
+            let mut in_w = width;
+            for i in 0..n_hidden {
+                layers.push(Linear::new(ps, &format!("fusion.f{i}"), in_w, dn, &mut r));
+                bns.push(BatchNorm::new(ps, &format!("fusion.bn{i}"), dn));
+                in_w = dn;
+            }
+            let out = Linear::new(ps, "fusion.out", in_w, 1, &mut r);
+            // Down-scale the output weights: the residual SELU stack
+            // amplifies activations ~2× per layer, so a full-scale
+            // random output projection would start predictions an order
+            // of magnitude off the label scale. A small (not zero, so
+            // gradient still reaches the heads) init keeps the first
+            // prediction near the bias, which the trainer sets to the
+            // label mean.
+            ps.value_mut(out.w).map_inplace(|w| w * 0.02);
+            (s3, ssg, layers, bns, Some(out))
+        };
 
         Self {
             config: cfg.clone(),
@@ -190,10 +189,7 @@ impl FusionModel {
             }
         }
         h = self.drop3.forward(g, h, train, &mut self.dropout_rng);
-        self.out
-            .as_ref()
-            .expect("non-late fusion has an output layer")
-            .forward(g, ps, h, false)
+        self.out.as_ref().expect("non-late fusion has an output layer").forward(g, ps, h, false)
     }
 }
 
@@ -240,8 +236,7 @@ mod tests {
             lig.translate(c.scale(-1.0));
             graphs.push(build_graph(&GraphConfig::default(), &lig, &pocket));
         }
-        let voxels =
-            Tensor::randn(&[b, VoxelConfig::NUM_CHANNELS, 8, 8, 8], &mut r).scale(0.1);
+        let voxels = Tensor::randn(&[b, VoxelConfig::NUM_CHANNELS, 8, 8, 8], &mut r).scale(0.1);
         (voxels, BatchedGraph::from_graphs(&graphs))
     }
 
@@ -264,8 +259,7 @@ mod tests {
         let p3 = m.cnn3d.forward(&mut g2, &ps, &v, false, true);
         let psg = m.sgcnn.forward(&mut g2, &ps, &bg, false, true);
         for i in 0..2 {
-            let expect =
-                0.5 * (g2.value(p3.pred).data()[i] + g2.value(psg.pred).data()[i]);
+            let expect = 0.5 * (g2.value(p3.pred).data()[i] + g2.value(psg.pred).data()[i]);
             assert!((fused.data()[i] - expect).abs() < 1e-5);
         }
     }
@@ -290,7 +284,9 @@ mod tests {
         // At least the fusion output layer must receive gradient.
         let got: f32 = ps
             .iter()
-            .filter(|(id, _)| ps.name(*id).starts_with("fusion.f") || ps.name(*id).starts_with("fusion.out"))
+            .filter(|(id, _)| {
+                ps.name(*id).starts_with("fusion.f") || ps.name(*id).starts_with("fusion.out")
+            })
             .map(|(_, e)| e.grad.norm())
             .sum();
         assert!(got > 0.0, "fusion layers must train");

@@ -10,10 +10,10 @@
 //! * [`batch_graph`] — PyG-style graph batching.
 
 pub mod batch_graph;
-pub mod distributed;
-pub mod finetune;
 pub mod cnn3d;
 pub mod config;
+pub mod distributed;
+pub mod finetune;
 pub mod fusion;
 pub mod sgcnn;
 pub mod train;
@@ -25,7 +25,9 @@ pub use config::{
     Cnn3dConfig, FusionConfig, FusionKind, ParamRange, SearchDim, SearchSpace, SgCnnConfig,
 };
 pub use distributed::{train_distributed, ReplicaFactory};
-pub use finetune::{fine_tune_for_target, predict_poses, target_local_dataset, FineTuneConfig, FineTuneReport};
+pub use finetune::{
+    fine_tune_for_target, predict_poses, target_local_dataset, FineTuneConfig, FineTuneReport,
+};
 pub use fusion::FusionModel;
 pub use sgcnn::{SgCnn, SgCnnOutput};
 pub use train::{predict, predict_batch, train, EpochStats, Predictor, TrainConfig, TrainHistory};

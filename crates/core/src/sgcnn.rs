@@ -155,7 +155,13 @@ impl SgCnn {
         let (w1, w2) = cfg.dense_widths();
         Self {
             config: cfg.clone(),
-            embed_cov: Linear::new(ps, &format!("{prefix}.embed_cov"), NODE_FEATURES, cov_w, &mut r),
+            embed_cov: Linear::new(
+                ps,
+                &format!("{prefix}.embed_cov"),
+                NODE_FEATURES,
+                cov_w,
+                &mut r,
+            ),
             covalent: PropagationStage::new(
                 ps,
                 &format!("{prefix}.cov"),

@@ -20,8 +20,13 @@ use serde::{Deserialize, Serialize};
 pub trait Predictor {
     /// Builds the forward graph for a batch, returning the `[B,1]`
     /// prediction node.
-    fn forward_batch(&mut self, g: &mut Graph, ps: &ParamStore, batch: &Batch, train: bool)
-        -> VarId;
+    fn forward_batch(
+        &mut self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        batch: &Batch,
+        train: bool,
+    ) -> VarId;
 }
 
 impl Predictor for Cnn3d {
@@ -209,8 +214,7 @@ mod tests {
             graph: GraphConfig::default(),
             ..Default::default()
         };
-        let train =
-            DataLoader::new(Arc::clone(&ds), (0..n * 3 / 4).collect(), cfg.clone());
+        let train = DataLoader::new(Arc::clone(&ds), (0..n * 3 / 4).collect(), cfg.clone());
         let val = DataLoader::new(
             Arc::clone(&ds),
             (n * 3 / 4..n).collect(),

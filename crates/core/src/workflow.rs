@@ -307,9 +307,13 @@ mod tests {
         let cfg = WorkflowConfig::tiny(21);
         let mut models = train_all_variants(Arc::clone(&ds), &cfg);
         let core = ds.indices(Group::Core);
-        for which in
-            [EvalModel::SgCnn, EvalModel::Cnn3d, EvalModel::Late, EvalModel::MidLevel, EvalModel::Coherent]
-        {
+        for which in [
+            EvalModel::SgCnn,
+            EvalModel::Cnn3d,
+            EvalModel::Late,
+            EvalModel::MidLevel,
+            EvalModel::Coherent,
+        ] {
             let report = models.evaluate(&ds, &core, which);
             assert!(report.rmse.is_finite(), "{which:?} produced NaN metrics");
             assert!(report.rmse > 0.0);
@@ -392,19 +396,20 @@ impl TrainedModels {
             Cnn3d::new(&cfg.cnn3d, &cfg.voxel, &mut cnn_params, "cnn", derive_seed(cfg.seed, 2));
         cnn_params.restore(&load_snap("cnn3d")?).ok()?;
 
-        let build = |fcfg: &FusionConfig, stream: u64, name: &str| -> Option<(FusionModel, ParamStore)> {
-            let mut ps = ParamStore::new();
-            let m = FusionModel::new(
-                fcfg,
-                &cfg.sgcnn,
-                &cfg.cnn3d,
-                &cfg.voxel,
-                &mut ps,
-                derive_seed(cfg.seed, stream),
-            );
-            ps.restore(&load_snap(name)?).ok()?;
-            Some((m, ps))
-        };
+        let build =
+            |fcfg: &FusionConfig, stream: u64, name: &str| -> Option<(FusionModel, ParamStore)> {
+                let mut ps = ParamStore::new();
+                let m = FusionModel::new(
+                    fcfg,
+                    &cfg.sgcnn,
+                    &cfg.cnn3d,
+                    &cfg.voxel,
+                    &mut ps,
+                    derive_seed(cfg.seed, stream),
+                );
+                ps.restore(&load_snap(name)?).ok()?;
+                Some((m, ps))
+            };
         let (late, late_params) = build(&FusionConfig::late(), 3, "late")?;
         let (midlevel, midlevel_params) = build(&cfg.midlevel, 4, "midlevel")?;
         let (coherent, coherent_params) = build(&cfg.coherent, 5, "coherent")?;
@@ -457,10 +462,7 @@ mod checkpoint_tests {
         let a = trained.evaluate(&ds, &core, EvalModel::Coherent);
         let b = loaded.evaluate(&ds, &core, EvalModel::Coherent);
         assert_eq!(a, b);
-        assert_eq!(
-            trained.coherent_history.best_val_mse,
-            loaded.coherent_history.best_val_mse
-        );
+        assert_eq!(trained.coherent_history.best_val_mse, loaded.coherent_history.best_val_mse);
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -176,10 +176,7 @@ impl DataLoader {
         // Epoch ordering.
         let order: Vec<usize> = if self.cfg.shuffle {
             let mut r = rng(derive_seed(epoch_seed, 0x5FF1E));
-            permutation(&mut r, self.indices.len())
-                .into_iter()
-                .map(|p| self.indices[p])
-                .collect()
+            permutation(&mut r, self.indices.len()).into_iter().map(|p| self.indices[p]).collect()
         } else {
             self.indices.clone()
         };
@@ -209,12 +206,8 @@ impl DataLoader {
                     let samples: Vec<FeaturizedSample> = idxs
                         .iter()
                         .map(|&i| {
-                            let mut s = featurize_entry(
-                                &cfg.voxel,
-                                &cfg.graph,
-                                &dataset.entries[i],
-                                i,
-                            );
+                            let mut s =
+                                featurize_entry(&cfg.voxel, &cfg.graph, &dataset.entries[i], i);
                             if cfg.flip_augment {
                                 // Seeded per (epoch, entry): deterministic.
                                 let mut fr = rng(derive_seed(epoch_seed, 0xF11B ^ i as u64));
@@ -365,10 +358,7 @@ mod tests {
             assert!(x.voxels.allclose(&y.voxels, 0.0));
         }
         // With 20 samples × 3 axes at 10%, some flips should occur.
-        let changed = pv
-            .iter()
-            .zip(&av1)
-            .any(|(p, a)| !p.voxels.allclose(&a.voxels, 0.0));
+        let changed = pv.iter().zip(&av1).any(|(p, a)| !p.voxels.allclose(&a.voxels, 0.0));
         assert!(changed, "expected at least one augmented sample");
     }
 

@@ -112,21 +112,15 @@ pub struct PdbBind {
 impl PdbBind {
     /// Generates the full synthetic dataset. Deterministic given the seed.
     pub fn generate(cfg: &PdbBindConfig, seed: u64) -> PdbBind {
-        let mut entries: Vec<ComplexEntry> = (0..cfg.num_complexes)
-            .map(|i| generate_entry(cfg, seed, i))
-            .collect();
+        let mut entries: Vec<ComplexEntry> =
+            (0..cfg.num_complexes).map(|i| generate_entry(cfg, seed, i)).collect();
         assign_core(&mut entries, cfg.core_size);
         PdbBind { entries }
     }
 
     /// Indices of entries in a grouping.
     pub fn indices(&self, group: Group) -> Vec<usize> {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.group == group)
-            .map(|(i, _)| i)
-            .collect()
+        self.entries.iter().enumerate().filter(|(_, e)| e.group == group).map(|(i, _)| i).collect()
     }
 
     /// All labels, in entry order.
@@ -156,7 +150,8 @@ fn generate_entry(cfg: &PdbBindConfig, seed: u64, index: usize) -> ComplexEntry 
     );
 
     // --- Ligand and crystal pose. ---
-    let ligand = generate_molecule(&cfg.ligand_gen, format!("pdb{index:05}"), derive_seed(eseed, 1));
+    let ligand =
+        generate_molecule(&cfg.ligand_gen, format!("pdb{index:05}"), derive_seed(eseed, 1));
     let poses = dock(&cfg.dock, &ligand, &pocket, derive_seed(eseed, 2));
     let crystal = poses.into_iter().next().map(|p| p.ligand).unwrap_or(ligand);
 
@@ -171,12 +166,7 @@ fn generate_entry(cfg: &PdbBindConfig, seed: u64, index: usize) -> ComplexEntry 
         + normal_with(&mut r, 0.0, cfg.oracle.label_noise))
     .clamp(1.0, 12.0);
 
-    let descriptor = [
-        radius / 12.0,
-        hydrophobic_frac,
-        acceptor_frac,
-        openness,
-    ];
+    let descriptor = [radius / 12.0, hydrophobic_frac, acceptor_frac, openness];
 
     let group = if crystal.molecular_weight() <= 1000.0
         && measurement != Measurement::Ic50
@@ -396,10 +386,7 @@ mod tests {
                 all_n += 1;
             }
         }
-        assert!(
-            core_d / core_n as f64 > all_d / all_n as f64,
-            "core should be more spread out"
-        );
+        assert!(core_d / core_n as f64 > all_d / all_n as f64, "core should be more spread out");
     }
 
     #[test]

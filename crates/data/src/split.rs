@@ -24,9 +24,7 @@ pub fn quintile_split(
     }
     // Sort the candidate indices by label.
     let mut sorted: Vec<usize> = indices.to_vec();
-    sorted.sort_by(|&a, &b| {
-        labels[a].partial_cmp(&labels[b]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    sorted.sort_by(|&a, &b| labels[a].partial_cmp(&labels[b]).unwrap_or(std::cmp::Ordering::Equal));
 
     let mut train = Vec::new();
     let mut val = Vec::new();

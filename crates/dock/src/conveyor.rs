@@ -128,11 +128,7 @@ pub fn cdt4_mmgbsa(
     pocket: &BindingPocket,
     top: usize,
 ) -> Vec<f64> {
-    poses
-        .iter()
-        .take(top)
-        .map(|p| mmgbsa_score(cfg, &p.ligand, pocket).total)
-        .collect()
+    poses.iter().take(top).map(|p| mmgbsa_score(cfg, &p.ligand, pocket).total).collect()
 }
 
 /// Runs the full pipeline for one compound on one target.

@@ -46,8 +46,7 @@ pub fn find_torsions(mol: &Molecule) -> Vec<Torsion> {
         }
         // Component containing `b` when the bond is removed.
         let side_b = component_without_bond(mol, bond.a, bond.b);
-        let side_a: Vec<usize> =
-            (0..mol.num_atoms()).filter(|i| !side_b.contains(i)).collect();
+        let side_a: Vec<usize> = (0..mol.num_atoms()).filter(|i| !side_b.contains(i)).collect();
         let (a, b, moving) = if side_b.len() <= side_a.len() {
             (bond.a, bond.b, side_b)
         } else {

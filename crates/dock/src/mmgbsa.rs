@@ -181,11 +181,8 @@ mod tests {
     #[test]
     fn born_iterations_control_cost_not_blowup() {
         let (lig, pocket) = docked_pose(4, TargetSite::Spike2);
-        let cheap = mmgbsa_score(
-            &MmGbsaConfig { born_iterations: 2, ..Default::default() },
-            &lig,
-            &pocket,
-        );
+        let cheap =
+            mmgbsa_score(&MmGbsaConfig { born_iterations: 2, ..Default::default() }, &lig, &pocket);
         let expensive = mmgbsa_score(&MmGbsaConfig::default(), &lig, &pocket);
         assert!(cheap.total.is_finite() && expensive.total.is_finite());
         // Results differ (the iteration matters) but stay the same order of

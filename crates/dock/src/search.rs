@@ -55,58 +55,14 @@ pub struct Pose {
 /// Docks a ligand into a pocket, returning up to `num_poses` poses ordered
 /// best-first. Deterministic given the seed.
 pub fn dock(cfg: &DockConfig, ligand: &Molecule, pocket: &BindingPocket, seed: u64) -> Vec<Pose> {
-    let mut candidates: Vec<(Molecule, f64)> = Vec::with_capacity(cfg.mc_restarts);
-    for chain in 0..cfg.mc_restarts {
-        let mut r = rng(derive_seed(seed, chain as u64));
-        // Random initial placement inside the cavity.
-        let mut pose = ligand.clone();
-        let c = pose.centroid();
-        pose.translate(c.scale(-1.0));
-        pose.rotate_about_centroid(&random_rotation(&mut r));
-        let jitter = Vec3::new(
-            normal_with(&mut r, 0.0, pocket.radius * 0.25),
-            normal_with(&mut r, 0.0, pocket.radius * 0.25),
-            normal_with(&mut r, 0.0, pocket.radius * 0.25),
-        );
-        pose.translate(jitter);
-
-        let mut best = pose.clone();
-        let mut best_score = vina_score(&best, pocket).total;
-        let mut cur = pose;
-        let mut cur_score = best_score;
-        for step in 0..cfg.mc_steps {
-            let t = cfg.start_temperature * (1.0 - step as f64 / cfg.mc_steps as f64) + 1e-3;
-            let mut next = cur.clone();
-            // Rigid-body proposal.
-            next.translate(Vec3::new(
-                normal_with(&mut r, 0.0, 0.45),
-                normal_with(&mut r, 0.0, 0.45),
-                normal_with(&mut r, 0.0, 0.45),
-            ));
-            next.rotate_about_centroid(&Rotation::about_axis(
-                random_axis(&mut r),
-                normal_with(&mut r, 0.0, 0.30),
-            ));
-            // Keep the ligand inside the search box.
-            if next.centroid().norm() > pocket.radius {
-                continue;
-            }
-            let next_score = vina_score(&next, pocket).total;
-            let accept = next_score < cur_score
-                || r.gen::<f64>() < ((cur_score - next_score) / t).exp();
-            if accept {
-                cur = next;
-                cur_score = next_score;
-                if cur_score < best_score {
-                    best = cur.clone();
-                    best_score = cur_score;
-                }
-            }
-        }
-        candidates.push((best, best_score));
-    }
-
+    // Each chain owns an RNG derived from (seed, chain) and never touches
+    // shared state, so the chains fan out over the current pool; collecting
+    // by chain index keeps `candidates` bit-identical to the serial loop.
+    let candidates: Vec<(Molecule, f64)> =
+        dfpool::current()
+            .parallel_map(cfg.mc_restarts, 1, |chain| run_chain(cfg, ligand, pocket, seed, chain));
     // Rank and deduplicate by RMSD.
+    let mut candidates = candidates;
     candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
     let mut kept: Vec<Pose> = Vec::new();
     for (mol, score) in candidates {
@@ -119,6 +75,63 @@ pub fn dock(cfg: &DockConfig, ligand: &Molecule, pocket: &BindingPocket, seed: u
         }
     }
     kept
+}
+
+/// Runs one annealed Monte-Carlo chain and returns its best pose + score.
+fn run_chain(
+    cfg: &DockConfig,
+    ligand: &Molecule,
+    pocket: &BindingPocket,
+    seed: u64,
+    chain: usize,
+) -> (Molecule, f64) {
+    let mut r = rng(derive_seed(seed, chain as u64));
+    // Random initial placement inside the cavity.
+    let mut pose = ligand.clone();
+    let c = pose.centroid();
+    pose.translate(c.scale(-1.0));
+    pose.rotate_about_centroid(&random_rotation(&mut r));
+    let jitter = Vec3::new(
+        normal_with(&mut r, 0.0, pocket.radius * 0.25),
+        normal_with(&mut r, 0.0, pocket.radius * 0.25),
+        normal_with(&mut r, 0.0, pocket.radius * 0.25),
+    );
+    pose.translate(jitter);
+
+    let mut best = pose.clone();
+    let mut best_score = vina_score(&best, pocket).total;
+    let mut cur = pose;
+    let mut cur_score = best_score;
+    for step in 0..cfg.mc_steps {
+        let t = cfg.start_temperature * (1.0 - step as f64 / cfg.mc_steps as f64) + 1e-3;
+        let mut next = cur.clone();
+        // Rigid-body proposal.
+        next.translate(Vec3::new(
+            normal_with(&mut r, 0.0, 0.45),
+            normal_with(&mut r, 0.0, 0.45),
+            normal_with(&mut r, 0.0, 0.45),
+        ));
+        next.rotate_about_centroid(&Rotation::about_axis(
+            random_axis(&mut r),
+            normal_with(&mut r, 0.0, 0.30),
+        ));
+        // Keep the ligand inside the search box.
+        if next.centroid().norm() > pocket.radius {
+            continue;
+        }
+        let next_score = vina_score(&next, pocket).total;
+        let accept =
+            next_score < cur_score || r.gen::<f64>() < ((cur_score - next_score) / t).exp();
+        if accept {
+            cur = next;
+            cur_score = next_score;
+            if cur_score < best_score {
+                best = cur.clone();
+                best_score = cur_score;
+            }
+        }
+    }
+    (best, best_score)
 }
 
 fn random_axis(r: &mut impl Rng) -> Vec3 {

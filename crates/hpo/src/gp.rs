@@ -71,8 +71,7 @@ impl Gp {
     pub fn predict(&self, t: usize, x: &[f64]) -> (f64, f64) {
         let q = Observation { t, x: x.to_vec(), y: 0.0 };
         let kstar: Vec<f64> = self.obs.iter().map(|o| kernel(&self.cfg, &q, o)).collect();
-        let mean = self.mean
-            + kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+        let mean = self.mean + kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
         // v = L⁻¹ k*; var = k** - vᵀv
         let v = forward_substitute(&self.chol, self.n, &kstar);
         let kss = self.cfg.signal_variance;
@@ -191,10 +190,8 @@ mod tests {
 
     #[test]
     fn ucb_prefers_uncertain_regions_at_equal_mean() {
-        let gp = Gp::fit(
-            GpConfig { length_scale: 0.1, ..Default::default() },
-            obs(&[(0, 0.5, 1.0)]),
-        );
+        let gp =
+            Gp::fit(GpConfig { length_scale: 0.1, ..Default::default() }, obs(&[(0, 0.5, 1.0)]));
         let at_data = gp.ucb(0, &[0.5], 2.0);
         let away = gp.ucb(0, &[0.05], 2.0);
         // Mean decays toward the prior (1.0 = data mean) but variance grows;

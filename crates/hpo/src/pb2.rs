@@ -275,7 +275,8 @@ impl Pb2 {
 
             // Explore: GP-UCB over candidates near the donor plus fresh
             // samples; categorical dims mutate independently.
-            let base = self.space.resample_categoricals(&donor_cfg, cfg.categorical_mutation, &mut r);
+            let base =
+                self.space.resample_categoricals(&donor_cfg, cfg.categorical_mutation, &mut r);
             let mut best_cfg = base.clone();
             let mut best_ucb = f64::NEG_INFINITY;
             for k in 0..32 {
@@ -297,10 +298,8 @@ impl Pb2 {
             }
             trials[loser].config = best_cfg;
             // Mark the exploitation in this interval's record.
-            if let Some(rec) = history
-                .iter_mut()
-                .rev()
-                .find(|rec| rec.trial == loser && rec.interval == interval)
+            if let Some(rec) =
+                history.iter_mut().rev().find(|rec| rec.trial == loser && rec.interval == interval)
             {
                 rec.exploited_from = Some(donor);
             }
@@ -376,7 +375,13 @@ mod tests {
     fn deterministic_given_seed() {
         let mk = || {
             Pb2::new(
-                Pb2Config { population: 6, intervals: 4, seed: 9, threads: 3, ..Default::default() },
+                Pb2Config {
+                    population: 6,
+                    intervals: 4,
+                    seed: 9,
+                    threads: 3,
+                    ..Default::default()
+                },
                 space(),
             )
             .run(&factory())
@@ -391,8 +396,7 @@ mod tests {
     fn interruption_resume_matches_uninterrupted_run() {
         let cfg = Pb2Config { population: 6, intervals: 5, seed: 4, ..Default::default() };
         let plain = Pb2::new(cfg.clone(), space()).run(&factory());
-        let interrupted =
-            Pb2::new(cfg, space()).run_with_interruption(&factory(), 2);
+        let interrupted = Pb2::new(cfg, space()).run_with_interruption(&factory(), 2);
         assert_eq!(plain.best_objective, interrupted.best_objective);
         assert_eq!(plain.best_config, interrupted.best_config);
     }

@@ -35,8 +35,7 @@ impl Pbt {
     /// clamp into range; resample categoricals with the configured
     /// probability.
     fn explore(&self, base: &ConfigValues, r: &mut impl Rng) -> ConfigValues {
-        let mut out =
-            self.space.resample_categoricals(base, self.config.categorical_mutation, r);
+        let mut out = self.space.resample_categoricals(base, self.config.categorical_mutation, r);
         for dim in &self.space.dims {
             match &dim.range {
                 Range::Uniform { lo, hi } => {
@@ -109,8 +108,8 @@ impl Pbt {
                     .partial_cmp(&trials[b].last_objective)
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
-            let n_top = (((trials.len() as f64) * cfg.quantile).ceil() as usize)
-                .clamp(1, trials.len() - 1);
+            let n_top =
+                (((trials.len() as f64) * cfg.quantile).ceil() as usize).clamp(1, trials.len() - 1);
             let (top, bottom) = order.split_at(n_top);
             let mut r = rng(derive_seed(cfg.seed, 0xB7 ^ interval as u64));
             for &loser in bottom {
@@ -186,11 +185,7 @@ mod tests {
             space(),
         );
         let result = pbt.run(&factory());
-        assert!(
-            (result.best_config["x"] - 0.7).abs() < 0.25,
-            "best x {}",
-            result.best_config["x"]
-        );
+        assert!((result.best_config["x"] - 0.7).abs() < 0.25, "best x {}", result.best_config["x"]);
         let exploits = result.history.iter().filter(|r| r.exploited_from.is_some()).count();
         assert!(exploits > 0);
     }
@@ -198,8 +193,11 @@ mod tests {
     #[test]
     fn pbt_is_deterministic() {
         let mk = || {
-            Pbt::new(Pb2Config { population: 5, intervals: 4, seed: 8, ..Default::default() }, space())
-                .run(&factory())
+            Pbt::new(
+                Pb2Config { population: 5, intervals: 4, seed: 8, ..Default::default() },
+                space(),
+            )
+            .run(&factory())
         };
         assert_eq!(mk().best_config, mk().best_config);
     }

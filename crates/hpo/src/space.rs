@@ -36,10 +36,7 @@ pub struct Space {
 impl Space {
     pub fn new(dims: Vec<(&str, Range)>) -> Space {
         Space {
-            dims: dims
-                .into_iter()
-                .map(|(n, r)| Dim { name: n.to_string(), range: r })
-                .collect(),
+            dims: dims.into_iter().map(|(n, r)| Dim { name: n.to_string(), range: r }).collect(),
         }
     }
 
@@ -104,10 +101,7 @@ impl Space {
                 match &d.range {
                     Range::Bool => v,
                     Range::Choice(opts) => {
-                        let idx = opts
-                            .iter()
-                            .position(|&o| (o - v).abs() < 1e-12)
-                            .unwrap_or(0);
+                        let idx = opts.iter().position(|&o| (o - v).abs() < 1e-12).unwrap_or(0);
                         (idx as f64 + 0.5) / opts.len() as f64
                     }
                     Range::Uniform { lo, hi } => ((v - lo) / (hi - lo)).clamp(0.0, 1.0),

@@ -103,7 +103,9 @@ mod tests {
             let handles: Vec<_> = (0..4)
                 .map(|rank| {
                     let comm = Arc::clone(&comm);
-                    s.spawn(move |_| comm.allgather(rank, vec![rank as u32 * 10, rank as u32 * 10 + 1]))
+                    s.spawn(move |_| {
+                        comm.allgather(rank, vec![rank as u32 * 10, rank as u32 * 10 + 1])
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()

@@ -113,11 +113,7 @@ mod tests {
     use super::*;
 
     fn items(scores: &[f64], actives: &[bool]) -> Vec<ScreenItem> {
-        scores
-            .iter()
-            .zip(actives)
-            .map(|(&score, &active)| ScreenItem { score, active })
-            .collect()
+        scores.iter().zip(actives).map(|(&score, &active)| ScreenItem { score, active }).collect()
     }
 
     #[test]

@@ -106,7 +106,8 @@ mod tests {
 
     #[test]
     fn rates_are_approximately_honoured() {
-        let inj = FaultInjector::new(FaultConfig { p_bad_metadata: 0.25, seed: 3, ..Default::default() });
+        let inj =
+            FaultInjector::new(FaultConfig { p_bad_metadata: 0.25, seed: 3, ..Default::default() });
         let hits = (0..10_000).filter(|&i| inj.bad_metadata(1, i)).count();
         let rate = hits as f64 / 10_000.0;
         assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
@@ -116,7 +117,8 @@ mod tests {
     fn retry_attempt_changes_the_outcome_eventually() {
         // A job whose first attempt hits a node failure must be able to
         // succeed on a later attempt (the paper reschedules failed jobs).
-        let inj = FaultInjector::new(FaultConfig { p_node_failure: 0.5, seed: 11, ..Default::default() });
+        let inj =
+            FaultInjector::new(FaultConfig { p_node_failure: 0.5, seed: 11, ..Default::default() });
         let mut found = false;
         for job in 0..50u64 {
             let first = (0..4).any(|n| inj.node_fails(job, 0, n));

@@ -198,6 +198,10 @@ pub fn run_job(
     // Per-rank result slot: (gathered records, output file path).
     type RankOutput = Mutex<Option<(Vec<ScoreRecord>, PathBuf)>>;
     let rank_outputs: Vec<RankOutput> = (0..num_ranks).map(|_| Mutex::new(None)).collect();
+    // The rank threads are plain OS threads; capture the caller's pool so
+    // batch scoring inside each rank fans out on it (and tests that install
+    // a serial pool stay serial end-to-end).
+    let pool = dfpool::current();
 
     crossbeam::scope(|s| {
         for rank in 0..num_ranks {
@@ -205,34 +209,11 @@ pub fn run_job(
             let pocket = &pocket;
             let faults = &faults;
             let rank_outputs = &rank_outputs;
+            let pool = pool.clone();
             s.spawn(move |_| {
-                let mut scorer = scorer_factory.build();
-                let mut records: Vec<ScoreRecord> = Vec::new();
-                // Round-robin compound assignment by rank index.
-                let mut ci = spec.first_compound + rank as u64;
-                while ci < spec.first_compound + spec.num_compounds {
-                    if injector.bad_metadata(spec.job_id, ci) {
-                        faults.lock().push(FaultEvent::BadMetadata { compound_index: ci });
-                        ci += num_ranks as u64;
-                        continue;
-                    }
-                    let compound = Compound::materialize(spec.library, ci, spec.campaign_seed);
-                    let pose_seed = derive_seed(spec.campaign_seed, 0x9053 ^ ci);
-                    let poses = source.poses(&compound, pocket, pose_seed);
-                    let mut pose_rank = 0u16;
-                    for chunk in poses.chunks(cfg.batch_size.max(1)) {
-                        for score in scorer.score_poses(chunk, pocket) {
-                            records.push(ScoreRecord {
-                                compound: compound.id,
-                                target: spec.target,
-                                pose_rank,
-                                score,
-                            });
-                            pose_rank += 1;
-                        }
-                    }
-                    ci += num_ranks as u64;
-                }
+                let records = pool.install(|| {
+                    rank_records(cfg, spec, scorer_factory, source, &injector, faults, pocket, rank)
+                });
 
                 // Gather everyone's predictions.
                 let all = comm.allgather(rank, records);
@@ -244,9 +225,8 @@ pub fn run_job(
                     .filter(|r| (r.compound.index as usize) % num_ranks == rank)
                     .copied()
                     .collect();
-                let path = cfg
-                    .output_dir
-                    .join(format!("job{:05}_rank{:02}.dfh5", spec.job_id, rank));
+                let path =
+                    cfg.output_dir.join(format!("job{:05}_rank{:02}.dfh5", spec.job_id, rank));
                 if injector.broken_pipe(spec.job_id, spec.attempt, rank) {
                     // First write fails; log and retry once.
                     faults.lock().push(FaultEvent::BrokenPipe { rank, retried: true });
@@ -282,6 +262,61 @@ pub fn run_job(
         faults: faults.into_inner(),
         timing: JobTiming { startup, evaluate, output, poses_evaluated },
     })
+}
+
+/// Scores one rank's round-robin compound share on the installed pool.
+///
+/// Compounds are independent (each builds its own poses from a derived
+/// seed and per-rank scorers are interchangeable — see
+/// `per_rank_scorers_are_independent_but_identical`), so they fan out with
+/// `parallel_map` and the per-compound record vectors are flattened **in
+/// compound order**: the result is bit-identical to the serial loop at any
+/// thread count.
+#[allow(clippy::too_many_arguments)]
+fn rank_records(
+    cfg: &JobConfig,
+    spec: &JobSpec,
+    scorer_factory: &dyn ScorerFactory,
+    source: &dyn PoseSource,
+    injector: &FaultInjector,
+    faults: &Mutex<Vec<FaultEvent>>,
+    pocket: &BindingPocket,
+    rank: usize,
+) -> Vec<ScoreRecord> {
+    let num_ranks = cfg.num_ranks();
+    let indices: Vec<u64> = (spec.first_compound..spec.first_compound + spec.num_compounds)
+        .skip(rank)
+        .step_by(num_ranks.max(1))
+        .collect();
+    dfpool::current()
+        .parallel_map(indices.len(), 1, |k| {
+            let ci = indices[k];
+            if injector.bad_metadata(spec.job_id, ci) {
+                faults.lock().push(FaultEvent::BadMetadata { compound_index: ci });
+                return Vec::new();
+            }
+            let compound = Compound::materialize(spec.library, ci, spec.campaign_seed);
+            let pose_seed = derive_seed(spec.campaign_seed, 0x9053 ^ ci);
+            let poses = source.poses(&compound, pocket, pose_seed);
+            let mut scorer = scorer_factory.build();
+            let mut records = Vec::with_capacity(poses.len());
+            let mut pose_rank = 0u16;
+            for chunk in poses.chunks(cfg.batch_size.max(1)) {
+                for score in scorer.score_poses(chunk, pocket) {
+                    records.push(ScoreRecord {
+                        compound: compound.id,
+                        target: spec.target,
+                        pose_rank,
+                        score,
+                    });
+                    pose_rank += 1;
+                }
+            }
+            records
+        })
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]
@@ -353,11 +388,8 @@ mod tests {
             &SyntheticPoseSource { poses_per_compound: 1 },
         )
         .unwrap();
-        let skipped = out
-            .faults
-            .iter()
-            .filter(|f| matches!(f, FaultEvent::BadMetadata { .. }))
-            .count();
+        let skipped =
+            out.faults.iter().filter(|f| matches!(f, FaultEvent::BadMetadata { .. })).count();
         assert!(skipped > 0, "expected some bad-metadata skips");
         assert_eq!(out.records.len(), 20 - skipped);
         std::fs::remove_dir_all(dir).ok();

@@ -21,8 +21,8 @@ pub mod fault;
 pub mod h5lite;
 pub mod job;
 pub mod scheduler;
-pub mod simulate;
 pub mod scorer;
+pub mod simulate;
 pub mod throughput;
 
 pub use allgather::Communicator;
@@ -35,9 +35,9 @@ pub use job::{
     SyntheticPoseSource,
 };
 pub use scheduler::{run_campaign, CampaignReport, SchedulerConfig};
-pub use simulate::{simulate_campaign, AllotmentWindow, CampaignSim, CampaignSimReport};
 pub use scorer::{
     FusionScorer, FusionScorerFactory, MmGbsaScorer, MmGbsaScorerFactory, Scorer, ScorerFactory,
     VinaScorer, VinaScorerFactory,
 };
+pub use simulate::{simulate_campaign, AllotmentWindow, CampaignSim, CampaignSimReport};
 pub use throughput::{LassenModel, SpeedupReport, Table7Row};

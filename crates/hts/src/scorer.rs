@@ -6,7 +6,7 @@
 //! model in the paper's Figure 3). Three scorers mirror the campaign's
 //! three energy calculations: Vina, MM/GBSA and Deep Fusion.
 
-use dfchem::featurize::{build_graph, voxelize, GraphConfig, VoxelConfig};
+use dfchem::featurize::{build_graph_batch, voxelize_batch, GraphConfig, VoxelConfig};
 use dfchem::mol::Molecule;
 use dfchem::pocket::BindingPocket;
 use dfdock::mmgbsa::{mmgbsa_score, MmGbsaConfig};
@@ -97,15 +97,17 @@ impl Scorer for FusionScorer {
     fn score_poses(&mut self, poses: &[Molecule], pocket: &BindingPocket) -> Vec<f64> {
         let mut out = Vec::with_capacity(poses.len());
         for chunk in poses.chunks(self.batch_size.max(1)) {
-            let graphs: Vec<_> =
-                chunk.iter().map(|p| build_graph(&self.graph, p, pocket)).collect();
+            // Both featurizations fan out per pose on the current pool and
+            // collect by index, so the assembled batch is bit-identical to
+            // the serial loop.
+            let refs: Vec<&Molecule> = chunk.iter().collect();
+            let graphs = build_graph_batch(&self.graph, &refs, pocket);
             let bg = BatchedGraph::from_graphs(&graphs);
             let per = dftensor::shape::numel(&self.voxel.shape());
             let mut shape = vec![chunk.len()];
             shape.extend_from_slice(&self.voxel.shape());
             let mut voxels = dftensor::Tensor::zeros(&shape);
-            for (i, p) in chunk.iter().enumerate() {
-                let v = voxelize(&self.voxel, p, pocket);
+            for (i, v) in voxelize_batch(&self.voxel, &refs, pocket).iter().enumerate() {
                 voxels.data_mut()[i * per..(i + 1) * per].copy_from_slice(v.data());
             }
             let mut g = Graph::new();
@@ -189,21 +191,15 @@ mod tests {
             &mut params,
             5,
         );
-        FusionScorerFactory {
-            model,
-            params,
-            voxel,
-            graph: GraphConfig::default(),
-            batch_size: 3,
-        }
+        FusionScorerFactory { model, params, voxel, graph: GraphConfig::default(), batch_size: 3 }
     }
 
     #[test]
     fn vina_and_mmgbsa_scorers_run() {
         let (poses, pocket) = poses(4);
         let mut v = VinaScorerFactory.build();
-        let mut m = MmGbsaScorerFactory(MmGbsaConfig { born_iterations: 2, ..Default::default() })
-            .build();
+        let mut m =
+            MmGbsaScorerFactory(MmGbsaConfig { born_iterations: 2, ..Default::default() }).build();
         assert_eq!(v.score_poses(&poses, &pocket).len(), 4);
         assert_eq!(m.score_poses(&poses, &pocket).len(), 4);
     }

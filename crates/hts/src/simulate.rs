@@ -148,10 +148,10 @@ pub fn simulate_campaign(sim: &CampaignSim) -> CampaignSimReport {
     let mut hourly: Vec<u64> = Vec::new(); // poses completed per wall hour
 
     let launch = |job_id: u64,
-                      t: f64,
-                      attempts: &mut std::collections::HashMap<u64, u32>,
-                      running: &mut BinaryHeap<Reverse<Completion>>,
-                      duration_rng: &mut rand::rngs::StdRng| {
+                  t: f64,
+                  attempts: &mut std::collections::HashMap<u64, u32>,
+                  running: &mut BinaryHeap<Reverse<Completion>>,
+                  duration_rng: &mut rand::rngs::StdRng| {
         let attempt = *attempts.entry(job_id).or_insert(0);
         let failed = (0..model.nodes_per_job).any(|n| injector.node_fails(job_id, attempt, n));
         let jitter = 1.0 + normal_with(duration_rng, 0.0, sim.duration_jitter);
@@ -272,7 +272,11 @@ mod tests {
         assert_eq!(r.jobs_completed, 20);
         assert_eq!(r.jobs_rescheduled, 0);
         // 20 jobs / 10 slots × 5.1 h ≈ 10.2 h.
-        assert!((r.wall_hours - 2.0 * sim.model.total_min() / 60.0).abs() < 0.2, "{}", r.wall_hours);
+        assert!(
+            (r.wall_hours - 2.0 * sim.model.total_min() / 60.0).abs() < 0.2,
+            "{}",
+            r.wall_hours
+        );
         assert!(r.slot_utilization > 0.9);
     }
 
@@ -321,11 +325,7 @@ mod tests {
         assert!(r.wall_hours > 0.0 && r.wall_hours < 2000.0);
         // During the 500-node windows throughput approaches the modeled
         // 13.6k poses/s peak.
-        assert!(
-            r.peak_poses_per_sec > 5_000.0,
-            "peak throughput {} too low",
-            r.peak_poses_per_sec
-        );
+        assert!(r.peak_poses_per_sec > 5_000.0, "peak throughput {} too low", r.peak_poses_per_sec);
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Concurrency stress tests for [`dfhts::allgather::Communicator`].
+//!
+//! The communicator is the job runner's only cross-rank synchronization
+//! point, so these tests hammer it the way a 16-rank job would: many ranks,
+//! many reused rounds, deliberately skewed arrival times. Every test runs
+//! under a watchdog thread so a lost-wakeup or generation-counting bug
+//! shows up as a clean failure instead of a hung test binary.
+
+use dfhts::allgather::Communicator;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runs `f` on its own thread and fails the test if it does not finish
+/// within `secs` seconds (deadlock watchdog).
+fn with_watchdog<F>(secs: u64, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(()) => worker.join().expect("stress body panicked"),
+        Err(_) => panic!("allgather stress deadlocked (no progress in {secs}s)"),
+    }
+}
+
+/// Pseudo-random but deterministic per-(rank, round) delay in [0, max_us).
+fn jitter_us(rank: usize, round: u64, max_us: u64) -> u64 {
+    let mut h = rank as u64 ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h % max_us.max(1)
+}
+
+#[test]
+fn many_ranks_many_rounds_with_skewed_arrivals() {
+    const RANKS: usize = 16;
+    const ROUNDS: u64 = 50;
+    with_watchdog(60, || {
+        let comm: Arc<Communicator<u64>> = Communicator::new(RANKS);
+        crossbeam::scope(|s| {
+            for rank in 0..RANKS {
+                let comm = Arc::clone(&comm);
+                s.spawn(move |_| {
+                    for round in 0..ROUNDS {
+                        // Randomized sleeps shuffle arrival order so fast
+                        // ranks lap into the next round's entry gate.
+                        std::thread::sleep(Duration::from_micros(jitter_us(rank, round, 300)));
+                        let out = comm.allgather(rank, vec![round * RANKS as u64 + rank as u64]);
+                        let want: Vec<u64> =
+                            (0..RANKS as u64).map(|r| round * RANKS as u64 + r).collect();
+                        assert_eq!(out, want, "rank {rank} round {round}");
+                    }
+                });
+            }
+        })
+        .unwrap();
+    });
+}
+
+#[test]
+fn rank_order_concat_holds_under_contention() {
+    const RANKS: usize = 8;
+    const ROUNDS: u64 = 40;
+    with_watchdog(60, || {
+        let comm: Arc<Communicator<(usize, u64)>> = Communicator::new(RANKS);
+        crossbeam::scope(|s| {
+            for rank in 0..RANKS {
+                let comm = Arc::clone(&comm);
+                s.spawn(move |_| {
+                    for round in 0..ROUNDS {
+                        std::thread::sleep(Duration::from_micros(jitter_us(rank, round, 200)));
+                        // Variable-length contributions: rank r sends r+1
+                        // tagged items.
+                        let data: Vec<(usize, u64)> =
+                            (0..rank + 1).map(|_| (rank, round)).collect();
+                        let out = comm.allgather(rank, data);
+                        assert_eq!(out.len(), RANKS * (RANKS + 1) / 2, "round {round}");
+                        // The concat must be grouped by rank, in rank order,
+                        // and every element must carry this round's tag —
+                        // no matter which rank assembled the result.
+                        let mut expect = Vec::new();
+                        for r in 0..RANKS {
+                            expect.extend(std::iter::repeat_n((r, round), r + 1));
+                        }
+                        assert_eq!(out, expect, "rank {rank} round {round}");
+                    }
+                });
+            }
+        })
+        .unwrap();
+    });
+}
+
+#[test]
+fn one_slow_rank_stalls_but_never_corrupts() {
+    const RANKS: usize = 6;
+    const ROUNDS: u64 = 12;
+    with_watchdog(60, || {
+        let comm: Arc<Communicator<u64>> = Communicator::new(RANKS);
+        crossbeam::scope(|s| {
+            for rank in 0..RANKS {
+                let comm = Arc::clone(&comm);
+                s.spawn(move |_| {
+                    for _round in 0..ROUNDS {
+                        if rank == 0 {
+                            // Rank 0 is a straggler every round; the others
+                            // queue on the entry gate of the next round.
+                            std::thread::sleep(Duration::from_millis(3));
+                        }
+                        let out = comm.allgather(rank, vec![rank as u64]);
+                        assert_eq!(out, (0..RANKS as u64).collect::<Vec<u64>>());
+                    }
+                });
+            }
+        })
+        .unwrap();
+    });
+}
+
+#[test]
+fn barriers_interleaved_with_gathers() {
+    const RANKS: usize = 5;
+    with_watchdog(60, || {
+        let comm: Arc<Communicator<usize>> = Communicator::new(RANKS);
+        crossbeam::scope(|s| {
+            for rank in 0..RANKS {
+                let comm = Arc::clone(&comm);
+                s.spawn(move |_| {
+                    for round in 0..30u64 {
+                        std::thread::sleep(Duration::from_micros(jitter_us(rank, round, 150)));
+                        if round % 3 == 0 {
+                            comm.barrier(rank);
+                        } else {
+                            let out = comm.allgather(rank, vec![rank]);
+                            assert_eq!(out, (0..RANKS).collect::<Vec<usize>>());
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+    });
+}

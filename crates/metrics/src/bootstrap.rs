@@ -86,12 +86,24 @@ fn bootstrap_statistic(
 }
 
 /// Percentile-bootstrap CI for the Pearson correlation.
-pub fn pearson_ci(a: &[f64], b: &[f64], resamples: usize, level: f64, seed: u64) -> ConfidenceInterval {
+pub fn pearson_ci(
+    a: &[f64],
+    b: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
     bootstrap_statistic(a, b, resamples, level, seed, pearson)
 }
 
 /// Percentile-bootstrap CI for the Spearman correlation.
-pub fn spearman_ci(a: &[f64], b: &[f64], resamples: usize, level: f64, seed: u64) -> ConfidenceInterval {
+pub fn spearman_ci(
+    a: &[f64],
+    b: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
     bootstrap_statistic(a, b, resamples, level, seed, spearman)
 }
 
@@ -124,8 +136,7 @@ mod tests {
         // 12 weakly-correlated points (|r| ≈ 0.13 by construction): the CI
         // must be wide and straddle zero.
         let a: Vec<f64> = (0..12).map(|i| i as f64).collect();
-        let b: Vec<f64> =
-            vec![1.0, -1.0, 2.0, -2.0, 3.0, -3.0, 4.0, -4.0, 5.0, -5.0, 6.0, -6.0];
+        let b: Vec<f64> = vec![1.0, -1.0, 2.0, -2.0, 3.0, -3.0, 4.0, -4.0, 5.0, -5.0, 6.0, -6.0];
         let ci = pearson_ci(&a, &b, 500, 0.95, 11);
         assert!(!ci.excludes_zero(), "noise must not be 'significant': [{}, {}]", ci.lo, ci.hi);
         assert!(ci.hi - ci.lo > 0.4, "small-n interval should be wide");

@@ -71,11 +71,7 @@ impl PrCurve {
             prev_recall = recall;
             points.push(PrPoint { threshold: score, precision, recall, f1 });
         }
-        PrCurve {
-            points,
-            baseline_precision: total_pos as f64 / n as f64,
-            average_precision: ap,
-        }
+        PrCurve { points, baseline_precision: total_pos as f64 / n as f64, average_precision: ap }
     }
 
     /// The operating point with maximal F1.
@@ -91,7 +87,10 @@ impl PrCurve {
     pub fn to_csv(&self) -> String {
         let mut s = String::from("threshold,precision,recall,f1\n");
         for p in &self.points {
-            s.push_str(&format!("{:.6},{:.6},{:.6},{:.6}\n", p.threshold, p.precision, p.recall, p.f1));
+            s.push_str(&format!(
+                "{:.6},{:.6},{:.6},{:.6}\n",
+                p.threshold, p.precision, p.recall, p.f1
+            ));
         }
         s
     }
@@ -206,7 +205,8 @@ mod tests {
     fn random_scores_approach_baseline_precision() {
         // Deterministic pseudo-random scores independent of labels.
         let n = 2000;
-        let scores: Vec<f64> = (0..n).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64).collect();
+        let scores: Vec<f64> =
+            (0..n).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64).collect();
         let labels: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect(); // 25% positive
         let c = PrCurve::compute(&scores, &labels);
         assert!((c.average_precision - 0.25).abs() < 0.05, "ap {}", c.average_precision);

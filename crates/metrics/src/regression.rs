@@ -94,7 +94,13 @@ pub fn ranks(x: &[f64]) -> Vec<f64> {
 }
 
 fn check(a: &[f64], b: &[f64]) {
-    assert_eq!(a.len(), b.len(), "metric inputs must have equal length: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "metric inputs must have equal length: {} vs {}",
+        a.len(),
+        b.len()
+    );
 }
 
 /// Bundle of all Table 6 regression metrics for one model/dataset pair.

@@ -1,0 +1,29 @@
+//! Completion counting for scoped jobs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts outstanding jobs; waiters poll [`CountLatch::is_zero`] while
+/// helping (see `Pool::help_until`), so the latch itself never blocks.
+pub(crate) struct CountLatch {
+    count: AtomicUsize,
+}
+
+impl CountLatch {
+    pub(crate) fn new() -> CountLatch {
+        CountLatch { count: AtomicUsize::new(0) }
+    }
+
+    pub(crate) fn increment(&self) {
+        self.count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Returns true when this decrement released the last job, i.e. the
+    /// caller should wake any parked waiters.
+    pub(crate) fn decrement(&self) -> bool {
+        self.count.fetch_sub(1, Ordering::SeqCst) == 1
+    }
+
+    pub(crate) fn is_zero(&self) -> bool {
+        self.count.load(Ordering::SeqCst) == 0
+    }
+}

@@ -1,0 +1,610 @@
+//! Work-stealing thread pool for the screening hot paths.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Determinism.** Every primitive that combines results does so in
+//!    item-index order, never completion order, so pooled execution is
+//!    bit-identical to serial execution regardless of thread count or
+//!    interleaving. [`Pool::parallel_map`] writes each result into its own
+//!    pre-allocated slot; [`Pool::parallel_map_reduce`] folds those slots
+//!    serially left-to-right.
+//! 2. **No blocked waiters.** Threads that wait for work to finish
+//!    (the caller of a parallel primitive, or a worker executing a nested
+//!    one) *help*: they pull queued jobs and run them instead of blocking.
+//!    This makes nested parallelism deadlock-free by construction.
+//! 3. **Zero heavy dependencies.** Built on `std::thread` plus the
+//!    crossbeam deque types (injector + per-worker LIFO deques with
+//!    stealers).
+//!
+//! A pool of `n` threads means *total* parallelism `n`: it spawns `n - 1`
+//! workers and the submitting thread is the n-th lane. `Pool::new(1)` spawns
+//! nothing and every primitive degenerates to the serial loop.
+//!
+//! ## Pool selection
+//!
+//! Hot paths call [`current`], which resolves to the pool installed on this
+//! thread by [`Pool::install`], else the process-global pool ([`global`]),
+//! whose size comes from `DFPOOL_THREADS` (default:
+//! `std::thread::available_parallelism`). Worker threads run with their own
+//! pool pre-installed, so nested primitives reuse it. Code that hands work
+//! to raw `std::thread`s (rank simulations, loader workers) captures
+//! `current()` and re-`install`s it inside each spawned thread.
+
+mod latch;
+mod scope;
+
+pub use scope::Scope;
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A unit of queued work. Jobs are `'static` at the queue boundary; scoped
+/// lifetimes are erased (and re-guaranteed by completion latches) in
+/// [`scope`].
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    /// Pool installed on this thread by `Pool::install` (or worker startup).
+    static CURRENT: RefCell<Option<Pool>> = const { RefCell::new(None) };
+    /// Set inside workers: (owning pool id, worker index).
+    static WORKER: RefCell<Option<(usize, usize)>> = const { RefCell::new(None) };
+}
+
+struct Shared {
+    id: usize,
+    threads: usize,
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    /// Pending-job signal for parked workers.
+    idle_mutex: Mutex<()>,
+    idle_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Takes one queued job: own deque first (LIFO, cache-warm), then the
+    /// injector, then steals from other workers.
+    fn find_job(&self, local: Option<&Worker<Job>>, self_index: Option<usize>) -> Option<Job> {
+        if let Some(w) = local {
+            if let Some(job) = w.pop() {
+                return Some(job);
+            }
+        }
+        loop {
+            let steal = self.injector.steal();
+            if let crossbeam::deque::Steal::Success(job) = steal {
+                return Some(job);
+            }
+            if !steal.is_retry() {
+                break;
+            }
+        }
+        for (i, s) in self.stealers.iter().enumerate() {
+            if Some(i) == self_index {
+                continue;
+            }
+            loop {
+                let steal = s.steal();
+                if let crossbeam::deque::Steal::Success(job) = steal {
+                    return Some(job);
+                }
+                if !steal.is_retry() {
+                    break;
+                }
+            }
+        }
+        None
+    }
+
+    fn notify(&self) {
+        let _g = self.idle_mutex.lock().unwrap_or_else(|p| p.into_inner());
+        self.idle_cv.notify_all();
+    }
+}
+
+/// A work-stealing thread pool. Cheap to clone (shared handle); the worker
+/// threads shut down when the last handle drops.
+#[derive(Clone)]
+pub struct Pool {
+    shared: Arc<Shared>,
+    /// Join handles live in a separate Arc so `Pool` clones stay cheap and
+    /// the drop of the last handle can join the workers.
+    workers: Arc<WorkerHandles>,
+}
+
+struct WorkerHandles {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for WorkerHandles {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.notify();
+        for h in self.handles.lock().unwrap_or_else(|p| p.into_inner()).drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("threads", &self.shared.threads).finish()
+    }
+}
+
+impl Pool {
+    /// Creates a pool with total parallelism `threads` (>= 1): `threads - 1`
+    /// workers plus the submitting thread.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
+        let worker_deques: Vec<Worker<Job>> =
+            (0..threads - 1).map(|_| Worker::new_lifo()).collect();
+        let stealers = worker_deques.iter().map(Worker::stealer).collect();
+        let shared = Arc::new(Shared {
+            id,
+            threads,
+            injector: Injector::new(),
+            stealers,
+            idle_mutex: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let pool = Pool {
+            shared: Arc::clone(&shared),
+            workers: Arc::new(WorkerHandles {
+                shared: Arc::clone(&shared),
+                handles: Mutex::new(Vec::new()),
+            }),
+        };
+        let mut handles = Vec::with_capacity(threads - 1);
+        for (index, deque) in worker_deques.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let pool_for_worker = pool.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("dfpool-{id}-{index}"))
+                    .spawn(move || worker_main(shared, deque, index, pool_for_worker))
+                    .expect("spawn pool worker"),
+            );
+        }
+        *pool.workers.handles.lock().unwrap_or_else(|p| p.into_inner()) = handles;
+        pool
+    }
+
+    /// Total parallelism (worker threads + the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Runs `f` with this pool installed as the thread's current pool, so
+    /// every `dfpool`-aware hot path inside `f` uses it.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(self.clone()));
+        struct Restore(Option<Pool>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                CURRENT.with(|c| *c.borrow_mut() = prev);
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    pub(crate) fn push_job(&self, job: Job) {
+        // From inside one of this pool's workers, push to its own LIFO
+        // deque (depth-first, cache-warm); otherwise through the injector.
+        let local = WORKER.with(|w| *w.borrow());
+        match local {
+            Some((pool_id, _)) if pool_id == self.shared.id => {
+                LOCAL_DEQUE.with(|d| {
+                    let d = d.borrow();
+                    match d.as_ref() {
+                        Some(w) => w.push(job),
+                        None => self.shared.injector.push(job),
+                    }
+                });
+            }
+            _ => self.shared.injector.push(job),
+        }
+        self.shared.notify();
+    }
+
+    /// Runs queued jobs until `done()`; never blocks while work remains.
+    pub(crate) fn help_until(&self, done: &dyn Fn() -> bool) {
+        let self_index =
+            WORKER.with(|w| w.borrow().and_then(|(pid, i)| (pid == self.shared.id).then_some(i)));
+        while !done() {
+            let job = LOCAL_DEQUE.with(|d| {
+                let d = d.borrow();
+                let local = if self_index.is_some() { d.as_ref() } else { None };
+                self.shared.find_job(local, self_index)
+            });
+            match job {
+                Some(job) => job(),
+                None => {
+                    // Nothing runnable: our outstanding jobs are being
+                    // executed elsewhere. Park briefly; the timeout guards
+                    // against a wakeup racing the final decrement.
+                    let g = self.shared.idle_mutex.lock().unwrap_or_else(|p| p.into_inner());
+                    if done() {
+                        return;
+                    }
+                    let _ = self.shared.idle_cv.wait_timeout(g, Duration::from_micros(100));
+                }
+            }
+        }
+    }
+
+    pub(crate) fn wake_waiters(&self) {
+        self.shared.notify();
+    }
+
+    // -----------------------------------------------------------------
+    // Parallel primitives
+    // -----------------------------------------------------------------
+
+    /// Runs `f` with a [`Scope`] in which non-`'static` jobs can be
+    /// spawned; returns after every spawned job has finished. The first
+    /// job panic (or a panic in `f`) resumes on the caller.
+    pub fn scoped<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        scope::run_scoped(self, f)
+    }
+
+    /// Calls `f(i)` for every `i` in `range`, in parallel. No ordering of
+    /// side effects between iterations — `f` must only touch disjoint state
+    /// per index.
+    pub fn parallel_for<F>(&self, range: std::ops::Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let start = range.start;
+        self.parallel_for_chunked(range.len(), 1, |chunk| {
+            for i in chunk {
+                f(start + i);
+            }
+        });
+    }
+
+    /// Splits `0..len` into contiguous chunks of at least `min_chunk`
+    /// items (one chunk per thread-lane at most) and runs `f(chunk)` in
+    /// parallel.
+    pub fn parallel_for_chunked<F>(&self, len: usize, min_chunk: usize, f: F)
+    where
+        F: Fn(std::ops::Range<usize>) + Sync,
+    {
+        if len == 0 {
+            return;
+        }
+        let chunk = chunk_size(len, min_chunk, self.threads());
+        if self.threads() == 1 || chunk >= len {
+            f(0..len);
+            return;
+        }
+        self.scoped(|s| {
+            let mut start = 0;
+            while start < len {
+                let end = (start + chunk).min(len);
+                let f = &f;
+                s.spawn(move || f(start..end));
+                start = end;
+            }
+        });
+    }
+
+    /// Maps `f` over `0..len` into a `Vec` whose order is by index —
+    /// deterministic regardless of scheduling.
+    pub fn parallel_map<T, F>(&self, len: usize, min_chunk: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if len == 0 {
+            return Vec::new();
+        }
+        if self.threads() == 1 {
+            return (0..len).map(f).collect();
+        }
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(len);
+        slots.resize_with(len, || None);
+        let slots_ptr = SlotWriter { ptr: slots.as_mut_ptr() };
+        self.parallel_for_chunked(len, min_chunk, |chunk| {
+            for i in chunk {
+                // SAFETY: each index is written by exactly one chunk, and
+                // parallel_for_chunked does not return until all chunks are
+                // done, so writes are disjoint and complete before reads.
+                unsafe { slots_ptr.write(i, f(i)) };
+            }
+        });
+        slots.into_iter().map(|s| s.expect("slot filled by its chunk")).collect()
+    }
+
+    /// Splits a flat `rows * row_len` buffer into contiguous row bands and
+    /// runs `f(first_row, band)` on each in parallel. Each row is written
+    /// by exactly one job, so results are identical to the serial loop
+    /// whenever `f`'s per-row work is order-independent across rows.
+    pub fn parallel_rows<T, F>(&self, data: &mut [T], row_len: usize, min_rows: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if row_len == 0 || data.is_empty() {
+            return;
+        }
+        assert_eq!(data.len() % row_len, 0, "buffer not a whole number of rows");
+        let rows = data.len() / row_len;
+        let band = chunk_size(rows, min_rows, self.threads());
+        if self.threads() == 1 || band >= rows {
+            f(0, data);
+            return;
+        }
+        self.scoped(|s| {
+            let mut rest = data;
+            let mut row0 = 0;
+            while !rest.is_empty() {
+                let take = band.min(rows - row0) * row_len;
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let f = &f;
+                let first = row0;
+                s.spawn(move || f(first, head));
+                row0 += band;
+            }
+        });
+    }
+
+    /// Parallel map + **serial, in-order** fold: exactly equivalent to
+    /// `(0..len).map(f).fold(init, fold)` for any thread count, because the
+    /// mapped values are folded left-to-right by index. This is the
+    /// primitive the hot paths use to stay bit-identical to serial
+    /// execution (floating-point accumulation order never changes).
+    pub fn parallel_map_reduce<T, A, F, G>(
+        &self,
+        len: usize,
+        min_chunk: usize,
+        f: F,
+        init: A,
+        mut fold: G,
+    ) -> A
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        G: FnMut(A, T) -> A,
+    {
+        if self.threads() == 1 || len <= min_chunk.max(1) {
+            return (0..len).map(f).fold(init, fold);
+        }
+        let mapped = self.parallel_map(len, min_chunk, f);
+        let mut acc = init;
+        for v in mapped {
+            acc = fold(acc, v);
+        }
+        acc
+    }
+}
+
+/// Raw-pointer slot writer for `parallel_map`. Soundness contract: callers
+/// write disjoint indices and join before the owner reads.
+struct SlotWriter<T> {
+    ptr: *mut Option<T>,
+}
+
+unsafe impl<T: Send> Sync for SlotWriter<T> {}
+unsafe impl<T: Send> Send for SlotWriter<T> {}
+
+impl<T> SlotWriter<T> {
+    unsafe fn write(&self, index: usize, value: T) {
+        unsafe { *self.ptr.add(index) = Some(value) };
+    }
+}
+
+/// Chunk size balancing grain (`min_chunk`) against one-chunk-per-lane
+/// splitting; at most `4 * threads` chunks for cheap stealing without
+/// queue flooding.
+fn chunk_size(len: usize, min_chunk: usize, threads: usize) -> usize {
+    let target_chunks = threads.saturating_mul(4).max(1);
+    len.div_ceil(target_chunks).max(min_chunk.max(1))
+}
+
+thread_local! {
+    /// The worker's own LIFO deque, reachable from nested `push_job` calls.
+    static LOCAL_DEQUE: RefCell<Option<Worker<Job>>> = const { RefCell::new(None) };
+}
+
+fn worker_main(shared: Arc<Shared>, deque: Worker<Job>, index: usize, pool: Pool) {
+    WORKER.with(|w| *w.borrow_mut() = Some((shared.id, index)));
+    LOCAL_DEQUE.with(|d| *d.borrow_mut() = Some(deque));
+    // Nested primitives inside jobs resolve `current()` to this pool.
+    pool.install(|| loop {
+        let job = LOCAL_DEQUE.with(|d| shared.find_job(d.borrow().as_ref(), Some(index)));
+        match job {
+            Some(job) => {
+                // A panicking job must not kill the worker; the panic is
+                // captured and re-thrown at the scope that spawned it.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let g = shared.idle_mutex.lock().unwrap_or_else(|p| p.into_inner());
+                let _ = shared.idle_cv.wait_timeout(g, Duration::from_millis(1));
+            }
+        }
+    });
+    LOCAL_DEQUE.with(|d| *d.borrow_mut() = None);
+    WORKER.with(|w| *w.borrow_mut() = None);
+}
+
+// ---------------------------------------------------------------------
+// Global / current pool
+// ---------------------------------------------------------------------
+
+/// Reads `DFPOOL_THREADS` (>= 1) or falls back to the machine parallelism.
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("DFPOOL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The process-global pool, created on first use with [`default_threads`].
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| Pool::new(default_threads()))
+}
+
+/// The pool hot paths should use: the innermost [`Pool::install`]ed pool on
+/// this thread, else the global one.
+pub fn current() -> Pool {
+    CURRENT.with(|c| c.borrow().clone()).unwrap_or_else(|| global().clone())
+}
+
+/// A one-lane pool: every primitive runs the plain serial loop.
+pub fn serial() -> Pool {
+    Pool::new(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_map_matches_serial_for_all_thread_counts() {
+        let expected: Vec<u64> = (0..1000u64).map(|i| i * i + 1).collect();
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = Pool::new(threads);
+            let got = pool.parallel_map(1000, 1, |i| (i as u64) * (i as u64) + 1);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_is_order_preserving() {
+        // Non-commutative fold: order changes the result, so equality with
+        // the serial fold proves index order.
+        let serial: String = (0..200).map(|i| format!("{i},")).fold(String::new(), |a, b| a + &b);
+        for threads in [1, 2, 4, 7] {
+            let pool = Pool::new(threads);
+            let got =
+                pool.parallel_map_reduce(200, 3, |i| format!("{i},"), String::new(), |a, b| a + &b);
+            assert_eq!(got, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..257, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunked_covers_range_without_overlap() {
+        let pool = Pool::new(3);
+        let sum = AtomicU64::new(0);
+        pool.parallel_for_chunked(10_000, 64, |chunk| {
+            let local: u64 = chunk.map(|i| i as u64).sum();
+            sum.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 9_999u64 * 10_000 / 2);
+    }
+
+    #[test]
+    fn scoped_borrows_stack_data() {
+        let pool = Pool::new(4);
+        let data = vec![1u64, 2, 3, 4, 5];
+        let total = AtomicU64::new(0);
+        pool.scoped(|s| {
+            for v in &data {
+                let total = &total;
+                s.spawn(move || {
+                    total.fetch_add(*v, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn job_panic_resumes_on_caller() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                pool.scoped(|s| {
+                    s.spawn(|| panic!("boom-from-job"));
+                    s.spawn(|| {}); // healthy sibling still completes
+                });
+            }));
+            let payload = caught.expect_err("panic should propagate");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+            assert_eq!(msg, "boom-from-job", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_completes() {
+        let pool = Pool::new(4);
+        let out = pool.parallel_map(8, 1, |i| {
+            // Nested primitive on the same pool from inside a job.
+            current().parallel_map_reduce(16, 1, |j| (i * j) as u64, 0u64, |a, b| a + b)
+        });
+        let expect: Vec<u64> = (0..8).map(|i| (0..16).map(|j| (i * j) as u64).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn install_overrides_current() {
+        let pool = Pool::new(2);
+        let inside = pool.install(|| current().threads());
+        assert_eq!(inside, 2);
+        // Workers resolve current() to their own pool.
+        let via_worker = pool.install(|| current().parallel_map(4, 1, |_| current().threads()));
+        assert!(via_worker.iter().all(|&t| t == 2));
+    }
+
+    #[test]
+    fn parallel_rows_band_decomposition_is_exact() {
+        for threads in [1, 2, 4] {
+            let pool = Pool::new(threads);
+            let row_len = 7;
+            let rows = 23;
+            let mut data = vec![0u64; rows * row_len];
+            pool.parallel_rows(&mut data, row_len, 2, |first_row, band| {
+                for (r, row) in band.chunks_mut(row_len).enumerate() {
+                    for (c, v) in row.iter_mut().enumerate() {
+                        *v = ((first_row + r) * 100 + c) as u64;
+                    }
+                }
+            });
+            for r in 0..rows {
+                for c in 0..row_len {
+                    assert_eq!(data[r * row_len + c], (r * 100 + c) as u64, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_pool_spawns_no_threads_and_runs_inline() {
+        let pool = serial();
+        assert_eq!(pool.threads(), 1);
+        let tid = std::thread::current().id();
+        let ran_on = pool.parallel_map(3, 1, |_| std::thread::current().id());
+        assert!(ran_on.iter().all(|&t| t == tid));
+    }
+}

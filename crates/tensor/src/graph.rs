@@ -143,10 +143,7 @@ impl Graph {
             }
         }
 
-        Gradients {
-            grads,
-            params: self.nodes.iter().map(|n| n.param).collect(),
-        }
+        Gradients { grads, params: self.nodes.iter().map(|n| n.param).collect() }
     }
 }
 

@@ -12,7 +12,12 @@ pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Te
 
 /// Xavier/Glorot uniform initialization:
 /// `U(-sqrt(6/(fan_in+fan_out)), +...)`.
-pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+pub fn xavier_uniform(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
     let bound = (6.0f32 / (fan_in + fan_out).max(1) as f32).sqrt();
     Tensor::rand_uniform(shape, -bound, bound, rng)
 }

@@ -79,11 +79,7 @@ impl Conv3d {
         let fan_in = in_channels * kernel * kernel * kernel;
         let w = ps.add(
             format!("{name}.w"),
-            kaiming_uniform(
-                &[out_channels, in_channels, kernel, kernel, kernel],
-                fan_in,
-                rng,
-            ),
+            kaiming_uniform(&[out_channels, in_channels, kernel, kernel, kernel], fan_in, rng),
         );
         let b = ps.add(format!("{name}.b"), bias_uniform(out_channels, fan_in, rng));
         Self { w, b, in_channels, out_channels, kernel, pad }
@@ -135,7 +131,8 @@ impl BatchNorm {
     ) -> VarId {
         let gamma = inject(g, ps, self.gamma, frozen);
         let beta = inject(g, ps, self.beta, frozen);
-        let out = g.batch_norm(x, gamma, beta, &self.running_mean, &self.running_var, self.eps, train);
+        let out =
+            g.batch_norm(x, gamma, beta, &self.running_mean, &self.running_var, self.eps, train);
         if let (Some(m), Some(v)) = (out.batch_mean, out.batch_var) {
             let mom = self.momentum;
             self.running_mean = self.running_mean.scale(1.0 - mom).add(&m.scale(mom));

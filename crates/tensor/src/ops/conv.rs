@@ -6,7 +6,7 @@
 //! configurable so `pad = k/2` gives "same" spatial dims for odd kernels.
 
 use crate::graph::{Graph, VarId};
-use crate::tensor::Tensor;
+use crate::tensor::{par_min_rows, Tensor};
 
 /// Spatial output size for one dimension.
 fn out_dim(input: usize, k: usize, pad: usize) -> usize {
@@ -22,96 +22,113 @@ fn conv3d_forward(x: &Tensor, w: &Tensor, pad: usize) -> Tensor {
     let mut out = Tensor::zeros(&[n, o, od, oh, ow]);
     let xd = x.data();
     let wdta = w.data();
-    let odta = out.data_mut();
     let ipad = pad as isize;
-    for bn in 0..n {
-        for oc in 0..o {
-            for ic in 0..c {
-                let wbase = (oc * c + ic) * kd * kh * kw;
-                let xbase = (bn * c + ic) * d * h * wd;
-                for zd in 0..od {
-                    for yh in 0..oh {
-                        for xw in 0..ow {
-                            let mut acc = 0.0f32;
-                            for fz in 0..kd {
-                                let iz = zd as isize + fz as isize - ipad;
-                                if iz < 0 || iz >= d as isize {
-                                    continue;
-                                }
-                                for fy in 0..kh {
-                                    let iy = yh as isize + fy as isize - ipad;
-                                    if iy < 0 || iy >= h as isize {
+    let spatial = od * oh * ow;
+    // Each (bn, oc) pair owns one contiguous `spatial`-length block of the
+    // output, so the pool bands over those blocks; inside a block the loop
+    // nest (ic -> z -> y -> x) is the serial one, keeping every element's
+    // accumulation order — and the result bits — identical to serial.
+    dfpool::current().parallel_rows(
+        out.data_mut(),
+        spatial,
+        par_min_rows(c * spatial * kd * kh * kw),
+        |first, band| {
+            for (row, oblock) in band.chunks_mut(spatial).enumerate() {
+                let (bn, oc) = ((first + row) / o, (first + row) % o);
+                for ic in 0..c {
+                    let wbase = (oc * c + ic) * kd * kh * kw;
+                    let xbase = (bn * c + ic) * d * h * wd;
+                    for zd in 0..od {
+                        for yh in 0..oh {
+                            for xw in 0..ow {
+                                let mut acc = 0.0f32;
+                                for fz in 0..kd {
+                                    let iz = zd as isize + fz as isize - ipad;
+                                    if iz < 0 || iz >= d as isize {
                                         continue;
                                     }
-                                    for fx in 0..kw {
-                                        let ix = xw as isize + fx as isize - ipad;
-                                        if ix < 0 || ix >= wd as isize {
+                                    for fy in 0..kh {
+                                        let iy = yh as isize + fy as isize - ipad;
+                                        if iy < 0 || iy >= h as isize {
                                             continue;
                                         }
-                                        let xi = xbase
-                                            + (iz as usize) * h * wd
-                                            + (iy as usize) * wd
-                                            + ix as usize;
-                                        let wi = wbase + fz * kh * kw + fy * kw + fx;
-                                        acc += xd[xi] * wdta[wi];
+                                        for fx in 0..kw {
+                                            let ix = xw as isize + fx as isize - ipad;
+                                            if ix < 0 || ix >= wd as isize {
+                                                continue;
+                                            }
+                                            let xi = xbase
+                                                + (iz as usize) * h * wd
+                                                + (iy as usize) * wd
+                                                + ix as usize;
+                                            let wi = wbase + fz * kh * kw + fy * kw + fx;
+                                            acc += xd[xi] * wdta[wi];
+                                        }
                                     }
                                 }
+                                oblock[(zd * oh + yh) * ow + xw] += acc;
                             }
-                            let oi = (((bn * o + oc) * od + zd) * oh + yh) * ow + xw;
-                            odta[oi] += acc;
                         }
                     }
                 }
             }
-        }
-    }
+        },
+    );
     out
 }
 
 /// Gradient w.r.t. the input (full correlation with the kernel).
 fn conv3d_backward_input(gout: &Tensor, w: &Tensor, xshape: &[usize], pad: usize) -> Tensor {
-    let (n, c, d, h, wd) = dims5(xshape);
+    let (_n, c, d, h, wd) = dims5(xshape);
     let (o, _, kd, kh, kw) = dims5(w.shape());
     let (_, _, od, oh, ow) = dims5(gout.shape());
     let mut gx = Tensor::zeros(xshape);
     let gd = gout.data();
     let wdta = w.data();
-    let gxd = gx.data_mut();
     let ipad = pad as isize;
-    for bn in 0..n {
-        for oc in 0..o {
-            for ic in 0..c {
-                let wbase = (oc * c + ic) * kd * kh * kw;
-                let xbase = (bn * c + ic) * d * h * wd;
-                for zd in 0..od {
-                    for yh in 0..oh {
-                        for xw in 0..ow {
-                            let oi = (((bn * o + oc) * od + zd) * oh + yh) * ow + xw;
-                            let g = gd[oi];
-                            if g == 0.0 {
-                                continue;
-                            }
-                            for fz in 0..kd {
-                                let iz = zd as isize + fz as isize - ipad;
-                                if iz < 0 || iz >= d as isize {
+    let in_spatial = d * h * wd;
+    // Bands over (bn, ic) blocks of the input gradient. Relative to the
+    // serial bn -> oc -> ic nest this hoists ic above oc, but for a fixed
+    // (bn, ic) element the contribution order stays (oc, z, y, x, fz, fy,
+    // fx) lexicographic — exactly the serial accumulation order.
+    dfpool::current().parallel_rows(
+        gx.data_mut(),
+        in_spatial,
+        par_min_rows(o * od * oh * ow * kd * kh * kw),
+        |first, band| {
+            for (row, gxblock) in band.chunks_mut(in_spatial).enumerate() {
+                let (bn, ic) = ((first + row) / c, (first + row) % c);
+                for oc in 0..o {
+                    let wbase = (oc * c + ic) * kd * kh * kw;
+                    for zd in 0..od {
+                        for yh in 0..oh {
+                            for xw in 0..ow {
+                                let oi = (((bn * o + oc) * od + zd) * oh + yh) * ow + xw;
+                                let g = gd[oi];
+                                if g == 0.0 {
                                     continue;
                                 }
-                                for fy in 0..kh {
-                                    let iy = yh as isize + fy as isize - ipad;
-                                    if iy < 0 || iy >= h as isize {
+                                for fz in 0..kd {
+                                    let iz = zd as isize + fz as isize - ipad;
+                                    if iz < 0 || iz >= d as isize {
                                         continue;
                                     }
-                                    for fx in 0..kw {
-                                        let ix = xw as isize + fx as isize - ipad;
-                                        if ix < 0 || ix >= wd as isize {
+                                    for fy in 0..kh {
+                                        let iy = yh as isize + fy as isize - ipad;
+                                        if iy < 0 || iy >= h as isize {
                                             continue;
                                         }
-                                        let xi = xbase
-                                            + (iz as usize) * h * wd
-                                            + (iy as usize) * wd
-                                            + ix as usize;
-                                        let wi = wbase + fz * kh * kw + fy * kw + fx;
-                                        gxd[xi] += g * wdta[wi];
+                                        for fx in 0..kw {
+                                            let ix = xw as isize + fx as isize - ipad;
+                                            if ix < 0 || ix >= wd as isize {
+                                                continue;
+                                            }
+                                            let xi = (iz as usize) * h * wd
+                                                + (iy as usize) * wd
+                                                + ix as usize;
+                                            let wi = wbase + fz * kh * kw + fy * kw + fx;
+                                            gxblock[xi] += g * wdta[wi];
+                                        }
                                     }
                                 }
                             }
@@ -119,8 +136,8 @@ fn conv3d_backward_input(gout: &Tensor, w: &Tensor, xshape: &[usize], pad: usize
                     }
                 }
             }
-        }
-    }
+        },
+    );
     gx
 }
 
@@ -132,42 +149,49 @@ fn conv3d_backward_weight(gout: &Tensor, x: &Tensor, wshape: &[usize], pad: usiz
     let mut gw = Tensor::zeros(wshape);
     let gd = gout.data();
     let xd = x.data();
-    let gwd = gw.data_mut();
     let ipad = pad as isize;
-    for bn in 0..n {
-        for oc in 0..o {
-            for ic in 0..c {
-                let wbase = (oc * c + ic) * kd * kh * kw;
-                let xbase = (bn * c + ic) * d * h * wd;
-                for zd in 0..od {
-                    for yh in 0..oh {
-                        for xw in 0..ow {
-                            let oi = (((bn * o + oc) * od + zd) * oh + yh) * ow + xw;
-                            let g = gd[oi];
-                            if g == 0.0 {
-                                continue;
-                            }
-                            for fz in 0..kd {
-                                let iz = zd as isize + fz as isize - ipad;
-                                if iz < 0 || iz >= d as isize {
+    let ksize = kd * kh * kw;
+    // Bands over (oc, ic) kernel slices. Hoisting (oc, ic) above bn keeps a
+    // fixed kernel element's contribution order at (bn, z, y, x) — the same
+    // lexicographic order the serial nest produces.
+    dfpool::current().parallel_rows(
+        gw.data_mut(),
+        ksize,
+        par_min_rows(n * od * oh * ow * ksize),
+        |first, band| {
+            for (row, gwblock) in band.chunks_mut(ksize).enumerate() {
+                let (oc, ic) = ((first + row) / c, (first + row) % c);
+                for bn in 0..n {
+                    let xbase = (bn * c + ic) * d * h * wd;
+                    for zd in 0..od {
+                        for yh in 0..oh {
+                            for xw in 0..ow {
+                                let oi = (((bn * o + oc) * od + zd) * oh + yh) * ow + xw;
+                                let g = gd[oi];
+                                if g == 0.0 {
                                     continue;
                                 }
-                                for fy in 0..kh {
-                                    let iy = yh as isize + fy as isize - ipad;
-                                    if iy < 0 || iy >= h as isize {
+                                for fz in 0..kd {
+                                    let iz = zd as isize + fz as isize - ipad;
+                                    if iz < 0 || iz >= d as isize {
                                         continue;
                                     }
-                                    for fx in 0..kw {
-                                        let ix = xw as isize + fx as isize - ipad;
-                                        if ix < 0 || ix >= wd as isize {
+                                    for fy in 0..kh {
+                                        let iy = yh as isize + fy as isize - ipad;
+                                        if iy < 0 || iy >= h as isize {
                                             continue;
                                         }
-                                        let xi = xbase
-                                            + (iz as usize) * h * wd
-                                            + (iy as usize) * wd
-                                            + ix as usize;
-                                        let wi = wbase + fz * kh * kw + fy * kw + fx;
-                                        gwd[wi] += g * xd[xi];
+                                        for fx in 0..kw {
+                                            let ix = xw as isize + fx as isize - ipad;
+                                            if ix < 0 || ix >= wd as isize {
+                                                continue;
+                                            }
+                                            let xi = xbase
+                                                + (iz as usize) * h * wd
+                                                + (iy as usize) * wd
+                                                + ix as usize;
+                                            gwblock[fz * kh * kw + fy * kw + fx] += g * xd[xi];
+                                        }
                                     }
                                 }
                             }
@@ -175,8 +199,8 @@ fn conv3d_backward_weight(gout: &Tensor, x: &Tensor, wshape: &[usize], pad: usiz
                     }
                 }
             }
-        }
-    }
+        },
+    );
     gw
 }
 

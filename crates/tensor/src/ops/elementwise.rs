@@ -20,11 +20,7 @@ impl Graph {
     /// Elementwise subtraction `a - b`.
     pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
         let v = self.value(a).sub(self.value(b));
-        self.push_op(
-            vec![a, b],
-            v,
-            Box::new(|ctx| vec![ctx.grad.clone(), ctx.grad.scale(-1.0)]),
-        )
+        self.push_op(vec![a, b], v, Box::new(|ctx| vec![ctx.grad.clone(), ctx.grad.scale(-1.0)]))
     }
 
     /// Elementwise (Hadamard) product.
@@ -33,9 +29,7 @@ impl Graph {
         self.push_op(
             vec![a, b],
             v,
-            Box::new(|ctx| {
-                vec![ctx.grad.mul(ctx.parents[1]), ctx.grad.mul(ctx.parents[0])]
-            }),
+            Box::new(|ctx| vec![ctx.grad.mul(ctx.parents[1]), ctx.grad.mul(ctx.parents[0])]),
         )
     }
 
@@ -62,9 +56,7 @@ impl Graph {
         self.push_op(
             vec![a],
             v,
-            Box::new(|ctx| {
-                vec![ctx.grad.zip(ctx.parents[0], |g, x| 2.0 * g * x)]
-            }),
+            Box::new(|ctx| vec![ctx.grad.zip(ctx.parents[0], |g, x| 2.0 * g * x)]),
         )
     }
 
@@ -168,7 +160,13 @@ impl Graph {
         let xt = self.value(x);
         let bt = self.value(b);
         let n = *xt.shape().last().expect("add_bias needs rank >= 1");
-        assert_eq!(bt.shape(), &[n], "bias shape {:?} incompatible with input {:?}", bt.shape(), xt.shape());
+        assert_eq!(
+            bt.shape(),
+            &[n],
+            "bias shape {:?} incompatible with input {:?}",
+            bt.shape(),
+            xt.shape()
+        );
         let mut out = xt.clone();
         for (i, v) in out.data_mut().iter_mut().enumerate() {
             *v += bt.data()[i % n];
@@ -350,7 +348,7 @@ mod tests {
         let x = Tensor::rand_uniform(&[10], -2.0, 2.0, &mut r);
         for act in ["relu", "lrelu", "selu", "sigmoid", "tanh"] {
             GradCheck { eps: 1e-2, tol: 3e-2 }
-                .check(&[x.clone()], |g, v| {
+                .check(std::slice::from_ref(&x), |g, v| {
                     let y = match act {
                         "relu" => g.relu(v[0]),
                         "lrelu" => g.leaky_relu(v[0], 0.1),

@@ -71,9 +71,7 @@ mod tests {
         let mut r = rng(1);
         let p = Tensor::randn(&[6], &mut r).scale(2.0);
         let t = Tensor::randn(&[6], &mut r);
-        GradCheck::default()
-            .check(&[p.clone(), t.clone()], |g, v| g.mse_loss(v[0], v[1]))
-            .unwrap();
+        GradCheck::default().check(&[p.clone(), t.clone()], |g, v| g.mse_loss(v[0], v[1])).unwrap();
         GradCheck { eps: 1e-2, tol: 3e-2 }
             .check(&[p, t], |g, v| g.huber_loss(v[0], v[1], 1.0))
             .unwrap();

@@ -51,14 +51,16 @@ fn per_channel_stats(x: &Tensor) -> (Tensor, Tensor) {
         sums[c] += v as f64;
         counts[c] += 1;
     }
-    let means: Vec<f32> = sums.iter().zip(&counts).map(|(&s, &n)| (s / n.max(1) as f64) as f32).collect();
+    let means: Vec<f32> =
+        sums.iter().zip(&counts).map(|(&s, &n)| (s / n.max(1) as f64) as f32).collect();
     let mut sq = vec![0.0f64; nc];
     for (i, &v) in x.data().iter().enumerate() {
         let c = ch(i);
         let d = v - means[c];
         sq[c] += (d as f64) * (d as f64);
     }
-    let vars: Vec<f32> = sq.iter().zip(&counts).map(|(&s, &n)| (s / n.max(1) as f64) as f32).collect();
+    let vars: Vec<f32> =
+        sq.iter().zip(&counts).map(|(&s, &n)| (s / n.max(1) as f64) as f32).collect();
     (Tensor::from_slice(&means), Tensor::from_slice(&vars))
 }
 
@@ -143,7 +145,8 @@ impl Graph {
                     for (i, &gi) in g.iter().enumerate() {
                         let c = ch(i);
                         let m = counts[c] as f32;
-                        let term = gi as f64 - sum_g[c] / m as f64
+                        let term = gi as f64
+                            - sum_g[c] / m as f64
                             - (xhat.data()[i] as f64) * sum_gx[c] / m as f64;
                         dx.data_mut()[i] = gamma_v[c] * inv_std_c[c] * term as f32;
                     }

@@ -27,6 +27,13 @@ impl std::fmt::Debug for Tensor {
     }
 }
 
+/// Minimum output rows per parallel band so each job amortizes its queueing
+/// cost (~16k multiply-adds). Purely a performance knob: results are
+/// bit-identical to serial at any granularity.
+pub(crate) fn par_min_rows(work_per_row: usize) -> usize {
+    (16_384 / work_per_row.max(1)).max(1)
+}
+
 impl Tensor {
     // ------------------------------------------------------------------
     // Constructors
@@ -128,7 +135,12 @@ impl Tensor {
 
     /// The single value of a scalar or one-element tensor.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() requires exactly one element, shape {:?}", self.shape);
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() requires exactly one element, shape {:?}",
+            self.shape
+        );
         self.data[0]
     }
 
@@ -285,19 +297,24 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims differ: {:?} x {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        // Rows are independent, so band-parallelism over i leaves every
+        // output element's accumulation order untouched (still ascending
+        // p): pooled results are bit-identical to serial.
+        dfpool::current().parallel_rows(&mut out, n, par_min_rows(n * k), |first, band| {
+            for (di, o_row) in band.chunks_mut(n).enumerate() {
+                let i = first + di;
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for (p, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[p * n..(p + 1) * n];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Tensor { data: out, shape: vec![m, n] }
     }
 
@@ -310,19 +327,25 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_tn inner dims differ: {:?} x {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        // Restructured from the p-outer sweep to i-outer bands for
+        // parallelism. Each element still accumulates over ascending p, so
+        // per-element float addition order — and hence the result bits —
+        // match the serial sweep exactly.
+        dfpool::current().parallel_rows(&mut out, n, par_min_rows(n * k), |first, band| {
+            for (di, o_row) in band.chunks_mut(n).enumerate() {
+                let i = first + di;
+                for p in 0..k {
+                    let a = self.data[p * m + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[p * n..(p + 1) * n];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Tensor { data: out, shape: vec![m, n] }
     }
 
@@ -334,17 +357,22 @@ impl Tensor {
         let (n, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_nt inner dims differ: {:?} x {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        // Independent dot products: banding over i changes nothing about
+        // each product's accumulation order.
+        dfpool::current().parallel_rows(&mut out, n, par_min_rows(n * k), |first, band| {
+            for (di, o_row) in band.chunks_mut(n).enumerate() {
+                let i = first + di;
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for (j, o) in o_row.iter_mut().enumerate() {
+                    let b_row = &other.data[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
                 }
-                out[i * n + j] = acc;
             }
-        }
+        });
         Tensor { data: out, shape: vec![m, n] }
     }
 

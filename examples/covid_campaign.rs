@@ -29,17 +29,11 @@ fn main() {
 
     // 2. Screen + down-select + assay on every target.
     println!("Screening the four targets and testing selected compounds...");
-    let campaign_cfg = CampaignConfig {
-        screen_pool: 90,
-        tested_per_target: 45,
-        ..CampaignConfig::small(seed)
-    };
+    let campaign_cfg =
+        CampaignConfig { screen_pool: 90, tested_per_target: 45, ..CampaignConfig::small(seed) };
     let out = run_assay_campaign(&campaign_cfg, &fusion);
     println!("  tested {} compounds across 4 targets", out.tested.len());
-    println!(
-        "  hit rate at 33% inhibition: {:.1}% (paper: 10.4%)\n",
-        100.0 * out.hit_rate(33.0)
-    );
+    println!("  hit rate at 33% inhibition: {:.1}% (paper: 10.4%)\n", 100.0 * out.hit_rate(33.0));
 
     // 3. Figure 4: predicted pK vs % inhibition (binders only).
     println!("Figure 4 — binders (>1% inhibition) per target:");

@@ -155,7 +155,14 @@ fn main() {
     ]);
 
     let pb2 = Pb2::new(
-        Pb2Config { population: 6, intervals: 4, quantile: 0.5, threads: 3, seed, ..Default::default() },
+        Pb2Config {
+            population: 6,
+            intervals: 4,
+            quantile: 0.5,
+            threads: 3,
+            seed,
+            ..Default::default()
+        },
         space,
     );
 

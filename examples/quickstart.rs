@@ -34,22 +34,10 @@ fn main() {
     println!("Training all model variants...");
     let cfg = WorkflowConfig::small(seed);
     let mut models = train_all_variants(Arc::clone(&dataset), &cfg);
-    println!(
-        "  SG-CNN   best val MSE: {:.3}",
-        models.sgcnn_history.best_val_mse
-    );
-    println!(
-        "  3D-CNN   best val MSE: {:.3}",
-        models.cnn3d_history.best_val_mse
-    );
-    println!(
-        "  Mid-lvl  best val MSE: {:.3}",
-        models.midlevel_history.best_val_mse
-    );
-    println!(
-        "  Coherent best val MSE: {:.3}\n",
-        models.coherent_history.best_val_mse
-    );
+    println!("  SG-CNN   best val MSE: {:.3}", models.sgcnn_history.best_val_mse);
+    println!("  3D-CNN   best val MSE: {:.3}", models.cnn3d_history.best_val_mse);
+    println!("  Mid-lvl  best val MSE: {:.3}", models.midlevel_history.best_val_mse);
+    println!("  Coherent best val MSE: {:.3}\n", models.coherent_history.best_val_mse);
 
     // 3. Core-set evaluation (Table 6 metrics).
     println!("Core-set evaluation (cf. Table 6):");

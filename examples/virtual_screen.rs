@@ -38,9 +38,12 @@ fn main() {
         campaign_seed: seed,
         attempt: 0,
     };
-    let out = run_job(&job_cfg, &spec, &VinaScorerFactory, &SyntheticPoseSource {
-        poses_per_compound: 5,
-    })
+    let out = run_job(
+        &job_cfg,
+        &spec,
+        &VinaScorerFactory,
+        &SyntheticPoseSource { poses_per_compound: 5 },
+    )
     .expect("job run");
     println!(
         "  evaluated {} poses across {} ranks in {:?} ({:.0} poses/s)",

@@ -1,0 +1,203 @@
+//! Determinism lock for the work-stealing runtime.
+//!
+//! Every parallelized hot path must produce **bit-identical** output at any
+//! thread count: the pool's primitives collect results by input index and
+//! the loop restructures preserve per-element floating-point accumulation
+//! order, so parallelism is an implementation detail invisible to results.
+//! Each test here runs a hot path serially (1 thread) and on pools of 2, 4
+//! and 8 threads, comparing outputs with exact equality — no tolerances.
+
+use dfchem::featurize::{build_graph_batch, voxelize_batch, GraphConfig, VoxelConfig};
+use dfchem::genmol::{generate_molecule, MolGenConfig};
+use dfchem::mol::Molecule;
+use dfchem::pocket::{BindingPocket, TargetSite};
+use dfdock::search::{dock, DockConfig};
+use dfhts::h5lite::ScoreRecord;
+use dfhts::job::{run_job, JobConfig, JobSpec, SyntheticPoseSource};
+use dfhts::scorer::{FusionScorerFactory, ScorerFactory, VinaScorerFactory};
+use dfpool::Pool;
+use dftensor::params::ParamStore;
+use dftensor::rng::rng;
+use dftensor::{Graph, Tensor};
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+/// Runs `f` on a 1-thread (serial) pool, then on pools of 2, 4 and 8
+/// threads, asserting every pooled result equals the serial one exactly.
+fn assert_thread_invariant<T, F>(what: &str, f: F)
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn() -> T,
+{
+    let serial = Pool::new(1).install(&f);
+    for threads in THREAD_COUNTS {
+        let pooled = Pool::new(threads).install(&f);
+        assert!(serial == pooled, "{what}: {threads}-thread result differs from serial");
+    }
+}
+
+fn test_ligands(n: u64) -> Vec<Molecule> {
+    (0..n)
+        .map(|i| {
+            generate_molecule(
+                &MolGenConfig { min_heavy: 6, max_heavy: 12, ..Default::default() },
+                "det",
+                i,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn matmul_variants_are_bit_identical_across_thread_counts() {
+    let mut r = rng(41);
+    let a = Tensor::randn(&[23, 17], &mut r); // odd sizes: uneven bands
+    let b = Tensor::randn(&[17, 29], &mut r);
+    let at = Tensor::randn(&[17, 23], &mut r);
+    let bt = Tensor::randn(&[29, 17], &mut r);
+    assert_thread_invariant("matmul", || {
+        let mut out = a.matmul(&b).data().to_vec();
+        out.extend_from_slice(at.matmul_tn(&b).data());
+        out.extend_from_slice(a.matmul_nt(&bt).data());
+        out.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+    });
+}
+
+#[test]
+fn conv3d_forward_and_backward_are_bit_identical_across_thread_counts() {
+    let mut r = rng(42);
+    let x = Tensor::randn(&[2, 3, 6, 6, 6], &mut r);
+    let mut store = ParamStore::new();
+    let w = store.add("w", Tensor::randn(&[4, 3, 3, 3, 3], &mut r));
+    let b = store.add("b", Tensor::randn(&[4], &mut r));
+    assert_thread_invariant("conv3d fwd+bwd", || {
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let wv = g.param(&store, w);
+        let bv = g.param(&store, b);
+        let y = g.conv3d(xv, wv, bv, 1);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        let mut out = g.value(y).data().to_vec();
+        for v in [xv, wv, bv] {
+            out.extend_from_slice(grads.grad(v).expect("grad present").data());
+        }
+        out.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+    });
+}
+
+#[test]
+fn batch_featurization_is_bit_identical_across_thread_counts() {
+    let ligands = test_ligands(9);
+    let refs: Vec<&Molecule> = ligands.iter().collect();
+    let pocket = BindingPocket::generate(TargetSite::Protease1, 11);
+    let vcfg = VoxelConfig { grid_dim: 8, resolution: 2.0 };
+    let gcfg = GraphConfig::default();
+    assert_thread_invariant("featurize batch", || {
+        let mut bits: Vec<u32> = Vec::new();
+        for v in voxelize_batch(&vcfg, &refs, &pocket) {
+            bits.extend(v.data().iter().map(|x| x.to_bits()));
+        }
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for mg in build_graph_batch(&gcfg, &refs, &pocket) {
+            bits.extend(mg.node_feats.data().iter().map(|x| x.to_bits()));
+            edges.extend(mg.covalent_edges.iter().copied());
+            edges.extend(mg.noncovalent_edges.iter().copied());
+        }
+        (bits, edges)
+    });
+}
+
+#[test]
+fn docking_is_bit_identical_across_thread_counts() {
+    let lig = &test_ligands(1)[0];
+    let pocket = BindingPocket::generate(TargetSite::Spike1, 13);
+    let cfg = DockConfig { mc_restarts: 8, mc_steps: 50, ..DockConfig::default() };
+    assert_thread_invariant("dock", || {
+        dock(&cfg, lig, &pocket, 99)
+            .into_iter()
+            .map(|p| (p.rank, p.vina.to_bits(), p.ligand))
+            .collect::<Vec<(usize, u64, Molecule)>>()
+    });
+}
+
+#[test]
+fn fusion_scoring_is_bit_identical_across_thread_counts() {
+    use dffusion::config::{Cnn3dConfig, FusionConfig, FusionKind, SgCnnConfig};
+    use dffusion::fusion::FusionModel;
+
+    let mut params = ParamStore::new();
+    let voxel = VoxelConfig { grid_dim: 8, resolution: 2.0 };
+    let sg = SgCnnConfig {
+        covalent_gather_width: 4,
+        noncovalent_gather_width: 6,
+        covalent_k: 1,
+        noncovalent_k: 1,
+        ..SgCnnConfig::table2()
+    };
+    let cnn = Cnn3dConfig {
+        conv_filters_1: 4,
+        conv_filters_2: 4,
+        num_dense_nodes: 8,
+        ..Cnn3dConfig::table3()
+    };
+    let model = FusionModel::new(
+        &FusionConfig { num_dense_nodes: 8, ..FusionConfig::small(FusionKind::Coherent) },
+        &sg,
+        &cnn,
+        &voxel,
+        &mut params,
+        5,
+    );
+    let factory =
+        FusionScorerFactory { model, params, voxel, graph: GraphConfig::default(), batch_size: 3 };
+    let poses = test_ligands(7);
+    let pocket = BindingPocket::generate(TargetSite::Spike2, 17);
+    assert_thread_invariant("fusion scorer", || {
+        factory
+            .build()
+            .score_poses(&poses, &pocket)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<u64>>()
+    });
+}
+
+#[test]
+fn evaluation_jobs_are_bit_identical_across_thread_counts() {
+    let spec = JobSpec {
+        job_id: 77,
+        target: TargetSite::Spike1,
+        library: dfchem::genmol::Library::EnamineVirtual,
+        first_compound: 0,
+        num_compounds: 10,
+        campaign_seed: 5,
+        attempt: 0,
+    };
+    assert_thread_invariant("run_job", || {
+        let dir = std::env::temp_dir().join(format!(
+            "dfdet_job_{}_{}",
+            std::process::id(),
+            dfpool::current().threads()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = JobConfig {
+            nodes: 2,
+            ranks_per_node: 2,
+            batch_size: 4,
+            output_dir: dir.clone(),
+            faults: Default::default(),
+        };
+        let out = run_job(
+            &cfg,
+            &spec,
+            &VinaScorerFactory,
+            &SyntheticPoseSource { poses_per_compound: 3 },
+        )
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        // Record identity including score bits; `ScoreRecord: PartialEq`
+        // compares `f64` scores exactly.
+        out.records.iter().map(|r| (*r, r.score.to_bits())).collect::<Vec<(ScoreRecord, u64)>>()
+    });
+}

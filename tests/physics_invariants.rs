@@ -60,12 +60,7 @@ fn mmgbsa_score_is_rigid_motion_invariant() {
     let rot = Rotation::about_axis(Vec3::new(0.0, 1.0, 1.0), -0.7);
     let (lig2, pocket2) = transform_complex(&lig, &pocket, &rot, Vec3::new(-3.0, 11.0, 0.4));
     let moved = mmgbsa_score(&cfg, &lig2, &pocket2);
-    assert!(
-        (base.total - moved.total).abs() < 1e-6,
-        "{} vs {}",
-        base.total,
-        moved.total
-    );
+    assert!((base.total - moved.total).abs() < 1e-6, "{} vs {}", base.total, moved.total);
 }
 
 #[test]

@@ -40,7 +40,7 @@ proptest! {
                 let sq = g.square(h);
                 g.mean_all(sq)
             })
-            .map_err(|e| TestCaseError::fail(e))?;
+            .map_err(TestCaseError::fail)?;
     }
 
     /// Dropout in eval mode is exactly the identity for any rate.
@@ -72,7 +72,7 @@ proptest! {
 
     /// Rotation about the centroid preserves all pairwise distances.
     #[test]
-    fn rotation_preserves_internal_distances(seed in 0u64..200, angle in 0.0f64..6.28) {
+    fn rotation_preserves_internal_distances(seed in 0u64..200, angle in 0.0f64..std::f64::consts::TAU) {
         let m = deepfusion::chem::generate_molecule(&Default::default(), "m", seed);
         let mut rotated = m.clone();
         rotated.rotate_about_centroid(&Rotation::about_axis(Vec3::new(1.0, 2.0, 3.0), angle));

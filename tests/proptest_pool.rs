@@ -1,0 +1,90 @@
+//! Property-based tests for the `dfpool` work-stealing runtime.
+//!
+//! The pool's determinism contract — ordered collection, serial in-order
+//! reduction — must hold for **every** combination of input length, chunk
+//! granularity and thread count, not just the sizes the hot paths happen
+//! to use. These properties drive the primitives across that whole space
+//! and require exact equality with the serial reference.
+
+use dfpool::Pool;
+use proptest::prelude::*;
+
+/// A deliberately ugly per-index value: non-monotonic, sign-flipping and
+/// irrational-ish, so reordered float accumulation would actually differ.
+fn probe(i: usize) -> f64 {
+    let x = i as f64;
+    (x * 0.7391 + 1.3).sin() * (x + 0.5).sqrt() * if i.is_multiple_of(3) { -1.0 } else { 1.0 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `parallel_map_reduce` equals the serial fold **bit-for-bit** for
+    /// arbitrary lengths, chunk sizes and thread counts, even though
+    /// float addition is non-associative.
+    #[test]
+    fn map_reduce_equals_serial_fold(
+        len in 0usize..400,
+        min_chunk in 1usize..64,
+        threads in 1usize..5,
+    ) {
+        let serial = (0..len).map(probe).fold(0.125f64, |a, v| a + v);
+        let pooled = Pool::new(threads)
+            .parallel_map_reduce(len, min_chunk, probe, 0.125f64, |a, v| a + v);
+        prop_assert_eq!(serial.to_bits(), pooled.to_bits());
+    }
+
+    /// The fold is applied left-to-right by index: with a non-commutative
+    /// fold the result encodes the exact visit order.
+    #[test]
+    fn map_reduce_folds_in_index_order(
+        len in 0usize..200,
+        min_chunk in 1usize..32,
+        threads in 1usize..5,
+    ) {
+        let pooled = Pool::new(threads).parallel_map_reduce(
+            len,
+            min_chunk,
+            |i| i,
+            Vec::new(),
+            |mut acc: Vec<usize>, v| { acc.push(v); acc },
+        );
+        let serial: Vec<usize> = (0..len).collect();
+        prop_assert_eq!(pooled, serial);
+    }
+
+    /// `parallel_map` returns results positioned by input index.
+    #[test]
+    fn map_is_ordered_by_index(
+        len in 0usize..200,
+        min_chunk in 1usize..64,
+        threads in 1usize..5,
+    ) {
+        let out = Pool::new(threads).parallel_map(len, min_chunk, |i| i * i + 1);
+        prop_assert_eq!(out, (0..len).map(|i| i * i + 1).collect::<Vec<usize>>());
+    }
+
+    /// `parallel_for_chunked` covers 0..len exactly once with contiguous,
+    /// non-overlapping ranges regardless of granularity and thread count.
+    #[test]
+    fn chunked_ranges_partition_the_input(
+        len in 0usize..200,
+        min_chunk in 1usize..64,
+        threads in 1usize..5,
+    ) {
+        use std::sync::Mutex;
+        let ranges: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
+        Pool::new(threads).parallel_for_chunked(len, min_chunk, |r| {
+            ranges.lock().unwrap().push((r.start, r.end));
+        });
+        let mut got = ranges.into_inner().unwrap();
+        got.sort_unstable();
+        let mut next = 0usize;
+        for (s, e) in got {
+            prop_assert_eq!(s, next, "gap or overlap at {}", s);
+            prop_assert!(e > s, "empty chunk");
+            next = e;
+        }
+        prop_assert_eq!(next, len, "coverage stops early");
+    }
+}

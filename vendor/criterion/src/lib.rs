@@ -1,0 +1,188 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/type surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion`, `BenchmarkGroup`,
+//! `BenchmarkId`, `Bencher`) backed by a plain `std::time::Instant` timing
+//! loop: a short warm-up, then `sample_size` timed samples, reporting
+//! mean/min per iteration to stderr. No statistical analysis, plots, or
+//! saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        BenchmarkId { id: format!("{name}/{p}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Runs the closure under the timing loop.
+pub struct Bencher {
+    sample_size: usize,
+    /// (total over all samples, best single sample), per-iteration.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: one untimed call.
+        black_box(f());
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            total += dt;
+            best = best.min(dt);
+        }
+        self.result = Some((total, best));
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { sample_size, result: None };
+    f(&mut b);
+    match b.result {
+        Some((total, best)) => {
+            let mean = total / sample_size.max(1) as u32;
+            eprintln!(
+                "bench {label:<40} mean {mean:>12.3?}  min {best:>12.3?}  ({sample_size} samples)"
+            );
+        }
+        None => eprintln!("bench {label:<40} (no iter() call)"),
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { name: name.into(), criterion: self, sample_size }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.default_sample_size, f);
+        self
+    }
+
+    /// Accepted for CLI compatibility; filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+        let mut c = Criterion::default();
+        c.bench_function("top_level", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

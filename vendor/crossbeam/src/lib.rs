@@ -1,0 +1,290 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the subset of the real crate's API this workspace uses, built
+//! on `std` primitives:
+//!
+//! * [`thread::scope`] / [`scope`] — scoped threads whose closures receive
+//!   the scope (so they can spawn siblings), with crossbeam's
+//!   panic-as-`Err` result semantics.
+//! * [`channel::unbounded`] — an MPMC channel (cloneable receiver).
+//! * [`deque`] — `Worker` / `Stealer` / `Injector` work-stealing deques
+//!   (lock-based, identical observable semantics at the granularity the
+//!   `dfpool` runtime schedules at).
+
+pub mod thread;
+
+pub use thread::scope;
+
+pub mod channel {
+    //! MPMC channel built over `std::sync::mpsc` with a mutex-shared
+    //! receiver, matching `crossbeam_channel::unbounded`'s clone-and-share
+    //! usage in this workspace.
+
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// Cloneable sending half.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Cloneable receiving half (consumers compete for messages).
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().expect("channel receiver poisoned").recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.lock().expect("channel receiver poisoned").try_recv()
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques with the `crossbeam_deque` API shape.
+    //!
+    //! The implementation is a mutex-guarded `VecDeque` per queue rather
+    //! than the lock-free Chase–Lev algorithm; the `dfpool` runtime
+    //! schedules coarse chunk-sized tasks, so queue operations are far off
+    //! the critical path and the simple implementation is observably
+    //! equivalent (including the LIFO-owner / FIFO-stealer discipline).
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+    }
+
+    /// Owner side of a work-stealing deque: LIFO push/pop at the front.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Default for Worker<T> {
+        fn default() -> Self {
+            Self::new_lifo()
+        }
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Stealer handle observing the opposite end of this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque poisoned").push_front(task);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("deque poisoned").pop_front()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque poisoned").is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("deque poisoned").len()
+        }
+    }
+
+    /// Thief side: FIFO steal from the back.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque poisoned").pop_back() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// Shared FIFO injection queue feeding a pool of workers.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector poisoned").push_back(task);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let out = crate::scope(|s| {
+            let h = s.spawn(|_| 40 + 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn scope_reports_unjoined_panic_as_err() {
+        let r = crate::scope(|s| {
+            s.spawn(|_| panic!("child goes down"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = crate::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 7usize);
+                h2.join().unwrap()
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn channel_fan_in_fan_out() {
+        let (tx, rx) = crate::channel::unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<usize> = Vec::new();
+        crate::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move |_| {
+                        let mut local = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            local.push(v);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                got.extend(h.join().unwrap());
+            }
+        })
+        .unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deque_owner_lifo_stealer_fifo() {
+        let w: Worker<u32> = Worker::new_lifo();
+        let st = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        // Owner pops most-recent first.
+        assert_eq!(w.pop(), Some(3));
+        // Thief steals oldest first.
+        assert!(matches!(st.steal(), Steal::Success(1)));
+        assert_eq!(w.pop(), Some(2));
+        assert!(st.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj: Injector<u8> = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert!(matches!(inj.steal(), Steal::Success(1)));
+        assert!(matches!(inj.steal(), Steal::Success(2)));
+        assert!(inj.steal().is_empty());
+    }
+}

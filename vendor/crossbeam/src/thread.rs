@@ -1,0 +1,84 @@
+//! Scoped threads with crossbeam's API shape, over `std::thread::scope`.
+//!
+//! Differences from `std`: the spawn closure receives the scope (so spawned
+//! threads can spawn siblings), and a panic in an unjoined child surfaces
+//! as an `Err` from [`scope`] instead of a propagated panic.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Panic payload of a child thread.
+pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A scope handle; `'env` is the environment borrowed by spawned closures.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    // Owned (not borrowed) so the handle stays valid for any 'scope the
+    // higher-ranked closure bound demands.
+    panics: Arc<Mutex<Option<Box<dyn Any + Send + 'static>>>>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        Scope { inner: self.inner, panics: Arc::clone(&self.panics) }
+    }
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the child; `Err` carries a generic payload if it panicked
+    /// (the original payload is kept for the scope-level result).
+    pub fn join(self) -> Result<T> {
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(Box::new("scoped thread panicked")),
+            Err(p) => Err(p),
+        }
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread whose closure receives the scope.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let me = self.clone();
+        let panics = Arc::clone(&self.panics);
+        let inner = self.inner.spawn(move || match catch_unwind(AssertUnwindSafe(|| f(&me))) {
+            Ok(v) => Some(v),
+            Err(p) => {
+                let mut slot = panics.lock().expect("panic store poisoned");
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+                None
+            }
+        });
+        ScopedJoinHandle { inner }
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-environment threads can be
+/// spawned; joins them all, returning `Err` with the first child panic.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let panics: Arc<Mutex<Option<Box<dyn Any + Send + 'static>>>> = Arc::new(Mutex::new(None));
+    let result = std::thread::scope(|s| {
+        let scope = Scope { inner: s, panics: Arc::clone(&panics) };
+        f(&scope)
+    });
+    let first_panic = panics.lock().expect("panic store poisoned").take();
+    match first_panic {
+        Some(p) => Err(p),
+        None => Ok(result),
+    }
+}

@@ -1,0 +1,337 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(..)]` header, range strategies over ints and
+//! floats, `collection::vec`, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`
+//! and [`test_runner::TestCaseError`]. Case generation is deterministic:
+//! each case's seed derives from the test name and case index, so failures
+//! reproduce exactly.
+//!
+//! Unlike the real crate there is no shrinking — a failing case reports its
+//! inputs as generated.
+
+pub mod test_runner {
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case violated a property; the run fails.
+        Fail(String),
+        /// The case was rejected by `prop_assume!`; it is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl std::fmt::Display) -> Self {
+            TestCaseError::Fail(msg.to_string())
+        }
+
+        pub fn reject(msg: impl std::fmt::Display) -> Self {
+            TestCaseError::Reject(msg.to_string())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+            }
+        }
+    }
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Deterministic case-generation RNG (splitmix64 stream).
+#[derive(Debug, Clone)]
+pub struct CaseRng {
+    state: u64,
+}
+
+impl CaseRng {
+    /// Seeds from the test name and case index so every case is reproducible.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        CaseRng { state: h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Generates values of `Self::Value` from a [`CaseRng`].
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut CaseRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut CaseRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut CaseRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut CaseRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+/// Always produces a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut CaseRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    use super::{CaseRng, Strategy};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut CaseRng) -> Vec<S::Value> {
+            let len = Strategy::sample(&self.size, rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Just, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("prop_assert!(", stringify!($cond), ") failed"),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "prop_assert_eq!({}, {}) failed: {:?} != {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "prop_assert_eq!({}, {}) failed: {:?} != {:?}: {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("prop_assume!(", stringify!($cond), ") failed"),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($cfg); $($rest)* }
+    };
+    // Internal: expand each test fn against the chosen config.
+    (@run ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            // Cap rejections like the real runner, so a bad prop_assume!
+            // cannot loop forever.
+            let __max_attempts = __config.cases.saturating_mul(16).max(1024);
+            while __passed < __config.cases {
+                assert!(
+                    __attempts < __max_attempts,
+                    "[{}] too many rejected cases ({} attempts)",
+                    stringify!($name),
+                    __attempts
+                );
+                let mut __rng = $crate::CaseRng::for_case(stringify!($name), __attempts);
+                __attempts += 1;
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+),
+                    $(&$arg),+
+                );
+                let __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                match __case() {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "[{}] case #{} failed: {}\n  inputs: {}",
+                            stringify!($name),
+                            __attempts - 1,
+                            __msg,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    // Without a config header.
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Int ranges stay in bounds.
+        #[test]
+        fn int_in_bounds(x in 3u64..17, y in -5i32..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        /// Vec strategy respects element and size bounds.
+        #[test]
+        fn vec_in_bounds(v in crate::collection::vec(-1.0f64..1.0, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            for x in &v {
+                prop_assert!((-1.0..1.0).contains(x));
+            }
+            prop_assert_eq!(v.len(), v.len());
+        }
+
+        /// prop_assume rejects without failing.
+        #[test]
+        fn assume_filters(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn runs_the_macro_tests() {
+        int_in_bounds();
+        vec_in_bounds();
+        assume_filters();
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = crate::CaseRng::for_case("t", 7);
+        let mut b = crate::CaseRng::for_case("t", 7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,461 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` without syn/quote.
+//!
+//! Parses the item's `TokenStream` directly. Supported shapes — the ones
+//! this workspace uses — are non-generic structs (named, tuple, unit) and
+//! enums whose variants are unit, tuple, or struct-like. `#[serde(...)]`
+//! attributes are not supported (none exist in-tree); generics produce a
+//! compile error rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error tokens")
+}
+
+// ---------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------
+
+/// Skips `#[...]` / `#![...]` attribute groups starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Punct(p2)) = tokens.get(i) {
+                    if p2.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 1,
+                    _ => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Extracts field names from a named-field brace group's tokens.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        i = skip_vis(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found `{other}`")),
+        }
+        // Consume the type: everything until a top-level comma, tracking
+        // angle-bracket depth (commas inside `<...>` belong to the type).
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts top-level comma-separated entries in a tuple field list.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&inner)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found `{other:?}`")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` is not supported by the vendored derive"));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::NamedStruct { name, fields: parse_named_fields(&inner)? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::TupleStruct { name, arity: count_tuple_fields(&inner) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: `{other:?}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::Enum { name, variants: parse_variants(&inner)? })
+            }
+            other => Err(format!("unsupported enum body: `{other:?}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::value::Value {{\n\
+                         serde::value::Value::Map(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> =
+                    (0..*arity).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+                format!("serde::value::Value::Seq(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::value::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::value::Value {{ serde::value::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => serde::value::Value::Str(::std::string::String::from({vn:?})),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("serde::value::Value::Seq(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => serde::value::Value::Map(vec![(::std::string::String::from({vn:?}), {inner})]),",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => serde::value::Value::Map(vec![(::std::string::String::from({vn:?}), serde::value::Value::Map(vec![{}]))]),",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::value::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_named_fields_ctor(path: &str, fields: &[String], map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_value(serde::value::get({map_expr}, {f:?}).unwrap_or(&serde::value::Value::Null)).map_err(|e| serde::DeError(format!(\"{path}.{f}: {{}}\", e.0)))?"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let ctor = gen_named_fields_ctor(name, fields, "__m");
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::value::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                         let __m = __v.as_map().ok_or_else(|| serde::DeError::expected(\"map\", {name:?}))?;\n\
+                         ::std::result::Result::Ok({ctor})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("serde::Deserialize::from_value(&__s[{i}])?"))
+                    .collect();
+                format!(
+                    "let __s = __v.as_seq().ok_or_else(|| serde::DeError::expected(\"sequence\", {name:?}))?;\n\
+                     if __s.len() != {arity} {{ return ::std::result::Result::Err(serde::DeError::custom(format!(\"{name}: expected {arity} elements, got {{}}\", __s.len()))); }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::value::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &serde::value::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => ::std::result::Result::Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) => {
+                            let body = if *arity == 1 {
+                                format!(
+                                    "::std::result::Result::Ok({name}::{vn}(serde::Deserialize::from_value(__inner)?))"
+                                )
+                            } else {
+                                let items: Vec<String> = (0..*arity)
+                                    .map(|i| format!("serde::Deserialize::from_value(&__s[{i}])?"))
+                                    .collect();
+                                format!(
+                                    "{{ let __s = __inner.as_seq().ok_or_else(|| serde::DeError::expected(\"sequence\", {vn:?}))?;\n\
+                                       if __s.len() != {arity} {{ return ::std::result::Result::Err(serde::DeError::custom(format!(\"{name}::{vn}: expected {arity} elements, got {{}}\", __s.len()))); }}\n\
+                                       ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                    items.join(", ")
+                                )
+                            };
+                            Some(format!("{vn:?} => {body},"))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let ctor = gen_named_fields_ctor(&format!("{name}::{vn}"), fields, "__fm");
+                            Some(format!(
+                                "{vn:?} => {{ let __fm = __inner.as_map().ok_or_else(|| serde::DeError::expected(\"map\", {vn:?}))?;\n\
+                                   ::std::result::Result::Ok({ctor}) }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::value::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                         match __v {{\n\
+                             serde::value::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {}\n\
+                                 __other => ::std::result::Result::Err(serde::DeError::custom(format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                             }},\n\
+                             serde::value::Value::Map(__m) if __m.len() == 1 => {{\n\
+                                 let (__k, __inner) = &__m[0];\n\
+                                 match __k.as_str() {{\n\
+                                     {}\n\
+                                     __other => ::std::result::Result::Err(serde::DeError::custom(format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(serde::DeError::expected(\"enum representation\", __other.kind())),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated Serialize impl parses"),
+        Err(e) => compile_error(&format!("#[derive(Serialize)]: {e}")),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated Deserialize impl parses"),
+        Err(e) => compile_error(&format!("#[derive(Deserialize)]: {e}")),
+    }
+}
