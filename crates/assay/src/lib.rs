@@ -6,6 +6,12 @@
 //! * [`ampl`] — the AMPL-style per-target MM/GBSA surrogate;
 //! * [`campaign`] — screen → cost-function down-select → test;
 //! * [`analysis`] — Figure 4, Table 8 and Figure 5 computations.
+//!
+//! Assay noise, confounders and activity profiles all derive from
+//! explicit `u64` seeds, so a campaign's wet-lab leg reproduces
+//! bit-for-bit. The screening legs it drives (docking, HTS jobs) are
+//! instrumented via `dftrace` when `DFTRACE=1`; see
+//! `docs/OBSERVABILITY.md`.
 
 pub mod ampl;
 pub mod analysis;

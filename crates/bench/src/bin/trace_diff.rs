@@ -1,0 +1,28 @@
+//! Diffs two `RUN_TRACE.json` files produced by `trace_report` (or any
+//! `dftrace::write_run_trace` call): span total-time ratios, counter
+//! deltas and histogram count/mean shifts, one line per metric.
+//!
+//! ```sh
+//! cargo run --release -p dfbench --bin trace_diff -- before.json after.json
+//! ```
+
+use dftrace::Report;
+
+fn load(path: &str) -> Report {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    Report::from_json(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [before, after] = args.as_slice() else {
+        eprintln!("usage: trace_diff <before.json> <after.json>");
+        std::process::exit(2);
+    };
+    let b = load(before);
+    let a = load(after);
+    if b.version != a.version {
+        eprintln!("warning: schema versions differ ({} vs {})", b.version, a.version);
+    }
+    print!("{}", b.diff(&a));
+}

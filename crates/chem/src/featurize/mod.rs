@@ -24,6 +24,8 @@ pub fn voxelize_batch(
     ligands: &[&Molecule],
     pocket: &BindingPocket,
 ) -> Vec<Tensor> {
+    let _t = dftrace::span("chem.voxelize_batch");
+    dftrace::counter_add("chem.compounds_voxelized", ligands.len() as u64);
     dfpool::current().parallel_map(ligands.len(), 1, |i| voxelize(cfg, ligands[i], pocket))
 }
 
@@ -34,5 +36,7 @@ pub fn build_graph_batch(
     ligands: &[&Molecule],
     pocket: &BindingPocket,
 ) -> Vec<MolGraph> {
+    let _t = dftrace::span("chem.graph_batch");
+    dftrace::counter_add("chem.compounds_graphed", ligands.len() as u64);
     dfpool::current().parallel_map(ligands.len(), 1, |i| build_graph(cfg, ligands[i], pocket))
 }

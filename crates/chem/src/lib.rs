@@ -11,7 +11,7 @@
 //!   targets (protease1/2, spike1/2);
 //! * [`featurize`] — voxel grids for the 3D-CNN and spatial graphs for the
 //!   SG-CNN;
-//! * [`rmsd`] — pose-similarity metrics used by the docking filters.
+//! * [`mod@rmsd`] — pose-similarity metrics used by the docking filters.
 
 pub mod descriptors;
 pub mod element;

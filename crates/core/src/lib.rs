@@ -6,7 +6,7 @@
 //! * [`fusion`] — Late / Mid-level / **Coherent** fusion (the coherently
 //!   back-propagated formulation introduced by the paper),
 //! * [`config`] — hyper-parameter structs mirroring Tables 1–5,
-//! * [`train`] — MSE training with best-validation snapshotting,
+//! * [`mod@train`] — MSE training with best-validation snapshotting,
 //! * [`batch_graph`] — PyG-style graph batching.
 
 pub mod batch_graph;

@@ -123,26 +123,40 @@ pub fn train(
     let mut best_snapshot = ps.snapshot();
 
     for epoch in 0..cfg.epochs {
+        let _epoch_span = dftrace::span("train.epoch");
         // --- Train ---
         let mut train_sum = 0.0f64;
         let mut train_n = 0usize;
         for batch in train_loader.epoch(dftensor::rng::derive_seed(cfg.seed, epoch as u64)) {
             let mut g = Graph::new();
-            let pred = model.forward_batch(&mut g, ps, &batch, true);
-            let target = g.input(batch.labels.clone());
-            let loss = g.mse_loss(pred, target);
-            let l = g.value(loss).item() as f64;
+            let (loss, l) = {
+                let _s = dftrace::span("fwd");
+                let pred = model.forward_batch(&mut g, ps, &batch, true);
+                let target = g.input(batch.labels.clone());
+                let loss = g.mse_loss(pred, target);
+                let l = g.value(loss).item() as f64;
+                (loss, l)
+            };
             train_sum += l * batch.len() as f64;
             train_n += batch.len();
-            ps.zero_grad();
-            g.backward(loss).accumulate_into(ps);
-            if cfg.clip_norm > 0.0 {
-                ps.clip_grad_norm(cfg.clip_norm);
+            {
+                let _s = dftrace::span("bwd");
+                ps.zero_grad();
+                g.backward(loss).accumulate_into(ps);
             }
-            opt.step(ps);
+            {
+                let _s = dftrace::span("opt");
+                if cfg.clip_norm > 0.0 {
+                    ps.clip_grad_norm(cfg.clip_norm);
+                }
+                opt.step(ps);
+            }
+            dftrace::counter_add("train.batches", 1);
+            dftrace::counter_add("train.samples", batch.len() as u64);
         }
 
         // --- Validate ---
+        let _val_span = dftrace::span("val");
         let (val_preds, val_labels) = predict(model, ps, val_loader);
         let val_mse = mse(&val_preds, &val_labels);
         if val_mse < best_val {

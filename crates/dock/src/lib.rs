@@ -7,6 +7,13 @@
 //! ([`conveyor`]). These are both the substrate that produces docked poses
 //! for the fusion models and the baselines they are compared against
 //! (Figure 2, Table 8, the §4.2 throughput comparison).
+//!
+//! Search fans its MC restarts out over the global `dfpool` runtime (size
+//! it with `DFPOOL_THREADS`) and is bit-deterministic for a given seed at
+//! any thread count. With `DFTRACE=1` it reports `dock.search` /
+//! `dock.mc_chain` spans and `dock.mc.steps` / `dock.mc.accepts` /
+//! `dock.compounds` counters (acceptance rate = accepts ÷ steps); see
+//! `docs/OBSERVABILITY.md`.
 
 pub mod conveyor;
 pub mod flex;

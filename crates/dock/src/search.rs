@@ -55,6 +55,8 @@ pub struct Pose {
 /// Docks a ligand into a pocket, returning up to `num_poses` poses ordered
 /// best-first. Deterministic given the seed.
 pub fn dock(cfg: &DockConfig, ligand: &Molecule, pocket: &BindingPocket, seed: u64) -> Vec<Pose> {
+    let _t = dftrace::span("dock.search");
+    dftrace::counter_add("dock.compounds", 1);
     // Each chain owns an RNG derived from (seed, chain) and never touches
     // shared state, so the chains fan out over the current pool; collecting
     // by chain index keeps `candidates` bit-identical to the serial loop.
@@ -85,6 +87,10 @@ fn run_chain(
     seed: u64,
     chain: usize,
 ) -> (Molecule, f64) {
+    // Chains run as pool jobs, so this span lands on the executing worker's
+    // shard; steps/s = dock.mc.steps / the dock.mc_chain span total.
+    let _t = dftrace::span("dock.mc_chain");
+    let mut accepts: u64 = 0;
     let mut r = rng(derive_seed(seed, chain as u64));
     // Random initial placement inside the cavity.
     let mut pose = ligand.clone();
@@ -123,6 +129,7 @@ fn run_chain(
         let accept =
             next_score < cur_score || r.gen::<f64>() < ((cur_score - next_score) / t).exp();
         if accept {
+            accepts += 1;
             cur = next;
             cur_score = next_score;
             if cur_score < best_score {
@@ -131,6 +138,8 @@ fn run_chain(
             }
         }
     }
+    dftrace::counter_add("dock.mc.steps", cfg.mc_steps as u64);
+    dftrace::counter_add("dock.mc.accepts", accepts);
     (best, best_score)
 }
 

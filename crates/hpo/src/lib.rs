@@ -5,6 +5,13 @@
 //! process ([`gp`]) and the Population-Based Bandits scheduler ([`pb2`])
 //! with parallel trial execution, quantile-gated exploit/explore and
 //! LSF-style checkpoint/resume.
+//!
+//! Trials execute concurrently on the global `dfpool` runtime
+//! (`DFPOOL_THREADS`) and a search is bit-reproducible from its seed:
+//! exploit/explore decisions, GP fits and checkpoints do not depend on
+//! scheduling order. Trial workloads that touch instrumented crates
+//! (training, docking) surface their telemetry under `DFTRACE=1` like any
+//! other caller; see `docs/OBSERVABILITY.md`.
 
 pub mod gp;
 pub mod pb2;

@@ -51,6 +51,10 @@ impl<T: Clone + Send> Communicator<T> {
     /// communicator is reusable for successive rounds.
     pub fn allgather(&self, rank: usize, data: Vec<T>) -> Vec<T> {
         assert!(rank < self.size, "rank {rank} out of range ({} ranks)", self.size);
+        // Time from arrival to holding the gathered result: for early ranks
+        // this is dominated by waiting on stragglers, so the histogram's
+        // spread is a direct straggler-skew signal.
+        let arrival = (dftrace::enabled()).then(std::time::Instant::now);
         let mut st = self.state.lock();
         let my_generation = st.generation;
         // Wait for the previous round to fully drain (slow rank re-entry).
@@ -75,6 +79,10 @@ impl<T: Clone + Send> Communicator<T> {
             }
         }
 
+        if let Some(arrival) = arrival {
+            dftrace::observe_duration("hts.allgather_wait_us", arrival.elapsed());
+            dftrace::counter_add("hts.allgathers", 1);
+        }
         let out = st.result.as_ref().expect("result published").as_ref().clone();
         st.taken += 1;
         if st.taken == self.size {

@@ -140,22 +140,16 @@ pub struct JobTiming {
 }
 
 impl JobTiming {
-    /// Measured poses/second over the full job lifetime.
+    /// Measured poses/second over the full job lifetime (via the shared
+    /// [`dftrace::rate`] implementation).
     pub fn poses_per_sec(&self) -> f64 {
         let total = (self.startup + self.evaluate + self.output).as_secs_f64();
-        if total == 0.0 {
-            return 0.0;
-        }
-        self.poses_evaluated as f64 / total
+        dftrace::rate::per_sec(self.poses_evaluated as f64, total)
     }
 
     /// Measured poses/second during the evaluation phase only.
     pub fn eval_poses_per_sec(&self) -> f64 {
-        let t = self.evaluate.as_secs_f64();
-        if t == 0.0 {
-            return 0.0;
-        }
-        self.poses_evaluated as f64 / t
+        dftrace::rate::per_sec(self.poses_evaluated as f64, self.evaluate.as_secs_f64())
     }
 }
 
@@ -176,9 +170,13 @@ pub fn run_job(
     scorer_factory: &dyn ScorerFactory,
     source: &dyn PoseSource,
 ) -> Result<JobOutput, JobError> {
+    let _job_span = dftrace::span("hts.job");
     let start = Instant::now();
     let injector = FaultInjector::new(cfg.faults);
     let num_ranks = cfg.num_ranks();
+    // Per-rank wall times for straggler-skew accounting; only collected
+    // when tracing is on (write-only telemetry, never read back).
+    let rank_times: Mutex<Vec<f64>> = Mutex::new(Vec::new());
 
     // Startup phase: receptor preparation happens once per job.
     let pocket = BindingPocket::generate(spec.target, spec.campaign_seed);
@@ -210,7 +208,9 @@ pub fn run_job(
             let faults = &faults;
             let rank_outputs = &rank_outputs;
             let pool = pool.clone();
+            let rank_times = &rank_times;
             s.spawn(move |_| {
+                let rank_start = Instant::now();
                 let records = pool.install(|| {
                     rank_records(cfg, spec, scorer_factory, source, &injector, faults, pocket, rank)
                 });
@@ -235,6 +235,11 @@ pub fn run_job(
                 w.write_chunk("predictions", &mine).expect("write predictions");
                 let path = w.finish().expect("flush rank output");
                 *rank_outputs[rank].lock() = Some((all, path));
+                if dftrace::enabled() {
+                    let elapsed = rank_start.elapsed();
+                    dftrace::observe_duration("hts.rank_us", elapsed);
+                    rank_times.lock().push(elapsed.as_secs_f64());
+                }
             });
         }
     })
@@ -255,6 +260,18 @@ pub fn run_job(
     let output = out_start.elapsed();
 
     let poses_evaluated = records.len();
+    dftrace::counter_add("hts.poses", poses_evaluated as u64);
+    if dftrace::enabled() {
+        // Straggler skew: slowest rank over mean rank time (1.0 = perfectly
+        // balanced). Gauge holds the most recent job's value; the full
+        // distribution is in the hts.rank_us histogram.
+        let times = rank_times.lock();
+        let mean = dftrace::rate::mean(times.iter().sum::<f64>(), times.len() as f64);
+        if mean > 0.0 {
+            let max = times.iter().cloned().fold(0.0f64, f64::max);
+            dftrace::gauge_set("hts.rank_skew", max / mean);
+        }
+    }
     Ok(JobOutput {
         job_id: spec.job_id,
         records,

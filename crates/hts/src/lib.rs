@@ -12,7 +12,17 @@
 //! * [`allgather`] — MPI-style collectives over rank threads;
 //! * [`h5lite`] — the chunked binary result format standing in for HDF5;
 //! * [`throughput`] — measured rates plus the calibrated Lassen model
-//!   behind Table 7 and the §4.2 speedups.
+//!   behind Table 7 and the §4.2 speedups. All rate arithmetic routes
+//!   through `dftrace::rate`, the workspace's single compounds/s
+//!   implementation.
+//!
+//! Jobs run their ranks as real threads; inner parallel loops use the
+//! global `dfpool` runtime (`DFPOOL_THREADS`). Campaigns are
+//! bit-reproducible from a `u64` seed, including injected faults and
+//! retries. With `DFTRACE=1` the scheduler and jobs report `hts.campaign`
+//! / `hts.job` spans, `hts.job_us` / `hts.rank_us` /
+//! `hts.allgather_wait_us` latency histograms and the `hts.rank_skew`
+//! straggler gauge; see `docs/OBSERVABILITY.md`.
 
 pub mod allgather;
 pub mod cluster;

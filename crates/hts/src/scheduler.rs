@@ -44,13 +44,10 @@ impl CampaignReport {
         self.outputs.iter().map(|o| o.timing.poses_evaluated).sum()
     }
 
-    /// Aggregate poses/second over the campaign's wall time.
+    /// Aggregate poses/second over the campaign's wall time (via the
+    /// shared [`dftrace::rate`] implementation).
     pub fn poses_per_sec(&self) -> f64 {
-        let t = self.wall_time.as_secs_f64();
-        if t == 0.0 {
-            return 0.0;
-        }
-        self.total_poses() as f64 / t
+        dftrace::rate::per_sec(self.total_poses() as f64, self.wall_time.as_secs_f64())
     }
 }
 
@@ -62,6 +59,7 @@ pub fn run_campaign(
     factory: &dyn ScorerFactory,
     source: &dyn PoseSource,
 ) -> CampaignReport {
+    let _campaign_span = dftrace::span("hts.campaign");
     let start = Instant::now();
     let queue: Mutex<VecDeque<JobSpec>> = Mutex::new(specs.into());
     let outputs: Mutex<Vec<JobOutput>> = Mutex::new(Vec::new());
@@ -72,9 +70,16 @@ pub fn run_campaign(
         for _ in 0..sched.max_parallel_jobs.max(1) {
             s.spawn(|_| loop {
                 let Some(spec) = queue.lock().pop_front() else { break };
-                match run_job(job_cfg, &spec, factory, source) {
-                    Ok(out) => outputs.lock().push(out),
+                let job_start = Instant::now();
+                let result = run_job(job_cfg, &spec, factory, source);
+                dftrace::observe_duration("hts.job_us", job_start.elapsed());
+                match result {
+                    Ok(out) => {
+                        dftrace::counter_add("hts.jobs_completed", 1);
+                        outputs.lock().push(out)
+                    }
                     Err(JobError::NodeFailure { .. }) => {
+                        dftrace::counter_add("hts.jobs_failed", 1);
                         failed_attempts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let mut retry = spec;
                         retry.attempt += 1;
@@ -93,12 +98,16 @@ pub fn run_campaign(
 
     let mut outputs = outputs.into_inner();
     outputs.sort_by_key(|o| o.job_id);
-    CampaignReport {
+    let report = CampaignReport {
         outputs,
         abandoned: abandoned.into_inner(),
         failed_attempts: failed_attempts.into_inner(),
         wall_time: start.elapsed(),
-    }
+    };
+    // Same rate implementation the Table 7 model uses (dftrace::rate), so
+    // the tracer and the throughput report can never disagree.
+    dftrace::gauge_set("hts.poses_per_sec", report.poses_per_sec());
+    report
 }
 
 #[cfg(test)]

@@ -235,11 +235,7 @@ pub fn simulate_campaign(sim: &CampaignSim) -> CampaignSimReport {
         jobs_completed,
         jobs_rescheduled,
         wall_hours,
-        mean_poses_per_sec: if wall_hours > 0.0 {
-            completed_poses as f64 / (wall_hours * 3600.0)
-        } else {
-            0.0
-        },
+        mean_poses_per_sec: dftrace::rate::per_sec(completed_poses as f64, wall_hours * 3600.0),
         peak_poses_per_sec: peak,
         slot_utilization: if allotted_slot_hours > 0.0 {
             busy_slot_hours / allotted_slot_hours

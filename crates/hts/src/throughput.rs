@@ -11,6 +11,10 @@
 //!   factor* maps measured CPU rank throughput onto the modeled GPU rank,
 //!   making the Table 7 reproduction explicit about what is measured and
 //!   what is calibrated.
+//!
+//! Every rate here goes through [`dftrace::rate`] — the same arithmetic
+//! the tracer's run report uses — so the Table 7 reproduction and a
+//! `RUN_TRACE.json` can never disagree about how compounds/s is computed.
 
 use serde::{Deserialize, Serialize};
 
@@ -52,7 +56,7 @@ impl LassenModel {
 
     /// Single-job poses/second over the full lifetime (paper: 108).
     pub fn poses_per_sec_single(&self) -> f64 {
-        self.poses_per_job as f64 / (self.total_min() * 60.0)
+        dftrace::rate::per_sec(self.poses_per_job as f64, self.total_min() * 60.0)
     }
 
     /// Single-job poses/hour (paper: 338,800).
@@ -62,7 +66,10 @@ impl LassenModel {
 
     /// Single-job compounds/hour (paper: 33,880).
     pub fn compounds_per_hour_single(&self) -> f64 {
-        self.poses_per_hour_single() / self.poses_per_compound as f64
+        dftrace::rate::compounds_from_poses(
+            self.poses_per_hour_single(),
+            self.poses_per_compound as f64,
+        )
     }
 
     /// Peak poses/second with `peak_jobs` concurrent jobs (paper: 13,594).
@@ -77,13 +84,16 @@ impl LassenModel {
 
     /// Peak compounds/hour (paper: 4,860,000 — "nearly 5 million").
     pub fn compounds_per_hour_peak(&self) -> f64 {
-        self.poses_per_hour_peak() / self.poses_per_compound as f64
+        dftrace::rate::compounds_from_poses(
+            self.poses_per_hour_peak(),
+            self.poses_per_compound as f64,
+        )
     }
 
     /// Evaluation-phase poses/second of a single V100 rank.
     pub fn eval_poses_per_sec_per_rank(&self) -> f64 {
         let ranks = (self.nodes_per_job * self.ranks_per_node) as f64;
-        self.poses_per_job as f64 / (self.eval_min * 60.0) / ranks
+        dftrace::rate::per_sec(self.poses_per_job as f64 / ranks, self.eval_min * 60.0)
     }
 
     /// How many of our measured ranks equal one modeled V100 rank.

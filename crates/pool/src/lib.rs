@@ -29,6 +29,40 @@
 //! pool pre-installed, so nested primitives reuse it. Code that hands work
 //! to raw `std::thread`s (rank simulations, loader workers) captures
 //! `current()` and re-`install`s it inside each spawned thread.
+//!
+//! ## Determinism contract
+//!
+//! Callers may rely on the following, for any thread count and any
+//! scheduling interleaving:
+//!
+//! * [`Pool::parallel_map`] returns results in item-index order;
+//! * [`Pool::parallel_map_reduce`] folds mapped values serially
+//!   left-to-right by index, so floating-point accumulation order — and
+//!   hence the result bits — never depends on which thread ran what;
+//! * [`Pool::parallel_rows`] hands each row band to exactly one job, so a
+//!   per-row computation is bit-identical to the serial loop;
+//! * [`Pool::parallel_for`] / [`Pool::parallel_for_chunked`] guarantee
+//!   nothing about cross-iteration ordering — callers must only touch
+//!   disjoint state per index.
+//!
+//! `tests/parallel_determinism.rs` at the workspace root locks serial ==
+//! 2/4/8-thread execution bit-exactly for every hot path built on these
+//! primitives.
+//!
+//! ## Environment variables
+//!
+//! * `DFPOOL_THREADS` — total parallelism of the process-global pool
+//!   (default: `std::thread::available_parallelism`); values < 1 clamp
+//!   to 1.
+//! * `DFTRACE` — when set to `1`/`true`/`on`, the pool records telemetry
+//!   through `dftrace`: `pool.queue_wait_us` and `pool.run_us` histograms
+//!   per job, `pool.jobs` / `pool.steal.deque` / `pool.steal.injector`
+//!   counters, and per-lane `pool.lane.*.busy_ns` counters from which
+//!   per-thread utilization is derived. Tracing is write-only telemetry:
+//!   it never changes scheduling or results (see `dftrace`'s determinism
+//!   contract).
+
+#![warn(missing_docs)]
 
 mod latch;
 mod scope;
@@ -79,6 +113,7 @@ impl Shared {
         loop {
             let steal = self.injector.steal();
             if let crossbeam::deque::Steal::Success(job) = steal {
+                dftrace::counter_add("pool.steal.injector", 1);
                 return Some(job);
             }
             if !steal.is_retry() {
@@ -92,6 +127,7 @@ impl Shared {
             loop {
                 let steal = s.steal();
                 if let crossbeam::deque::Steal::Success(job) = steal {
+                    dftrace::counter_add("pool.steal.deque", 1);
                     return Some(job);
                 }
                 if !steal.is_retry() {
@@ -200,6 +236,10 @@ impl Pool {
     }
 
     pub(crate) fn push_job(&self, job: Job) {
+        // Telemetry wrapping happens at the queue boundary so queue-wait
+        // (push -> execution start) and run time are both visible; with
+        // tracing off the job is enqueued untouched.
+        let job = if dftrace::enabled() { instrumented_job(job) } else { job };
         // From inside one of this pool's workers, push to its own LIFO
         // deque (depth-first, cache-warm); otherwise through the injector.
         let local = WORKER.with(|w| *w.borrow());
@@ -391,6 +431,29 @@ impl Pool {
     }
 }
 
+/// Wraps a job with `dftrace` telemetry: queue-wait and run-time
+/// histograms, a job counter, and per-lane busy time (the lane is resolved
+/// at execution time — `workerN` inside a pool worker, `caller` on a
+/// submitting/helping thread). Only built when tracing is enabled.
+fn instrumented_job(job: Job) -> Job {
+    let queued = std::time::Instant::now();
+    Box::new(move || {
+        dftrace::observe_duration("pool.queue_wait_us", queued.elapsed());
+        let run0 = std::time::Instant::now();
+        job();
+        let run = run0.elapsed();
+        dftrace::observe_duration("pool.run_us", run);
+        dftrace::counter_add("pool.jobs", 1);
+        let busy_ns = run.as_nanos().min(u64::MAX as u128) as u64;
+        match WORKER.with(|w| *w.borrow()) {
+            Some((_, index)) => {
+                dftrace::counter_add(&format!("pool.lane.worker{index}.busy_ns"), busy_ns)
+            }
+            None => dftrace::counter_add("pool.lane.caller.busy_ns", busy_ns),
+        }
+    })
+}
+
 /// Raw-pointer slot writer for `parallel_map`. Soundness contract: callers
 /// write disjoint indices and join before the owner reads.
 struct SlotWriter<T> {
@@ -458,7 +521,8 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// The process-global pool, created on first use with [`default_threads`].
+/// The process-global pool, sized on first use from `DFPOOL_THREADS` (or
+/// available parallelism when unset).
 pub fn global() -> &'static Pool {
     static GLOBAL: OnceLock<Pool> = OnceLock::new();
     GLOBAL.get_or_init(|| Pool::new(default_threads()))

@@ -15,6 +15,7 @@ fn out_dim(input: usize, k: usize, pad: usize) -> usize {
 
 /// Direct-form forward convolution.
 fn conv3d_forward(x: &Tensor, w: &Tensor, pad: usize) -> Tensor {
+    let _t = dftrace::span("tensor.conv3d.fwd");
     let (n, c, d, h, wd) = dims5(x.shape());
     let (o, cw, kd, kh, kw) = dims5(w.shape());
     assert_eq!(c, cw, "conv3d channel mismatch: input {c}, kernel {cw}");
@@ -79,6 +80,7 @@ fn conv3d_forward(x: &Tensor, w: &Tensor, pad: usize) -> Tensor {
 
 /// Gradient w.r.t. the input (full correlation with the kernel).
 fn conv3d_backward_input(gout: &Tensor, w: &Tensor, xshape: &[usize], pad: usize) -> Tensor {
+    let _t = dftrace::span("tensor.conv3d.bwd_input");
     let (_n, c, d, h, wd) = dims5(xshape);
     let (o, _, kd, kh, kw) = dims5(w.shape());
     let (_, _, od, oh, ow) = dims5(gout.shape());
@@ -143,6 +145,7 @@ fn conv3d_backward_input(gout: &Tensor, w: &Tensor, xshape: &[usize], pad: usize
 
 /// Gradient w.r.t. the kernel.
 fn conv3d_backward_weight(gout: &Tensor, x: &Tensor, wshape: &[usize], pad: usize) -> Tensor {
+    let _t = dftrace::span("tensor.conv3d.bwd_weight");
     let (n, c, d, h, wd) = dims5(x.shape());
     let (o, _, kd, kh, kw) = dims5(wshape);
     let (_, _, od, oh, ow) = dims5(gout.shape());

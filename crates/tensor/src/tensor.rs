@@ -291,6 +291,7 @@ impl Tensor {
     /// Uses the cache-friendly i-k-j loop order; inputs are contiguous so the
     /// inner loop is a unit-stride saxpy the compiler can vectorize.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let _t = dftrace::span("tensor.matmul");
         assert_eq!(self.rank(), 2, "matmul lhs must be rank 2, got {:?}", self.shape);
         assert_eq!(other.rank(), 2, "matmul rhs must be rank 2, got {:?}", other.shape);
         let (m, k) = (self.shape[0], self.shape[1]);
@@ -321,6 +322,7 @@ impl Tensor {
     /// `self^T x other` without materializing the transpose: `[k,m]^T·? ==`
     /// for `self: [k,m]`, `other: [k,n]` yields `[m,n]`.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let _t = dftrace::span("tensor.matmul_tn");
         assert_eq!(self.rank(), 2);
         assert_eq!(other.rank(), 2);
         let (k, m) = (self.shape[0], self.shape[1]);
@@ -351,6 +353,7 @@ impl Tensor {
 
     /// `self x other^T`: for `self: [m,k]`, `other: [n,k]` yields `[m,n]`.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let _t = dftrace::span("tensor.matmul_nt");
         assert_eq!(self.rank(), 2);
         assert_eq!(other.rank(), 2);
         let (m, k) = (self.shape[0], self.shape[1]);

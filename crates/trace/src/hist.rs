@@ -1,0 +1,191 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Buckets are powers of two in microseconds: bucket `i` counts samples
+//! `v` with `v <= 2^i µs` (and greater than the previous bound), for
+//! `i in 0..BUCKETS`. Values above the last bound (`2^25 µs ≈ 33.5 s`)
+//! land in a dedicated overflow bucket, so no sample is ever dropped.
+//! The layout is fixed — no dynamic resizing, no allocation on the record
+//! path — which keeps recording cheap and makes two histograms from
+//! different runs directly comparable bucket-by-bucket.
+
+/// Number of power-of-two buckets (exclusive of the overflow bucket).
+pub const BUCKETS: usize = 26;
+
+/// Upper bound (inclusive, in µs) of bucket `i`.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    debug_assert!(i < BUCKETS);
+    1u64 << i
+}
+
+/// Bucket index for a sample in µs, or `None` for the overflow bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> Option<usize> {
+    if v <= 1 {
+        return Some(0);
+    }
+    // First i with v <= 2^i, i.e. ceil(log2(v)).
+    let idx = (64 - (v - 1).leading_zeros()) as usize;
+    if idx < BUCKETS {
+        Some(idx)
+    } else {
+        None
+    }
+}
+
+/// A fixed-bucket histogram of microsecond samples.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { counts: [0; BUCKETS], overflow: 0, count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Records one sample (µs).
+    pub fn record(&mut self, v: u64) {
+        match bucket_index(v) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another histogram into this one (bucket layouts are fixed,
+    /// so the merge is an element-wise sum).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (µs, saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Samples above the last bucket bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bucket counts (exclusive of the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lands_in_first_bucket() {
+        let mut h = Histogram::default();
+        h.record(0);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn one_lands_in_first_bucket() {
+        let mut h = Histogram::default();
+        h.record(1);
+        assert_eq!(h.bucket_counts()[0], 1);
+    }
+
+    #[test]
+    fn exact_power_of_two_bounds_are_inclusive() {
+        // v = 2^i must land in bucket i, not i+1.
+        for i in 1..BUCKETS {
+            assert_eq!(bucket_index(1u64 << i), Some(i), "2^{i}");
+            // One past the bound goes to the next bucket (or overflow).
+            let next = bucket_index((1u64 << i) + 1);
+            if i + 1 < BUCKETS {
+                assert_eq!(next, Some(i + 1), "2^{i}+1");
+            } else {
+                assert_eq!(next, None, "2^{i}+1 overflows");
+            }
+        }
+    }
+
+    #[test]
+    fn largest_representable_sample_fills_last_bucket() {
+        let max_in_range = bucket_upper_bound(BUCKETS - 1);
+        let mut h = Histogram::default();
+        h.record(max_in_range);
+        assert_eq!(h.bucket_counts()[BUCKETS - 1], 1);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn oversized_samples_hit_overflow_not_a_panic() {
+        let mut h = Histogram::default();
+        h.record(bucket_upper_bound(BUCKETS - 1) + 1);
+        h.record(u64::MAX);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 2);
+        // Saturating sum must not wrap.
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_is_elementwise_and_tracks_extrema() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.record(3);
+        b.record(100);
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 3);
+        assert_eq!(a.max(), u64::MAX);
+        assert_eq!(a.overflow(), 1);
+        let empty = Histogram::default();
+        let mut c = Histogram::default();
+        c.merge(&empty);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.min(), 0, "empty merge keeps min sentinel hidden");
+    }
+}

@@ -1,0 +1,459 @@
+//! `dftrace` — lock-cheap observability for the screening pipeline.
+//!
+//! The paper's campaign lived on per-node throughput accounting
+//! (compounds/s, per-rank inference rates, stage latency); this crate is
+//! the reproduction's equivalent measurement substrate. It provides four
+//! metric kinds, all recorded into **thread-local shards** that are merged
+//! only when a report is taken, so the hot paths never contend on a
+//! shared lock:
+//!
+//! * **hierarchical spans** — scoped RAII timers ([`span`]); nesting on
+//!   the same thread builds `/`-joined paths (`train.fwd/tensor.matmul`),
+//!   so one instrumentation point reads differently in different callers;
+//! * **counters** — monotonic `u64` sums ([`counter_add`]), merged by
+//!   addition across threads;
+//! * **gauges** — last-write-wins `f64` values ([`gauge_set`]), ordered
+//!   by a global write sequence so the merge is well-defined;
+//! * **histograms** — fixed power-of-two-bucket latency histograms
+//!   ([`observe_us`] / [`observe_duration`]), merged bucket-wise.
+//!
+//! ## Enabling
+//!
+//! Tracing is **off by default** and gated by the `DFTRACE` environment
+//! variable (`1`/`true`/`on`, read once and cached); [`set_enabled`]
+//! overrides it programmatically. When disabled every recording call is a
+//! single relaxed atomic load and branch — the instrumented hot paths run
+//! at their un-instrumented speed, which is what the determinism and
+//! bench baselines measure.
+//!
+//! ## Determinism contract
+//!
+//! Recording is *write-only*: no instrumented code path ever reads a
+//! timing back into a computation, so a traced run produces bit-identical
+//! results to an untraced run (locked by `tests/trace_determinism.rs` at
+//! the workspace root). Wall-clock values exist only in the exported
+//! report.
+//!
+//! ## Exporting
+//!
+//! [`snapshot`] merges every live shard into a [`Report`];
+//! [`write_run_trace`] serializes it as `RUN_TRACE.json` (schema in
+//! `docs/OBSERVABILITY.md`). [`reset`] clears all shards, e.g. between
+//! benchmark phases. The [`rate`] module is the single implementation of
+//! throughput-rate arithmetic shared with `dfhts::throughput`.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod rate;
+mod report;
+
+pub use hist::Histogram;
+pub use report::{
+    BucketReport, CounterReport, GaugeReport, HistogramReport, Report, SpanReport, SCHEMA_VERSION,
+};
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Enable state
+// ---------------------------------------------------------------------
+
+/// 0 = uninitialised, 1 = off, 2 = on.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// True when tracing is on. First call reads the `DFTRACE` environment
+/// variable (`1`, `true` or `on`, case-insensitive); the result is cached
+/// so subsequent calls are a single relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("DFTRACE")
+        .map(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on"))
+        .unwrap_or(false);
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Forces tracing on or off, overriding `DFTRACE`. Used by tests, benches
+/// and the `trace_report` tool.
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Shards
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct SpanStat {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl SpanStat {
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+}
+
+impl Default for SpanStat {
+    fn default() -> Self {
+        SpanStat { count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0 }
+    }
+}
+
+/// One thread's private slice of the telemetry. `BTreeMap` keys keep every
+/// merged view deterministically ordered.
+#[derive(Default)]
+struct Shard {
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<String, u64>,
+    /// Gauge values stamped with a global write sequence; the merge keeps
+    /// the highest stamp (latest write wins across threads).
+    gauges: BTreeMap<String, (u64, f64)>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Shard {
+    fn merge_into(&self, agg: &mut Shard) {
+        for (k, v) in &self.spans {
+            let s = agg.spans.entry(k.clone()).or_default();
+            s.count += v.count;
+            s.total_ns = s.total_ns.saturating_add(v.total_ns);
+            s.min_ns = s.min_ns.min(v.min_ns);
+            s.max_ns = s.max_ns.max(v.max_ns);
+        }
+        for (k, v) in &self.counters {
+            *agg.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &(seq, val)) in &self.gauges {
+            let e = agg.gauges.entry(k.clone()).or_insert((seq, val));
+            if seq >= e.0 {
+                *e = (seq, val);
+            }
+        }
+        for (k, v) in &self.hists {
+            agg.hists.entry(k.clone()).or_default().merge(v);
+        }
+    }
+}
+
+/// A registered shard: the owning thread takes the (uncontended) mutex on
+/// every record; the reporter takes it briefly during a merge.
+struct ShardCell {
+    data: Mutex<Shard>,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ShardCell>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ShardCell>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    /// This thread's shard, registered on first use and kept alive in the
+    /// registry after the thread exits (its data outlives it).
+    static LOCAL: RefCell<Option<Arc<ShardCell>>> = const { RefCell::new(None) };
+    /// Stack of open span paths on this thread (innermost last).
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_shard(f: impl FnOnce(&mut Shard)) {
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        if l.is_none() {
+            let cell = Arc::new(ShardCell { data: Mutex::new(Shard::default()) });
+            registry().lock().push(Arc::clone(&cell));
+            *l = Some(cell);
+        }
+        f(&mut l.as_ref().expect("shard registered above").data.lock());
+    });
+}
+
+/// Global write sequence for gauge last-write-wins merging.
+static GAUGE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+// ---------------------------------------------------------------------
+// Recording API
+// ---------------------------------------------------------------------
+
+/// RAII guard returned by [`span`]; records its lifetime into the current
+/// thread's shard when dropped. A guard created while tracing is disabled
+/// is inert.
+#[must_use = "a span records on drop; binding it to _ discards it immediately"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    path: String,
+    start: Instant,
+}
+
+/// Opens a hierarchical span named `name`. While a span is open on this
+/// thread, further spans nest under it: `span("a")` then `span("b")`
+/// records the path `a/b`. No-op (and allocation-free) when tracing is
+/// disabled.
+pub fn span(name: &str) -> Span {
+    if !enabled() {
+        return Span { inner: None };
+    }
+    let path = SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let path = match s.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        s.push(path.clone());
+        path
+    });
+    Span { inner: Some(SpanInner { path, start: Instant::now() }) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let ns = inner.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                if s.last() == Some(&inner.path) {
+                    s.pop();
+                }
+            });
+            with_shard(|sh| sh.spans.entry(inner.path).or_default().record(ns));
+        }
+    }
+}
+
+/// Adds `delta` to the monotonic counter `name`. No-op when disabled.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|sh| match sh.counters.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            sh.counters.insert(name.to_string(), delta);
+        }
+    });
+}
+
+/// Sets the gauge `name` to `value` (last write across all threads wins).
+/// No-op when disabled.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let seq = GAUGE_SEQ.fetch_add(1, Ordering::Relaxed);
+    with_shard(|sh| {
+        sh.gauges.insert(name.to_string(), (seq, value));
+    });
+}
+
+/// Records a latency sample (µs) into the histogram `name`. No-op when
+/// disabled.
+#[inline]
+pub fn observe_us(name: &str, us: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|sh| match sh.hists.get_mut(name) {
+        Some(h) => h.record(us),
+        None => {
+            let mut h = Histogram::default();
+            h.record(us);
+            sh.hists.insert(name.to_string(), h);
+        }
+    });
+}
+
+/// Records a [`Duration`] into the histogram `name` as µs. No-op when
+/// disabled.
+#[inline]
+pub fn observe_duration(name: &str, d: Duration) {
+    if enabled() {
+        observe_us(name, d.as_micros().min(u64::MAX as u128) as u64);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------
+
+/// Merges every thread's shard into a [`Report`]. Non-destructive: shards
+/// keep accumulating afterwards.
+pub fn snapshot() -> Report {
+    let cells: Vec<Arc<ShardCell>> = registry().lock().clone();
+    let mut agg = Shard::default();
+    for cell in &cells {
+        cell.data.lock().merge_into(&mut agg);
+    }
+    let ns_to_us = |ns: u64| ns / 1_000;
+    Report {
+        version: SCHEMA_VERSION,
+        enabled: enabled(),
+        spans: agg
+            .spans
+            .iter()
+            .map(|(path, s)| SpanReport {
+                path: path.clone(),
+                count: s.count,
+                total_us: ns_to_us(s.total_ns),
+                min_us: if s.count == 0 { 0 } else { ns_to_us(s.min_ns) },
+                max_us: ns_to_us(s.max_ns),
+            })
+            .collect(),
+        counters: agg
+            .counters
+            .iter()
+            .map(|(name, &value)| CounterReport { name: name.clone(), value })
+            .collect(),
+        gauges: agg
+            .gauges
+            .iter()
+            .map(|(name, &(_, value))| GaugeReport { name: name.clone(), value })
+            .collect(),
+        histograms: agg
+            .hists
+            .iter()
+            .map(|(name, h)| HistogramReport::from_hist(name.clone(), h))
+            .collect(),
+    }
+}
+
+/// Clears every shard (registrations survive, so threads keep recording
+/// into their existing shard). Use between phases or tests.
+pub fn reset() {
+    for cell in registry().lock().iter() {
+        *cell.data.lock() = Shard::default();
+    }
+}
+
+/// Takes a [`snapshot`] and writes it to `path` as pretty-printed JSON
+/// (the `RUN_TRACE.json` format).
+pub fn write_run_trace<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<()> {
+    std::fs::write(path, snapshot().to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The enable toggle and shard registry are process-global; tests that
+    /// touch them serialize on this lock.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _g = test_lock();
+        set_enabled(false);
+        reset();
+        counter_add("t.disabled", 5);
+        observe_us("t.disabled_hist", 10);
+        let _s = span("t.disabled_span");
+        drop(_s);
+        let r = snapshot();
+        assert_eq!(r.counter("t.disabled"), 0);
+        assert!(r.histogram("t.disabled_hist").is_none());
+        assert!(r.span("t.disabled_span").is_none());
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let _g = test_lock();
+        set_enabled(true);
+        reset();
+        {
+            let _a = span("outer");
+            let _b = span("inner");
+        }
+        let r = snapshot();
+        set_enabled(false);
+        assert_eq!(r.span("outer").expect("outer recorded").count, 1);
+        assert_eq!(r.span("outer/inner").expect("nested path recorded").count, 1);
+    }
+
+    #[test]
+    fn counters_merge_across_threads_by_sum() {
+        let _g = test_lock();
+        set_enabled(true);
+        reset();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..1000 {
+                        counter_add("t.merge", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("counter thread");
+        }
+        counter_add("t.merge", 10);
+        let r = snapshot();
+        set_enabled(false);
+        assert_eq!(r.counter("t.merge"), 4010);
+    }
+
+    #[test]
+    fn gauges_keep_the_latest_write() {
+        let _g = test_lock();
+        set_enabled(true);
+        reset();
+        gauge_set("t.gauge", 1.0);
+        gauge_set("t.gauge", 2.5);
+        let r = snapshot();
+        set_enabled(false);
+        assert_eq!(r.gauge("t.gauge"), Some(2.5));
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let _g = test_lock();
+        set_enabled(true);
+        reset();
+        counter_add("t.json", 7);
+        observe_us("t.json_hist", 3);
+        let r = snapshot();
+        set_enabled(false);
+        let parsed = Report::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(parsed.counter("t.json"), 7);
+        assert_eq!(parsed.histogram("t.json_hist").expect("hist survives").count, 1);
+        assert_eq!(parsed.version, SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn reset_clears_all_metrics() {
+        let _g = test_lock();
+        set_enabled(true);
+        counter_add("t.reset", 1);
+        reset();
+        let r = snapshot();
+        set_enabled(false);
+        assert_eq!(r.counter("t.reset"), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! The single implementation of throughput-rate arithmetic.
+//!
+//! Every compounds/s and poses/s figure in the workspace — the Lassen
+//! model behind Table 7 (`dfhts::throughput`), measured job and campaign
+//! timings (`dfhts::job`, `dfhts::scheduler`, `dfhts::simulate`) and the
+//! tracer's derived rates — goes through these helpers, so two reports can
+//! never disagree about how a rate is computed (zero-duration runs report
+//! a rate of 0, never NaN or ±inf).
+
+/// Events per second over a duration in seconds; 0.0 when the duration is
+/// not positive (instead of NaN/inf).
+#[inline]
+pub fn per_sec(count: f64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        count / secs
+    } else {
+        0.0
+    }
+}
+
+/// Division-by-zero-safe mean: `sum / count`, or 0.0 when `count` is not
+/// positive. Shares the guard semantics of [`per_sec`].
+#[inline]
+pub fn mean(sum: f64, count: f64) -> f64 {
+    per_sec(sum, count)
+}
+
+/// Events per hour over a duration in seconds.
+#[inline]
+pub fn per_hour(count: f64, secs: f64) -> f64 {
+    per_sec(count, secs) * 3600.0
+}
+
+/// Converts a pose count into a compound count given the campaign's
+/// poses-per-compound ratio (paper: 10); 0.0 when the ratio is not
+/// positive.
+#[inline]
+pub fn compounds_from_poses(poses: f64, poses_per_compound: f64) -> f64 {
+    if poses_per_compound > 0.0 {
+        poses / poses_per_compound
+    } else {
+        0.0
+    }
+}
+
+/// Compounds per second: [`per_sec`] composed with [`compounds_from_poses`].
+#[inline]
+pub fn compounds_per_sec(poses: f64, poses_per_compound: f64, secs: f64) -> f64 {
+    per_sec(compounds_from_poses(poses, poses_per_compound), secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_duration_is_zero_rate() {
+        assert_eq!(per_sec(100.0, 0.0), 0.0);
+        assert_eq!(per_sec(100.0, -1.0), 0.0);
+        assert_eq!(per_hour(100.0, 0.0), 0.0);
+        assert_eq!(compounds_per_sec(100.0, 10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn rates_compose() {
+        assert_eq!(per_sec(10.0, 2.0), 5.0);
+        assert_eq!(per_hour(1.0, 3600.0), 1.0);
+        assert_eq!(compounds_from_poses(200.0, 10.0), 20.0);
+        assert_eq!(compounds_per_sec(200.0, 10.0, 4.0), 5.0);
+        assert_eq!(compounds_from_poses(200.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The exportable run report: JSON (`RUN_TRACE.json`), human-readable
+//! rendering, and diffing of two reports.
+//!
+//! The JSON schema (version 1) is documented in `docs/OBSERVABILITY.md`;
+//! all durations are integer microseconds, metric vectors are sorted by
+//! name/path so two reports of the same run are byte-identical.
+
+use crate::hist::{bucket_upper_bound, Histogram};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Schema version stamped into every report.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanReport {
+    /// `/`-joined hierarchical path, e.g. `train.fwd/tensor.matmul`.
+    pub path: String,
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Total time inside the span (µs).
+    pub total_us: u64,
+    /// Shortest single occurrence (µs).
+    pub min_us: u64,
+    /// Longest single occurrence (µs).
+    pub max_us: u64,
+}
+
+impl SpanReport {
+    /// Mean occurrence duration (µs); 0 when the span never closed.
+    pub fn mean_us(&self) -> f64 {
+        crate::rate::mean(self.total_us as f64, self.count as f64)
+    }
+}
+
+/// A monotonic counter's final value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CounterReport {
+    /// Counter name, e.g. `pool.steals`.
+    pub name: String,
+    /// Summed value across all threads.
+    pub value: u64,
+}
+
+/// A gauge's last-written value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaugeReport {
+    /// Gauge name, e.g. `hts.rank_skew`.
+    pub name: String,
+    /// Most recently set value (global write order).
+    pub value: f64,
+}
+
+/// One non-empty histogram bucket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BucketReport {
+    /// Inclusive upper bound of the bucket (µs).
+    pub le_us: u64,
+    /// Samples in this bucket.
+    pub count: u64,
+}
+
+/// An aggregated fixed-bucket latency histogram.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistogramReport {
+    /// Histogram name, e.g. `pool.queue_wait_us`.
+    pub name: String,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (µs, saturating).
+    pub sum_us: u64,
+    /// Smallest sample (µs); 0 when empty.
+    pub min_us: u64,
+    /// Largest sample (µs).
+    pub max_us: u64,
+    /// Samples above the last bucket bound.
+    pub overflow: u64,
+    /// Non-empty buckets, ascending by bound. Empty buckets are omitted.
+    pub buckets: Vec<BucketReport>,
+}
+
+impl HistogramReport {
+    pub(crate) fn from_hist(name: String, h: &Histogram) -> HistogramReport {
+        let buckets = h
+            .bucket_counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| BucketReport { le_us: bucket_upper_bound(i), count: c })
+            .collect();
+        HistogramReport {
+            name,
+            count: h.count(),
+            sum_us: h.sum(),
+            min_us: h.min(),
+            max_us: h.max(),
+            overflow: h.overflow(),
+            buckets,
+        }
+    }
+
+    /// Mean sample (µs); 0 when empty.
+    pub fn mean_us(&self) -> f64 {
+        crate::rate::mean(self.sum_us as f64, self.count as f64)
+    }
+}
+
+/// A full merged view of every shard: the machine-readable form of one
+/// run's telemetry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub version: u32,
+    /// Whether tracing was enabled when the snapshot was taken.
+    pub enabled: bool,
+    /// Span statistics, sorted by path.
+    pub spans: Vec<SpanReport>,
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterReport>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<GaugeReport>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramReport>,
+}
+
+impl Report {
+    /// Looks up a span by exact path.
+    pub fn span(&self, path: &str) -> Option<&SpanReport> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Looks up a counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value).unwrap_or(0)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramReport> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Serializes to pretty-printed JSON (the `RUN_TRACE.json` format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+
+    /// Parses a report previously written with [`Report::to_json`].
+    pub fn from_json(s: &str) -> Result<Report, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Renders the human-readable run report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "run trace (schema v{}, enabled: {})", self.version, self.enabled);
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\nspans ({}):", self.spans.len());
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>8} {:>12} {:>10} {:>10} {:>10}",
+                "path", "count", "total_us", "mean_us", "min_us", "max_us"
+            );
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {:<44} {:>8} {:>12} {:>10.1} {:>10} {:>10}",
+                    s.path,
+                    s.count,
+                    s.total_us,
+                    s.mean_us(),
+                    s.min_us,
+                    s.max_us
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters ({}):", self.counters.len());
+            for c in &self.counters {
+                let _ = writeln!(out, "  {:<44} {:>12}", c.name, c.value);
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges ({}):", self.gauges.len());
+            for g in &self.gauges {
+                let _ = writeln!(out, "  {:<44} {:>12.3}", g.name, g.value);
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "\nhistograms ({}):", self.histograms.len());
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<44} n={} mean={:.1}us min={}us max={}us overflow={}",
+                    h.name,
+                    h.count,
+                    h.mean_us(),
+                    h.min_us,
+                    h.max_us,
+                    h.overflow
+                );
+            }
+        }
+        out
+    }
+
+    /// Diffs two reports (self = before, `after` = after), rendering one
+    /// line per metric that exists in either report: counter deltas, span
+    /// total-time ratios and histogram count/mean shifts. Used by the
+    /// `trace_diff` tool to compare two `RUN_TRACE.json` files.
+    pub fn diff(&self, after: &Report) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "trace diff (before -> after):");
+
+        let _ = writeln!(out, "\nspans (total_us, ratio = after/before):");
+        for path in
+            merged_keys(self.spans.iter().map(|s| &s.path), after.spans.iter().map(|s| &s.path))
+        {
+            let b = self.span(&path).map(|s| s.total_us).unwrap_or(0);
+            let a = after.span(&path).map(|s| s.total_us).unwrap_or(0);
+            if b == 0 && a == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "  {:<44} {:>12} -> {:>12}  ({})", path, b, a, ratio(b, a));
+        }
+
+        let _ = writeln!(out, "\ncounters (value, delta):");
+        for name in merged_keys(
+            self.counters.iter().map(|c| &c.name),
+            after.counters.iter().map(|c| &c.name),
+        ) {
+            let b = self.counter(&name);
+            let a = after.counter(&name);
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>12} -> {:>12}  ({:+})",
+                name,
+                b,
+                a,
+                a as i128 - b as i128
+            );
+        }
+
+        let _ = writeln!(out, "\nhistograms (count, mean_us):");
+        for name in merged_keys(
+            self.histograms.iter().map(|h| &h.name),
+            after.histograms.iter().map(|h| &h.name),
+        ) {
+            let (bc, bm) =
+                self.histogram(&name).map(|h| (h.count, h.mean_us())).unwrap_or((0, 0.0));
+            let (ac, am) =
+                after.histogram(&name).map(|h| (h.count, h.mean_us())).unwrap_or((0, 0.0));
+            let _ = writeln!(
+                out,
+                "  {:<44} n {:>10} -> {:<10} mean {:>9.1} -> {:.1}",
+                name, bc, ac, bm, am
+            );
+        }
+        out
+    }
+}
+
+/// Union of two sorted key iterators, deduplicated and sorted.
+fn merged_keys<'a>(
+    a: impl Iterator<Item = &'a String>,
+    b: impl Iterator<Item = &'a String>,
+) -> Vec<String> {
+    let mut keys: Vec<String> = a.chain(b).cloned().collect();
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+fn ratio(before: u64, after: u64) -> String {
+    if before == 0 {
+        "new".to_string()
+    } else {
+        format!("{:.2}x", after as f64 / before as f64)
+    }
+}
