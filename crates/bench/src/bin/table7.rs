@@ -93,7 +93,7 @@ fn main() {
         std::fs::create_dir_all(&out_dir).ok();
         let noisy = JobConfig { faults: FaultConfig::noisy(seed), ..job_cfg.clone() };
         let report = run_campaign(
-            &SchedulerConfig { max_parallel_jobs: parallel, max_attempts: 6 },
+            &SchedulerConfig { max_parallel_jobs: parallel, max_attempts: 6, ..Default::default() },
             &noisy,
             specs(parallel as u64 * 2, compounds_per_job / 2, seed),
             &fusion,

@@ -21,7 +21,7 @@ use dfdock::search::{dock, DockConfig};
 use dffusion::{train, Cnn3d, Cnn3dConfig, TrainConfig};
 use dfhts::fault::FaultConfig;
 use dfhts::job::{JobConfig, JobSpec, SyntheticPoseSource};
-use dfhts::scheduler::{run_campaign, SchedulerConfig};
+use dfhts::scheduler::{resume_campaign, run_campaign, SchedulerConfig};
 use dfhts::scorer::VinaScorerFactory;
 use dfhts::throughput::LassenModel;
 use dftensor::params::ParamStore;
@@ -128,7 +128,7 @@ fn run() {
         })
         .collect();
     let report = run_campaign(
-        &SchedulerConfig { max_parallel_jobs: 2, max_attempts: 3 },
+        &SchedulerConfig { max_parallel_jobs: 2, max_attempts: 3, ..Default::default() },
         &jcfg,
         specs,
         &VinaScorerFactory,
@@ -136,6 +136,65 @@ fn run() {
     );
     std::fs::remove_dir_all(&dir).ok();
     println!("  {} poses across {} jobs", report.total_poses(), report.outputs.len());
+
+    // --- hts: checkpointed campaign + resume (manifest, backoff, retries) ---
+    println!("Running a checkpointed campaign and resuming it...");
+    let ckpt_dir = std::env::temp_dir().join(format!("dftrace_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&ckpt_dir).expect("create checkpoint campaign dir");
+    let ckpt_cfg = JobConfig {
+        output_dir: ckpt_dir.clone(),
+        // Mild faults so the retry/backoff and write-retry paths light up.
+        faults: FaultConfig {
+            p_node_failure: 0.3,
+            p_broken_pipe: 0.3,
+            seed: 11,
+            ..Default::default()
+        },
+        ..jcfg
+    };
+    let ckpt_specs = || -> Vec<JobSpec> {
+        (0..4)
+            .map(|j| JobSpec {
+                job_id: j,
+                target: TargetSite::Spike2,
+                library: Library::EnamineVirtual,
+                first_compound: j * 8,
+                num_compounds: 8,
+                campaign_seed: seed,
+                attempt: 0,
+            })
+            .collect()
+    };
+    let manifest = ckpt_dir.join("campaign.dfcp");
+    let sched = SchedulerConfig { max_parallel_jobs: 2, max_attempts: 5, ..Default::default() };
+    let first = resume_campaign(
+        &sched,
+        &ckpt_cfg,
+        ckpt_specs(),
+        &VinaScorerFactory,
+        &SyntheticPoseSource { poses_per_compound: 4 },
+        &manifest,
+    )
+    .expect("checkpointed campaign");
+    // Second invocation restores every job from the journal; this drives
+    // the hts.jobs_resumed gauge and hts.resume_skipped counter.
+    let second = resume_campaign(
+        &sched,
+        &ckpt_cfg,
+        ckpt_specs(),
+        &VinaScorerFactory,
+        &SyntheticPoseSource { poses_per_compound: 4 },
+        &manifest,
+    )
+    .expect("resumed campaign");
+    assert_eq!(second.jobs_resumed, first.outputs.len() + first.abandoned.len());
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+    println!(
+        "  {} jobs journaled, {} restored on resume, {} failed attempts retried",
+        first.outputs.len() + first.abandoned.len(),
+        second.jobs_resumed,
+        first.failed_attempts,
+    );
 
     // --- export ---
     let trace = dftrace::snapshot();

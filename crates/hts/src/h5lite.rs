@@ -16,6 +16,15 @@
 //! Each MPI rank writes its own file in parallel (the paper's mitigation
 //! for the file-output bottleneck); a directory of rank files is read back
 //! as one result set.
+//!
+//! Durability: writers created with [`H5Writer::create_atomic`] stage
+//! their bytes in a hidden `*.tmp` sibling and only `rename(2)` it to the
+//! final `.dfh5` name after `sync_all` succeeds, so a job killed mid-write
+//! can never leave a readable partial result file — [`read_dir`] only ever
+//! sees complete files. The parser treats every length field in the file
+//! as untrusted: sizes are combined with checked arithmetic and validated
+//! against the remaining bytes before any allocation, returning
+//! [`H5Error::Corrupt`] instead of overflowing or over-allocating.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dfchem::genmol::{CompoundId, Library};
@@ -26,6 +35,8 @@ use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"DFH5";
 const VERSION: u32 = 1;
+/// Encoded size of one [`ScoreRecord`] (`u8 + u64 + u8 + u16 + f64`).
+const RECORD_BYTES: usize = 20;
 
 /// One scored pose.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -101,7 +112,7 @@ fn target_from(code: u8) -> Result<TargetSite, H5Error> {
 
 /// Serializes one named chunk of records.
 fn encode_chunk(name: &str, records: &[ScoreRecord]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(12 + name.len() + records.len() * 20);
+    let mut buf = BytesMut::with_capacity(12 + name.len() + records.len() * RECORD_BYTES);
     buf.put_u32_le(name.len() as u32);
     buf.put_slice(name.as_bytes());
     buf.put_u32_le(records.len() as u32);
@@ -115,22 +126,60 @@ fn encode_chunk(name: &str, records: &[ScoreRecord]) -> Bytes {
     buf.freeze()
 }
 
+/// The hidden staging sibling an atomic writer streams into before the
+/// final `rename`. Ends in `.tmp`, so [`read_dir`] never picks it up.
+pub fn staging_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Best-effort fsync of a file's parent directory so a just-renamed entry
+/// survives a crash. Directories cannot be opened for sync on every
+/// platform; failures are ignored.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
 /// A writer that appends named chunks to one file.
 pub struct H5Writer {
     file: std::fs::File,
+    /// Final (visible) path of the result file.
     pub path: PathBuf,
+    /// When staging atomically, the `*.tmp` path the bytes live in until
+    /// [`H5Writer::finish`] renames them into place.
+    staging: Option<PathBuf>,
 }
 
 impl H5Writer {
-    /// Creates (truncates) a result file and writes the header.
-    pub fn create(path: impl AsRef<Path>) -> Result<H5Writer, H5Error> {
-        if let Some(parent) = path.as_ref().parent() {
+    fn open(path: &Path, staging: bool) -> Result<H5Writer, H5Error> {
+        if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let mut file = std::fs::File::create(&path)?;
+        let write_path = if staging { staging_path(path) } else { path.to_path_buf() };
+        let mut file = std::fs::File::create(&write_path)?;
         file.write_all(MAGIC)?;
         file.write_all(&VERSION.to_le_bytes())?;
-        Ok(H5Writer { file, path: path.as_ref().to_path_buf() })
+        Ok(H5Writer { file, path: path.to_path_buf(), staging: staging.then_some(write_path) })
+    }
+
+    /// Creates (truncates) a result file and writes the header. The file
+    /// is visible under its final name while being written; prefer
+    /// [`H5Writer::create_atomic`] for anything a reader might race.
+    pub fn create(path: impl AsRef<Path>) -> Result<H5Writer, H5Error> {
+        Self::open(path.as_ref(), false)
+    }
+
+    /// Creates a result file that stages its bytes in a `*.tmp` sibling
+    /// and atomically renames them to `path` in [`H5Writer::finish`]. A
+    /// crash before `finish` leaves only the hidden staging file, which
+    /// [`read_dir`] ignores — a partial `.dfh5` can never be read back.
+    pub fn create_atomic(path: impl AsRef<Path>) -> Result<H5Writer, H5Error> {
+        Self::open(path.as_ref(), true)
     }
 
     /// Appends one chunk.
@@ -139,10 +188,25 @@ impl H5Writer {
         Ok(())
     }
 
-    /// Flushes to disk.
-    pub fn finish(mut self) -> Result<PathBuf, H5Error> {
-        self.file.flush()?;
+    /// Forces the bytes to disk (`sync_all`, not a userspace flush) and,
+    /// for atomic writers, renames the staging file into place and syncs
+    /// the parent directory.
+    pub fn finish(self) -> Result<PathBuf, H5Error> {
+        self.file.sync_all()?;
+        if let Some(staging) = &self.staging {
+            std::fs::rename(staging, &self.path)?;
+            sync_parent_dir(&self.path);
+        }
         Ok(self.path)
+    }
+
+    /// Abandons the write, removing the staging file if one exists. Used
+    /// when an upper layer decides the attempt is dead (e.g. a broken
+    /// pipe) and will re-issue the whole write.
+    pub fn abort(self) {
+        if let Some(staging) = &self.staging {
+            std::fs::remove_file(staging).ok();
+        }
     }
 }
 
@@ -168,14 +232,24 @@ pub fn read_file(path: impl AsRef<Path>) -> Result<Vec<(String, Vec<ScoreRecord>
         if buf.remaining() < 4 {
             return Err(H5Error::Corrupt("truncated chunk header".into()));
         }
+        // Both length fields come off disk: combine them with checked
+        // arithmetic and validate against the remaining bytes before any
+        // allocation, so a corrupt length can neither overflow nor trigger
+        // a giant `with_capacity`.
         let name_len = buf.get_u32_le() as usize;
-        if buf.remaining() < name_len + 4 {
+        let name_and_count = name_len
+            .checked_add(4)
+            .ok_or_else(|| H5Error::Corrupt(format!("chunk name length {name_len} overflows")))?;
+        if buf.remaining() < name_and_count {
             return Err(H5Error::Corrupt("truncated chunk name".into()));
         }
         let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
             .map_err(|_| H5Error::Corrupt("chunk name not utf8".into()))?;
         let count = buf.get_u32_le() as usize;
-        if buf.remaining() < count * 20 {
+        let record_bytes = count
+            .checked_mul(RECORD_BYTES)
+            .ok_or_else(|| H5Error::Corrupt(format!("record count {count} overflows")))?;
+        if buf.remaining() < record_bytes {
             return Err(H5Error::Corrupt(format!("truncated records in chunk {name}")));
         }
         let mut records = Vec::with_capacity(count);
@@ -292,6 +366,83 @@ mod tests {
         w.finish().unwrap();
         let full = std::fs::read(&p2).unwrap();
         std::fs::write(&p2, &full[..full.len() - 7]).unwrap();
+        assert!(matches!(read_file(&p2), Err(H5Error::Corrupt(_))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn atomic_writer_is_invisible_until_finish() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("rank0.dfh5");
+        let mut w = H5Writer::create_atomic(&path).unwrap();
+        w.write_chunk("predictions", &sample_records(20)).unwrap();
+        // Mid-write: only the hidden staging file exists; a reader sees
+        // nothing.
+        assert!(!path.exists(), "final name must not exist before finish");
+        assert!(staging_path(&path).exists());
+        assert!(read_dir(&dir).unwrap().is_empty());
+        let finished = w.finish().unwrap();
+        assert_eq!(finished, path);
+        assert!(!staging_path(&path).exists(), "staging renamed away");
+        assert_eq!(read_dir(&dir).unwrap().len(), 20);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn killed_mid_write_leaves_no_readable_partial_file() {
+        let dir = tmpdir("killed");
+        let complete = dir.join("done.dfh5");
+        let mut w = H5Writer::create_atomic(&complete).unwrap();
+        w.write_chunk("predictions", &sample_records(5)).unwrap();
+        w.finish().unwrap();
+        // Simulate a job killed mid-write: the writer is dropped without
+        // finish, leaving a half-written staging file on disk.
+        let dead = dir.join("dead.dfh5");
+        let mut w = H5Writer::create_atomic(&dead).unwrap();
+        w.write_chunk("predictions", &sample_records(100)).unwrap();
+        drop(w);
+        assert!(staging_path(&dead).exists(), "partial staging bytes remain");
+        assert!(!dead.exists());
+        // The merged result set contains only the complete file.
+        assert_eq!(read_dir(&dir).unwrap().len(), 5);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn abort_removes_the_staging_file() {
+        let dir = tmpdir("abort");
+        let path = dir.join("r.dfh5");
+        let mut w = H5Writer::create_atomic(&path).unwrap();
+        w.write_chunk("predictions", &sample_records(3)).unwrap();
+        w.abort();
+        assert!(!staging_path(&path).exists());
+        assert!(!path.exists());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn hostile_length_fields_are_rejected_not_panicked() {
+        let dir = tmpdir("hostile");
+        // name_len = u32::MAX: checked add + remaining guard → Corrupt.
+        let p1 = dir.join("name_len.dfh5");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(b"pp");
+        std::fs::write(&p1, &bytes).unwrap();
+        assert!(matches!(read_file(&p1), Err(H5Error::Corrupt(_))));
+
+        // record count = u32::MAX with no payload: must fail the size
+        // check before any `with_capacity(count)` allocation.
+        let p2 = dir.join("count.dfh5");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b'p');
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&p2, &bytes).unwrap();
         assert!(matches!(read_file(&p2), Err(H5Error::Corrupt(_))));
         std::fs::remove_dir_all(dir).ok();
     }

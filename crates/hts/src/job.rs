@@ -9,15 +9,20 @@
 //!    throughput experiments) and scores them in batches,
 //! 3. allgathers every rank's predictions,
 //! 4. writes its assigned share of the gathered records into its own
-//!    `h5lite` file in parallel.
+//!    `h5lite` file in parallel, via the atomic staging protocol
+//!    (`*.tmp` + `sync_all` + rename) — a killed job can never leave a
+//!    readable partial `.dfh5` behind.
 //!
 //! Faults (bad metadata / broken pipe / node failure) are injected per the
 //! job's [`FaultConfig`]; node failure aborts the job so the scheduler can
 //! re-queue it — the paper's design makes that cheap by keeping jobs small.
+//! A broken pipe makes the rank's first write *actually fail* partway
+//! through the chunk; the write is then re-issued from scratch and counted
+//! in [`JobOutput::write_retries`] (and the `hts.write_retries` counter).
 
 use crate::allgather::Communicator;
 use crate::fault::{FaultConfig, FaultEvent, FaultInjector};
-use crate::h5lite::{H5Writer, ScoreRecord};
+use crate::h5lite::{H5Error, H5Writer, ScoreRecord};
 use crate::scorer::ScorerFactory;
 use dfchem::genmol::{Compound, Library};
 use dfchem::geom::{Rotation, Vec3};
@@ -100,7 +105,7 @@ impl JobConfig {
 }
 
 /// One job's work assignment: a contiguous compound range on one target.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JobSpec {
     pub job_id: u64,
     pub target: TargetSite,
@@ -160,7 +165,37 @@ pub struct JobOutput {
     pub records: Vec<ScoreRecord>,
     pub files: Vec<PathBuf>,
     pub faults: Vec<FaultEvent>,
+    /// Rank-file writes that genuinely failed on their first attempt (a
+    /// broken pipe) and were re-issued from scratch.
+    pub write_retries: usize,
     pub timing: JobTiming,
+}
+
+/// Writes one rank's records to `path` via the atomic staging protocol
+/// (`*.tmp` + `sync_all` + rename). With `fail_midway` the attempt
+/// behaves like a real broken pipe: part of the chunk reaches the staging
+/// file, then the write errors out — the partial bytes stay hidden behind
+/// the `.tmp` name and the caller must re-issue the whole write.
+fn write_rank_file(
+    path: &PathBuf,
+    records: &[ScoreRecord],
+    fail_midway: bool,
+) -> Result<PathBuf, H5Error> {
+    let mut w = H5Writer::create_atomic(path)?;
+    if fail_midway {
+        // The pipe breaks mid-chunk: half the records are on disk in the
+        // staging file, the rest are lost with the connection. The writer
+        // is dropped un-finished, exactly like a killed process — the
+        // retry's own staging write truncates these bytes.
+        w.write_chunk("predictions", &records[..records.len() / 2])?;
+        drop(w);
+        return Err(H5Error::Io(std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "injected broken pipe",
+        )));
+    }
+    w.write_chunk("predictions", records)?;
+    w.finish()
 }
 
 /// Runs one evaluation job to completion (or node failure).
@@ -193,6 +228,7 @@ pub fn run_job(
     let eval_start = Instant::now();
     let comm: Arc<Communicator<ScoreRecord>> = Communicator::new(num_ranks);
     let faults: Mutex<Vec<FaultEvent>> = Mutex::new(Vec::new());
+    let write_retries = std::sync::atomic::AtomicUsize::new(0);
     // Per-rank result slot: (gathered records, output file path).
     type RankOutput = Mutex<Option<(Vec<ScoreRecord>, PathBuf)>>;
     let rank_outputs: Vec<RankOutput> = (0..num_ranks).map(|_| Mutex::new(None)).collect();
@@ -209,6 +245,7 @@ pub fn run_job(
             let rank_outputs = &rank_outputs;
             let pool = pool.clone();
             let rank_times = &rank_times;
+            let write_retries = &write_retries;
             s.spawn(move |_| {
                 let rank_start = Instant::now();
                 let records = pool.install(|| {
@@ -227,13 +264,18 @@ pub fn run_job(
                     .collect();
                 let path =
                     cfg.output_dir.join(format!("job{:05}_rank{:02}.dfh5", spec.job_id, rank));
-                if injector.broken_pipe(spec.job_id, spec.attempt, rank) {
-                    // First write fails; log and retry once.
-                    faults.lock().push(FaultEvent::BrokenPipe { rank, retried: true });
-                }
-                let mut w = H5Writer::create(&path).expect("create rank output");
-                w.write_chunk("predictions", &mine).expect("write predictions");
-                let path = w.finish().expect("flush rank output");
+                let fail_first = injector.broken_pipe(spec.job_id, spec.attempt, rank);
+                let path = match write_rank_file(&path, &mine, fail_first) {
+                    Ok(p) => p,
+                    Err(_broken_pipe) => {
+                        // The first write really failed; log it and
+                        // re-issue the whole write from scratch.
+                        faults.lock().push(FaultEvent::BrokenPipe { rank, retried: true });
+                        write_retries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        dftrace::counter_add("hts.write_retries", 1);
+                        write_rank_file(&path, &mine, false).expect("re-issued rank output")
+                    }
+                };
                 *rank_outputs[rank].lock() = Some((all, path));
                 if dftrace::enabled() {
                     let elapsed = rank_start.elapsed();
@@ -272,11 +314,21 @@ pub fn run_job(
             dftrace::gauge_set("hts.rank_skew", max / mean);
         }
     }
+    // Rank threads log faults in completion order, which races. Canonical
+    // order keeps the job output (and thus a resumed campaign's restored
+    // fault log) bit-identical across runs.
+    let mut fault_log = faults.into_inner();
+    fault_log.sort_by_key(|f| match f {
+        FaultEvent::BadMetadata { compound_index } => (0u8, *compound_index, 0u64),
+        FaultEvent::BrokenPipe { rank, retried } => (1, *rank as u64, u64::from(*retried)),
+        FaultEvent::NodeFailure { node } => (2, *node as u64, 0),
+    });
     Ok(JobOutput {
         job_id: spec.job_id,
         records,
         files,
-        faults: faults.into_inner(),
+        faults: fault_log,
+        write_retries: write_retries.into_inner(),
         timing: JobTiming { startup, evaluate, output, poses_evaluated },
     })
 }
@@ -444,8 +496,33 @@ mod tests {
             .filter(|f| matches!(f, FaultEvent::BrokenPipe { retried: true, .. }))
             .count();
         assert_eq!(pipes, 4, "every rank retried its write");
-        // Retries succeeded: all records on disk.
+        // Regression lock: the events must reflect *real* re-issued
+        // writes, not log-only bookkeeping — reverting the fix (logging
+        // the event without failing the first write) leaves this at 0.
+        assert_eq!(out.write_retries, 4, "each logged pipe is a real second write");
+        // Retries succeeded: all records on disk, no staging litter.
         assert_eq!(read_dir(&dir).unwrap().len(), out.records.len());
+        let leftover_tmp = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .count();
+        assert_eq!(leftover_tmp, 0, "retry overwrote and renamed the staging file");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn clean_job_reports_no_write_retries() {
+        let dir = tmpdir("noretry");
+        let out = run_job(
+            &cfg(dir.clone(), FaultConfig::default()),
+            &spec(6, 4),
+            &VinaScorerFactory,
+            &SyntheticPoseSource { poses_per_compound: 1 },
+        )
+        .unwrap();
+        assert_eq!(out.write_retries, 0);
+        assert!(out.faults.is_empty());
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -8,9 +8,15 @@
 //!   assignment, batched inference, allgather and parallel file output
 //!   (Figure 3);
 //! * [`fault`] + [`scheduler`] — fault injection and the reschedule-on-
-//!   failure campaign loop;
+//!   failure campaign loop, with deterministic exponential retry backoff;
+//! * [`checkpoint`] — the crash-safe campaign manifest: terminal job
+//!   events are journaled (fsynced, torn tails dropped on load) so
+//!   [`resume_campaign`] can restart a killed driver and produce a result
+//!   set bit-identical to an uninterrupted run;
 //! * [`allgather`] — MPI-style collectives over rank threads;
-//! * [`h5lite`] — the chunked binary result format standing in for HDF5;
+//! * [`h5lite`] — the chunked binary result format standing in for HDF5,
+//!   written atomically (`*.tmp` + `sync_all` + rename) so killed jobs
+//!   never leave readable partial files;
 //! * [`throughput`] — measured rates plus the calibrated Lassen model
 //!   behind Table 7 and the §4.2 speedups. All rate arithmetic routes
 //!   through `dftrace::rate`, the workspace's single compounds/s
@@ -25,6 +31,7 @@
 //! straggler gauge; see `docs/OBSERVABILITY.md`.
 
 pub mod allgather;
+pub mod checkpoint;
 pub mod cluster;
 pub mod enrichment;
 pub mod fault;
@@ -36,6 +43,10 @@ pub mod simulate;
 pub mod throughput;
 
 pub use allgather::Communicator;
+pub use checkpoint::{
+    load_manifest, reconstruct_output, CheckpointError, CheckpointWriter, JobSummary,
+    LoadedManifest, ManifestEntry,
+};
 pub use cluster::{ClusterSpec, GpuMemoryModel, NodeSpec, RankSpec};
 pub use enrichment::{enrichment_factor, recovery_auc, recovery_curve, FunnelReport, ScreenItem};
 pub use fault::{FaultConfig, FaultEvent, FaultInjector};
@@ -44,7 +55,9 @@ pub use job::{
     run_job, DockingPoseSource, JobConfig, JobError, JobOutput, JobSpec, JobTiming, PoseSource,
     SyntheticPoseSource,
 };
-pub use scheduler::{run_campaign, CampaignReport, SchedulerConfig};
+pub use scheduler::{
+    resume_campaign, retry_backoff, run_campaign, CampaignReport, SchedulerConfig,
+};
 pub use scorer::{
     FusionScorer, FusionScorerFactory, MmGbsaScorer, MmGbsaScorerFactory, Scorer, ScorerFactory,
     VinaScorer, VinaScorerFactory,

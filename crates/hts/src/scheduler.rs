@@ -6,11 +6,31 @@
 //! fails it has minimal impact on overall throughput (another job takes
 //! its place) ... and only a small set of compounds are affected or need
 //! to be rescheduled" (§4.2).
+//!
+//! Three durability/liveness properties on top of that:
+//!
+//! * **Liveness.** A worker only exits when the queue is empty *and*
+//!   nothing is in flight. A momentarily-empty queue (every remaining job
+//!   currently running) parks the worker on a condvar instead of killing
+//!   it, so jobs re-queued by a failure retry at full parallelism.
+//! * **Deterministic backoff.** A failed attempt waits
+//!   [`retry_backoff`] — exponential in the attempt number with jitter
+//!   derived from `(job_id, attempt)` via `derive_seed` — before being
+//!   re-queued, so retry storms spread out identically on every run.
+//! * **Checkpointing.** [`resume_campaign`] journals every terminal job
+//!   event to a crash-safe [`checkpoint`](crate::checkpoint) manifest and
+//!   skips journaled work on restart, yielding a result set bit-identical
+//!   to an uninterrupted run.
 
+use crate::checkpoint::{
+    reconstruct_output, summarize, CheckpointError, CheckpointWriter, ManifestEntry,
+};
 use crate::job::{run_job, JobConfig, JobError, JobOutput, JobSpec, PoseSource};
 use crate::scorer::ScorerFactory;
-use parking_lot::Mutex;
+use dftensor::rng::derive_seed;
+use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Scheduler limits.
@@ -20,12 +40,42 @@ pub struct SchedulerConfig {
     pub max_parallel_jobs: usize,
     /// Attempts per job before giving up.
     pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt. Zero disables
+    /// backoff entirely.
+    pub base_backoff: Duration,
+    /// Upper bound on the exponential backoff.
+    pub max_backoff: Duration,
 }
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
-        Self { max_parallel_jobs: 4, max_attempts: 5 }
+        Self {
+            max_parallel_jobs: 4,
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+        }
     }
+}
+
+/// Deterministic exponential backoff with jitter for retry `attempt` of
+/// `job_id` (attempt 1 = first retry).
+///
+/// The delay is `base << (attempt-1)`, capped at `max`, scaled by a
+/// jitter factor in `[0.5, 1.0]` derived from `(job_id, attempt)` via
+/// `derive_seed` — the same `(job, attempt)` always backs off for the
+/// same duration, so campaigns stay bit-reproducible, while distinct jobs
+/// failing together de-synchronize instead of retrying in lockstep.
+pub fn retry_backoff(base: Duration, max: Duration, job_id: u64, attempt: u32) -> Duration {
+    if base.is_zero() || attempt == 0 {
+        return Duration::ZERO;
+    }
+    let doublings = (attempt - 1).min(20);
+    let exp = base.saturating_mul(1u32 << doublings.min(31));
+    let capped = exp.min(max);
+    let h = derive_seed(job_id, 0xB0FF ^ attempt as u64);
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+    capped.mul_f64(0.5 + 0.5 * unit)
 }
 
 /// Campaign-level outcome.
@@ -36,6 +86,14 @@ pub struct CampaignReport {
     pub abandoned: Vec<JobSpec>,
     /// Total failed attempts across the run (rescheduled jobs).
     pub failed_attempts: usize,
+    /// Jobs restored from a checkpoint manifest instead of re-run
+    /// (always 0 for [`run_campaign`]).
+    pub jobs_resumed: usize,
+    /// Fewest live workers observed at any retry re-queue — a liveness
+    /// diagnostic. With the in-flight tracking fix this equals the worker
+    /// pool size; workers exiting early shows up as a smaller value.
+    /// `None` when no attempt failed.
+    pub min_live_workers_at_retry: Option<usize>,
     pub wall_time: Duration,
 }
 
@@ -51,6 +109,16 @@ impl CampaignReport {
     }
 }
 
+/// Shared queue state. `in_flight` is updated under the same lock as the
+/// queue so no worker can observe "queue empty, nothing in flight" while
+/// a running job is about to re-queue itself.
+struct SchedState {
+    queue: VecDeque<JobSpec>,
+    in_flight: usize,
+    live_workers: usize,
+    min_live_at_retry: Option<usize>,
+}
+
 /// Runs every job, retrying failures, across the worker pool.
 pub fn run_campaign(
     sched: &SchedulerConfig,
@@ -59,24 +127,158 @@ pub fn run_campaign(
     factory: &dyn ScorerFactory,
     source: &dyn PoseSource,
 ) -> CampaignReport {
+    campaign_loop(sched, specs, &|spec| run_job(job_cfg, spec, factory, source), None)
+}
+
+/// Resumes (or starts) a checkpointed campaign.
+///
+/// Loads the manifest at `manifest_path` (creating it if absent), restores
+/// every journaled completed job from its on-disk rank files, skips
+/// journaled abandoned jobs, and runs only the remainder — journaling each
+/// terminal event as it happens. The merged report is bit-identical to an
+/// uninterrupted [`run_campaign`] over the same `specs`.
+///
+/// Requirements for bit-identical resume: the same `specs`, `job_cfg`
+/// (rank layout decides record order) and scorer/pose source as the
+/// interrupted run, and the rank files it wrote still on disk. A journaled
+/// job whose rank files are missing or disagree with the journal is
+/// quietly re-run rather than trusted.
+pub fn resume_campaign(
+    sched: &SchedulerConfig,
+    job_cfg: &JobConfig,
+    specs: Vec<JobSpec>,
+    factory: &dyn ScorerFactory,
+    source: &dyn PoseSource,
+    manifest_path: impl AsRef<Path>,
+) -> Result<CampaignReport, CheckpointError> {
+    let (writer, loaded) = CheckpointWriter::open_or_create(manifest_path)?;
+
+    // Index the journal by job id, keeping the latest entry per job.
+    let mut journaled: std::collections::HashMap<u64, &ManifestEntry> =
+        std::collections::HashMap::new();
+    for entry in &loaded.entries {
+        journaled.insert(entry.job_id(), entry);
+    }
+
+    let mut restored: Vec<JobOutput> = Vec::new();
+    let mut abandoned: Vec<JobSpec> = Vec::new();
+    let mut remaining: Vec<JobSpec> = Vec::new();
+    for spec in specs {
+        match journaled.get(&spec.job_id) {
+            Some(ManifestEntry::Completed { spec: done_spec, summary }) => {
+                match reconstruct_output(job_cfg, done_spec, summary) {
+                    Ok(out) => restored.push(out),
+                    Err(_) => {
+                        // Rank files vanished or disagree with the
+                        // journal: the journal entry is unusable, re-run.
+                        dftrace::counter_add("hts.resume_restore_failed", 1);
+                        remaining.push(spec);
+                    }
+                }
+            }
+            Some(ManifestEntry::Abandoned { spec: dead_spec }) => {
+                abandoned.push(dead_spec.clone());
+            }
+            None => remaining.push(spec),
+        }
+    }
+    let resumed = restored.len();
+    dftrace::counter_add("hts.resume_skipped", (resumed + abandoned.len()) as u64);
+    dftrace::gauge_set("hts.jobs_resumed", resumed as f64);
+
+    let journal = Mutex::new(writer);
+    let mut report = campaign_loop(
+        sched,
+        remaining,
+        &|spec| run_job(job_cfg, spec, factory, source),
+        Some(&journal),
+    );
+
+    report.outputs.extend(restored);
+    report.outputs.sort_by_key(|o| o.job_id);
+    report.abandoned.extend(abandoned);
+    report.abandoned.sort_by_key(|s| s.job_id);
+    report.jobs_resumed = resumed;
+    Ok(report)
+}
+
+/// The campaign loop over an arbitrary job runner; `run_campaign` and
+/// `resume_campaign` instantiate it with [`run_job`], tests inject
+/// scripted runners to pin down scheduling behaviour.
+///
+/// When `journal` is given, every terminal job event is appended (and
+/// fsynced) *before* the result is published, so a driver crash never
+/// loses acknowledged work.
+fn campaign_loop<R>(
+    sched: &SchedulerConfig,
+    specs: Vec<JobSpec>,
+    runner: &R,
+    journal: Option<&Mutex<CheckpointWriter>>,
+) -> CampaignReport
+where
+    R: Fn(&JobSpec) -> Result<JobOutput, JobError> + Sync,
+{
     let _campaign_span = dftrace::span("hts.campaign");
     let start = Instant::now();
-    let queue: Mutex<VecDeque<JobSpec>> = Mutex::new(specs.into());
+    let workers = sched.max_parallel_jobs.max(1);
+    let state = Mutex::new(SchedState {
+        queue: specs.into(),
+        in_flight: 0,
+        live_workers: workers,
+        min_live_at_retry: None,
+    });
+    let work_cv = Condvar::new();
     let outputs: Mutex<Vec<JobOutput>> = Mutex::new(Vec::new());
     let abandoned: Mutex<Vec<JobSpec>> = Mutex::new(Vec::new());
     let failed_attempts = std::sync::atomic::AtomicUsize::new(0);
 
     crossbeam::scope(|s| {
-        for _ in 0..sched.max_parallel_jobs.max(1) {
+        for _ in 0..workers {
             s.spawn(|_| loop {
-                let Some(spec) = queue.lock().pop_front() else { break };
+                // Claim work. Exit only when the queue is empty AND no job
+                // is in flight — an in-flight failure may still re-queue.
+                let spec = {
+                    let mut st = state.lock();
+                    loop {
+                        if let Some(spec) = st.queue.pop_front() {
+                            st.in_flight += 1;
+                            break Some(spec);
+                        }
+                        if st.in_flight == 0 {
+                            break None;
+                        }
+                        work_cv.wait(&mut st);
+                    }
+                };
+                let Some(spec) = spec else {
+                    let mut st = state.lock();
+                    st.live_workers -= 1;
+                    drop(st);
+                    // Wake any parked sibling so it re-checks the exit
+                    // condition.
+                    work_cv.notify_all();
+                    break;
+                };
+
                 let job_start = Instant::now();
-                let result = run_job(job_cfg, &spec, factory, source);
+                let result = runner(&spec);
                 dftrace::observe_duration("hts.job_us", job_start.elapsed());
                 match result {
                     Ok(out) => {
                         dftrace::counter_add("hts.jobs_completed", 1);
-                        outputs.lock().push(out)
+                        // Journal-then-publish: the entry is fsynced
+                        // before the output becomes visible, so a crash
+                        // cannot acknowledge work it would later forget.
+                        if let Some(journal) = journal {
+                            let entry = ManifestEntry::Completed {
+                                spec: spec.clone(),
+                                summary: summarize(&out),
+                            };
+                            if journal.lock().append(&entry).is_err() {
+                                dftrace::counter_add("hts.checkpoint_append_failed", 1);
+                            }
+                        }
+                        outputs.lock().push(out);
                     }
                     Err(JobError::NodeFailure { .. }) => {
                         dftrace::counter_add("hts.jobs_failed", 1);
@@ -84,24 +286,59 @@ pub fn run_campaign(
                         let mut retry = spec;
                         retry.attempt += 1;
                         if retry.attempt < sched.max_attempts {
-                            // Another job takes its place: push to the back.
-                            queue.lock().push_back(retry);
+                            // Deterministic exponential backoff before the
+                            // retry re-enters the queue.
+                            let backoff = retry_backoff(
+                                sched.base_backoff,
+                                sched.max_backoff,
+                                retry.job_id,
+                                retry.attempt,
+                            );
+                            if !backoff.is_zero() {
+                                dftrace::counter_add("hts.backoff_retries", 1);
+                                dftrace::observe_duration("hts.backoff_us", backoff);
+                                std::thread::sleep(backoff);
+                            }
+                            let mut st = state.lock();
+                            // Liveness diagnostic: how many workers are
+                            // still alive to pick this retry up?
+                            let live = st.live_workers;
+                            st.min_live_at_retry =
+                                Some(st.min_live_at_retry.map_or(live, |m| m.min(live)));
+                            // Another job takes its place: push to the
+                            // back.
+                            st.queue.push_back(retry);
                         } else {
+                            if let Some(journal) = journal {
+                                let entry = ManifestEntry::Abandoned { spec: retry.clone() };
+                                if journal.lock().append(&entry).is_err() {
+                                    dftrace::counter_add("hts.checkpoint_append_failed", 1);
+                                }
+                            }
                             abandoned.lock().push(retry);
                         }
                     }
                 }
+                let mut st = state.lock();
+                st.in_flight -= 1;
+                drop(st);
+                work_cv.notify_all();
             });
         }
     })
     .expect("scheduler worker panicked");
 
+    let state = state.into_inner();
     let mut outputs = outputs.into_inner();
     outputs.sort_by_key(|o| o.job_id);
+    let mut abandoned = abandoned.into_inner();
+    abandoned.sort_by_key(|s| s.job_id);
     let report = CampaignReport {
         outputs,
-        abandoned: abandoned.into_inner(),
+        abandoned,
         failed_attempts: failed_attempts.into_inner(),
+        jobs_resumed: 0,
+        min_live_workers_at_retry: state.min_live_at_retry,
         wall_time: start.elapsed(),
     };
     // Same rate implementation the Table 7 model uses (dftrace::rate), so
@@ -114,11 +351,13 @@ pub fn run_campaign(
 mod tests {
     use super::*;
     use crate::fault::FaultConfig;
-    use crate::job::SyntheticPoseSource;
+    use crate::h5lite::read_dir;
+    use crate::job::{JobTiming, SyntheticPoseSource};
     use crate::scorer::VinaScorerFactory;
     use dfchem::genmol::Library;
     use dfchem::pocket::TargetSite;
     use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn tmpdir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("dfsched_{tag}_{}", std::process::id()));
@@ -144,11 +383,28 @@ mod tests {
         JobConfig { nodes: 1, ranks_per_node: 2, batch_size: 4, output_dir: dir, faults }
     }
 
+    /// A JobOutput for scripted runners that never touch disk.
+    fn stub_output(job_id: u64) -> JobOutput {
+        JobOutput {
+            job_id,
+            records: Vec::new(),
+            files: Vec::new(),
+            faults: Vec::new(),
+            write_retries: 0,
+            timing: JobTiming {
+                startup: Duration::ZERO,
+                evaluate: Duration::ZERO,
+                output: Duration::ZERO,
+                poses_evaluated: 0,
+            },
+        }
+    }
+
     #[test]
     fn all_jobs_complete_without_faults() {
         let dir = tmpdir("clean");
         let report = run_campaign(
-            &SchedulerConfig { max_parallel_jobs: 3, max_attempts: 2 },
+            &SchedulerConfig { max_parallel_jobs: 3, max_attempts: 2, ..Default::default() },
             &job_cfg(dir.clone(), FaultConfig::default()),
             specs(6, 4),
             &VinaScorerFactory,
@@ -157,6 +413,8 @@ mod tests {
         assert_eq!(report.outputs.len(), 6);
         assert!(report.abandoned.is_empty());
         assert_eq!(report.failed_attempts, 0);
+        assert_eq!(report.jobs_resumed, 0);
+        assert_eq!(report.min_live_workers_at_retry, None);
         assert_eq!(report.total_poses(), 6 * 4 * 2);
         assert!(report.poses_per_sec() > 0.0);
         std::fs::remove_dir_all(dir).ok();
@@ -168,7 +426,7 @@ mod tests {
         // Aggressive node failures; retries flip the outcome per attempt.
         let faults = FaultConfig { p_node_failure: 0.4, seed: 2, ..Default::default() };
         let report = run_campaign(
-            &SchedulerConfig { max_parallel_jobs: 2, max_attempts: 10 },
+            &SchedulerConfig { max_parallel_jobs: 2, max_attempts: 10, ..Default::default() },
             &job_cfg(dir.clone(), faults),
             specs(8, 3),
             &VinaScorerFactory,
@@ -185,7 +443,7 @@ mod tests {
         let dir = tmpdir("abandon");
         let faults = FaultConfig { p_node_failure: 1.0, seed: 3, ..Default::default() };
         let report = run_campaign(
-            &SchedulerConfig { max_parallel_jobs: 2, max_attempts: 3 },
+            &SchedulerConfig { max_parallel_jobs: 2, max_attempts: 3, ..Default::default() },
             &job_cfg(dir.clone(), faults),
             specs(4, 2),
             &VinaScorerFactory,
@@ -203,7 +461,7 @@ mod tests {
         let d2 = tmpdir("p4");
         let run = |dir: PathBuf, par: usize| {
             run_campaign(
-                &SchedulerConfig { max_parallel_jobs: par, max_attempts: 2 },
+                &SchedulerConfig { max_parallel_jobs: par, max_attempts: 2, ..Default::default() },
                 &job_cfg(dir, FaultConfig::default()),
                 specs(5, 3),
                 &VinaScorerFactory,
@@ -219,5 +477,277 @@ mod tests {
         }
         std::fs::remove_dir_all(d1).ok();
         std::fs::remove_dir_all(d2).ok();
+    }
+
+    /// Regression test for the scheduler liveness bug: workers used to
+    /// exit as soon as the queue was momentarily empty, even with jobs in
+    /// flight whose failure would re-queue work.
+    ///
+    /// Deterministic schedule with a scripted runner and 2 workers:
+    /// job 1 completes instantly, after which its worker observes an
+    /// empty queue while job 0 is still in flight. Old code: that worker
+    /// exits, and when job 0 fails only 1 worker is left to take the
+    /// retry (`min_live_workers_at_retry == 1`). Fixed code: the worker
+    /// parks and is still alive at the re-queue.
+    #[test]
+    fn workers_wait_for_in_flight_jobs_instead_of_exiting() {
+        let job1_done = std::sync::atomic::AtomicBool::new(false);
+        let runner = |spec: &JobSpec| -> Result<JobOutput, JobError> {
+            match (spec.job_id, spec.attempt) {
+                (1, 0) => {
+                    job1_done.store(true, Ordering::SeqCst);
+                    Ok(stub_output(1))
+                }
+                (0, 0) => {
+                    // Hold job 0 in flight until job 1's worker has had
+                    // ample time to drain the queue and hit the empty
+                    // check, then fail so the retry gets re-queued.
+                    while !job1_done.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                    Err(JobError::NodeFailure { job_id: 0, node: 0 })
+                }
+                (0, _) => Ok(stub_output(0)),
+                other => panic!("unexpected schedule {other:?}"),
+            }
+        };
+        let report = campaign_loop(
+            &SchedulerConfig {
+                max_parallel_jobs: 2,
+                max_attempts: 3,
+                base_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+            },
+            specs(2, 1),
+            &runner,
+            None,
+        );
+        assert_eq!(report.outputs.len(), 2, "both jobs complete");
+        assert_eq!(report.failed_attempts, 1);
+        assert_eq!(
+            report.min_live_workers_at_retry,
+            Some(2),
+            "the idle worker must park, not exit, while job 0 is in flight"
+        );
+    }
+
+    /// Both workers stay available through a *chain* of staggered
+    /// failures — the cascade that used to serialize the whole tail of a
+    /// campaign.
+    #[test]
+    fn retry_chains_keep_full_parallelism() {
+        let fails_left = AtomicUsize::new(4);
+        let runner = |spec: &JobSpec| -> Result<JobOutput, JobError> {
+            std::thread::sleep(Duration::from_millis(5));
+            if fails_left
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                Err(JobError::NodeFailure { job_id: spec.job_id, node: 0 })
+            } else {
+                Ok(stub_output(spec.job_id))
+            }
+        };
+        let report = campaign_loop(
+            &SchedulerConfig {
+                max_parallel_jobs: 3,
+                max_attempts: 10,
+                base_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+            },
+            specs(3, 1),
+            &runner,
+            None,
+        );
+        assert_eq!(report.outputs.len(), 3);
+        assert_eq!(report.failed_attempts, 4);
+        assert_eq!(report.min_live_workers_at_retry, Some(3), "no worker exited early");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let base = Duration::from_millis(2);
+        let max = Duration::from_millis(50);
+        // Deterministic: same (job, attempt) → same delay.
+        assert_eq!(retry_backoff(base, max, 7, 1), retry_backoff(base, max, 7, 1));
+        // Jitter: different jobs de-synchronize.
+        assert_ne!(retry_backoff(base, max, 7, 1), retry_backoff(base, max, 8, 1));
+        // Exponential envelope with jitter in [0.5, 1.0] × capped value.
+        for attempt in 1..8u32 {
+            let nominal = base.saturating_mul(1u32 << (attempt - 1)).min(max);
+            for job in 0..20u64 {
+                let d = retry_backoff(base, max, job, attempt);
+                assert!(d >= nominal.mul_f64(0.5), "attempt {attempt} job {job}: {d:?}");
+                assert!(d <= nominal, "attempt {attempt} job {job}: {d:?}");
+            }
+        }
+        // Attempt 0 and zero base disable backoff.
+        assert_eq!(retry_backoff(base, max, 1, 0), Duration::ZERO);
+        assert_eq!(retry_backoff(Duration::ZERO, max, 1, 3), Duration::ZERO);
+        // Huge attempt numbers saturate instead of overflowing.
+        assert!(retry_backoff(base, max, 1, u32::MAX) <= max);
+    }
+
+    #[test]
+    fn resumed_campaign_is_bit_identical_to_uninterrupted() {
+        let clean_dir = tmpdir("resume_clean");
+        let crash_dir = tmpdir("resume_crash");
+        let sched = SchedulerConfig { max_parallel_jobs: 2, max_attempts: 4, ..Default::default() };
+        let faults =
+            FaultConfig { p_node_failure: 0.25, p_broken_pipe: 0.2, seed: 9, ..Default::default() };
+        let source = SyntheticPoseSource { poses_per_compound: 2 };
+
+        // Uninterrupted reference run.
+        let clean = run_campaign(
+            &sched,
+            &job_cfg(clean_dir.clone(), faults),
+            specs(6, 4),
+            &VinaScorerFactory,
+            &source,
+        );
+        assert_eq!(clean.outputs.len(), 6);
+
+        // "Crashed" run: the driver dies after 3 of 6 jobs. Simulated by
+        // journaling exactly what the scheduler would have journaled for
+        // the first 3 jobs (running them for real), then dropping the
+        // writer mid-entry to leave a torn tail.
+        let crash_cfg = job_cfg(crash_dir.clone(), faults);
+        let manifest = crash_dir.join("campaign.dfcp");
+        {
+            let mut w = CheckpointWriter::create(&manifest).unwrap();
+            for spec in specs(3, 4) {
+                let mut spec = spec;
+                let out = loop {
+                    match run_job(&crash_cfg, &spec, &VinaScorerFactory, &source) {
+                        Ok(out) => break out,
+                        Err(_) => spec.attempt += 1,
+                    }
+                };
+                w.append(&ManifestEntry::Completed { spec, summary: summarize(&out) }).unwrap();
+            }
+            drop(w);
+            // Torn tail: the driver died mid-append on job 3.
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&manifest).unwrap();
+            f.write_all(&120u32.to_le_bytes()).unwrap();
+            f.write_all(b"half a frame").unwrap();
+        }
+
+        // Resume over the full spec list: only jobs 3..6 re-run.
+        let resumed = resume_campaign(
+            &sched,
+            &crash_cfg,
+            specs(6, 4),
+            &VinaScorerFactory,
+            &source,
+            &manifest,
+        )
+        .unwrap();
+        assert_eq!(resumed.jobs_resumed, 3);
+        assert_eq!(resumed.outputs.len(), 6);
+
+        // Bit-identical result set: same jobs, same records, same order,
+        // same scores to the last bit.
+        for (a, b) in clean.outputs.iter().zip(&resumed.outputs) {
+            assert_eq!(a.job_id, b.job_id);
+            assert_eq!(a.records, b.records, "job {} records differ", a.job_id);
+            assert_eq!(a.faults, b.faults, "job {} fault log differs", a.job_id);
+        }
+        // And the merged on-disk view agrees between the two directories.
+        let mut on_disk_clean = read_dir(&clean_dir).unwrap();
+        let mut on_disk_crash = read_dir(&crash_dir).unwrap();
+        let key = |r: &crate::h5lite::ScoreRecord| (r.compound.index, r.pose_rank);
+        on_disk_clean.sort_by_key(key);
+        on_disk_crash.sort_by_key(key);
+        assert_eq!(on_disk_clean, on_disk_crash);
+
+        // Resuming again re-runs nothing and still reports everything.
+        let again = resume_campaign(
+            &sched,
+            &crash_cfg,
+            specs(6, 4),
+            &VinaScorerFactory,
+            &source,
+            &manifest,
+        )
+        .unwrap();
+        assert_eq!(again.jobs_resumed, 6);
+        assert_eq!(again.failed_attempts, 0, "nothing re-ran");
+        for (a, b) in clean.outputs.iter().zip(&again.outputs) {
+            assert_eq!(a.records, b.records);
+        }
+
+        std::fs::remove_dir_all(clean_dir).ok();
+        std::fs::remove_dir_all(crash_dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_corrupt_manifest_gracefully() {
+        let dir = tmpdir("resume_corrupt");
+        let manifest = dir.join("campaign.dfcp");
+        std::fs::write(&manifest, b"GARBAGE!").unwrap();
+        let err = resume_campaign(
+            &SchedulerConfig::default(),
+            &job_cfg(dir.clone(), FaultConfig::default()),
+            specs(2, 2),
+            &VinaScorerFactory,
+            &SyntheticPoseSource { poses_per_compound: 1 },
+            &manifest,
+        );
+        assert!(matches!(err, Err(CheckpointError::Corrupt(_))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn resume_reruns_jobs_whose_rank_files_were_lost() {
+        let dir = tmpdir("resume_lostfiles");
+        let cfg = job_cfg(dir.clone(), FaultConfig::default());
+        let manifest = dir.join("campaign.dfcp");
+        let source = SyntheticPoseSource { poses_per_compound: 1 };
+        let sched = SchedulerConfig { max_parallel_jobs: 2, max_attempts: 2, ..Default::default() };
+
+        let first =
+            resume_campaign(&sched, &cfg, specs(3, 2), &VinaScorerFactory, &source, &manifest)
+                .unwrap();
+        assert_eq!(first.outputs.len(), 3);
+        // Delete job 1's rank files out from under the journal.
+        for f in &first.outputs[1].files {
+            std::fs::remove_file(f).unwrap();
+        }
+        let resumed =
+            resume_campaign(&sched, &cfg, specs(3, 2), &VinaScorerFactory, &source, &manifest)
+                .unwrap();
+        assert_eq!(resumed.outputs.len(), 3, "job 1 was re-run, not lost");
+        assert_eq!(resumed.jobs_resumed, 2);
+        for (a, b) in first.outputs.iter().zip(&resumed.outputs) {
+            assert_eq!(a.records, b.records, "re-run reproduces the records");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn abandoned_jobs_are_journaled_and_skipped_on_resume() {
+        let dir = tmpdir("resume_abandoned");
+        let faults = FaultConfig { p_node_failure: 1.0, seed: 3, ..Default::default() };
+        let cfg = job_cfg(dir.clone(), faults);
+        let manifest = dir.join("campaign.dfcp");
+        let sched = SchedulerConfig { max_parallel_jobs: 2, max_attempts: 2, ..Default::default() };
+        let source = SyntheticPoseSource { poses_per_compound: 1 };
+
+        let first =
+            resume_campaign(&sched, &cfg, specs(3, 2), &VinaScorerFactory, &source, &manifest)
+                .unwrap();
+        assert_eq!(first.abandoned.len(), 3);
+        assert_eq!(first.failed_attempts, 6);
+
+        let resumed =
+            resume_campaign(&sched, &cfg, specs(3, 2), &VinaScorerFactory, &source, &manifest)
+                .unwrap();
+        assert_eq!(resumed.abandoned.len(), 3, "abandonment is remembered");
+        assert_eq!(resumed.failed_attempts, 0, "no attempts were re-burned");
+        // The journaled specs carry the final attempt count.
+        assert!(resumed.abandoned.iter().all(|s| s.attempt == 2));
+        std::fs::remove_dir_all(dir).ok();
     }
 }

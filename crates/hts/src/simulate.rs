@@ -40,6 +40,12 @@ pub struct CampaignSim {
     pub duration_jitter: f64,
     /// Probability a job attempt fails and is rescheduled.
     pub p_job_failure: f64,
+    /// Base retry backoff in hours (LSF re-queue latency). A failed job's
+    /// retry only becomes eligible after the same deterministic
+    /// exponential-backoff-with-jitter policy the live scheduler uses
+    /// ([`crate::scheduler::retry_backoff`], capped at 16× the base).
+    /// Zero re-queues immediately (the pre-backoff behaviour).
+    pub retry_backoff_hours: f64,
     pub seed: u64,
 }
 
@@ -59,6 +65,8 @@ impl CampaignSim {
             ],
             duration_jitter: 0.05,
             p_job_failure: 0.03,
+            // ≈3 min before a failed job re-enters the LSF queue.
+            retry_backoff_hours: 0.05,
             seed: 0,
         }
     }
@@ -138,7 +146,9 @@ pub fn simulate_campaign(sim: &CampaignSim) -> CampaignSimReport {
     let mut t = 0.0f64; // hours
     let mut next_job: u64 = 0;
     let mut attempts: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
-    let mut pending_retries: Vec<u64> = Vec::new();
+    // Failed jobs awaiting retry, as (ready_time_hours, job_id): a retry
+    // may not launch before its backoff elapses.
+    let mut pending_retries: Vec<(f64, u64)> = Vec::new();
     let mut running: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
     let mut completed_poses: u64 = 0;
     let mut jobs_completed: u64 = 0;
@@ -166,27 +176,48 @@ pub fn simulate_campaign(sim: &CampaignSim) -> CampaignSimReport {
         }));
     };
 
+    // Earliest retry ready-time strictly in the future (retries already
+    // eligible are launchable now and need no wake-up).
+    let next_retry_ready = |pending: &[(f64, u64)], t: f64| -> Option<f64> {
+        pending
+            .iter()
+            .map(|&(ready, _)| ready)
+            .filter(|&r| r > t + 1e-12)
+            .fold(None, |acc: Option<f64>, r| Some(acc.map_or(r, |a: f64| a.min(r))))
+    };
+
     loop {
-        // Fill free slots under the current allotment.
+        // Fill free slots under the current allotment. Retries take
+        // priority over fresh jobs but only once their backoff elapsed.
         let slots = sim.nodes_at(t) / model.nodes_per_job;
-        while running.len() < slots && (next_job < total_jobs || !pending_retries.is_empty()) {
-            let job_id = if let Some(j) = pending_retries.pop() {
-                j
-            } else {
+        while running.len() < slots {
+            let ready_retry = pending_retries.iter().position(|&(ready, _)| ready <= t + 1e-12);
+            let job_id = if let Some(i) = ready_retry {
+                pending_retries.swap_remove(i).1
+            } else if next_job < total_jobs {
                 let j = next_job;
                 next_job += 1;
                 j
+            } else {
+                break;
             };
             launch(job_id, t, &mut attempts, &mut running, &mut duration_rng);
         }
         let Some(Reverse(head)) = running.peek() else {
-            // Nothing running. If work remains but the current window is too
-            // small to host a single job, idle forward to the next window
-            // instead of silently abandoning the campaign.
+            // Nothing running. If work remains but cannot launch yet —
+            // the window is too small to host a job, or every pending
+            // retry is still backing off — idle forward to whichever
+            // comes first instead of silently abandoning the campaign.
             if next_job < total_jobs || !pending_retries.is_empty() {
-                match sim.next_boundary(t) {
-                    Some(b) => {
-                        t = b;
+                let boundary = sim.next_boundary(t);
+                let ready = next_retry_ready(&pending_retries, t);
+                let target = match (boundary, ready) {
+                    (Some(b), Some(r)) => Some(b.min(r)),
+                    (b, r) => b.or(r),
+                };
+                match target {
+                    Some(next) => {
+                        t = next;
                         continue;
                     }
                     None => break, // starved forever: report what completed
@@ -196,11 +227,18 @@ pub fn simulate_campaign(sim: &CampaignSim) -> CampaignSimReport {
         };
         let head_t = head.t;
 
-        // Advance to the earlier of: next completion, next schedule change.
-        let t_next = match sim.next_boundary(t) {
+        // Advance to the earliest of: next completion, next schedule
+        // change, or — when a slot is free to take it — the next retry
+        // coming off backoff.
+        let mut t_next = match sim.next_boundary(t) {
             Some(b) if b < head_t => b,
             _ => head_t,
         };
+        if running.len() < slots {
+            if let Some(r) = next_retry_ready(&pending_retries, t) {
+                t_next = t_next.min(r);
+            }
+        }
         let dt = (t_next - t).max(0.0);
         busy_slot_hours += running.len() as f64 * dt;
         // When a window shrinks below the number of running jobs, those jobs
@@ -214,8 +252,25 @@ pub fn simulate_campaign(sim: &CampaignSim) -> CampaignSimReport {
             let Reverse(done) = running.pop().expect("peeked");
             if done.failed {
                 jobs_rescheduled += 1;
-                pending_retries.push(done.job_id);
-                *attempts.get_mut(&done.job_id).expect("launched") += 1;
+                let attempt = attempts.get_mut(&done.job_id).expect("launched");
+                *attempt += 1;
+                // The retry waits out the same deterministic backoff
+                // policy the live scheduler applies (jitter derived from
+                // (job_id, attempt), capped at 16× the base).
+                let backoff = if sim.retry_backoff_hours > 0.0 {
+                    let base = std::time::Duration::from_secs_f64(sim.retry_backoff_hours * 3600.0);
+                    crate::scheduler::retry_backoff(
+                        base,
+                        base.saturating_mul(16),
+                        done.job_id,
+                        *attempt,
+                    )
+                    .as_secs_f64()
+                        / 3600.0
+                } else {
+                    0.0
+                };
+                pending_retries.push((t + backoff, done.job_id));
             } else {
                 completed_poses += done.poses;
                 jobs_completed += 1;
@@ -257,6 +312,7 @@ mod tests {
             duration_jitter: 0.0,
             p_job_failure: 0.0,
             seed: 1,
+            retry_backoff_hours: 0.0,
         }
     }
 
@@ -293,6 +349,24 @@ mod tests {
         assert!(r.jobs_rescheduled > 0);
         let clean = simulate_campaign(&small_sim(40, 100_000_000));
         assert!(r.wall_hours > clean.wall_hours, "failures must cost wall time");
+    }
+
+    #[test]
+    fn retry_backoff_costs_wall_time_but_not_poses() {
+        let mut eager = small_sim(40, 100_000_000);
+        eager.p_job_failure = 0.3;
+        let mut patient = eager.clone();
+        patient.retry_backoff_hours = 0.5;
+        let a = simulate_campaign(&eager);
+        let b = simulate_campaign(&patient);
+        assert_eq!(a.jobs_rescheduled, b.jobs_rescheduled, "same fault draws");
+        assert_eq!(b.total_poses, 100_000_000, "backoff delays work, never drops it");
+        assert!(
+            b.wall_hours > a.wall_hours,
+            "waiting out backoff must cost wall time: {} vs {}",
+            b.wall_hours,
+            a.wall_hours
+        );
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Fault-matrix durability sweep.
+//!
+//! Runs whole campaigns under `FaultConfig::noisy` across several seeds,
+//! interrupting and resuming each one, and checks the crash-safety
+//! invariants end to end:
+//!
+//! * a resumed campaign is bit-identical to an uninterrupted one;
+//! * the output directory never contains a readable partial file or a
+//!   leftover `*.tmp` staging file;
+//! * resuming a finished campaign re-runs nothing;
+//! * the manifest survives a torn tail appended by a "dying" driver.
+//!
+//! The sweep re-runs every campaign twice per seed, so it is gated behind
+//! `DFHTS_FAULT_MATRIX=1` (CI sets it in the fault-matrix job; the plain
+//! test suite skips it).
+
+use dfchem::genmol::Library;
+use dfchem::pocket::TargetSite;
+use dfhts::checkpoint::summarize;
+use dfhts::{
+    read_dir, resume_campaign, run_campaign, run_job, CheckpointWriter, FaultConfig, JobConfig,
+    JobSpec, ManifestEntry, SchedulerConfig, SyntheticPoseSource, VinaScorerFactory,
+};
+use std::path::PathBuf;
+
+fn enabled() -> bool {
+    std::env::var("DFHTS_FAULT_MATRIX").map(|v| v == "1").unwrap_or(false)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dffm_{tag}_{}", std::process::id()));
+    if d.exists() {
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn specs(n: u64, per_job: u64) -> Vec<JobSpec> {
+    (0..n)
+        .map(|j| JobSpec {
+            job_id: j,
+            target: TargetSite::Protease1,
+            library: Library::EnamineVirtual,
+            first_compound: j * per_job,
+            num_compounds: per_job,
+            campaign_seed: 77,
+            attempt: 0,
+        })
+        .collect()
+}
+
+fn job_cfg(dir: PathBuf, faults: FaultConfig) -> JobConfig {
+    JobConfig { nodes: 1, ranks_per_node: 4, batch_size: 8, output_dir: dir, faults }
+}
+
+fn assert_no_staging_leftovers(dir: &PathBuf) {
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        assert!(
+            path.extension().map(|e| e != "tmp").unwrap_or(true),
+            "leftover staging file {path:?}"
+        );
+    }
+}
+
+#[test]
+fn noisy_campaigns_survive_crash_and_resume_across_seeds() {
+    if !enabled() {
+        eprintln!("skipping: set DFHTS_FAULT_MATRIX=1 to run the fault matrix");
+        return;
+    }
+    let sched = SchedulerConfig { max_parallel_jobs: 3, max_attempts: 6, ..Default::default() };
+    let source = SyntheticPoseSource { poses_per_compound: 2 };
+    const JOBS: u64 = 5;
+    const PER_JOB: u64 = 8;
+
+    for seed in [1u64, 7, 23, 42] {
+        let faults = FaultConfig::noisy(seed);
+
+        // Uninterrupted reference campaign.
+        let clean_dir = tmpdir(&format!("clean_{seed}"));
+        let clean = run_campaign(
+            &sched,
+            &job_cfg(clean_dir.clone(), faults),
+            specs(JOBS, PER_JOB),
+            &VinaScorerFactory,
+            &source,
+        );
+        assert_eq!(clean.outputs.len() + clean.abandoned.len(), JOBS as usize, "seed {seed}");
+        assert_no_staging_leftovers(&clean_dir);
+
+        // "Crashed" campaign: the driver journals the first two jobs'
+        // terminal events, then dies mid-append.
+        let crash_dir = tmpdir(&format!("crash_{seed}"));
+        let crash_cfg = job_cfg(crash_dir.clone(), faults);
+        let manifest = crash_dir.join("campaign.dfcp");
+        {
+            let mut w = CheckpointWriter::create(&manifest).unwrap();
+            for spec in specs(2, PER_JOB) {
+                let mut spec = spec;
+                let entry = loop {
+                    match run_job(&crash_cfg, &spec, &VinaScorerFactory, &source) {
+                        Ok(out) => {
+                            break ManifestEntry::Completed { spec, summary: summarize(&out) }
+                        }
+                        Err(_) if spec.attempt + 1 < sched.max_attempts => spec.attempt += 1,
+                        Err(_) => break ManifestEntry::Abandoned { spec },
+                    }
+                };
+                w.append(&entry).unwrap();
+            }
+            drop(w);
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&manifest).unwrap();
+            f.write_all(&64u32.to_le_bytes()).unwrap();
+            f.write_all(b"driver died here").unwrap();
+        }
+
+        // Resume over the full spec list; only the un-journaled jobs run.
+        let resumed = resume_campaign(
+            &sched,
+            &crash_cfg,
+            specs(JOBS, PER_JOB),
+            &VinaScorerFactory,
+            &source,
+            &manifest,
+        )
+        .unwrap();
+        assert_no_staging_leftovers(&crash_dir);
+
+        // Bit-identical to the uninterrupted run.
+        assert_eq!(clean.outputs.len(), resumed.outputs.len(), "seed {seed}");
+        assert_eq!(clean.abandoned, resumed.abandoned, "seed {seed}");
+        for (a, b) in clean.outputs.iter().zip(&resumed.outputs) {
+            assert_eq!(a.job_id, b.job_id, "seed {seed}");
+            assert_eq!(a.records, b.records, "seed {seed} job {} records differ", a.job_id);
+            assert_eq!(a.faults, b.faults, "seed {seed} job {} fault log differs", a.job_id);
+        }
+        let mut on_disk_clean = read_dir(&clean_dir).unwrap();
+        let mut on_disk_crash = read_dir(&crash_dir).unwrap();
+        let key = |r: &dfhts::ScoreRecord| (r.compound.index, r.pose_rank);
+        on_disk_clean.sort_by_key(key);
+        on_disk_crash.sort_by_key(key);
+        assert_eq!(on_disk_clean, on_disk_crash, "seed {seed} on-disk records differ");
+
+        // A second resume restores everything from the journal.
+        let again = resume_campaign(
+            &sched,
+            &crash_cfg,
+            specs(JOBS, PER_JOB),
+            &VinaScorerFactory,
+            &source,
+            &manifest,
+        )
+        .unwrap();
+        assert_eq!(again.jobs_resumed, resumed.outputs.len() + resumed.abandoned.len());
+        assert_eq!(again.failed_attempts, 0, "seed {seed}: nothing should re-run");
+        for (a, b) in clean.outputs.iter().zip(&again.outputs) {
+            assert_eq!(a.records, b.records, "seed {seed} second resume diverged");
+        }
+
+        for d in [&clean_dir, &crash_dir] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+}

@@ -73,7 +73,7 @@ fn main() {
         })
         .collect();
     let report = run_screening_campaign(
-        &SchedulerConfig { max_parallel_jobs: 4, max_attempts: 6 },
+        &SchedulerConfig { max_parallel_jobs: 4, max_attempts: 6, ..Default::default() },
         &noisy,
         specs,
         &VinaScorerFactory,
