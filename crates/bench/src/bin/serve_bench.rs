@@ -1,0 +1,178 @@
+//! Online-serving benchmark: dfserve under nominal and overload traffic.
+//!
+//! Runs the deterministic traffic simulator against a fresh scoring
+//! service twice — a closed-loop nominal profile (think-time clients, no
+//! shedding expected) and an open-loop overload profile (Poisson arrivals
+//! well past the service rate, the degradation ladder must engage) — and
+//! writes `BENCH_serve.json` at the repo root: virtual-time throughput,
+//! p50/p95/p99 queue-wait and end-to-end latency read back from the
+//! `dftrace` histograms the service itself records, cache hit rates, shed
+//! rate and per-tier completion counts.
+//!
+//! Both profiles run on the virtual clock, so every number in the file is
+//! bit-reproducible across hosts and runs; wall-clock time spent in model
+//! compute is visible separately through the `serve.batch_exec` span.
+//!
+//! ```sh
+//! cargo run --release -p dfbench --bin serve_bench            # full
+//! cargo run --release -p dfbench --bin serve_bench -- --smoke # CI gate
+//! ```
+//!
+//! `--smoke` shrinks the request counts, then re-reads the emitted file
+//! and asserts it parses and that the nominal profile shed nothing.
+
+use dfserve::{
+    run_closed_loop, run_open_loop, ScoreService, ServeConfig, SimReport, TrafficConfig,
+};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+#[derive(Serialize, Deserialize)]
+struct Latency {
+    p50_vus: u64,
+    p95_vus: u64,
+    p99_vus: u64,
+}
+
+impl Latency {
+    /// Reads one latency family back out of the service's own telemetry.
+    fn from_trace(report: &dftrace::Report, name: &str) -> Latency {
+        let h = report.histogram(name).unwrap_or_else(|| panic!("histogram {name} missing"));
+        Latency {
+            p50_vus: h.percentile(0.50),
+            p95_vus: h.percentile(0.95),
+            p99_vus: h.percentile(0.99),
+        }
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct TierCounts {
+    full: u64,
+    sg_head: u64,
+    vina: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ProfileReport {
+    name: String,
+    issued: u64,
+    completed: u64,
+    shed: u64,
+    shed_rate: f64,
+    /// Completions per *virtual* second — bit-reproducible across hosts.
+    throughput_per_vsec: f64,
+    /// Queue-wait percentiles from the `serve.queue_wait_vus` histogram.
+    queue_wait: Latency,
+    /// End-to-end percentiles from the `serve.e2e_vus` histogram.
+    e2e: Latency,
+    per_tier: TierCounts,
+    batches: u64,
+    mean_batch_size: f64,
+    score_cache_hit_rate: f64,
+    feature_cache_hit_rate: f64,
+    /// Wall-clock µs spent in model batch execution (host-dependent).
+    batch_exec_wall_us: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ServeBench {
+    smoke: bool,
+    host_cpus: usize,
+    profiles: Vec<ProfileReport>,
+}
+
+/// Runs one traffic profile against a fresh service, reading latency and
+/// batch-size numbers back from the dftrace telemetry the service emits.
+fn run_profile(
+    name: &str,
+    campaign_seed: u64,
+    run: impl FnOnce(&mut ScoreService) -> (SimReport, Vec<dfserve::ScoreResponse>),
+) -> ProfileReport {
+    dftrace::reset();
+    let mut svc = ScoreService::with_fresh_registry(ServeConfig::tiny(campaign_seed));
+    let (sim, _responses) = run(&mut svc);
+    let trace = dftrace::snapshot();
+    let stats = svc.stats();
+    let hist_batch = trace.histogram("serve.batch_size");
+    let report = ProfileReport {
+        name: name.to_string(),
+        issued: sim.issued,
+        completed: sim.completed,
+        shed: sim.shed,
+        shed_rate: sim.shed_rate,
+        throughput_per_vsec: sim.throughput_per_vsec,
+        queue_wait: Latency::from_trace(&trace, "serve.queue_wait_vus"),
+        e2e: Latency::from_trace(&trace, "serve.e2e_vus"),
+        per_tier: TierCounts {
+            full: stats.per_tier[0],
+            sg_head: stats.per_tier[1],
+            vina: stats.per_tier[2],
+        },
+        batches: stats.batches,
+        mean_batch_size: hist_batch.map(|h| h.mean_us()).unwrap_or(0.0),
+        score_cache_hit_rate: svc.score_cache_stats().hit_rate(),
+        feature_cache_hit_rate: svc.feature_cache_stats().hit_rate(),
+        batch_exec_wall_us: trace.histogram("serve.batch_exec").map(|h| h.sum_us).unwrap_or(0),
+    };
+    eprintln!(
+        "  {name}: {} issued, {} completed, shed rate {:.3}, {:.0} scores/vsec, \
+         e2e p95 {} vµs, tiers full/sg/vina = {}/{}/{}",
+        report.issued,
+        report.completed,
+        report.shed_rate,
+        report.throughput_per_vsec,
+        report.e2e.p95_vus,
+        report.per_tier.full,
+        report.per_tier.sg_head,
+        report.per_tier.vina,
+    );
+    report
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (nominal_reqs, overload_reqs) = if smoke { (60, 80) } else { (300, 400) };
+    eprintln!("== dfserve traffic baseline ({host_cpus} host CPUs, smoke={smoke}) ==");
+
+    // The service records its telemetry unconditionally gated on the trace
+    // switch; the bench needs the histograms, so force it on.
+    dftrace::set_enabled(true);
+
+    let nominal = run_profile("nominal_closed_loop", 71, |svc| {
+        let traffic =
+            TrafficConfig { seed: 2024, requests: nominal_reqs, ..TrafficConfig::default() };
+        // 4 clients with 3 ms think time: offered load self-limits below
+        // the service rate, so the ladder should never engage.
+        run_closed_loop(svc, &traffic, 4, 3_000)
+    });
+    let overload = run_profile("overload_open_loop", 72, |svc| {
+        let traffic =
+            TrafficConfig { seed: 2025, requests: overload_reqs, ..TrafficConfig::default() };
+        // Poisson arrivals every ~100 virtual µs against a ~1000 µs/item
+        // service: the full 10x-overload degradation path.
+        run_open_loop(svc, &traffic, 100.0)
+    });
+
+    let bench = ServeBench { smoke, host_cpus, profiles: vec![nominal, overload] };
+    let json = serde_json::to_string_pretty(&bench).expect("serialize serve bench");
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    std::fs::write(&out, &json).expect("write BENCH_serve.json");
+    eprintln!("wrote {}", out.display());
+
+    if smoke {
+        // CI gate: the emitted artifact must parse, and nominal load must
+        // complete everything without shedding.
+        let raw = std::fs::read_to_string(&out).expect("re-read BENCH_serve.json");
+        let parsed: ServeBench = serde_json::from_str(&raw).expect("BENCH_serve.json parses");
+        let nominal = &parsed.profiles[0];
+        assert_eq!(nominal.shed, 0, "nominal profile must not shed");
+        assert_eq!(nominal.shed_rate, 0.0, "nominal shed rate must be zero");
+        assert_eq!(nominal.completed, nominal.issued, "nominal must answer everything");
+        let overload = &parsed.profiles[1];
+        assert!(overload.shed > 0, "overload profile must exercise shedding");
+        assert!(overload.per_tier.sg_head > 0 && overload.per_tier.vina > 0);
+        eprintln!("smoke assertions passed");
+    }
+}

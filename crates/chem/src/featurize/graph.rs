@@ -72,6 +72,38 @@ impl MolGraph {
     pub fn num_ligand_nodes(&self) -> usize {
         self.ligand_mask.iter().filter(|&&l| l).count()
     }
+
+    /// Appends a canonical, platform-independent byte encoding of this
+    /// featurization to `out`: shape, node-feature bits, both edge lists
+    /// with their distances, and the ligand mask, all little-endian with
+    /// floats as raw bits. Two graphs serialize identically **iff** their
+    /// featurized content is identical, which is what makes the serving
+    /// cache content-addressed (keys are a hash of these bytes, not of the
+    /// request that produced them).
+    pub fn canonical_bytes(&self, out: &mut Vec<u8>) {
+        for &d in self.node_feats.shape() {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        for &v in self.node_feats.data() {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        for (edges, dists) in [
+            (&self.covalent_edges, &self.covalent_dists),
+            (&self.noncovalent_edges, &self.noncovalent_dists),
+        ] {
+            out.extend_from_slice(&(edges.len() as u64).to_le_bytes());
+            for &(a, b) in edges.iter() {
+                out.extend_from_slice(&(a as u64).to_le_bytes());
+                out.extend_from_slice(&(b as u64).to_le_bytes());
+            }
+            for &d in dists.iter() {
+                out.extend_from_slice(&d.to_bits().to_le_bytes());
+            }
+        }
+        for &l in &self.ligand_mask {
+            out.push(l as u8);
+        }
+    }
 }
 
 struct Node {

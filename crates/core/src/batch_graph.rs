@@ -30,6 +30,14 @@ pub struct BatchedGraph {
 impl BatchedGraph {
     /// Builds the disjoint union of the given graphs.
     pub fn from_graphs(graphs: &[MolGraph]) -> BatchedGraph {
+        let refs: Vec<&MolGraph> = graphs.iter().collect();
+        Self::from_graph_refs(&refs)
+    }
+
+    /// [`BatchedGraph::from_graphs`] over borrowed graphs, so callers that
+    /// hold graphs behind `Arc`s (the serving feature cache) can batch
+    /// without cloning node features.
+    pub fn from_graph_refs(graphs: &[&MolGraph]) -> BatchedGraph {
         assert!(!graphs.is_empty(), "cannot batch zero graphs");
         let f = graphs[0].node_feats.shape()[1];
         let total: usize = graphs.iter().map(|g| g.num_nodes()).sum();

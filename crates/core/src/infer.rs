@@ -1,0 +1,164 @@
+//! Batched eval-mode inference: the entry points `dfserve` drives.
+//!
+//! Training builds its batches inside the loader; the online scoring
+//! service instead arrives with per-request featurizations (often shared
+//! through a cache), so these helpers stack borrowed voxel grids and
+//! graphs into one forward pass. Everything runs in eval mode — dropout
+//! off, batch norm on running statistics — so a given (weights, input)
+//! pair always produces the same bits regardless of what else is in the
+//! micro-batch's queue.
+
+use crate::batch_graph::BatchedGraph;
+use crate::fusion::FusionModel;
+use dfchem::featurize::MolGraph;
+use dftensor::graph::Graph;
+use dftensor::params::ParamStore;
+use dftensor::Tensor;
+
+/// Stacks per-sample `[C, D, H, W]` voxel grids into one `[B, C, D, H, W]`
+/// batch tensor. All grids must share a shape.
+pub fn stack_voxels(voxels: &[&Tensor]) -> Tensor {
+    assert!(!voxels.is_empty(), "cannot stack zero voxel grids");
+    let vshape = voxels[0].shape().to_vec();
+    let per = voxels[0].numel();
+    let mut shape = vec![voxels.len()];
+    shape.extend_from_slice(&vshape);
+    let mut out = Tensor::zeros(&shape);
+    for (i, v) in voxels.iter().enumerate() {
+        assert_eq!(v.shape(), vshape.as_slice(), "inconsistent voxel shapes");
+        out.data_mut()[i * per..(i + 1) * per].copy_from_slice(v.data());
+    }
+    out
+}
+
+/// Runs the full fusion model over one micro-batch, returning one score
+/// per sample. `voxels[i]` and `graphs[i]` must describe the same complex.
+pub fn score_batch_fusion(
+    model: &mut FusionModel,
+    ps: &ParamStore,
+    voxels: &[&Tensor],
+    graphs: &[&MolGraph],
+) -> Vec<f32> {
+    assert_eq!(voxels.len(), graphs.len(), "voxel/graph batch length mismatch");
+    let _t = dftrace::span("fusion.infer_batch");
+    let batch = stack_voxels(voxels);
+    let bg = BatchedGraph::from_graph_refs(graphs);
+    let mut g = Graph::new();
+    let pred = model.forward(&mut g, ps, &batch, &bg, false);
+    g.value(pred).data().to_vec()
+}
+
+/// Runs only the SG-CNN head of a fusion model (frozen, eval mode) over a
+/// micro-batch — the degraded tier of the serving ladder: no voxelization
+/// and no 3D convolution, at the cost of single-representation accuracy.
+pub fn score_batch_sg_head(
+    model: &mut FusionModel,
+    ps: &ParamStore,
+    graphs: &[&MolGraph],
+) -> Vec<f32> {
+    assert!(!graphs.is_empty(), "cannot score an empty batch");
+    let _t = dftrace::span("fusion.infer_sg_head");
+    let bg = BatchedGraph::from_graph_refs(graphs);
+    let mut g = Graph::new();
+    let out = model.sgcnn.forward(&mut g, ps, &bg, false, true);
+    g.value(out.pred).data().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Cnn3dConfig, FusionConfig, FusionKind, SgCnnConfig};
+    use dfchem::featurize::{build_graph, voxelize, GraphConfig, VoxelConfig};
+    use dfchem::genmol::{generate_molecule, MolGenConfig};
+    use dfchem::pocket::{BindingPocket, TargetSite};
+
+    fn tiny_model() -> (FusionModel, ParamStore, VoxelConfig) {
+        let voxel = VoxelConfig { grid_dim: 8, resolution: 2.0 };
+        let sg = SgCnnConfig {
+            covalent_gather_width: 6,
+            noncovalent_gather_width: 8,
+            covalent_k: 1,
+            noncovalent_k: 1,
+            ..SgCnnConfig::table2()
+        };
+        let cnn = Cnn3dConfig {
+            conv_filters_1: 4,
+            conv_filters_2: 6,
+            num_dense_nodes: 8,
+            ..Cnn3dConfig::table3()
+        };
+        let cfg = FusionConfig { num_dense_nodes: 8, ..FusionConfig::small(FusionKind::Coherent) };
+        let mut ps = ParamStore::new();
+        let m = FusionModel::new(&cfg, &sg, &cnn, &voxel, &mut ps, 17);
+        (m, ps, voxel)
+    }
+
+    fn featurized(n: usize, voxel: &VoxelConfig) -> (Vec<Tensor>, Vec<MolGraph>) {
+        let pocket = BindingPocket::generate(TargetSite::Spike1, 3);
+        let mut voxels = Vec::new();
+        let mut graphs = Vec::new();
+        for i in 0..n {
+            let mut lig = generate_molecule(
+                &MolGenConfig { min_heavy: 6, max_heavy: 9, ..Default::default() },
+                "m",
+                i as u64,
+            );
+            let c = lig.centroid();
+            lig.translate(c.scale(-1.0));
+            voxels.push(voxelize(voxel, &lig, &pocket));
+            graphs.push(build_graph(&GraphConfig::default(), &lig, &pocket));
+        }
+        (voxels, graphs)
+    }
+
+    #[test]
+    fn stack_voxels_preserves_sample_order() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[1, 2]);
+        let s = stack_voxels(&[&a, &b]);
+        assert_eq!(s.shape(), &[2, 1, 2]);
+        assert_eq!(s.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn batch_scores_match_single_sample_scores() {
+        let (mut m, ps, voxel) = tiny_model();
+        let (voxels, graphs) = featurized(3, &voxel);
+        let vrefs: Vec<&Tensor> = voxels.iter().collect();
+        let grefs: Vec<&MolGraph> = graphs.iter().collect();
+        let batched = score_batch_fusion(&mut m, &ps, &vrefs, &grefs);
+        for i in 0..3 {
+            let single = score_batch_fusion(&mut m, &ps, &[&voxels[i]], &[&graphs[i]]);
+            assert!(
+                (batched[i] - single[0]).abs() < 1e-5,
+                "sample {i}: batched {} vs single {}",
+                batched[i],
+                single[0]
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_inference_is_bit_identical() {
+        let (mut m, ps, voxel) = tiny_model();
+        let (voxels, graphs) = featurized(2, &voxel);
+        let vrefs: Vec<&Tensor> = voxels.iter().collect();
+        let grefs: Vec<&MolGraph> = graphs.iter().collect();
+        let a = score_batch_fusion(&mut m, &ps, &vrefs, &grefs);
+        let b = score_batch_fusion(&mut m, &ps, &vrefs, &grefs);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn sg_head_differs_from_full_fusion() {
+        let (mut m, ps, voxel) = tiny_model();
+        let (voxels, graphs) = featurized(2, &voxel);
+        let vrefs: Vec<&Tensor> = voxels.iter().collect();
+        let grefs: Vec<&MolGraph> = graphs.iter().collect();
+        let full = score_batch_fusion(&mut m, &ps, &vrefs, &grefs);
+        let sg = score_batch_sg_head(&mut m, &ps, &grefs);
+        assert_eq!(full.len(), sg.len());
+        assert_ne!(full, sg, "head-only tier must be a distinct estimate");
+    }
+}

@@ -15,6 +15,7 @@ pub mod config;
 pub mod distributed;
 pub mod finetune;
 pub mod fusion;
+pub mod infer;
 pub mod sgcnn;
 pub mod train;
 pub mod workflow;
@@ -29,6 +30,7 @@ pub use finetune::{
     fine_tune_for_target, predict_poses, target_local_dataset, FineTuneConfig, FineTuneReport,
 };
 pub use fusion::FusionModel;
+pub use infer::{score_batch_fusion, score_batch_sg_head, stack_voxels};
 pub use sgcnn::{SgCnn, SgCnnOutput};
 pub use train::{predict, predict_batch, train, EpochStats, Predictor, TrainConfig, TrainHistory};
 pub use workflow::{train_all_variants, EvalModel, TrainedModels, WorkflowConfig};

@@ -28,4 +28,4 @@ pub use conveyor::{
 pub use flex::{apply_torsion, dock_flexible, find_torsions, Torsion};
 pub use mmgbsa::{mmgbsa_score, MmGbsaConfig, MmGbsaScore};
 pub use search::{dock, DockConfig, Pose};
-pub use vina::{vina_score, VinaScore};
+pub use vina::{vina_affinity, vina_score, VinaScore};

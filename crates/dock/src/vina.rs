@@ -71,6 +71,16 @@ pub fn vina_score(ligand: &Molecule, pocket: &BindingPocket) -> VinaScore {
     s
 }
 
+/// Affinity-only entry point for the serving degradation ladder: the full
+/// per-term breakdown is skipped in the response, only the rotor-normalized
+/// total survives. The empirical score needs no featurization, no weights
+/// and no batching, which is why it is the last scoring tier before
+/// requests are shed outright.
+pub fn vina_affinity(ligand: &Molecule, pocket: &BindingPocket) -> f64 {
+    let _t = dftrace::span("dock.vina_affinity");
+    vina_score(ligand, pocket).total
+}
+
 /// 1 below `lo`, 0 above `hi`, linear in between.
 fn slope_step(x: f64, lo: f64, hi: f64) -> f64 {
     if x <= lo {

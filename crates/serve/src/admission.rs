@@ -1,0 +1,126 @@
+//! Admission control: bounded queues, backpressure and the degradation
+//! ladder.
+//!
+//! Every request is admitted at the best tier the current queue depth
+//! allows: full fusion while the service keeps up, the SG-CNN head alone
+//! once the queue builds, the Vina empirical score when the model lanes
+//! are saturated, and an outright shed once the hard capacity bound is
+//! reached. Depth is the only input, so admission decisions are exactly
+//! reproducible from the admission sequence — and queue growth is bounded
+//! by construction (`queue_capacity` is a hard ceiling, not a target).
+
+use crate::request::Tier;
+use serde::{Deserialize, Serialize};
+
+/// Depth thresholds of the degradation ladder. Bands are half-open: a
+/// request arriving at depth `d` runs at full fusion while
+/// `d < full_max_depth`, at the SG-CNN head while `d < sg_max_depth`, at
+/// the Vina tier while `d < queue_capacity`, and is shed at or beyond
+/// `queue_capacity`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LadderConfig {
+    /// Depth below which requests get the full fusion model.
+    pub full_max_depth: usize,
+    /// Depth below which requests get the SG-CNN head.
+    pub sg_max_depth: usize,
+    /// Hard queue bound: at or beyond this depth requests are shed.
+    pub queue_capacity: usize,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig { full_max_depth: 16, sg_max_depth: 32, queue_capacity: 64 }
+    }
+}
+
+/// What admission decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Admit at the given ladder tier.
+    Admit(Tier),
+    /// Reject: the hard queue bound is reached.
+    Shed,
+}
+
+/// The (stateless) admission controller.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionController {
+    cfg: LadderConfig,
+}
+
+impl AdmissionController {
+    /// Validates the ladder's monotonicity and builds the controller.
+    pub fn new(cfg: LadderConfig) -> AdmissionController {
+        assert!(cfg.full_max_depth >= 1, "full tier needs a non-empty band");
+        assert!(
+            cfg.full_max_depth <= cfg.sg_max_depth && cfg.sg_max_depth <= cfg.queue_capacity,
+            "ladder thresholds must be monotone: full {} <= sg {} <= capacity {}",
+            cfg.full_max_depth,
+            cfg.sg_max_depth,
+            cfg.queue_capacity
+        );
+        AdmissionController { cfg }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> LadderConfig {
+        self.cfg
+    }
+
+    /// Decides the tier for a request arriving at queue depth `depth`.
+    pub fn decide(&self, depth: usize) -> Decision {
+        if depth >= self.cfg.queue_capacity {
+            Decision::Shed
+        } else if depth < self.cfg.full_max_depth {
+            Decision::Admit(Tier::FullFusion)
+        } else if depth < self.cfg.sg_max_depth {
+            Decision::Admit(Tier::SgHead)
+        } else {
+            Decision::Admit(Tier::Vina)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_bands_are_half_open() {
+        let a = AdmissionController::new(LadderConfig {
+            full_max_depth: 2,
+            sg_max_depth: 4,
+            queue_capacity: 6,
+        });
+        assert_eq!(a.decide(0), Decision::Admit(Tier::FullFusion));
+        assert_eq!(a.decide(1), Decision::Admit(Tier::FullFusion));
+        assert_eq!(a.decide(2), Decision::Admit(Tier::SgHead));
+        assert_eq!(a.decide(3), Decision::Admit(Tier::SgHead));
+        assert_eq!(a.decide(4), Decision::Admit(Tier::Vina));
+        assert_eq!(a.decide(5), Decision::Admit(Tier::Vina));
+        assert_eq!(a.decide(6), Decision::Shed);
+        assert_eq!(a.decide(1_000_000), Decision::Shed);
+    }
+
+    #[test]
+    fn degenerate_ladder_with_one_tier() {
+        // full == sg == capacity: only full fusion or shed.
+        let a = AdmissionController::new(LadderConfig {
+            full_max_depth: 3,
+            sg_max_depth: 3,
+            queue_capacity: 3,
+        });
+        assert_eq!(a.decide(2), Decision::Admit(Tier::FullFusion));
+        assert_eq!(a.decide(3), Decision::Shed);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_ladder_is_rejected() {
+        AdmissionController::new(LadderConfig {
+            full_max_depth: 10,
+            sg_max_depth: 5,
+            queue_capacity: 20,
+        });
+    }
+}

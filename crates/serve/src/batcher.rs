@@ -1,0 +1,175 @@
+//! Dynamic micro-batching on a virtual clock.
+//!
+//! A lane accumulates admitted requests and closes a batch on whichever
+//! comes first: the lane reaching `max_batch` items, or the **oldest**
+//! waiting item's deadline (`admitted_at + max_wait`) arriving. Both close
+//! conditions are expressed in virtual ticks, so a batch's close time is a
+//! pure function of the admission sequence — the executor can be called at
+//! any real-time cadence without perturbing when (in virtual time) batches
+//! formed, which is what the determinism lock relies on.
+
+use crate::request::Ticks;
+use std::collections::VecDeque;
+
+/// Micro-batch close policy.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct BatcherConfig {
+    /// Close as soon as this many items are waiting.
+    pub max_batch: usize,
+    /// Close `max_wait` ticks after the oldest item was admitted, even if
+    /// the batch is short.
+    pub max_wait: Ticks,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig { max_batch: 8, max_wait: 5_000 }
+    }
+}
+
+/// One queued item plus its admission tick.
+#[derive(Debug, Clone)]
+struct Pending<T> {
+    admitted_at: Ticks,
+    item: T,
+}
+
+/// A closed micro-batch: when it closed (virtual) and its items.
+#[derive(Debug)]
+pub struct ClosedBatch<T> {
+    /// Virtual tick at which the close condition held: the admission tick
+    /// of the size-triggering item, or the oldest item's deadline.
+    pub closed_at: Ticks,
+    /// `(admitted_at, item)` pairs in admission order.
+    pub items: Vec<(Ticks, T)>,
+}
+
+/// One batching lane.
+#[derive(Debug)]
+pub struct MicroBatcher<T> {
+    cfg: BatcherConfig,
+    pending: VecDeque<Pending<T>>,
+}
+
+impl<T> MicroBatcher<T> {
+    /// Creates an empty lane. `max_batch` must be >= 1.
+    pub fn new(cfg: BatcherConfig) -> MicroBatcher<T> {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        MicroBatcher { cfg, pending: VecDeque::new() }
+    }
+
+    /// Items waiting in the lane.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Admits an item at tick `now`.
+    pub fn push(&mut self, now: Ticks, item: T) {
+        self.pending.push_back(Pending { admitted_at: now, item });
+    }
+
+    /// The virtual tick at which the *next* batch closes, or `None` when
+    /// the lane is empty: the admission tick of the `max_batch`-th item if
+    /// the lane is already full enough, else the oldest item's deadline.
+    pub fn next_close_at(&self) -> Option<Ticks> {
+        let oldest = self.pending.front()?;
+        if self.pending.len() >= self.cfg.max_batch {
+            // The batch closed the moment its size-triggering item arrived.
+            return Some(self.pending[self.cfg.max_batch - 1].admitted_at);
+        }
+        Some(oldest.admitted_at.saturating_add(self.cfg.max_wait))
+    }
+
+    /// Closes and returns the next batch if its close condition has been
+    /// reached by `now`. Call in a loop: with more than `max_batch` items
+    /// waiting, several batches may be due.
+    pub fn take_due(&mut self, now: Ticks) -> Option<ClosedBatch<T>> {
+        let closed_at = self.next_close_at().filter(|&t| t <= now)?;
+        let take = self.pending.len().min(self.cfg.max_batch);
+        let items = self.pending.drain(..take).map(|p| (p.admitted_at, p.item)).collect();
+        Some(ClosedBatch { closed_at, items })
+    }
+
+    /// Force-closes everything still waiting (end-of-run drain), in
+    /// `max_batch`-sized chunks, all stamped `closed_at = now`.
+    pub fn flush(&mut self, now: Ticks) -> Vec<ClosedBatch<T>> {
+        let mut out = Vec::new();
+        while !self.pending.is_empty() {
+            let take = self.pending.len().min(self.cfg.max_batch);
+            let items: Vec<_> =
+                self.pending.drain(..take).map(|p| (p.admitted_at, p.item)).collect();
+            out.push(ClosedBatch { closed_at: now, items });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane(max_batch: usize, max_wait: Ticks) -> MicroBatcher<u32> {
+        MicroBatcher::new(BatcherConfig { max_batch, max_wait })
+    }
+
+    #[test]
+    fn closes_on_size_at_the_triggering_items_tick() {
+        let mut b = lane(3, 1_000);
+        b.push(10, 1);
+        b.push(20, 2);
+        assert_eq!(b.next_close_at(), Some(1_010), "deadline of the oldest");
+        b.push(30, 3);
+        assert_eq!(b.next_close_at(), Some(30), "filled at the third item");
+        // Even if the executor only looks much later, the close time is
+        // the virtual fill tick, not the observation tick.
+        let batch = b.take_due(500).expect("due");
+        assert_eq!(batch.closed_at, 30);
+        assert_eq!(batch.items.len(), 3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn closes_on_deadline_when_short() {
+        let mut b = lane(8, 1_000);
+        b.push(100, 1);
+        b.push(400, 2);
+        assert!(b.take_due(1_099).is_none(), "deadline not reached");
+        let batch = b.take_due(1_100).expect("oldest deadline passed");
+        assert_eq!(batch.closed_at, 1_100);
+        assert_eq!(batch.items.len(), 2);
+    }
+
+    #[test]
+    fn backlog_yields_multiple_due_batches() {
+        let mut b = lane(2, 10);
+        for t in 0..5u64 {
+            b.push(t, t as u32);
+        }
+        let first = b.take_due(100).expect("first");
+        assert_eq!(first.closed_at, 1, "second item filled the first batch");
+        let second = b.take_due(100).expect("second");
+        assert_eq!(second.closed_at, 3);
+        let third = b.take_due(100).expect("deadline batch of one");
+        assert_eq!(third.closed_at, 14, "t=4 admission + max_wait");
+        assert_eq!(third.items.len(), 1);
+        assert!(b.take_due(100).is_none());
+    }
+
+    #[test]
+    fn flush_drains_in_chunks() {
+        let mut b = lane(2, 1_000_000);
+        for t in 0..5u64 {
+            b.push(t, t as u32);
+        }
+        let batches = b.flush(42);
+        assert_eq!(batches.len(), 3);
+        assert!(batches.iter().all(|x| x.closed_at == 42));
+        assert_eq!(batches.iter().map(|x| x.items.len()).sum::<usize>(), 5);
+        assert!(b.is_empty());
+    }
+}

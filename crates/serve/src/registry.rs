@@ -1,0 +1,197 @@
+//! Model-snapshot registry with hot-swap generations.
+//!
+//! The registry owns the **weights** of the serving model as an immutable
+//! [`ParamStore`] behind an `Arc`, stamped with a monotonically increasing
+//! generation number. Publishing a new snapshot (from a training run's
+//! `ParamSnapshot`, a binary `DFWT` buffer, or a file) validates it
+//! against the model architecture and swaps the `Arc` — in-flight batches
+//! keep scoring against the generation they started with, later batches
+//! pick up the new one, and nothing is ever mutated in place. Score-cache
+//! keys mix the generation in, so a swap naturally invalidates stale
+//! scores by missing instead of requiring a flush.
+
+use dfchem::featurize::{GraphConfig, VoxelConfig};
+use dffusion::config::{Cnn3dConfig, FusionConfig, FusionKind, SgCnnConfig};
+use dffusion::FusionModel;
+use dftensor::params::{ParamSnapshot, ParamStore};
+use dftensor::serialize::decode_snapshot;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Everything needed to (re)build the serving model architecture and its
+/// featurization, so a snapshot can be validated before it goes live.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Fusion variant and layer sizing.
+    pub fusion: FusionConfig,
+    /// SG-CNN head sizing.
+    pub sgcnn: SgCnnConfig,
+    /// 3D-CNN head sizing.
+    pub cnn3d: Cnn3dConfig,
+    /// Voxelization the 3D-CNN was trained against.
+    pub voxel: VoxelConfig,
+    /// Graph featurization the SG-CNN was trained against.
+    pub graph: GraphConfig,
+    /// Weight-initialization seed (generation 0 serves these weights).
+    pub seed: u64,
+}
+
+impl ModelSpec {
+    /// A CPU-tractable spec for tests and benches.
+    pub fn tiny(seed: u64) -> ModelSpec {
+        let sgcnn = SgCnnConfig {
+            covalent_gather_width: 6,
+            noncovalent_gather_width: 8,
+            covalent_k: 1,
+            noncovalent_k: 1,
+            ..SgCnnConfig::table2()
+        };
+        // The graph featurization must match what the SG-CNN was built for.
+        let graph = sgcnn.graph_config();
+        ModelSpec {
+            fusion: FusionConfig {
+                num_dense_nodes: 8,
+                ..FusionConfig::small(FusionKind::Coherent)
+            },
+            sgcnn,
+            cnn3d: Cnn3dConfig {
+                conv_filters_1: 4,
+                conv_filters_2: 6,
+                num_dense_nodes: 8,
+                ..Cnn3dConfig::table3()
+            },
+            voxel: VoxelConfig { grid_dim: 8, resolution: 2.0 },
+            graph,
+            seed,
+        }
+    }
+
+    /// Builds the model structure and its freshly-initialized parameters.
+    pub fn build(&self) -> (FusionModel, ParamStore) {
+        let mut ps = ParamStore::new();
+        let model = FusionModel::new(
+            &self.fusion,
+            &self.sgcnn,
+            &self.cnn3d,
+            &self.voxel,
+            &mut ps,
+            self.seed,
+        );
+        (model, ps)
+    }
+}
+
+/// One immutable published weight set.
+#[derive(Debug, Clone)]
+pub struct Generation {
+    /// Monotonic generation number (0 = the spec's initial weights).
+    pub generation: u64,
+    /// The weights themselves.
+    pub params: Arc<ParamStore>,
+}
+
+/// The hot-swap registry. Cheap to share (`Arc<SnapshotRegistry>`):
+/// producers publish from any thread while the serving loop reads.
+#[derive(Debug)]
+pub struct SnapshotRegistry {
+    spec: ModelSpec,
+    current: Mutex<Generation>,
+    next_gen: AtomicU64,
+}
+
+impl SnapshotRegistry {
+    /// Builds the registry; generation 0 is the spec's initial weights.
+    pub fn new(spec: ModelSpec) -> SnapshotRegistry {
+        let (_, ps) = spec.build();
+        SnapshotRegistry {
+            spec,
+            current: Mutex::new(Generation { generation: 0, params: Arc::new(ps) }),
+            next_gen: AtomicU64::new(1),
+        }
+    }
+
+    /// The architecture this registry validates snapshots against.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The live generation (clone of the `Arc`, not the weights).
+    pub fn current(&self) -> Generation {
+        self.current.lock().clone()
+    }
+
+    /// Validates `snap` against the model architecture (names, shapes,
+    /// order) and swaps it in as the next generation. Returns the new
+    /// generation number.
+    pub fn publish(&self, snap: &ParamSnapshot) -> Result<u64, String> {
+        // Restore into a freshly-built store: exactly the mismatch checks
+        // ParamStore::restore performs, against the real architecture.
+        let (_, mut staged) = self.spec.build();
+        staged.restore(snap)?;
+        let generation = self.next_gen.fetch_add(1, Ordering::Relaxed);
+        *self.current.lock() = Generation { generation, params: Arc::new(staged) };
+        dftrace::counter_add("serve.registry.swaps", 1);
+        Ok(generation)
+    }
+
+    /// Publishes from a binary `DFWT` snapshot buffer.
+    pub fn publish_bytes(&self, bytes: &[u8]) -> Result<u64, String> {
+        let snap = decode_snapshot(bytes).map_err(|e| e.to_string())?;
+        self.publish(&snap)
+    }
+
+    /// Publishes from a `DFWT` snapshot file on disk.
+    pub fn publish_file(&self, path: impl AsRef<std::path::Path>) -> Result<u64, String> {
+        let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+        self.publish_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftensor::serialize::encode_snapshot;
+
+    #[test]
+    fn generation_zero_serves_initial_weights() {
+        let reg = SnapshotRegistry::new(ModelSpec::tiny(3));
+        let g = reg.current();
+        assert_eq!(g.generation, 0);
+        let (_, fresh) = reg.spec().build();
+        assert_eq!(g.params.num_scalars(), fresh.num_scalars());
+    }
+
+    #[test]
+    fn publish_swaps_and_bumps_generation() {
+        let reg = SnapshotRegistry::new(ModelSpec::tiny(3));
+        let (_, mut ps) = reg.spec().build();
+        // Perturb one weight so the swap is observable.
+        let id = ps.iter().next().expect("model has parameters").0;
+        ps.value_mut(id).map_inplace(|w| w + 1.0);
+        let snap = ps.snapshot();
+        assert_eq!(reg.publish(&snap).expect("valid snapshot"), 1);
+        let live = reg.current();
+        assert_eq!(live.generation, 1);
+        assert_eq!(
+            live.params.value(id).data()[0].to_bits(),
+            ps.value(id).data()[0].to_bits(),
+            "published weights must be served bit-exactly"
+        );
+        // The binary round trip publishes generation 2 with identical bits.
+        assert_eq!(reg.publish_bytes(&encode_snapshot(&snap)).expect("dfwt"), 2);
+        assert_eq!(
+            reg.current().params.value(id).data()[0].to_bits(),
+            ps.value(id).data()[0].to_bits()
+        );
+    }
+
+    #[test]
+    fn mismatched_snapshot_is_rejected_and_keeps_current() {
+        let reg = SnapshotRegistry::new(ModelSpec::tiny(3));
+        let mut other = ParamStore::new();
+        other.add("rogue", dftensor::Tensor::zeros(&[2]));
+        assert!(reg.publish(&other.snapshot()).is_err());
+        assert_eq!(reg.current().generation, 0, "failed publish must not swap");
+    }
+}

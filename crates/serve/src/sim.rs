@@ -1,0 +1,295 @@
+//! Deterministic traffic simulator: seeded arrivals on the virtual clock.
+//!
+//! Two load shapes, both pure functions of their seed:
+//!
+//! * **Open loop** — requests arrive on an exponential (Poisson-process)
+//!   interarrival schedule regardless of how the service is doing. This is
+//!   the overload generator: shrink the mean interarrival below the
+//!   service rate and the degradation ladder must engage.
+//! * **Closed loop** — a fixed population of clients, each submitting,
+//!   (virtually) waiting for its response, thinking, then submitting
+//!   again. Offered load self-limits, which is the nominal-traffic shape.
+//!
+//! No wall time anywhere: interarrival draws come from a seeded
+//! `StdRng`, timestamps are virtual ticks, and percentiles in the report
+//! are exact (computed from the full latency vectors, not histogram
+//! buckets), so a report is bit-reproducible across machines, worker
+//! counts and trace on/off.
+
+use crate::request::{ScoreRequest, ScoreResponse, SubmitOutcome, Ticks, Tier, TICKS_PER_SEC};
+use crate::service::ScoreService;
+use dfchem::genmol::{CompoundId, Library};
+use dfchem::pocket::TargetSite;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Shape of the simulated request population.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Seed for the arrival process and compound choices.
+    pub seed: u64,
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Size of the "hot" compound pool (drawn with `hot_fraction`).
+    pub hot_compounds: u64,
+    /// Size of the "cold" compound pool.
+    pub cold_compounds: u64,
+    /// Probability a request draws from the hot pool (cache pressure dial).
+    pub hot_fraction: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            seed: 0xD15EA5E,
+            requests: 200,
+            hot_compounds: 12,
+            cold_compounds: 600,
+            hot_fraction: 0.5,
+        }
+    }
+}
+
+/// What one simulation run produced, with exact (not bucketed) latency
+/// percentiles over the completed responses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Requests issued (admitted + shed).
+    pub issued: u64,
+    /// Responses completed (inline + batched).
+    pub completed: u64,
+    /// Requests shed.
+    pub shed: u64,
+    /// shed / issued.
+    pub shed_rate: f64,
+    /// Completions per tier, [`Tier::ALL`] order.
+    pub per_tier: [u64; 3],
+    /// Responses answered from the score cache.
+    pub cache_hits: u64,
+    /// Virtual tick of the last completion.
+    pub makespan_ticks: Ticks,
+    /// Completions per virtual second.
+    pub throughput_per_vsec: f64,
+    /// Exact queue-wait percentiles in ticks: [p50, p95, p99].
+    pub queue_wait_ticks: [Ticks; 3],
+    /// Exact end-to-end percentiles in ticks: [p50, p95, p99].
+    pub e2e_ticks: [Ticks; 3],
+}
+
+/// Exact percentile (nearest-rank) of an unsorted sample.
+fn exact_percentile(sorted: &[Ticks], q: f64) -> Ticks {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn build_report(issued: u64, shed: u64, responses: &[ScoreResponse]) -> SimReport {
+    let mut per_tier = [0u64; 3];
+    let mut cache_hits = 0u64;
+    let mut queue_waits: Vec<Ticks> = Vec::with_capacity(responses.len());
+    let mut e2es: Vec<Ticks> = Vec::with_capacity(responses.len());
+    let mut makespan: Ticks = 0;
+    for r in responses {
+        let t = Tier::ALL.iter().position(|&t| t == r.tier).expect("known tier");
+        per_tier[t] += 1;
+        cache_hits += r.cache_hit as u64;
+        queue_waits.push(r.queue_wait());
+        e2es.push(r.e2e());
+        makespan = makespan.max(r.completed_at);
+    }
+    queue_waits.sort_unstable();
+    e2es.sort_unstable();
+    let virtual_secs = makespan as f64 / TICKS_PER_SEC as f64;
+    SimReport {
+        issued,
+        completed: responses.len() as u64,
+        shed,
+        shed_rate: dftrace::rate::mean(shed as f64, issued as f64),
+        per_tier,
+        cache_hits,
+        makespan_ticks: makespan,
+        throughput_per_vsec: dftrace::rate::per_sec(responses.len() as f64, virtual_secs),
+        queue_wait_ticks: [
+            exact_percentile(&queue_waits, 0.50),
+            exact_percentile(&queue_waits, 0.95),
+            exact_percentile(&queue_waits, 0.99),
+        ],
+        e2e_ticks: [
+            exact_percentile(&e2es, 0.50),
+            exact_percentile(&e2es, 0.95),
+            exact_percentile(&e2es, 0.99),
+        ],
+    }
+}
+
+/// Draws the next request: hot/cold compound pool, uniform library and
+/// target. Compound indices are disjoint between pools so `hot_fraction`
+/// directly controls the achievable cache hit rate.
+fn next_request(rng: &mut StdRng, cfg: &TrafficConfig, id: u64) -> ScoreRequest {
+    let hot = cfg.hot_compounds.max(1);
+    let cold = cfg.cold_compounds.max(1);
+    let index = if rng.gen_bool(cfg.hot_fraction) {
+        rng.gen_range(0..hot)
+    } else {
+        hot + rng.gen_range(0..cold)
+    };
+    let library = Library::ALL[rng.gen_range(0..Library::ALL.len())];
+    let target = TargetSite::ALL[rng.gen_range(0..TargetSite::ALL.len())];
+    ScoreRequest { id, compound: CompoundId { library, index }, target }
+}
+
+/// Exponential interarrival draw (at least one tick so time advances).
+fn exp_interarrival(rng: &mut StdRng, mean_ticks: f64) -> Ticks {
+    let u: f64 = rng.gen();
+    ((-(1.0_f64 - u).ln()) * mean_ticks).ceil().max(1.0) as Ticks
+}
+
+/// Open-loop run: Poisson arrivals with the given mean interarrival time
+/// (ticks), oblivious to service state. Returns the report and every
+/// completed response in completion order.
+pub fn run_open_loop(
+    svc: &mut ScoreService,
+    cfg: &TrafficConfig,
+    mean_interarrival_ticks: f64,
+) -> (SimReport, Vec<ScoreResponse>) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut responses: Vec<ScoreResponse> = Vec::with_capacity(cfg.requests);
+    let mut shed = 0u64;
+    let mut t: Ticks = 0;
+    for i in 0..cfg.requests {
+        t += exp_interarrival(&mut rng, mean_interarrival_ticks);
+        responses.extend(svc.advance(t));
+        let req = next_request(&mut rng, cfg, i as u64);
+        match svc.submit(t, req) {
+            SubmitOutcome::Completed(r) => responses.push(r),
+            SubmitOutcome::Enqueued(_) => {}
+            SubmitOutcome::Shed { .. } => shed += 1,
+        }
+    }
+    responses.extend(svc.flush(t));
+    (build_report(cfg.requests as u64, shed, &responses), responses)
+}
+
+/// Closed-loop run: `clients` virtual clients, each waiting for its
+/// response and then thinking `think_ticks` before the next submission.
+/// Returns the report and every completed response in completion order.
+pub fn run_closed_loop(
+    svc: &mut ScoreService,
+    cfg: &TrafficConfig,
+    clients: usize,
+    think_ticks: Ticks,
+) -> (SimReport, Vec<ScoreResponse>) {
+    assert!(clients >= 1, "closed loop needs at least one client");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut responses: Vec<ScoreResponse> = Vec::with_capacity(cfg.requests);
+    let mut shed = 0u64;
+    // Min-heap of (arrival tick, client); the client id breaks tick ties
+    // deterministically.
+    let mut arrivals = std::collections::BinaryHeap::new();
+    for c in 0..clients {
+        // Stagger initial arrivals so clients do not start in lockstep.
+        let t0 = exp_interarrival(&mut rng, think_ticks.max(1) as f64);
+        arrivals.push(std::cmp::Reverse((t0, c as u64)));
+    }
+    let mut outstanding: HashMap<u64, u64> = HashMap::new();
+    let mut issued = 0u64;
+
+    let handle =
+        |resps: Vec<ScoreResponse>,
+         responses: &mut Vec<ScoreResponse>,
+         outstanding: &mut HashMap<u64, u64>,
+         arrivals: &mut std::collections::BinaryHeap<std::cmp::Reverse<(Ticks, u64)>>| {
+            for r in resps {
+                if let Some(client) = outstanding.remove(&r.request_id) {
+                    arrivals.push(std::cmp::Reverse((r.completed_at + think_ticks, client)));
+                }
+                responses.push(r);
+            }
+        };
+
+    while issued < cfg.requests as u64 {
+        match arrivals.pop() {
+            Some(std::cmp::Reverse((at, client))) => {
+                // A retired response can schedule an arrival earlier than
+                // the tick the service has already reached; clamp forward.
+                let at = at.max(svc.now());
+                let done = svc.advance(at);
+                handle(done, &mut responses, &mut outstanding, &mut arrivals);
+                let req = next_request(&mut rng, cfg, issued);
+                issued += 1;
+                match svc.submit(at, req) {
+                    SubmitOutcome::Completed(r) => {
+                        arrivals.push(std::cmp::Reverse((r.completed_at + think_ticks, client)));
+                        responses.push(r);
+                    }
+                    SubmitOutcome::Enqueued(_) => {
+                        outstanding.insert(req.id, client);
+                    }
+                    SubmitOutcome::Shed { .. } => {
+                        shed += 1;
+                        // Shed clients back off one think time and retry.
+                        arrivals.push(std::cmp::Reverse((at + think_ticks, client)));
+                    }
+                }
+            }
+            None => {
+                // Every client is blocked on an enqueued request: run the
+                // service forward event by event (an event may be a batch
+                // *close*, which releases nobody yet — `next_event` then
+                // strictly increases until a completion surfaces, so this
+                // branch always makes progress).
+                let t = svc.next_event().expect("blocked clients imply pending service work");
+                let done = svc.advance(t.max(svc.now()));
+                handle(done, &mut responses, &mut outstanding, &mut arrivals);
+            }
+        }
+    }
+    let tail = svc.flush(svc.now());
+    handle(tail, &mut responses, &mut outstanding, &mut arrivals);
+    (build_report(issued, shed, &responses), responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+
+    #[test]
+    fn exact_percentiles_nearest_rank() {
+        let v: Vec<Ticks> = (1..=100).collect();
+        assert_eq!(exact_percentile(&v, 0.50), 50);
+        assert_eq!(exact_percentile(&v, 0.95), 95);
+        assert_eq!(exact_percentile(&v, 0.99), 99);
+        assert_eq!(exact_percentile(&[7], 0.99), 7);
+        assert_eq!(exact_percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn open_loop_under_light_load_sheds_nothing() {
+        let mut svc = ScoreService::with_fresh_registry(ServeConfig::tiny(11));
+        let cfg = TrafficConfig { requests: 40, ..TrafficConfig::default() };
+        let (report, responses) = run_open_loop(&mut svc, &cfg, 8_000.0);
+        assert_eq!(report.issued, 40);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.completed, 40);
+        assert_eq!(responses.len(), 40);
+        assert!(report.per_tier[0] > 0, "light load should run full fusion");
+        assert!(report.throughput_per_vsec > 0.0);
+    }
+
+    #[test]
+    fn closed_loop_completes_every_issued_request() {
+        let mut svc = ScoreService::with_fresh_registry(ServeConfig::tiny(12));
+        let cfg = TrafficConfig { requests: 30, ..TrafficConfig::default() };
+        let (report, responses) = run_closed_loop(&mut svc, &cfg, 4, 3_000);
+        assert_eq!(report.issued, 30);
+        assert_eq!(report.completed + report.shed, 30);
+        assert_eq!(responses.len() as u64, report.completed);
+        // Closed-loop offered load self-limits: no shedding at 4 clients.
+        assert_eq!(report.shed, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests locking the LRU cache against a reference model.
+//!
+//! The reference is a deliberately naive `Vec`-backed LRU (O(n) per op):
+//! easy to audit, obviously correct. The slab-and-list implementation must
+//! match it operation for operation — same hits, same evictions, same
+//! recency order — under arbitrary interleavings of inserts and lookups.
+
+use dfserve::cache::LruCache;
+use proptest::prelude::*;
+
+/// Naive reference LRU: front of the Vec is most-recently-used.
+struct RefLru {
+    cap: usize,
+    entries: Vec<(u64, u32)>,
+}
+
+impl RefLru {
+    fn new(cap: usize) -> RefLru {
+        RefLru { cap, entries: Vec::new() }
+    }
+
+    fn get(&mut self, key: u64) -> Option<u32> {
+        let pos = self.entries.iter().position(|&(k, _)| k == key)?;
+        let e = self.entries.remove(pos);
+        let v = e.1;
+        self.entries.insert(0, e);
+        Some(v)
+    }
+
+    fn insert(&mut self, key: u64, value: u32) -> Option<(u64, u32)> {
+        if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
+            self.entries.remove(pos);
+            self.entries.insert(0, (key, value));
+            return None;
+        }
+        let evicted =
+            if self.entries.len() >= self.cap { Some(self.entries.pop().unwrap()) } else { None };
+        self.entries.insert(0, (key, value));
+        evicted
+    }
+
+    fn keys(&self) -> Vec<u64> {
+        self.entries.iter().map(|&(k, _)| k).collect()
+    }
+}
+
+/// Decodes one raw draw into a cache operation. Keys live in a 24-wide
+/// domain so collisions (hits, overwrites) actually happen; odd draws are
+/// lookups, even draws are inserts carrying the draw itself as the value.
+enum Op {
+    Get(u64),
+    Insert(u64, u32),
+}
+
+fn decode(raw: u64) -> Op {
+    let key = (raw >> 1) % 24;
+    if raw & 1 == 1 {
+        Op::Get(key)
+    } else {
+        Op::Insert(key, (raw >> 5) as u32)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lru_matches_reference_model(
+        cap in 1usize..9,
+        raw_ops in proptest::collection::vec(0u64..1_000_000, 0..120),
+    ) {
+        let mut real = LruCache::new(cap);
+        let mut model = RefLru::new(cap);
+        let mut lookups = 0u64;
+        for raw in raw_ops {
+            match decode(raw) {
+                Op::Get(k) => {
+                    lookups += 1;
+                    prop_assert_eq!(real.get(k).copied(), model.get(k));
+                }
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(real.insert(k, v), model.insert(k, v));
+                }
+            }
+            // Capacity is never exceeded, at any intermediate point.
+            prop_assert!(real.len() <= real.capacity());
+            // Recency (and therefore future eviction) order matches.
+            prop_assert_eq!(real.keys_by_recency(), model.keys());
+        }
+        let s = real.stats();
+        // Every lookup is accounted exactly once.
+        prop_assert_eq!(s.hits + s.misses, lookups);
+        // Entries in the cache = insertions that have not been evicted.
+        prop_assert_eq!(s.insertions - s.evictions, real.len() as u64);
+    }
+}

@@ -1,0 +1,67 @@
+//! The serving determinism lock.
+//!
+//! One seeded traffic profile is replayed against a fresh service under
+//! every combination of worker-thread count (1, 2, 4) and tracing state
+//! (off, on). Every replay must produce bit-identical scores, identical
+//! tiers, identical shed decisions and identical virtual timestamps —
+//! the service contract that makes production incidents replayable.
+//!
+//! Kept as a single serial `#[test]`: `dftrace::set_enabled` is global
+//! state, so the trace-toggling sweep must not interleave with itself.
+
+use dfserve::{run_open_loop, ScoreService, ServeConfig, TrafficConfig};
+
+/// Everything observable about one replay, bit-exact.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    /// (request id, tier tag, score bits, admitted, completed, cache hit)
+    /// sorted by request id.
+    responses: Vec<(u64, &'static str, u32, u64, u64, bool)>,
+    /// Request ids that were shed (= issued ids minus completed ids).
+    shed_ids: Vec<u64>,
+    issued: u64,
+    batches: u64,
+}
+
+fn replay() -> Fingerprint {
+    let mut svc = ScoreService::with_fresh_registry(ServeConfig::tiny(21));
+    let traffic = TrafficConfig { seed: 99, requests: 80, ..TrafficConfig::default() };
+    // Mean interarrival of 100 ticks against a ~1000-tick-per-item service:
+    // enough pressure to queue, degrade and shed, so the lock covers every
+    // admission path, not just the happy one.
+    let (report, responses) = run_open_loop(&mut svc, &traffic, 100.0);
+    let mut resp: Vec<_> = responses
+        .iter()
+        .map(|r| {
+            (
+                r.request_id,
+                r.tier.tag(),
+                r.score.to_bits(),
+                r.admitted_at,
+                r.completed_at,
+                r.cache_hit,
+            )
+        })
+        .collect();
+    resp.sort_unstable_by_key(|&(id, ..)| id);
+    let completed: std::collections::HashSet<u64> = resp.iter().map(|&(id, ..)| id).collect();
+    let shed_ids: Vec<u64> = (0..report.issued).filter(|id| !completed.contains(id)).collect();
+    assert_eq!(shed_ids.len() as u64, report.shed);
+    Fingerprint { responses: resp, shed_ids, issued: report.issued, batches: svc.stats().batches }
+}
+
+#[test]
+fn replay_is_bit_identical_across_threads_and_tracing() {
+    let trace_was_on = dftrace::enabled();
+    let baseline = dfpool::Pool::new(1).install(replay);
+    assert!(!baseline.shed_ids.is_empty(), "profile must exercise shedding");
+    assert!(baseline.responses.len() > baseline.shed_ids.len());
+    for threads in [1usize, 2, 4] {
+        for trace in [false, true] {
+            dftrace::set_enabled(trace);
+            let run = dfpool::Pool::new(threads).install(replay);
+            assert_eq!(run, baseline, "replay diverged at {threads} threads, trace={trace}");
+        }
+    }
+    dftrace::set_enabled(trace_was_on);
+}

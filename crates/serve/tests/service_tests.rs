@@ -1,0 +1,142 @@
+//! Service-level behavior tests: the degradation ladder under overload,
+//! weight hot-swaps, and the threaded front-end.
+
+use dfchem::genmol::{CompoundId, Library};
+use dfchem::pocket::TargetSite;
+use dfserve::{
+    spawn_server, ScoreRequest, ScoreService, ServeConfig, SubmitOutcome, Tier, TimedRequest,
+};
+use std::sync::Arc;
+
+fn request(i: u64) -> ScoreRequest {
+    ScoreRequest {
+        id: i,
+        compound: CompoundId { library: Library::ALL[(i % 4) as usize], index: i },
+        target: TargetSite::ALL[(i % 4) as usize],
+    }
+}
+
+#[test]
+fn overload_degrades_through_the_ladder_without_unbounded_growth() {
+    let cfg = ServeConfig::tiny(31);
+    let capacity = cfg.ladder.queue_capacity;
+    let mut svc = ScoreService::with_fresh_registry(cfg);
+    // Requests every 100 ticks against a service that needs ~1000 ticks
+    // per item: a 10x overload.
+    let mut enqueued_tiers = Vec::new();
+    let mut shed = 0u64;
+    let mut responses = Vec::new();
+    for i in 0..120u64 {
+        let t = 100 * (i + 1);
+        responses.extend(svc.advance(t));
+        match svc.submit(t, request(i)) {
+            SubmitOutcome::Completed(r) => responses.push(r),
+            SubmitOutcome::Enqueued(tier) => enqueued_tiers.push(tier),
+            SubmitOutcome::Shed { depth } => {
+                shed += 1;
+                assert!(depth >= capacity, "shed below the capacity bound");
+            }
+        }
+        // The hard bound: depth never exceeds queue_capacity, ever.
+        assert!(
+            svc.depth() <= capacity,
+            "queue depth {} exceeded capacity {} at t={}",
+            svc.depth(),
+            capacity,
+            t
+        );
+    }
+    responses.extend(svc.flush(100 * 121));
+
+    // The ladder actually engaged: every tier produced completions and
+    // the capacity bound actually shed.
+    let stats = svc.stats();
+    assert!(shed > 0, "10x overload must shed");
+    assert_eq!(stats.shed, shed);
+    for (i, tier) in Tier::ALL.iter().enumerate() {
+        assert!(stats.per_tier[i] > 0, "tier {} never completed under overload", tier.tag());
+    }
+    // Everything admitted was answered exactly once after the drain.
+    assert_eq!(stats.admitted, 120 - shed);
+    assert_eq!(responses.len() as u64, stats.admitted);
+    assert_eq!(svc.depth(), 0, "flush must fully drain the service");
+    assert!(svc.next_event().is_none());
+}
+
+#[test]
+fn hot_swap_changes_scores_and_invalidates_cached_entries() {
+    let mut svc = ScoreService::with_fresh_registry(ServeConfig::tiny(32));
+    let req = request(0);
+
+    // Score once at generation 0 (lightly loaded: full-fusion tier).
+    assert!(matches!(svc.submit(1_000, req), SubmitOutcome::Enqueued(Tier::FullFusion)));
+    let first = svc.flush(10_000).pop().expect("one response");
+    assert_eq!(first.generation, 0);
+    assert!(!first.cache_hit);
+
+    // Same request again: served from the score cache, same generation.
+    let cached = match svc.submit(20_000, req) {
+        SubmitOutcome::Completed(r) => r,
+        other => panic!("expected inline cache hit, got {other:?}"),
+    };
+    assert!(cached.cache_hit);
+    assert_eq!(cached.score.to_bits(), first.score.to_bits());
+
+    // Publish perturbed weights: every parameter shifted by +0.05.
+    let registry = Arc::clone(svc.registry());
+    let (_, mut ps) = registry.spec().build();
+    for (_, entry) in ps.iter_mut() {
+        entry.value.map_inplace(|w| w + 0.05);
+    }
+    assert_eq!(registry.publish(&ps.snapshot()).expect("valid"), 1);
+
+    // Same request after the swap: cache key now carries generation 1, so
+    // the old score misses and the new weights produce a new score.
+    assert!(matches!(svc.submit(30_000, req), SubmitOutcome::Enqueued(Tier::FullFusion)));
+    let swapped = svc.flush(40_000).pop().expect("one response");
+    assert_eq!(swapped.generation, 1);
+    assert!(!swapped.cache_hit, "generation bump must invalidate");
+    assert_ne!(
+        swapped.score.to_bits(),
+        first.score.to_bits(),
+        "perturbed weights must change the score"
+    );
+    assert_eq!(svc.stats().swaps_observed, 1);
+}
+
+#[test]
+fn threaded_front_end_answers_every_request() {
+    let cfg = ServeConfig::tiny(33);
+    let registry = Arc::new(dfserve::SnapshotRegistry::new(cfg.spec.clone()));
+    let handle = spawn_server(cfg, registry, 8, 2);
+    for i in 0..12u64 {
+        // Light load: arrivals every 8000 virtual µs.
+        handle
+            .requests
+            .send(TimedRequest { at: 8_000 * (i + 1), request: request(i) })
+            .expect("dispatcher alive");
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.admitted, 12);
+    assert_eq!(stats.shed, 0, "light load must not shed");
+    assert_eq!(stats.completed, 12);
+}
+
+#[test]
+fn vina_tier_completes_inline_when_model_lanes_saturate() {
+    let cfg = ServeConfig::tiny(34);
+    let sg_max = cfg.ladder.sg_max_depth;
+    let mut svc = ScoreService::with_fresh_registry(cfg);
+    // Pack the lanes at a single tick so depth climbs past the SG band.
+    let mut vina_seen = false;
+    for i in 0..(sg_max as u64 + 2) {
+        if let SubmitOutcome::Completed(r) = svc.submit(5, request(i)) {
+            assert_eq!(r.tier, Tier::Vina, "only vina completes inline here");
+            assert!(r.completed_at > r.admitted_at);
+            vina_seen = true;
+        }
+    }
+    assert!(vina_seen, "depth past sg_max_depth must hit the vina tier");
+    svc.flush(1_000_000);
+    assert_eq!(svc.depth(), 0);
+}

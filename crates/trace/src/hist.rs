@@ -109,6 +109,30 @@ impl Histogram {
     pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
         &self.counts
     }
+
+    /// Upper bound (µs) of the bucket holding the `q`-quantile sample
+    /// (`q` in `[0, 1]`), i.e. the smallest bucket bound at which the
+    /// cumulative count reaches `ceil(q * count)`. Samples in the overflow
+    /// bucket report [`Histogram::max`]. Returns 0 for an empty histogram.
+    ///
+    /// Power-of-two buckets make this a ≤2× upper estimate of the true
+    /// quantile — coarse, but stable across runs and free of per-sample
+    /// storage, which is what the serving latency report needs.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report a bound above the recorded maximum.
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
 }
 
 #[cfg(test)]
@@ -187,5 +211,37 @@ mod tests {
         c.merge(&empty);
         assert_eq!(c.count(), 0);
         assert_eq!(c.min(), 0, "empty merge keeps min sentinel hidden");
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        assert_eq!(Histogram::default().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn percentile_walks_cumulative_counts() {
+        let mut h = Histogram::default();
+        // 90 samples at ≤2µs, 9 at ≤1024µs, 1 at ≤32768µs.
+        for _ in 0..90 {
+            h.record(2);
+        }
+        for _ in 0..9 {
+            h.record(1000);
+        }
+        h.record(30000);
+        assert_eq!(h.percentile(0.5), 2);
+        assert_eq!(h.percentile(0.9), 2);
+        assert_eq!(h.percentile(0.95), 1024);
+        assert_eq!(h.percentile(0.999), 30000, "tail caps at the recorded max");
+        assert_eq!(h.percentile(1.0), 30000);
+    }
+
+    #[test]
+    fn percentile_caps_at_recorded_max() {
+        let mut h = Histogram::default();
+        h.record(5); // bucket bound is 8
+        assert_eq!(h.percentile(0.5), 5);
+        h.record(u64::MAX); // overflow sample
+        assert_eq!(h.percentile(1.0), u64::MAX);
     }
 }

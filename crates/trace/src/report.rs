@@ -104,6 +104,25 @@ impl HistogramReport {
     pub fn mean_us(&self) -> f64 {
         crate::rate::mean(self.sum_us as f64, self.count as f64)
     }
+
+    /// Quantile estimate from the exported buckets, mirroring
+    /// [`Histogram::percentile`]: the smallest bucket bound at which the
+    /// cumulative count reaches `ceil(q * count)`, capped at `max_us`;
+    /// overflow samples report `max_us`. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return b.le_us.min(self.max_us);
+            }
+        }
+        self.max_us
+    }
 }
 
 /// A full merged view of every shard: the machine-readable form of one
