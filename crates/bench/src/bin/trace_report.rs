@@ -202,6 +202,34 @@ fn run() {
     std::fs::write(&out, trace.to_json()).expect("write RUN_TRACE.json");
     println!("\n{}", trace.render());
 
+    // Dense-kernel time split: where a GEMM-lowered call spends its time.
+    // Each stage is summed across every parent path (train fwd/bwd,
+    // featurization, serving) via the leaf-segment helper.
+    println!("kernel time split (all GEMM-lowered calls):");
+    let stages = [
+        ("pack A panels", "tensor.gemm.pack_a"),
+        ("pack B panels", "tensor.gemm.pack_b"),
+        ("gemm compute", "tensor.gemm.compute"),
+        ("micro-kernel", "tensor.gemm.kernel"),
+        ("im2col", "tensor.conv3d.im2col"),
+        ("col2im", "tensor.conv3d.col2im"),
+        ("unpack/transpose", "tensor.conv3d.unpack"),
+    ];
+    for (label, leaf) in stages {
+        let (count, total_us) = trace.sum_spans_with_leaf(leaf);
+        println!("  {label:<18} {leaf:<26} n={count:<6} total {total_us}us");
+    }
+    println!(
+        "  scratch arena: {} hits / {} misses, {} bytes grown; {} gemm calls, {} MACs",
+        trace.counter("tensor.scratch.hits"),
+        trace.counter("tensor.scratch.misses"),
+        trace.counter("tensor.scratch.grow_bytes"),
+        trace.counter("tensor.gemm.calls"),
+        trace.counter("tensor.gemm.macs"),
+    );
+    assert!(trace.counter("tensor.gemm.calls") > 0, "no GEMM telemetry recorded");
+    println!();
+
     // Derived rates, through the same dftrace::rate implementation the
     // Table 7 model uses.
     let poses = trace.counter("hts.poses") as f64;

@@ -376,12 +376,33 @@ impl Pool {
         T: Send,
         F: Fn(usize, &mut [T]) + Sync,
     {
+        self.parallel_rows_aligned(data, row_len, min_rows, 1, f)
+    }
+
+    /// [`Pool::parallel_rows`] with a band-granularity hint for blocked
+    /// kernels: every band (except possibly the last) covers a multiple of
+    /// `align` rows, so a cache-blocked kernel whose register/cache tiles
+    /// span `align` rows never sees a tile split across two jobs. Band
+    /// boundaries are a scheduling choice only — each row is still written
+    /// by exactly one job, so results are unchanged by `align`.
+    pub fn parallel_rows_aligned<T, F>(
+        &self,
+        data: &mut [T],
+        row_len: usize,
+        min_rows: usize,
+        align: usize,
+        f: F,
+    ) where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
         if row_len == 0 || data.is_empty() {
             return;
         }
         assert_eq!(data.len() % row_len, 0, "buffer not a whole number of rows");
         let rows = data.len() / row_len;
-        let band = chunk_size(rows, min_rows, self.threads());
+        let align = align.max(1);
+        let band = chunk_size(rows, min_rows, self.threads()).div_ceil(align) * align;
         if self.threads() == 1 || band >= rows {
             f(0, data);
             return;
@@ -498,8 +519,15 @@ fn worker_main(shared: Arc<Shared>, deque: Worker<Job>, index: usize, pool: Pool
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
+                // Park until notified. `push_job` notifies under the same
+                // mutex, but `find_job` ran outside it, so a job pushed in
+                // that window could slip past the notify — the timeout is
+                // the backstop for that race, not a polling interval. It is
+                // deliberately long: on small hosts a short poll makes every
+                // idle worker wake at kHz rates and steal cycles from the
+                // thread doing actual work.
                 let g = shared.idle_mutex.lock().unwrap_or_else(|p| p.into_inner());
-                let _ = shared.idle_cv.wait_timeout(g, Duration::from_millis(1));
+                let _ = shared.idle_cv.wait_timeout(g, Duration::from_millis(50));
             }
         }
     });
@@ -537,6 +565,18 @@ pub fn current() -> Pool {
 /// A one-lane pool: every primitive runs the plain serial loop.
 pub fn serial() -> Pool {
     Pool::new(1)
+}
+
+/// CPUs visible to this process (cached after the first call; 1 when the
+/// query fails). Band-granularity policies clamp their fan-out with this:
+/// a pool configured with more threads than the host has cores gains
+/// nothing from extra bands of uniform work, it only pays scheduling
+/// overhead. Purely a performance hint — band boundaries never affect
+/// results (each output element's accumulation order is band-invariant),
+/// so consulting host topology keeps runs bit-identical across machines.
+pub fn host_parallelism() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
 #[cfg(test)]
@@ -658,6 +698,41 @@ mod tests {
             for r in 0..rows {
                 for c in 0..row_len {
                     assert_eq!(data[r * row_len + c], (r * 100 + c) as u64, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_bands_cover_all_rows_and_respect_alignment() {
+        for threads in [1, 2, 4] {
+            for align in [1, 3, 4, 7] {
+                let pool = Pool::new(threads);
+                let row_len = 5;
+                let rows = 29;
+                let mut data = vec![0u64; rows * row_len];
+                let starts = Mutex::new(Vec::new());
+                pool.parallel_rows_aligned(&mut data, row_len, 1, align, |first_row, band| {
+                    starts.lock().unwrap_or_else(|p| p.into_inner()).push(first_row);
+                    for (r, row) in band.chunks_mut(row_len).enumerate() {
+                        for v in row.iter_mut() {
+                            *v += (first_row + r + 1) as u64;
+                        }
+                    }
+                });
+                // Every row written exactly once, with its own value.
+                for r in 0..rows {
+                    for c in 0..row_len {
+                        assert_eq!(
+                            data[r * row_len + c],
+                            (r + 1) as u64,
+                            "threads={threads} align={align}"
+                        );
+                    }
+                }
+                // Every band starts on an alignment boundary.
+                for s in starts.lock().unwrap_or_else(|p| p.into_inner()).iter() {
+                    assert_eq!(s % align, 0, "threads={threads} align={align} start={s}");
                 }
             }
         }

@@ -23,6 +23,7 @@ pub mod ops;
 pub mod optim;
 pub mod params;
 pub mod rng;
+pub mod scratch;
 pub mod serialize;
 pub mod shape;
 pub mod tensor;

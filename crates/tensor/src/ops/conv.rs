@@ -4,206 +4,282 @@
 //! `[O, C, kd, kh, kw]`, bias `[O]`. Stride is fixed at 1 (the paper's
 //! 3D-CNN downsamples with max-pooling, not strided convs); zero padding is
 //! configurable so `pad = k/2` gives "same" spatial dims for odd kernels.
+//!
+//! All three passes are lowered onto the packed GEMM in
+//! `ops::gemm` via im2col/col2im with the contraction (K) axis
+//! ordered `(ic, fz, fy, fx)`:
+//!
+//! * **forward** — per batch element, an im2row matrix
+//!   `colT[spatial, C·kd·kh·kw]` (zero padding written as explicit zeros) is
+//!   multiplied against the kernel viewed as `[O, C·kd·kh·kw]`
+//!   (`C = colT · Wᵀ`), then the spatial-major product is transposed into
+//!   the `[O, spatial]` tensor layout.
+//! * **backward-input** — `gcolT = goutT · Wmat` recovers per-tap input
+//!   gradients, scattered back by a col2im pass that walks spatial
+//!   positions in ascending order per input channel.
+//! * **backward-weight** — `gW += gout_bn · colT` accumulated over the
+//!   batch in ascending order, reusing the forward's im2row.
+//!
+//! Every output element keeps a single ascending-k accumulator, so all
+//! three passes are bit-identical to [`crate::ops::reference`] and across
+//! pool thread counts (locked by the kernel proptests and
+//! `tests/parallel_determinism.rs`). Scratch matrices come from the
+//! thread-local [`crate::scratch`] arena, so steady-state training and
+//! `dfserve` micro-batches do not allocate here.
 
 use crate::graph::{Graph, VarId};
-use crate::tensor::{par_min_rows, Tensor};
+use crate::ops::gemm::{gemm, Layout};
+use crate::scratch::{self, Slot};
+use crate::tensor::Tensor;
 
 /// Spatial output size for one dimension.
 fn out_dim(input: usize, k: usize, pad: usize) -> usize {
     input + 2 * pad + 1 - k
 }
 
-/// Direct-form forward convolution.
-fn conv3d_forward(x: &Tensor, w: &Tensor, pad: usize) -> Tensor {
+/// Below this many moved elements the im2col/col2im passes run inline on
+/// the calling thread — they are memcpy-bound, so tiny grids lose more to
+/// band hand-off than the copy costs.
+const PAR_COPY_CUTOFF_ELEMS: usize = 1 << 20;
+
+/// Static conv geometry shared by the im2row/col2im passes.
+#[derive(Clone, Copy)]
+struct Geom {
+    c: usize,
+    d: usize,
+    h: usize,
+    w: usize,
+    kd: usize,
+    kh: usize,
+    kw: usize,
+    od: usize,
+    oh: usize,
+    ow: usize,
+    pad: usize,
+}
+
+impl Geom {
+    /// Contraction length: `C·kd·kh·kw`, ordered `(ic, fz, fy, fx)`.
+    fn kdim(&self) -> usize {
+        self.c * self.kd * self.kh * self.kw
+    }
+    /// Output spatial volume `od·oh·ow`.
+    fn spatial(&self) -> usize {
+        self.od * self.oh * self.ow
+    }
+    /// Input spatial volume `d·h·w`.
+    fn in_spatial(&self) -> usize {
+        self.d * self.h * self.w
+    }
+    /// Decomposes a flat output spatial index into `(zd, yh, xw)`.
+    fn unflatten(&self, s: usize) -> (usize, usize, usize) {
+        (s / (self.oh * self.ow), (s / self.ow) % self.oh, s % self.ow)
+    }
+}
+
+/// Fills `colT[spatial, kdim]` for one batch element `xb = x[bn]`
+/// (`[C, D, H, W]` contiguous). Row `s` holds the receptive field of output
+/// position `s` in `(ic, fz, fy, fx)` order, with out-of-bounds taps as
+/// explicit zeros; the innermost `fx` run is a contiguous copy from the
+/// input row with clamped edges.
+fn im2row(colt: &mut [f32], xb: &[f32], g: Geom) {
+    let kdim = g.kdim();
+    let pool = dfpool::current();
+    let lanes = pool.threads().min(dfpool::host_parallelism()).max(1);
+    let min_rows = if g.spatial() * kdim < PAR_COPY_CUTOFF_ELEMS {
+        g.spatial()
+    } else {
+        (65_536 / kdim.max(1)).max(1).max(g.spatial().div_ceil(lanes))
+    };
+    pool.parallel_rows(colt, kdim, min_rows, |first, band| {
+        for (ds, row) in band.chunks_mut(kdim).enumerate() {
+            let (zd, yh, xw) = g.unflatten(first + ds);
+            let ix0 = xw as isize - g.pad as isize;
+            let lo = ((-ix0).max(0) as usize).min(g.kw);
+            let hi = ((g.w as isize - ix0).max(0) as usize).min(g.kw);
+            let mut kk = 0;
+            for ic in 0..g.c {
+                let xc = &xb[ic * g.in_spatial()..(ic + 1) * g.in_spatial()];
+                for fz in 0..g.kd {
+                    let iz = zd as isize + fz as isize - g.pad as isize;
+                    if iz < 0 || iz >= g.d as isize {
+                        row[kk..kk + g.kh * g.kw].fill(0.0);
+                        kk += g.kh * g.kw;
+                        continue;
+                    }
+                    let zoff = (iz as usize) * g.h * g.w;
+                    for fy in 0..g.kh {
+                        let iy = yh as isize + fy as isize - g.pad as isize;
+                        let dst = &mut row[kk..kk + g.kw];
+                        kk += g.kw;
+                        if iy < 0 || iy >= g.h as isize {
+                            dst.fill(0.0);
+                            continue;
+                        }
+                        dst[..lo].fill(0.0);
+                        if lo < hi {
+                            let src = zoff + (iy as usize) * g.w + (ix0 + lo as isize) as usize;
+                            dst[lo..hi].copy_from_slice(&xc[src..src + (hi - lo)]);
+                        }
+                        dst[lo.max(hi)..].fill(0.0);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Scatters `gcolT[spatial, kdim]` back into one batch element of the input
+/// gradient (`gxb = gx[bn]`, `[C, D, H, W]`). Parallel over input channels;
+/// within a channel, contributions land in `(s, fz, fy, fx)` order — the
+/// accumulation order the reference kernel defines.
+fn col2im_add(gxb: &mut [f32], gcolt: &[f32], g: Geom) {
+    let in_sp = g.in_spatial();
+    let ksz = g.kd * g.kh * g.kw;
+    let pool = dfpool::current();
+    let lanes = pool.threads().min(dfpool::host_parallelism()).max(1);
+    let min_rows =
+        if g.spatial() * g.kdim() < PAR_COPY_CUTOFF_ELEMS { g.c } else { g.c.div_ceil(lanes) };
+    pool.parallel_rows(gxb, in_sp, min_rows, |first, band| {
+        for (dc, gxc) in band.chunks_mut(in_sp).enumerate() {
+            let ic = first + dc;
+            for s in 0..g.spatial() {
+                let (zd, yh, xw) = g.unflatten(s);
+                let row = &gcolt[s * g.kdim() + ic * ksz..s * g.kdim() + (ic + 1) * ksz];
+                let ix0 = xw as isize - g.pad as isize;
+                let lo = ((-ix0).max(0) as usize).min(g.kw);
+                let hi = ((g.w as isize - ix0).max(0) as usize).min(g.kw);
+                let mut kk = 0;
+                for fz in 0..g.kd {
+                    let iz = zd as isize + fz as isize - g.pad as isize;
+                    if iz < 0 || iz >= g.d as isize {
+                        kk += g.kh * g.kw;
+                        continue;
+                    }
+                    let zoff = (iz as usize) * g.h * g.w;
+                    for fy in 0..g.kh {
+                        let iy = yh as isize + fy as isize - g.pad as isize;
+                        let src = &row[kk..kk + g.kw];
+                        kk += g.kw;
+                        if iy < 0 || iy >= g.h as isize || lo >= hi {
+                            continue;
+                        }
+                        let base = zoff + (iy as usize) * g.w + (ix0 + lo as isize) as usize;
+                        for (dstv, &v) in gxc[base..base + (hi - lo)].iter_mut().zip(&src[lo..hi]) {
+                            *dstv += v;
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// im2col-lowered forward convolution (no bias): input `[N,C,D,H,W]`,
+/// kernel `[O,C,kd,kh,kw]`, stride 1. Public so the kernel proptests and
+/// `dfbench` can drive it directly against [`crate::ops::reference`];
+/// model code goes through [`Graph::conv3d`].
+pub fn conv3d_forward(x: &Tensor, w: &Tensor, pad: usize) -> Tensor {
     let _t = dftrace::span("tensor.conv3d.fwd");
     let (n, c, d, h, wd) = dims5(x.shape());
     let (o, cw, kd, kh, kw) = dims5(w.shape());
     assert_eq!(c, cw, "conv3d channel mismatch: input {c}, kernel {cw}");
     let (od, oh, ow) = (out_dim(d, kd, pad), out_dim(h, kh, pad), out_dim(wd, kw, pad));
+    let g = Geom { c, d, h, w: wd, kd, kh, kw, od, oh, ow, pad };
+    let (kdim, s_sp) = (g.kdim(), g.spatial());
     let mut out = Tensor::zeros(&[n, o, od, oh, ow]);
     let xd = x.data();
     let wdta = w.data();
-    let ipad = pad as isize;
-    let spatial = od * oh * ow;
-    // Each (bn, oc) pair owns one contiguous `spatial`-length block of the
-    // output, so the pool bands over those blocks; inside a block the loop
-    // nest (ic -> z -> y -> x) is the serial one, keeping every element's
-    // accumulation order — and the result bits — identical to serial.
-    dfpool::current().parallel_rows(
-        out.data_mut(),
-        spatial,
-        par_min_rows(c * spatial * kd * kh * kw),
-        |first, band| {
-            for (row, oblock) in band.chunks_mut(spatial).enumerate() {
-                let (bn, oc) = ((first + row) / o, (first + row) % o);
-                for ic in 0..c {
-                    let wbase = (oc * c + ic) * kd * kh * kw;
-                    let xbase = (bn * c + ic) * d * h * wd;
-                    for zd in 0..od {
-                        for yh in 0..oh {
-                            for xw in 0..ow {
-                                let mut acc = 0.0f32;
-                                for fz in 0..kd {
-                                    let iz = zd as isize + fz as isize - ipad;
-                                    if iz < 0 || iz >= d as isize {
-                                        continue;
-                                    }
-                                    for fy in 0..kh {
-                                        let iy = yh as isize + fy as isize - ipad;
-                                        if iy < 0 || iy >= h as isize {
-                                            continue;
-                                        }
-                                        for fx in 0..kw {
-                                            let ix = xw as isize + fx as isize - ipad;
-                                            if ix < 0 || ix >= wd as isize {
-                                                continue;
-                                            }
-                                            let xi = xbase
-                                                + (iz as usize) * h * wd
-                                                + (iy as usize) * wd
-                                                + ix as usize;
-                                            let wi = wbase + fz * kh * kw + fy * kw + fx;
-                                            acc += xd[xi] * wdta[wi];
-                                        }
-                                    }
-                                }
-                                oblock[(zd * oh + yh) * ow + xw] += acc;
-                            }
-                        }
+    for bn in 0..n {
+        scratch::with(Slot::Im2col, s_sp * kdim, |colt| {
+            {
+                let _s = dftrace::span("tensor.conv3d.im2col");
+                im2row(colt, &xd[bn * c * g.in_spatial()..(bn + 1) * c * g.in_spatial()], g);
+            }
+            scratch::with(Slot::GemmOut, s_sp * o, |outt| {
+                // outT[s, oc] = Σ_k colT[s, k] · W[oc, k] — spatial-major so
+                // the GEMM bands over the (large) spatial axis, not O.
+                gemm(Layout::Nt, s_sp, kdim, o, colt, wdta, outt, false);
+                let _s = dftrace::span("tensor.conv3d.unpack");
+                let oblock = &mut out.data_mut()[bn * o * s_sp..(bn + 1) * o * s_sp];
+                for (s, orow) in outt.chunks_exact(o).enumerate() {
+                    for (oc, &v) in orow.iter().enumerate() {
+                        oblock[oc * s_sp + s] = v;
                     }
                 }
-            }
-        },
-    );
+            });
+        });
+    }
     out
 }
 
-/// Gradient w.r.t. the input (full correlation with the kernel).
-fn conv3d_backward_input(gout: &Tensor, w: &Tensor, xshape: &[usize], pad: usize) -> Tensor {
+/// Gradient w.r.t. the input: GEMM to per-tap gradients, then col2im.
+pub fn conv3d_backward_input(gout: &Tensor, w: &Tensor, xshape: &[usize], pad: usize) -> Tensor {
     let _t = dftrace::span("tensor.conv3d.bwd_input");
-    let (_n, c, d, h, wd) = dims5(xshape);
+    let (n, c, d, h, wd) = dims5(xshape);
     let (o, _, kd, kh, kw) = dims5(w.shape());
     let (_, _, od, oh, ow) = dims5(gout.shape());
+    let g = Geom { c, d, h, w: wd, kd, kh, kw, od, oh, ow, pad };
+    let (kdim, s_sp, in_sp) = (g.kdim(), g.spatial(), g.in_spatial());
     let mut gx = Tensor::zeros(xshape);
     let gd = gout.data();
     let wdta = w.data();
-    let ipad = pad as isize;
-    let in_spatial = d * h * wd;
-    // Bands over (bn, ic) blocks of the input gradient. Relative to the
-    // serial bn -> oc -> ic nest this hoists ic above oc, but for a fixed
-    // (bn, ic) element the contribution order stays (oc, z, y, x, fz, fy,
-    // fx) lexicographic — exactly the serial accumulation order.
-    dfpool::current().parallel_rows(
-        gx.data_mut(),
-        in_spatial,
-        par_min_rows(o * od * oh * ow * kd * kh * kw),
-        |first, band| {
-            for (row, gxblock) in band.chunks_mut(in_spatial).enumerate() {
-                let (bn, ic) = ((first + row) / c, (first + row) % c);
-                for oc in 0..o {
-                    let wbase = (oc * c + ic) * kd * kh * kw;
-                    for zd in 0..od {
-                        for yh in 0..oh {
-                            for xw in 0..ow {
-                                let oi = (((bn * o + oc) * od + zd) * oh + yh) * ow + xw;
-                                let g = gd[oi];
-                                if g == 0.0 {
-                                    continue;
-                                }
-                                for fz in 0..kd {
-                                    let iz = zd as isize + fz as isize - ipad;
-                                    if iz < 0 || iz >= d as isize {
-                                        continue;
-                                    }
-                                    for fy in 0..kh {
-                                        let iy = yh as isize + fy as isize - ipad;
-                                        if iy < 0 || iy >= h as isize {
-                                            continue;
-                                        }
-                                        for fx in 0..kw {
-                                            let ix = xw as isize + fx as isize - ipad;
-                                            if ix < 0 || ix >= wd as isize {
-                                                continue;
-                                            }
-                                            let xi = (iz as usize) * h * wd
-                                                + (iy as usize) * wd
-                                                + ix as usize;
-                                            let wi = wbase + fz * kh * kw + fy * kw + fx;
-                                            gxblock[xi] += g * wdta[wi];
-                                        }
-                                    }
-                                }
-                            }
-                        }
+    for bn in 0..n {
+        scratch::with(Slot::GradT, s_sp * o, |goutt| {
+            {
+                // Transpose gout[bn] from [O, spatial] to spatial-major.
+                let _s = dftrace::span("tensor.conv3d.unpack");
+                let gblock = &gd[bn * o * s_sp..(bn + 1) * o * s_sp];
+                for (s, grow) in goutt.chunks_exact_mut(o).enumerate() {
+                    for (oc, v) in grow.iter_mut().enumerate() {
+                        *v = gblock[oc * s_sp + s];
                     }
                 }
             }
-        },
-    );
+            scratch::with(Slot::GemmOut, s_sp * kdim, |gcolt| {
+                // gcolT[s, k] = Σ_oc goutT[s, oc] · W[oc, k].
+                gemm(Layout::Nn, s_sp, o, kdim, goutt, wdta, gcolt, false);
+                let _s = dftrace::span("tensor.conv3d.col2im");
+                col2im_add(&mut gx.data_mut()[bn * c * in_sp..(bn + 1) * c * in_sp], gcolt, g);
+            });
+        });
+    }
     gx
 }
 
-/// Gradient w.r.t. the kernel.
-fn conv3d_backward_weight(gout: &Tensor, x: &Tensor, wshape: &[usize], pad: usize) -> Tensor {
+/// Gradient w.r.t. the kernel: re-run im2row, accumulate `gout_bn · colT`
+/// over the batch.
+pub fn conv3d_backward_weight(gout: &Tensor, x: &Tensor, wshape: &[usize], pad: usize) -> Tensor {
     let _t = dftrace::span("tensor.conv3d.bwd_weight");
     let (n, c, d, h, wd) = dims5(x.shape());
     let (o, _, kd, kh, kw) = dims5(wshape);
     let (_, _, od, oh, ow) = dims5(gout.shape());
+    let g = Geom { c, d, h, w: wd, kd, kh, kw, od, oh, ow, pad };
+    let (kdim, s_sp) = (g.kdim(), g.spatial());
     let mut gw = Tensor::zeros(wshape);
     let gd = gout.data();
     let xd = x.data();
-    let ipad = pad as isize;
-    let ksize = kd * kh * kw;
-    // Bands over (oc, ic) kernel slices. Hoisting (oc, ic) above bn keeps a
-    // fixed kernel element's contribution order at (bn, z, y, x) — the same
-    // lexicographic order the serial nest produces.
-    dfpool::current().parallel_rows(
-        gw.data_mut(),
-        ksize,
-        par_min_rows(n * od * oh * ow * ksize),
-        |first, band| {
-            for (row, gwblock) in band.chunks_mut(ksize).enumerate() {
-                let (oc, ic) = ((first + row) / c, (first + row) % c);
-                for bn in 0..n {
-                    let xbase = (bn * c + ic) * d * h * wd;
-                    for zd in 0..od {
-                        for yh in 0..oh {
-                            for xw in 0..ow {
-                                let oi = (((bn * o + oc) * od + zd) * oh + yh) * ow + xw;
-                                let g = gd[oi];
-                                if g == 0.0 {
-                                    continue;
-                                }
-                                for fz in 0..kd {
-                                    let iz = zd as isize + fz as isize - ipad;
-                                    if iz < 0 || iz >= d as isize {
-                                        continue;
-                                    }
-                                    for fy in 0..kh {
-                                        let iy = yh as isize + fy as isize - ipad;
-                                        if iy < 0 || iy >= h as isize {
-                                            continue;
-                                        }
-                                        for fx in 0..kw {
-                                            let ix = xw as isize + fx as isize - ipad;
-                                            if ix < 0 || ix >= wd as isize {
-                                                continue;
-                                            }
-                                            let xi = xbase
-                                                + (iz as usize) * h * wd
-                                                + (iy as usize) * wd
-                                                + ix as usize;
-                                            gwblock[fz * kh * kw + fy * kw + fx] += g * xd[xi];
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
+    for bn in 0..n {
+        scratch::with(Slot::Im2col, s_sp * kdim, |colt| {
+            {
+                let _s = dftrace::span("tensor.conv3d.im2col");
+                im2row(colt, &xd[bn * c * g.in_spatial()..(bn + 1) * c * g.in_spatial()], g);
             }
-        },
-    );
+            // gW[oc, k] += Σ_s gout[bn, oc, s] · colT[s, k]; ascending bn
+            // continues each element's fold — bit-equal to the one big
+            // (bn, s) contraction the reference performs.
+            gemm(
+                Layout::Nn,
+                o,
+                s_sp,
+                kdim,
+                &gd[bn * o * s_sp..(bn + 1) * o * s_sp],
+                colt,
+                gw.data_mut(),
+                true,
+            );
+        });
+    }
     gw
 }
 
@@ -317,5 +393,33 @@ mod tests {
                 g.mean_all(y)
             })
             .unwrap();
+    }
+
+    #[test]
+    fn forward_matches_reference_bitwise() {
+        let mut r = rng(7);
+        let x = Tensor::randn(&[2, 3, 5, 4, 6], &mut r);
+        let w = Tensor::randn(&[4, 3, 3, 2, 3], &mut r);
+        for pad in 0..=2 {
+            let got = conv3d_forward(&x, &w, pad);
+            let want = crate::ops::reference::conv3d_forward(&x, &w, pad);
+            assert_eq!(got.data(), want.data(), "pad {pad}");
+        }
+    }
+
+    #[test]
+    fn backward_matches_reference_bitwise() {
+        let mut r = rng(8);
+        let x = Tensor::randn(&[2, 2, 5, 5, 5], &mut r);
+        let w = Tensor::randn(&[3, 2, 3, 3, 3], &mut r);
+        let pad = 1;
+        let y = conv3d_forward(&x, &w, pad);
+        let gout = Tensor::randn(y.shape(), &mut r);
+        let gx = conv3d_backward_input(&gout, &w, x.shape(), pad);
+        let gw = conv3d_backward_weight(&gout, &x, w.shape(), pad);
+        let gx_ref = crate::ops::reference::conv3d_backward_input(&gout, &w, x.shape(), pad);
+        let gw_ref = crate::ops::reference::conv3d_backward_weight(&gout, &x, w.shape(), pad);
+        assert_eq!(gx.data(), gx_ref.data());
+        assert_eq!(gw.data(), gw_ref.data());
     }
 }

@@ -1,0 +1,312 @@
+//! Packed, cache-blocked f32 GEMM — the single dense kernel behind
+//! [`crate::tensor::Tensor::matmul`] and the im2col-lowered conv3d passes.
+//!
+//! Structure (classic three-loop blocking, BLIS-style):
+//!
+//! * B is packed **once per call** on the calling thread into NR-wide
+//!   column panels, k-major, zero-padded to a whole panel
+//!   ([`crate::scratch::Slot::PackB`]).
+//! * Rows of C are split into pool bands aligned to MR
+//!   (`dfpool::Pool::parallel_rows_aligned`); each band walks KC-deep k
+//!   blocks in ascending order, packs MC×KC A panels on the worker thread
+//!   ([`crate::scratch::Slot::PackA`]) and runs an MR×NR register-tile
+//!   micro-kernel.
+//!
+//! ## Determinism contract
+//!
+//! Every output element is produced by a **single accumulator folded over k
+//! in ascending order** with plain `mul` + `add` (no FMA contraction, no
+//! reassociation). KC blocking preserves this bit pattern because the
+//! micro-kernel reloads the partial C tile and continues the same fold;
+//! band parallelism only partitions *disjoint* output rows. A GEMM is
+//! therefore bit-identical to the naive triple loop in
+//! [`crate::ops::reference`] and across any pool thread count — locked by
+//! `tests/parallel_determinism.rs` and the kernel proptests.
+//!
+//! There is deliberately **no zero-skip** (`a == 0.0 → continue`) on this
+//! path: dense training batches pay the branch on every element and skip
+//! almost nothing. Skipping is also bit-neutral (adding `±0.0` products
+//! never changes a finite accumulator that started at `+0.0`), so removing
+//! the old skip changed no results. Sparse callers (`ops/segment.rs`) never
+//! routed through matmul, so no sparse entry point is kept.
+
+use crate::scratch::{self, Slot};
+
+/// Register-tile rows (micro-kernel height). C bands are MR-aligned.
+pub(crate) const MR: usize = 4;
+/// Register-tile columns (micro-kernel width); two 4-lane SSE vectors.
+pub(crate) const NR: usize = 8;
+/// k-dimension cache block: `KC × NR` B panel ≈ 8 KiB stays L1-resident.
+pub(crate) const KC: usize = 256;
+/// Row cache block: `MC × KC` A pack ≈ 64 KiB stays L2-resident.
+pub(crate) const MC: usize = 64;
+
+/// GEMMs below this many multiply-adds run inline on the calling thread
+/// even when a pool is installed: at small sizes the band hand-off costs
+/// more than it buys (the `tensor_matmul_160` regression in
+/// `BENCH_parallel.json`). 160³ ≈ 4.1 M MACs sits under this; 512³ is
+/// ~16× over it.
+const SERIAL_CUTOFF_MACS: usize = 8 << 20;
+
+/// Minimum multiply-adds per parallel band above the cutoff, so bands stay
+/// coarse enough to amortize scheduling.
+const BAND_MIN_MACS: usize = 2 << 20;
+
+/// Operand layouts. `m/k/n` below are always the *logical* GEMM dims:
+/// `C[m,n] = op(A)[m,k] · op(B)[k,n]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Layout {
+    /// `A[m,k] · B[k,n]`
+    Nn,
+    /// `Aᵀ` with `A[k,m]` stored row-major: `C = Aᵀ · B`
+    Tn,
+    /// `Bᵀ` with `B[n,k]` stored row-major: `C = A · Bᵀ`
+    Nt,
+}
+
+/// `C[m,n] (+)= op(A) · op(B)`.
+///
+/// * `a`/`b` are row-major in their *stored* shapes (see [`Layout`]).
+/// * `accumulate == false` overwrites `c` (its prior contents are ignored
+///   except when `k == 0`, where it is zero-filled); `accumulate == true`
+///   continues each element's fold from the existing value, in ascending-k
+///   order — used by conv3d's weight gradient to sum over the batch.
+#[allow(clippy::too_many_arguments)] // one arg per GEMM dimension/operand; a params struct would only obscure the BLAS shape
+pub(crate) fn gemm(
+    layout: Layout,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), m * k, "gemm: A length");
+    assert_eq!(b.len(), k * n, "gemm: B length");
+    assert_eq!(c.len(), m * n, "gemm: C length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    dftrace::counter_add("tensor.gemm.calls", 1);
+    dftrace::counter_add("tensor.gemm.macs", (m * n * k) as u64);
+
+    let n_panels = n.div_ceil(NR);
+    scratch::with(Slot::PackB, n_panels * k * NR, |bpack| {
+        {
+            let _s = dftrace::span("tensor.gemm.pack_b");
+            pack_b(layout, b, k, n, bpack);
+        }
+        let macs = m * n * k;
+        let pool = dfpool::current();
+        // Below the cutoff the band covers all rows, so the pool runs the
+        // job inline on the calling thread — the bit-identical serial path.
+        // Above it, fan out at most one band per *usable* lane: GEMM tiles
+        // are uniform work, so bands beyond min(pool threads, host cores)
+        // only add scheduling overhead.
+        let lanes = pool.threads().min(dfpool::host_parallelism()).max(1);
+        let min_rows = if macs < SERIAL_CUTOFF_MACS {
+            m
+        } else {
+            (BAND_MIN_MACS / (n * k).max(1)).max(MR).max(m.div_ceil(lanes))
+        };
+        let _s = dftrace::span("tensor.gemm.compute");
+        let bpack: &[f32] = bpack;
+        pool.parallel_rows_aligned(c, n, min_rows, MR, |first, band| {
+            band_job(layout, a, bpack, k, n, first, band, accumulate);
+        });
+    });
+}
+
+/// `C = A · B` (both row-major, `A[m,k]`, `B[k,n]`).
+pub(crate) fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm(Layout::Nn, m, k, n, a, b, c, false);
+}
+
+/// `C = Aᵀ · B` with `A` stored `[k,m]` row-major.
+pub(crate) fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm(Layout::Tn, m, k, n, a, b, c, false);
+}
+
+/// `C = A · Bᵀ` with `B` stored `[n,k]` row-major.
+pub(crate) fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm(Layout::Nt, m, k, n, a, b, c, false);
+}
+
+/// Packs all of `op(B)` into NR-column panels, k-major within a panel:
+/// `bpack[(jp*k + p)*NR + c] = op(B)[p, jp*NR + c]`, zero beyond column n.
+fn pack_b(layout: Layout, b: &[f32], k: usize, n: usize, bpack: &mut [f32]) {
+    let n_panels = n.div_ceil(NR);
+    match layout {
+        // B stored [k, n] row-major.
+        Layout::Nn | Layout::Tn => {
+            for jp in 0..n_panels {
+                let j0 = jp * NR;
+                let nr = (n - j0).min(NR);
+                let panel = &mut bpack[jp * k * NR..(jp + 1) * k * NR];
+                for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                    let src = &b[p * n + j0..p * n + j0 + nr];
+                    dst[..nr].copy_from_slice(src);
+                    dst[nr..].fill(0.0);
+                }
+            }
+        }
+        // B stored [n, k] row-major; op(B)[p, j] = b[j*k + p].
+        Layout::Nt => {
+            for jp in 0..n_panels {
+                let j0 = jp * NR;
+                let nr = (n - j0).min(NR);
+                let panel = &mut bpack[jp * k * NR..(jp + 1) * k * NR];
+                for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                    for (c, d) in dst.iter_mut().enumerate() {
+                        *d = if c < nr { b[(j0 + c) * k + p] } else { 0.0 };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs an `mcb × kcb` block of `op(A)` (rows `row0..row0+mcb`, k range
+/// `pc..pc+kcb`) into MR-row panels, k-major within a panel:
+/// `apack[(ip*kcb + pp)*MR + r] = op(A)[row0 + ip*MR + r, pc + pp]`,
+/// zero-padded past `mcb` rows.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    layout: Layout,
+    a: &[f32],
+    m: usize,
+    k: usize,
+    row0: usize,
+    mcb: usize,
+    pc: usize,
+    kcb: usize,
+    apack: &mut [f32],
+) {
+    let m_panels = mcb.div_ceil(MR);
+    match layout {
+        // A stored [m, k] row-major; op(A)[i, p] = a[i*k + p].
+        Layout::Nn | Layout::Nt => {
+            for ip in 0..m_panels {
+                let panel = &mut apack[ip * kcb * MR..(ip + 1) * kcb * MR];
+                for r in 0..MR {
+                    let i = row0 + ip * MR + r;
+                    if ip * MR + r < mcb {
+                        let src = &a[i * k + pc..i * k + pc + kcb];
+                        for (pp, &v) in src.iter().enumerate() {
+                            panel[pp * MR + r] = v;
+                        }
+                    } else {
+                        for pp in 0..kcb {
+                            panel[pp * MR + r] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        // A stored [k, m] row-major; op(A)[i, p] = a[p*m + i].
+        Layout::Tn => {
+            for ip in 0..m_panels {
+                let i0 = row0 + ip * MR;
+                let valid = (mcb - ip * MR).min(MR);
+                let panel = &mut apack[ip * kcb * MR..(ip + 1) * kcb * MR];
+                for (pp, dst) in panel.chunks_exact_mut(MR).enumerate() {
+                    let src = &a[(pc + pp) * m + i0..(pc + pp) * m + i0 + valid];
+                    dst[..valid].copy_from_slice(src);
+                    dst[valid..].fill(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// One pool band: all KC blocks (ascending), all MC blocks, all tiles.
+#[allow(clippy::too_many_arguments)]
+fn band_job(
+    layout: Layout,
+    a: &[f32],
+    bpack: &[f32],
+    k: usize,
+    n: usize,
+    first_row: usize,
+    band: &mut [f32],
+    accumulate: bool,
+) {
+    let rows = band.len() / n;
+    let n_panels = n.div_ceil(NR);
+    // Total op(A) rows, needed for the Tn column stride.
+    let m = a.len() / k;
+    let mut pc = 0;
+    while pc < k {
+        let kcb = (k - pc).min(KC);
+        // First KC block initializes each element's fold (unless the call
+        // accumulates into existing C); later blocks continue it.
+        let load_c = accumulate || pc > 0;
+        let mut ic = 0;
+        while ic < rows {
+            let mcb = (rows - ic).min(MC);
+            let m_panels = mcb.div_ceil(MR);
+            scratch::with(Slot::PackA, m_panels * kcb * MR, |apack| {
+                {
+                    let _s = dftrace::span("tensor.gemm.pack_a");
+                    pack_a(layout, a, m, k, first_row + ic, mcb, pc, kcb, apack);
+                }
+                let _s = dftrace::span("tensor.gemm.kernel");
+                for ip in 0..m_panels {
+                    let mr = (mcb - ip * MR).min(MR);
+                    let ap = &apack[ip * kcb * MR..(ip + 1) * kcb * MR];
+                    for jp in 0..n_panels {
+                        let nr = (n - jp * NR).min(NR);
+                        let bp = &bpack[(jp * k + pc) * NR..(jp * k + pc + kcb) * NR];
+                        let c_off = (ic + ip * MR) * n + jp * NR;
+                        micro_kernel(ap, bp, band, c_off, n, mr, nr, load_c);
+                    }
+                }
+            });
+            ic += mcb;
+        }
+        pc += kcb;
+    }
+}
+
+/// MR×NR register tile: `C_tile (+)= A_panel · B_panel` over one KC block,
+/// k ascending. Computes the full padded tile (padded lanes are zeros) but
+/// loads/stores only the valid `mr × nr` region.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel(
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    c_off: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+    load_c: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if load_c {
+        for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+            let row = &c[c_off + r * ldc..c_off + r * ldc + nr];
+            accr[..nr].copy_from_slice(row);
+        }
+    }
+    for (arow, brow) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = arow[r];
+            for (cc, x) in accr.iter_mut().enumerate() {
+                *x += av * brow[cc];
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(mr) {
+        let row = &mut c[c_off + r * ldc..c_off + r * ldc + nr];
+        row.copy_from_slice(&accr[..nr]);
+    }
+}

@@ -7,12 +7,15 @@
 
 mod conv;
 mod elementwise;
+pub(crate) mod gemm;
 mod linalg;
 mod loss;
 mod norm;
 mod pool;
+pub mod reference;
 mod segment;
 
+pub use conv::{conv3d_backward_input, conv3d_backward_weight, conv3d_forward};
 pub use norm::BatchNormOut;
 
 use crate::graph::{Graph, VarId};

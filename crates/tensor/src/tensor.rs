@@ -27,13 +27,6 @@ impl std::fmt::Debug for Tensor {
     }
 }
 
-/// Minimum output rows per parallel band so each job amortizes its queueing
-/// cost (~16k multiply-adds). Purely a performance knob: results are
-/// bit-identical to serial at any granularity.
-pub(crate) fn par_min_rows(work_per_row: usize) -> usize {
-    (16_384 / work_per_row.max(1)).max(1)
-}
-
 impl Tensor {
     // ------------------------------------------------------------------
     // Constructors
@@ -288,8 +281,11 @@ impl Tensor {
 
     /// Matrix multiplication of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
     ///
-    /// Uses the cache-friendly i-k-j loop order; inputs are contiguous so the
-    /// inner loop is a unit-stride saxpy the compiler can vectorize.
+    /// Lowered onto the packed, cache-blocked GEMM in `ops::gemm` (see its
+    /// module docs for the blocking scheme and the accumulation-order
+    /// contract). The dense path multiplies every element — there is no
+    /// zero-skip; sparse gather/scatter lives in `ops::segment`, which never
+    /// routes through matmul.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         let _t = dftrace::span("tensor.matmul");
         assert_eq!(self.rank(), 2, "matmul lhs must be rank 2, got {:?}", self.shape);
@@ -298,29 +294,13 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims differ: {:?} x {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; m * n];
-        // Rows are independent, so band-parallelism over i leaves every
-        // output element's accumulation order untouched (still ascending
-        // p): pooled results are bit-identical to serial.
-        dfpool::current().parallel_rows(&mut out, n, par_min_rows(n * k), |first, band| {
-            for (di, o_row) in band.chunks_mut(n).enumerate() {
-                let i = first + di;
-                let a_row = &self.data[i * k..(i + 1) * k];
-                for (p, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[p * n..(p + 1) * n];
-                    for (o, &b) in o_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        crate::ops::gemm::gemm_nn(m, k, n, &self.data, &other.data, &mut out);
         Tensor { data: out, shape: vec![m, n] }
     }
 
-    /// `self^T x other` without materializing the transpose: `[k,m]^T·? ==`
-    /// for `self: [k,m]`, `other: [k,n]` yields `[m,n]`.
+    /// `self^T x other` without materializing the transpose: for
+    /// `self: [k,m]`, `other: [k,n]` yields `[m,n]`. Same GEMM core as
+    /// [`Tensor::matmul`]; the transpose is absorbed into the A-panel pack.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         let _t = dftrace::span("tensor.matmul_tn");
         assert_eq!(self.rank(), 2);
@@ -329,29 +309,13 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_tn inner dims differ: {:?} x {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; m * n];
-        // Restructured from the p-outer sweep to i-outer bands for
-        // parallelism. Each element still accumulates over ascending p, so
-        // per-element float addition order — and hence the result bits —
-        // match the serial sweep exactly.
-        dfpool::current().parallel_rows(&mut out, n, par_min_rows(n * k), |first, band| {
-            for (di, o_row) in band.chunks_mut(n).enumerate() {
-                let i = first + di;
-                for p in 0..k {
-                    let a = self.data[p * m + i];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[p * n..(p + 1) * n];
-                    for (o, &b) in o_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        crate::ops::gemm::gemm_tn(m, k, n, &self.data, &other.data, &mut out);
         Tensor { data: out, shape: vec![m, n] }
     }
 
     /// `self x other^T`: for `self: [m,k]`, `other: [n,k]` yields `[m,n]`.
+    /// Same GEMM core as [`Tensor::matmul`]; the transpose is absorbed into
+    /// the B-panel pack.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         let _t = dftrace::span("tensor.matmul_nt");
         assert_eq!(self.rank(), 2);
@@ -360,22 +324,7 @@ impl Tensor {
         let (n, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_nt inner dims differ: {:?} x {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; m * n];
-        // Independent dot products: banding over i changes nothing about
-        // each product's accumulation order.
-        dfpool::current().parallel_rows(&mut out, n, par_min_rows(n * k), |first, band| {
-            for (di, o_row) in band.chunks_mut(n).enumerate() {
-                let i = first + di;
-                let a_row = &self.data[i * k..(i + 1) * k];
-                for (j, o) in o_row.iter_mut().enumerate() {
-                    let b_row = &other.data[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
-                    }
-                    *o = acc;
-                }
-            }
-        });
+        crate::ops::gemm::gemm_nt(m, k, n, &self.data, &other.data, &mut out);
         Tensor { data: out, shape: vec![m, n] }
     }
 

@@ -1,0 +1,191 @@
+//! Bit-exactness proptests for the blocked GEMM and the im2col-lowered
+//! conv3d kernels against the naive reference oracle in
+//! [`dftensor::ops::reference`].
+//!
+//! Every comparison here is `to_bits()` equality — no tolerances. The
+//! optimized kernels promise the *same floats* as the reference (single
+//! ascending-k accumulator per output element), and the same floats again
+//! under any pool thread count. Shapes are drawn to cross the blocking
+//! boundaries: `k` spans multiple KC=256 blocks, `m`/`n` straddle the
+//! MR=4 / NR=8 register tiles and the MC=64 row block, and conv shapes
+//! include pads larger than the kernel (receptive fields entirely inside
+//! the zero padding). Conv stride is fixed at 1 by design (the paper's
+//! 3D-CNN pools instead of striding), so stride is not a parameter.
+
+use dfpool::Pool;
+use dftensor::ops::{conv3d_backward_input, conv3d_backward_weight, conv3d_forward, reference};
+use dftensor::rng::rng;
+use dftensor::Tensor;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Shared pools so the hundreds of proptest cases don't spawn threads each.
+fn pool(threads: usize) -> &'static Pool {
+    static POOLS: OnceLock<Vec<Pool>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| [1usize, 2, 4, 8].into_iter().map(Pool::new).collect());
+    match threads {
+        1 => &pools[0],
+        2 => &pools[1],
+        4 => &pools[2],
+        _ => &pools[3],
+    }
+}
+
+/// Collects a tensor's exact bit pattern.
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Asserts `f` produces the reference bits serially and on 2/4-thread pools.
+fn assert_matches_reference(want: &Tensor, f: impl Fn() -> Tensor) -> Result<(), TestCaseError> {
+    let serial = pool(1).install(&f);
+    prop_assert_eq!(bits(&serial), bits(want), "serial result differs from reference");
+    for threads in [2usize, 4] {
+        let pooled = pool(threads).install(&f);
+        prop_assert_eq!(
+            bits(&pooled),
+            bits(want),
+            "{}-thread result differs from reference",
+            threads
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Blocked GEMM == naive triple loop, bitwise, for all three layout
+    /// variants, serial and pooled. `k` up to 600 crosses two KC blocks.
+    #[test]
+    fn gemm_variants_match_reference_bitwise(
+        seed in 0u64..1000,
+        m in 1usize..70,
+        k in 1usize..600,
+        n in 1usize..40,
+    ) {
+        let mut r = rng(seed);
+        let a = Tensor::randn(&[m, k], &mut r);
+        let b = Tensor::randn(&[k, n], &mut r);
+        let at = Tensor::randn(&[k, m], &mut r);
+        let bt = Tensor::randn(&[n, k], &mut r);
+
+        assert_matches_reference(&reference::matmul(&a, &b), || a.matmul(&b))?;
+        assert_matches_reference(&reference::matmul_tn(&at, &b), || at.matmul_tn(&b))?;
+        assert_matches_reference(&reference::matmul_nt(&a, &bt), || a.matmul_nt(&bt))?;
+    }
+
+    /// GEMM handles zeros exactly: the dense path has no zero-skip, and
+    /// adding the `±0.0` products must not flip any bit.
+    #[test]
+    fn gemm_with_zero_entries_matches_reference_bitwise(
+        seed in 0u64..1000,
+        m in 1usize..20,
+        k in 1usize..50,
+        n in 1usize..20,
+    ) {
+        let mut r = rng(seed);
+        let mut a = Tensor::randn(&[m, k], &mut r);
+        let b = Tensor::randn(&[k, n], &mut r);
+        // Zero every third element, half of them negative zero.
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = if i % 2 == 0 { 0.0 } else { -0.0 };
+            }
+        }
+        assert_matches_reference(&reference::matmul(&a, &b), || a.matmul(&b))?;
+    }
+
+    /// im2col-lowered conv3d forward == reference, bitwise, over random
+    /// shapes and pads (including pad > kernel), serial and pooled.
+    #[test]
+    fn conv3d_forward_matches_reference_bitwise(
+        seed in 0u64..1000,
+        bn in 1usize..3,
+        c in 1usize..4,
+        o in 1usize..5,
+        d in 1usize..7,
+        h in 1usize..7,
+        w in 1usize..7,
+        kd in 1usize..4,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        pad in 0usize..3,
+    ) {
+        prop_assume!(kd <= d + 2 * pad && kh <= h + 2 * pad && kw <= w + 2 * pad);
+        let mut r = rng(seed);
+        let x = Tensor::randn(&[bn, c, d, h, w], &mut r);
+        let wt = Tensor::randn(&[o, c, kd, kh, kw], &mut r);
+        let want = reference::conv3d_forward(&x, &wt, pad);
+        assert_matches_reference(&want, || conv3d_forward(&x, &wt, pad))?;
+    }
+
+    /// conv3d backward passes (input + weight gradients) == reference,
+    /// bitwise, serial and pooled.
+    #[test]
+    fn conv3d_backward_matches_reference_bitwise(
+        seed in 0u64..1000,
+        bn in 1usize..3,
+        c in 1usize..4,
+        o in 1usize..5,
+        d in 1usize..6,
+        h in 1usize..6,
+        w in 1usize..6,
+        kd in 1usize..4,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        pad in 0usize..3,
+    ) {
+        prop_assume!(kd <= d + 2 * pad && kh <= h + 2 * pad && kw <= w + 2 * pad);
+        let mut r = rng(seed);
+        let x = Tensor::randn(&[bn, c, d, h, w], &mut r);
+        let wt = Tensor::randn(&[o, c, kd, kh, kw], &mut r);
+        let y = reference::conv3d_forward(&x, &wt, pad);
+        let gout = Tensor::randn(y.shape(), &mut r);
+
+        let want_gx = reference::conv3d_backward_input(&gout, &wt, x.shape(), pad);
+        assert_matches_reference(&want_gx, || {
+            conv3d_backward_input(&gout, &wt, x.shape(), pad)
+        })?;
+
+        let want_gw = reference::conv3d_backward_weight(&gout, &x, wt.shape(), pad);
+        assert_matches_reference(&want_gw, || {
+            conv3d_backward_weight(&gout, &x, wt.shape(), pad)
+        })?;
+    }
+}
+
+/// One fixed large case crossing every blocking boundary at once
+/// (k > 2·KC, m > MC, n not a multiple of NR) — kept outside proptest so a
+/// regression names a deterministic failure.
+#[test]
+fn gemm_blocking_boundaries_fixed_case() {
+    let mut r = rng(1234);
+    let a = Tensor::randn(&[97, 531], &mut r);
+    let b = Tensor::randn(&[531, 37], &mut r);
+    let want = reference::matmul(&a, &b);
+    for threads in [1usize, 2, 4, 8] {
+        let got = pool(threads).install(|| a.matmul(&b));
+        assert_eq!(bits(&got), bits(&want), "threads {threads}");
+    }
+}
+
+/// Fixed conv case with asymmetric spatial dims and kernel.
+#[test]
+fn conv3d_asymmetric_fixed_case() {
+    let mut r = rng(4321);
+    let x = Tensor::randn(&[2, 3, 6, 4, 5], &mut r);
+    let w = Tensor::randn(&[4, 3, 3, 1, 2], &mut r);
+    for pad in 0..=1 {
+        let want = reference::conv3d_forward(&x, &w, pad);
+        let y = pool(4).install(|| conv3d_forward(&x, &w, pad));
+        assert_eq!(bits(&y), bits(&want), "pad {pad}");
+        let gout = Tensor::randn(want.shape(), &mut r);
+        let want_gx = reference::conv3d_backward_input(&gout, &w, x.shape(), pad);
+        let want_gw = reference::conv3d_backward_weight(&gout, &x, w.shape(), pad);
+        let gx = pool(4).install(|| conv3d_backward_input(&gout, &w, x.shape(), pad));
+        let gw = pool(4).install(|| conv3d_backward_weight(&gout, &x, w.shape(), pad));
+        assert_eq!(bits(&gx), bits(&want_gx), "gx pad {pad}");
+        assert_eq!(bits(&gw), bits(&want_gw), "gw pad {pad}");
+    }
+}

@@ -149,6 +149,19 @@ impl Report {
         self.spans.iter().find(|s| s.path == path)
     }
 
+    /// Sums count and total time over every span whose **leaf** segment
+    /// (the part after the last `/`) equals `leaf`. Span paths are
+    /// hierarchical, so one kernel stage (`tensor.gemm.pack_a`, say) shows
+    /// up under many parents — `train.epoch/fwd/...`, `serve.batch_exec/...`
+    /// — and this is the way to ask "how long did that stage take overall".
+    /// Returns `(count, total_us)`; `(0, 0)` when no span matches.
+    pub fn sum_spans_with_leaf(&self, leaf: &str) -> (u64, u64) {
+        self.spans
+            .iter()
+            .filter(|s| s.path.rsplit('/').next() == Some(leaf))
+            .fold((0, 0), |(c, t), s| (c + s.count, t + s.total_us))
+    }
+
     /// Looks up a counter value by name (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.iter().find(|c| c.name == name).map(|c| c.value).unwrap_or(0)
@@ -300,5 +313,34 @@ fn ratio(before: u64, after: u64) -> String {
         "new".to_string()
     } else {
         format!("{:.2}x", after as f64 / before as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(path: &str, count: u64, total_us: u64) -> SpanReport {
+        SpanReport { path: path.to_string(), count, total_us, min_us: 0, max_us: total_us }
+    }
+
+    #[test]
+    fn sum_spans_with_leaf_aggregates_across_parents() {
+        let r = Report {
+            version: SCHEMA_VERSION,
+            enabled: true,
+            spans: vec![
+                span("tensor.gemm.pack_a", 2, 10),
+                span("train.epoch/fwd/tensor.gemm.pack_a", 3, 25),
+                span("train.epoch/fwd/tensor.gemm.kernel", 3, 100),
+                span("tensor.gemm.pack_a_not_this", 1, 999),
+            ],
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        assert_eq!(r.sum_spans_with_leaf("tensor.gemm.pack_a"), (5, 35));
+        assert_eq!(r.sum_spans_with_leaf("tensor.gemm.kernel"), (3, 100));
+        assert_eq!(r.sum_spans_with_leaf("tensor.gemm.absent"), (0, 0));
     }
 }
