@@ -24,13 +24,26 @@
 //! cargo run --release -p dfbench --bin kernel_bench -- --smoke # CI mode
 //! ```
 //!
+//! The thread ladder is measured **interleaved**: every rep times all four
+//! pool sizes back-to-back before the next rep, so slow clock drift or
+//! host steal lands on every ladder rung equally instead of biasing
+//! whichever thread count happened to run last. (Sequential ladders made
+//! the 24-cube pooled ratio wander ±10% on a loaded host.)
+//!
+//! A `simd` section compares the forced-scalar micro-kernel against the
+//! auto-detected edition (AVX/SSE2/NEON under `--features simd`) on the
+//! large matmul, and checks every available edition against the same bits.
+//!
 //! `--smoke` uses fewer reps and asserts the contract: all kernels
-//! bit-exact, no pooled regression on matmul 160 (floor 0.9 for timer
-//! noise), conv3d 12-cube at least 1.5× over naive (full runs on this
-//! class of host measure well above 2×), and — when `DFTRACE=1` — warm
-//! scratch-arena reuse.
+//! bit-exact across editions and thread counts, no pooled regression on
+//! any kernel at any thread count (floor 0.9 for timer noise — this now
+//! covers the conv3d 24-cube that used to drift), conv3d 12-cube at least
+//! 1.5× over naive (full runs on this class of host measure well above
+//! 2×), the SIMD edition at least 2× over scalar on matmul 512 when one is
+//! active, and — when `DFTRACE=1` — warm scratch-arena reuse.
 
 use dfpool::Pool;
+use dftensor::ops::microkernel;
 use dftensor::ops::{conv3d_backward_input, conv3d_backward_weight, conv3d_forward, reference};
 use dftensor::rng::rng;
 use dftensor::Tensor;
@@ -64,10 +77,28 @@ struct KernelReport {
     runs: Vec<RunReport>,
 }
 
+/// Forced-scalar vs auto-detected micro-kernel edition on the large
+/// matmul, plus a bitwise cross-check of every available edition.
+#[derive(Serialize)]
+struct SimdReport {
+    /// Micro-kernel edition the build auto-selects ("scalar" when built
+    /// without `--features simd`).
+    active_path: String,
+    /// Every available edition produced identical bits on matmul 512.
+    paths_bit_exact: bool,
+    /// Forced-scalar single-thread time (ms).
+    scalar_ms: f64,
+    /// Auto-detected-edition single-thread time (ms).
+    active_ms: f64,
+    /// scalar_ms / active_ms (1.0 when the active edition is scalar).
+    speedup: f64,
+}
+
 #[derive(Serialize)]
 struct Baseline {
     host_cpus: usize,
     thread_counts: Vec<usize>,
+    simd: SimdReport,
     kernels: Vec<KernelReport>,
 }
 
@@ -86,8 +117,10 @@ fn measure(pool: &Pool, reps: usize, f: &dyn Fn()) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
-/// Benchmarks one kernel: reference once (serial), optimized across the
-/// thread ladder, with a bitwise comparison at each thread count.
+/// Benchmarks one kernel: reference once (serial), then the optimized
+/// kernel across the thread ladder with the ladder interleaved per rep —
+/// each rep times 1/2/4/8 threads back-to-back so drift cannot bias one
+/// rung — and a bitwise comparison at each thread count.
 fn bench_kernel(
     name: &str,
     naive_reps: usize,
@@ -95,25 +128,27 @@ fn bench_kernel(
     naive: &dyn Fn() -> Vec<u32>,
     opt: &dyn Fn() -> Vec<u32>,
 ) -> KernelReport {
-    let serial = Pool::new(1);
-    let want = serial.install(naive);
-    let naive_ms = measure(&serial, naive_reps, &|| {
+    let pools: Vec<Pool> = THREAD_COUNTS.iter().map(|&t| Pool::new(t)).collect();
+    let want = pools[0].install(naive);
+    let naive_ms = measure(&pools[0], naive_reps, &|| {
         black_box(naive());
     });
+    // Bitwise check doubles as the per-pool warmup.
+    let bit_exact = pools.iter().all(|pool| pool.install(opt) == want);
+    let mut best = [f64::INFINITY; THREAD_COUNTS.len()];
+    for _ in 0..reps.max(1) {
+        for (i, pool) in pools.iter().enumerate() {
+            let t = Instant::now();
+            pool.install(|| {
+                black_box(opt());
+            });
+            best[i] = best[i].min(t.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let gemm_serial_ms = best[0];
     let mut runs = Vec::new();
-    let mut gemm_serial_ms = 0.0;
-    let mut bit_exact = true;
-    for threads in THREAD_COUNTS {
-        let pool = Pool::new(threads);
-        if pool.install(opt) != want {
-            bit_exact = false;
-        }
-        let ms = measure(&pool, reps, &|| {
-            black_box(opt());
-        });
-        if threads == 1 {
-            gemm_serial_ms = ms;
-        }
+    for (i, &threads) in THREAD_COUNTS.iter().enumerate() {
+        let ms = best[i];
         let pooled_speedup = if ms > 0.0 { gemm_serial_ms / ms } else { 1.0 };
         eprintln!("  {name} @ {threads} threads: {ms:.2} ms (pooled speedup {pooled_speedup:.2})");
         runs.push(RunReport { threads, ms, pooled_speedup });
@@ -127,6 +162,48 @@ fn bench_kernel(
         speedup_vs_naive,
         bit_exact,
         runs,
+    }
+}
+
+/// Times the forced-scalar micro-kernel against the auto-detected edition
+/// on a `[dim,dim]` matmul (single thread, reps interleaved) and bit-checks
+/// every available edition against scalar.
+fn simd_report(dim: usize, reps: usize) -> SimdReport {
+    let mut r = rng(dim as u64 + 1);
+    let a = Tensor::randn(&[dim, dim], &mut r);
+    let b = Tensor::randn(&[dim, dim], &mut r);
+    let serial = Pool::new(1);
+    let active = microkernel::detected();
+    let want = serial
+        .install(|| microkernel::with_forced(microkernel::Path::Scalar, || bits(&a.matmul(&b))));
+    let paths_bit_exact = microkernel::available_paths().into_iter().all(|path| {
+        serial.install(|| microkernel::with_forced(path, || bits(&a.matmul(&b)))) == want
+    });
+    let (mut scalar_ms, mut active_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps.max(1) {
+        for (forced, slot) in
+            [(microkernel::Path::Scalar, &mut scalar_ms), (active, &mut active_ms)]
+        {
+            let t = Instant::now();
+            serial.install(|| {
+                microkernel::with_forced(forced, || {
+                    black_box(a.matmul(&b));
+                })
+            });
+            *slot = slot.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let speedup = if active_ms > 0.0 { scalar_ms / active_ms } else { 1.0 };
+    eprintln!(
+        "  simd matmul_{dim}: scalar {scalar_ms:.2} ms, {} {active_ms:.2} ms ({speedup:.2}x), editions bit_exact {paths_bit_exact}",
+        active.label()
+    );
+    SimdReport {
+        active_path: active.label().to_string(),
+        paths_bit_exact,
+        scalar_ms,
+        active_ms,
+        speedup,
     }
 }
 
@@ -194,7 +271,7 @@ fn main() {
 
     // (naive_reps, reps): smoke trades precision for CI time; matmul 160 is
     // the regression guard, so it keeps the most reps either way.
-    let (mm_small, mm_large, cv) = if smoke { (7, 3, 3) } else { (15, 5, 5) };
+    let (mm_small, mm_large, cv) = if smoke { (7, 3, 3) } else { (15, 7, 15) };
 
     let kernels = vec![
         matmul_kernel("tensor_matmul_160", 160, mm_small, mm_small),
@@ -210,7 +287,8 @@ fn main() {
         ),
     ];
 
-    let baseline = Baseline { host_cpus, thread_counts: THREAD_COUNTS.to_vec(), kernels };
+    let simd = simd_report(512, if smoke { 3 } else { 5 });
+    let baseline = Baseline { host_cpus, thread_counts: THREAD_COUNTS.to_vec(), simd, kernels };
     let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
     let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
     std::fs::write(&out, &json).expect("write BENCH_kernels.json");
@@ -220,14 +298,27 @@ fn main() {
     if smoke {
         for k in &baseline.kernels {
             assert!(k.bit_exact, "{}: optimized kernel diverged from the reference bits", k.name);
+            // Every kernel, every thread count: pooled must never lose to
+            // serial beyond timer noise. Small kernels run the identical
+            // inline path, large ones partition into macro-tiles; neither
+            // has any business being slower than one thread.
+            for run in &k.runs {
+                assert!(
+                    run.pooled_speedup >= 0.9,
+                    "{} regressed under the pool: {:.2}x at {} threads",
+                    k.name,
+                    run.pooled_speedup,
+                    run.threads
+                );
+            }
         }
-        let mm = baseline.kernels.iter().find(|k| k.name == "tensor_matmul_160").unwrap();
-        for run in &mm.runs {
+        assert!(baseline.simd.paths_bit_exact, "micro-kernel editions disagree on matmul 512 bits");
+        if baseline.simd.active_path != "scalar" {
             assert!(
-                run.pooled_speedup >= 0.9,
-                "tensor_matmul_160 regressed under the pool: {:.2}x at {} threads",
-                run.pooled_speedup,
-                run.threads
+                baseline.simd.speedup >= 2.0,
+                "{} edition only {:.2}x over scalar on matmul 512",
+                baseline.simd.active_path,
+                baseline.simd.speedup
             );
         }
         let cv12 =

@@ -18,8 +18,19 @@
 //! cargo run --release -p dfbench --bin serve_bench -- --smoke # CI gate
 //! ```
 //!
+//! Besides the two traffic profiles, a **batch-size sweep** drives the
+//! same closed-loop workload through services configured with
+//! `max_batch` 1/2/4/8. The cost model charges a per-batch base plus a
+//! per-item increment, so micro-batching amortizes the base and virtual
+//! throughput must rise monotonically with the cap — the sweep records
+//! that curve, and an overload pair (`max_batch` 1 vs the default)
+//! checks batching never sheds more than sequential execution.
+//!
 //! `--smoke` shrinks the request counts, then re-reads the emitted file
-//! and asserts it parses and that the nominal profile shed nothing.
+//! and asserts it parses, that the nominal profile shed nothing and
+//! recorded its mean batch size, that sweep throughput is monotone in
+//! the batch cap (and actually coalesces at the largest cap), and that
+//! the batched overload run sheds no more than the sequential one.
 
 use dfserve::{
     run_closed_loop, run_open_loop, ScoreService, ServeConfig, SimReport, TrafficConfig,
@@ -75,22 +86,45 @@ struct ProfileReport {
     batch_exec_wall_us: u64,
 }
 
+/// One point of the throughput-vs-batch-size curve: the same closed-loop
+/// workload against a service capped at `max_batch` items per batch.
+#[derive(Serialize, Deserialize)]
+struct BatchSweepPoint {
+    max_batch: usize,
+    issued: u64,
+    completed: u64,
+    shed: u64,
+    throughput_per_vsec: f64,
+    mean_batch_size: f64,
+    batches: u64,
+    /// Wall-clock µs spent in model batch execution (host-dependent).
+    batch_exec_wall_us: u64,
+}
+
 #[derive(Serialize, Deserialize)]
 struct ServeBench {
     smoke: bool,
     host_cpus: usize,
     profiles: Vec<ProfileReport>,
+    /// Closed-loop throughput as a function of the micro-batch cap.
+    batch_sweep: Vec<BatchSweepPoint>,
+    /// Overload shed counts: `max_batch = 1` vs the default cap, same
+    /// traffic. Batching amortizes the per-batch base cost, so the batched
+    /// service must never shed more.
+    overload_shed_sequential: u64,
+    overload_shed_batched: u64,
 }
 
-/// Runs one traffic profile against a fresh service, reading latency and
-/// batch-size numbers back from the dftrace telemetry the service emits.
+/// Runs one traffic profile against a fresh service built from `cfg`,
+/// reading latency and batch-size numbers back from the dftrace telemetry
+/// the service emits.
 fn run_profile(
     name: &str,
-    campaign_seed: u64,
+    cfg: ServeConfig,
     run: impl FnOnce(&mut ScoreService) -> (SimReport, Vec<dfserve::ScoreResponse>),
 ) -> ProfileReport {
     dftrace::reset();
-    let mut svc = ScoreService::with_fresh_registry(ServeConfig::tiny(campaign_seed));
+    let mut svc = ScoreService::with_fresh_registry(cfg);
     let (sim, _responses) = run(&mut svc);
     let trace = dftrace::snapshot();
     let stats = svc.stats();
@@ -140,14 +174,14 @@ fn main() {
     // switch; the bench needs the histograms, so force it on.
     dftrace::set_enabled(true);
 
-    let nominal = run_profile("nominal_closed_loop", 71, |svc| {
+    let nominal = run_profile("nominal_closed_loop", ServeConfig::tiny(71), |svc| {
         let traffic =
             TrafficConfig { seed: 2024, requests: nominal_reqs, ..TrafficConfig::default() };
         // 4 clients with 3 ms think time: offered load self-limits below
         // the service rate, so the ladder should never engage.
         run_closed_loop(svc, &traffic, 4, 3_000)
     });
-    let overload = run_profile("overload_open_loop", 72, |svc| {
+    let overload = run_profile("overload_open_loop", ServeConfig::tiny(72), |svc| {
         let traffic =
             TrafficConfig { seed: 2025, requests: overload_reqs, ..TrafficConfig::default() };
         // Poisson arrivals every ~100 virtual µs against a ~1000 µs/item
@@ -155,7 +189,63 @@ fn main() {
         run_open_loop(svc, &traffic, 100.0)
     });
 
-    let bench = ServeBench { smoke, host_cpus, profiles: vec![nominal, overload] };
+    // Throughput-vs-batch-size: the same saturating closed-loop workload
+    // (enough clients with short think time to keep the queue non-empty)
+    // against rising micro-batch caps. Amortizing the per-batch base cost
+    // is the whole point of the batched forward; the virtual clock makes
+    // the resulting curve bit-reproducible.
+    let sweep_reqs = if smoke { 64 } else { 240 };
+    let batch_sweep: Vec<BatchSweepPoint> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|max_batch| {
+            let mut cfg = ServeConfig::tiny(73);
+            cfg.batcher.max_batch = max_batch;
+            let p = run_profile(&format!("sweep_max_batch_{max_batch}"), cfg, |svc| {
+                let traffic =
+                    TrafficConfig { seed: 2026, requests: sweep_reqs, ..TrafficConfig::default() };
+                run_closed_loop(svc, &traffic, 8, 500)
+            });
+            BatchSweepPoint {
+                max_batch,
+                issued: p.issued,
+                completed: p.completed,
+                shed: p.shed,
+                throughput_per_vsec: p.throughput_per_vsec,
+                mean_batch_size: p.mean_batch_size,
+                batches: p.batches,
+                batch_exec_wall_us: p.batch_exec_wall_us,
+            }
+        })
+        .collect();
+
+    // Overload shed comparison: same Poisson storm, sequential (cap 1) vs
+    // the default cap. Batching raises the service rate, so it must shed
+    // no more than sequential execution does.
+    let overload_pair: Vec<u64> = [1usize, ServeConfig::tiny(74).batcher.max_batch]
+        .into_iter()
+        .map(|max_batch| {
+            let mut cfg = ServeConfig::tiny(74);
+            cfg.batcher.max_batch = max_batch;
+            run_profile(&format!("overload_max_batch_{max_batch}"), cfg, |svc| {
+                let traffic = TrafficConfig {
+                    seed: 2027,
+                    requests: overload_reqs,
+                    ..TrafficConfig::default()
+                };
+                run_open_loop(svc, &traffic, 100.0)
+            })
+            .shed
+        })
+        .collect();
+
+    let bench = ServeBench {
+        smoke,
+        host_cpus,
+        profiles: vec![nominal, overload],
+        batch_sweep,
+        overload_shed_sequential: overload_pair[0],
+        overload_shed_batched: overload_pair[1],
+    };
     let json = serde_json::to_string_pretty(&bench).expect("serialize serve bench");
     let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
     std::fs::write(&out, &json).expect("write BENCH_serve.json");
@@ -170,9 +260,36 @@ fn main() {
         assert_eq!(nominal.shed, 0, "nominal profile must not shed");
         assert_eq!(nominal.shed_rate, 0.0, "nominal shed rate must be zero");
         assert_eq!(nominal.completed, nominal.issued, "nominal must answer everything");
+        assert!(nominal.mean_batch_size >= 1.0, "nominal profile must record its mean batch size");
         let overload = &parsed.profiles[1];
         assert!(overload.shed > 0, "overload profile must exercise shedding");
         assert!(overload.per_tier.sg_head > 0 && overload.per_tier.vina > 0);
+        // Throughput must be monotone in the batch cap: the per-batch base
+        // cost is amortized over more items, and the virtual clock makes
+        // the comparison exact, not a noisy wall-clock race.
+        for pair in parsed.batch_sweep.windows(2) {
+            assert!(
+                pair[1].throughput_per_vsec >= pair[0].throughput_per_vsec,
+                "throughput fell raising max_batch {} -> {}: {:.1} -> {:.1}/vsec",
+                pair[0].max_batch,
+                pair[1].max_batch,
+                pair[0].throughput_per_vsec,
+                pair[1].throughput_per_vsec
+            );
+        }
+        let widest = parsed.batch_sweep.last().expect("sweep has points");
+        assert!(
+            widest.mean_batch_size > 1.0,
+            "saturating load at max_batch {} never coalesced (mean batch {:.2})",
+            widest.max_batch,
+            widest.mean_batch_size
+        );
+        assert!(
+            parsed.overload_shed_batched <= parsed.overload_shed_sequential,
+            "batched path shed more than sequential: {} vs {}",
+            parsed.overload_shed_batched,
+            parsed.overload_shed_sequential
+        );
         eprintln!("smoke assertions passed");
     }
 }

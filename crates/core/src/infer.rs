@@ -41,6 +41,7 @@ pub fn score_batch_fusion(
 ) -> Vec<f32> {
     assert_eq!(voxels.len(), graphs.len(), "voxel/graph batch length mismatch");
     let _t = dftrace::span("fusion.infer_batch");
+    dftrace::counter_add("fusion.infer.batched_items", voxels.len() as u64);
     let batch = stack_voxels(voxels);
     let bg = BatchedGraph::from_graph_refs(graphs);
     let mut g = Graph::new();
@@ -129,8 +130,11 @@ mod tests {
         let batched = score_batch_fusion(&mut m, &ps, &vrefs, &grefs);
         for i in 0..3 {
             let single = score_batch_fusion(&mut m, &ps, &[&voxels[i]], &[&graphs[i]]);
-            assert!(
-                (batched[i] - single[0]).abs() < 1e-5,
+            // Bitwise, not approximate: batch rows only add GEMM rows and
+            // never enter another sample's accumulator fold.
+            assert_eq!(
+                batched[i].to_bits(),
+                single[0].to_bits(),
                 "sample {i}: batched {} vs single {}",
                 batched[i],
                 single[0]

@@ -422,6 +422,63 @@ impl Pool {
         });
     }
 
+    /// Splits a flat `rows * row_len` buffer into a 2-D grid of disjoint
+    /// rectangular tiles and runs `f(tile)` on each in parallel.
+    ///
+    /// `row_splits` / `col_splits` are ascending boundary lists that must
+    /// start at 0 and end at the row / column count; consecutive pairs
+    /// delimit the tiles, so `[0, 64, 97]` × `[0, 16, 37]` yields four
+    /// tiles. Each element of `data` belongs to exactly one tile, so — as
+    /// with [`Pool::parallel_rows`] — results are identical to the serial
+    /// loop whenever `f`'s per-element work is order-independent across
+    /// tiles. Unlike row bands, tiles let a kernel with few rows but many
+    /// columns (or vice versa) still feed every lane.
+    ///
+    /// A single-tile grid (or a one-thread pool) runs inline on the
+    /// calling thread without touching the queues at all.
+    pub fn parallel_tiles<T, F>(
+        &self,
+        data: &mut [T],
+        row_len: usize,
+        row_splits: &[usize],
+        col_splits: &[usize],
+        f: F,
+    ) where
+        T: Send,
+        F: Fn(Tile<'_, T>) + Sync,
+    {
+        if data.is_empty() || row_len == 0 {
+            return;
+        }
+        assert_eq!(data.len() % row_len, 0, "buffer not a whole number of rows");
+        let rows = data.len() / row_len;
+        validate_splits(row_splits, rows, "row");
+        validate_splits(col_splits, row_len, "col");
+        let tiles = (row_splits.len() - 1) * (col_splits.len() - 1);
+        if tiles == 1 || self.threads() == 1 {
+            f(Tile::full(data, row_len));
+            return;
+        }
+        let base = TileBase { ptr: data.as_mut_ptr() };
+        self.scoped(|s| {
+            for rw in row_splits.windows(2) {
+                for cw in col_splits.windows(2) {
+                    let (r0, r1, c0, c1) = (rw[0], rw[1], cw[0], cw[1]);
+                    let f = &f;
+                    let base = &base;
+                    s.spawn(move || {
+                        // SAFETY: validated splits make every (row, col)
+                        // range disjoint from every other tile's, and the
+                        // scope joins before `data`'s borrow ends.
+                        let tile =
+                            unsafe { Tile::from_raw(base.ptr, row_len, r0, r1 - r0, c0, c1 - c0) };
+                        f(tile);
+                    });
+                }
+            }
+        });
+    }
+
     /// Parallel map + **serial, in-order** fold: exactly equivalent to
     /// `(0..len).map(f).fold(init, fold)` for any thread count, because the
     /// mapped values are folded left-to-right by index. This is the
@@ -473,6 +530,124 @@ fn instrumented_job(job: Job) -> Job {
             None => dftrace::counter_add("pool.lane.caller.busy_ns", busy_ns),
         }
     })
+}
+
+/// A mutable view of one rectangular tile of a flat `rows × row_len`
+/// buffer, handed to [`Pool::parallel_tiles`] jobs. Rows within the tile
+/// are *not* contiguous in the underlying buffer (the tile may cover a
+/// column sub-range), so access goes through [`Tile::row`] /
+/// [`Tile::row_mut`], which return the tile's slice of one buffer row.
+pub struct Tile<'a, T> {
+    base: *mut T,
+    row_len: usize,
+    first_row: usize,
+    rows: usize,
+    first_col: usize,
+    cols: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: a Tile is an exclusive view of a disjoint rectangle (enforced by
+// `parallel_tiles`' validated splits), so moving it to another thread moves
+// exclusive access to that rectangle with it.
+unsafe impl<T: Send> Send for Tile<'_, T> {}
+
+impl<'a, T> Tile<'a, T> {
+    /// A tile covering the entire buffer — the inline/serial view.
+    pub fn full(data: &'a mut [T], row_len: usize) -> Tile<'a, T> {
+        assert_eq!(data.len() % row_len.max(1), 0, "buffer not a whole number of rows");
+        let rows = data.len().checked_div(row_len).unwrap_or(0);
+        Tile {
+            base: data.as_mut_ptr(),
+            row_len,
+            first_row: 0,
+            rows,
+            first_col: 0,
+            cols: row_len,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// # Safety
+    /// The rectangle must be in-bounds for the buffer behind `base`, and no
+    /// other live reference (or tile) may overlap it for `'a`.
+    unsafe fn from_raw(
+        base: *mut T,
+        row_len: usize,
+        first_row: usize,
+        rows: usize,
+        first_col: usize,
+        cols: usize,
+    ) -> Tile<'a, T> {
+        Tile { base, row_len, first_row, rows, first_col, cols, _marker: std::marker::PhantomData }
+    }
+
+    /// First buffer row covered by this tile.
+    pub fn first_row(&self) -> usize {
+        self.first_row
+    }
+
+    /// Number of rows in the tile.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// First buffer column covered by this tile.
+    pub fn first_col(&self) -> usize {
+        self.first_col
+    }
+
+    /// Number of columns in the tile.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The tile's portion of tile-relative row `r`.
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "tile row {r} out of {} rows", self.rows);
+        // SAFETY: in-bounds by construction; shared borrow of self.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.base.add((self.first_row + r) * self.row_len + self.first_col),
+                self.cols,
+            )
+        }
+    }
+
+    /// Mutable access to the tile's portion of tile-relative row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        assert!(r < self.rows, "tile row {r} out of {} rows", self.rows);
+        // SAFETY: in-bounds by construction; exclusive borrow of self, and
+        // the tile's rectangle is disjoint from every other tile's.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.base.add((self.first_row + r) * self.row_len + self.first_col),
+                self.cols,
+            )
+        }
+    }
+}
+
+/// Shared base pointer for `parallel_tiles` jobs (tiles are disjoint).
+struct TileBase<T> {
+    ptr: *mut T,
+}
+
+// SAFETY: jobs only dereference through disjoint Tile rectangles.
+unsafe impl<T: Send> Sync for TileBase<T> {}
+unsafe impl<T: Send> Send for TileBase<T> {}
+
+/// Asserts a split boundary list is ascending, starts at 0 and ends at
+/// `total`.
+fn validate_splits(splits: &[usize], total: usize, axis: &str) {
+    assert!(
+        splits.len() >= 2 && splits[0] == 0 && *splits.last().expect("len checked") == total,
+        "{axis} splits must run 0..={total}, got {splits:?}"
+    );
+    assert!(
+        splits.windows(2).all(|w| w[0] < w[1]),
+        "{axis} splits must be strictly ascending, got {splits:?}"
+    );
 }
 
 /// Raw-pointer slot writer for `parallel_map`. Soundness contract: callers
@@ -736,6 +911,65 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_tiles_cover_the_grid_without_overlap() {
+        for threads in [1, 2, 4] {
+            let pool = Pool::new(threads);
+            let (rows, cols) = (13, 11);
+            let mut data = vec![0u64; rows * cols];
+            let row_splits = [0usize, 4, 8, 13];
+            let col_splits = [0usize, 8, 11];
+            pool.parallel_tiles(&mut data, cols, &row_splits, &col_splits, |mut tile| {
+                for r in 0..tile.rows() {
+                    let (fr, fc) = (tile.first_row(), tile.first_col());
+                    for (c, v) in tile.row_mut(r).iter_mut().enumerate() {
+                        *v += ((fr + r) * 100 + fc + c + 1) as u64;
+                    }
+                }
+            });
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(data[r * cols + c], (r * 100 + c + 1) as u64, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_tile_grid_runs_inline() {
+        let pool = Pool::new(4);
+        let tid = std::thread::current().id();
+        let mut data = vec![0u64; 6];
+        let ran_on = Mutex::new(None);
+        pool.parallel_tiles(&mut data, 3, &[0, 2], &[0, 3], |_tile| {
+            *ran_on.lock().unwrap_or_else(|p| p.into_inner()) = Some(std::thread::current().id());
+        });
+        assert_eq!(ran_on.into_inner().unwrap_or_else(|p| p.into_inner()), Some(tid));
+    }
+
+    #[test]
+    fn tile_rows_expose_the_right_region() {
+        let mut data: Vec<u64> = (0..20).collect(); // 4 rows × 5 cols
+        let pool = Pool::new(2);
+        pool.parallel_tiles(&mut data, 5, &[0, 2, 4], &[0, 2, 5], |tile| {
+            for r in 0..tile.rows() {
+                let row = tile.row(r);
+                for (c, &v) in row.iter().enumerate() {
+                    let expect = ((tile.first_row() + r) * 5 + tile.first_col() + c) as u64;
+                    assert_eq!(v, expect);
+                }
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "row splits")]
+    fn tiles_reject_bad_splits() {
+        let pool = Pool::new(1);
+        let mut data = vec![0u64; 12];
+        pool.parallel_tiles(&mut data, 4, &[0, 2], &[0, 4], |_| {});
     }
 
     #[test]

@@ -7,22 +7,31 @@
 //!
 //! All three passes are lowered onto the packed GEMM in
 //! `ops::gemm` via im2col/col2im with the contraction (K) axis
-//! ordered `(ic, fz, fy, fx)`:
+//! ordered `(ic, fz, fy, fx)`, and are **batched**: batch elements are
+//! grouped into chunks bounded by [`COL_CHUNK_ELEMS`] and each chunk runs
+//! *one* GEMM over the stacked `[chunk·spatial, ...]` matrices — a
+//! micro-batch of compounds costs one GEMM per layer, not one per
+//! compound:
 //!
-//! * **forward** — per batch element, an im2row matrix
-//!   `colT[spatial, C·kd·kh·kw]` (zero padding written as explicit zeros) is
-//!   multiplied against the kernel viewed as `[O, C·kd·kh·kw]`
-//!   (`C = colT · Wᵀ`), then the spatial-major product is transposed into
-//!   the `[O, spatial]` tensor layout.
+//! * **forward** — an im2row matrix `colT[chunk·spatial, C·kd·kh·kw]`
+//!   (zero padding written as explicit zeros) is multiplied against the
+//!   kernel viewed as `[O, C·kd·kh·kw]` (`C = colT · Wᵀ`), then the
+//!   spatial-major product is transposed per sample into the
+//!   `[O, spatial]` tensor layout.
 //! * **backward-input** — `gcolT = goutT · Wmat` recovers per-tap input
-//!   gradients, scattered back by a col2im pass that walks spatial
-//!   positions in ascending order per input channel.
-//! * **backward-weight** — `gW += gout_bn · colT` accumulated over the
-//!   batch in ascending order, reusing the forward's im2row.
+//!   gradients for the whole chunk at once, scattered back by a per-sample
+//!   col2im pass that walks spatial positions in ascending order per input
+//!   channel.
+//! * **backward-weight** — `gW (+)= goutTᵀ · colT` with the stacked
+//!   `[chunk·spatial, O]` gradient as the transposed A operand: the GEMM's
+//!   ascending-k fold walks `(bn, s)` in exactly the reference order, and
+//!   successive chunks continue the fold via the accumulate flag.
 //!
-//! Every output element keeps a single ascending-k accumulator, so all
-//! three passes are bit-identical to [`crate::ops::reference`] and across
-//! pool thread counts (locked by the kernel proptests and
+//! Batching changes *which* GEMM produces each output element but not the
+//! element's fold: every output element still keeps a single ascending-k
+//! accumulator, so all three passes are bit-identical to
+//! [`crate::ops::reference`], across pool thread counts **and** across
+//! batch-chunk boundaries (locked by the kernel proptests and
 //! `tests/parallel_determinism.rs`). Scratch matrices come from the
 //! thread-local [`crate::scratch`] arena, so steady-state training and
 //! `dfserve` micro-batches do not allocate here.
@@ -41,6 +50,19 @@ fn out_dim(input: usize, k: usize, pad: usize) -> usize {
 /// the calling thread — they are memcpy-bound, so tiny grids lose more to
 /// band hand-off than the copy costs.
 const PAR_COPY_CUTOFF_ELEMS: usize = 1 << 20;
+
+/// Ceiling (in f32 elements, ~32 MiB) on the stacked column matrix one
+/// batched GEMM covers; batches whose `spatial × kdim` footprint exceeds
+/// it are processed in chunks of whole samples (at least one). Keeps the
+/// thread-local scratch arena bounded while letting every realistic
+/// serving micro-batch (small grids) run as a single GEMM per layer.
+const COL_CHUNK_ELEMS: usize = 8 << 20;
+
+/// Number of whole samples per batched-GEMM chunk for a per-sample
+/// column-matrix footprint of `per_sample` elements.
+fn chunk_samples(n: usize, per_sample: usize) -> usize {
+    (COL_CHUNK_ELEMS / per_sample.max(1)).clamp(1, n.max(1))
+}
 
 /// Static conv geometry shared by the im2row/col2im passes.
 #[derive(Clone, Copy)]
@@ -190,25 +212,43 @@ pub fn conv3d_forward(x: &Tensor, w: &Tensor, pad: usize) -> Tensor {
     let mut out = Tensor::zeros(&[n, o, od, oh, ow]);
     let xd = x.data();
     let wdta = w.data();
-    for bn in 0..n {
-        scratch::with(Slot::Im2col, s_sp * kdim, |colt| {
+    let bc_max = chunk_samples(n, s_sp * kdim);
+    let mut b0 = 0;
+    while b0 < n {
+        let bc = bc_max.min(n - b0);
+        dftrace::counter_add("tensor.conv3d.batched_gemms", 1);
+        scratch::with(Slot::Im2col, bc * s_sp * kdim, |colt| {
             {
                 let _s = dftrace::span("tensor.conv3d.im2col");
-                im2row(colt, &xd[bn * c * g.in_spatial()..(bn + 1) * c * g.in_spatial()], g);
+                for db in 0..bc {
+                    let bn = b0 + db;
+                    im2row(
+                        &mut colt[db * s_sp * kdim..(db + 1) * s_sp * kdim],
+                        &xd[bn * c * g.in_spatial()..(bn + 1) * c * g.in_spatial()],
+                        g,
+                    );
+                }
             }
-            scratch::with(Slot::GemmOut, s_sp * o, |outt| {
-                // outT[s, oc] = Σ_k colT[s, k] · W[oc, k] — spatial-major so
-                // the GEMM bands over the (large) spatial axis, not O.
-                gemm(Layout::Nt, s_sp, kdim, o, colt, wdta, outt, false);
+            scratch::with(Slot::GemmOut, bc * s_sp * o, |outt| {
+                // outT[(bn,s), oc] = Σ_k colT[(bn,s), k] · W[oc, k] — one
+                // GEMM for the whole chunk, spatial-major so it tiles over
+                // the (large) stacked spatial axis, not O.
+                gemm(Layout::Nt, bc * s_sp, kdim, o, colt, wdta, outt, false);
                 let _s = dftrace::span("tensor.conv3d.unpack");
-                let oblock = &mut out.data_mut()[bn * o * s_sp..(bn + 1) * o * s_sp];
-                for (s, orow) in outt.chunks_exact(o).enumerate() {
-                    for (oc, &v) in orow.iter().enumerate() {
-                        oblock[oc * s_sp + s] = v;
+                for db in 0..bc {
+                    let bn = b0 + db;
+                    let oblock = &mut out.data_mut()[bn * o * s_sp..(bn + 1) * o * s_sp];
+                    for (s, orow) in
+                        outt[db * s_sp * o..(db + 1) * s_sp * o].chunks_exact(o).enumerate()
+                    {
+                        for (oc, &v) in orow.iter().enumerate() {
+                            oblock[oc * s_sp + s] = v;
+                        }
                     }
                 }
             });
         });
+        b0 += bc;
     }
     out
 }
@@ -224,25 +264,41 @@ pub fn conv3d_backward_input(gout: &Tensor, w: &Tensor, xshape: &[usize], pad: u
     let mut gx = Tensor::zeros(xshape);
     let gd = gout.data();
     let wdta = w.data();
-    for bn in 0..n {
-        scratch::with(Slot::GradT, s_sp * o, |goutt| {
+    let bc_max = chunk_samples(n, s_sp * kdim);
+    let mut b0 = 0;
+    while b0 < n {
+        let bc = bc_max.min(n - b0);
+        dftrace::counter_add("tensor.conv3d.batched_gemms", 1);
+        scratch::with(Slot::GradT, bc * s_sp * o, |goutt| {
             {
-                // Transpose gout[bn] from [O, spatial] to spatial-major.
+                // Transpose each gout[bn] from [O, spatial] to spatial-major.
                 let _s = dftrace::span("tensor.conv3d.unpack");
-                let gblock = &gd[bn * o * s_sp..(bn + 1) * o * s_sp];
-                for (s, grow) in goutt.chunks_exact_mut(o).enumerate() {
-                    for (oc, v) in grow.iter_mut().enumerate() {
-                        *v = gblock[oc * s_sp + s];
+                for db in 0..bc {
+                    let gblock = &gd[(b0 + db) * o * s_sp..(b0 + db + 1) * o * s_sp];
+                    let gslab = &mut goutt[db * s_sp * o..(db + 1) * s_sp * o];
+                    for (s, grow) in gslab.chunks_exact_mut(o).enumerate() {
+                        for (oc, v) in grow.iter_mut().enumerate() {
+                            *v = gblock[oc * s_sp + s];
+                        }
                     }
                 }
             }
-            scratch::with(Slot::GemmOut, s_sp * kdim, |gcolt| {
-                // gcolT[s, k] = Σ_oc goutT[s, oc] · W[oc, k].
-                gemm(Layout::Nn, s_sp, o, kdim, goutt, wdta, gcolt, false);
+            scratch::with(Slot::GemmOut, bc * s_sp * kdim, |gcolt| {
+                // gcolT[(bn,s), k] = Σ_oc goutT[(bn,s), oc] · W[oc, k] —
+                // one GEMM per chunk.
+                gemm(Layout::Nn, bc * s_sp, o, kdim, goutt, wdta, gcolt, false);
                 let _s = dftrace::span("tensor.conv3d.col2im");
-                col2im_add(&mut gx.data_mut()[bn * c * in_sp..(bn + 1) * c * in_sp], gcolt, g);
+                for db in 0..bc {
+                    let bn = b0 + db;
+                    col2im_add(
+                        &mut gx.data_mut()[bn * c * in_sp..(bn + 1) * c * in_sp],
+                        &gcolt[db * s_sp * kdim..(db + 1) * s_sp * kdim],
+                        g,
+                    );
+                }
             });
         });
+        b0 += bc;
     }
     gx
 }
@@ -259,26 +315,47 @@ pub fn conv3d_backward_weight(gout: &Tensor, x: &Tensor, wshape: &[usize], pad: 
     let mut gw = Tensor::zeros(wshape);
     let gd = gout.data();
     let xd = x.data();
-    for bn in 0..n {
-        scratch::with(Slot::Im2col, s_sp * kdim, |colt| {
+    let bc_max = chunk_samples(n, s_sp * kdim);
+    let mut b0 = 0;
+    while b0 < n {
+        let bc = bc_max.min(n - b0);
+        dftrace::counter_add("tensor.conv3d.batched_gemms", 1);
+        scratch::with(Slot::Im2col, bc * s_sp * kdim, |colt| {
             {
                 let _s = dftrace::span("tensor.conv3d.im2col");
-                im2row(colt, &xd[bn * c * g.in_spatial()..(bn + 1) * c * g.in_spatial()], g);
+                for db in 0..bc {
+                    let bn = b0 + db;
+                    im2row(
+                        &mut colt[db * s_sp * kdim..(db + 1) * s_sp * kdim],
+                        &xd[bn * c * g.in_spatial()..(bn + 1) * c * g.in_spatial()],
+                        g,
+                    );
+                }
             }
-            // gW[oc, k] += Σ_s gout[bn, oc, s] · colT[s, k]; ascending bn
-            // continues each element's fold — bit-equal to the one big
-            // (bn, s) contraction the reference performs.
-            gemm(
-                Layout::Nn,
-                o,
-                s_sp,
-                kdim,
-                &gd[bn * o * s_sp..(bn + 1) * o * s_sp],
-                colt,
-                gw.data_mut(),
-                true,
-            );
+            scratch::with(Slot::GradT, bc * s_sp * o, |goutt| {
+                {
+                    // Spatial-major transpose of the chunk's gout, so it can
+                    // serve as the Tn (k-major) A operand below.
+                    let _s = dftrace::span("tensor.conv3d.unpack");
+                    for db in 0..bc {
+                        let gblock = &gd[(b0 + db) * o * s_sp..(b0 + db + 1) * o * s_sp];
+                        let gslab = &mut goutt[db * s_sp * o..(db + 1) * s_sp * o];
+                        for (s, grow) in gslab.chunks_exact_mut(o).enumerate() {
+                            for (oc, v) in grow.iter_mut().enumerate() {
+                                *v = gblock[oc * s_sp + s];
+                            }
+                        }
+                    }
+                }
+                // gW[oc, k] (+)= Σ_{(bn,s)} goutT[(bn,s), oc] · colT[(bn,s), k]:
+                // one GEMM per chunk whose ascending-k fold walks (bn, s) in
+                // exactly the reference order; later chunks continue each
+                // element's fold through the accumulate flag — bit-equal to
+                // the one big (bn, s) contraction the reference performs.
+                gemm(Layout::Tn, o, bc * s_sp, kdim, goutt, colt, gw.data_mut(), true);
+            });
         });
+        b0 += bc;
     }
     gw
 }

@@ -6,21 +6,34 @@
 //! * B is packed **once per call** on the calling thread into NR-wide
 //!   column panels, k-major, zero-padded to a whole panel
 //!   ([`crate::scratch::Slot::PackB`]).
-//! * Rows of C are split into pool bands aligned to MR
-//!   (`dfpool::Pool::parallel_rows_aligned`); each band walks KC-deep k
-//!   blocks in ascending order, packs MC×KC A panels on the worker thread
+//! * C is partitioned into a grid of MC/NC-aligned **macro-tiles**
+//!   (`dfpool::Pool::parallel_tiles`); each tile walks KC-deep k blocks in
+//!   ascending order, packs MC×KC A panels on the worker thread
 //!   ([`crate::scratch::Slot::PackA`]) and runs an MR×NR register-tile
-//!   micro-kernel.
+//!   micro-kernel ([`crate::ops::microkernel`]) — scalar or explicit-SIMD,
+//!   chosen once per call.
+//!
+//! The grid prefers row splits (they reuse the packed B panels best) and
+//! only splits columns when the row count alone cannot feed every usable
+//! lane — the shape of conv3d's weight-gradient GEMM (`m = out_channels`,
+//! tiny; `n = C·k³`, wide), which row bands could never scale. When only
+//! one lane is usable (single-thread pool, or a host with fewer cores than
+//! the pool has threads), the kernel runs **inline on the calling thread
+//! without touching the pool at all** — the pooled path has zero structural
+//! overhead over serial, which is what the `kernel_bench` pooled-regression
+//! guard measures.
 //!
 //! ## Determinism contract
 //!
 //! Every output element is produced by a **single accumulator folded over k
 //! in ascending order** with plain `mul` + `add` (no FMA contraction, no
-//! reassociation). KC blocking preserves this bit pattern because the
-//! micro-kernel reloads the partial C tile and continues the same fold;
-//! band parallelism only partitions *disjoint* output rows. A GEMM is
-//! therefore bit-identical to the naive triple loop in
-//! [`crate::ops::reference`] and across any pool thread count — locked by
+//! reassociation) — in every micro-kernel edition; see
+//! [`crate::ops::microkernel`] for why the SIMD folds are bit-identical.
+//! KC blocking preserves the bit pattern because the micro-kernel reloads
+//! the partial C tile and continues the same fold; macro-tile parallelism
+//! only partitions *disjoint* output elements. A GEMM is therefore
+//! bit-identical to the naive triple loop in [`crate::ops::reference`],
+//! across any pool thread count and any micro-kernel edition — locked by
 //! `tests/parallel_determinism.rs` and the kernel proptests.
 //!
 //! There is deliberately **no zero-skip** (`a == 0.0 → continue`) on this
@@ -30,27 +43,27 @@
 //! the old skip changed no results. Sparse callers (`ops/segment.rs`) never
 //! routed through matmul, so no sparse entry point is kept.
 
+use crate::ops::microkernel::{self, Path};
 use crate::scratch::{self, Slot};
+use dfpool::Tile;
 
-/// Register-tile rows (micro-kernel height). C bands are MR-aligned.
-pub(crate) const MR: usize = 4;
-/// Register-tile columns (micro-kernel width); two 4-lane SSE vectors.
-pub(crate) const NR: usize = 8;
+pub(crate) use crate::ops::microkernel::{MR, NR};
+
 /// k-dimension cache block: `KC × NR` B panel ≈ 8 KiB stays L1-resident.
 pub(crate) const KC: usize = 256;
 /// Row cache block: `MC × KC` A pack ≈ 64 KiB stays L2-resident.
 pub(crate) const MC: usize = 64;
 
 /// GEMMs below this many multiply-adds run inline on the calling thread
-/// even when a pool is installed: at small sizes the band hand-off costs
+/// even when a pool is installed: at small sizes the tile hand-off costs
 /// more than it buys (the `tensor_matmul_160` regression in
 /// `BENCH_parallel.json`). 160³ ≈ 4.1 M MACs sits under this; 512³ is
 /// ~16× over it.
 const SERIAL_CUTOFF_MACS: usize = 8 << 20;
 
-/// Minimum multiply-adds per parallel band above the cutoff, so bands stay
+/// Minimum multiply-adds per macro-tile above the cutoff, so tiles stay
 /// coarse enough to amortize scheduling.
-const BAND_MIN_MACS: usize = 2 << 20;
+const TILE_MIN_MACS: usize = 2 << 20;
 
 /// Operand layouts. `m/k/n` below are always the *logical* GEMM dims:
 /// `C[m,n] = op(A)[m,k] · op(B)[k,n]`.
@@ -96,6 +109,14 @@ pub(crate) fn gemm(
     }
     dftrace::counter_add("tensor.gemm.calls", 1);
     dftrace::counter_add("tensor.gemm.macs", (m * n * k) as u64);
+    // The micro-kernel edition is resolved once per call, on the calling
+    // thread (so a per-thread test override is honored), then captured
+    // into the tile jobs so every lane computes with the same edition.
+    let path = microkernel::resolve();
+    match path {
+        Path::Scalar => dftrace::counter_add("tensor.gemm.scalar_calls", 1),
+        _ => dftrace::counter_add("tensor.gemm.simd_calls", 1),
+    }
 
     let n_panels = n.div_ceil(NR);
     scratch::with(Slot::PackB, n_panels * k * NR, |bpack| {
@@ -105,23 +126,53 @@ pub(crate) fn gemm(
         }
         let macs = m * n * k;
         let pool = dfpool::current();
-        // Below the cutoff the band covers all rows, so the pool runs the
-        // job inline on the calling thread — the bit-identical serial path.
-        // Above it, fan out at most one band per *usable* lane: GEMM tiles
-        // are uniform work, so bands beyond min(pool threads, host cores)
-        // only add scheduling overhead.
+        // Fan out at most one tile per *usable* lane: GEMM tiles are
+        // uniform work, so tiles beyond min(pool threads, host cores) only
+        // add scheduling overhead.
         let lanes = pool.threads().min(dfpool::host_parallelism()).max(1);
-        let min_rows = if macs < SERIAL_CUTOFF_MACS {
-            m
-        } else {
-            (BAND_MIN_MACS / (n * k).max(1)).max(MR).max(m.div_ceil(lanes))
-        };
         let _s = dftrace::span("tensor.gemm.compute");
         let bpack: &[f32] = bpack;
-        pool.parallel_rows_aligned(c, n, min_rows, MR, |first, band| {
-            band_job(layout, a, bpack, k, n, first, band, accumulate);
+        if lanes == 1 || macs < SERIAL_CUTOFF_MACS {
+            // One usable lane (or too small to split): run on the calling
+            // thread without involving the pool — bit- and cost-identical
+            // to the serial path.
+            tile_job(path, layout, a, bpack, k, Tile::full(c, n), accumulate);
+            return;
+        }
+        let (row_splits, col_splits) = tile_grid(m, k, n, lanes);
+        pool.parallel_tiles(c, n, &row_splits, &col_splits, |tile| {
+            tile_job(path, layout, a, bpack, k, tile, accumulate);
         });
     });
+}
+
+/// Chooses the macro-tile grid: row splits first (MR-aligned, best B-panel
+/// reuse), column splits (NR-aligned) only when rows alone cannot feed the
+/// lanes, with every tile kept above [`TILE_MIN_MACS`].
+fn tile_grid(m: usize, k: usize, n: usize, lanes: usize) -> (Vec<usize>, Vec<usize>) {
+    let budget = (m * n * k / TILE_MIN_MACS).max(1);
+    let target = lanes.min(budget);
+    let row_tiles = target.min(m.div_ceil(MR)).max(1);
+    let col_tiles = if row_tiles < target {
+        target.div_ceil(row_tiles).min(n.div_ceil(NR)).min(budget / row_tiles).max(1)
+    } else {
+        1
+    };
+    (splits(m, row_tiles, MR), splits(n, col_tiles, NR))
+}
+
+/// Ascending boundary list cutting `total` into at most `parts` pieces,
+/// every boundary a multiple of `align`.
+fn splits(total: usize, parts: usize, align: usize) -> Vec<usize> {
+    let step = total.div_ceil(parts).div_ceil(align) * align;
+    let mut out = Vec::with_capacity(parts + 1);
+    let mut at = 0;
+    while at < total {
+        out.push(at);
+        at += step;
+    }
+    out.push(total);
+    out
 }
 
 /// `C = A · B` (both row-major, `A[m,k]`, `B[k,n]`).
@@ -226,20 +277,25 @@ fn pack_a(
     }
 }
 
-/// One pool band: all KC blocks (ascending), all MC blocks, all tiles.
+/// One macro-tile: all KC blocks (ascending), all MC blocks, all register
+/// tiles inside the tile's row/column rectangle.
 #[allow(clippy::too_many_arguments)]
-fn band_job(
+fn tile_job(
+    path: Path,
     layout: Layout,
     a: &[f32],
     bpack: &[f32],
     k: usize,
-    n: usize,
-    first_row: usize,
-    band: &mut [f32],
+    mut tile: Tile<'_, f32>,
     accumulate: bool,
 ) {
-    let rows = band.len() / n;
-    let n_panels = n.div_ceil(NR);
+    let rows = tile.rows();
+    let first_row = tile.first_row();
+    let first_col = tile.first_col();
+    let cols = tile.cols();
+    debug_assert_eq!(first_col % NR, 0, "column splits are NR-aligned");
+    let jp0 = first_col / NR;
+    let jp1 = (first_col + cols).div_ceil(NR);
     // Total op(A) rows, needed for the Tn column stride.
     let m = a.len() / k;
     let mut pc = 0;
@@ -258,14 +314,32 @@ fn band_job(
                     pack_a(layout, a, m, k, first_row + ic, mcb, pc, kcb, apack);
                 }
                 let _s = dftrace::span("tensor.gemm.kernel");
+                let paired = microkernel::folds_pairs(path);
                 for ip in 0..m_panels {
                     let mr = (mcb - ip * MR).min(MR);
                     let ap = &apack[ip * kcb * MR..(ip + 1) * kcb * MR];
-                    for jp in 0..n_panels {
-                        let nr = (n - jp * NR).min(NR);
+                    let row0 = ic + ip * MR;
+                    let mut jp = jp0;
+                    while jp < jp1 {
+                        let col0 = jp * NR - first_col;
+                        // Wide editions take two full panels per call (16
+                        // output columns); remainders and narrow editions
+                        // go one panel at a time. Either way each output
+                        // element keeps its own ascending-k fold.
+                        if paired && (jp + 2) * NR <= first_col + cols {
+                            let bp0 = &bpack[(jp * k + pc) * NR..(jp * k + pc + kcb) * NR];
+                            let jq = jp + 1;
+                            let bp1 = &bpack[(jq * k + pc) * NR..(jq * k + pc + kcb) * NR];
+                            micro_kernel_pair(
+                                path, ap, bp0, bp1, &mut tile, row0, col0, mr, load_c,
+                            );
+                            jp += 2;
+                            continue;
+                        }
+                        let nr = (first_col + cols - jp * NR).min(NR);
                         let bp = &bpack[(jp * k + pc) * NR..(jp * k + pc + kcb) * NR];
-                        let c_off = (ic + ip * MR) * n + jp * NR;
-                        micro_kernel(ap, bp, band, c_off, n, mr, nr, load_c);
+                        micro_kernel(path, ap, bp, &mut tile, row0, col0, mr, nr, load_c);
+                        jp += 1;
                     }
                 }
             });
@@ -277,15 +351,17 @@ fn band_job(
 
 /// MR×NR register tile: `C_tile (+)= A_panel · B_panel` over one KC block,
 /// k ascending. Computes the full padded tile (padded lanes are zeros) but
-/// loads/stores only the valid `mr × nr` region.
+/// loads/stores only the valid `mr × nr` region, through the macro-tile's
+/// row views.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn micro_kernel(
+    path: Path,
     ap: &[f32],
     bp: &[f32],
-    c: &mut [f32],
-    c_off: usize,
-    ldc: usize,
+    tile: &mut Tile<'_, f32>,
+    row0: usize,
+    col0: usize,
     mr: usize,
     nr: usize,
     load_c: bool,
@@ -293,20 +369,40 @@ fn micro_kernel(
     let mut acc = [[0.0f32; NR]; MR];
     if load_c {
         for (r, accr) in acc.iter_mut().enumerate().take(mr) {
-            let row = &c[c_off + r * ldc..c_off + r * ldc + nr];
-            accr[..nr].copy_from_slice(row);
+            accr[..nr].copy_from_slice(&tile.row(row0 + r)[col0..col0 + nr]);
         }
     }
-    for (arow, brow) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
-        for (r, accr) in acc.iter_mut().enumerate() {
-            let av = arow[r];
-            for (cc, x) in accr.iter_mut().enumerate() {
-                *x += av * brow[cc];
-            }
-        }
-    }
+    microkernel::fold(path, &mut acc, ap, bp);
     for (r, accr) in acc.iter().enumerate().take(mr) {
-        let row = &mut c[c_off + r * ldc..c_off + r * ldc + nr];
-        row.copy_from_slice(&accr[..nr]);
+        tile.row_mut(row0 + r)[col0..col0 + nr].copy_from_slice(&accr[..nr]);
+    }
+}
+
+/// MR × 2·NR register tile over two adjacent full-width B panels — the
+/// wide-edition fast path (see [`microkernel::folds_pairs`]). All 2·NR
+/// columns are valid by the caller's bounds check, so loads/stores cover
+/// the whole strip for the valid `mr` rows.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel_pair(
+    path: Path,
+    ap: &[f32],
+    bp0: &[f32],
+    bp1: &[f32],
+    tile: &mut Tile<'_, f32>,
+    row0: usize,
+    col0: usize,
+    mr: usize,
+    load_c: bool,
+) {
+    let mut acc = [[0.0f32; 2 * NR]; MR];
+    if load_c {
+        for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+            accr.copy_from_slice(&tile.row(row0 + r)[col0..col0 + 2 * NR]);
+        }
+    }
+    microkernel::fold_pair(path, &mut acc, ap, bp0, bp1);
+    for (r, accr) in acc.iter().enumerate().take(mr) {
+        tile.row_mut(row0 + r)[col0..col0 + 2 * NR].copy_from_slice(accr);
     }
 }

@@ -10,6 +10,7 @@ mod elementwise;
 pub(crate) mod gemm;
 mod linalg;
 mod loss;
+pub mod microkernel;
 mod norm;
 mod pool;
 pub mod reference;

@@ -1,18 +1,22 @@
-//! Bit-exactness proptests for the blocked GEMM and the im2col-lowered
-//! conv3d kernels against the naive reference oracle in
+//! Differential bit-exactness tests for the blocked GEMM and the
+//! im2col-lowered conv3d kernels against the naive reference oracle in
 //! [`dftensor::ops::reference`].
 //!
 //! Every comparison here is `to_bits()` equality — no tolerances. The
 //! optimized kernels promise the *same floats* as the reference (single
 //! ascending-k accumulator per output element), and the same floats again
-//! under any pool thread count. Shapes are drawn to cross the blocking
-//! boundaries: `k` spans multiple KC=256 blocks, `m`/`n` straddle the
-//! MR=4 / NR=8 register tiles and the MC=64 row block, and conv shapes
-//! include pads larger than the kernel (receptive fields entirely inside
-//! the zero padding). Conv stride is fixed at 1 by design (the paper's
-//! 3D-CNN pools instead of striding), so stride is not a parameter.
+//! under any pool thread count **and any micro-kernel edition**: each case
+//! runs the full cross of [`microkernel::available_paths`] (scalar always;
+//! SSE2/AVX or NEON when built with `--features simd`) × 1/2/4/8-thread
+//! pools. Shapes are drawn to cross the blocking boundaries: `k` spans
+//! multiple KC=256 blocks, `m`/`n` straddle the MR=4 / NR=8 register tiles
+//! and the MC=64 row block, and conv shapes include pads larger than the
+//! kernel (receptive fields entirely inside the zero padding). Conv stride
+//! is fixed at 1 by design (the paper's 3D-CNN pools instead of striding),
+//! so stride is not a parameter.
 
 use dfpool::Pool;
+use dftensor::ops::microkernel;
 use dftensor::ops::{conv3d_backward_input, conv3d_backward_weight, conv3d_forward, reference};
 use dftensor::rng::rng;
 use dftensor::Tensor;
@@ -36,18 +40,22 @@ fn bits(t: &Tensor) -> Vec<u32> {
     t.data().iter().map(|v| v.to_bits()).collect()
 }
 
-/// Asserts `f` produces the reference bits serially and on 2/4-thread pools.
+/// Asserts `f` produces the reference bits for every available micro-kernel
+/// edition on 1/2/4/8-thread pools. `with_forced` pins the edition on the
+/// calling thread; `gemm` resolves it once at entry and carries it into the
+/// pool jobs, so the forced edition covers the parallel tiles too.
 fn assert_matches_reference(want: &Tensor, f: impl Fn() -> Tensor) -> Result<(), TestCaseError> {
-    let serial = pool(1).install(&f);
-    prop_assert_eq!(bits(&serial), bits(want), "serial result differs from reference");
-    for threads in [2usize, 4] {
-        let pooled = pool(threads).install(&f);
-        prop_assert_eq!(
-            bits(&pooled),
-            bits(want),
-            "{}-thread result differs from reference",
-            threads
-        );
+    for path in microkernel::available_paths() {
+        for threads in [1usize, 2, 4, 8] {
+            let got = pool(threads).install(|| microkernel::with_forced(path, &f));
+            prop_assert_eq!(
+                bits(&got),
+                bits(want),
+                "{} edition on a {}-thread pool differs from reference",
+                path.label(),
+                threads
+            );
+        }
     }
     Ok(())
 }
@@ -164,9 +172,58 @@ fn gemm_blocking_boundaries_fixed_case() {
     let a = Tensor::randn(&[97, 531], &mut r);
     let b = Tensor::randn(&[531, 37], &mut r);
     let want = reference::matmul(&a, &b);
-    for threads in [1usize, 2, 4, 8] {
-        let got = pool(threads).install(|| a.matmul(&b));
-        assert_eq!(bits(&got), bits(&want), "threads {threads}");
+    for path in microkernel::available_paths() {
+        for threads in [1usize, 2, 4, 8] {
+            let got = pool(threads).install(|| microkernel::with_forced(path, || a.matmul(&b)));
+            assert_eq!(bits(&got), bits(&want), "{} threads {threads}", path.label());
+        }
+    }
+}
+
+/// Every MR×NR remainder edge: `m` around the MR=4 register tile, `n`
+/// around one and two NR=8 panels, `k` straddling the KC=256 block. These
+/// shapes exercise the partial-tile tails of each micro-kernel edition,
+/// where a lane-count bug would first show.
+#[test]
+fn gemm_register_tile_remainders_match_reference_bitwise() {
+    let mut r = rng(777);
+    for m in [1usize, 3, 4, 5, 8, 9] {
+        for n in [1usize, 7, 8, 9, 15, 16, 17] {
+            for k in [1usize, 2, 255, 256, 257] {
+                let a = Tensor::randn(&[m, k], &mut r);
+                let b = Tensor::randn(&[k, n], &mut r);
+                let want = reference::matmul(&a, &b);
+                for path in microkernel::available_paths() {
+                    let got = microkernel::with_forced(path, || a.matmul(&b));
+                    assert_eq!(bits(&got), bits(&want), "{} m={m} n={n} k={k}", path.label());
+                }
+            }
+        }
+    }
+}
+
+/// Conv case large enough that the batched lowering splits the batch into
+/// multiple column-buffer chunks (per-sample buffer ≈ 3.0M floats against
+/// the 8M-element budget → chunks of 2 + 1 samples, a ragged tail). Locks
+/// the accumulate-across-chunks fold for all three conv kernels against the
+/// single-fold reference, bitwise, serial and pooled.
+#[test]
+fn conv3d_multi_chunk_batches_match_reference_bitwise() {
+    let mut r = rng(9876);
+    let x = Tensor::randn(&[3, 14, 20, 20, 20], &mut r);
+    let w = Tensor::randn(&[2, 14, 3, 3, 3], &mut r);
+    let pad = 1;
+    let want = reference::conv3d_forward(&x, &w, pad);
+    let gout = Tensor::randn(want.shape(), &mut r);
+    let want_gx = reference::conv3d_backward_input(&gout, &w, x.shape(), pad);
+    let want_gw = reference::conv3d_backward_weight(&gout, &x, w.shape(), pad);
+    for threads in [1usize, 4] {
+        let y = pool(threads).install(|| conv3d_forward(&x, &w, pad));
+        assert_eq!(bits(&y), bits(&want), "forward threads {threads}");
+        let gx = pool(threads).install(|| conv3d_backward_input(&gout, &w, x.shape(), pad));
+        assert_eq!(bits(&gx), bits(&want_gx), "gx threads {threads}");
+        let gw = pool(threads).install(|| conv3d_backward_weight(&gout, &x, w.shape(), pad));
+        assert_eq!(bits(&gw), bits(&want_gw), "gw threads {threads}");
     }
 }
 
