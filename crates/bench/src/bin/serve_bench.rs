@@ -62,6 +62,7 @@ struct TierCounts {
     full: u64,
     sg_head: u64,
     vina: u64,
+    ligand_only: u64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -142,6 +143,7 @@ fn run_profile(
             full: stats.per_tier[0],
             sg_head: stats.per_tier[1],
             vina: stats.per_tier[2],
+            ligand_only: stats.per_tier[3],
         },
         batches: stats.batches,
         mean_batch_size: hist_batch.map(|h| h.mean_us()).unwrap_or(0.0),
@@ -151,7 +153,7 @@ fn run_profile(
     };
     eprintln!(
         "  {name}: {} issued, {} completed, shed rate {:.3}, {:.0} scores/vsec, \
-         e2e p95 {} vµs, tiers full/sg/vina = {}/{}/{}",
+         e2e p95 {} vµs, tiers full/sg/vina/ligand = {}/{}/{}/{}",
         report.issued,
         report.completed,
         report.shed_rate,
@@ -160,6 +162,7 @@ fn run_profile(
         report.per_tier.full,
         report.per_tier.sg_head,
         report.per_tier.vina,
+        report.per_tier.ligand_only,
     );
     report
 }
@@ -264,6 +267,10 @@ fn main() {
         let overload = &parsed.profiles[1];
         assert!(overload.shed > 0, "overload profile must exercise shedding");
         assert!(overload.per_tier.sg_head > 0 && overload.per_tier.vina > 0);
+        assert!(
+            overload.per_tier.ligand_only > 0,
+            "overload must push the ladder down to the ligand-only tier"
+        );
         // Throughput must be monotone in the batch cap: the per-batch base
         // cost is amortized over more items, and the virtual clock makes
         // the comparison exact, not a noisy wall-clock race.

@@ -21,6 +21,7 @@ use dfdock::search::{dock, DockConfig};
 use dffusion::{train, Cnn3d, Cnn3dConfig, TrainConfig};
 use dfhts::fault::FaultConfig;
 use dfhts::job::{JobConfig, JobSpec, SyntheticPoseSource};
+use dfhts::prefilter::{run_prefilter, PrefilterConfig};
 use dfhts::scheduler::{resume_campaign, run_campaign, SchedulerConfig};
 use dfhts::scorer::VinaScorerFactory;
 use dfhts::throughput::LassenModel;
@@ -47,6 +48,17 @@ fn main() {
 
 fn run() {
     let seed = 42;
+
+    // --- chem + hts: the ligand-only prefilter ring of the funnel ---
+    println!("Prefiltering a compound library (filter -> fingerprint -> score)...");
+    let pre = PrefilterConfig::new(Library::Chembl, 8_000, seed, 128);
+    let picked = run_prefilter(&pre);
+    println!(
+        "  {} evaluated -> {} passed filter -> {} selected",
+        picked.funnel.evaluated,
+        picked.funnel.passed_filter,
+        picked.shortlist.len()
+    );
 
     // --- chem + tensor + pool: batch featurization ---
     println!("Featurizing a compound batch...");
@@ -230,6 +242,36 @@ fn run() {
     assert!(trace.counter("tensor.gemm.calls") > 0, "no GEMM telemetry recorded");
     println!();
 
+    // Screening-funnel split: how the ligand-only front-end narrowed the
+    // stream before any docking work (stages in docs/CHEMISTRY.md).
+    println!("screening funnel (ligand-only front-end):");
+    let funnel_rows = [
+        ("evaluated", "chem.filter.evaluated"),
+        ("passed filter", "chem.filter.passed"),
+        ("rejected", "chem.filter.rejected"),
+        ("fingerprinted", "chem.fp.computed"),
+        ("scored hits", "chem.screen.hits"),
+        ("prefilter selected", "hts.prefilter.selected"),
+    ];
+    for (label, counter) in funnel_rows {
+        println!("  {label:<20} {counter:<26} {}", trace.counter(counter));
+    }
+    for h in ["chem.filter.chunk_us", "chem.fp.chunk_us"] {
+        if let Some(hist) = trace.histograms.iter().find(|x| x.name == h) {
+            println!(
+                "  {h}: n={} p50={}us p99={}us",
+                hist.count,
+                hist.percentile(0.50),
+                hist.percentile(0.99)
+            );
+        }
+    }
+    assert!(
+        trace.counter("chem.filter.evaluated") >= trace.counter("chem.fp.computed"),
+        "the funnel can only narrow"
+    );
+    println!();
+
     // Derived rates, through the same dftrace::rate implementation the
     // Table 7 model uses.
     let poses = trace.counter("hts.poses") as f64;
@@ -240,7 +282,7 @@ fn run() {
     println!("  compounds/s  {:.1}", dftrace::rate::compounds_per_sec(poses, ppc, campaign_secs));
     println!("\nwrote {}", out.display());
 
-    for stage in ["tensor.", "pool.", "dock.", "train.", "hts."] {
+    for stage in ["tensor.", "pool.", "dock.", "train.", "hts.", "chem."] {
         let seen = trace.spans.iter().any(|s| s.path.contains(stage))
             || trace.counters.iter().any(|c| c.name.starts_with(stage))
             || trace.histograms.iter().any(|h| h.name.starts_with(stage));

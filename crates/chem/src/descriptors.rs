@@ -10,10 +10,24 @@ use serde::{Deserialize, Serialize};
 /// A bundle of standard descriptors for one molecule.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Descriptors {
+    /// Molecular weight in Daltons.
     pub molecular_weight: f64,
+    /// Non-hydrogen atom count.
     pub heavy_atoms: usize,
+    /// Carbon atom count (the ZINC rules require ≥ 3).
+    pub carbons: usize,
+    /// Rotatable bonds under the Vina torsion convention.
     pub rotatable_bonds: usize,
+    /// Rotatable bonds under the strict (amide-excluding) convention the
+    /// ZINC druglike rules use; see
+    /// [`Molecule::num_rotatable_bonds_strict`].
+    pub rotatable_bonds_strict: usize,
+    /// Heavy-atom bonds that are not strict rotors (ZINC caps these
+    /// at 50).
+    pub rigid_bonds: usize,
+    /// Hydrogen-bond donors (heavy-atom convention).
     pub hbond_donors: usize,
+    /// Hydrogen-bond acceptors.
     pub hbond_acceptors: usize,
     /// Crude cLogP-style lipophilicity.
     pub logp: f64,
@@ -32,10 +46,14 @@ pub struct Descriptors {
 impl Descriptors {
     /// Computes every descriptor for a molecule.
     pub fn compute(mol: &Molecule) -> Descriptors {
+        let rotatable_bonds_strict = mol.num_rotatable_bonds_strict();
         Descriptors {
             molecular_weight: mol.molecular_weight(),
             heavy_atoms: mol.num_heavy_atoms(),
+            carbons: mol.num_carbons(),
             rotatable_bonds: mol.num_rotatable_bonds(),
+            rotatable_bonds_strict,
+            rigid_bonds: mol.num_heavy_bonds().saturating_sub(rotatable_bonds_strict),
             hbond_donors: mol.num_hbond_donors(),
             hbond_acceptors: mol.num_hbond_acceptors(),
             logp: mol.logp_estimate(),
@@ -69,6 +87,17 @@ impl Descriptors {
     /// TPSA ≤ 140 Å².
     pub fn passes_veber(&self) -> bool {
         self.rotatable_bonds <= 10 && self.tpsa <= 140.0
+    }
+
+    /// Non-carbon heavy atoms per carbon (the ZINC rules cap this
+    /// at 2.0). Defined as `+∞` for carbon-free molecules so a max-bound
+    /// rule rejects them rather than dividing by zero.
+    pub fn hetero_carbon_ratio(&self) -> f64 {
+        if self.carbons == 0 {
+            f64::INFINITY
+        } else {
+            (self.heavy_atoms - self.carbons) as f64 / self.carbons as f64
+        }
     }
 }
 
@@ -230,7 +259,10 @@ mod tests {
         let d = Descriptors {
             molecular_weight: 650.0,
             heavy_atoms: 40,
+            carbons: 30,
             rotatable_bonds: 12,
+            rotatable_bonds_strict: 11,
+            rigid_bonds: 30,
             hbond_donors: 6,
             hbond_acceptors: 11,
             logp: 5.5,
@@ -252,6 +284,58 @@ mod tests {
         };
         assert_eq!(ok.lipinski_violations(), 0);
         assert!(ok.passes_veber());
+    }
+
+    #[test]
+    fn zero_heavy_atom_molecules_have_defined_descriptors() {
+        // An empty molecule and an all-hydrogen molecule are pathological
+        // inputs the filter engine must reject, not crash on.
+        for m in [Molecule::new("void"), {
+            let mut h2 = Molecule::new("h2");
+            let a = h2.add_atom(Atom::new(Element::H, Vec3::ZERO));
+            let b = h2.add_atom(Atom::new(Element::H, Vec3::new(0.7, 0.0, 0.0)));
+            h2.add_bond(a, b, BondOrder::Single);
+            h2
+        }] {
+            let d = Descriptors::compute(&m);
+            assert_eq!(d.heavy_atoms, 0);
+            assert_eq!(d.carbons, 0);
+            assert_eq!(d.rotatable_bonds, 0);
+            assert_eq!(d.rigid_bonds, 0);
+            assert_eq!(d.fsp3, 0.0);
+            assert!(d.hetero_carbon_ratio().is_infinite(), "carbon-free ratio is +inf");
+        }
+    }
+
+    #[test]
+    fn disconnected_fragments_accumulate_descriptors() {
+        // A two-fragment input (e.g. a salt pair): ring count, rotors and
+        // rigid bonds accumulate per component, no panics.
+        let mut m = chain(6);
+        m.add_bond(0, 5, BondOrder::Single); // ring fragment
+        let base = m.num_atoms();
+        for i in 0..4 {
+            m.add_atom(Atom::new(Element::C, Vec3::new(i as f64 * 1.5, 20.0, 0.0)));
+        }
+        for i in 1..4 {
+            m.add_bond(base + i - 1, base + i, BondOrder::Single);
+        }
+        assert!(!m.is_connected());
+        let d = Descriptors::compute(&m);
+        assert_eq!(d.ring_count, 1);
+        assert_eq!(d.rotatable_bonds, 1, "one rotor in the chain fragment");
+        assert_eq!(d.rigid_bonds, 8, "6 ring bonds + 2 terminal chain bonds");
+        assert_eq!(d.heavy_atoms, 10);
+    }
+
+    #[test]
+    fn strict_rotors_never_exceed_vina_rotors() {
+        for seed in 0..25 {
+            let m = generate_molecule(&MolGenConfig::default(), "m", seed);
+            let d = Descriptors::compute(&m);
+            assert!(d.rotatable_bonds_strict <= d.rotatable_bonds, "seed {seed}");
+            assert_eq!(d.rigid_bonds + d.rotatable_bonds_strict, m.num_heavy_bonds());
+        }
     }
 
     #[test]

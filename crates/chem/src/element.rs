@@ -8,15 +8,25 @@ use serde::{Deserialize, Serialize};
 /// Heavy-atom elements occurring in drug-like molecules plus hydrogen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Element {
+    /// Hydrogen.
     H,
+    /// Carbon.
     C,
+    /// Nitrogen.
     N,
+    /// Oxygen.
     O,
+    /// Sulfur.
     S,
+    /// Phosphorus.
     P,
+    /// Fluorine.
     F,
+    /// Chlorine.
     Cl,
+    /// Bromine.
     Br,
+    /// Iodine.
     I,
 }
 

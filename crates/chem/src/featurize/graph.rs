@@ -65,10 +65,12 @@ pub struct MolGraph {
 }
 
 impl MolGraph {
+    /// Total nodes (ligand + pocket) in the graph.
     pub fn num_nodes(&self) -> usize {
         self.ligand_mask.len()
     }
 
+    /// Nodes flagged as ligand atoms.
     pub fn num_ligand_nodes(&self) -> usize {
         self.ligand_mask.iter().filter(|&&l| l).count()
     }

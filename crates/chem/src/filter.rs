@@ -1,0 +1,398 @@
+//! Configurable drug-likeness rule filters with per-rule rejection
+//! accounting.
+//!
+//! A [`RuleFilter`] is a named table of [`Rule`]s — bounds over
+//! [`Descriptors`] properties — plus a violation budget (Lipinski's
+//! classic gate tolerates one violation; the ZINC druglike gate tolerates
+//! none). Applying a filter yields a [`Verdict`] carrying a violation
+//! bitmask, and a [`RejectionTally`] accumulates which rules rejected how
+//! many compounds — the outermost ring of the screening funnel documented
+//! in `docs/CHEMISTRY.md`.
+//!
+//! Rules are data, not closures, so filters serialize into campaign
+//! configs and the per-rule accounting stays meaningful across processes.
+
+use crate::descriptors::Descriptors;
+use serde::{Deserialize, Serialize};
+
+/// A descriptor a rule can bound. Values are read as `f64` so integer
+/// counts and continuous properties share one rule representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Property {
+    /// Molecular weight (Da).
+    MolecularWeight,
+    /// Crude cLogP-style lipophilicity.
+    LogP,
+    /// Hydrogen-bond donors (heavy-atom convention).
+    HbondDonors,
+    /// Hydrogen-bond acceptors.
+    HbondAcceptors,
+    /// Ertl-style topological polar surface area (Å²).
+    Tpsa,
+    /// Rotatable bonds (Vina torsion convention).
+    RotatableBonds,
+    /// Strict rotatable bonds (amide-excluding ZINC convention).
+    RotatableBondsStrict,
+    /// Heavy-atom bonds that are not strict rotors.
+    RigidBonds,
+    /// Independent rings (cyclomatic number).
+    RingCount,
+    /// Non-hydrogen atoms.
+    HeavyAtoms,
+    /// Carbon atoms.
+    Carbons,
+    /// Non-carbon heavy atoms per carbon (`+∞` when carbon-free).
+    HeteroCarbonRatio,
+    /// Fraction of saturated carbons.
+    Fsp3,
+}
+
+impl Property {
+    /// Short identifier used in metric names and reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Property::MolecularWeight => "mw",
+            Property::LogP => "logp",
+            Property::HbondDonors => "hbd",
+            Property::HbondAcceptors => "hba",
+            Property::Tpsa => "tpsa",
+            Property::RotatableBonds => "rotb",
+            Property::RotatableBondsStrict => "rotb_strict",
+            Property::RigidBonds => "rigid",
+            Property::RingCount => "rings",
+            Property::HeavyAtoms => "heavy",
+            Property::Carbons => "carbons",
+            Property::HeteroCarbonRatio => "hetero_ratio",
+            Property::Fsp3 => "fsp3",
+        }
+    }
+
+    /// Reads this property out of a descriptor bundle.
+    pub fn extract(self, d: &Descriptors) -> f64 {
+        match self {
+            Property::MolecularWeight => d.molecular_weight,
+            Property::LogP => d.logp,
+            Property::HbondDonors => d.hbond_donors as f64,
+            Property::HbondAcceptors => d.hbond_acceptors as f64,
+            Property::Tpsa => d.tpsa,
+            Property::RotatableBonds => d.rotatable_bonds as f64,
+            Property::RotatableBondsStrict => d.rotatable_bonds_strict as f64,
+            Property::RigidBonds => d.rigid_bonds as f64,
+            Property::RingCount => d.ring_count as f64,
+            Property::HeavyAtoms => d.heavy_atoms as f64,
+            Property::Carbons => d.carbons as f64,
+            Property::HeteroCarbonRatio => d.hetero_carbon_ratio(),
+            Property::Fsp3 => d.fsp3,
+        }
+    }
+}
+
+/// One inclusive bound over a property: a compound satisfies the rule
+/// when `min ≤ value ≤ max` (absent bounds are unbounded on that side).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// The property this rule bounds.
+    pub property: Property,
+    /// Inclusive lower bound, if any.
+    pub min: Option<f64>,
+    /// Inclusive upper bound, if any.
+    pub max: Option<f64>,
+}
+
+impl Rule {
+    /// `property ≤ max`.
+    pub fn at_most(property: Property, max: f64) -> Rule {
+        Rule { property, min: None, max: Some(max) }
+    }
+
+    /// `property ≥ min`.
+    pub fn at_least(property: Property, min: f64) -> Rule {
+        Rule { property, min: Some(min), max: None }
+    }
+
+    /// `min ≤ property ≤ max`.
+    pub fn between(property: Property, min: f64, max: f64) -> Rule {
+        Rule { property, min: Some(min), max: Some(max) }
+    }
+
+    /// True when the descriptor bundle satisfies the bound. `NaN` never
+    /// satisfies a bounded rule.
+    pub fn check(&self, d: &Descriptors) -> bool {
+        let v = self.property.extract(d);
+        self.min.is_none_or(|m| v >= m) && self.max.is_none_or(|m| v <= m)
+    }
+
+    /// Human/metric label, e.g. `mw<=500` or `60<=mw<=600`.
+    pub fn label(&self) -> String {
+        match (self.min, self.max) {
+            (Some(lo), Some(hi)) => format!("{lo}<={}<={hi}", self.property.tag()),
+            (Some(lo), None) => format!("{}>={lo}", self.property.tag()),
+            (None, Some(hi)) => format!("{}<={hi}", self.property.tag()),
+            (None, None) => format!("{}:any", self.property.tag()),
+        }
+    }
+}
+
+/// The outcome of applying one filter to one compound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// True when the compound passed (violations within the budget).
+    pub passed: bool,
+    /// Bit `i` set iff rule `i` was violated (filters are capped at 64
+    /// rules so the mask stays a single word).
+    pub violations: u64,
+}
+
+impl Verdict {
+    /// Number of violated rules.
+    pub fn num_violations(&self) -> u32 {
+        self.violations.count_ones()
+    }
+}
+
+/// A named, ordered table of rules plus a violation budget.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuleFilter {
+    /// Filter name (used in reports and metric names).
+    pub name: String,
+    /// The rule table; capped at 64 rules (violation masks are `u64`).
+    pub rules: Vec<Rule>,
+    /// Maximum violated rules a compound may carry and still pass
+    /// (0 = strict conjunction, 1 = the classic Lipinski allowance).
+    pub max_violations: u32,
+}
+
+impl RuleFilter {
+    /// Builds a custom filter; panics on more than 64 rules.
+    pub fn new(name: impl Into<String>, rules: Vec<Rule>, max_violations: u32) -> RuleFilter {
+        assert!(rules.len() <= 64, "violation masks are u64: at most 64 rules per filter");
+        RuleFilter { name: name.into(), rules, max_violations }
+    }
+
+    /// Lipinski's rule of five with the classic one-violation allowance:
+    /// MW ≤ 500, logP ≤ 5, HBD ≤ 5, HBA ≤ 10.
+    pub fn lipinski() -> RuleFilter {
+        RuleFilter::new(
+            "lipinski",
+            vec![
+                Rule::at_most(Property::MolecularWeight, 500.0),
+                Rule::at_most(Property::LogP, 5.0),
+                Rule::at_most(Property::HbondDonors, 5.0),
+                Rule::at_most(Property::HbondAcceptors, 10.0),
+            ],
+            1,
+        )
+    }
+
+    /// Veber's oral-bioavailability gate: rotatable bonds ≤ 10 and
+    /// TPSA ≤ 140 Å², no violation budget.
+    pub fn veber() -> RuleFilter {
+        RuleFilter::new(
+            "veber",
+            vec![
+                Rule::at_most(Property::RotatableBonds, 10.0),
+                Rule::at_most(Property::Tpsa, 140.0),
+            ],
+            0,
+        )
+    }
+
+    /// The ZINC druglike property gate (Irwin & Shoichet), physico-
+    /// chemical subset: MW ∈ [60, 600], logP ∈ [-4, 6], HBA ≤ 11,
+    /// HBD ≤ 6, TPSA ≤ 150, strict rotatable bonds ≤ 12, rigid
+    /// bonds ≤ 50, rings ≤ 7, carbons ≥ 3, hetero/carbon ratio ≤ 2.
+    /// The SMARTS-based rules of the original filter and the
+    /// formal-charge bounds are not representable here; the deviations
+    /// are tabulated in `docs/CHEMISTRY.md`.
+    pub fn zinc_druglike() -> RuleFilter {
+        RuleFilter::new(
+            "zinc_druglike",
+            vec![
+                Rule::between(Property::MolecularWeight, 60.0, 600.0),
+                Rule::between(Property::LogP, -4.0, 6.0),
+                Rule::at_most(Property::HbondAcceptors, 11.0),
+                Rule::at_most(Property::HbondDonors, 6.0),
+                Rule::at_most(Property::Tpsa, 150.0),
+                Rule::at_most(Property::RotatableBondsStrict, 12.0),
+                Rule::at_most(Property::RigidBonds, 50.0),
+                Rule::at_most(Property::RingCount, 7.0),
+                Rule::at_least(Property::Carbons, 3.0),
+                Rule::at_most(Property::HeteroCarbonRatio, 2.0),
+            ],
+            0,
+        )
+    }
+
+    /// Applies the filter to one descriptor bundle.
+    pub fn apply(&self, d: &Descriptors) -> Verdict {
+        let mut violations = 0u64;
+        for (i, rule) in self.rules.iter().enumerate() {
+            if !rule.check(d) {
+                violations |= 1 << i;
+            }
+        }
+        Verdict { passed: violations.count_ones() <= self.max_violations, violations }
+    }
+}
+
+/// Per-rule rejection accounting for one filter over a compound stream.
+///
+/// `per_rule[i]` counts compounds that violated rule `i` (a compound can
+/// land in several buckets); `rejected` counts compounds whose violation
+/// count exceeded the budget. Tallies from independently processed chunks
+/// [`merge`](RejectionTally::merge) associatively, so pooled pipelines
+/// produce the same tally as serial ones.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectionTally {
+    /// Compounds evaluated.
+    pub evaluated: u64,
+    /// Compounds that passed the filter.
+    pub passed: u64,
+    /// Compounds rejected (violations above the budget).
+    pub rejected: u64,
+    /// Violation count per rule, aligned with [`RuleFilter::rules`].
+    pub per_rule: Vec<u64>,
+}
+
+impl RejectionTally {
+    /// An empty tally shaped for `filter`.
+    pub fn for_filter(filter: &RuleFilter) -> RejectionTally {
+        RejectionTally {
+            evaluated: 0,
+            passed: 0,
+            rejected: 0,
+            per_rule: vec![0; filter.rules.len()],
+        }
+    }
+
+    /// Records one verdict.
+    pub fn record(&mut self, verdict: &Verdict) {
+        self.evaluated += 1;
+        if verdict.passed {
+            self.passed += 1;
+        } else {
+            self.rejected += 1;
+        }
+        let mut mask = verdict.violations;
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            self.per_rule[i] += 1;
+            mask &= mask - 1;
+        }
+    }
+
+    /// Folds another tally (e.g. from a parallel chunk) into this one.
+    pub fn merge(&mut self, other: &RejectionTally) {
+        assert_eq!(self.per_rule.len(), other.per_rule.len(), "tallies from different filters");
+        self.evaluated += other.evaluated;
+        self.passed += other.passed;
+        self.rejected += other.rejected;
+        for (a, b) in self.per_rule.iter_mut().zip(&other.per_rule) {
+            *a += b;
+        }
+    }
+
+    /// passed / evaluated, 0 when nothing was evaluated.
+    pub fn pass_rate(&self) -> f64 {
+        dftrace::rate::mean(self.passed as f64, self.evaluated as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genmol::{Compound, Library};
+
+    fn descriptors(index: u64) -> Descriptors {
+        Descriptors::compute(&Compound::materialize(Library::Chembl, index, 5).mol)
+    }
+
+    #[test]
+    fn lipinski_allows_one_violation() {
+        let f = RuleFilter::lipinski();
+        let mut d = descriptors(0);
+        d.molecular_weight = 550.0; // one violation
+        d.logp = 2.0;
+        d.hbond_donors = 2;
+        d.hbond_acceptors = 4;
+        let v = f.apply(&d);
+        assert!(v.passed);
+        assert_eq!(v.num_violations(), 1);
+        d.logp = 9.0; // second violation
+        assert!(!f.apply(&d).passed);
+    }
+
+    #[test]
+    fn verdict_masks_name_the_violated_rules() {
+        let f = RuleFilter::zinc_druglike();
+        let mut d = descriptors(1);
+        d.molecular_weight = 2_000.0;
+        d.carbons = 0;
+        let v = f.apply(&d);
+        assert!(!v.passed);
+        assert!(v.violations & 1 != 0, "rule 0 is the MW range");
+        let carbon_rule =
+            f.rules.iter().position(|r| r.property == Property::Carbons).expect("carbon rule");
+        assert!(v.violations >> carbon_rule & 1 == 1);
+        // Carbon-free: the hetero ratio rule (+inf) must also fire, not
+        // panic.
+        let ratio_rule = f
+            .rules
+            .iter()
+            .position(|r| r.property == Property::HeteroCarbonRatio)
+            .expect("ratio rule");
+        assert!(v.violations >> ratio_rule & 1 == 1);
+    }
+
+    #[test]
+    fn zero_heavy_atom_molecules_are_rejected_not_crashed() {
+        let d = Descriptors::compute(&crate::mol::Molecule::new("void"));
+        let v = RuleFilter::zinc_druglike().apply(&d);
+        assert!(!v.passed, "a structureless input must fail the druglike gate");
+    }
+
+    #[test]
+    fn tally_accounts_per_rule_and_merges() {
+        let f = RuleFilter::zinc_druglike();
+        let mut serial = RejectionTally::for_filter(&f);
+        let mut left = RejectionTally::for_filter(&f);
+        let mut right = RejectionTally::for_filter(&f);
+        for i in 0..40u64 {
+            let v = f.apply(&descriptors(i));
+            serial.record(&v);
+            if i < 20 { &mut left } else { &mut right }.record(&v);
+        }
+        left.merge(&right);
+        assert_eq!(serial, left, "chunked tallies must merge to the serial tally");
+        assert_eq!(serial.evaluated, 40);
+        assert_eq!(serial.passed + serial.rejected, 40);
+        assert_eq!(
+            serial.per_rule.len(),
+            f.rules.len(),
+            "tally rows stay aligned with the rule table"
+        );
+    }
+
+    #[test]
+    fn rule_labels_are_readable() {
+        assert_eq!(Rule::at_most(Property::LogP, 5.0).label(), "logp<=5");
+        assert_eq!(Rule::between(Property::MolecularWeight, 60.0, 600.0).label(), "60<=mw<=600");
+        assert_eq!(Rule::at_least(Property::Carbons, 3.0).label(), "carbons>=3");
+    }
+
+    #[test]
+    fn filters_serialize_round_trip() {
+        let f = RuleFilter::zinc_druglike();
+        let json = serde_json::to_string(&f).expect("serialize");
+        let back: RuleFilter = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(f.name, back.name);
+        assert_eq!(f.rules, back.rules);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 rules")]
+    fn oversized_rule_tables_are_rejected() {
+        let rules = vec![Rule::at_most(Property::LogP, 5.0); 65];
+        RuleFilter::new("big", rules, 0);
+    }
+}

@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 pub struct MolGenConfig {
     /// Inclusive heavy-atom count range.
     pub min_heavy: usize,
+    /// Inclusive heavy-atom count upper bound.
     pub max_heavy: usize,
     /// Probability a new atom is a heteroatom (N/O/S/P).
     pub hetero_frac: f64,
@@ -75,6 +76,24 @@ fn sample_element(cfg: &MolGenConfig, r: &mut StdRng) -> Element {
 /// Builds a random, valence-correct, connected molecule with an embedded
 /// 3-D conformer. Deterministic given the seed.
 pub fn generate_molecule(cfg: &MolGenConfig, name: impl Into<String>, seed: u64) -> Molecule {
+    let mut m = generate_topology(cfg, name, seed);
+    // 4. Relax the conformer and assign charges.
+    relax_conformer(&mut m, 60);
+    m.assign_partial_charges();
+    m
+}
+
+/// Builds the same molecule as [`generate_molecule`] but stops after the
+/// topology is fixed: no conformer relaxation, no partial charges.
+///
+/// The skipped steps consume no randomness and never alter the bond
+/// graph, so the topology (atoms, bonds, orders, rings) is bit-identical
+/// to the fully materialized molecule's — only coordinates and charges
+/// differ. Topological consumers (descriptors, rule filters, circular
+/// fingerprints) use this path; the ligand-screening pipeline relies on
+/// it, since conformer relaxation is O(atoms²·iterations) and dominates
+/// generation cost.
+pub fn generate_topology(cfg: &MolGenConfig, name: impl Into<String>, seed: u64) -> Molecule {
     let mut r = rng(seed);
     let n_heavy = r.gen_range(cfg.min_heavy..=cfg.max_heavy);
     let mut m = Molecule::new(name);
@@ -107,10 +126,6 @@ pub fn generate_molecule(cfg: &MolGenConfig, name: impl Into<String>, seed: u64)
 
     // 3. Upgrade some eligible bonds to double bonds.
     add_double_bonds(cfg, &mut m, &mut r);
-
-    // 4. Relax the conformer and assign charges.
-    relax_conformer(&mut m, 60);
-    m.assign_partial_charges();
     m
 }
 
@@ -271,6 +286,7 @@ pub enum Library {
 }
 
 impl Library {
+    /// All four screening libraries.
     pub const ALL: [Library; 4] =
         [Library::ZincWorldApproved, Library::Chembl, Library::EMolecules, Library::EnamineVirtual];
 
@@ -353,7 +369,9 @@ impl Library {
 /// Stable identifier of a compound within a library.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CompoundId {
+    /// Source library.
     pub library: Library,
+    /// Zero-based index within the library stream.
     pub index: u64,
 }
 
@@ -366,7 +384,9 @@ impl std::fmt::Display for CompoundId {
 /// A screenable compound: id plus generated structure.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Compound {
+    /// Stable identifier within the campaign.
     pub id: CompoundId,
+    /// The materialized molecule with one conformer.
     pub mol: Molecule,
 }
 
@@ -377,6 +397,21 @@ impl Compound {
         let id = CompoundId { library, index };
         let seed = derive_seed(campaign_seed, library.stream() ^ index);
         let mol = generate_molecule(&library.gen_config(), id.to_string(), seed);
+        Compound { id, mol }
+    }
+
+    /// Materializes the compound's topology only (see
+    /// [`generate_topology`]): identical bond graph to
+    /// [`Compound::materialize`], but with the unrelaxed conformer and no
+    /// partial charges. Orders of magnitude cheaper; the right form for
+    /// descriptor, filter and fingerprint work, which never reads
+    /// coordinates or charges. The only descriptor that differs is the
+    /// geometric `radius_of_gyration`, which no filter rule or ligand
+    /// score consumes.
+    pub fn materialize_topology(library: Library, index: u64, campaign_seed: u64) -> Compound {
+        let id = CompoundId { library, index };
+        let seed = derive_seed(campaign_seed, library.stream() ^ index);
+        let mol = generate_topology(&library.gen_config(), id.to_string(), seed);
         Compound { id, mol }
     }
 
@@ -482,6 +517,31 @@ mod tests {
         assert!(!s.is_empty());
         let back = crate::linnot::parse_linnot(&s).unwrap();
         assert!(crate::linnot::same_graph(&c.mol, &back));
+    }
+
+    #[test]
+    fn topology_materialization_matches_the_full_path() {
+        use crate::descriptors::Descriptors;
+        use crate::fingerprint::{Fingerprint, FingerprintConfig};
+        let cfg = FingerprintConfig::default();
+        for i in 0..12u64 {
+            let full = Compound::materialize(Library::Chembl, i, 7);
+            let topo = Compound::materialize_topology(Library::Chembl, i, 7);
+            assert_eq!(full.id, topo.id);
+            // Identical bond graph: every topological consumer sees the
+            // same molecule.
+            assert!(crate::linnot::same_graph(&full.mol, &topo.mol));
+            // Every descriptor except the radius of gyration (the one
+            // geometric descriptor, unused by filters and scoring) must
+            // match bit for bit.
+            let mut df = Descriptors::compute(&full.mol);
+            let dt = Descriptors::compute(&topo.mol);
+            df.radius_of_gyration = dt.radius_of_gyration;
+            assert_eq!(df, dt, "topological descriptors must not depend on relaxation");
+            let fa = Fingerprint::compute(&cfg, &full.mol);
+            let fb = Fingerprint::compute(&cfg, &topo.mol);
+            assert_eq!(fa.words(), fb.words(), "fingerprints are topological");
+        }
     }
 
     #[test]

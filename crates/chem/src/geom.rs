@@ -5,35 +5,45 @@ use serde::{Deserialize, Serialize};
 /// A 3-D point/vector in Å.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Vec3 {
+    /// X component (Å).
     pub x: f64,
+    /// Y component (Å).
     pub y: f64,
+    /// Z component (Å).
     pub z: f64,
 }
 
 #[allow(clippy::should_implement_trait)] // add/sub are the natural names for a math vector
 impl Vec3 {
+    /// The origin.
     pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
 
+    /// Builds a vector from components.
     pub fn new(x: f64, y: f64, z: f64) -> Self {
         Self { x, y, z }
     }
 
+    /// Component-wise sum.
     pub fn add(self, o: Vec3) -> Vec3 {
         Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
     }
 
+    /// Component-wise difference.
     pub fn sub(self, o: Vec3) -> Vec3 {
         Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
     }
 
+    /// Scalar multiple.
     pub fn scale(self, s: f64) -> Vec3 {
         Vec3::new(self.x * s, self.y * s, self.z * s)
     }
 
+    /// Dot product.
     pub fn dot(self, o: Vec3) -> f64 {
         self.x * o.x + self.y * o.y + self.z * o.z
     }
 
+    /// Cross product.
     pub fn cross(self, o: Vec3) -> Vec3 {
         Vec3::new(
             self.y * o.z - self.z * o.y,
@@ -42,14 +52,17 @@ impl Vec3 {
         )
     }
 
+    /// Euclidean length.
     pub fn norm(self) -> f64 {
         self.dot(self).sqrt()
     }
 
+    /// Euclidean distance to `o`.
     pub fn dist(self, o: Vec3) -> f64 {
         self.sub(o).norm()
     }
 
+    /// Squared distance to `o` (avoids the square root).
     pub fn dist2(self, o: Vec3) -> f64 {
         let d = self.sub(o);
         d.dot(d)
@@ -69,6 +82,7 @@ impl Vec3 {
 /// A 3×3 rotation matrix (row major).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rotation {
+    /// Row-major matrix entries.
     pub m: [[f64; 3]; 3],
 }
 

@@ -11,24 +11,40 @@
 //!   targets (protease1/2, spike1/2);
 //! * [`featurize`] — voxel grids for the 3D-CNN and spatial graphs for the
 //!   SG-CNN;
-//! * [`mod@rmsd`] — pose-similarity metrics used by the docking filters.
+//! * [`mod@rmsd`] — pose-similarity metrics used by the docking filters;
+//! * [`fingerprint`]/[`filter`]/[`screen`] — the ligand-only front-end:
+//!   ECFP-style circular fingerprints, drug-likeness rule filters with
+//!   per-rule rejection accounting, and the streaming
+//!   `filter → fingerprint → score` library pipeline (see
+//!   `docs/CHEMISTRY.md`).
+
+#![warn(missing_docs)]
 
 pub mod descriptors;
 pub mod element;
 pub mod featurize;
+pub mod filter;
+pub mod fingerprint;
 pub mod genmol;
 pub mod geom;
 pub mod linnot;
 pub mod mol;
 pub mod pocket;
 pub mod rmsd;
+pub mod screen;
 
 pub use descriptors::{fsp3, ring_count, tpsa_estimate, Descriptors};
 pub use element::Element;
 pub use featurize::{build_graph, voxelize, GraphConfig, MolGraph, VoxelConfig, NODE_FEATURES};
+pub use filter::{Property, RejectionTally, Rule, RuleFilter, Verdict};
+pub use fingerprint::{Fingerprint, FingerprintConfig};
 pub use genmol::{generate_molecule, Compound, CompoundId, Library, MolGenConfig};
 pub use geom::{Rotation, Vec3};
 pub use linnot::{parse_linnot, same_graph, write_linnot, LinNotError};
 pub use mol::{Atom, Bond, BondOrder, Molecule};
 pub use pocket::{BindingPocket, TargetSite};
 pub use rmsd::{centered_rmsd, rmsd};
+pub use screen::{
+    ligand_score, screen_library, screen_library_with, FunnelStats, RankedCompound, ScreenConfig,
+    ScreenOutcome, ScreenRecord,
+};

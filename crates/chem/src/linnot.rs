@@ -24,13 +24,46 @@ use crate::mol::{Atom, BondOrder, Molecule};
 /// Errors from parsing a LinNot string.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LinNotError {
-    UnexpectedChar { pos: usize, ch: char },
-    UnbalancedParen { pos: usize },
-    UnknownElement { pos: usize, symbol: String },
-    DanglingRingBond { label: u8 },
-    SelfRingBond { pos: usize },
-    DanglingBondSymbol { pos: usize },
-    BondWithoutAtom { pos: usize },
+    /// A character outside the LinNot grammar.
+    UnexpectedChar {
+        /// Byte offset of the offending character.
+        pos: usize,
+        /// The character itself.
+        ch: char,
+    },
+    /// A `(`/`)` without its partner.
+    UnbalancedParen {
+        /// Byte offset of the unmatched parenthesis.
+        pos: usize,
+    },
+    /// An element symbol not in the supported set.
+    UnknownElement {
+        /// Byte offset of the symbol.
+        pos: usize,
+        /// The unrecognized symbol text.
+        symbol: String,
+    },
+    /// A ring-closure label opened but never closed.
+    DanglingRingBond {
+        /// The unclosed ring label digit.
+        label: u8,
+    },
+    /// A ring closure whose two ends are the same atom.
+    SelfRingBond {
+        /// Byte offset of the closing label.
+        pos: usize,
+    },
+    /// A `=`/`#` prefix not followed by an atom or ring label.
+    DanglingBondSymbol {
+        /// Byte offset of the bond symbol.
+        pos: usize,
+    },
+    /// A bond symbol with no preceding atom to bond from.
+    BondWithoutAtom {
+        /// Byte offset of the bond symbol.
+        pos: usize,
+    },
+    /// The input was empty.
     Empty,
 }
 

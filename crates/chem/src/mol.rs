@@ -8,13 +8,16 @@ use serde::{Deserialize, Serialize};
 /// One atom of a molecule or pocket.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Atom {
+    /// Chemical element.
     pub element: Element,
+    /// Conformer position (Å).
     pub pos: Vec3,
     /// Gasteiger-lite partial charge in elementary-charge units.
     pub partial_charge: f64,
 }
 
 impl Atom {
+    /// An uncharged atom of `element` at `pos`.
     pub fn new(element: Element, pos: Vec3) -> Self {
         Self { element, pos, partial_charge: 0.0 }
     }
@@ -23,8 +26,11 @@ impl Atom {
 /// Covalent bond order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BondOrder {
+    /// Single bond.
     Single,
+    /// Double bond.
     Double,
+    /// Triple bond.
     Triple,
 }
 
@@ -42,16 +48,22 @@ impl BondOrder {
 /// A covalent bond between atom indices `a < b`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Bond {
+    /// Lower endpoint atom index.
     pub a: usize,
+    /// Higher endpoint atom index.
     pub b: usize,
+    /// Covalent bond order.
     pub order: BondOrder,
 }
 
 /// A small molecule with one 3-D conformer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Molecule {
+    /// Compound identifier (library:index for generated compounds).
     pub name: String,
+    /// Atoms with one 3-D conformer.
     pub atoms: Vec<Atom>,
+    /// Covalent bonds between atom indices.
     pub bonds: Vec<Bond>,
 }
 
@@ -235,12 +247,47 @@ impl Molecule {
         is_bridge
     }
 
+    /// Per-atom heavy degree: bonds to non-hydrogen neighbours only. For
+    /// implicit-hydrogen molecules (the generator convention) this equals
+    /// [`Molecule::degrees`]; with explicit hydrogens it is what terminal-
+    /// atom tests must use (a methyl carbon bonded to three H atoms is
+    /// still terminal).
+    pub fn heavy_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.atoms.len()];
+        for b in &self.bonds {
+            if self.atoms[b.a].element != Element::H && self.atoms[b.b].element != Element::H {
+                d[b.a] += 1;
+                d[b.b] += 1;
+            }
+        }
+        d
+    }
+
+    /// Number of carbon atoms.
+    pub fn num_carbons(&self) -> usize {
+        self.atoms.iter().filter(|a| a.element == Element::C).count()
+    }
+
+    /// Number of bonds whose endpoints are both heavy atoms.
+    pub fn num_heavy_bonds(&self) -> usize {
+        self.bonds
+            .iter()
+            .filter(|b| {
+                self.atoms[b.a].element != Element::H && self.atoms[b.b].element != Element::H
+            })
+            .count()
+    }
+
     /// Rotatable bonds: single-order bridges whose endpoints are both
     /// non-terminal heavy atoms — the definition Vina's torsion-count
-    /// penalty uses.
+    /// penalty uses. Ring bonds are never rotatable (they are not
+    /// bridges), which is how rings — aromatic or saturated — are
+    /// perceived here: by cycle membership, not bond orders. Terminality
+    /// uses the **heavy** degree, so explicit hydrogens cannot promote a
+    /// terminal methyl into a rotor.
     pub fn num_rotatable_bonds(&self) -> usize {
         let bridges = self.bridge_bonds();
-        let degrees = self.degrees();
+        let degrees = self.heavy_degrees();
         self.bonds
             .iter()
             .enumerate()
@@ -251,6 +298,47 @@ impl Molecule {
                     && degrees[b.b] > 1
                     && self.atoms[b.a].element != Element::H
                     && self.atoms[b.b].element != Element::H
+            })
+            .count()
+    }
+
+    /// Strict rotatable-bond count: [`Molecule::num_rotatable_bonds`]
+    /// minus amide-like C–N single bonds (the carbon carries a
+    /// double-bonded oxygen), matching the convention the ZINC druglike
+    /// rules and RDKit's strict pattern use. Kept separate from the Vina
+    /// definition so docking torsion penalties are unaffected.
+    pub fn num_rotatable_bonds_strict(&self) -> usize {
+        let bridges = self.bridge_bonds();
+        let degrees = self.heavy_degrees();
+        // Carbons that carry a double-bonded oxygen (carbonyl-like).
+        let mut carbonyl_c = vec![false; self.atoms.len()];
+        for b in &self.bonds {
+            if b.order == BondOrder::Double {
+                let (ea, eb) = (self.atoms[b.a].element, self.atoms[b.b].element);
+                if ea == Element::C && eb == Element::O {
+                    carbonyl_c[b.a] = true;
+                }
+                if eb == Element::C && ea == Element::O {
+                    carbonyl_c[b.b] = true;
+                }
+            }
+        }
+        let amide_like = |a: usize, b: usize| {
+            let (ea, eb) = (self.atoms[a].element, self.atoms[b].element);
+            (ea == Element::C && carbonyl_c[a] && eb == Element::N)
+                || (eb == Element::C && carbonyl_c[b] && ea == Element::N)
+        };
+        self.bonds
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| {
+                bridges[*i]
+                    && b.order == BondOrder::Single
+                    && degrees[b.a] > 1
+                    && degrees[b.b] > 1
+                    && self.atoms[b.a].element != Element::H
+                    && self.atoms[b.b].element != Element::H
+                    && !amide_like(b.a, b.b)
             })
             .count()
     }
@@ -363,6 +451,79 @@ mod tests {
         assert_eq!(m.num_rotatable_bonds(), 1);
         // A pure ring has none.
         assert_eq!(ring(6).num_rotatable_bonds(), 0);
+    }
+
+    #[test]
+    fn explicit_hydrogens_do_not_create_rotors() {
+        // Ethane with explicit hydrogens: C(H3)-C(H3). Both carbons have
+        // full degree 4 but heavy degree 1, so the C-C bond is terminal.
+        let mut m = Molecule::new("ethane");
+        let c0 = m.add_atom(Atom::new(Element::C, Vec3::ZERO));
+        let c1 = m.add_atom(Atom::new(Element::C, Vec3::new(1.5, 0.0, 0.0)));
+        m.add_bond(c0, c1, BondOrder::Single);
+        for i in 0..3 {
+            let h = m.add_atom(Atom::new(Element::H, Vec3::new(-0.5, i as f64, 0.0)));
+            m.add_bond(c0, h, BondOrder::Single);
+            let h = m.add_atom(Atom::new(Element::H, Vec3::new(2.0, i as f64, 0.0)));
+            m.add_bond(c1, h, BondOrder::Single);
+        }
+        assert_eq!(m.degrees()[c0], 4);
+        assert_eq!(m.heavy_degrees()[c0], 1);
+        assert_eq!(m.num_rotatable_bonds(), 0, "terminal methyls are not rotors");
+        assert_eq!(m.num_heavy_bonds(), 1);
+    }
+
+    #[test]
+    fn aromatic_ring_bonds_are_not_rotatable() {
+        // Benzene-like alternating ring with an ethyl tail:
+        // ring perception is cycle membership, not bond order, so none of
+        // the ring bonds count; the two tail bonds give one rotor.
+        let mut m = chain(6);
+        m.add_bond(0, 5, BondOrder::Single);
+        for bi in [0usize, 2, 4] {
+            m.bonds[bi].order = BondOrder::Double;
+        }
+        let t0 = m.add_atom(Atom::new(Element::C, Vec3::new(9.0, 0.0, 0.0)));
+        m.add_bond(0, t0, BondOrder::Single);
+        let t1 = m.add_atom(Atom::new(Element::C, Vec3::new(10.5, 0.0, 0.0)));
+        m.add_bond(t0, t1, BondOrder::Single);
+        assert_eq!(m.num_rotatable_bonds(), 1, "only the ring-to-ethyl bond rotates");
+        assert_eq!(m.num_rotatable_bonds_strict(), 1);
+    }
+
+    #[test]
+    fn amide_bonds_are_excluded_from_strict_rotors() {
+        // CH3-C(=O)-N(H)-CH3 backbone (implicit H): the C-N bond next to
+        // the carbonyl is a rotor under the Vina definition but not under
+        // the strict (ZINC/RDKit) one.
+        let mut m = Molecule::new("amide");
+        let c0 = m.add_atom(Atom::new(Element::C, Vec3::new(0.0, 0.0, 0.0)));
+        let c1 = m.add_atom(Atom::new(Element::C, Vec3::new(1.5, 0.0, 0.0)));
+        let o = m.add_atom(Atom::new(Element::O, Vec3::new(1.5, 1.2, 0.0)));
+        let n = m.add_atom(Atom::new(Element::N, Vec3::new(3.0, 0.0, 0.0)));
+        let c2 = m.add_atom(Atom::new(Element::C, Vec3::new(4.5, 0.0, 0.0)));
+        m.add_bond(c0, c1, BondOrder::Single);
+        m.add_bond(c1, o, BondOrder::Double);
+        m.add_bond(c1, n, BondOrder::Single);
+        m.add_bond(n, c2, BondOrder::Single);
+        assert_eq!(m.num_rotatable_bonds(), 1, "vina counts the amide C-N");
+        assert_eq!(m.num_rotatable_bonds_strict(), 0, "strict excludes the amide C-N");
+    }
+
+    #[test]
+    fn disconnected_fragments_count_rotors_per_fragment() {
+        // Two butane fragments: one rotor each, bridges computed per
+        // component.
+        let mut m = chain(4);
+        let base = m.num_atoms();
+        for i in 0..4 {
+            m.add_atom(Atom::new(Element::C, Vec3::new(i as f64 * 1.5, 10.0, 0.0)));
+        }
+        for i in 1..4 {
+            m.add_bond(base + i - 1, base + i, BondOrder::Single);
+        }
+        assert!(!m.is_connected());
+        assert_eq!(m.num_rotatable_bonds(), 2);
     }
 
     #[test]

@@ -20,13 +20,18 @@ use serde::{Deserialize, Serialize};
 /// The four screening targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TargetSite {
+    /// SARS-CoV-2 main protease (Mpro), primary site.
     Protease1,
+    /// Mpro under a conformational perturbation of the same site.
     Protease2,
+    /// Spike receptor-binding domain, site 1.
     Spike1,
+    /// Spike receptor-binding domain, site 2.
     Spike2,
 }
 
 impl TargetSite {
+    /// All four screening targets.
     pub const ALL: [TargetSite; 4] =
         [TargetSite::Protease1, TargetSite::Protease2, TargetSite::Spike1, TargetSite::Spike2];
 
@@ -122,7 +127,9 @@ struct PocketSpec {
 /// A receptor binding site: a shell of protein atoms around the origin.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BindingPocket {
+    /// Which screening target this pocket realizes.
     pub target: TargetSite,
+    /// Receptor shell atoms surrounding the cavity.
     pub atoms: Vec<Atom>,
     /// Cavity radius in Å (ligand placement volume).
     pub radius: f64,

@@ -1,0 +1,109 @@
+//! Property tests for the ligand-based screening front-end.
+//!
+//! Fingerprints must be pure functions of the bond graph (deterministic
+//! across recomputation and conformers), Tanimoto similarity must stay in
+//! `[0, 1]` with its identity cases, and descriptor/filter invariants must
+//! hold across the whole generated-compound space — not just the handful
+//! of fixed molecules in the unit tests.
+
+use dfchem::genmol::{Compound, Library};
+use dfchem::{Descriptors, Fingerprint, FingerprintConfig, RuleFilter};
+use proptest::prelude::*;
+
+fn compound(lib: usize, index: u64, seed: u64) -> Compound {
+    Compound::materialize(Library::ALL[lib], index, seed)
+}
+
+fn config(radius: usize, words: usize) -> FingerprintConfig {
+    FingerprintConfig { radius, bits: words * 64 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fingerprint is a pure function of the molecule: recomputing it
+    /// gives identical words, and rigid translation of the conformer
+    /// (which changes every coordinate but no bond) changes nothing.
+    #[test]
+    fn fingerprints_are_deterministic(
+        lib in 0usize..4,
+        index in 0u64..5_000,
+        seed in 0u64..64,
+        radius in 0usize..=4,
+        words in 1usize..=64,
+    ) {
+        let c = compound(lib, index, seed);
+        let cfg = config(radius, words);
+        let a = Fingerprint::compute(&cfg, &c.mol);
+        let b = Fingerprint::compute(&cfg, &c.mol);
+        prop_assert_eq!(&a, &b);
+
+        let mut moved = c.mol.clone();
+        for atom in &mut moved.atoms {
+            atom.pos.x += 7.5;
+            atom.pos.y -= 3.25;
+            atom.pos.z += 0.125;
+        }
+        let m = Fingerprint::compute(&cfg, &moved);
+        prop_assert_eq!(&a, &m, "fingerprints must ignore conformer coordinates");
+    }
+
+    /// Tanimoto similarity is bounded in [0, 1], symmetric, and 1 on
+    /// self-comparison for any non-empty fingerprint.
+    #[test]
+    fn tanimoto_is_bounded_and_symmetric(
+        lib_a in 0usize..4,
+        idx_a in 0u64..5_000,
+        lib_b in 0usize..4,
+        idx_b in 0u64..5_000,
+        seed in 0u64..64,
+        radius in 0usize..=4,
+        words in 1usize..=64,
+    ) {
+        let cfg = config(radius, words);
+        let fa = Fingerprint::compute(&cfg, &compound(lib_a, idx_a, seed).mol);
+        let fb = Fingerprint::compute(&cfg, &compound(lib_b, idx_b, seed).mol);
+        let s = fa.tanimoto(&fb);
+        prop_assert!((0.0..=1.0).contains(&s), "tanimoto {} out of [0,1]", s);
+        prop_assert_eq!(s.to_bits(), fb.tanimoto(&fa).to_bits(), "tanimoto must be symmetric");
+        if fa.count_ones() > 0 {
+            prop_assert_eq!(fa.tanimoto(&fa).to_bits(), 1.0f64.to_bits());
+        }
+    }
+
+    /// Set bits never exceed the configured width, and density stays a
+    /// fraction.
+    #[test]
+    fn fingerprint_population_is_bounded(
+        lib in 0usize..4,
+        index in 0u64..5_000,
+        seed in 0u64..64,
+        radius in 0usize..=4,
+        words in 1usize..=64,
+    ) {
+        let cfg = config(radius, words);
+        let fp = Fingerprint::compute(&cfg, &compound(lib, index, seed).mol);
+        prop_assert_eq!(fp.num_bits(), cfg.bits);
+        prop_assert!(fp.count_ones() as usize <= cfg.bits);
+        prop_assert!((0.0..=1.0).contains(&fp.density()));
+    }
+
+    /// Descriptor/filter invariants over the generated compound space:
+    /// strict rotors never exceed Vina rotors, and every verdict's
+    /// per-rule mask is consistent with pass/fail under the filter's
+    /// violation budget.
+    #[test]
+    fn filter_verdicts_are_internally_consistent(
+        lib in 0usize..4,
+        index in 0u64..20_000,
+        seed in 0u64..64,
+    ) {
+        let d = Descriptors::compute(&compound(lib, index, seed).mol);
+        prop_assert!(d.rotatable_bonds_strict <= d.rotatable_bonds);
+        for filter in [RuleFilter::lipinski(), RuleFilter::veber(), RuleFilter::zinc_druglike()] {
+            let v = filter.apply(&d);
+            prop_assert!(v.violations >> filter.rules.len() == 0, "mask has bits beyond the table");
+            prop_assert_eq!(v.passed, v.num_violations() <= filter.max_violations);
+        }
+    }
+}

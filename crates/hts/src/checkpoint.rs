@@ -50,6 +50,7 @@ const MAX_ENTRY_BYTES: usize = 64 << 20;
 /// Errors from checkpoint I/O and restore.
 #[derive(Debug)]
 pub enum CheckpointError {
+    /// An underlying I/O failure.
     Io(std::io::Error),
     /// The manifest header or an entry body is unreadable.
     Corrupt(String),
@@ -96,12 +97,21 @@ pub struct JobSummary {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ManifestEntry {
     /// The job finished; its records are on disk in `summary.files`.
-    Completed { spec: JobSpec, summary: JobSummary },
+    Completed {
+        /// The job's spec as executed.
+        spec: JobSpec,
+        /// Where its output landed and what it contained.
+        summary: JobSummary,
+    },
     /// The job exhausted its attempts (spec carries the final attempt).
-    Abandoned { spec: JobSpec },
+    Abandoned {
+        /// The abandoned job's final-attempt spec.
+        spec: JobSpec,
+    },
 }
 
 impl ManifestEntry {
+    /// The job this entry journals.
     pub fn job_id(&self) -> u64 {
         match self {
             ManifestEntry::Completed { spec, .. } | ManifestEntry::Abandoned { spec } => {
@@ -125,6 +135,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// A manifest parsed back from disk.
 #[derive(Debug)]
 pub struct LoadedManifest {
+    /// Every intact journaled entry, in write order.
     pub entries: Vec<ManifestEntry>,
     /// Byte offset of the end of the last good entry (header included).
     pub valid_len: u64,

@@ -11,24 +11,33 @@ use serde::{Deserialize, Serialize};
 /// One compute node's resources.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeSpec {
+    /// CPU cores per node.
     pub cpu_cores: usize,
+    /// GPUs per node.
     pub gpus: usize,
+    /// GPU memory per GPU (GB).
     pub gpu_memory_gb: f64,
+    /// Host memory per node (GB).
     pub memory_gb: f64,
 }
 
 /// A homogeneous cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ClusterSpec {
+    /// Node count.
     pub nodes: usize,
+    /// Per-node resources (homogeneous).
     pub node: NodeSpec,
 }
 
 /// The paper's rank unit: 1 GPU, 10 CPU cores, 64 GB memory.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RankSpec {
+    /// GPUs per rank.
     pub gpus: usize,
+    /// CPU cores per rank.
     pub cpu_cores: usize,
+    /// Host memory per rank (GB).
     pub memory_gb: f64,
     /// Parallel data-loader workers per rank (training: 24; screening: 12).
     pub data_workers: usize,
@@ -79,7 +88,9 @@ impl RankSpec {
 /// rest holds a 56-pose batch.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct GpuMemoryModel {
+    /// Resident model footprint (GB).
     pub model_gb: f64,
+    /// Additional GPU memory per batched pose (GB).
     pub per_pose_gb: f64,
 }
 

@@ -13,7 +13,9 @@ use serde::{Deserialize, Serialize};
 /// is truly active.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ScreenItem {
+    /// Predicted score (higher = predicted stronger binder).
     pub score: f64,
+    /// Ground-truth activity of the compound.
     pub active: bool,
 }
 
@@ -86,8 +88,11 @@ pub fn recovery_auc(items: &[ScreenItem]) -> f64 {
 /// what hit rate the selection achieved.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct FunnelReport {
+    /// Compounds screened computationally.
     pub screened: u64,
+    /// Compounds advanced to experimental testing.
     pub tested: u64,
+    /// Experimentally confirmed hits.
     pub hits: u64,
 }
 

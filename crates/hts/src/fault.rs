@@ -19,6 +19,7 @@ pub struct FaultConfig {
     pub p_bad_metadata: f64,
     /// Probability a rank's first file write fails (retried once).
     pub p_broken_pipe: f64,
+    /// Seed of the fault stream (independent of the science seed).
     pub seed: u64,
 }
 
@@ -39,18 +40,34 @@ impl FaultConfig {
 /// Fault occurrences recorded by a job.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultEvent {
-    BadMetadata { compound_index: u64 },
-    BrokenPipe { rank: usize, retried: bool },
-    NodeFailure { node: usize },
+    /// One compound's input was unreadable and was skipped.
+    BadMetadata {
+        /// Library index of the skipped compound.
+        compound_index: u64,
+    },
+    /// A rank's file write failed.
+    BrokenPipe {
+        /// The rank whose write failed.
+        rank: usize,
+        /// True when the retry succeeded.
+        retried: bool,
+    },
+    /// A node died, killing the job attempt.
+    NodeFailure {
+        /// The node that failed.
+        node: usize,
+    },
 }
 
 /// Deterministic pseudo-random fault decisions.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultInjector {
+    /// The probabilities and seed this injector draws from.
     pub config: FaultConfig,
 }
 
 impl FaultInjector {
+    /// Builds an injector over a fault configuration.
     pub fn new(config: FaultConfig) -> Self {
         Self { config }
     }

@@ -41,8 +41,11 @@ const RECORD_BYTES: usize = 20;
 /// One scored pose.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ScoreRecord {
+    /// The scored compound.
     pub compound: CompoundId,
+    /// The target it was scored against.
     pub target: TargetSite,
+    /// Pose index within this compound's docking ensemble.
     pub pose_rank: u16,
     /// Predicted binding affinity (pK for fusion; kcal/mol for physics).
     pub score: f64,
@@ -51,7 +54,9 @@ pub struct ScoreRecord {
 /// Errors from h5lite I/O.
 #[derive(Debug)]
 pub enum H5Error {
+    /// An underlying I/O failure.
     Io(std::io::Error),
+    /// A file failed its structural or checksum validation.
     Corrupt(String),
 }
 

@@ -38,6 +38,7 @@ use std::time::{Duration, Instant};
 
 /// Produces the poses a job evaluates for one compound.
 pub trait PoseSource: Sync {
+    /// Poses for one compound in one pocket under a derived seed.
     fn poses(&self, compound: &Compound, pocket: &BindingPocket, seed: u64) -> Vec<Molecule>;
 }
 
@@ -54,6 +55,7 @@ impl PoseSource for DockingPoseSource {
 /// Cheap synthetic poses (random rigid placements) for throughput and
 /// fault-tolerance experiments where docking cost would dominate.
 pub struct SyntheticPoseSource {
+    /// Rigid placements generated per compound.
     pub poses_per_compound: usize,
 }
 
@@ -95,10 +97,12 @@ pub struct JobConfig {
     pub batch_size: usize,
     /// Output directory for the rank files.
     pub output_dir: PathBuf,
+    /// Fault-injection probabilities for this job.
     pub faults: FaultConfig,
 }
 
 impl JobConfig {
+    /// Total ranks across the job's nodes.
     pub fn num_ranks(&self) -> usize {
         self.nodes * self.ranks_per_node
     }
@@ -107,11 +111,17 @@ impl JobConfig {
 /// One job's work assignment: a contiguous compound range on one target.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JobSpec {
+    /// Campaign-unique job id.
     pub job_id: u64,
+    /// Target pocket.
     pub target: TargetSite,
+    /// Compound library.
     pub library: Library,
+    /// First compound index of the contiguous range.
     pub first_compound: u64,
+    /// Number of compounds in the range.
     pub num_compounds: u64,
+    /// Campaign seed (compounds and pockets materialize under it).
     pub campaign_seed: u64,
     /// Retry attempt (0 = first run); changes fault outcomes.
     pub attempt: u32,
@@ -120,7 +130,13 @@ pub struct JobSpec {
 /// Job failure modes surfaced to the scheduler.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobError {
-    NodeFailure { job_id: u64, node: usize },
+    /// A node died during the attempt; the scheduler may retry.
+    NodeFailure {
+        /// The failed job.
+        job_id: u64,
+        /// The node that died.
+        node: usize,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -138,9 +154,13 @@ impl std::error::Error for JobError {}
 /// Wall-clock phase breakdown, mirroring Table 7's rows.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct JobTiming {
+    /// Featurization/setup phase.
     pub startup: Duration,
+    /// Pose-evaluation phase.
     pub evaluate: Duration,
+    /// Result-writing phase.
     pub output: Duration,
+    /// Poses scored during evaluation.
     pub poses_evaluated: usize,
 }
 
@@ -161,13 +181,18 @@ impl JobTiming {
 /// A completed job.
 #[derive(Debug)]
 pub struct JobOutput {
+    /// Echo of the job id.
     pub job_id: u64,
+    /// Every score produced, in compound order.
     pub records: Vec<ScoreRecord>,
+    /// Rank files written.
     pub files: Vec<PathBuf>,
+    /// Faults injected/observed during the run.
     pub faults: Vec<FaultEvent>,
     /// Rank-file writes that genuinely failed on their first attempt (a
     /// broken pipe) and were re-issued from scratch.
     pub write_retries: usize,
+    /// Phase timing breakdown.
     pub timing: JobTiming,
 }
 

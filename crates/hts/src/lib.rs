@@ -2,6 +2,9 @@
 //!
 //! Replaces the Lassen + LSF + Horovod/MPI + HDF5 stack of §4:
 //!
+//! * [`prefilter`] — the ligand-only triage stage ahead of docking:
+//!   drug-likeness filtering, fingerprint scoring and shortlist selection
+//!   over `dfchem`'s streaming pipeline (see `docs/CHEMISTRY.md`);
 //! * [`cluster`] — node/rank resource model (Lassen shapes);
 //! * [`scorer`] — pluggable pose scorers (Vina, MM/GBSA, Deep Fusion);
 //! * [`job`] — 16-rank evaluation jobs with round-robin compound
@@ -30,6 +33,8 @@
 //! `hts.allgather_wait_us` latency histograms and the `hts.rank_skew`
 //! straggler gauge; see `docs/OBSERVABILITY.md`.
 
+#![warn(missing_docs)]
+
 pub mod allgather;
 pub mod checkpoint;
 pub mod cluster;
@@ -37,6 +42,7 @@ pub mod enrichment;
 pub mod fault;
 pub mod h5lite;
 pub mod job;
+pub mod prefilter;
 pub mod scheduler;
 pub mod scorer;
 pub mod simulate;
@@ -55,6 +61,7 @@ pub use job::{
     run_job, DockingPoseSource, JobConfig, JobError, JobOutput, JobSpec, JobTiming, PoseSource,
     SyntheticPoseSource,
 };
+pub use prefilter::{run_prefilter, PrefilterConfig, PrefilterOutcome};
 pub use scheduler::{
     resume_campaign, retry_backoff, run_campaign, CampaignReport, SchedulerConfig,
 };

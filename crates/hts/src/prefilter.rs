@@ -1,0 +1,142 @@
+//! Campaign prefilter: the ligand-only triage stage ahead of docking.
+//!
+//! The paper's funnel spends its budget on expensive fusion-model
+//! rescoring; this stage is the cheap outermost ring. It streams a
+//! generated library through `dfchem`'s `filter → fingerprint → score`
+//! pipeline (bounded memory, bit-deterministic across lane counts) and
+//! produces a ranked shortlist plus the per-rule rejection accounting
+//! that documents the funnel (`docs/CHEMISTRY.md`).
+//!
+//! Campaign jobs evaluate **contiguous** compound ranges
+//! ([`crate::job::JobSpec`]), so the shortlist is bridged to job
+//! assignment by coalescing selected indices into contiguous runs
+//! ([`PrefilterOutcome::selection_ranges`]); each run maps onto one
+//! `JobSpec { first_compound, num_compounds }`.
+
+use dfchem::genmol::Library;
+use dfchem::screen::{screen_library, FunnelStats, RankedCompound, ScreenConfig};
+use dfchem::RejectionTally;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the prefilter stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefilterConfig {
+    /// The underlying streaming screen (library, filter, fingerprints,
+    /// chunking, hit threshold).
+    pub screen: ScreenConfig,
+    /// How many ranked survivors to carry into the docking stage.
+    pub select: usize,
+}
+
+impl PrefilterConfig {
+    /// A ZINC-druglike prefilter selecting the best `select` of
+    /// `num_compounds` compounds.
+    pub fn new(library: Library, num_compounds: u64, campaign_seed: u64, select: usize) -> Self {
+        let mut screen = ScreenConfig::new(library, num_compounds, campaign_seed);
+        screen.top_k = select;
+        PrefilterConfig { screen, select }
+    }
+}
+
+/// What the prefilter stage produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefilterOutcome {
+    /// Per-stage funnel counts of the ligand-only screen.
+    pub funnel: FunnelStats,
+    /// Per-rule rejection accounting for the drug-likeness gate.
+    pub tally: RejectionTally,
+    /// The ranked shortlist, best (most negative) ligand score first.
+    pub shortlist: Vec<RankedCompound>,
+}
+
+impl PrefilterOutcome {
+    /// Shortlist indices coalesced into contiguous, ascending
+    /// `(first_compound, num_compounds)` runs — the shape
+    /// [`crate::job::JobSpec`] assigns to ranks. Adjacent selected
+    /// indices merge into one run; isolated ones become runs of length 1.
+    pub fn selection_ranges(&self) -> Vec<(u64, u64)> {
+        let mut indices: Vec<u64> = self.shortlist.iter().map(|r| r.index).collect();
+        indices.sort_unstable();
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for i in indices {
+            match ranges.last_mut() {
+                Some((first, len)) if *first + *len == i => *len += 1,
+                _ => ranges.push((i, 1)),
+            }
+        }
+        ranges
+    }
+
+    /// Fraction of the library the docking stage still has to look at:
+    /// `selected / evaluated` (0 when nothing was evaluated).
+    pub fn reduction(&self) -> f64 {
+        dftrace::rate::mean(self.shortlist.len() as f64, self.funnel.evaluated as f64)
+    }
+}
+
+/// Runs the prefilter stage: streams the library, tallies the funnel and
+/// returns the ranked shortlist. Deterministic for a fixed config at any
+/// `dfpool` lane count. Emits `hts.prefilter.*` counters and inherits
+/// the `chem.filter.*` / `chem.fp.*` instrumentation of the underlying
+/// pipeline.
+pub fn run_prefilter(cfg: &PrefilterConfig) -> PrefilterOutcome {
+    let _span = dftrace::span("hts.prefilter");
+    let outcome = screen_library(&cfg.screen);
+    let mut shortlist = outcome.top;
+    shortlist.truncate(cfg.select);
+    dftrace::counter_add("hts.prefilter.evaluated", outcome.funnel.evaluated);
+    dftrace::counter_add("hts.prefilter.survivors", outcome.funnel.passed_filter);
+    dftrace::counter_add("hts.prefilter.selected", shortlist.len() as u64);
+    PrefilterOutcome { funnel: outcome.funnel, tally: outcome.tally, shortlist }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PrefilterConfig {
+        let mut cfg = PrefilterConfig::new(Library::Chembl, 600, 17, 24);
+        cfg.screen.chunk_size = 128;
+        cfg
+    }
+
+    #[test]
+    fn prefilter_selects_at_most_the_requested_count() {
+        let out = run_prefilter(&tiny());
+        assert!(out.shortlist.len() <= 24);
+        assert!(!out.shortlist.is_empty(), "a druglike generator must yield survivors");
+        assert_eq!(out.funnel.evaluated, 600);
+        assert!(out.reduction() <= 1.0 && out.reduction() > 0.0);
+        for w in out.shortlist.windows(2) {
+            assert!(w[0].score <= w[1].score, "shortlist must be ranked best first");
+        }
+    }
+
+    #[test]
+    fn selection_ranges_cover_exactly_the_shortlist() {
+        let out = run_prefilter(&tiny());
+        let ranges = out.selection_ranges();
+        let total: u64 = ranges.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, out.shortlist.len() as u64);
+        // Ranges are ascending, non-overlapping, non-adjacent (adjacent
+        // runs would have been merged).
+        for w in ranges.windows(2) {
+            assert!(w[0].0 + w[0].1 < w[1].0);
+        }
+        // Every shortlist index is covered by exactly one range.
+        for r in &out.shortlist {
+            let covering = ranges.iter().filter(|&&(f, n)| r.index >= f && r.index < f + n).count();
+            assert_eq!(covering, 1, "index {} covered {} times", r.index, covering);
+        }
+    }
+
+    #[test]
+    fn prefilter_is_lane_count_invariant() {
+        let cfg = tiny();
+        let serial = dfpool::Pool::new(1).install(|| run_prefilter(&cfg));
+        let pooled = dfpool::Pool::new(4).install(|| run_prefilter(&cfg));
+        assert_eq!(serial.shortlist, pooled.shortlist);
+        assert_eq!(serial.tally, pooled.tally);
+        assert_eq!(serial.funnel, pooled.funnel);
+    }
+}

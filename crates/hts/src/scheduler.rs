@@ -81,6 +81,7 @@ pub fn retry_backoff(base: Duration, max: Duration, job_id: u64, attempt: u32) -
 /// Campaign-level outcome.
 #[derive(Debug)]
 pub struct CampaignReport {
+    /// Completed job outputs, in completion order.
     pub outputs: Vec<JobOutput>,
     /// Jobs that exhausted their attempts.
     pub abandoned: Vec<JobSpec>,
@@ -94,10 +95,12 @@ pub struct CampaignReport {
     /// pool size; workers exiting early shows up as a smaller value.
     /// `None` when no attempt failed.
     pub min_live_workers_at_retry: Option<usize>,
+    /// Wall-clock duration of the whole campaign.
     pub wall_time: Duration,
 }
 
 impl CampaignReport {
+    /// Total poses evaluated across every completed job.
     pub fn total_poses(&self) -> usize {
         self.outputs.iter().map(|o| o.timing.poses_evaluated).sum()
     }

@@ -19,13 +19,17 @@ use dftensor::Graph;
 /// Scores batches of poses. Higher-is-stronger for fusion (pK); physics
 /// scorers return raw (negative) energies.
 pub trait Scorer: Send {
+    /// Short scorer name for reports and metric labels.
     fn name(&self) -> &'static str;
+    /// Scores each pose against the pocket, in pose order.
     fn score_poses(&mut self, poses: &[Molecule], pocket: &BindingPocket) -> Vec<f64>;
 }
 
 /// Builds per-rank scorer instances.
 pub trait ScorerFactory: Sync {
+    /// Builds one rank-private scorer instance.
     fn build(&self) -> Box<dyn Scorer>;
+    /// Short scorer name for reports and metric labels.
     fn name(&self) -> &'static str;
 }
 
@@ -55,6 +59,7 @@ impl ScorerFactory for VinaScorerFactory {
 
 /// MM/GBSA re-scorer.
 pub struct MmGbsaScorer {
+    /// Force-field and solvation parameters.
     pub config: MmGbsaConfig,
 }
 
@@ -121,10 +126,15 @@ impl Scorer for FusionScorer {
 /// Factory that clones a trained fusion model (weights + featurization
 /// configs) for every rank.
 pub struct FusionScorerFactory {
+    /// Trained fusion architecture to clone per rank.
     pub model: FusionModel,
+    /// Trained weights.
     pub params: ParamStore,
+    /// Voxelization settings for the 3D-CNN branch.
     pub voxel: VoxelConfig,
+    /// Graph-building settings for the SG-CNN branch.
     pub graph: GraphConfig,
+    /// Poses per inference batch.
     pub batch_size: usize,
 }
 

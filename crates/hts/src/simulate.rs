@@ -23,13 +23,16 @@ use std::collections::BinaryHeap;
 /// available until the next window begins.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct AllotmentWindow {
+    /// Campaign hour the window opens at.
     pub start_hours: f64,
+    /// Nodes available during the window.
     pub nodes: usize,
 }
 
 /// Campaign-level simulation input.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignSim {
+    /// Throughput constants of the modeled machine.
     pub model: LassenModel,
     /// Total poses to evaluate (paper: ≥ 5e9 over four targets).
     pub total_poses: u64,
@@ -46,6 +49,7 @@ pub struct CampaignSim {
     /// ([`crate::scheduler::retry_backoff`], capped at 16× the base).
     /// Zero re-queues immediately (the pre-backoff behaviour).
     pub retry_backoff_hours: f64,
+    /// Seed of the jitter/failure stream.
     pub seed: u64,
 }
 
@@ -94,9 +98,13 @@ impl CampaignSim {
 /// Simulation output.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignSimReport {
+    /// Poses evaluated (echo of the input).
     pub total_poses: u64,
+    /// Jobs that completed.
     pub jobs_completed: u64,
+    /// Failed attempts that were re-queued.
     pub jobs_rescheduled: u64,
+    /// Simulated campaign duration in hours.
     pub wall_hours: f64,
     /// Mean throughput over the whole campaign (poses/s).
     pub mean_poses_per_sec: f64,

@@ -21,11 +21,17 @@ use serde::{Deserialize, Serialize};
 /// Lassen/V100 campaign constants reported in §4.2 and Table 7.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct LassenModel {
+    /// Job startup phase (minutes).
     pub startup_min: f64,
+    /// Job evaluation phase (minutes).
     pub eval_min: f64,
+    /// Job output phase (minutes).
     pub output_min: f64,
+    /// Poses one job evaluates.
     pub poses_per_job: u64,
+    /// Nodes per job (paper: 4).
     pub nodes_per_job: usize,
+    /// Ranks per node (paper: 4).
     pub ranks_per_node: usize,
     /// Peak parallel jobs (500 nodes / 4 nodes per job).
     pub peak_jobs: usize,
@@ -134,8 +140,11 @@ impl LassenModel {
 /// One rendered Table 7 row.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table7Row {
+    /// Metric name (left column).
     pub metric: String,
+    /// Value for one job.
     pub single_job: String,
+    /// Value at peak allotment.
     pub peak: String,
 }
 
@@ -146,16 +155,21 @@ pub struct Table7Row {
 /// fusion is 2.7× Vina and 403× MM/GBSA.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct SpeedupReport {
+    /// Measured fusion throughput (poses/s).
     pub fusion_poses_per_sec: f64,
+    /// Measured Vina throughput (poses/s).
     pub vina_poses_per_sec: f64,
+    /// Measured MM/GBSA throughput (poses/s).
     pub mmgbsa_poses_per_sec: f64,
 }
 
 impl SpeedupReport {
+    /// Fusion throughput relative to Vina.
     pub fn fusion_over_vina(&self) -> f64 {
         self.fusion_poses_per_sec / self.vina_poses_per_sec.max(1e-12)
     }
 
+    /// Fusion throughput relative to MM/GBSA.
     pub fn fusion_over_mmgbsa(&self) -> f64 {
         self.fusion_poses_per_sec / self.mmgbsa_poses_per_sec.max(1e-12)
     }

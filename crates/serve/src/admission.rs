@@ -4,7 +4,8 @@
 //! Every request is admitted at the best tier the current queue depth
 //! allows: full fusion while the service keeps up, the SG-CNN head alone
 //! once the queue builds, the Vina empirical score when the model lanes
-//! are saturated, and an outright shed once the hard capacity bound is
+//! are saturated, the ligand-only desirability score when even the Vina
+//! band is full, and an outright shed once the hard capacity bound is
 //! reached. Depth is the only input, so admission decisions are exactly
 //! reproducible from the admission sequence — and queue growth is bounded
 //! by construction (`queue_capacity` is a hard ceiling, not a target).
@@ -15,21 +16,29 @@ use serde::{Deserialize, Serialize};
 /// Depth thresholds of the degradation ladder. Bands are half-open: a
 /// request arriving at depth `d` runs at full fusion while
 /// `d < full_max_depth`, at the SG-CNN head while `d < sg_max_depth`, at
-/// the Vina tier while `d < queue_capacity`, and is shed at or beyond
-/// `queue_capacity`.
+/// the Vina tier while `d < vina_max_depth`, at the ligand-only tier
+/// while `d < queue_capacity`, and is shed at or beyond `queue_capacity`.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct LadderConfig {
     /// Depth below which requests get the full fusion model.
     pub full_max_depth: usize,
     /// Depth below which requests get the SG-CNN head.
     pub sg_max_depth: usize,
+    /// Depth below which requests get the Vina empirical score; between
+    /// here and `queue_capacity` they get the ligand-only tier.
+    pub vina_max_depth: usize,
     /// Hard queue bound: at or beyond this depth requests are shed.
     pub queue_capacity: usize,
 }
 
 impl Default for LadderConfig {
     fn default() -> Self {
-        LadderConfig { full_max_depth: 16, sg_max_depth: 32, queue_capacity: 64 }
+        LadderConfig {
+            full_max_depth: 16,
+            sg_max_depth: 32,
+            vina_max_depth: 48,
+            queue_capacity: 64,
+        }
     }
 }
 
@@ -53,10 +62,13 @@ impl AdmissionController {
     pub fn new(cfg: LadderConfig) -> AdmissionController {
         assert!(cfg.full_max_depth >= 1, "full tier needs a non-empty band");
         assert!(
-            cfg.full_max_depth <= cfg.sg_max_depth && cfg.sg_max_depth <= cfg.queue_capacity,
-            "ladder thresholds must be monotone: full {} <= sg {} <= capacity {}",
+            cfg.full_max_depth <= cfg.sg_max_depth
+                && cfg.sg_max_depth <= cfg.vina_max_depth
+                && cfg.vina_max_depth <= cfg.queue_capacity,
+            "ladder thresholds must be monotone: full {} <= sg {} <= vina {} <= capacity {}",
             cfg.full_max_depth,
             cfg.sg_max_depth,
+            cfg.vina_max_depth,
             cfg.queue_capacity
         );
         AdmissionController { cfg }
@@ -75,8 +87,10 @@ impl AdmissionController {
             Decision::Admit(Tier::FullFusion)
         } else if depth < self.cfg.sg_max_depth {
             Decision::Admit(Tier::SgHead)
-        } else {
+        } else if depth < self.cfg.vina_max_depth {
             Decision::Admit(Tier::Vina)
+        } else {
+            Decision::Admit(Tier::LigandOnly)
         }
     }
 }
@@ -90,7 +104,8 @@ mod tests {
         let a = AdmissionController::new(LadderConfig {
             full_max_depth: 2,
             sg_max_depth: 4,
-            queue_capacity: 6,
+            vina_max_depth: 6,
+            queue_capacity: 8,
         });
         assert_eq!(a.decide(0), Decision::Admit(Tier::FullFusion));
         assert_eq!(a.decide(1), Decision::Admit(Tier::FullFusion));
@@ -98,16 +113,19 @@ mod tests {
         assert_eq!(a.decide(3), Decision::Admit(Tier::SgHead));
         assert_eq!(a.decide(4), Decision::Admit(Tier::Vina));
         assert_eq!(a.decide(5), Decision::Admit(Tier::Vina));
-        assert_eq!(a.decide(6), Decision::Shed);
+        assert_eq!(a.decide(6), Decision::Admit(Tier::LigandOnly));
+        assert_eq!(a.decide(7), Decision::Admit(Tier::LigandOnly));
+        assert_eq!(a.decide(8), Decision::Shed);
         assert_eq!(a.decide(1_000_000), Decision::Shed);
     }
 
     #[test]
     fn degenerate_ladder_with_one_tier() {
-        // full == sg == capacity: only full fusion or shed.
+        // full == sg == vina == capacity: only full fusion or shed.
         let a = AdmissionController::new(LadderConfig {
             full_max_depth: 3,
             sg_max_depth: 3,
+            vina_max_depth: 3,
             queue_capacity: 3,
         });
         assert_eq!(a.decide(2), Decision::Admit(Tier::FullFusion));
@@ -120,6 +138,7 @@ mod tests {
         AdmissionController::new(LadderConfig {
             full_max_depth: 10,
             sg_max_depth: 5,
+            vina_max_depth: 15,
             queue_capacity: 20,
         });
     }

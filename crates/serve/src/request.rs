@@ -36,11 +36,14 @@ pub enum Tier {
     SgHead,
     /// Vina empirical score (no featurization, no weights).
     Vina,
+    /// Ligand-only desirability score (no pocket at all): descriptors +
+    /// fingerprint via `dfchem::ligand_score`. The deepest non-shed rung.
+    LigandOnly,
 }
 
 impl Tier {
     /// All scoring tiers, best first.
-    pub const ALL: [Tier; 3] = [Tier::FullFusion, Tier::SgHead, Tier::Vina];
+    pub const ALL: [Tier; 4] = [Tier::FullFusion, Tier::SgHead, Tier::Vina, Tier::LigandOnly];
 
     /// Short identifier used in metric names and reports.
     pub fn tag(self) -> &'static str {
@@ -48,6 +51,7 @@ impl Tier {
             Tier::FullFusion => "full",
             Tier::SgHead => "sg_head",
             Tier::Vina => "vina",
+            Tier::LigandOnly => "ligand_only",
         }
     }
 }
@@ -93,7 +97,8 @@ impl ScoreResponse {
 /// What [`crate::ScoreService::submit`] did with a request.
 #[derive(Debug, Clone)]
 pub enum SubmitOutcome {
-    /// Answered immediately: a score-cache hit, or the inline Vina tier.
+    /// Answered immediately: a score-cache hit, or one of the inline
+    /// tiers (Vina, ligand-only).
     Completed(ScoreResponse),
     /// Queued into a micro-batch at the given tier; the response surfaces
     /// from a later [`crate::ScoreService::advance`].

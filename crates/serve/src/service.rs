@@ -52,6 +52,10 @@ pub struct CostModel {
     /// queue depth until its completion tick — the fallback band has
     /// finite capacity too, which is what makes the shed bound reachable.
     pub vina_cost: Ticks,
+    /// Cost of one ligand-only evaluation (descriptors + fingerprint, no
+    /// pocket). Runs inline like Vina and occupies the deepest non-shed
+    /// band of the ladder until its completion tick.
+    pub ligand_cost: Ticks,
 }
 
 impl Default for CostModel {
@@ -62,6 +66,7 @@ impl Default for CostModel {
             sg_base: 400,
             sg_per_item: 150,
             vina_cost: 1_000,
+            ligand_cost: 500,
         }
     }
 }
@@ -91,7 +96,12 @@ impl ServeConfig {
         ServeConfig {
             spec: ModelSpec::tiny(campaign_seed),
             batcher: BatcherConfig { max_batch: 4, max_wait: 2_000 },
-            ladder: LadderConfig { full_max_depth: 8, sg_max_depth: 16, queue_capacity: 24 },
+            ladder: LadderConfig {
+                full_max_depth: 8,
+                sg_max_depth: 16,
+                vina_max_depth: 20,
+                queue_capacity: 24,
+            },
             cost: CostModel::default(),
             feature_cache: 64,
             score_cache: 256,
@@ -108,7 +118,7 @@ pub struct ServiceStats {
     /// Requests shed at the capacity bound.
     pub shed: u64,
     /// Completions per tier, indexed like [`Tier::ALL`].
-    pub per_tier: [u64; 3],
+    pub per_tier: [u64; 4],
     /// Responses produced (cache hits included).
     pub completed: u64,
     /// Score-cache hits answered at submit time.
@@ -176,6 +186,9 @@ pub struct ScoreService {
     /// band (responses were already returned inline; these only hold
     /// queue depth until they retire).
     vina_inflight: VecDeque<Ticks>,
+    /// Completion ticks of ligand-only evaluations still occupying the
+    /// deepest non-shed band, same retirement rule as `vina_inflight`.
+    ligand_inflight: VecDeque<Ticks>,
     ready: VecDeque<ScoreResponse>,
     last_generation: u64,
     stats: ServiceStats,
@@ -201,6 +214,7 @@ impl ScoreService {
             busy_until: 0,
             inflight: VecDeque::new(),
             vina_inflight: VecDeque::new(),
+            ligand_inflight: VecDeque::new(),
             ready: VecDeque::new(),
             last_generation,
             stats: ServiceStats::default(),
@@ -237,11 +251,15 @@ impl ScoreService {
     }
 
     /// Queue depth the admission controller sees: lane backlogs plus
-    /// everything in flight on the virtual server, plus Vina evaluations
-    /// still occupying the fallback band.
+    /// everything in flight on the virtual server, plus Vina and
+    /// ligand-only evaluations still occupying their fallback bands.
     pub fn depth(&self) -> usize {
         let inflight: usize = self.inflight.iter().map(|b| b.responses.len()).sum();
-        self.full_lane.len() + self.sg_lane.len() + inflight + self.vina_inflight.len()
+        self.full_lane.len()
+            + self.sg_lane.len()
+            + inflight
+            + self.vina_inflight.len()
+            + self.ligand_inflight.len()
     }
 
     /// The current virtual tick (the latest tick the service has seen).
@@ -329,6 +347,53 @@ impl ScoreService {
             return SubmitOutcome::Completed(resp);
         }
 
+        if tier == Tier::LigandOnly {
+            // Inline target-free fallback: descriptors + fingerprint only.
+            // The cache key ignores the target, so a compound scored for
+            // one pocket answers ligand-only requests against any pocket.
+            let key = ligand_key(req.compound);
+            let (score, cache_hit) = match self.score_cache.get(key).copied() {
+                Some(s) => (s, true),
+                None => {
+                    // Topology-only materialization: descriptors and
+                    // fingerprints never read coordinates or charges, and
+                    // skipping conformer relaxation keeps this inline tier
+                    // cheap enough to absorb overload bursts.
+                    let compound = Compound::materialize_topology(
+                        req.compound.library,
+                        req.compound.index,
+                        self.cfg.campaign_seed,
+                    );
+                    let d = dfchem::Descriptors::compute(&compound.mol);
+                    let fp = dfchem::Fingerprint::compute(
+                        &dfchem::FingerprintConfig::default(),
+                        &compound.mol,
+                    );
+                    let s = dfchem::ligand_score(&d, &fp) as f32;
+                    self.record_insert_score(key, s);
+                    (s, false)
+                }
+            };
+            let completed_at = if cache_hit { now } else { now + self.cfg.cost.ligand_cost };
+            let resp = ScoreResponse {
+                request_id: req.id,
+                compound: req.compound,
+                target: req.target,
+                score,
+                tier,
+                cache_hit,
+                generation,
+                admitted_at: now,
+                started_at: now,
+                completed_at,
+            };
+            if !cache_hit {
+                self.ligand_inflight.push_back(completed_at);
+            }
+            self.complete(&resp);
+            return SubmitOutcome::Completed(resp);
+        }
+
         let features = self.featurize(req.compound, req.target, tier);
         let key = score_key(features.content_hash, tier, generation);
         if let Some(&score) = self.score_cache.get(key) {
@@ -360,7 +425,7 @@ impl ScoreService {
         match tier {
             Tier::FullFusion => self.full_lane.push(now, item),
             Tier::SgHead => self.sg_lane.push(now, item),
-            Tier::Vina => unreachable!("vina handled inline"),
+            Tier::Vina | Tier::LigandOnly => unreachable!("inline tiers handled above"),
         }
         SubmitOutcome::Enqueued(tier)
     }
@@ -382,12 +447,14 @@ impl ScoreService {
             .map(|b| b.completes_at)
             .into_iter()
             .chain(self.vina_inflight.back().copied())
+            .chain(self.ligand_inflight.back().copied())
             .max()
             .unwrap_or(self.now);
         self.tick(drain_to.max(self.now));
         debug_assert!(
             self.inflight.is_empty()
                 && self.vina_inflight.is_empty()
+                && self.ligand_inflight.is_empty()
                 && self.full_lane.is_empty()
                 && self.sg_lane.is_empty()
         );
@@ -398,9 +465,12 @@ impl ScoreService {
     fn tick(&mut self, now: Ticks) {
         assert!(now >= self.now, "virtual time must be monotonic: {} < {}", now, self.now);
         self.now = now;
-        // Retire Vina evaluations whose fallback occupancy has lapsed.
+        // Retire inline evaluations whose band occupancy has lapsed.
         while self.vina_inflight.front().is_some_and(|&t| t <= self.now) {
             self.vina_inflight.pop_front();
+        }
+        while self.ligand_inflight.front().is_some_and(|&t| t <= self.now) {
+            self.ligand_inflight.pop_front();
         }
         loop {
             // Retire in-flight batches that have completed by `now`.
@@ -434,7 +504,9 @@ impl ScoreService {
         let cost = match tier {
             Tier::FullFusion => self.cfg.cost.full_base + n as u64 * self.cfg.cost.full_per_item,
             Tier::SgHead => self.cfg.cost.sg_base + n as u64 * self.cfg.cost.sg_per_item,
-            Tier::Vina => unreachable!("vina never occupies the server"),
+            Tier::Vina | Tier::LigandOnly => {
+                unreachable!("inline tiers never occupy the server")
+            }
         };
         let started_at = batch.closed_at.max(self.busy_until);
         let completes_at = started_at + cost;
@@ -483,7 +555,7 @@ impl ScoreService {
                         miss_idx.iter().map(|&i| &*batch.items[i].1.graph).collect();
                     score_batch_sg_head(&mut self.model, &live.params, &graphs)
                 }
-                Tier::Vina => unreachable!(),
+                Tier::Vina | Tier::LigandOnly => unreachable!(),
             };
             for (&i, &s) in miss_idx.iter().zip(computed.iter()) {
                 scores[i] = Some(s);
@@ -596,6 +668,7 @@ fn tier_index(tier: Tier) -> usize {
         Tier::FullFusion => 0,
         Tier::SgHead => 1,
         Tier::Vina => 2,
+        Tier::LigandOnly => 3,
     }
 }
 
@@ -605,6 +678,7 @@ fn tier_counter(tier: Tier) -> &'static str {
         Tier::FullFusion => "serve.tier.full",
         Tier::SgHead => "serve.tier.sg_head",
         Tier::Vina => "serve.tier.vina",
+        Tier::LigandOnly => "serve.tier.ligand_only",
     }
 }
 
@@ -631,6 +705,14 @@ fn score_key(content_hash: u64, tier: Tier, generation: u64) -> u64 {
 /// Identity key of a Vina-tier evaluation (featurization is bypassed).
 fn vina_key(req: &ScoreRequest) -> u64 {
     fnv1a64_update(feature_key(req.compound, req.target), b"vina")
+}
+
+/// Identity key of a ligand-only evaluation: compound only — the score is
+/// target-independent, so it is shared across pockets.
+fn ligand_key(id: dfchem::genmol::CompoundId) -> u64 {
+    let mut h = fnv1a64(id.library.tag().as_bytes());
+    h = fnv1a64_update(h, &id.index.to_le_bytes());
+    fnv1a64_update(h, b"ligand_only")
 }
 
 /// A request paired with the virtual tick it arrived at (threaded

@@ -126,10 +126,12 @@ fn threaded_front_end_answers_every_request() {
 fn vina_tier_completes_inline_when_model_lanes_saturate() {
     let cfg = ServeConfig::tiny(34);
     let sg_max = cfg.ladder.sg_max_depth;
+    let vina_max = cfg.ladder.vina_max_depth;
     let mut svc = ScoreService::with_fresh_registry(cfg);
-    // Pack the lanes at a single tick so depth climbs past the SG band.
+    // Pack the lanes at a single tick so depth climbs past the SG band
+    // but stays below the vina band's ceiling.
     let mut vina_seen = false;
-    for i in 0..(sg_max as u64 + 2) {
+    for i in 0..(sg_max as u64 + (vina_max - sg_max) as u64 / 2) {
         if let SubmitOutcome::Completed(r) = svc.submit(5, request(i)) {
             assert_eq!(r.tier, Tier::Vina, "only vina completes inline here");
             assert!(r.completed_at > r.admitted_at);
@@ -137,6 +139,66 @@ fn vina_tier_completes_inline_when_model_lanes_saturate() {
         }
     }
     assert!(vina_seen, "depth past sg_max_depth must hit the vina tier");
+    svc.flush(1_000_000);
+    assert_eq!(svc.depth(), 0);
+}
+
+#[test]
+fn ligand_only_tier_engages_between_vina_and_shed() {
+    let cfg = ServeConfig::tiny(35);
+    let vina_max = cfg.ladder.vina_max_depth;
+    let capacity = cfg.ladder.queue_capacity;
+    let mut svc = ScoreService::with_fresh_registry(cfg);
+    // Pack everything at one tick: depth climbs through every band and
+    // the tail of the burst must land in the ligand-only band, then shed.
+    let mut ligand = Vec::new();
+    let mut shed = 0u64;
+    for i in 0..(capacity as u64 + 4) {
+        match svc.submit(5, request(i)) {
+            SubmitOutcome::Completed(r) if r.tier == Tier::LigandOnly => ligand.push(r),
+            SubmitOutcome::Shed { depth } => {
+                shed += 1;
+                assert!(depth >= capacity);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(
+        ligand.len(),
+        capacity - vina_max,
+        "the ligand band is exactly [vina_max_depth, queue_capacity)"
+    );
+    assert_eq!(shed, 4, "past the capacity bound every request sheds");
+    for r in &ligand {
+        assert!(r.completed_at > r.admitted_at, "inline evaluation still takes virtual time");
+        assert!(r.score.is_finite());
+        assert!((-12.5..=-2.9).contains(&(r.score as f64)), "ligand score {} out of band", r.score);
+    }
+    // The ligand-only score is target-independent: the same compound
+    // against a different pocket is a cache hit with an identical score.
+    let probe = ligand[0];
+    let mut svc2 = ScoreService::with_fresh_registry(ServeConfig::tiny(35));
+    let mut seed_req = request(probe.request_id);
+    let mut alt_req = seed_req;
+    alt_req.target = TargetSite::ALL[(probe.request_id as usize + 1) % 4];
+    alt_req.id = 9_999;
+    // Drive svc2 into the ligand band the same way, then re-ask.
+    for i in 0..(vina_max as u64 + 1) {
+        let _ = svc2.submit(5, request(i));
+    }
+    seed_req.id = 9_998;
+    let first = match svc2.submit(5, seed_req) {
+        SubmitOutcome::Completed(r) => r,
+        other => panic!("expected inline ligand completion, got {other:?}"),
+    };
+    assert_eq!(first.tier, Tier::LigandOnly);
+    let second = match svc2.submit(5, alt_req) {
+        SubmitOutcome::Completed(r) => r,
+        other => panic!("expected inline ligand completion, got {other:?}"),
+    };
+    assert_eq!(second.tier, Tier::LigandOnly);
+    assert!(second.cache_hit, "same compound, different target: ligand cache must hit");
+    assert_eq!(first.score.to_bits(), second.score.to_bits());
     svc.flush(1_000_000);
     assert_eq!(svc.depth(), 0);
 }

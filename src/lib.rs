@@ -36,6 +36,54 @@
 //! let report = models.evaluate(&dataset, &core, EvalModel::Coherent);
 //! println!("Coherent Fusion on core set: {report}");
 //! ```
+//!
+//! ## Screening-funnel walkthrough
+//!
+//! The campaign funnel is `filter → fingerprint → surrogate → dock →
+//! fusion` (see `docs/CHEMISTRY.md`). Its cheap outermost ring — the
+//! ligand-only prefilter — runs without any target structure and is fast
+//! enough to execute right here as a doctest:
+//!
+//! ```
+//! use deepfusion::prelude::*;
+//!
+//! // 1. Drug-likeness gate: the ZINC druglike property rules, with
+//! //    per-rule rejection accounting.
+//! let filter = RuleFilter::zinc_druglike();
+//! assert_eq!(filter.rules.len(), 10);
+//!
+//! // 2. Stream a small generated library through filter → fingerprint →
+//! //    score. Chunked, bounded-memory, bit-deterministic at any
+//! //    `dfpool` lane count.
+//! let mut screen = ScreenConfig::new(Library::Chembl, 300, 42);
+//! screen.chunk_size = 128;
+//! let outcome = screen_library(&screen);
+//! assert_eq!(outcome.funnel.evaluated, 300);
+//! assert!(outcome.funnel.passed_filter > 0);
+//! assert!(outcome.funnel.passed_filter < 300);
+//!
+//! // 3. The same pipeline as a campaign prefilter: ranked shortlist plus
+//! //    contiguous compound ranges, ready to become `JobSpec`s.
+//! let prefilter = PrefilterConfig::new(Library::Chembl, 300, 42, 24);
+//! let picked = run_prefilter(&prefilter);
+//! assert!(picked.shortlist.len() <= 24);
+//! let ranges = picked.selection_ranges();
+//! let covered: u64 = ranges.iter().map(|&(_, n)| n).sum();
+//! assert_eq!(covered, picked.shortlist.len() as u64);
+//!
+//! // 4. Fingerprints support similarity triage directly.
+//! let a = Compound::materialize(Library::Chembl, picked.shortlist[0].index, 42);
+//! let b = Compound::materialize(Library::Chembl, picked.shortlist[1].index, 42);
+//! let cfg = FingerprintConfig::default();
+//! let fa = Fingerprint::compute(&cfg, &a.mol);
+//! let fb = Fingerprint::compute(&cfg, &b.mol);
+//! let sim = fa.tanimoto(&fb);
+//! assert!((0.0..=1.0).contains(&sim));
+//! ```
+//!
+//! The expensive inner rings — docking, surrogate and fusion rescoring at
+//! job scale — are demonstrated by `examples/virtual_screen.rs`, and the
+//! streaming front-end on its own by `examples/library_filter.rs`.
 
 pub use dfassay as assay;
 pub use dfchem as chem;
@@ -54,8 +102,10 @@ pub mod prelude {
         CampaignConfig, CampaignOutput, Method,
     };
     pub use dfchem::{
-        build_graph, parse_linnot, voxelize, write_linnot, BindingPocket, Compound, CompoundId,
-        Descriptors, GraphConfig, Library, Molecule, TargetSite, VoxelConfig,
+        build_graph, ligand_score, parse_linnot, screen_library, voxelize, write_linnot,
+        BindingPocket, Compound, CompoundId, Descriptors, Fingerprint, FingerprintConfig,
+        GraphConfig, Library, Molecule, RejectionTally, RuleFilter, ScreenConfig, TargetSite,
+        VoxelConfig,
     };
     pub use dfdata::{Group, PdbBind, PdbBindConfig};
     pub use dfdock::{
@@ -67,9 +117,9 @@ pub mod prelude {
     };
     pub use dfhpo::{Pb2, Pb2Config, Pbt, Space};
     pub use dfhts::{
-        run_campaign as run_screening_campaign, run_job, simulate_campaign, CampaignSim,
-        FaultConfig, FusionScorerFactory, JobConfig, JobSpec, LassenModel, SchedulerConfig,
-        ScorerFactory, SyntheticPoseSource,
+        run_campaign as run_screening_campaign, run_job, run_prefilter, simulate_campaign,
+        CampaignSim, FaultConfig, FusionScorerFactory, JobConfig, JobSpec, LassenModel,
+        PrefilterConfig, SchedulerConfig, ScorerFactory, SyntheticPoseSource,
     };
     pub use dfmetrics::{PrCurve, RegressionReport};
 }
