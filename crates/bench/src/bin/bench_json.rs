@@ -24,7 +24,7 @@ use dfchem::mol::Molecule;
 use dfchem::pocket::{BindingPocket, TargetSite};
 use dfdock::search::{dock, DockConfig};
 use dfhts::fault::FaultConfig;
-use dfhts::job::{run_job, JobConfig, JobSpec, SyntheticPoseSource};
+use dfhts::job::{run_job, JobConfig, JobSpec, SyntheticPoseSource, TaskClass};
 use dfhts::scorer::VinaScorerFactory;
 use dfpool::Pool;
 use dftensor::rng::rng;
@@ -177,6 +177,7 @@ fn main() {
             first_compound: 0,
             num_compounds: 16,
             campaign_seed: 5,
+            class: TaskClass::Dock,
             attempt: 0,
         };
         paths.push(run_path("hts_job_16compounds", 3, &|| {

@@ -11,7 +11,9 @@ use dfbench::{seed_from, Scale};
 use dfchem::genmol::Library;
 use dfchem::pocket::TargetSite;
 use dfhts::h5lite::read_dir;
-use dfhts::{run_job, FaultConfig, JobConfig, JobSpec, SyntheticPoseSource, VinaScorerFactory};
+use dfhts::{
+    run_job, FaultConfig, JobConfig, JobSpec, SyntheticPoseSource, TaskClass, VinaScorerFactory,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -46,6 +48,7 @@ fn main() {
         first_compound: 0,
         num_compounds: compounds,
         campaign_seed: seed,
+        class: TaskClass::Dock,
         attempt: 0,
     };
 

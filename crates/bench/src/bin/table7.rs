@@ -19,7 +19,7 @@ use dfchem::genmol::Library;
 use dfchem::pocket::TargetSite;
 use dfhts::{
     run_campaign, run_job, FaultConfig, JobConfig, JobSpec, LassenModel, SchedulerConfig,
-    SyntheticPoseSource,
+    SyntheticPoseSource, TaskClass,
 };
 
 fn specs(jobs: u64, compounds: u64, seed: u64) -> Vec<JobSpec> {
@@ -31,6 +31,7 @@ fn specs(jobs: u64, compounds: u64, seed: u64) -> Vec<JobSpec> {
             first_compound: j * compounds,
             num_compounds: compounds,
             campaign_seed: seed,
+            class: TaskClass::Dock,
             attempt: 0,
         })
         .collect()

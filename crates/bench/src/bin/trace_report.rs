@@ -20,7 +20,7 @@ use dfdata::pdbbind::{PdbBind, PdbBindConfig};
 use dfdock::search::{dock, DockConfig};
 use dffusion::{train, Cnn3d, Cnn3dConfig, TrainConfig};
 use dfhts::fault::FaultConfig;
-use dfhts::job::{JobConfig, JobSpec, SyntheticPoseSource};
+use dfhts::job::{JobConfig, JobSpec, SyntheticPoseSource, TaskClass};
 use dfhts::prefilter::{run_prefilter, PrefilterConfig};
 use dfhts::scheduler::{resume_campaign, run_campaign, SchedulerConfig};
 use dfhts::scorer::VinaScorerFactory;
@@ -136,6 +136,7 @@ fn run() {
             first_compound: j * 8,
             num_compounds: 8,
             campaign_seed: seed,
+            class: TaskClass::Dock,
             attempt: 0,
         })
         .collect();
@@ -173,6 +174,7 @@ fn run() {
                 first_compound: j * 8,
                 num_compounds: 8,
                 campaign_seed: seed,
+                class: TaskClass::Dock,
                 attempt: 0,
             })
             .collect()

@@ -34,6 +34,12 @@
 //! timing; [`reconstruct_output`] reads the rank files back and re-derives
 //! the exact allgather record order, so a restored [`JobOutput`] is
 //! bit-identical to the one the crashed run held in memory.
+//!
+//! Journaled specs carry their [`TaskClass`](crate::job::TaskClass) tag,
+//! so a heterogeneous campaign resumes each job onto the lane (and the
+//! class-scaled fault stream) it originally ran under. Manifests written
+//! before task classes existed have no `class` key; those specs decode as
+//! `Dock` — the only class such campaigns ran — and resume bit-identically.
 
 use crate::h5lite::{read_file, H5Error, ScoreRecord};
 use crate::job::{JobConfig, JobOutput, JobSpec, JobTiming};
@@ -339,6 +345,7 @@ mod tests {
             first_compound: job_id * 8,
             num_compounds: 8,
             campaign_seed: 4,
+            class: crate::job::TaskClass::Dock,
             attempt: 0,
         }
     }
@@ -387,6 +394,27 @@ mod tests {
             other => panic!("unexpected entry {other:?}"),
         }
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// A manifest entry journaled before task classes existed has no
+    /// `class` key; its spec must decode as `Dock`, keeping pre-class
+    /// manifests resumable bit for bit.
+    #[test]
+    fn pre_class_manifest_entries_decode_as_dock() {
+        use crate::job::TaskClass;
+        let modern = serde_json::to_string(&ManifestEntry::Abandoned { spec: spec(7) }).unwrap();
+        assert!(modern.contains("\"class\""), "modern entries journal the class tag: {modern}");
+        // Strip the class key the way an old driver simply never wrote it.
+        let legacy = modern.replace("\"class\":\"dock\",", "");
+        assert!(!legacy.contains("class"), "stripped: {legacy}");
+        let entry: ManifestEntry = serde_json::from_str(&legacy).unwrap();
+        match entry {
+            ManifestEntry::Abandoned { spec } => {
+                assert_eq!(spec.class, TaskClass::Dock);
+                assert_eq!(spec.job_id, 7);
+            }
+            other => panic!("unexpected entry {other:?}"),
+        }
     }
 
     #[test]

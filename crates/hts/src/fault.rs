@@ -80,8 +80,23 @@ impl FaultInjector {
 
     /// Does `node` die during `attempt` of `job`?
     pub fn node_fails(&self, job_id: u64, attempt: u32, node: usize) -> bool {
-        self.unit(0xA0D1 ^ job_id.rotate_left(17) ^ ((attempt as u64) << 40) ^ node as u64)
-            < self.config.p_node_failure
+        self.node_fails_scaled(job_id, attempt, node, 1.0)
+    }
+
+    /// Like [`node_fails`](Self::node_fails), with the failure
+    /// probability scaled by `exposure` — the relative node-hours an
+    /// attempt occupies (a dock attempt holds its nodes far longer than a
+    /// filter attempt, so it sees proportionally more node deaths). The
+    /// effective probability is `1 - (1-p)^exposure`; `exposure == 1.0`
+    /// is guaranteed to reproduce the unscaled draw bit for bit, so
+    /// homogeneous campaigns keep their historical fault streams.
+    pub fn node_fails_scaled(&self, job_id: u64, attempt: u32, node: usize, exposure: f64) -> bool {
+        let p = if exposure == 1.0 {
+            self.config.p_node_failure
+        } else {
+            1.0 - (1.0 - self.config.p_node_failure).powf(exposure.max(0.0))
+        };
+        self.unit(0xA0D1 ^ job_id.rotate_left(17) ^ ((attempt as u64) << 40) ^ node as u64) < p
     }
 
     /// Is this compound's metadata corrupt?
@@ -128,6 +143,27 @@ mod tests {
         let hits = (0..10_000).filter(|&i| inj.bad_metadata(1, i)).count();
         let rate = hits as f64 / 10_000.0;
         assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn exposure_scaling_is_monotone_and_exact_at_one() {
+        let inj =
+            FaultInjector::new(FaultConfig { p_node_failure: 0.3, seed: 9, ..Default::default() });
+        let count = |exposure: f64| {
+            (0..4000u64).filter(|&j| inj.node_fails_scaled(j, 0, 0, exposure)).count()
+        };
+        // exposure 1.0 must reproduce the unscaled draw bit for bit.
+        for j in 0..500u64 {
+            assert_eq!(inj.node_fails(j, 0, 0), inj.node_fails_scaled(j, 0, 0, 1.0));
+        }
+        // Shorter exposure → fewer failures; longer → more.
+        let (quarter, full, quadruple) = (count(0.25), count(1.0), count(4.0));
+        assert!(quarter < full, "quarter exposure {quarter} !< full {full}");
+        assert!(full < quadruple, "full {full} !< quadruple exposure {quadruple}");
+        // Approximate the analytic rates: 1-(1-p)^e.
+        let rate = |c: usize| c as f64 / 4000.0;
+        assert!((rate(quarter) - (1.0 - 0.7f64.powf(0.25))).abs() < 0.02);
+        assert!((rate(quadruple) - (1.0 - 0.7f64.powf(4.0))).abs() < 0.02);
     }
 
     #[test]

@@ -108,6 +108,140 @@ impl JobConfig {
     }
 }
 
+/// Funnel stage a job belongs to — the task classes of a heterogeneous
+/// screening campaign (filter → surrogate → dock → rescore).
+///
+/// The paper's production campaigns interleave work whose per-compound
+/// cost spans two orders of magnitude; the class tells the scheduler how
+/// to lane, bundle and prioritize a job (see
+/// [`crate::scheduler::SchedulerConfig`]) and scales a job's exposure to
+/// node failures (longer attempts sit on more node-hours). `Dock` is the
+/// default, so pre-class campaigns — and pre-class checkpoint manifests,
+/// whose specs lack a class tag entirely — behave exactly as before (the
+/// manual `Deserialize` impl decodes a missing/null class as `Dock`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TaskClass {
+    /// Ligand-only triage (drug-likeness rules + fingerprint scoring).
+    Filter,
+    /// Cheap learned docking-surrogate scoring.
+    Surrogate,
+    /// Full pose generation + scoring (the most expensive class).
+    #[default]
+    Dock,
+    /// Physics / fusion rescoring of already-docked poses.
+    Rescore,
+}
+
+impl TaskClass {
+    /// Every class, in lane order (the scheduler indexes lanes by this).
+    pub const ALL: [TaskClass; 4] =
+        [TaskClass::Filter, TaskClass::Surrogate, TaskClass::Dock, TaskClass::Rescore];
+
+    /// Lane index of this class in [`TaskClass::ALL`].
+    pub fn lane(self) -> usize {
+        match self {
+            TaskClass::Filter => 0,
+            TaskClass::Surrogate => 1,
+            TaskClass::Dock => 2,
+            TaskClass::Rescore => 3,
+        }
+    }
+
+    /// Short lowercase name for reports and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskClass::Filter => "filter",
+            TaskClass::Surrogate => "surrogate",
+            TaskClass::Dock => "dock",
+            TaskClass::Rescore => "rescore",
+        }
+    }
+
+    /// Relative per-compound cost of this class (filter = 1). Drives the
+    /// short-task bundling decision: a job's estimated cost is
+    /// `num_compounds × cost_weight`.
+    pub fn cost_weight(self) -> f64 {
+        match self {
+            TaskClass::Filter => 1.0,
+            TaskClass::Surrogate => 6.0,
+            TaskClass::Dock => 96.0,
+            TaskClass::Rescore => 24.0,
+        }
+    }
+
+    /// Dispatch share of this class's queue lane under the scheduler's
+    /// weighted (stride) lane priority. Dock gets the largest share — it
+    /// is the funnel's long pole — without ever starving the short lanes.
+    pub fn dispatch_weight(self) -> u64 {
+        match self {
+            TaskClass::Filter => 1,
+            TaskClass::Surrogate => 2,
+            TaskClass::Dock => 8,
+            TaskClass::Rescore => 4,
+        }
+    }
+
+    /// Node-failure exposure scale: longer-running classes occupy more
+    /// node-hours per attempt, so they see proportionally more node
+    /// deaths. `Dock` is 1.0 — exactly the pre-class failure rate — so
+    /// homogeneous campaigns reproduce their historical fault draws bit
+    /// for bit.
+    pub fn failure_exposure(self) -> f64 {
+        match self {
+            TaskClass::Filter => 0.25,
+            TaskClass::Surrogate => 0.5,
+            TaskClass::Dock => 1.0,
+            TaskClass::Rescore => 0.5,
+        }
+    }
+
+    /// Per-class `hts.sched.lane.<class>.dispatched` counter name.
+    pub(crate) fn dispatched_counter(self) -> &'static str {
+        match self {
+            TaskClass::Filter => "hts.sched.lane.filter.dispatched",
+            TaskClass::Surrogate => "hts.sched.lane.surrogate.dispatched",
+            TaskClass::Dock => "hts.sched.lane.dock.dispatched",
+            TaskClass::Rescore => "hts.sched.lane.rescore.dispatched",
+        }
+    }
+
+    /// Per-class `hts.sched.lane.<class>.peak_occupancy` gauge name.
+    pub(crate) fn occupancy_gauge(self) -> &'static str {
+        match self {
+            TaskClass::Filter => "hts.sched.lane.filter.peak_occupancy",
+            TaskClass::Surrogate => "hts.sched.lane.surrogate.peak_occupancy",
+            TaskClass::Dock => "hts.sched.lane.dock.peak_occupancy",
+            TaskClass::Rescore => "hts.sched.lane.rescore.peak_occupancy",
+        }
+    }
+}
+
+impl serde::Serialize for TaskClass {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Str(self.name().to_string())
+    }
+}
+
+/// Manual impl rather than derived: a checkpoint manifest written before
+/// task classes existed has no `class` key at all, which surfaces here as
+/// `Null` — and must decode as [`TaskClass::Dock`], the only class those
+/// campaigns ran, so old manifests resume bit-identically.
+impl serde::Deserialize for TaskClass {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::value::Value::Null => Ok(TaskClass::Dock),
+            serde::value::Value::Str(s) => match s.as_str() {
+                "filter" | "Filter" => Ok(TaskClass::Filter),
+                "surrogate" | "Surrogate" => Ok(TaskClass::Surrogate),
+                "dock" | "Dock" => Ok(TaskClass::Dock),
+                "rescore" | "Rescore" => Ok(TaskClass::Rescore),
+                other => Err(serde::DeError(format!("unknown TaskClass variant {other:?}"))),
+            },
+            other => Err(serde::DeError::expected("task class string", other.kind())),
+        }
+    }
+}
+
 /// One job's work assignment: a contiguous compound range on one target.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JobSpec {
@@ -123,8 +257,21 @@ pub struct JobSpec {
     pub num_compounds: u64,
     /// Campaign seed (compounds and pockets materialize under it).
     pub campaign_seed: u64,
+    /// Task class of this job (defaults to [`TaskClass::Dock`], which
+    /// keeps pre-class specs and checkpoint manifests bit-compatible).
+    pub class: TaskClass,
     /// Retry attempt (0 = first run); changes fault outcomes.
     pub attempt: u32,
+}
+
+impl JobSpec {
+    /// Estimated relative cost of the job: compounds × the class's
+    /// per-compound cost weight. The scheduler bundles jobs below
+    /// [`crate::scheduler::SchedulerConfig::bundle_cost_cap`] into shared
+    /// dispatches.
+    pub fn est_cost(&self) -> f64 {
+        self.num_compounds as f64 * self.class.cost_weight()
+    }
 }
 
 /// Job failure modes surfaced to the scheduler.
@@ -243,9 +390,16 @@ pub fn run_job(
     let startup = start.elapsed();
 
     // Pre-declared node failures for this attempt (a dead node kills the
-    // whole MPI job).
+    // whole MPI job). Exposure scales with the task class: a dock attempt
+    // holds its nodes ~100x longer than a filter attempt, so it sees
+    // proportionally more node deaths.
     for node in 0..cfg.nodes {
-        if injector.node_fails(spec.job_id, spec.attempt, node) {
+        if injector.node_fails_scaled(
+            spec.job_id,
+            spec.attempt,
+            node,
+            spec.class.failure_exposure(),
+        ) {
             return Err(JobError::NodeFailure { job_id: spec.job_id, node });
         }
     }
@@ -254,8 +408,9 @@ pub fn run_job(
     let comm: Arc<Communicator<ScoreRecord>> = Communicator::new(num_ranks);
     let faults: Mutex<Vec<FaultEvent>> = Mutex::new(Vec::new());
     let write_retries = std::sync::atomic::AtomicUsize::new(0);
-    // Per-rank result slot: (gathered records, output file path).
-    type RankOutput = Mutex<Option<(Vec<ScoreRecord>, PathBuf)>>;
+    // Per-rank result slot: (gathered records, output file path — `None`
+    // when the rank's partition was empty and no file was written).
+    type RankOutput = Mutex<Option<(Vec<ScoreRecord>, Option<PathBuf>)>>;
     let rank_outputs: Vec<RankOutput> = (0..num_ranks).map(|_| Mutex::new(None)).collect();
     // The rank threads are plain OS threads; capture the caller's pool so
     // batch scoring inside each rank fans out on it (and tests that install
@@ -281,25 +436,36 @@ pub fn run_job(
                 let all = comm.allgather(rank, records);
 
                 // Parallel output: this rank writes the records whose
-                // compound index hashes to it.
+                // compound index hashes to it. The modulus is taken in
+                // u64 — `index as usize % num_ranks` truncated on 32-bit
+                // targets, silently re-partitioning indices above 2^32.
                 let mine: Vec<ScoreRecord> = all
                     .iter()
-                    .filter(|r| (r.compound.index as usize) % num_ranks == rank)
+                    .filter(|r| r.compound.index % num_ranks as u64 == rank as u64)
                     .copied()
                     .collect();
-                let path =
-                    cfg.output_dir.join(format!("job{:05}_rank{:02}.dfh5", spec.job_id, rank));
-                let fail_first = injector.broken_pipe(spec.job_id, spec.attempt, rank);
-                let path = match write_rank_file(&path, &mine, fail_first) {
-                    Ok(p) => p,
-                    Err(_broken_pipe) => {
-                        // The first write really failed; log it and
-                        // re-issue the whole write from scratch.
-                        faults.lock().push(FaultEvent::BrokenPipe { rank, retried: true });
-                        write_retries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        dftrace::counter_add("hts.write_retries", 1);
-                        write_rank_file(&path, &mine, false).expect("re-issued rank output")
-                    }
+                // A short (e.g. prefiltered) run can leave a rank with
+                // zero records; skip the file instead of writing an empty
+                // `.dfh5` — resume reads only the files the summary
+                // lists, so the restored output stays bit-identical.
+                let path = if mine.is_empty() {
+                    dftrace::counter_add("hts.empty_rank_files_skipped", 1);
+                    None
+                } else {
+                    let path =
+                        cfg.output_dir.join(format!("job{:05}_rank{:02}.dfh5", spec.job_id, rank));
+                    let fail_first = injector.broken_pipe(spec.job_id, spec.attempt, rank);
+                    Some(match write_rank_file(&path, &mine, fail_first) {
+                        Ok(p) => p,
+                        Err(_broken_pipe) => {
+                            // The first write really failed; log it and
+                            // re-issue the whole write from scratch.
+                            faults.lock().push(FaultEvent::BrokenPipe { rank, retried: true });
+                            write_retries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            dftrace::counter_add("hts.write_retries", 1);
+                            write_rank_file(&path, &mine, false).expect("re-issued rank output")
+                        }
+                    })
                 };
                 *rank_outputs[rank].lock() = Some((all, path));
                 if dftrace::enabled() {
@@ -322,7 +488,9 @@ pub fn run_job(
             // Every rank holds the same gathered view; keep rank 0's.
             records = gathered;
         }
-        files.push(path);
+        if let Some(path) = path {
+            files.push(path);
+        }
     }
     let output = out_start.elapsed();
 
@@ -437,6 +605,7 @@ mod tests {
             first_compound: 0,
             num_compounds: n,
             campaign_seed: 3,
+            class: TaskClass::Dock,
             attempt: 0,
         }
     }
@@ -549,6 +718,81 @@ mod tests {
         assert_eq!(out.write_retries, 0);
         assert!(out.faults.is_empty());
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// A short prefiltered run can leave ranks with zero records. Those
+    /// ranks must not write empty `.dfh5` files (the old behaviour), and
+    /// the on-disk view must still hold every record exactly once.
+    #[test]
+    fn empty_rank_partitions_skip_their_files() {
+        let dir = tmpdir("emptyranks");
+        // 8 ranks but only 2 compounds: 6 ranks have an empty partition.
+        let mut c = cfg(dir.clone(), FaultConfig::default());
+        c.nodes = 2;
+        c.ranks_per_node = 4;
+        let out = run_job(
+            &c,
+            &spec(9, 2),
+            &VinaScorerFactory,
+            &SyntheticPoseSource { poses_per_compound: 3 },
+        )
+        .unwrap();
+        assert_eq!(out.records.len(), 2 * 3);
+        assert_eq!(out.files.len(), 2, "only non-empty ranks write files");
+        for f in &out.files {
+            assert!(f.exists(), "listed file {} must exist", f.display());
+        }
+        let on_disk = read_dir(&dir).unwrap();
+        assert_eq!(on_disk.len(), out.records.len(), "no record lost with skipped files");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// Compound indices above 2^32 used to truncate in the
+    /// `index as usize % num_ranks` output partition on 32-bit targets.
+    /// Pin the u64 math: a range past 2^32 still partitions every record
+    /// to exactly one rank file.
+    #[test]
+    fn rank_partition_handles_indices_beyond_u32() {
+        let dir = tmpdir("hugeidx");
+        let mut s = spec(10, 6);
+        s.first_compound = (1u64 << 33) + 5;
+        let out = run_job(
+            &cfg(dir.clone(), FaultConfig::default()),
+            &s,
+            &VinaScorerFactory,
+            &SyntheticPoseSource { poses_per_compound: 1 },
+        )
+        .unwrap();
+        assert_eq!(out.records.len(), 6);
+        for r in &out.records {
+            assert!(r.compound.index >= s.first_compound);
+        }
+        let on_disk = read_dir(&dir).unwrap();
+        assert_eq!(on_disk.len(), 6, "each huge-index record lands in exactly one rank file");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn task_class_defaults_keep_dock_campaigns_bit_compatible() {
+        // Dock is the serde default, with failure exposure exactly 1.0 —
+        // a pre-class spec deserializes into the same fault draws.
+        assert_eq!(TaskClass::default(), TaskClass::Dock);
+        assert_eq!(TaskClass::Dock.failure_exposure(), 1.0);
+        let json = r#"{"job_id":3,"target":"Spike1","library":"EnamineVirtual",
+            "first_compound":0,"num_compounds":8,"campaign_seed":3,"attempt":0}"#;
+        let s: JobSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(s.class, TaskClass::Dock);
+        // Lane order and names are a stable contract for metric labels.
+        for (i, c) in TaskClass::ALL.iter().enumerate() {
+            assert_eq!(c.lane(), i);
+        }
+        assert_eq!(TaskClass::Filter.name(), "filter");
+        // Cost ordering matches the funnel: filter < surrogate < rescore < dock.
+        assert!(TaskClass::Filter.cost_weight() < TaskClass::Surrogate.cost_weight());
+        assert!(TaskClass::Surrogate.cost_weight() < TaskClass::Rescore.cost_weight());
+        assert!(TaskClass::Rescore.cost_weight() < TaskClass::Dock.cost_weight());
+        let s2 = JobSpec { class: TaskClass::Filter, ..spec(1, 64) };
+        assert_eq!(s2.est_cost(), 64.0);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   assignment, batched inference, allgather and parallel file output
 //!   (Figure 3);
 //! * [`fault`] + [`scheduler`] — fault injection and the reschedule-on-
-//!   failure campaign loop, with deterministic exponential retry backoff;
+//!   failure campaign loop: heterogeneous [`job::TaskClass`] queue lanes
+//!   under weighted (stride) priority, short-task bundling, bounded
+//!   lane backpressure, and deterministic exponential retry backoff
+//!   served off the worker threads via ready-at deadlines;
 //! * [`checkpoint`] — the crash-safe campaign manifest: terminal job
 //!   events are journaled (fsynced, torn tails dropped on load) so
 //!   [`resume_campaign`] can restart a killed driver and produce a result
@@ -59,11 +62,12 @@ pub use fault::{FaultConfig, FaultEvent, FaultInjector};
 pub use h5lite::{read_dir, read_file, H5Error, H5Writer, ScoreRecord};
 pub use job::{
     run_job, DockingPoseSource, JobConfig, JobError, JobOutput, JobSpec, JobTiming, PoseSource,
-    SyntheticPoseSource,
+    SyntheticPoseSource, TaskClass,
 };
 pub use prefilter::{run_prefilter, PrefilterConfig, PrefilterOutcome};
 pub use scheduler::{
-    resume_campaign, retry_backoff, run_campaign, CampaignReport, SchedulerConfig,
+    resume_campaign, retry_backoff, run_campaign, run_campaign_with, CampaignReport, LaneStats,
+    SchedulerConfig,
 };
 pub use scorer::{
     FusionScorer, FusionScorerFactory, MmGbsaScorer, MmGbsaScorerFactory, Scorer, ScorerFactory,

@@ -11,9 +11,17 @@
 //! ([`crate::job::JobSpec`]), so the shortlist is bridged to job
 //! assignment by coalescing selected indices into contiguous runs
 //! ([`PrefilterOutcome::selection_ranges`]); each run maps onto one
-//! `JobSpec { first_compound, num_compounds }`.
+//! `JobSpec { first_compound, num_compounds }`. Dense shortlists
+//! coalesce into huge runs, so runs are split at a
+//! `max_compounds_per_job` cap into *balanced* pieces — otherwise a
+//! 300k-compound contiguous selection would become one straggler job
+//! that serializes the whole campaign tail.
+//! [`PrefilterOutcome::job_specs`] goes one step further and emits
+//! ready-to-schedule dock-class [`crate::job::JobSpec`]s.
 
+use crate::job::{JobSpec, TaskClass};
 use dfchem::genmol::Library;
+use dfchem::pocket::TargetSite;
 use dfchem::screen::{screen_library, FunnelStats, RankedCompound, ScreenConfig};
 use dfchem::RejectionTally;
 use serde::{Deserialize, Serialize};
@@ -54,17 +62,71 @@ impl PrefilterOutcome {
     /// `(first_compound, num_compounds)` runs — the shape
     /// [`crate::job::JobSpec`] assigns to ranks. Adjacent selected
     /// indices merge into one run; isolated ones become runs of length 1.
-    pub fn selection_ranges(&self) -> Vec<(u64, u64)> {
+    ///
+    /// Runs longer than `max_compounds_per_job` (0 = unbounded) are split
+    /// into balanced pieces whose lengths differ by at most one, rather
+    /// than cap-sized pieces plus a short remainder: a dense 1000-index
+    /// run under a cap of 300 becomes 250+250+250+250, not
+    /// 300+300+300+100, so no job in the campaign tail is a straggler.
+    pub fn selection_ranges(&self, max_compounds_per_job: u64) -> Vec<(u64, u64)> {
         let mut indices: Vec<u64> = self.shortlist.iter().map(|r| r.index).collect();
         indices.sort_unstable();
-        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        let mut runs: Vec<(u64, u64)> = Vec::new();
         for i in indices {
-            match ranges.last_mut() {
+            match runs.last_mut() {
                 Some((first, len)) if *first + *len == i => *len += 1,
-                _ => ranges.push((i, 1)),
+                _ => runs.push((i, 1)),
+            }
+        }
+        if max_compounds_per_job == 0 {
+            return runs;
+        }
+        let cap = max_compounds_per_job;
+        let mut ranges = Vec::with_capacity(runs.len());
+        for (first, len) in runs {
+            if len <= cap {
+                ranges.push((first, len));
+                continue;
+            }
+            let pieces = len.div_ceil(cap);
+            let base = len / pieces;
+            let extra = len % pieces; // the first `extra` pieces get +1
+            let mut off = 0;
+            for p in 0..pieces {
+                let n = base + u64::from(p < extra);
+                ranges.push((first + off, n));
+                off += n;
             }
         }
         ranges
+    }
+
+    /// Turns the shortlist into ready-to-schedule dock-class
+    /// [`JobSpec`]s: one per [`selection_ranges`](Self::selection_ranges)
+    /// run (capped at `max_compounds_per_job`), round-robin over
+    /// `targets`, with sequential job ids starting at `first_job_id`.
+    pub fn job_specs(
+        &self,
+        targets: &[TargetSite],
+        library: Library,
+        campaign_seed: u64,
+        first_job_id: u64,
+        max_compounds_per_job: u64,
+    ) -> Vec<JobSpec> {
+        self.selection_ranges(max_compounds_per_job)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (first_compound, num_compounds))| JobSpec {
+                job_id: first_job_id + i as u64,
+                target: targets[i % targets.len()],
+                library,
+                first_compound,
+                num_compounds,
+                campaign_seed,
+                class: TaskClass::Dock,
+                attempt: 0,
+            })
+            .collect()
     }
 
     /// Fraction of the library the docking stage still has to look at:
@@ -115,11 +177,11 @@ mod tests {
     #[test]
     fn selection_ranges_cover_exactly_the_shortlist() {
         let out = run_prefilter(&tiny());
-        let ranges = out.selection_ranges();
+        let ranges = out.selection_ranges(0);
         let total: u64 = ranges.iter().map(|&(_, n)| n).sum();
         assert_eq!(total, out.shortlist.len() as u64);
-        // Ranges are ascending, non-overlapping, non-adjacent (adjacent
-        // runs would have been merged).
+        // Uncapped ranges are ascending, non-overlapping, non-adjacent
+        // (adjacent runs would have been merged).
         for w in ranges.windows(2) {
             assert!(w[0].0 + w[0].1 < w[1].0);
         }
@@ -128,6 +190,51 @@ mod tests {
             let covering = ranges.iter().filter(|&&(f, n)| r.index >= f && r.index < f + n).count();
             assert_eq!(covering, 1, "index {} covered {} times", r.index, covering);
         }
+    }
+
+    /// The dense-shortlist fix: a contiguous run splits at the cap into
+    /// balanced pieces instead of one mega-job (or cap-sized pieces plus
+    /// a straggler remainder).
+    #[test]
+    fn dense_runs_split_at_the_cap_into_balanced_jobs() {
+        // A fully dense shortlist: indices 100..1100 — one 1000-long run.
+        let out = PrefilterOutcome {
+            funnel: FunnelStats::default(),
+            tally: RejectionTally { evaluated: 0, passed: 0, rejected: 0, per_rule: Vec::new() },
+            shortlist: (100..1100).map(|i| RankedCompound { index: i, score: -1.0 }).collect(),
+        };
+        assert_eq!(out.selection_ranges(0), vec![(100, 1000)], "uncapped: one mega-run");
+        let capped = out.selection_ranges(300);
+        assert_eq!(capped, vec![(100, 250), (350, 250), (600, 250), (850, 250)]);
+        // Cap larger than the run leaves it alone; cap of 1 fully splits.
+        assert_eq!(out.selection_ranges(1000), vec![(100, 1000)]);
+        assert_eq!(out.selection_ranges(1).len(), 1000);
+        // Balanced: piece lengths differ by at most one.
+        let pieces = out.selection_ranges(7);
+        let (lo, hi) =
+            pieces.iter().fold((u64::MAX, 0), |(lo, hi), &(_, n)| (lo.min(n), hi.max(n)));
+        assert!(hi - lo <= 1, "pieces unbalanced: {lo}..{hi}");
+        assert_eq!(pieces.iter().map(|&(_, n)| n).sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn job_specs_wrap_capped_ranges_round_robin() {
+        let out = PrefilterOutcome {
+            funnel: FunnelStats::default(),
+            tally: RejectionTally { evaluated: 0, passed: 0, rejected: 0, per_rule: Vec::new() },
+            shortlist: (0..500u64).map(|i| RankedCompound { index: i, score: -1.0 }).collect(),
+        };
+        let specs = out.job_specs(&TargetSite::ALL, Library::Chembl, 7, 10, 100);
+        assert_eq!(specs.len(), 5);
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.job_id, 10 + i as u64);
+            assert_eq!(s.target, TargetSite::ALL[i % TargetSite::ALL.len()]);
+            assert_eq!(s.num_compounds, 100);
+            assert_eq!(s.class, TaskClass::Dock);
+            assert_eq!(s.attempt, 0);
+        }
+        // The specs tile the shortlist exactly.
+        assert_eq!(specs.iter().map(|s| s.num_compounds).sum::<u64>(), 500);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Fault-tolerant campaign scheduler.
+//! Fault-tolerant heterogeneous campaign scheduler.
 //!
 //! Runs many evaluation jobs across a bounded pool of "node allocations"
 //! (worker threads), re-queueing failed jobs with an incremented attempt
@@ -7,28 +7,59 @@
 //! its place) ... and only a small set of compounds are affected or need
 //! to be rescheduled" (§4.2).
 //!
+//! The campaign is **heterogeneous** (the RAPTOR problem shape,
+//! arXiv:2209.00114): jobs carry a [`TaskClass`] — filter / surrogate /
+//! dock / rescore — whose per-compound costs span two orders of
+//! magnitude. Treating them as one FIFO wastes allocation on dispatch
+//! overhead for the short classes and lets cheap upstream stages flood
+//! the expensive ones. Four mechanisms address that:
+//!
+//! * **Class lanes with weighted priority.** Each class has its own queue
+//!   lane; workers pull from the non-empty lane with the lowest stride
+//!   pass (pass += `STRIDE_ONE / dispatch_weight` per dispatch), so dock
+//!   gets the largest dispatch share without starving the short lanes.
+//! * **Task bundling.** Jobs whose estimated cost
+//!   ([`JobSpec::est_cost`]) is below
+//!   [`SchedulerConfig::bundle_cost_cap`] are popped up to
+//!   [`SchedulerConfig::bundle_max`] at a time into one worker dispatch,
+//!   amortizing queue/condvar overhead that would otherwise dominate
+//!   short tasks.
+//! * **Pilot-style worker reuse.** Workers are not bound to a class —
+//!   the same pool thread runs a bundle of filter jobs, then a dock job,
+//!   then a rescore, pulling whatever the lane priority offers instead
+//!   of exiting per job class.
+//! * **Bounded backpressure.** With [`SchedulerConfig::lane_capacity`]
+//!   set, each lane admits at most that many queued jobs; the rest wait
+//!   in a per-lane staging backlog, so a prefilter stage that shortlists
+//!   millions of compounds cannot flood the dock lane's working queue.
+//!
 //! Three durability/liveness properties on top of that:
 //!
-//! * **Liveness.** A worker only exits when the queue is empty *and*
-//!   nothing is in flight. A momentarily-empty queue (every remaining job
-//!   currently running) parks the worker on a condvar instead of killing
-//!   it, so jobs re-queued by a failure retry at full parallelism.
-//! * **Deterministic backoff.** A failed attempt waits
+//! * **Liveness.** A worker only exits when every lane (admitted and
+//!   backlog), the deferred-retry set and the in-flight count are all
+//!   empty. A momentarily-empty queue parks the worker on a condvar
+//!   instead of killing it, so retries re-enter at full parallelism.
+//! * **Deterministic backoff off the worker thread.** A failed attempt
+//!   is re-queued with a *ready-at deadline* of now +
 //!   [`retry_backoff`] — exponential in the attempt number with jitter
-//!   derived from `(job_id, attempt)` via `derive_seed` — before being
-//!   re-queued, so retry storms spread out identically on every run.
+//!   derived from `(job_id, attempt)` via `derive_seed`. The failing
+//!   worker immediately moves on to other work; it never sleeps out the
+//!   backoff while holding a worker slot (the old behaviour, which
+//!   serialized campaign tails under retry storms).
 //! * **Checkpointing.** [`resume_campaign`] journals every terminal job
 //!   event to a crash-safe [`checkpoint`](crate::checkpoint) manifest and
 //!   skips journaled work on restart, yielding a result set bit-identical
-//!   to an uninterrupted run.
+//!   to an uninterrupted run. Journaled specs carry their class tag, so a
+//!   heterogeneous campaign resumes onto the same lanes.
 
 use crate::checkpoint::{
     reconstruct_output, summarize, CheckpointError, CheckpointWriter, ManifestEntry,
 };
-use crate::job::{run_job, JobConfig, JobError, JobOutput, JobSpec, PoseSource};
+use crate::job::{run_job, JobConfig, JobError, JobOutput, JobSpec, PoseSource, TaskClass};
 use crate::scorer::ScorerFactory;
 use dftensor::rng::derive_seed;
 use parking_lot::{Condvar, Mutex};
+use serde::Serialize;
 use std::collections::VecDeque;
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -45,6 +76,19 @@ pub struct SchedulerConfig {
     pub base_backoff: Duration,
     /// Upper bound on the exponential backoff.
     pub max_backoff: Duration,
+    /// Most jobs one worker dispatch may bundle (1 disables bundling).
+    /// Only jobs whose [`JobSpec::est_cost`] is at or below
+    /// [`bundle_cost_cap`](Self::bundle_cost_cap) ride in bundles.
+    pub bundle_max: usize,
+    /// Estimated-cost ceiling under which a job counts as "short" and may
+    /// be bundled. The default (64, i.e. up to 64 filter-class compounds)
+    /// keeps every dock-class job — cost ≥ 96 per compound — on its own
+    /// dispatch.
+    pub bundle_cost_cap: f64,
+    /// Bound on jobs admitted per class lane; excess jobs wait in a
+    /// staging backlog until the lane drains (backpressure between funnel
+    /// stages). `0` disables the bound.
+    pub lane_capacity: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -54,6 +98,9 @@ impl Default for SchedulerConfig {
             max_attempts: 5,
             base_backoff: Duration::from_millis(2),
             max_backoff: Duration::from_millis(50),
+            bundle_max: 8,
+            bundle_cost_cap: 64.0,
+            lane_capacity: 0,
         }
     }
 }
@@ -66,16 +113,58 @@ impl Default for SchedulerConfig {
 /// `derive_seed` — the same `(job, attempt)` always backs off for the
 /// same duration, so campaigns stay bit-reproducible, while distinct jobs
 /// failing together de-synchronize instead of retrying in lockstep.
+///
+/// The exponential plateaus at 20 doublings: every attempt ≥ 21 draws
+/// from the same `[0.5, 1.0] × min(base << 20, max)` envelope (only the
+/// per-attempt jitter still varies), so huge attempt numbers can neither
+/// overflow nor grow the delay further.
 pub fn retry_backoff(base: Duration, max: Duration, job_id: u64, attempt: u32) -> Duration {
     if base.is_zero() || attempt == 0 {
         return Duration::ZERO;
     }
     let doublings = (attempt - 1).min(20);
-    let exp = base.saturating_mul(1u32 << doublings.min(31));
+    let exp = base.saturating_mul(1u32 << doublings);
     let capped = exp.min(max);
     let h = derive_seed(job_id, 0xB0FF ^ attempt as u64);
     let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
     capped.mul_f64(0.5 + 0.5 * unit)
+}
+
+/// Per-class dispatch accounting of one campaign run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LaneStats {
+    /// The class this lane served.
+    pub class: TaskClass,
+    /// Worker dispatches that pulled from this lane.
+    pub dispatches: u64,
+    /// Jobs handed to workers from this lane (≥ `dispatches`).
+    pub jobs_dispatched: u64,
+    /// Dispatches that carried more than one job.
+    pub bundles: u64,
+    /// Jobs that rode in multi-job bundles.
+    pub bundled_jobs: u64,
+    /// Peak admitted-queue depth observed (the backpressure bound holds
+    /// iff this stays ≤ `lane_capacity` plus in-flight retries).
+    pub peak_occupancy: usize,
+    /// Jobs from this lane that completed successfully.
+    pub completed: u64,
+    /// Total worker wall time spent running this lane's jobs.
+    pub busy: Duration,
+}
+
+impl LaneStats {
+    fn new(class: TaskClass) -> Self {
+        LaneStats {
+            class,
+            dispatches: 0,
+            jobs_dispatched: 0,
+            bundles: 0,
+            bundled_jobs: 0,
+            peak_occupancy: 0,
+            completed: 0,
+            busy: Duration::ZERO,
+        }
+    }
 }
 
 /// Campaign-level outcome.
@@ -95,6 +184,9 @@ pub struct CampaignReport {
     /// pool size; workers exiting early shows up as a smaller value.
     /// `None` when no attempt failed.
     pub min_live_workers_at_retry: Option<usize>,
+    /// Per-class lane accounting (dispatches, bundling, occupancy), in
+    /// [`TaskClass::ALL`] order.
+    pub lanes: [LaneStats; 4],
     /// Wall-clock duration of the whole campaign.
     pub wall_time: Duration,
 }
@@ -110,16 +202,167 @@ impl CampaignReport {
     pub fn poses_per_sec(&self) -> f64 {
         dftrace::rate::per_sec(self.total_poses() as f64, self.wall_time.as_secs_f64())
     }
+
+    /// Total worker dispatches across every lane.
+    pub fn dispatches(&self) -> u64 {
+        self.lanes.iter().map(|l| l.dispatches).sum()
+    }
+
+    /// Jobs that rode in multi-job bundles, across every lane.
+    pub fn bundled_jobs(&self) -> u64 {
+        self.lanes.iter().map(|l| l.bundled_jobs).sum()
+    }
 }
 
-/// Shared queue state. `in_flight` is updated under the same lock as the
-/// queue so no worker can observe "queue empty, nothing in flight" while
-/// a running job is about to re-queue itself.
+/// One class lane: the admitted working queue, the staging backlog that
+/// absorbs overflow beyond `lane_capacity`, the stride-scheduling pass
+/// value and the lane's accounting.
+struct Lane {
+    admitted: VecDeque<JobSpec>,
+    backlog: VecDeque<JobSpec>,
+    /// Stride-scheduling virtual time; the non-empty lane with the lowest
+    /// pass is dispatched next.
+    pass: u64,
+    stride: u64,
+    stats: LaneStats,
+}
+
+/// `STRIDE_ONE / dispatch_weight` gives each lane's stride; the constant
+/// is divisible by every class weight so shares are exact.
+const STRIDE_ONE: u64 = 840;
+
+impl Lane {
+    fn new(class: TaskClass) -> Self {
+        Lane {
+            admitted: VecDeque::new(),
+            backlog: VecDeque::new(),
+            pass: 0,
+            stride: STRIDE_ONE / class.dispatch_weight(),
+            stats: LaneStats::new(class),
+        }
+    }
+
+    fn note_occupancy(&mut self) {
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.admitted.len());
+    }
+}
+
+/// Shared scheduler state. `in_flight` is updated under the same lock as
+/// the lanes so no worker can observe "all lanes empty, nothing in
+/// flight" while a running job is about to re-queue itself; `delayed`
+/// holds failed attempts waiting out their backoff deadline *off* the
+/// worker threads.
 struct SchedState {
-    queue: VecDeque<JobSpec>,
+    lanes: [Lane; 4],
+    /// Retries not yet eligible: `(ready_at, spec)`.
+    delayed: Vec<(Instant, JobSpec)>,
     in_flight: usize,
     live_workers: usize,
     min_live_at_retry: Option<usize>,
+}
+
+impl SchedState {
+    fn new(specs: Vec<JobSpec>, live_workers: usize) -> Self {
+        let mut st = SchedState {
+            lanes: [
+                Lane::new(TaskClass::Filter),
+                Lane::new(TaskClass::Surrogate),
+                Lane::new(TaskClass::Dock),
+                Lane::new(TaskClass::Rescore),
+            ],
+            delayed: Vec::new(),
+            in_flight: 0,
+            live_workers,
+            min_live_at_retry: None,
+        };
+        for spec in specs {
+            st.lanes[spec.class.lane()].backlog.push_back(spec);
+        }
+        st
+    }
+
+    /// Moves deferred retries whose deadline has passed into their lane.
+    /// Retries bypass the capacity bound — they were admitted once and
+    /// re-enter directly, so backpressure can never deadlock a retry.
+    fn promote_delayed(&mut self, now: Instant) {
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= now {
+                let (_, spec) = self.delayed.swap_remove(i);
+                let lane = &mut self.lanes[spec.class.lane()];
+                lane.admitted.push_back(spec);
+                lane.note_occupancy();
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Admits backlog into each lane up to `capacity` (0 = unbounded).
+    fn admit(&mut self, capacity: usize) {
+        let mut moved = 0u64;
+        for lane in &mut self.lanes {
+            while !lane.backlog.is_empty() && (capacity == 0 || lane.admitted.len() < capacity) {
+                let spec = lane.backlog.pop_front().expect("non-empty backlog");
+                lane.admitted.push_back(spec);
+                moved += 1;
+            }
+            lane.note_occupancy();
+        }
+        if moved > 0 {
+            dftrace::counter_add("hts.sched.backlog_admitted", moved);
+        }
+    }
+
+    /// Earliest deferred-retry deadline, if any.
+    fn next_ready_at(&self) -> Option<Instant> {
+        self.delayed.iter().map(|&(at, _)| at).min()
+    }
+
+    fn lanes_empty(&self) -> bool {
+        self.lanes.iter().all(|l| l.admitted.is_empty() && l.backlog.is_empty())
+    }
+
+    /// Claims the next dispatch: picks the non-empty admitted lane with
+    /// the lowest stride pass, pops its head job, and — when the head is
+    /// a short task — bundles up to `bundle_max` further short jobs from
+    /// the same lane into the dispatch.
+    fn claim(&mut self, cfg: &SchedulerConfig) -> Option<Vec<JobSpec>> {
+        let mut pick: Option<usize> = None;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if lane.admitted.is_empty() {
+                continue;
+            }
+            match pick {
+                Some(p) if self.lanes[p].pass <= lane.pass => {}
+                _ => pick = Some(i),
+            }
+        }
+        let i = pick?;
+        let lane = &mut self.lanes[i];
+        lane.pass = lane.pass.wrapping_add(lane.stride);
+        let first = lane.admitted.pop_front().expect("picked lane is non-empty");
+        let bundleable = cfg.bundle_max > 1 && first.est_cost() <= cfg.bundle_cost_cap;
+        let mut bundle = vec![first];
+        if bundleable {
+            while bundle.len() < cfg.bundle_max {
+                match lane.admitted.front() {
+                    Some(next) if next.est_cost() <= cfg.bundle_cost_cap => {
+                        bundle.push(lane.admitted.pop_front().expect("peeked"));
+                    }
+                    _ => break,
+                }
+            }
+        }
+        let n = bundle.len() as u64;
+        lane.stats.dispatches += 1;
+        lane.stats.jobs_dispatched += n;
+        if bundle.len() > 1 {
+            lane.stats.bundles += 1;
+            lane.stats.bundled_jobs += n;
+        }
+        Some(bundle)
+    }
 }
 
 /// Runs every job, retrying failures, across the worker pool.
@@ -205,9 +448,25 @@ pub fn resume_campaign(
     Ok(report)
 }
 
+/// Runs a campaign over an arbitrary job runner — the scheduling
+/// machinery (lanes, bundling, backpressure, retries) without the docking
+/// stack. Benchmarks and simulations inject scripted runners; a runner
+/// returning `Err(JobError::NodeFailure { .. })` is retried exactly like
+/// a real node death.
+pub fn run_campaign_with<R>(
+    sched: &SchedulerConfig,
+    specs: Vec<JobSpec>,
+    runner: &R,
+) -> CampaignReport
+where
+    R: Fn(&JobSpec) -> Result<JobOutput, JobError> + Sync,
+{
+    campaign_loop(sched, specs, runner, None)
+}
+
 /// The campaign loop over an arbitrary job runner; `run_campaign` and
-/// `resume_campaign` instantiate it with [`run_job`], tests inject
-/// scripted runners to pin down scheduling behaviour.
+/// `resume_campaign` instantiate it with [`run_job`], tests and
+/// [`run_campaign_with`] inject scripted runners.
 ///
 /// When `journal` is given, every terminal job event is appended (and
 /// fsynced) *before* the result is published, so a driver crash never
@@ -224,12 +483,7 @@ where
     let _campaign_span = dftrace::span("hts.campaign");
     let start = Instant::now();
     let workers = sched.max_parallel_jobs.max(1);
-    let state = Mutex::new(SchedState {
-        queue: specs.into(),
-        in_flight: 0,
-        live_workers: workers,
-        min_live_at_retry: None,
-    });
+    let state = Mutex::new(SchedState::new(specs, workers));
     let work_cv = Condvar::new();
     let outputs: Mutex<Vec<JobOutput>> = Mutex::new(Vec::new());
     let abandoned: Mutex<Vec<JobSpec>> = Mutex::new(Vec::new());
@@ -238,22 +492,36 @@ where
     crossbeam::scope(|s| {
         for _ in 0..workers {
             s.spawn(|_| loop {
-                // Claim work. Exit only when the queue is empty AND no job
-                // is in flight — an in-flight failure may still re-queue.
-                let spec = {
+                // Claim a dispatch (one job, or a bundle of short ones).
+                // Exit only when every lane, the deferred-retry set and
+                // the in-flight count are all empty — an in-flight
+                // failure may still re-queue, and a deferred retry will
+                // become ready.
+                let bundle = {
                     let mut st = state.lock();
                     loop {
-                        if let Some(spec) = st.queue.pop_front() {
-                            st.in_flight += 1;
-                            break Some(spec);
+                        st.promote_delayed(Instant::now());
+                        st.admit(sched.lane_capacity);
+                        if let Some(bundle) = st.claim(sched) {
+                            st.in_flight += bundle.len();
+                            break Some(bundle);
                         }
-                        if st.in_flight == 0 {
+                        if st.in_flight == 0 && st.delayed.is_empty() && st.lanes_empty() {
                             break None;
                         }
-                        work_cv.wait(&mut st);
+                        // Park until woken — or until the earliest
+                        // deferred retry becomes ready, whichever is
+                        // sooner.
+                        match st.next_ready_at() {
+                            Some(at) => {
+                                let timeout = at.saturating_duration_since(Instant::now());
+                                work_cv.wait_for(&mut st, timeout);
+                            }
+                            None => work_cv.wait(&mut st),
+                        }
                     }
                 };
-                let Some(spec) = spec else {
+                let Some(bundle) = bundle else {
                     let mut st = state.lock();
                     st.live_workers -= 1;
                     drop(st);
@@ -262,70 +530,98 @@ where
                     work_cv.notify_all();
                     break;
                 };
+                let class = bundle[0].class;
+                dftrace::counter_add("hts.sched.dispatches", 1);
+                dftrace::counter_add(class.dispatched_counter(), bundle.len() as u64);
+                if bundle.len() > 1 {
+                    dftrace::counter_add("hts.sched.bundles", 1);
+                    dftrace::counter_add("hts.sched.bundled_jobs", bundle.len() as u64);
+                }
 
-                let job_start = Instant::now();
-                let result = runner(&spec);
-                dftrace::observe_duration("hts.job_us", job_start.elapsed());
-                match result {
-                    Ok(out) => {
-                        dftrace::counter_add("hts.jobs_completed", 1);
-                        // Journal-then-publish: the entry is fsynced
-                        // before the output becomes visible, so a crash
-                        // cannot acknowledge work it would later forget.
-                        if let Some(journal) = journal {
-                            let entry = ManifestEntry::Completed {
-                                spec: spec.clone(),
-                                summary: summarize(&out),
-                            };
-                            if journal.lock().append(&entry).is_err() {
-                                dftrace::counter_add("hts.checkpoint_append_failed", 1);
-                            }
-                        }
-                        outputs.lock().push(out);
-                    }
-                    Err(JobError::NodeFailure { .. }) => {
-                        dftrace::counter_add("hts.jobs_failed", 1);
-                        failed_attempts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let mut retry = spec;
-                        retry.attempt += 1;
-                        if retry.attempt < sched.max_attempts {
-                            // Deterministic exponential backoff before the
-                            // retry re-enters the queue.
-                            let backoff = retry_backoff(
-                                sched.base_backoff,
-                                sched.max_backoff,
-                                retry.job_id,
-                                retry.attempt,
-                            );
-                            if !backoff.is_zero() {
-                                dftrace::counter_add("hts.backoff_retries", 1);
-                                dftrace::observe_duration("hts.backoff_us", backoff);
-                                std::thread::sleep(backoff);
-                            }
-                            let mut st = state.lock();
-                            // Liveness diagnostic: how many workers are
-                            // still alive to pick this retry up?
-                            let live = st.live_workers;
-                            st.min_live_at_retry =
-                                Some(st.min_live_at_retry.map_or(live, |m| m.min(live)));
-                            // Another job takes its place: push to the
-                            // back.
-                            st.queue.push_back(retry);
-                        } else {
+                // Pilot-style reuse: the worker runs the whole bundle
+                // back to back, then returns to the lanes for whatever
+                // class is next.
+                let dispatch_start = Instant::now();
+                for spec in bundle {
+                    let job_start = Instant::now();
+                    let result = runner(&spec);
+                    dftrace::observe_duration("hts.job_us", job_start.elapsed());
+                    match result {
+                        Ok(out) => {
+                            dftrace::counter_add("hts.jobs_completed", 1);
+                            // Journal-then-publish: the entry is fsynced
+                            // before the output becomes visible, so a
+                            // crash cannot acknowledge work it would
+                            // later forget.
                             if let Some(journal) = journal {
-                                let entry = ManifestEntry::Abandoned { spec: retry.clone() };
+                                let entry = ManifestEntry::Completed {
+                                    spec: spec.clone(),
+                                    summary: summarize(&out),
+                                };
                                 if journal.lock().append(&entry).is_err() {
                                     dftrace::counter_add("hts.checkpoint_append_failed", 1);
                                 }
                             }
-                            abandoned.lock().push(retry);
+                            outputs.lock().push(out);
+                            let mut st = state.lock();
+                            st.lanes[class.lane()].stats.completed += 1;
+                            st.in_flight -= 1;
+                            drop(st);
+                            work_cv.notify_all();
+                        }
+                        Err(JobError::NodeFailure { .. }) => {
+                            dftrace::counter_add("hts.jobs_failed", 1);
+                            failed_attempts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let mut retry = spec;
+                            retry.attempt += 1;
+                            if retry.attempt < sched.max_attempts {
+                                // Deterministic exponential backoff — but
+                                // the worker never sleeps it out. The
+                                // retry re-enters with a ready-at
+                                // deadline and this thread immediately
+                                // takes other work.
+                                let backoff = retry_backoff(
+                                    sched.base_backoff,
+                                    sched.max_backoff,
+                                    retry.job_id,
+                                    retry.attempt,
+                                );
+                                let mut st = state.lock();
+                                // Liveness diagnostic: how many workers
+                                // are still alive to pick this retry up?
+                                let live = st.live_workers;
+                                st.min_live_at_retry =
+                                    Some(st.min_live_at_retry.map_or(live, |m| m.min(live)));
+                                if backoff.is_zero() {
+                                    let lane = &mut st.lanes[retry.class.lane()];
+                                    lane.admitted.push_back(retry);
+                                    lane.note_occupancy();
+                                } else {
+                                    dftrace::counter_add("hts.backoff_retries", 1);
+                                    dftrace::observe_duration("hts.backoff_us", backoff);
+                                    st.delayed.push((Instant::now() + backoff, retry));
+                                }
+                                st.in_flight -= 1;
+                                drop(st);
+                                work_cv.notify_all();
+                            } else {
+                                if let Some(journal) = journal {
+                                    let entry = ManifestEntry::Abandoned { spec: retry.clone() };
+                                    if journal.lock().append(&entry).is_err() {
+                                        dftrace::counter_add("hts.checkpoint_append_failed", 1);
+                                    }
+                                }
+                                abandoned.lock().push(retry);
+                                let mut st = state.lock();
+                                st.in_flight -= 1;
+                                drop(st);
+                                work_cv.notify_all();
+                            }
                         }
                     }
                 }
                 let mut st = state.lock();
-                st.in_flight -= 1;
-                drop(st);
-                work_cv.notify_all();
+                st.lanes[class.lane()].stats.busy += dispatch_start.elapsed();
             });
         }
     })
@@ -336,12 +632,20 @@ where
     outputs.sort_by_key(|o| o.job_id);
     let mut abandoned = abandoned.into_inner();
     abandoned.sort_by_key(|s| s.job_id);
+    let lanes =
+        [state.lanes[0].stats, state.lanes[1].stats, state.lanes[2].stats, state.lanes[3].stats];
+    for l in &lanes {
+        if l.jobs_dispatched > 0 {
+            dftrace::gauge_set(l.class.occupancy_gauge(), l.peak_occupancy as f64);
+        }
+    }
     let report = CampaignReport {
         outputs,
         abandoned,
         failed_attempts: failed_attempts.into_inner(),
         jobs_resumed: 0,
         min_live_workers_at_retry: state.min_live_at_retry,
+        lanes,
         wall_time: start.elapsed(),
     };
     // Same rate implementation the Table 7 model uses (dftrace::rate), so
@@ -369,6 +673,10 @@ mod tests {
     }
 
     fn specs(n: u64, per_job: u64) -> Vec<JobSpec> {
+        class_specs(n, per_job, TaskClass::Dock)
+    }
+
+    fn class_specs(n: u64, per_job: u64, class: TaskClass) -> Vec<JobSpec> {
         (0..n)
             .map(|j| JobSpec {
                 job_id: j,
@@ -377,6 +685,7 @@ mod tests {
                 first_compound: j * per_job,
                 num_compounds: per_job,
                 campaign_seed: 4,
+                class,
                 attempt: 0,
             })
             .collect()
@@ -521,6 +830,7 @@ mod tests {
                 max_attempts: 3,
                 base_backoff: Duration::ZERO,
                 max_backoff: Duration::ZERO,
+                ..Default::default()
             },
             specs(2, 1),
             &runner,
@@ -558,6 +868,7 @@ mod tests {
                 max_attempts: 10,
                 base_backoff: Duration::ZERO,
                 max_backoff: Duration::ZERO,
+                ..Default::default()
             },
             specs(3, 1),
             &runner,
@@ -590,6 +901,25 @@ mod tests {
         assert_eq!(retry_backoff(Duration::ZERO, max, 1, 3), Duration::ZERO);
         // Huge attempt numbers saturate instead of overflowing.
         assert!(retry_backoff(base, max, 1, u32::MAX) <= max);
+    }
+
+    /// Attempt ≥ 21 plateaus: the exponential stops at 20 doublings and
+    /// every later attempt draws from the same jittered envelope.
+    #[test]
+    fn backoff_plateaus_after_twenty_doublings() {
+        // Uncapped: base << 20 = ~1049 s. Every attempt past the plateau
+        // must land in [0.5, 1.0] × that — never above it, never below
+        // half of it, and never zero.
+        let base = Duration::from_micros(1000);
+        let max = Duration::from_secs(1 << 20);
+        let plateau = base.saturating_mul(1 << 20);
+        for attempt in [21u32, 22, 100, 1000, u32::MAX] {
+            for job in 0..10u64 {
+                let d = retry_backoff(base, max, job, attempt);
+                assert!(d >= plateau.mul_f64(0.5), "attempt {attempt}: {d:?} below envelope");
+                assert!(d <= plateau, "attempt {attempt}: {d:?} above plateau");
+            }
+        }
     }
 
     #[test]
@@ -752,5 +1082,232 @@ mod tests {
         // The journaled specs carry the final attempt count.
         assert!(resumed.abandoned.iter().all(|s| s.attempt == 2));
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// Short filter-class jobs ride in multi-job bundles; every job still
+    /// completes exactly once.
+    #[test]
+    fn short_tasks_are_bundled_and_all_complete() {
+        let runner =
+            |spec: &JobSpec| -> Result<JobOutput, JobError> { Ok(stub_output(spec.job_id)) };
+        let report = run_campaign_with(
+            &SchedulerConfig {
+                max_parallel_jobs: 1,
+                bundle_max: 8,
+                bundle_cost_cap: 64.0,
+                ..Default::default()
+            },
+            class_specs(24, 16, TaskClass::Filter), // est_cost 16 each
+            &runner,
+        );
+        assert_eq!(report.outputs.len(), 24);
+        let lane = &report.lanes[TaskClass::Filter.lane()];
+        assert_eq!(lane.jobs_dispatched, 24);
+        assert_eq!(lane.completed, 24);
+        assert_eq!(lane.dispatches, 3, "24 short jobs in bundles of 8");
+        assert_eq!(lane.bundles, 3);
+        assert_eq!(lane.bundled_jobs, 24);
+        assert_eq!(report.dispatches(), 3);
+        assert_eq!(report.bundled_jobs(), 24);
+    }
+
+    /// Dock-class jobs cost more than the bundle cap, so each gets its
+    /// own dispatch — bundling never batches long tasks.
+    #[test]
+    fn bundling_respects_the_cost_cap() {
+        let runner =
+            |spec: &JobSpec| -> Result<JobOutput, JobError> { Ok(stub_output(spec.job_id)) };
+        let report = run_campaign_with(
+            &SchedulerConfig { max_parallel_jobs: 1, ..Default::default() },
+            specs(10, 1), // dock: est_cost 96 > default cap 64
+            &runner,
+        );
+        let lane = &report.lanes[TaskClass::Dock.lane()];
+        assert_eq!(lane.dispatches, 10, "one dispatch per dock job");
+        assert_eq!(lane.bundles, 0);
+        assert_eq!(report.bundled_jobs(), 0);
+    }
+
+    /// With one worker, the stride lanes interleave classes by dispatch
+    /// weight instead of draining one class FIFO-first: dock (weight 8)
+    /// gets 8 dispatches for every filter (weight 1) dispatch.
+    #[test]
+    fn lanes_share_dispatch_by_weighted_priority() {
+        let order: Mutex<Vec<TaskClass>> = Mutex::new(Vec::new());
+        let runner = |spec: &JobSpec| -> Result<JobOutput, JobError> {
+            order.lock().push(spec.class);
+            Ok(stub_output(spec.job_id))
+        };
+        let mut all = class_specs(3, 1, TaskClass::Filter);
+        let mut docks = class_specs(24, 1, TaskClass::Dock);
+        for (i, d) in docks.iter_mut().enumerate() {
+            d.job_id = 100 + i as u64; // ids must be unique across lanes
+        }
+        all.extend(docks);
+        let report = run_campaign_with(
+            &SchedulerConfig {
+                max_parallel_jobs: 1,
+                bundle_max: 1, // one job per dispatch → order is legible
+                ..Default::default()
+            },
+            all,
+            &runner,
+        );
+        assert_eq!(report.outputs.len(), 27);
+        let order = order.into_inner();
+        // Filter's stride is 8× dock's: between consecutive filter
+        // dispatches the scheduler issues ~8 dock dispatches, so the
+        // filter lane neither starves nor swamps the dock lane.
+        let filter_pos: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == TaskClass::Filter)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(filter_pos.len(), 3);
+        for w in filter_pos.windows(2) {
+            let gap = w[1] - w[0];
+            assert!(
+                (7..=9).contains(&gap),
+                "filter dispatches should be ~8 apart, got gap {gap} in {order:?}"
+            );
+        }
+    }
+
+    /// `lane_capacity` bounds the admitted queue: a flood of dock jobs
+    /// stages in the backlog and the lane's peak occupancy stays at the
+    /// bound.
+    #[test]
+    fn lane_capacity_bounds_admitted_occupancy() {
+        let runner =
+            |spec: &JobSpec| -> Result<JobOutput, JobError> { Ok(stub_output(spec.job_id)) };
+        let report = run_campaign_with(
+            &SchedulerConfig { max_parallel_jobs: 2, lane_capacity: 4, ..Default::default() },
+            specs(40, 1),
+            &runner,
+        );
+        assert_eq!(report.outputs.len(), 40, "backpressure must not lose jobs");
+        let lane = &report.lanes[TaskClass::Dock.lane()];
+        assert!(
+            lane.peak_occupancy <= 4,
+            "admitted dock queue peaked at {} > capacity 4",
+            lane.peak_occupancy
+        );
+    }
+
+    /// The backoff fix: a failed attempt's backoff must not hold its
+    /// worker slot. With ONE worker, job 0 fails and backs off ~80 ms;
+    /// jobs 1 and 2 must run during that window, not after it.
+    #[test]
+    fn retries_wait_out_backoff_without_holding_a_worker() {
+        let order: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let runner = |spec: &JobSpec| -> Result<JobOutput, JobError> {
+            order.lock().push(spec.job_id);
+            if spec.job_id == 0 && spec.attempt == 0 {
+                Err(JobError::NodeFailure { job_id: 0, node: 0 })
+            } else {
+                Ok(stub_output(spec.job_id))
+            }
+        };
+        let start = Instant::now();
+        let report = run_campaign_with(
+            &SchedulerConfig {
+                max_parallel_jobs: 1,
+                max_attempts: 3,
+                base_backoff: Duration::from_millis(80),
+                max_backoff: Duration::from_millis(80),
+                ..Default::default()
+            },
+            specs(3, 1),
+            &runner,
+        );
+        let wall = start.elapsed();
+        assert_eq!(report.outputs.len(), 3);
+        assert_eq!(report.failed_attempts, 1);
+        let order = order.into_inner();
+        assert_eq!(
+            order,
+            vec![0, 1, 2, 0],
+            "jobs 1 and 2 must run while job 0 waits out its backoff"
+        );
+        // The whole campaign is one backoff window plus epsilon — the old
+        // sleep-on-worker behaviour would have been fine here too (1
+        // worker), but the order assertion above is what pins the fix;
+        // the wall bound just catches pathological over-waiting.
+        assert!(wall < Duration::from_millis(2000), "campaign took {wall:?}");
+    }
+
+    /// A heterogeneous campaign (all four classes, bundling and
+    /// backpressure on) resumed from a torn manifest is bit-identical to
+    /// its uninterrupted twin.
+    #[test]
+    fn heterogeneous_campaign_resumes_bit_identically() {
+        let clean_dir = tmpdir("het_clean");
+        let crash_dir = tmpdir("het_crash");
+        let sched = SchedulerConfig {
+            max_parallel_jobs: 2,
+            max_attempts: 4,
+            lane_capacity: 3,
+            ..Default::default()
+        };
+        let faults = FaultConfig { p_node_failure: 0.2, seed: 17, ..Default::default() };
+        let source = SyntheticPoseSource { poses_per_compound: 2 };
+        let mixed = || -> Vec<JobSpec> {
+            (0..12u64)
+                .map(|j| JobSpec {
+                    job_id: j,
+                    target: TargetSite::ALL[(j % 4) as usize],
+                    library: Library::EnamineVirtual,
+                    first_compound: j * 8,
+                    num_compounds: 4 + j % 3,
+                    campaign_seed: 4,
+                    class: TaskClass::ALL[(j % 4) as usize],
+                    attempt: 0,
+                })
+                .collect()
+        };
+
+        let clean = run_campaign(
+            &sched,
+            &job_cfg(clean_dir.clone(), faults),
+            mixed(),
+            &VinaScorerFactory,
+            &source,
+        );
+        assert_eq!(clean.outputs.len(), 12);
+
+        // Journal the first 5 jobs as a crashed driver would have, torn
+        // tail included, then resume the full campaign.
+        let crash_cfg = job_cfg(crash_dir.clone(), faults);
+        let manifest = crash_dir.join("campaign.dfcp");
+        {
+            let mut w = CheckpointWriter::create(&manifest).unwrap();
+            for spec in mixed().into_iter().take(5) {
+                let mut spec = spec;
+                let out = loop {
+                    match run_job(&crash_cfg, &spec, &VinaScorerFactory, &source) {
+                        Ok(out) => break out,
+                        Err(_) => spec.attempt += 1,
+                    }
+                };
+                w.append(&ManifestEntry::Completed { spec, summary: summarize(&out) }).unwrap();
+            }
+            drop(w);
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&manifest).unwrap();
+            f.write_all(&64u32.to_le_bytes()).unwrap();
+            f.write_all(b"torn").unwrap();
+        }
+        let resumed =
+            resume_campaign(&sched, &crash_cfg, mixed(), &VinaScorerFactory, &source, &manifest)
+                .unwrap();
+        assert_eq!(resumed.jobs_resumed, 5);
+        assert_eq!(resumed.outputs.len(), 12);
+        for (a, b) in clean.outputs.iter().zip(&resumed.outputs) {
+            assert_eq!(a.job_id, b.job_id);
+            assert_eq!(a.records, b.records, "job {} records differ", a.job_id);
+        }
+        std::fs::remove_dir_all(clean_dir).ok();
+        std::fs::remove_dir_all(crash_dir).ok();
     }
 }

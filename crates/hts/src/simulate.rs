@@ -13,6 +13,7 @@
 //! reschedule counts).
 
 use crate::fault::FaultInjector;
+use crate::job::TaskClass;
 use crate::throughput::LassenModel;
 use dftensor::rng::{derive_seed, normal_with, rng};
 use serde::{Deserialize, Serialize};
@@ -49,6 +50,14 @@ pub struct CampaignSim {
     /// ([`crate::scheduler::retry_backoff`], capped at 16× the base).
     /// Zero re-queues immediately (the pre-backoff behaviour).
     pub retry_backoff_hours: f64,
+    /// Relative weights for drawing each job's [`TaskClass`], in
+    /// [`TaskClass::ALL`] order (filter, surrogate, dock, rescore). A
+    /// job's duration scales by its class cost relative to dock, and its
+    /// node-failure probability by the class's failure exposure. All
+    /// zeros — which is also what a serialized pre-class `CampaignSim`
+    /// decodes to — means every job is dock-class: the homogeneous
+    /// campaigns of earlier revisions, bit for bit.
+    pub class_mix: [f64; 4],
     /// Seed of the jitter/failure stream.
     pub seed: u64,
 }
@@ -71,8 +80,34 @@ impl CampaignSim {
             p_job_failure: 0.03,
             // ≈3 min before a failed job re-enters the LSF queue.
             retry_backoff_hours: 0.05,
+            class_mix: [0.0; 4],
             seed: 0,
         }
+    }
+
+    /// The paper's shape extended to the heterogeneous funnel: most jobs
+    /// are cheap ligand filters, a band of surrogate scorers, the dock
+    /// core, and a fusion-rescore tail (the Clyde et al. funnel mix).
+    pub fn heterogeneous_shape() -> CampaignSim {
+        CampaignSim { class_mix: [0.55, 0.15, 0.20, 0.10], ..CampaignSim::paper_shape() }
+    }
+
+    /// Draws `job_id`'s class from `class_mix`, deterministically in the
+    /// campaign seed. An all-zero mix is dock-only.
+    pub fn class_of(&self, job_id: u64) -> TaskClass {
+        let total: f64 = self.class_mix.iter().sum();
+        if total <= 0.0 {
+            return TaskClass::Dock;
+        }
+        let h = derive_seed(derive_seed(self.seed, 0xC1A55), job_id);
+        let mut u = ((h >> 11) as f64 / (1u64 << 53) as f64) * total;
+        for (i, &w) in self.class_mix.iter().enumerate() {
+            u -= w;
+            if u < 0.0 {
+                return TaskClass::ALL[i];
+            }
+        }
+        TaskClass::Rescore
     }
 
     fn nodes_at(&self, t_hours: f64) -> usize {
@@ -115,6 +150,8 @@ pub struct CampaignSimReport {
     pub peak_poses_per_sec: f64,
     /// Utilization: fraction of allotted job slots that were busy.
     pub slot_utilization: f64,
+    /// Completed jobs per [`TaskClass`], in [`TaskClass::ALL`] order.
+    pub per_class_jobs: [u64; 4],
 }
 
 #[derive(Debug, PartialEq)]
@@ -161,6 +198,7 @@ pub fn simulate_campaign(sim: &CampaignSim) -> CampaignSimReport {
     let mut completed_poses: u64 = 0;
     let mut jobs_completed: u64 = 0;
     let mut jobs_rescheduled: u64 = 0;
+    let mut per_class_jobs = [0u64; 4];
     let mut busy_slot_hours = 0.0f64;
     let mut allotted_slot_hours = 0.0f64;
     let mut hourly: Vec<u64> = Vec::new(); // poses completed per wall hour
@@ -171,11 +209,18 @@ pub fn simulate_campaign(sim: &CampaignSim) -> CampaignSimReport {
                   running: &mut BinaryHeap<Reverse<Completion>>,
                   duration_rng: &mut rand::rngs::StdRng| {
         let attempt = *attempts.entry(job_id).or_insert(0);
-        let failed = (0..model.nodes_per_job).any(|n| injector.node_fails(job_id, attempt, n));
+        // Class heterogeneity: duration scales with the class's cost
+        // relative to dock, node failures with its exposure. For
+        // dock-class jobs both factors are exactly 1.0, reproducing the
+        // homogeneous simulation bit for bit.
+        let class = sim.class_of(job_id);
+        let cost_scale = class.cost_weight() / TaskClass::Dock.cost_weight();
+        let failed = (0..model.nodes_per_job)
+            .any(|n| injector.node_fails_scaled(job_id, attempt, n, class.failure_exposure()));
         let jitter = 1.0 + normal_with(duration_rng, 0.0, sim.duration_jitter);
         // Failed attempts die partway through evaluation.
         let frac = if failed { 0.4 } else { 1.0 };
-        let dur = (nominal_hours * jitter.max(0.2) * frac).max(0.05);
+        let dur = (nominal_hours * cost_scale * jitter.max(0.2) * frac).max(0.05);
         running.push(Reverse(Completion {
             t: t + dur,
             job_id,
@@ -282,6 +327,7 @@ pub fn simulate_campaign(sim: &CampaignSim) -> CampaignSimReport {
             } else {
                 completed_poses += done.poses;
                 jobs_completed += 1;
+                per_class_jobs[sim.class_of(done.job_id).lane()] += 1;
                 let hour = t.floor() as usize;
                 if hourly.len() <= hour {
                     hourly.resize(hour + 1, 0);
@@ -305,6 +351,7 @@ pub fn simulate_campaign(sim: &CampaignSim) -> CampaignSimReport {
         } else {
             0.0
         },
+        per_class_jobs,
     }
 }
 
@@ -321,6 +368,7 @@ mod tests {
             p_job_failure: 0.0,
             seed: 1,
             retry_backoff_hours: 0.0,
+            class_mix: [0.0; 4],
         }
     }
 
@@ -415,5 +463,52 @@ mod tests {
         let b = simulate_campaign(&sim);
         assert_eq!(a.wall_hours, b.wall_hours);
         assert_eq!(a.jobs_rescheduled, b.jobs_rescheduled);
+    }
+
+    /// An explicit dock-only mix must reproduce the zero-mix (legacy
+    /// homogeneous) simulation bit for bit.
+    #[test]
+    fn dock_only_mix_is_bit_identical_to_homogeneous() {
+        let mut legacy = small_sim(40, 100_000_000);
+        legacy.p_job_failure = 0.25;
+        legacy.duration_jitter = 0.1;
+        let mut dock_only = legacy.clone();
+        dock_only.class_mix = [0.0, 0.0, 1.0, 0.0];
+        let a = simulate_campaign(&legacy);
+        let b = simulate_campaign(&dock_only);
+        assert_eq!(a.wall_hours, b.wall_hours);
+        assert_eq!(a.jobs_rescheduled, b.jobs_rescheduled);
+        assert_eq!(a.per_class_jobs, b.per_class_jobs);
+        assert_eq!(a.per_class_jobs, [0, 0, a.jobs_completed, 0]);
+    }
+
+    #[test]
+    fn heterogeneous_mix_populates_every_class() {
+        let mut sim = small_sim(40, 400_000_000);
+        sim.class_mix = [0.4, 0.2, 0.2, 0.2];
+        let r = simulate_campaign(&sim);
+        assert_eq!(r.total_poses, 400_000_000, "heterogeneity never drops work");
+        assert!(r.per_class_jobs.iter().all(|&n| n > 0), "{:?}", r.per_class_jobs);
+        assert_eq!(r.per_class_jobs.iter().sum::<u64>(), r.jobs_completed);
+        // Class draws are deterministic in the seed.
+        assert_eq!(sim.class_of(7), sim.class_of(7));
+        // Cheap classes finish faster, so the mixed campaign cannot be
+        // slower than an all-dock one over the same job count.
+        let dock = simulate_campaign(&small_sim(40, 400_000_000));
+        assert!(r.wall_hours <= dock.wall_hours + 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_shape_runs_to_completion() {
+        let mut sim = CampaignSim::heterogeneous_shape();
+        sim.total_poses /= 20;
+        let r = simulate_campaign(&sim);
+        assert_eq!(r.total_poses, sim.total_poses);
+        // The mix is mostly sub-dock classes: the funnel must complete
+        // faster than the all-dock paper shape at the same pose count.
+        let mut paper = CampaignSim::paper_shape();
+        paper.total_poses /= 20;
+        let p = simulate_campaign(&paper);
+        assert!(r.wall_hours < p.wall_hours, "het {} !< dock {}", r.wall_hours, p.wall_hours);
     }
 }

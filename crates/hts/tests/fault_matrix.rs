@@ -19,7 +19,7 @@ use dfchem::pocket::TargetSite;
 use dfhts::checkpoint::summarize;
 use dfhts::{
     read_dir, resume_campaign, run_campaign, run_job, CheckpointWriter, FaultConfig, JobConfig,
-    JobSpec, ManifestEntry, SchedulerConfig, SyntheticPoseSource, VinaScorerFactory,
+    JobSpec, ManifestEntry, SchedulerConfig, SyntheticPoseSource, TaskClass, VinaScorerFactory,
 };
 use std::path::PathBuf;
 
@@ -45,6 +45,26 @@ fn specs(n: u64, per_job: u64) -> Vec<JobSpec> {
             first_compound: j * per_job,
             num_compounds: per_job,
             campaign_seed: 77,
+            class: TaskClass::Dock,
+            attempt: 0,
+        })
+        .collect()
+}
+
+/// A funnel-shaped spec mix: classes cycle through [`TaskClass::ALL`],
+/// targets round-robin, and job sizes vary so lanes drain at different
+/// rates (filter jobs bundle under the default cost cap; dock jobs get
+/// dedicated dispatches and full failure exposure).
+fn mixed_specs(n: u64, per_job: u64) -> Vec<JobSpec> {
+    (0..n)
+        .map(|j| JobSpec {
+            job_id: j,
+            target: TargetSite::ALL[(j % TargetSite::ALL.len() as u64) as usize],
+            library: Library::EnamineVirtual,
+            first_compound: j * (per_job + 2),
+            num_compounds: per_job + j % 3,
+            campaign_seed: 77,
+            class: TaskClass::ALL[(j % TaskClass::ALL.len() as u64) as usize],
             attempt: 0,
         })
         .collect()
@@ -149,6 +169,132 @@ fn noisy_campaigns_survive_crash_and_resume_across_seeds() {
             &sched,
             &crash_cfg,
             specs(JOBS, PER_JOB),
+            &VinaScorerFactory,
+            &source,
+            &manifest,
+        )
+        .unwrap();
+        assert_eq!(again.jobs_resumed, resumed.outputs.len() + resumed.abandoned.len());
+        assert_eq!(again.failed_attempts, 0, "seed {seed}: nothing should re-run");
+        for (a, b) in clean.outputs.iter().zip(&again.outputs) {
+            assert_eq!(a.records, b.records, "seed {seed} second resume diverged");
+        }
+
+        for d in [&clean_dir, &crash_dir] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+}
+
+/// The heterogeneous leg of the matrix: a multi-class campaign — class
+/// lanes, bundled filter jobs, bounded lane occupancy, class-scaled
+/// failure exposure — is killed mid-run and must resume bit-identically
+/// through the same checkpoint machinery as the dock-only sweep.
+#[test]
+fn heterogeneous_campaigns_survive_crash_and_resume_across_seeds() {
+    if !enabled() {
+        eprintln!("skipping: set DFHTS_FAULT_MATRIX=1 to run the fault matrix");
+        return;
+    }
+    let sched = SchedulerConfig {
+        max_parallel_jobs: 3,
+        max_attempts: 6,
+        lane_capacity: 2,
+        ..Default::default()
+    };
+    let source = SyntheticPoseSource { poses_per_compound: 2 };
+    const JOBS: u64 = 12;
+    const PER_JOB: u64 = 6;
+
+    for seed in [3u64, 19, 58] {
+        let faults = FaultConfig::noisy(seed);
+
+        // Uninterrupted reference campaign over the mixed spec set.
+        let clean_dir = tmpdir(&format!("het_clean_{seed}"));
+        let clean = run_campaign(
+            &sched,
+            &job_cfg(clean_dir.clone(), faults),
+            mixed_specs(JOBS, PER_JOB),
+            &VinaScorerFactory,
+            &source,
+        );
+        assert_eq!(clean.outputs.len() + clean.abandoned.len(), JOBS as usize, "seed {seed}");
+        // Every class lane must have carried work.
+        for lane in &clean.lanes {
+            assert!(
+                lane.jobs_dispatched > 0,
+                "seed {seed}: class {:?} never dispatched",
+                lane.class
+            );
+            assert!(
+                lane.peak_occupancy <= sched.lane_capacity + sched.max_attempts as usize,
+                "seed {seed}: class {:?} occupancy {} breaks the backpressure bound",
+                lane.class,
+                lane.peak_occupancy
+            );
+        }
+        assert_no_staging_leftovers(&clean_dir);
+
+        // The driver journals the first four jobs' terminal events (one
+        // per class), then dies mid-append.
+        let crash_dir = tmpdir(&format!("het_crash_{seed}"));
+        let crash_cfg = job_cfg(crash_dir.clone(), faults);
+        let manifest = crash_dir.join("campaign.dfcp");
+        {
+            let mut w = CheckpointWriter::create(&manifest).unwrap();
+            for spec in mixed_specs(4, PER_JOB) {
+                let mut spec = spec;
+                let entry = loop {
+                    match run_job(&crash_cfg, &spec, &VinaScorerFactory, &source) {
+                        Ok(out) => {
+                            break ManifestEntry::Completed { spec, summary: summarize(&out) }
+                        }
+                        Err(_) if spec.attempt + 1 < sched.max_attempts => spec.attempt += 1,
+                        Err(_) => break ManifestEntry::Abandoned { spec },
+                    }
+                };
+                w.append(&entry).unwrap();
+            }
+            drop(w);
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&manifest).unwrap();
+            f.write_all(&64u32.to_le_bytes()).unwrap();
+            f.write_all(b"driver died here").unwrap();
+        }
+
+        let resumed = resume_campaign(
+            &sched,
+            &crash_cfg,
+            mixed_specs(JOBS, PER_JOB),
+            &VinaScorerFactory,
+            &source,
+            &manifest,
+        )
+        .unwrap();
+        assert_no_staging_leftovers(&crash_dir);
+
+        // Bit-identical to the uninterrupted run, class tags included.
+        assert_eq!(clean.outputs.len(), resumed.outputs.len(), "seed {seed}");
+        assert_eq!(clean.abandoned, resumed.abandoned, "seed {seed}");
+        for (a, b) in clean.outputs.iter().zip(&resumed.outputs) {
+            assert_eq!(a.job_id, b.job_id, "seed {seed}");
+            assert_eq!(a.records, b.records, "seed {seed} job {} records differ", a.job_id);
+            assert_eq!(a.faults, b.faults, "seed {seed} job {} fault log differs", a.job_id);
+        }
+        let mut on_disk_clean = read_dir(&clean_dir).unwrap();
+        let mut on_disk_crash = read_dir(&crash_dir).unwrap();
+        let key = |r: &dfhts::ScoreRecord| (r.compound.index, r.pose_rank);
+        on_disk_clean.sort_by_key(key);
+        on_disk_crash.sort_by_key(key);
+        assert_eq!(on_disk_clean, on_disk_crash, "seed {seed} on-disk records differ");
+
+        // A second resume restores all twelve jobs from the journal and
+        // re-runs nothing — the class tags round-tripped through the
+        // manifest.
+        let again = resume_campaign(
+            &sched,
+            &crash_cfg,
+            mixed_specs(JOBS, PER_JOB),
             &VinaScorerFactory,
             &source,
             &manifest,

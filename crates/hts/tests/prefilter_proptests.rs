@@ -1,0 +1,133 @@
+//! Property tests for the prefilter→dock seam.
+//!
+//! [`PrefilterOutcome::selection_ranges`] bridges the ranked shortlist to
+//! contiguous job ranges, so the whole campaign's correctness rests on
+//! its cover properties: every selected compound lands in exactly one
+//! range, ranges never overlap or leave the selection, and the
+//! `max_compounds_per_job` cap splits dense runs into balanced pieces
+//! instead of a mega-job plus stragglers. The unit tests pin handpicked
+//! shapes; these tests sweep arbitrary shortlists.
+
+use dfchem::screen::{FunnelStats, RankedCompound};
+use dfchem::RejectionTally;
+use dfhts::{PrefilterOutcome, TaskClass};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn outcome(indices: &BTreeSet<u64>) -> PrefilterOutcome {
+    PrefilterOutcome {
+        funnel: FunnelStats::default(),
+        tally: RejectionTally { evaluated: 0, passed: 0, rejected: 0, per_rule: Vec::new() },
+        shortlist: indices.iter().map(|&index| RankedCompound { index, score: -1.0 }).collect(),
+    }
+}
+
+/// The maximal contiguous runs of a sorted index set (the uncapped
+/// ground truth, recomputed independently of the implementation).
+fn runs(indices: &BTreeSet<u64>) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for &i in indices {
+        match out.last_mut() {
+            Some((first, len)) if *first + *len == i => *len += 1,
+            _ => out.push((i, 1)),
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Capped or not, the ranges are ascending, disjoint, within the cap,
+    /// and cover every selected index exactly once without spilling onto
+    /// unselected ones.
+    #[test]
+    fn ranges_exactly_cover_the_selection(
+        raw in proptest::collection::vec(0u64..2_000, 0..250),
+        cap in 0u64..=40,
+    ) {
+        let indices: BTreeSet<u64> = raw.into_iter().collect();
+        let ranges = outcome(&indices).selection_ranges(cap);
+
+        let mut covered = BTreeSet::new();
+        let mut prev_end: Option<u64> = None;
+        for &(first, len) in &ranges {
+            prop_assert!(len > 0, "empty range ({first}, {len})");
+            if cap > 0 {
+                prop_assert!(len <= cap, "range ({first}, {len}) exceeds cap {cap}");
+            }
+            if let Some(end) = prev_end {
+                prop_assert!(first >= end, "range ({first}, {len}) overlaps or regresses");
+            }
+            prev_end = Some(first + len);
+            for i in first..first + len {
+                prop_assert!(indices.contains(&i), "range covers unselected index {i}");
+                prop_assert!(covered.insert(i), "index {i} covered twice");
+            }
+        }
+        prop_assert_eq!(covered, indices);
+    }
+
+    /// Uncapped ranges are exactly the maximal runs (adjacent selections
+    /// merge; gaps split), and capping only ever subdivides those runs
+    /// into balanced, length-preserving pieces: `ceil(len/cap)` pieces
+    /// whose lengths differ by at most one.
+    #[test]
+    fn capping_subdivides_maximal_runs_into_balanced_pieces(
+        raw in proptest::collection::vec(0u64..500, 0..250),
+        cap in 1u64..=17,
+    ) {
+        let indices: BTreeSet<u64> = raw.into_iter().collect();
+        let out = outcome(&indices);
+        prop_assert_eq!(out.selection_ranges(0), runs(&indices));
+
+        let capped = out.selection_ranges(cap);
+        let mut pieces = capped.iter().copied().peekable();
+        for (first, len) in runs(&indices) {
+            let want_pieces = len.div_ceil(cap);
+            let (mut lo, mut hi, mut got, mut off) = (u64::MAX, 0u64, 0u64, 0u64);
+            while let Some(&(pf, pl)) = pieces.peek() {
+                if pf != first + off || off >= len {
+                    break;
+                }
+                prop_assert!(off + pl <= len, "piece ({pf}, {pl}) spills past its run");
+                lo = lo.min(pl);
+                hi = hi.max(pl);
+                got += 1;
+                off += pl;
+                pieces.next();
+            }
+            prop_assert_eq!(off, len, "run ({first}, {len}) not length-preserved");
+            prop_assert_eq!(got, want_pieces, "run ({first}, {len}) at cap {cap}");
+            prop_assert!(hi - lo <= 1, "unbalanced pieces {lo}..{hi} for run ({first}, {len})");
+        }
+        prop_assert!(pieces.next().is_none(), "leftover pieces beyond the runs");
+    }
+
+    /// `job_specs` inherits the cover: specs tile the capped ranges in
+    /// order, dock-class, round-robin over targets, sequential ids.
+    #[test]
+    fn job_specs_tile_the_ranges(
+        raw in proptest::collection::vec(0u64..1_000, 1..200),
+        cap in 1u64..=32,
+        first_id in 0u64..1_000,
+    ) {
+        use dfchem::genmol::Library;
+        use dfchem::pocket::TargetSite;
+        let indices: BTreeSet<u64> = raw.into_iter().collect();
+        let out = outcome(&indices);
+        let ranges = out.selection_ranges(cap);
+        let specs = out.job_specs(&TargetSite::ALL, Library::Chembl, 7, first_id, cap);
+        prop_assert_eq!(specs.len(), ranges.len());
+        for (i, (spec, &(first, len))) in specs.iter().zip(&ranges).enumerate() {
+            prop_assert_eq!(spec.job_id, first_id + i as u64);
+            prop_assert_eq!(spec.first_compound, first);
+            prop_assert_eq!(spec.num_compounds, len);
+            prop_assert_eq!(spec.class, TaskClass::Dock);
+            prop_assert_eq!(spec.target, TargetSite::ALL[i % TargetSite::ALL.len()]);
+            prop_assert_eq!(spec.attempt, 0);
+        }
+        let total: u64 = specs.iter().map(|s| s.num_compounds).sum();
+        prop_assert_eq!(total, indices.len() as u64);
+    }
+}

@@ -86,7 +86,7 @@ fn main() {
     println!("\n== Campaign prefilter ==");
     let pre = PrefilterConfig::new(Library::Chembl, 20_000, seed, 256);
     let picked = run_prefilter(&pre);
-    let ranges = picked.selection_ranges();
+    let ranges = picked.selection_ranges(100); // split dense runs at 100 compounds/job
     println!(
         "  {} evaluated -> {} selected ({:.2}% of the library), {} contiguous job ranges",
         picked.funnel.evaluated,
@@ -101,6 +101,7 @@ fn main() {
         first_compound: ranges[0].0,
         num_compounds: ranges[0].1,
         campaign_seed: seed,
+        class: TaskClass::Dock,
         attempt: 0,
     };
     println!(

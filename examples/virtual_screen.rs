@@ -45,6 +45,7 @@ fn main() {
         first_compound: 0,
         num_compounds: 400,
         campaign_seed: seed,
+        class: TaskClass::Dock,
         attempt: 0,
     };
     let out = run_job(
@@ -78,33 +79,21 @@ fn main() {
         pre.shortlist.len(),
         100.0 * pre.reduction()
     );
-    let ranges = pre.selection_ranges();
-    println!("  shortlist coalesces into {} contiguous JobSpec ranges\n", ranges.len());
+    let ranges = pre.selection_ranges(100);
+    println!(
+        "  shortlist splits into {} JobSpec ranges (balanced, \u{2264}100 compounds)\n",
+        ranges.len()
+    );
 
     // Many jobs under the fault-tolerant scheduler, built from the
     // prefilter's ranges: each job docks one contiguous shortlist run
-    // (capped at 100 compounds), round-robin over the four pockets.
+    // (split at 100 compounds into balanced pieces), round-robin over
+    // the four pockets.
     println!("== Fault-tolerant campaign (prefiltered jobs, node failures on) ==");
     std::fs::remove_dir_all(&out_dir).ok();
     std::fs::create_dir_all(&out_dir).ok();
     let noisy = JobConfig { faults: FaultConfig::noisy(seed), ..job_cfg.clone() };
-    let mut specs: Vec<JobSpec> = Vec::new();
-    for &(first, len) in &ranges {
-        let mut off = 0;
-        while off < len {
-            let n = (len - off).min(100);
-            specs.push(JobSpec {
-                job_id: specs.len() as u64,
-                target: TargetSite::ALL[specs.len() % 4],
-                library: Library::EnamineVirtual,
-                first_compound: first + off,
-                num_compounds: n,
-                campaign_seed: seed,
-                attempt: 0,
-            });
-            off += n;
-        }
-    }
+    let mut specs = pre.job_specs(&TargetSite::ALL, Library::EnamineVirtual, seed, 0, 100);
     specs.truncate(12); // keep the example quick; a campaign would dock all of them
     println!("  {} jobs over {} shortlist ranges", specs.len(), ranges.len());
     let report = run_screening_campaign(

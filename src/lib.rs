@@ -67,9 +67,10 @@
 //! let prefilter = PrefilterConfig::new(Library::Chembl, 300, 42, 24);
 //! let picked = run_prefilter(&prefilter);
 //! assert!(picked.shortlist.len() <= 24);
-//! let ranges = picked.selection_ranges();
+//! let ranges = picked.selection_ranges(8); // split dense runs at 8 compounds/job
 //! let covered: u64 = ranges.iter().map(|&(_, n)| n).sum();
 //! assert_eq!(covered, picked.shortlist.len() as u64);
+//! assert!(ranges.iter().all(|&(_, n)| n <= 8));
 //!
 //! // 4. Fingerprints support similarity triage directly.
 //! let a = Compound::materialize(Library::Chembl, picked.shortlist[0].index, 42);
@@ -117,9 +118,10 @@ pub mod prelude {
     };
     pub use dfhpo::{Pb2, Pb2Config, Pbt, Space};
     pub use dfhts::{
-        run_campaign as run_screening_campaign, run_job, run_prefilter, simulate_campaign,
-        CampaignSim, FaultConfig, FusionScorerFactory, JobConfig, JobSpec, LassenModel,
-        PrefilterConfig, SchedulerConfig, ScorerFactory, SyntheticPoseSource,
+        run_campaign as run_screening_campaign, run_campaign_with, run_job, run_prefilter,
+        simulate_campaign, CampaignSim, FaultConfig, FusionScorerFactory, JobConfig, JobSpec,
+        LassenModel, PrefilterConfig, SchedulerConfig, ScorerFactory, SyntheticPoseSource,
+        TaskClass,
     };
     pub use dfmetrics::{PrCurve, RegressionReport};
 }

@@ -33,6 +33,7 @@ fn trained_fusion_model_drives_a_screening_job() {
         first_compound: 0,
         num_compounds: 6,
         campaign_seed: 31,
+        class: TaskClass::Dock,
         attempt: 0,
     };
     let out = run_job(&job_cfg, &spec, &fusion, &SyntheticPoseSource { poses_per_compound: 2 })

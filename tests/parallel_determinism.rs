@@ -13,7 +13,7 @@ use dfchem::mol::Molecule;
 use dfchem::pocket::{BindingPocket, TargetSite};
 use dfdock::search::{dock, DockConfig};
 use dfhts::h5lite::ScoreRecord;
-use dfhts::job::{run_job, JobConfig, JobSpec, SyntheticPoseSource};
+use dfhts::job::{run_job, JobConfig, JobSpec, SyntheticPoseSource, TaskClass};
 use dfhts::scorer::{FusionScorerFactory, ScorerFactory, VinaScorerFactory};
 use dfpool::Pool;
 use dftensor::params::ParamStore;
@@ -172,6 +172,7 @@ fn evaluation_jobs_are_bit_identical_across_thread_counts() {
         first_compound: 0,
         num_compounds: 10,
         campaign_seed: 5,
+        class: TaskClass::Dock,
         attempt: 0,
     };
     assert_thread_invariant("run_job", || {

@@ -272,6 +272,12 @@ impl<T: Deserialize> Deserialize for Vec<T> {
 
 impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
     fn from_value(v: &Value) -> Result<Self, DeError> {
+        // A struct field absent from the serialized map surfaces as Null;
+        // decode it as the all-default array so structs can grow
+        // fixed-size fields without invalidating previously written data.
+        if matches!(v, Value::Null) {
+            return Ok([T::default(); N]);
+        }
         let items = Vec::<T>::from_value(v)?;
         if items.len() != N {
             return Err(DeError::custom(format!(
