@@ -61,6 +61,7 @@ impl Latency {
 struct TierCounts {
     full: u64,
     sg_head: u64,
+    surrogate: u64,
     vina: u64,
     ligand_only: u64,
 }
@@ -142,8 +143,9 @@ fn run_profile(
         per_tier: TierCounts {
             full: stats.per_tier[0],
             sg_head: stats.per_tier[1],
-            vina: stats.per_tier[2],
-            ligand_only: stats.per_tier[3],
+            surrogate: stats.per_tier[2],
+            vina: stats.per_tier[3],
+            ligand_only: stats.per_tier[4],
         },
         batches: stats.batches,
         mean_batch_size: hist_batch.map(|h| h.mean_us()).unwrap_or(0.0),
@@ -153,7 +155,7 @@ fn run_profile(
     };
     eprintln!(
         "  {name}: {} issued, {} completed, shed rate {:.3}, {:.0} scores/vsec, \
-         e2e p95 {} vµs, tiers full/sg/vina/ligand = {}/{}/{}/{}",
+         e2e p95 {} vµs, tiers full/sg/surrogate/vina/ligand = {}/{}/{}/{}/{}",
         report.issued,
         report.completed,
         report.shed_rate,
@@ -161,6 +163,7 @@ fn run_profile(
         report.e2e.p95_vus,
         report.per_tier.full,
         report.per_tier.sg_head,
+        report.per_tier.surrogate,
         report.per_tier.vina,
         report.per_tier.ligand_only,
     );
@@ -267,6 +270,10 @@ fn main() {
         let overload = &parsed.profiles[1];
         assert!(overload.shed > 0, "overload profile must exercise shedding");
         assert!(overload.per_tier.sg_head > 0 && overload.per_tier.vina > 0);
+        assert!(
+            overload.per_tier.surrogate > 0,
+            "overload must engage the surrogate tier between sg_head and vina"
+        );
         assert!(
             overload.per_tier.ligand_only > 0,
             "overload must push the ladder down to the ligand-only tier"

@@ -1,0 +1,391 @@
+//! Active-learning surrogate benchmark, as JSON.
+//!
+//! Quantifies what the `dfsurrogate` funnel tier buys: an active-learning
+//! campaign ([`dfhts::active`]) that docks only a 10% budget of the
+//! library must still recover the true top binders that exhaustive
+//! docking finds. Writes `BENCH_surrogate.json` at the repo root:
+//!
+//! * **ground truth** — every compound docked through the real job
+//!   machinery (`run_campaign`, Vina scoring over synthetic poses); the
+//!   true top 1% are the "actives";
+//! * **active learning** — a multi-epoch surrogate campaign at a total
+//!   10% docking budget: enrichment factor of the final ranking at the
+//!   1% and 10% cuts, and hit-recall@1% (fraction of true actives the
+//!   campaign actually docked) against the `budget` baseline a random
+//!   selection would land in expectation;
+//! * **determinism** — the identical campaign under 1/2/4 installed
+//!   `dfpool` lanes, plus a crash/resume leg killed between an epoch's
+//!   retrain and its hot-swap: every final ranking digest must be
+//!   bit-identical;
+//! * **cost** — measured per-compound cost of the surrogate tier
+//!   (featurize + MLP forward) vs the rule filter (descriptors + rule
+//!   table), the measurement behind `TaskClass::Surrogate`'s
+//!   `cost_weight` of 2.
+//!
+//! ```sh
+//! cargo run --release -p dfbench --bin surrogate_bench            # full
+//! cargo run --release -p dfbench --bin surrogate_bench -- --smoke # CI
+//! ```
+//!
+//! `--smoke` shrinks the library and asserts the contract: enrichment
+//! factor > 1.0 at the 10% cut, cross-lane and crash/resume digests all
+//! equal, and — when `DFTRACE=1` — the `hts.active.*` counters are live.
+//! The full run additionally asserts the paper-scale quality bar:
+//! EF@1% ≥ 5x and hit-recall@1% ≥ 0.5 at the 10% budget.
+
+use dfchem::genmol::{Compound, Library};
+use dfchem::pocket::TargetSite;
+use dfchem::{Descriptors, RuleFilter};
+use dfhts::{
+    enrichment_factor, run_active_campaign, run_active_campaign_aborting, run_campaign, AbortPoint,
+    ActiveCampaignReport, ActiveLearningConfig, FaultConfig, JobConfig, JobSpec, SchedulerConfig,
+    ScreenItem, SyntheticPoseSource, TaskClass, VinaScorerFactory,
+};
+use dfsurrogate::{featurize_compound, TrainConfig};
+use serde::Serialize;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const SEED: u64 = 2021;
+const POSES_PER_COMPOUND: usize = 128;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dfsb_{tag}_{}", std::process::id()));
+    if d.exists() {
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn job_cfg(dir: PathBuf) -> JobConfig {
+    JobConfig {
+        nodes: 1,
+        ranks_per_node: 2,
+        batch_size: 16,
+        output_dir: dir,
+        faults: FaultConfig::default(),
+    }
+}
+
+/// Exhaustively docks the whole library and returns each compound's best
+/// (lowest) pose score — the ground truth the funnel is judged against.
+fn exhaustive_truth(num_compounds: u64) -> Vec<f64> {
+    let per_job = 32u64;
+    let specs: Vec<JobSpec> = (0..num_compounds.div_ceil(per_job))
+        .map(|j| JobSpec {
+            job_id: j,
+            target: TargetSite::Spike1,
+            library: Library::EnamineVirtual,
+            first_compound: j * per_job,
+            num_compounds: per_job.min(num_compounds - j * per_job),
+            campaign_seed: SEED,
+            class: TaskClass::Dock,
+            attempt: 0,
+        })
+        .collect();
+    let dir = tmpdir("truth");
+    let report = run_campaign(
+        &SchedulerConfig::default(),
+        &job_cfg(dir.clone()),
+        specs,
+        &VinaScorerFactory,
+        &SyntheticPoseSource { poses_per_compound: POSES_PER_COMPOUND },
+    );
+    assert!(report.abandoned.is_empty(), "exhaustive docking must complete");
+    let mut truth = vec![f64::INFINITY; num_compounds as usize];
+    for out in &report.outputs {
+        for rec in &out.records {
+            let t = &mut truth[rec.compound.index as usize];
+            *t = t.min(rec.score);
+        }
+    }
+    std::fs::remove_dir_all(dir).ok();
+    truth
+}
+
+fn campaign_cfg(
+    num_compounds: u64,
+    epochs: u64,
+    dock_fraction: f64,
+    smoke: bool,
+) -> ActiveLearningConfig {
+    let mut cfg = ActiveLearningConfig::tiny(Library::EnamineVirtual, num_compounds, SEED);
+    cfg.target = TargetSite::Spike1;
+    cfg.epochs = epochs;
+    cfg.dock_fraction = dock_fraction;
+    cfg.explore_fraction = 0.0;
+    if smoke {
+        // The smoke pool is tiny (tens of labels); the wider, longer-trained
+        // two-layer config generalizes better there.
+        cfg.surrogate.hidden = 64;
+        cfg.surrogate.hidden2 = 16;
+        cfg.train = TrainConfig { epochs: 200, ..TrainConfig::default() };
+    } else {
+        // At paper scale the labeled pool is larger and a single 32-wide
+        // hidden layer with a shorter retrain ranks the top slice best
+        // (training cost is negligible next to docking either way).
+        cfg.surrogate.hidden = 32;
+        cfg.surrogate.hidden2 = 0;
+        cfg.train = TrainConfig { epochs: 48, ..TrainConfig::default() };
+    }
+    cfg
+}
+
+fn run_campaign_in(cfg: &ActiveLearningConfig, tag: &str) -> (ActiveCampaignReport, PathBuf) {
+    let dir = tmpdir(tag);
+    let report = run_active_campaign(
+        cfg,
+        &job_cfg(dir.clone()),
+        &VinaScorerFactory,
+        &SyntheticPoseSource { poses_per_compound: POSES_PER_COMPOUND },
+        dir.join("campaign.dfcp"),
+    )
+    .expect("active campaign");
+    (report, dir)
+}
+
+#[derive(Serialize)]
+struct EpochRow {
+    epoch: u64,
+    generation: u64,
+    docked: usize,
+    pool_size: usize,
+    final_loss: f64,
+}
+
+#[derive(Serialize)]
+struct CostReport {
+    compounds_measured: usize,
+    filter_us_per_compound: f64,
+    surrogate_us_per_compound: f64,
+    /// Surrogate / filter per-compound cost — the measurement behind
+    /// `TaskClass::Surrogate`'s `cost_weight` of 2 (vs filter's 1).
+    ratio: f64,
+}
+
+#[derive(Serialize)]
+struct SurrogateBench {
+    host_cpus: usize,
+    smoke: bool,
+    num_compounds: u64,
+    epochs: u64,
+    budget_fraction: f64,
+    actives: usize,
+    /// Enrichment factor of the final ranking at the 1% cut (random = 1).
+    ef_at_1pct: f64,
+    /// Enrichment factor at the 10% cut (random = 1, ceiling = 10).
+    ef_at_10pct: f64,
+    /// Fraction of the true top-1% the campaign actually docked.
+    hit_recall_at_1pct: f64,
+    /// Expected recall of a random selection at the same docking budget.
+    random_recall: f64,
+    epoch_rows: Vec<EpochRow>,
+    surrogate_dispatches: u64,
+    surrogate_bundled_jobs: u64,
+    /// Final ranking digests at 1/2/4 installed lanes — all equal.
+    cross_lane_digests: Vec<String>,
+    /// Digest of the crash-at-retrain/resume campaign — equals the others.
+    crash_resume_digest: String,
+    cost: CostReport,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("== surrogate active-learning funnel ({host_cpus} host CPUs, smoke: {smoke}) ==");
+
+    let (num_compounds, epochs) = if smoke { (400u64, 2u64) } else { (1_500, 5) };
+    let budget_fraction = 0.10;
+    let dock_fraction = budget_fraction / epochs as f64;
+
+    // -------- ground truth: dock everything --------
+    let t = Instant::now();
+    let truth = exhaustive_truth(num_compounds);
+    eprintln!(
+        "  exhaustive truth: {} compounds docked in {:.1} ms",
+        num_compounds,
+        t.elapsed().as_secs_f64() * 1e3
+    );
+    let n_act = ((num_compounds as f64 * 0.01).ceil() as usize).max(4);
+    let mut by_truth: Vec<u64> = (0..num_compounds).collect();
+    by_truth.sort_by(|&a, &b| {
+        truth[a as usize].partial_cmp(&truth[b as usize]).unwrap().then(a.cmp(&b))
+    });
+    let actives: BTreeSet<u64> = by_truth[..n_act].iter().copied().collect();
+
+    // -------- active-learning campaign at the 10% budget --------
+    let cfg = campaign_cfg(num_compounds, epochs, dock_fraction, smoke);
+    let t = Instant::now();
+    let (report, dir) = run_campaign_in(&cfg, "al");
+    eprintln!(
+        "  active learning: {} epochs, {} docked ({:.0}% budget) in {:.1} ms",
+        epochs,
+        report.docked.len(),
+        100.0 * report.docked.len() as f64 / num_compounds as f64,
+        t.elapsed().as_secs_f64() * 1e3
+    );
+    std::fs::remove_dir_all(dir).ok();
+
+    // Enrichment of the final ranking: docking scores are lower=stronger,
+    // ScreenItem wants higher=stronger, so negate.
+    let ranked_items: Vec<ScreenItem> = report
+        .ranking
+        .iter()
+        .map(|r| ScreenItem { score: -r.score, active: actives.contains(&r.index) })
+        .collect();
+    let ef_at_1pct = enrichment_factor(&ranked_items, 0.01);
+    let ef_at_10pct = enrichment_factor(&ranked_items, 0.10);
+    let docked: BTreeSet<u64> = report.docked.iter().copied().collect();
+    let hit_recall_at_1pct = actives.intersection(&docked).count() as f64 / actives.len() as f64;
+    let random_recall = report.docked.len() as f64 / num_compounds as f64;
+    eprintln!(
+        "  enrichment: EF@1% = {ef_at_1pct:.1}x, EF@10% = {ef_at_10pct:.1}x, \
+         hit-recall@1% = {hit_recall_at_1pct:.2} (random would be {random_recall:.2})"
+    );
+
+    // -------- determinism: cross-lane digests + crash/resume --------
+    let mut cross_lane_digests = Vec::new();
+    for lanes in [1usize, 2, 4] {
+        let (r, d) =
+            dfpool::Pool::new(lanes).install(|| run_campaign_in(&cfg, &format!("lanes{lanes}")));
+        cross_lane_digests.push(format!("{:016x}", r.ranking_digest));
+        std::fs::remove_dir_all(d).ok();
+    }
+    eprintln!("  cross-lane digests: {cross_lane_digests:?}");
+
+    let crash_dir = tmpdir("crash");
+    let manifest = crash_dir.join("campaign.dfcp");
+    let aborted = run_active_campaign_aborting(
+        &cfg,
+        &job_cfg(crash_dir.clone()),
+        &VinaScorerFactory,
+        &SyntheticPoseSource { poses_per_compound: POSES_PER_COMPOUND },
+        &manifest,
+        AbortPoint::BeforePublish { epoch: epochs - 1 },
+    )
+    .expect("aborting campaign");
+    assert!(aborted.is_none(), "the injected kill must fire");
+    let resumed = run_active_campaign(
+        &cfg,
+        &job_cfg(crash_dir.clone()),
+        &VinaScorerFactory,
+        &SyntheticPoseSource { poses_per_compound: POSES_PER_COMPOUND },
+        &manifest,
+    )
+    .expect("resumed campaign");
+    let crash_resume_digest = format!("{:016x}", resumed.ranking_digest);
+    eprintln!(
+        "  crash/resume: killed before epoch {} publish, resumed digest {crash_resume_digest}",
+        epochs - 1
+    );
+    std::fs::remove_dir_all(crash_dir).ok();
+
+    // -------- per-compound cost: surrogate tier vs rule filter --------
+    let m = if smoke { 400usize } else { 2_000 };
+    let filter = RuleFilter::lipinski();
+    let t = Instant::now();
+    for i in 0..m as u64 {
+        let c = Compound::materialize_topology(cfg.library, i, SEED);
+        black_box(filter.apply(&Descriptors::compute(&c.mol)));
+    }
+    let filter_us = t.elapsed().as_secs_f64() * 1e6 / m as f64;
+    let (model, ps) = cfg.surrogate.build();
+    let t = Instant::now();
+    let rows: Vec<Vec<f32>> = (0..m as u64)
+        .map(|i| featurize_compound(&cfg.surrogate.fingerprint, cfg.library, i, SEED).1)
+        .collect();
+    black_box(model.predict(&ps, &rows));
+    let surrogate_us = t.elapsed().as_secs_f64() * 1e6 / m as f64;
+    let cost = CostReport {
+        compounds_measured: m,
+        filter_us_per_compound: filter_us,
+        surrogate_us_per_compound: surrogate_us,
+        ratio: surrogate_us / filter_us,
+    };
+    eprintln!(
+        "  cost: filter {:.1} us/compound, surrogate {:.1} us/compound ({:.1}x)",
+        cost.filter_us_per_compound, cost.surrogate_us_per_compound, cost.ratio
+    );
+
+    let bench = SurrogateBench {
+        host_cpus,
+        smoke,
+        num_compounds,
+        epochs,
+        budget_fraction,
+        actives: actives.len(),
+        ef_at_1pct,
+        ef_at_10pct,
+        hit_recall_at_1pct,
+        random_recall,
+        epoch_rows: report
+            .epochs
+            .iter()
+            .map(|e| EpochRow {
+                epoch: e.epoch,
+                generation: e.generation,
+                docked: e.docked,
+                pool_size: e.pool_size,
+                final_loss: e.train.last_epoch_loss,
+            })
+            .collect(),
+        surrogate_dispatches: report.surrogate_dispatches,
+        surrogate_bundled_jobs: report.surrogate_bundled_jobs,
+        cross_lane_digests,
+        crash_resume_digest,
+        cost,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("serialize surrogate bench");
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_surrogate.json");
+    std::fs::write(&out, &json).expect("write BENCH_surrogate.json");
+    eprintln!("wrote {}", out.display());
+    println!("{json}");
+
+    // -------- contract --------
+    let reference = format!("{:016x}", report.ranking_digest);
+    for d in &bench.cross_lane_digests {
+        assert_eq!(d, &reference, "cross-lane ranking digest diverged");
+    }
+    assert_eq!(bench.crash_resume_digest, reference, "crash/resume ranking digest diverged");
+    assert!(
+        bench.surrogate_bundled_jobs > 0,
+        "surrogate jobs must ride in bundles under the recalibrated cost weight"
+    );
+    assert!(
+        bench.ef_at_10pct > 1.0,
+        "active learning must beat random at the 10% cut: EF = {:.2}",
+        bench.ef_at_10pct
+    );
+    assert!(
+        bench.hit_recall_at_1pct > bench.random_recall,
+        "docked set must recover more actives than a random budget"
+    );
+    if !smoke {
+        assert!(
+            bench.ef_at_1pct >= 5.0,
+            "full run must enrich ≥ 5x at the 1% cut, got {:.2}",
+            bench.ef_at_1pct
+        );
+        assert!(
+            bench.hit_recall_at_1pct >= 0.5,
+            "full run must recover ≥ half the true top-1%, got {:.2}",
+            bench.hit_recall_at_1pct
+        );
+    }
+    if dftrace::enabled() {
+        let trace = dftrace::snapshot();
+        assert!(trace.counter("hts.active.epochs") > 0, "no active-loop telemetry");
+        assert!(trace.counter("hts.active.docked") > 0, "no docking-budget telemetry");
+        assert!(trace.counter("surrogate.registry.swaps") > 0, "no hot-swap telemetry");
+        eprintln!(
+            "smoke: {} epochs, {} docked, {} swaps traced",
+            trace.counter("hts.active.epochs"),
+            trace.counter("hts.active.docked"),
+            trace.counter("surrogate.registry.swaps"),
+        );
+    }
+    eprintln!("surrogate bench assertions passed");
+}

@@ -99,7 +99,28 @@ pub struct JobSummary {
     pub timing: JobTiming,
 }
 
-/// One journaled terminal job event.
+/// Active-learning epoch state journaled by
+/// [`run_active_campaign`](crate::active::run_active_campaign) after each
+/// retrain + hot-swap. The expensive state (docking labels) lives in the
+/// same manifest's job entries; this entry pins the *cheap but
+/// order-sensitive* state — which compounds the epoch selected and the
+/// exact weights it published — so a resumed campaign can recompute the
+/// epoch and assert bit-identity instead of silently diverging.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochState {
+    /// Zero-based epoch index.
+    pub epoch: u64,
+    /// Surrogate-registry generation published by this epoch's hot-swap.
+    pub generation: u64,
+    /// `dfsurrogate::snapshot_hash` of the weights that epoch published.
+    pub snapshot_hash: u64,
+    /// Size of the cumulative labeled pool after this epoch's docking.
+    pub labeled: u64,
+    /// Compound indices this epoch routed into the dock stage, ascending.
+    pub docked: Vec<u64>,
+}
+
+/// One journaled terminal job event (or epoch marker).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ManifestEntry {
     /// The job finished; its records are on disk in `summary.files`.
@@ -114,15 +135,23 @@ pub enum ManifestEntry {
         /// The abandoned job's final-attempt spec.
         spec: JobSpec,
     },
+    /// An active-learning epoch finished retraining and hot-swapped its
+    /// surrogate; not a job event (`job_id()` is `None`).
+    Epoch {
+        /// The epoch's published state.
+        state: EpochState,
+    },
 }
 
 impl ManifestEntry {
-    /// The job this entry journals.
-    pub fn job_id(&self) -> u64 {
+    /// The job this entry journals, or `None` for non-job entries
+    /// (epoch markers).
+    pub fn job_id(&self) -> Option<u64> {
         match self {
             ManifestEntry::Completed { spec, .. } | ManifestEntry::Abandoned { spec } => {
-                spec.job_id
+                Some(spec.job_id)
             }
+            ManifestEntry::Epoch { .. } => None,
         }
     }
 }
@@ -382,7 +411,7 @@ mod tests {
         assert_eq!(loaded.entries.len(), 3);
         assert_eq!(
             loaded.entries.iter().map(ManifestEntry::job_id).collect::<Vec<_>>(),
-            vec![0, 1, 2]
+            vec![Some(0), Some(1), Some(2)]
         );
         assert!(matches!(loaded.entries[1], ManifestEntry::Abandoned { .. }));
         match &loaded.entries[0] {
@@ -391,6 +420,34 @@ mod tests {
                 assert_eq!(summary.records, 3);
                 assert_eq!(summary.faults.len(), 1);
             }
+            other => panic!("unexpected entry {other:?}"),
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// Epoch markers journal beside job entries, round-trip exactly, and
+    /// are invisible to job-id indexing (the scheduler's resume path).
+    #[test]
+    fn epoch_entries_round_trip_and_carry_no_job_id() {
+        let dir = tmpdir("epoch");
+        let path = dir.join("manifest.dfcp");
+        let state = EpochState {
+            epoch: 1,
+            generation: 2,
+            snapshot_hash: 0xDEAD_BEEF_CAFE_F00D,
+            labeled: 40,
+            docked: vec![3, 7, 19],
+        };
+        let mut w = CheckpointWriter::create(&path).unwrap();
+        w.append(&entry(0)).unwrap();
+        w.append(&ManifestEntry::Epoch { state: state.clone() }).unwrap();
+        w.append(&entry(1)).unwrap();
+        drop(w);
+        let loaded = load_manifest(&path).unwrap();
+        assert_eq!(loaded.entries.len(), 3);
+        assert_eq!(loaded.entries[1].job_id(), None);
+        match &loaded.entries[1] {
+            ManifestEntry::Epoch { state: s } => assert_eq!(*s, state),
             other => panic!("unexpected entry {other:?}"),
         }
         std::fs::remove_dir_all(dir).ok();

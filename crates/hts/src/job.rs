@@ -160,10 +160,19 @@ impl TaskClass {
     /// Relative per-compound cost of this class (filter = 1). Drives the
     /// short-task bundling decision: a job's estimated cost is
     /// `num_compounds × cost_weight`.
+    ///
+    /// Surrogate was initially guessed at 6.0, which priced a 32-compound
+    /// surrogate job at 192 — past the default bundle cap of 64, so
+    /// surrogate jobs never bundled and each paid a full dispatch.
+    /// Measured against the rule filter (`surrogate_bench` reports both
+    /// per-compound costs), a batched fingerprint-MLP evaluation runs
+    /// ~2x a rule-filter pass, not 6x: featurization dominates both and
+    /// the MLP forward amortizes over the batch. At 2.0 a 32-compound
+    /// surrogate job costs 64 and rides in bundles again.
     pub fn cost_weight(self) -> f64 {
         match self {
             TaskClass::Filter => 1.0,
-            TaskClass::Surrogate => 6.0,
+            TaskClass::Surrogate => 2.0,
             TaskClass::Dock => 96.0,
             TaskClass::Rescore => 24.0,
         }

@@ -19,6 +19,12 @@
 //!   events are journaled (fsynced, torn tails dropped on load) so
 //!   [`resume_campaign`] can restart a killed driver and produce a result
 //!   set bit-identical to an uninterrupted run;
+//! * [`active`] — the active-learning campaign driver: per epoch, a
+//!   `dfsurrogate` fingerprint-MLP ranks the library (dispatched as
+//!   [`job::TaskClass::Surrogate`] jobs), the top slice routes into dock
+//!   jobs, the new poses retrain the surrogate, and the weights hot-swap
+//!   through its registry — with epoch state journaled in the checkpoint
+//!   manifest so a killed campaign resumes bit-identically;
 //! * [`allgather`] — MPI-style collectives over rank threads;
 //! * [`h5lite`] — the chunked binary result format standing in for HDF5,
 //!   written atomically (`*.tmp` + `sync_all` + rename) so killed jobs
@@ -38,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod active;
 pub mod allgather;
 pub mod checkpoint;
 pub mod cluster;
@@ -51,9 +58,13 @@ pub mod scorer;
 pub mod simulate;
 pub mod throughput;
 
+pub use active::{
+    ranking_digest, run_active_campaign, run_active_campaign_aborting, AbortPoint,
+    ActiveCampaignReport, ActiveLearningConfig, EpochReport,
+};
 pub use allgather::Communicator;
 pub use checkpoint::{
-    load_manifest, reconstruct_output, CheckpointError, CheckpointWriter, JobSummary,
+    load_manifest, reconstruct_output, CheckpointError, CheckpointWriter, EpochState, JobSummary,
     LoadedManifest, ManifestEntry,
 };
 pub use cluster::{ClusterSpec, GpuMemoryModel, NodeSpec, RankSpec};
@@ -64,7 +75,9 @@ pub use job::{
     run_job, DockingPoseSource, JobConfig, JobError, JobOutput, JobSpec, JobTiming, PoseSource,
     SyntheticPoseSource, TaskClass,
 };
-pub use prefilter::{run_prefilter, PrefilterConfig, PrefilterOutcome};
+pub use prefilter::{
+    coalesce_ranges, run_prefilter, run_prefilter_with, PrefilterConfig, PrefilterOutcome,
+};
 pub use scheduler::{
     resume_campaign, retry_backoff, run_campaign, run_campaign_with, CampaignReport, LaneStats,
     SchedulerConfig,

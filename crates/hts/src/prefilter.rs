@@ -20,11 +20,54 @@
 //! ready-to-schedule dock-class [`crate::job::JobSpec`]s.
 
 use crate::job::{JobSpec, TaskClass};
-use dfchem::genmol::Library;
+use dfchem::genmol::{Compound, Library};
 use dfchem::pocket::TargetSite;
 use dfchem::screen::{screen_library, FunnelStats, RankedCompound, ScreenConfig};
 use dfchem::RejectionTally;
 use serde::{Deserialize, Serialize};
+
+/// Coalesces sorted-deduplicated selected indices into contiguous
+/// ascending `(first_compound, num_compounds)` runs, splitting runs
+/// longer than `max_compounds_per_job` (0 = unbounded) into balanced
+/// pieces whose lengths differ by at most one.
+///
+/// This is the single range-splitting implementation behind both
+/// [`PrefilterOutcome::selection_ranges`] (rule-filter shortlists) and
+/// the active-learning driver's per-epoch dock assignments
+/// ([`crate::active`]) — the two funnels must never disagree on how a
+/// shortlist becomes jobs.
+pub fn coalesce_ranges(mut indices: Vec<u64>, max_compounds_per_job: u64) -> Vec<(u64, u64)> {
+    indices.sort_unstable();
+    indices.dedup();
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for i in indices {
+        match runs.last_mut() {
+            Some((first, len)) if *first + *len == i => *len += 1,
+            _ => runs.push((i, 1)),
+        }
+    }
+    if max_compounds_per_job == 0 {
+        return runs;
+    }
+    let cap = max_compounds_per_job;
+    let mut ranges = Vec::with_capacity(runs.len());
+    for (first, len) in runs {
+        if len <= cap {
+            ranges.push((first, len));
+            continue;
+        }
+        let pieces = len.div_ceil(cap);
+        let base = len / pieces;
+        let extra = len % pieces; // the first `extra` pieces get +1
+        let mut off = 0;
+        for p in 0..pieces {
+            let n = base + u64::from(p < extra);
+            ranges.push((first + off, n));
+            off += n;
+        }
+    }
+    ranges
+}
 
 /// Configuration of the prefilter stage.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -69,36 +112,7 @@ impl PrefilterOutcome {
     /// run under a cap of 300 becomes 250+250+250+250, not
     /// 300+300+300+100, so no job in the campaign tail is a straggler.
     pub fn selection_ranges(&self, max_compounds_per_job: u64) -> Vec<(u64, u64)> {
-        let mut indices: Vec<u64> = self.shortlist.iter().map(|r| r.index).collect();
-        indices.sort_unstable();
-        let mut runs: Vec<(u64, u64)> = Vec::new();
-        for i in indices {
-            match runs.last_mut() {
-                Some((first, len)) if *first + *len == i => *len += 1,
-                _ => runs.push((i, 1)),
-            }
-        }
-        if max_compounds_per_job == 0 {
-            return runs;
-        }
-        let cap = max_compounds_per_job;
-        let mut ranges = Vec::with_capacity(runs.len());
-        for (first, len) in runs {
-            if len <= cap {
-                ranges.push((first, len));
-                continue;
-            }
-            let pieces = len.div_ceil(cap);
-            let base = len / pieces;
-            let extra = len % pieces; // the first `extra` pieces get +1
-            let mut off = 0;
-            for p in 0..pieces {
-                let n = base + u64::from(p < extra);
-                ranges.push((first + off, n));
-                off += n;
-            }
-        }
-        ranges
+        coalesce_ranges(self.shortlist.iter().map(|r| r.index).collect(), max_compounds_per_job)
     }
 
     /// Turns the shortlist into ready-to-schedule dock-class
@@ -136,20 +150,97 @@ impl PrefilterOutcome {
     }
 }
 
+/// Sorts by (score ascending, index ascending) and truncates to `k` —
+/// more negative is stronger throughout the funnel.
+fn rank_truncate(top: &mut Vec<RankedCompound>, k: usize) {
+    top.sort_by(|a, b| {
+        a.score.partial_cmp(&b.score).expect("scores are finite").then(a.index.cmp(&b.index))
+    });
+    top.truncate(k);
+}
+
 /// Runs the prefilter stage: streams the library, tallies the funnel and
 /// returns the ranked shortlist. Deterministic for a fixed config at any
 /// `dfpool` lane count. Emits `hts.prefilter.*` counters and inherits
 /// the `chem.filter.*` / `chem.fp.*` instrumentation of the underlying
 /// pipeline.
+///
+/// This is the rule-filter instantiation of the shared shortlist path:
+/// an arbitrary scorer (e.g. the `dfsurrogate` model) plugs into the
+/// identical funnel via [`run_prefilter_with`], and both feed the same
+/// [`PrefilterOutcome::selection_ranges`] / [`coalesce_ranges`] bridge
+/// into job specs.
 pub fn run_prefilter(cfg: &PrefilterConfig) -> PrefilterOutcome {
     let _span = dftrace::span("hts.prefilter");
     let outcome = screen_library(&cfg.screen);
     let mut shortlist = outcome.top;
-    shortlist.truncate(cfg.select);
+    rank_truncate(&mut shortlist, cfg.select);
     dftrace::counter_add("hts.prefilter.evaluated", outcome.funnel.evaluated);
     dftrace::counter_add("hts.prefilter.survivors", outcome.funnel.passed_filter);
     dftrace::counter_add("hts.prefilter.selected", shortlist.len() as u64);
     PrefilterOutcome { funnel: outcome.funnel, tally: outcome.tally, shortlist }
+}
+
+/// Runs the prefilter stage with an **injected scorer** instead of the
+/// built-in rule filter + ligand score: any `Fn(&Compound) -> Option<f32>`
+/// where `None` rejects the compound and `Some(score)` admits it (more
+/// negative = stronger, as everywhere in the funnel).
+///
+/// Streams the library in `cfg.screen.chunk_size` chunks on the current
+/// [`dfpool`] pool and folds serially in index order, so the outcome is
+/// bit-identical at any lane count (the scorer must be a pure function of
+/// the compound). The shortlist, funnel counts and range-splitting bridge
+/// are shared with [`run_prefilter`] — this is how the surrogate tier
+/// re-ranks a library through the exact selection machinery the rule
+/// filter uses. The rejection tally carries aggregate counts only: an
+/// opaque scorer cannot attribute rejections to individual rules, so
+/// `per_rule` stays empty.
+pub fn run_prefilter_with<S>(cfg: &PrefilterConfig, scorer: S) -> PrefilterOutcome
+where
+    S: Fn(&Compound) -> Option<f32> + Sync,
+{
+    let _span = dftrace::span("hts.prefilter");
+    let pool = dfpool::current();
+    let scfg = &cfg.screen;
+    let mut funnel = FunnelStats::default();
+    let mut tally = RejectionTally { evaluated: 0, passed: 0, rejected: 0, per_rule: Vec::new() };
+    let mut top: Vec<RankedCompound> = Vec::with_capacity(cfg.select.saturating_mul(2).max(2));
+    let mut start = 0u64;
+    while start < scfg.num_compounds {
+        let len = (scfg.num_compounds - start).min(scfg.chunk_size as u64) as usize;
+        let scored: Vec<Option<f32>> = pool.parallel_map(len, 64, |i| {
+            let c =
+                Compound::materialize_topology(scfg.library, start + i as u64, scfg.campaign_seed);
+            scorer(&c)
+        });
+        // Serial index-order fold: deterministic regardless of lanes.
+        let mut passed = 0u64;
+        for (i, s) in scored.iter().enumerate() {
+            let Some(score) = s else { continue };
+            let score = f64::from(*score);
+            passed += 1;
+            if score <= scfg.hit_threshold {
+                funnel.hits += 1;
+            }
+            top.push(RankedCompound { index: start + i as u64, score });
+            if top.len() >= cfg.select.max(1) * 2 {
+                rank_truncate(&mut top, cfg.select);
+            }
+        }
+        funnel.evaluated += len as u64;
+        funnel.passed_filter += passed;
+        funnel.fingerprinted += passed;
+        funnel.chunks += 1;
+        tally.evaluated += len as u64;
+        tally.passed += passed;
+        tally.rejected += len as u64 - passed;
+        start += len as u64;
+    }
+    rank_truncate(&mut top, cfg.select);
+    dftrace::counter_add("hts.prefilter.evaluated", funnel.evaluated);
+    dftrace::counter_add("hts.prefilter.survivors", funnel.passed_filter);
+    dftrace::counter_add("hts.prefilter.selected", top.len() as u64);
+    PrefilterOutcome { funnel, tally, shortlist: top }
 }
 
 #[cfg(test)]
@@ -245,5 +336,55 @@ mod tests {
         assert_eq!(serial.shortlist, pooled.shortlist);
         assert_eq!(serial.tally, pooled.tally);
         assert_eq!(serial.funnel, pooled.funnel);
+    }
+
+    /// An injected scorer rides the same shortlist machinery: ranked
+    /// ascending, truncated at `select`, rejections counted, and the
+    /// outcome lane-count- and chunk-size-invariant.
+    #[test]
+    fn injected_scorer_shares_the_shortlist_path() {
+        let cfg = tiny();
+        // A deterministic synthetic scorer: reject every third compound,
+        // score the rest by a hash-ish function of the index.
+        let scorer = |c: &Compound| -> Option<f32> {
+            if c.id.index.is_multiple_of(3) {
+                return None;
+            }
+            Some(-((c.id.index * 7919 % 601) as f32) / 50.0)
+        };
+        let out = run_prefilter_with(&cfg, scorer);
+        assert_eq!(out.funnel.evaluated, 600);
+        assert_eq!(out.funnel.passed_filter, 400, "every third of 600 rejected");
+        assert_eq!(out.tally.rejected, 200);
+        assert!(out.tally.per_rule.is_empty(), "opaque scorers have no per-rule attribution");
+        assert_eq!(out.shortlist.len(), 24);
+        for w in out.shortlist.windows(2) {
+            assert!(
+                (w[0].score, w[0].index) <= (w[1].score, w[1].index),
+                "shortlist ranked ascending with index tiebreak"
+            );
+        }
+        // The shared bridge into job shapes works off this outcome too.
+        let ranges = out.selection_ranges(4);
+        assert_eq!(ranges.iter().map(|&(_, n)| n).sum::<u64>(), 24);
+
+        let serial = dfpool::Pool::new(1).install(|| run_prefilter_with(&cfg, scorer));
+        let pooled = dfpool::Pool::new(4).install(|| run_prefilter_with(&cfg, scorer));
+        assert_eq!(serial.shortlist, pooled.shortlist);
+        assert_eq!(serial.funnel, pooled.funnel);
+        let mut ragged = tiny();
+        ragged.screen.chunk_size = 37;
+        let r = run_prefilter_with(&ragged, scorer);
+        assert_eq!(r.shortlist, out.shortlist, "chunking must not change the shortlist");
+    }
+
+    /// `coalesce_ranges` is the shared splitter: duplicates collapse,
+    /// adjacency merges, and balanced capping matches the method form.
+    #[test]
+    fn coalesce_ranges_dedupes_and_balances() {
+        assert_eq!(coalesce_ranges(vec![5, 3, 4, 4, 9], 0), vec![(3, 3), (9, 1)]);
+        let capped = coalesce_ranges((100..1100).collect(), 300);
+        assert_eq!(capped, vec![(100, 250), (350, 250), (600, 250), (850, 250)]);
+        assert_eq!(coalesce_ranges(Vec::new(), 8), Vec::new());
     }
 }

@@ -400,10 +400,14 @@ pub fn resume_campaign(
     let (writer, loaded) = CheckpointWriter::open_or_create(manifest_path)?;
 
     // Index the journal by job id, keeping the latest entry per job.
+    // Non-job entries (active-learning epoch markers) are not the
+    // scheduler's to interpret and are skipped here.
     let mut journaled: std::collections::HashMap<u64, &ManifestEntry> =
         std::collections::HashMap::new();
     for entry in &loaded.entries {
-        journaled.insert(entry.job_id(), entry);
+        if let Some(job_id) = entry.job_id() {
+            journaled.insert(job_id, entry);
+        }
     }
 
     let mut restored: Vec<JobOutput> = Vec::new();
@@ -425,7 +429,9 @@ pub fn resume_campaign(
             Some(ManifestEntry::Abandoned { spec: dead_spec }) => {
                 abandoned.push(dead_spec.clone());
             }
-            None => remaining.push(spec),
+            // Epoch markers never enter the index (no job id), so a spec
+            // can only miss the journal entirely.
+            Some(ManifestEntry::Epoch { .. }) | None => remaining.push(spec),
         }
     }
     let resumed = restored.len();
@@ -1109,6 +1115,34 @@ mod tests {
         assert_eq!(lane.bundled_jobs, 24);
         assert_eq!(report.dispatches(), 3);
         assert_eq!(report.bundled_jobs(), 24);
+    }
+
+    /// Surrogate jobs actually bundle. At the recalibrated cost weight
+    /// (2.0, measured ~2x a rule-filter pass), a 32-compound surrogate
+    /// job estimates at 64 — exactly the default bundle cap — so the
+    /// active-learning driver's standard job shape rides in multi-job
+    /// bundles. The old guessed weight (6.0) priced the same job at 192
+    /// and silently disabled bundling for the whole surrogate lane.
+    #[test]
+    fn surrogate_jobs_ride_in_bundles() {
+        let shape = class_specs(1, 32, TaskClass::Surrogate).remove(0);
+        assert!(
+            shape.est_cost() <= SchedulerConfig::default().bundle_cost_cap,
+            "32-compound surrogate jobs must be bundleable (est {})",
+            shape.est_cost()
+        );
+        let runner =
+            |spec: &JobSpec| -> Result<JobOutput, JobError> { Ok(stub_output(spec.job_id)) };
+        let report = run_campaign_with(
+            &SchedulerConfig { max_parallel_jobs: 1, ..Default::default() },
+            class_specs(16, 32, TaskClass::Surrogate),
+            &runner,
+        );
+        let lane = &report.lanes[TaskClass::Surrogate.lane()];
+        assert_eq!(lane.completed, 16);
+        assert_eq!(lane.dispatches, 2, "16 surrogate jobs in bundles of 8");
+        assert_eq!(lane.bundles, 2);
+        assert_eq!(lane.bundled_jobs, 16);
     }
 
     /// Dock-class jobs cost more than the bundle cap, so each gets its

@@ -18,8 +18,9 @@ use dfchem::genmol::Library;
 use dfchem::pocket::TargetSite;
 use dfhts::checkpoint::summarize;
 use dfhts::{
-    read_dir, resume_campaign, run_campaign, run_job, CheckpointWriter, FaultConfig, JobConfig,
-    JobSpec, ManifestEntry, SchedulerConfig, SyntheticPoseSource, TaskClass, VinaScorerFactory,
+    read_dir, resume_campaign, run_active_campaign, run_active_campaign_aborting, run_campaign,
+    run_job, AbortPoint, ActiveLearningConfig, CheckpointWriter, FaultConfig, JobConfig, JobSpec,
+    ManifestEntry, SchedulerConfig, SyntheticPoseSource, TaskClass, VinaScorerFactory,
 };
 use std::path::PathBuf;
 
@@ -179,6 +180,90 @@ fn noisy_campaigns_survive_crash_and_resume_across_seeds() {
         for (a, b) in clean.outputs.iter().zip(&again.outputs) {
             assert_eq!(a.records, b.records, "seed {seed} second resume diverged");
         }
+
+        for d in [&clean_dir, &crash_dir] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+}
+
+/// The active-learning leg of the matrix: a surrogate-in-the-loop
+/// campaign under noisy faults is killed at the narrowest recovery seam —
+/// after an epoch's retrain, before its hot-swap and epoch journal entry —
+/// and additionally suffers a torn tail appended by the dying driver. The
+/// resumed campaign must re-dock nothing that was journaled, verify the
+/// recomputed epochs against their journaled markers, and land a final
+/// ranking digest bit-identical to an uninterrupted run.
+#[test]
+fn active_learning_campaigns_survive_mid_epoch_crash_across_seeds() {
+    if !enabled() {
+        eprintln!("skipping: set DFHTS_FAULT_MATRIX=1 to run the fault matrix");
+        return;
+    }
+    let source = SyntheticPoseSource { poses_per_compound: 2 };
+    for seed in [5u64, 31, 77] {
+        let mut cfg = ActiveLearningConfig::tiny(Library::EnamineVirtual, 48, seed);
+        cfg.train.epochs = 6;
+        cfg.sched = SchedulerConfig { max_parallel_jobs: 3, max_attempts: 6, ..Default::default() };
+        let faults = FaultConfig::noisy(seed);
+
+        // Uninterrupted reference campaign.
+        let clean_dir = tmpdir(&format!("al_clean_{seed}"));
+        let clean = run_active_campaign(
+            &cfg,
+            &job_cfg(clean_dir.clone(), faults),
+            &VinaScorerFactory,
+            &source,
+            clean_dir.join("campaign.dfcp"),
+        )
+        .unwrap();
+        assert_no_staging_leftovers(&clean_dir);
+
+        // Killed between epoch 1's retrain and its hot-swap, then the
+        // dying driver tears the manifest tail.
+        let crash_dir = tmpdir(&format!("al_crash_{seed}"));
+        let crash_cfg = job_cfg(crash_dir.clone(), faults);
+        let manifest = crash_dir.join("campaign.dfcp");
+        let aborted = run_active_campaign_aborting(
+            &cfg,
+            &crash_cfg,
+            &VinaScorerFactory,
+            &source,
+            &manifest,
+            AbortPoint::BeforePublish { epoch: 1 },
+        )
+        .unwrap();
+        assert!(aborted.is_none(), "seed {seed}: the injected kill must fire");
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&manifest).unwrap();
+            f.write_all(&64u32.to_le_bytes()).unwrap();
+            f.write_all(b"driver died here").unwrap();
+        }
+
+        let resumed =
+            run_active_campaign(&cfg, &crash_cfg, &VinaScorerFactory, &source, &manifest).unwrap();
+        assert_no_staging_leftovers(&crash_dir);
+
+        assert_eq!(
+            resumed.ranking_digest, clean.ranking_digest,
+            "seed {seed}: resumed ranking digest diverged"
+        );
+        assert_eq!(resumed.ranking, clean.ranking, "seed {seed}");
+        assert_eq!(resumed.docked, clean.docked, "seed {seed}");
+        assert_eq!(
+            resumed.epochs.iter().map(|e| e.snapshot_hash).collect::<Vec<_>>(),
+            clean.epochs.iter().map(|e| e.snapshot_hash).collect::<Vec<_>>(),
+            "seed {seed}: per-epoch weights diverged"
+        );
+        assert!(
+            resumed.epochs[0].verified_against_journal,
+            "seed {seed}: epoch 0 must verify against its journaled marker"
+        );
+        assert!(
+            resumed.epochs.iter().any(|e| e.dock_jobs_resumed > 0),
+            "seed {seed}: journaled dock jobs must restore instead of re-running"
+        );
 
         for d in [&clean_dir, &crash_dir] {
             std::fs::remove_dir_all(d).ok();

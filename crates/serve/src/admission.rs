@@ -3,12 +3,13 @@
 //!
 //! Every request is admitted at the best tier the current queue depth
 //! allows: full fusion while the service keeps up, the SG-CNN head alone
-//! once the queue builds, the Vina empirical score when the model lanes
-//! are saturated, the ligand-only desirability score when even the Vina
-//! band is full, and an outright shed once the hard capacity bound is
-//! reached. Depth is the only input, so admission decisions are exactly
-//! reproducible from the admission sequence — and queue growth is bounded
-//! by construction (`queue_capacity` is a hard ceiling, not a target).
+//! once the queue builds, the fingerprint-MLP surrogate when the model
+//! lanes are saturated, the Vina empirical score past that, the
+//! ligand-only desirability score when even the Vina band is full, and an
+//! outright shed once the hard capacity bound is reached. Depth is the
+//! only input, so admission decisions are exactly reproducible from the
+//! admission sequence — and queue growth is bounded by construction
+//! (`queue_capacity` is a hard ceiling, not a target).
 
 use crate::request::Tier;
 use serde::{Deserialize, Serialize};
@@ -16,14 +17,17 @@ use serde::{Deserialize, Serialize};
 /// Depth thresholds of the degradation ladder. Bands are half-open: a
 /// request arriving at depth `d` runs at full fusion while
 /// `d < full_max_depth`, at the SG-CNN head while `d < sg_max_depth`, at
-/// the Vina tier while `d < vina_max_depth`, at the ligand-only tier
-/// while `d < queue_capacity`, and is shed at or beyond `queue_capacity`.
+/// the surrogate tier while `d < surrogate_max_depth`, at the Vina tier
+/// while `d < vina_max_depth`, at the ligand-only tier while
+/// `d < queue_capacity`, and is shed at or beyond `queue_capacity`.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct LadderConfig {
     /// Depth below which requests get the full fusion model.
     pub full_max_depth: usize,
     /// Depth below which requests get the SG-CNN head.
     pub sg_max_depth: usize,
+    /// Depth below which requests get the fingerprint-MLP surrogate.
+    pub surrogate_max_depth: usize,
     /// Depth below which requests get the Vina empirical score; between
     /// here and `queue_capacity` they get the ligand-only tier.
     pub vina_max_depth: usize,
@@ -36,6 +40,7 @@ impl Default for LadderConfig {
         LadderConfig {
             full_max_depth: 16,
             sg_max_depth: 32,
+            surrogate_max_depth: 40,
             vina_max_depth: 48,
             queue_capacity: 64,
         }
@@ -63,11 +68,14 @@ impl AdmissionController {
         assert!(cfg.full_max_depth >= 1, "full tier needs a non-empty band");
         assert!(
             cfg.full_max_depth <= cfg.sg_max_depth
-                && cfg.sg_max_depth <= cfg.vina_max_depth
+                && cfg.sg_max_depth <= cfg.surrogate_max_depth
+                && cfg.surrogate_max_depth <= cfg.vina_max_depth
                 && cfg.vina_max_depth <= cfg.queue_capacity,
-            "ladder thresholds must be monotone: full {} <= sg {} <= vina {} <= capacity {}",
+            "ladder thresholds must be monotone: full {} <= sg {} <= surrogate {} <= vina {} <= \
+             capacity {}",
             cfg.full_max_depth,
             cfg.sg_max_depth,
+            cfg.surrogate_max_depth,
             cfg.vina_max_depth,
             cfg.queue_capacity
         );
@@ -87,6 +95,8 @@ impl AdmissionController {
             Decision::Admit(Tier::FullFusion)
         } else if depth < self.cfg.sg_max_depth {
             Decision::Admit(Tier::SgHead)
+        } else if depth < self.cfg.surrogate_max_depth {
+            Decision::Admit(Tier::Surrogate)
         } else if depth < self.cfg.vina_max_depth {
             Decision::Admit(Tier::Vina)
         } else {
@@ -104,27 +114,31 @@ mod tests {
         let a = AdmissionController::new(LadderConfig {
             full_max_depth: 2,
             sg_max_depth: 4,
-            vina_max_depth: 6,
-            queue_capacity: 8,
+            surrogate_max_depth: 6,
+            vina_max_depth: 8,
+            queue_capacity: 10,
         });
         assert_eq!(a.decide(0), Decision::Admit(Tier::FullFusion));
         assert_eq!(a.decide(1), Decision::Admit(Tier::FullFusion));
         assert_eq!(a.decide(2), Decision::Admit(Tier::SgHead));
         assert_eq!(a.decide(3), Decision::Admit(Tier::SgHead));
-        assert_eq!(a.decide(4), Decision::Admit(Tier::Vina));
-        assert_eq!(a.decide(5), Decision::Admit(Tier::Vina));
-        assert_eq!(a.decide(6), Decision::Admit(Tier::LigandOnly));
-        assert_eq!(a.decide(7), Decision::Admit(Tier::LigandOnly));
-        assert_eq!(a.decide(8), Decision::Shed);
+        assert_eq!(a.decide(4), Decision::Admit(Tier::Surrogate));
+        assert_eq!(a.decide(5), Decision::Admit(Tier::Surrogate));
+        assert_eq!(a.decide(6), Decision::Admit(Tier::Vina));
+        assert_eq!(a.decide(7), Decision::Admit(Tier::Vina));
+        assert_eq!(a.decide(8), Decision::Admit(Tier::LigandOnly));
+        assert_eq!(a.decide(9), Decision::Admit(Tier::LigandOnly));
+        assert_eq!(a.decide(10), Decision::Shed);
         assert_eq!(a.decide(1_000_000), Decision::Shed);
     }
 
     #[test]
     fn degenerate_ladder_with_one_tier() {
-        // full == sg == vina == capacity: only full fusion or shed.
+        // full == sg == surrogate == vina == capacity: full fusion or shed.
         let a = AdmissionController::new(LadderConfig {
             full_max_depth: 3,
             sg_max_depth: 3,
+            surrogate_max_depth: 3,
             vina_max_depth: 3,
             queue_capacity: 3,
         });
@@ -138,6 +152,7 @@ mod tests {
         AdmissionController::new(LadderConfig {
             full_max_depth: 10,
             sg_max_depth: 5,
+            surrogate_max_depth: 12,
             vina_max_depth: 15,
             queue_capacity: 20,
         });

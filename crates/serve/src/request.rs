@@ -34,6 +34,10 @@ pub enum Tier {
     FullFusion,
     /// SG-CNN head only (no voxelization, no 3D convolution).
     SgHead,
+    /// Fingerprint-MLP docking surrogate (`dfsurrogate`): topology-only
+    /// featurization, two or three tiny GEMMs, no pocket geometry. Sits
+    /// between the learned model lanes and the physics fallback.
+    Surrogate,
     /// Vina empirical score (no featurization, no weights).
     Vina,
     /// Ligand-only desirability score (no pocket at all): descriptors +
@@ -43,13 +47,15 @@ pub enum Tier {
 
 impl Tier {
     /// All scoring tiers, best first.
-    pub const ALL: [Tier; 4] = [Tier::FullFusion, Tier::SgHead, Tier::Vina, Tier::LigandOnly];
+    pub const ALL: [Tier; 5] =
+        [Tier::FullFusion, Tier::SgHead, Tier::Surrogate, Tier::Vina, Tier::LigandOnly];
 
     /// Short identifier used in metric names and reports.
     pub fn tag(self) -> &'static str {
         match self {
             Tier::FullFusion => "full",
             Tier::SgHead => "sg_head",
+            Tier::Surrogate => "surrogate",
             Tier::Vina => "vina",
             Tier::LigandOnly => "ligand_only",
         }
@@ -72,7 +78,8 @@ pub struct ScoreResponse {
     /// True when the score came out of the content-addressed cache.
     pub cache_hit: bool,
     /// Model-snapshot generation that produced the score (0 = initial
-    /// weights; Vina responses echo the generation current at admission).
+    /// weights; Vina responses echo the generation current at admission;
+    /// surrogate responses carry the *surrogate* registry's generation).
     pub generation: u64,
     /// Tick at which the request was admitted.
     pub admitted_at: Ticks,

@@ -31,6 +31,7 @@ use dfchem::featurize::{build_graph, voxelize, MolGraph};
 use dfchem::genmol::Compound;
 use dfchem::pocket::{BindingPocket, TargetSite};
 use dffusion::{score_batch_fusion, score_batch_sg_head, FusionModel};
+use dfsurrogate::{SurrogateConfig, SurrogateRegistry};
 use dftensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -47,6 +48,11 @@ pub struct CostModel {
     pub sg_base: Ticks,
     /// Per-item cost inside an SG-head batch.
     pub sg_per_item: Ticks,
+    /// Cost of one surrogate evaluation (topology materialization +
+    /// fingerprint + MLP forward for a single compound, no pocket — and no
+    /// batch amortization, unlike `sg_per_item`). Runs inline like Vina
+    /// and occupies its ladder band until its completion tick.
+    pub surrogate_cost: Ticks,
     /// Cost of one Vina evaluation. Vina runs beside the model server
     /// (its response returns inline), but each evaluation counts toward
     /// queue depth until its completion tick — the fallback band has
@@ -65,6 +71,7 @@ impl Default for CostModel {
             full_per_item: 800,
             sg_base: 400,
             sg_per_item: 150,
+            surrogate_cost: 300,
             vina_cost: 1_000,
             ligand_cost: 500,
         }
@@ -76,6 +83,8 @@ impl Default for CostModel {
 pub struct ServeConfig {
     /// Model architecture + featurization + initial weights.
     pub spec: ModelSpec,
+    /// Surrogate-tier architecture + featurization + init seed.
+    pub surrogate: SurrogateConfig,
     /// Micro-batch close policy (shared by both model lanes).
     pub batcher: BatcherConfig,
     /// Degradation-ladder depth thresholds.
@@ -95,10 +104,12 @@ impl ServeConfig {
     pub fn tiny(campaign_seed: u64) -> ServeConfig {
         ServeConfig {
             spec: ModelSpec::tiny(campaign_seed),
+            surrogate: SurrogateConfig::tiny(campaign_seed),
             batcher: BatcherConfig { max_batch: 4, max_wait: 2_000 },
             ladder: LadderConfig {
                 full_max_depth: 8,
                 sg_max_depth: 16,
+                surrogate_max_depth: 18,
                 vina_max_depth: 20,
                 queue_capacity: 24,
             },
@@ -118,7 +129,7 @@ pub struct ServiceStats {
     /// Requests shed at the capacity bound.
     pub shed: u64,
     /// Completions per tier, indexed like [`Tier::ALL`].
-    pub per_tier: [u64; 4],
+    pub per_tier: [u64; 5],
     /// Responses produced (cache hits included).
     pub completed: u64,
     /// Score-cache hits answered at submit time.
@@ -169,6 +180,9 @@ struct Features {
 pub struct ScoreService {
     cfg: ServeConfig,
     registry: Arc<SnapshotRegistry>,
+    /// Hot-swap registry of the surrogate tier's weights (its generation
+    /// is mixed into the surrogate score-cache keys).
+    surrogate: Arc<SurrogateRegistry>,
     model: FusionModel,
     admission: AdmissionController,
     full_lane: MicroBatcher<QueuedItem>,
@@ -186,6 +200,9 @@ pub struct ScoreService {
     /// band (responses were already returned inline; these only hold
     /// queue depth until they retire).
     vina_inflight: VecDeque<Ticks>,
+    /// Completion ticks of surrogate evaluations still occupying their
+    /// ladder band, same retirement rule as `vina_inflight`.
+    surrogate_inflight: VecDeque<Ticks>,
     /// Completion ticks of ligand-only evaluations still occupying the
     /// deepest non-shed band, same retirement rule as `vina_inflight`.
     ligand_inflight: VecDeque<Ticks>,
@@ -195,8 +212,23 @@ pub struct ScoreService {
 }
 
 impl ScoreService {
-    /// Builds the service around a shared snapshot registry.
+    /// Builds the service around a shared snapshot registry (the
+    /// surrogate tier gets a private registry at generation 0; use
+    /// [`ScoreService::with_registries`] to share one with a campaign).
     pub fn new(cfg: ServeConfig, registry: Arc<SnapshotRegistry>) -> ScoreService {
+        let surrogate = Arc::new(SurrogateRegistry::new(cfg.surrogate.clone()));
+        ScoreService::with_registries(cfg, registry, surrogate)
+    }
+
+    /// Builds the service around shared fusion *and* surrogate registries
+    /// — the campaign's active-learning driver publishes retrained
+    /// surrogate weights into the latter and this service picks them up
+    /// on the next surrogate-tier evaluation.
+    pub fn with_registries(
+        cfg: ServeConfig,
+        registry: Arc<SnapshotRegistry>,
+        surrogate: Arc<SurrogateRegistry>,
+    ) -> ScoreService {
         let (model, _) = registry.spec().build();
         let pockets = TargetSite::ALL
             .iter()
@@ -214,12 +246,14 @@ impl ScoreService {
             busy_until: 0,
             inflight: VecDeque::new(),
             vina_inflight: VecDeque::new(),
+            surrogate_inflight: VecDeque::new(),
             ligand_inflight: VecDeque::new(),
             ready: VecDeque::new(),
             last_generation,
             stats: ServiceStats::default(),
             model,
             registry,
+            surrogate,
             cfg,
         }
     }
@@ -233,6 +267,12 @@ impl ScoreService {
     /// The registry this service scores against (publish here to hot-swap).
     pub fn registry(&self) -> &Arc<SnapshotRegistry> {
         &self.registry
+    }
+
+    /// The surrogate-tier registry (publish retrained surrogate weights
+    /// here to hot-swap; the new generation re-keys the score cache).
+    pub fn surrogate_registry(&self) -> &Arc<SurrogateRegistry> {
+        &self.surrogate
     }
 
     /// Accounting so far.
@@ -251,13 +291,14 @@ impl ScoreService {
     }
 
     /// Queue depth the admission controller sees: lane backlogs plus
-    /// everything in flight on the virtual server, plus Vina and
-    /// ligand-only evaluations still occupying their fallback bands.
+    /// everything in flight on the virtual server, plus surrogate, Vina
+    /// and ligand-only evaluations still occupying their fallback bands.
     pub fn depth(&self) -> usize {
         let inflight: usize = self.inflight.iter().map(|b| b.responses.len()).sum();
         self.full_lane.len()
             + self.sg_lane.len()
             + inflight
+            + self.surrogate_inflight.len()
             + self.vina_inflight.len()
             + self.ligand_inflight.len()
     }
@@ -347,6 +388,48 @@ impl ScoreService {
             return SubmitOutcome::Completed(resp);
         }
 
+        if tier == Tier::Surrogate {
+            // Inline learned fallback: fingerprint + MLP forward, no
+            // pocket geometry. The cache key is content-addressed (the
+            // canonical fingerprint bytes) mixed with the *surrogate*
+            // registry's snapshot generation, so a retrain hot-swap
+            // invalidates stale surrogate scores by missing.
+            let live = self.surrogate.current();
+            let (content_hash, row) = dfsurrogate::featurize_compound(
+                &self.surrogate.config().fingerprint,
+                req.compound.library,
+                req.compound.index,
+                self.cfg.campaign_seed,
+            );
+            let key = score_key(content_hash, tier, live.generation);
+            let (score, cache_hit) = match self.score_cache.get(key).copied() {
+                Some(s) => (s, true),
+                None => {
+                    let s = self.surrogate.model().predict(&live.params, &[row])[0];
+                    self.record_insert_score(key, s);
+                    (s, false)
+                }
+            };
+            let completed_at = if cache_hit { now } else { now + self.cfg.cost.surrogate_cost };
+            let resp = ScoreResponse {
+                request_id: req.id,
+                compound: req.compound,
+                target: req.target,
+                score,
+                tier,
+                cache_hit,
+                generation: live.generation,
+                admitted_at: now,
+                started_at: now,
+                completed_at,
+            };
+            if !cache_hit {
+                self.surrogate_inflight.push_back(completed_at);
+            }
+            self.complete(&resp);
+            return SubmitOutcome::Completed(resp);
+        }
+
         if tier == Tier::LigandOnly {
             // Inline target-free fallback: descriptors + fingerprint only.
             // The cache key ignores the target, so a compound scored for
@@ -425,7 +508,9 @@ impl ScoreService {
         match tier {
             Tier::FullFusion => self.full_lane.push(now, item),
             Tier::SgHead => self.sg_lane.push(now, item),
-            Tier::Vina | Tier::LigandOnly => unreachable!("inline tiers handled above"),
+            Tier::Surrogate | Tier::Vina | Tier::LigandOnly => {
+                unreachable!("inline tiers handled above")
+            }
         }
         SubmitOutcome::Enqueued(tier)
     }
@@ -447,6 +532,7 @@ impl ScoreService {
             .map(|b| b.completes_at)
             .into_iter()
             .chain(self.vina_inflight.back().copied())
+            .chain(self.surrogate_inflight.back().copied())
             .chain(self.ligand_inflight.back().copied())
             .max()
             .unwrap_or(self.now);
@@ -454,6 +540,7 @@ impl ScoreService {
         debug_assert!(
             self.inflight.is_empty()
                 && self.vina_inflight.is_empty()
+                && self.surrogate_inflight.is_empty()
                 && self.ligand_inflight.is_empty()
                 && self.full_lane.is_empty()
                 && self.sg_lane.is_empty()
@@ -468,6 +555,9 @@ impl ScoreService {
         // Retire inline evaluations whose band occupancy has lapsed.
         while self.vina_inflight.front().is_some_and(|&t| t <= self.now) {
             self.vina_inflight.pop_front();
+        }
+        while self.surrogate_inflight.front().is_some_and(|&t| t <= self.now) {
+            self.surrogate_inflight.pop_front();
         }
         while self.ligand_inflight.front().is_some_and(|&t| t <= self.now) {
             self.ligand_inflight.pop_front();
@@ -504,7 +594,7 @@ impl ScoreService {
         let cost = match tier {
             Tier::FullFusion => self.cfg.cost.full_base + n as u64 * self.cfg.cost.full_per_item,
             Tier::SgHead => self.cfg.cost.sg_base + n as u64 * self.cfg.cost.sg_per_item,
-            Tier::Vina | Tier::LigandOnly => {
+            Tier::Surrogate | Tier::Vina | Tier::LigandOnly => {
                 unreachable!("inline tiers never occupy the server")
             }
         };
@@ -555,7 +645,7 @@ impl ScoreService {
                         miss_idx.iter().map(|&i| &*batch.items[i].1.graph).collect();
                     score_batch_sg_head(&mut self.model, &live.params, &graphs)
                 }
-                Tier::Vina | Tier::LigandOnly => unreachable!(),
+                Tier::Surrogate | Tier::Vina | Tier::LigandOnly => unreachable!(),
             };
             for (&i, &s) in miss_idx.iter().zip(computed.iter()) {
                 scores[i] = Some(s);
@@ -667,8 +757,9 @@ fn tier_index(tier: Tier) -> usize {
     match tier {
         Tier::FullFusion => 0,
         Tier::SgHead => 1,
-        Tier::Vina => 2,
-        Tier::LigandOnly => 3,
+        Tier::Surrogate => 2,
+        Tier::Vina => 3,
+        Tier::LigandOnly => 4,
     }
 }
 
@@ -677,6 +768,7 @@ fn tier_counter(tier: Tier) -> &'static str {
     match tier {
         Tier::FullFusion => "serve.tier.full",
         Tier::SgHead => "serve.tier.sg_head",
+        Tier::Surrogate => "serve.tier.surrogate",
         Tier::Vina => "serve.tier.vina",
         Tier::LigandOnly => "serve.tier.ligand_only",
     }

@@ -65,7 +65,7 @@ pub struct SimReport {
     /// shed / issued.
     pub shed_rate: f64,
     /// Completions per tier, [`Tier::ALL`] order.
-    pub per_tier: [u64; 4],
+    pub per_tier: [u64; 5],
     /// Responses answered from the score cache.
     pub cache_hits: u64,
     /// Virtual tick of the last completion.
@@ -88,7 +88,7 @@ fn exact_percentile(sorted: &[Ticks], q: f64) -> Ticks {
 }
 
 fn build_report(issued: u64, shed: u64, responses: &[ScoreResponse]) -> SimReport {
-    let mut per_tier = [0u64; 4];
+    let mut per_tier = [0u64; 5];
     let mut cache_hits = 0u64;
     let mut queue_waits: Vec<Ticks> = Vec::with_capacity(responses.len());
     let mut e2es: Vec<Ticks> = Vec::with_capacity(responses.len());

@@ -123,22 +123,45 @@ fn threaded_front_end_answers_every_request() {
 }
 
 #[test]
-fn vina_tier_completes_inline_when_model_lanes_saturate() {
+fn surrogate_then_vina_complete_inline_when_model_lanes_saturate() {
     let cfg = ServeConfig::tiny(34);
     let sg_max = cfg.ladder.sg_max_depth;
+    let surrogate_max = cfg.ladder.surrogate_max_depth;
     let vina_max = cfg.ladder.vina_max_depth;
     let mut svc = ScoreService::with_fresh_registry(cfg);
     // Pack the lanes at a single tick so depth climbs past the SG band
-    // but stays below the vina band's ceiling.
-    let mut vina_seen = false;
-    for i in 0..(sg_max as u64 + (vina_max - sg_max) as u64 / 2) {
+    // and through the surrogate band, stopping at the vina band's
+    // ceiling. Inline completions must arrive in band order: surrogate
+    // first, vina after.
+    let mut inline_tiers = Vec::new();
+    for i in 0..vina_max as u64 {
         if let SubmitOutcome::Completed(r) = svc.submit(5, request(i)) {
-            assert_eq!(r.tier, Tier::Vina, "only vina completes inline here");
+            assert!(
+                r.tier == Tier::Surrogate || r.tier == Tier::Vina,
+                "only surrogate and vina complete inline here, got {:?}",
+                r.tier
+            );
             assert!(r.completed_at > r.admitted_at);
-            vina_seen = true;
+            inline_tiers.push(r.tier);
         }
     }
-    assert!(vina_seen, "depth past sg_max_depth must hit the vina tier");
+    let surrogate_count = inline_tiers.iter().filter(|&&t| t == Tier::Surrogate).count();
+    let vina_count = inline_tiers.iter().filter(|&&t| t == Tier::Vina).count();
+    assert_eq!(
+        surrogate_count,
+        surrogate_max - sg_max,
+        "the surrogate band is exactly [sg_max_depth, surrogate_max_depth)"
+    );
+    assert_eq!(
+        vina_count,
+        vina_max - surrogate_max,
+        "the vina band is exactly [surrogate_max_depth, vina_max_depth)"
+    );
+    let first_vina = inline_tiers.iter().position(|&t| t == Tier::Vina).expect("vina engaged");
+    assert!(
+        inline_tiers[..first_vina].iter().all(|&t| t == Tier::Surrogate),
+        "a single-tick burst walks the ladder in band order"
+    );
     svc.flush(1_000_000);
     assert_eq!(svc.depth(), 0);
 }

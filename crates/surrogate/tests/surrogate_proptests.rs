@@ -1,0 +1,107 @@
+//! Property tests for the surrogate's determinism contract.
+//!
+//! The active-learning funnel only resumes bit-identically if the
+//! surrogate is a pure function of `(config, labeled pool, seed)` —
+//! independent of how many `dfpool` lanes happen to execute the GEMMs and
+//! of whether tracing is collecting. These tests sweep random pools and
+//! run the exact same training job under every lane count in
+//! {1, 2, 4, 8} with tracing both off and on, and require every weight
+//! byte and every prediction bit to agree with the serial baseline.
+
+use dfsurrogate::{
+    featurize_compound, snapshot_hash, train, LabeledExample, SurrogateConfig, SurrogateMlp,
+    TrainConfig,
+};
+use dftensor::params::ParamStore;
+use proptest::prelude::*;
+
+/// Builds a labeled pool of `n` synthetic compounds with labels derived
+/// from the proptest-supplied salt (any finite label stream works — the
+/// contract is determinism, not accuracy).
+fn pool(cfg: &SurrogateConfig, n: usize, salt: u64) -> Vec<LabeledExample> {
+    (0..n as u64)
+        .map(|i| {
+            let (_, features) =
+                featurize_compound(&cfg.fingerprint, dfchem::genmol::Library::Chembl, i, salt);
+            let label = -3.0 - ((i.wrapping_mul(salt | 1) % 97) as f32) / 10.0;
+            LabeledExample { index: i, features, label }
+        })
+        .collect()
+}
+
+/// One full train-then-predict run at a given lane count, returning the
+/// weight-snapshot hash and the prediction bits over the pool.
+fn run_at(
+    lanes: usize,
+    cfg: &SurrogateConfig,
+    tcfg: &TrainConfig,
+    examples: &[LabeledExample],
+) -> (u64, Vec<u32>) {
+    dfpool::Pool::new(lanes).install(|| {
+        let (model, mut ps): (SurrogateMlp, ParamStore) = cfg.build();
+        train(&model, &mut ps, tcfg, examples);
+        let hash = snapshot_hash(&ps.snapshot());
+        let rows: Vec<Vec<f32>> = examples.iter().map(|ex| ex.features.clone()).collect();
+        let preds = model.predict(&ps, &rows).into_iter().map(f32::to_bits).collect();
+        (hash, preds)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Training and inference are bit-identical at any lane count, with
+    /// tracing off or on.
+    #[test]
+    fn training_is_bit_identical_across_lanes_and_tracing(
+        seed in 0u64..1_000,
+        salt in 1u64..1_000,
+        n in 8usize..40,
+        two_layer in 0usize..2,
+    ) {
+        let hidden2 = if two_layer == 1 { 8 } else { 0 };
+        let cfg = SurrogateConfig { hidden2, ..SurrogateConfig::tiny(seed) };
+        let tcfg = TrainConfig { epochs: 4, seed, ..TrainConfig::default() };
+        let examples = pool(&cfg, n, salt);
+
+        let baseline = run_at(1, &cfg, &tcfg, &examples);
+        for lanes in [2usize, 4, 8] {
+            for trace_on in [false, true] {
+                dftrace::set_enabled(trace_on);
+                let got = run_at(lanes, &cfg, &tcfg, &examples);
+                dftrace::set_enabled(false);
+                prop_assert_eq!(
+                    got.0, baseline.0,
+                    "weights diverged at {} lanes (trace={})", lanes, trace_on
+                );
+                prop_assert_eq!(
+                    &got.1, &baseline.1,
+                    "predictions diverged at {} lanes (trace={})", lanes, trace_on
+                );
+            }
+        }
+    }
+
+    /// The same pool shuffled differently on input trains to the same
+    /// weights: training sorts nothing, but the per-epoch permutation is
+    /// a function of the seed alone, so example *identity* — not input
+    /// order — determines the minibatch stream only when the pool is in
+    /// index order. The active driver keeps its pool index-sorted;
+    /// this property pins that sorted pools from different construction
+    /// orders converge.
+    #[test]
+    fn index_sorted_pools_train_identically_regardless_of_construction_order(
+        seed in 0u64..1_000,
+        n in 8usize..32,
+    ) {
+        let cfg = SurrogateConfig::tiny(seed);
+        let tcfg = TrainConfig { epochs: 3, seed, ..TrainConfig::default() };
+        let sorted = pool(&cfg, n, 7);
+        let mut reversed: Vec<LabeledExample> = sorted.iter().rev().cloned().collect();
+        reversed.sort_by_key(|ex| ex.index);
+
+        let a = run_at(2, &cfg, &tcfg, &sorted);
+        let b = run_at(2, &cfg, &tcfg, &reversed);
+        prop_assert_eq!(a.0, b.0, "construction order leaked into the weights");
+    }
+}

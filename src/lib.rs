@@ -94,6 +94,7 @@ pub use dffusion as fusion;
 pub use dfhpo as hpo;
 pub use dfhts as hts;
 pub use dfmetrics as metrics;
+pub use dfsurrogate as surrogate;
 pub use dftensor as tensor;
 
 /// Convenience re-exports of the most used types across the workspace.
@@ -118,12 +119,15 @@ pub mod prelude {
     };
     pub use dfhpo::{Pb2, Pb2Config, Pbt, Space};
     pub use dfhts::{
-        run_campaign as run_screening_campaign, run_campaign_with, run_job, run_prefilter,
-        simulate_campaign, CampaignSim, FaultConfig, FusionScorerFactory, JobConfig, JobSpec,
-        LassenModel, PrefilterConfig, SchedulerConfig, ScorerFactory, SyntheticPoseSource,
-        TaskClass,
+        run_active_campaign, run_campaign as run_screening_campaign, run_campaign_with, run_job,
+        run_prefilter, simulate_campaign, ActiveLearningConfig, CampaignSim, FaultConfig,
+        FusionScorerFactory, JobConfig, JobSpec, LassenModel, PrefilterConfig, SchedulerConfig,
+        ScorerFactory, SyntheticPoseSource, TaskClass,
     };
     pub use dfmetrics::{PrCurve, RegressionReport};
+    pub use dfsurrogate::{
+        featurize_compound, SurrogateConfig, SurrogateRegistry, TrainConfig as SurrogateTrainConfig,
+    };
 }
 
 /// Builds a [`dfhts::FusionScorerFactory`] from a trained workflow output,
