@@ -26,14 +26,29 @@
 //! that curve, and an overload pair (`max_batch` 1 vs the default)
 //! checks batching never sheds more than sequential execution.
 //!
+//! A **fleet section** then drives the sharded router: the same Zipf
+//! open-loop storm against 1/2/4/8 consistent-hash-routed replicas (the
+//! throughput ladder), a hot-key skew profile with watermark admission,
+//! a kill/restore fault matrix with its no-fault baseline, and the
+//! determinism lock (same storm replayed at 1/2/4 router threads, plus
+//! fleet(1) vs the plain single-instance service, byte-for-byte). All of
+//! it runs on the virtual clock; in full mode the section issues a few
+//! million virtual requests over a bounded compound pool, so wall time
+//! stays dominated by the pool's one-time canonical-bytes hashing.
+//!
 //! `--smoke` shrinks the request counts, then re-reads the emitted file
 //! and asserts it parses, that the nominal profile shed nothing and
 //! recorded its mean batch size, that sweep throughput is monotone in
-//! the batch cap (and actually coalesces at the largest cap), and that
-//! the batched overload run sheds no more than the sequential one.
+//! the batch cap (and actually coalesces at the largest cap), that the
+//! batched overload run sheds no more than the sequential one, and the
+//! fleet gates: >= 1.7x throughput at 2 shards, home-key balance within
+//! 1.75x of the mean, failover-bounded shedding under the fault matrix,
+//! and bit-identical replays across router thread counts.
 
 use dfserve::{
-    run_closed_loop, run_open_loop, ScoreService, ServeConfig, SimReport, TrafficConfig,
+    run_closed_loop, run_fleet_open_loop, run_open_loop, FaultEvent, FaultPlan, Fleet, FleetConfig,
+    FleetSimReport, KeyCache, ScoreService, ServeConfig, SimReport, Ticks, TrafficConfig,
+    WatermarkConfig, ZipfConfig,
 };
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -54,6 +69,11 @@ impl Latency {
             p95_vus: h.percentile(0.95),
             p99_vus: h.percentile(0.99),
         }
+    }
+
+    /// From the simulator's exact `[p50, p95, p99]` tick percentiles.
+    fn from_ticks(t: [Ticks; 3]) -> Latency {
+        Latency { p50_vus: t[0], p95_vus: t[1], p99_vus: t[2] }
     }
 }
 
@@ -103,6 +123,88 @@ struct BatchSweepPoint {
     batch_exec_wall_us: u64,
 }
 
+/// One rung of the fleet throughput ladder: the same Zipf open-loop storm
+/// against 1/2/4/8 replicas behind the consistent-hash router.
+#[derive(Serialize, Deserialize)]
+struct FleetRung {
+    shards: usize,
+    issued: u64,
+    completed: u64,
+    shed: u64,
+    shed_rate: f64,
+    throughput_per_vsec: f64,
+    /// Throughput relative to the 1-shard rung of the same storm.
+    speedup_vs_1: f64,
+    /// max/mean of per-shard home-key assignments (1.0 = perfect balance).
+    balance_max_over_mean: f64,
+    per_shard_home: Vec<u64>,
+    /// Exact virtual end-to-end percentiles from the simulator.
+    e2e: Latency,
+}
+
+/// Hot-key tail profile: strong Zipf skew with watermark admission on.
+#[derive(Serialize, Deserialize)]
+struct FleetSkewReport {
+    shards: usize,
+    zipf_exponent: f64,
+    issued: u64,
+    completed: u64,
+    shed_rate: f64,
+    /// Submits the per-shard depth watermark degraded to a cheaper tier.
+    degraded: u64,
+    throughput_per_vsec: f64,
+    queue_wait: Latency,
+    e2e: Latency,
+}
+
+/// Shard-failure profile: a kill/restore matrix over the same storm, with
+/// the no-fault run of identical traffic as the shed-rate baseline.
+#[derive(Serialize, Deserialize)]
+struct FleetFailureReport {
+    shards: usize,
+    issued: u64,
+    completed: u64,
+    /// Failover re-issues scheduled for down-home submits.
+    reissues: u64,
+    /// Requests that exhausted the re-issue budget.
+    failover_shed: u64,
+    /// Responses discarded because their replica was killed mid-flight.
+    lost_in_flight: u64,
+    shed_rate: f64,
+    shed_rate_no_faults: f64,
+}
+
+/// The fleet determinism lock, as emitted numbers: the same trace replayed
+/// at several router thread counts, plus fleet(1) vs the plain service.
+#[derive(Serialize, Deserialize)]
+struct FleetDeterminismReport {
+    requests: u64,
+    /// fnv1a64 of the merged response stream, as hex.
+    score_digest: String,
+    /// One digest per replayed thread count — all must be equal.
+    digests_by_threads: Vec<String>,
+    /// A 1-replica fleet produced byte-identical responses to the plain
+    /// single-instance service under the same traffic.
+    matches_single_instance: bool,
+}
+
+/// The sharded-fleet section of the artifact.
+#[derive(Serialize, Deserialize)]
+struct FleetBench {
+    campaign_seed: u64,
+    /// Compound pool + skew of the ladder storm.
+    zipf_pool: u64,
+    zipf_exponent: f64,
+    mean_interarrival_ticks: f64,
+    /// Throughput ladder over 1/2/4/8 shards, same storm per rung.
+    ladder: Vec<FleetRung>,
+    skew: FleetSkewReport,
+    failure: FleetFailureReport,
+    determinism: FleetDeterminismReport,
+    /// Virtual requests issued across every fleet profile in this run.
+    total_virtual_requests: u64,
+}
+
 #[derive(Serialize, Deserialize)]
 struct ServeBench {
     smoke: bool,
@@ -115,6 +217,9 @@ struct ServeBench {
     /// service must never shed more.
     overload_shed_sequential: u64,
     overload_shed_batched: u64,
+    /// Sharded/replicated fleet: throughput ladder, skew tail, failure
+    /// profile and the determinism lock.
+    fleet: FleetBench,
 }
 
 /// Runs one traffic profile against a fresh service built from `cfg`,
@@ -151,7 +256,9 @@ fn run_profile(
         mean_batch_size: hist_batch.map(|h| h.mean_us()).unwrap_or(0.0),
         score_cache_hit_rate: svc.score_cache_stats().hit_rate(),
         feature_cache_hit_rate: svc.feature_cache_stats().hit_rate(),
-        batch_exec_wall_us: trace.histogram("serve.batch_exec").map(|h| h.sum_us).unwrap_or(0),
+        // `serve.batch_exec` is recorded as a *span* (wall-clock RAII
+        // timer), not a histogram; sum every span path ending in it.
+        batch_exec_wall_us: trace.sum_spans_with_leaf("serve.batch_exec").1,
     };
     eprintln!(
         "  {name}: {} issued, {} completed, shed rate {:.3}, {:.0} scores/vsec, \
@@ -168,6 +275,57 @@ fn run_profile(
         report.per_tier.ligand_only,
     );
     report
+}
+
+/// Campaign seed shared by every fleet profile: routing keys depend on
+/// it, so one pre-warmed [`KeyCache`] serves the whole section.
+const FLEET_SEED: u64 = 81;
+
+/// The per-replica service the fleet profiles run: [`ServeConfig::tiny`]
+/// with a score cache big enough to keep the bounded Zipf compound pool
+/// resident, and an empty Vina band — full pose materialization is the
+/// one wall-expensive inline fallback, and the ladder still walks
+/// full → sg → surrogate → ligand-only → shed.
+fn fleet_bench_config(shards: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::tiny(FLEET_SEED, shards);
+    cfg.serve.score_cache = 1 << 17;
+    cfg.serve.ladder.vina_max_depth = cfg.serve.ladder.surrogate_max_depth;
+    cfg
+}
+
+/// Runs one fleet profile against a fresh fleet (with pre-warmed routing
+/// keys) and hands the accumulated key entries back so the next profile
+/// skips re-hashing canonical bytes for compounds it shares.
+fn run_fleet_profile(
+    name: &str,
+    shards: usize,
+    watermark: Option<WatermarkConfig>,
+    traffic: &TrafficConfig,
+    mean_interarrival_ticks: f64,
+    faults: &FaultPlan,
+    keys: Vec<(dfchem::genmol::CompoundId, u64)>,
+) -> (FleetSimReport, Vec<(dfchem::genmol::CompoundId, u64)>) {
+    let mut cfg = fleet_bench_config(shards);
+    if let Some(w) = watermark {
+        cfg.watermark = w;
+    }
+    let mut fleet = Fleet::with_key_cache(cfg, KeyCache::from_entries(&keys));
+    let wall = std::time::Instant::now();
+    let (report, _) = run_fleet_open_loop(&mut fleet, traffic, mean_interarrival_ticks, faults);
+    eprintln!(
+        "  {name}: {shards} shard(s), {} issued, {} completed, shed rate {:.3}, \
+         {:.0} scores/vsec, balance {:.2}, reissues {}, lost {}, degraded {} [{:.1}s wall]",
+        report.base.issued,
+        report.base.completed,
+        report.base.shed_rate,
+        report.base.throughput_per_vsec,
+        report.balance_max_over_mean,
+        report.reissues,
+        report.lost_in_flight,
+        report.degraded,
+        wall.elapsed().as_secs_f64(),
+    );
+    (report, fleet.key_entries())
 }
 
 fn main() {
@@ -244,6 +402,220 @@ fn main() {
         })
         .collect();
 
+    // ---------------- Sharded fleet ----------------
+    //
+    // Every fleet profile is an open-loop Poisson storm on the virtual
+    // clock routed through the consistent-hash ring. Arrivals come every
+    // ~6 virtual µs (~167k req/vsec): several times what one replica
+    // absorbs, so the 1-shard rung saturates and sheds while wider fleets
+    // keep completing — that headroom is the throughput ladder. A
+    // near-uniform Zipf keeps cache-miss work spread across the pool; the
+    // skew profile flips to a hot-key Zipf to measure the tail instead.
+    eprintln!("== dfserve fleet (consistent-hash router, replicated shards) ==");
+    let fleet_interarrival = 4.0;
+    let (ladder_reqs, ladder_pool) = if smoke { (4_000, 2_000) } else { (300_000, 40_000) };
+    let ladder_exponent = 0.5;
+    let mut fleet_issued_total = 0u64;
+    let mut key_entries: Vec<(dfchem::genmol::CompoundId, u64)> = Vec::new();
+
+    let ladder_traffic = TrafficConfig {
+        seed: 3001,
+        requests: ladder_reqs,
+        zipf: Some(ZipfConfig { compounds: ladder_pool, exponent: ladder_exponent }),
+        ..TrafficConfig::default()
+    };
+    let mut ladder: Vec<FleetRung> = Vec::new();
+    let mut base_throughput = 0.0f64;
+    for shards in [1usize, 2, 4, 8] {
+        let (report, keys) = run_fleet_profile(
+            &format!("fleet_ladder_{shards}"),
+            shards,
+            None,
+            &ladder_traffic,
+            fleet_interarrival,
+            &FaultPlan::none(),
+            std::mem::take(&mut key_entries),
+        );
+        key_entries = keys;
+        fleet_issued_total += report.base.issued;
+        if shards == 1 {
+            base_throughput = report.base.throughput_per_vsec;
+        }
+        ladder.push(FleetRung {
+            shards,
+            issued: report.base.issued,
+            completed: report.base.completed,
+            shed: report.base.shed,
+            shed_rate: report.base.shed_rate,
+            throughput_per_vsec: report.base.throughput_per_vsec,
+            speedup_vs_1: report.base.throughput_per_vsec / base_throughput.max(f64::MIN_POSITIVE),
+            balance_max_over_mean: report.balance_max_over_mean,
+            per_shard_home: report.per_shard_home.clone(),
+            e2e: Latency::from_ticks(report.base.e2e_ticks),
+        });
+    }
+
+    // Hot-key tail: strong skew concentrates load on a few home shards;
+    // the watermark degrades their admissions before their ladders shed.
+    let skew_exponent = 1.2;
+    let (skew_reqs, skew_pool) = if smoke { (3_000, 2_000) } else { (300_000, 100_000) };
+    let skew_traffic = TrafficConfig {
+        seed: 3002,
+        requests: skew_reqs,
+        zipf: Some(ZipfConfig { compounds: skew_pool, exponent: skew_exponent }),
+        ..TrafficConfig::default()
+    };
+    let (skew_report, keys) = run_fleet_profile(
+        "fleet_skew",
+        4,
+        Some(WatermarkConfig { degrade_depth: 12, bias_per_excess: 2 }),
+        &skew_traffic,
+        fleet_interarrival,
+        &FaultPlan::none(),
+        key_entries,
+    );
+    key_entries = keys;
+    fleet_issued_total += skew_report.base.issued;
+    let skew = FleetSkewReport {
+        shards: 4,
+        zipf_exponent: skew_exponent,
+        issued: skew_report.base.issued,
+        completed: skew_report.base.completed,
+        shed_rate: skew_report.base.shed_rate,
+        degraded: skew_report.degraded,
+        throughput_per_vsec: skew_report.base.throughput_per_vsec,
+        queue_wait: Latency::from_ticks(skew_report.base.queue_wait_ticks),
+        e2e: Latency::from_ticks(skew_report.base.e2e_ticks),
+    };
+
+    // Shard failure: overlapping kill/restore windows on two of four
+    // replicas, against the no-fault run of the identical storm as the
+    // shed-rate baseline. Failover re-issues chase ring successors, so
+    // with survivors up the failover budget must never exhaust. This
+    // profile runs at moderate load (survivors keep real headroom): what
+    // it measures is that failover *re-routes* the dead shards' traffic
+    // instead of shedding it, so the shed rate stays close to the
+    // no-fault baseline even with half the fleet down.
+    let failure_interarrival = 2.0 * fleet_interarrival;
+    let failure_reqs = if smoke { 3_000 } else { 250_000 };
+    let failure_traffic = TrafficConfig {
+        seed: 3003,
+        requests: failure_reqs,
+        zipf: Some(ZipfConfig { compounds: ladder_pool, exponent: ladder_exponent }),
+        ..TrafficConfig::default()
+    };
+    let span = (failure_reqs as f64 * failure_interarrival) as Ticks;
+    let faults = FaultPlan {
+        events: vec![
+            FaultEvent { at: span / 5, replica: 1, up: false },
+            FaultEvent { at: 2 * span / 5, replica: 3, up: false },
+            FaultEvent { at: 3 * span / 5, replica: 1, up: true },
+            FaultEvent { at: 4 * span / 5, replica: 3, up: true },
+        ],
+    };
+    let (no_fault_report, keys) = run_fleet_profile(
+        "fleet_failure_baseline",
+        4,
+        None,
+        &failure_traffic,
+        failure_interarrival,
+        &FaultPlan::none(),
+        key_entries,
+    );
+    let (failure_report, keys) = run_fleet_profile(
+        "fleet_failure",
+        4,
+        None,
+        &failure_traffic,
+        failure_interarrival,
+        &faults,
+        keys,
+    );
+    key_entries = keys;
+    fleet_issued_total += no_fault_report.base.issued + failure_report.base.issued;
+    let failure = FleetFailureReport {
+        shards: 4,
+        issued: failure_report.base.issued,
+        completed: failure_report.base.completed,
+        reissues: failure_report.reissues,
+        failover_shed: failure_report.failover_shed,
+        lost_in_flight: failure_report.lost_in_flight,
+        shed_rate: failure_report.base.shed_rate,
+        shed_rate_no_faults: no_fault_report.base.shed_rate,
+    };
+
+    // Determinism lock, emitted as numbers: the same storm replayed at
+    // 1/2/4 router threads must digest identically, and a 1-replica fleet
+    // must be byte-identical to the plain single-instance service.
+    let det_reqs = if smoke { 1_500 } else { 30_000 };
+    let det_traffic = TrafficConfig {
+        seed: 3004,
+        requests: det_reqs,
+        zipf: Some(ZipfConfig { compounds: ladder_pool, exponent: ladder_exponent }),
+        ..TrafficConfig::default()
+    };
+    let mut digests: Vec<u64> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let entries = key_entries.clone();
+        let (report, keys) = dfpool::Pool::new(threads).install(|| {
+            run_fleet_profile(
+                &format!("fleet_determinism_t{threads}"),
+                4,
+                None,
+                &det_traffic,
+                fleet_interarrival,
+                &FaultPlan::none(),
+                entries,
+            )
+        });
+        key_entries = keys;
+        fleet_issued_total += report.base.issued;
+        digests.push(report.score_digest);
+    }
+    let mut single_fleet =
+        Fleet::with_key_cache(fleet_bench_config(1), KeyCache::from_entries(&key_entries));
+    let (_single_fleet_report, single_fleet_responses) = run_fleet_open_loop(
+        &mut single_fleet,
+        &det_traffic,
+        fleet_interarrival,
+        &FaultPlan::none(),
+    );
+    let mut plain = ScoreService::with_registries(
+        fleet_bench_config(1).serve,
+        single_fleet.registry().clone(),
+        single_fleet.surrogate_registry().clone(),
+    );
+    let (_, mut plain_responses) = run_open_loop(&mut plain, &det_traffic, fleet_interarrival);
+    plain_responses.sort_by_key(|r| (r.completed_at, r.request_id));
+    fleet_issued_total += 2 * det_traffic.requests as u64;
+    let matches_single = single_fleet_responses == plain_responses;
+    eprintln!(
+        "  fleet_determinism: digests {:016x}/{:016x}/{:016x}, fleet(1) == single: {}",
+        digests[0], digests[1], digests[2], matches_single
+    );
+    let determinism = FleetDeterminismReport {
+        requests: det_reqs as u64,
+        score_digest: format!("{:016x}", digests[0]),
+        digests_by_threads: digests.iter().map(|d| format!("{d:016x}")).collect(),
+        matches_single_instance: matches_single,
+    };
+
+    let fleet = FleetBench {
+        campaign_seed: FLEET_SEED,
+        zipf_pool: ladder_pool,
+        zipf_exponent: ladder_exponent,
+        mean_interarrival_ticks: fleet_interarrival,
+        ladder,
+        skew,
+        failure,
+        determinism,
+        total_virtual_requests: fleet_issued_total,
+    };
+    eprintln!(
+        "  fleet total: {} virtual requests across all profiles",
+        fleet.total_virtual_requests
+    );
+
     let bench = ServeBench {
         smoke,
         host_cpus,
@@ -251,6 +623,7 @@ fn main() {
         batch_sweep,
         overload_shed_sequential: overload_pair[0],
         overload_shed_batched: overload_pair[1],
+        fleet,
     };
     let json = serde_json::to_string_pretty(&bench).expect("serialize serve bench");
     let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
@@ -303,6 +676,50 @@ fn main() {
             "batched path shed more than sequential: {} vs {}",
             parsed.overload_shed_batched,
             parsed.overload_shed_sequential
+        );
+        // Fleet gate: the storm must actually overload one replica, two
+        // shards must buy real throughput, routing must stay balanced,
+        // failover must keep shedding bounded, and the replays must be
+        // bit-identical (including fleet(1) vs the plain service).
+        let fleet = &parsed.fleet;
+        let one = &fleet.ladder[0];
+        let two = &fleet.ladder[1];
+        assert!(one.shed > 0, "the 1-shard rung must saturate and shed");
+        assert!(
+            two.speedup_vs_1 >= 1.7,
+            "2 shards must deliver >= 1.7x the 1-shard throughput, got {:.2}x",
+            two.speedup_vs_1
+        );
+        for rung in &fleet.ladder {
+            assert!(
+                rung.shards == 1 || rung.balance_max_over_mean <= 1.75,
+                "home-key balance blew past 1.75x mean at {} shards: {:.2}",
+                rung.shards,
+                rung.balance_max_over_mean
+            );
+        }
+        assert!(fleet.skew.degraded > 0, "hot-key skew must engage the watermark");
+        assert!(fleet.failure.reissues > 0, "the fault matrix must trigger failover");
+        assert!(fleet.failure.lost_in_flight > 0, "kills must catch work in flight");
+        assert_eq!(
+            fleet.failure.failover_shed, 0,
+            "with survivors up the failover budget must never exhaust"
+        );
+        assert!(
+            fleet.failure.shed_rate <= fleet.failure.shed_rate_no_faults + 0.15,
+            "failover kept shedding unbounded: {:.3} vs {:.3} without faults",
+            fleet.failure.shed_rate,
+            fleet.failure.shed_rate_no_faults
+        );
+        let d0 = &fleet.determinism.score_digest;
+        assert!(
+            fleet.determinism.digests_by_threads.iter().all(|d| d == d0),
+            "fleet replay digests diverged across router thread counts: {:?}",
+            fleet.determinism.digests_by_threads
+        );
+        assert!(
+            fleet.determinism.matches_single_instance,
+            "a 1-replica fleet must be byte-identical to the plain service"
         );
         eprintln!("smoke assertions passed");
     }

@@ -87,6 +87,19 @@ impl AdmissionController {
         self.cfg
     }
 
+    /// Decides the tier under a router-supplied depth **bias** (see
+    /// `router::WatermarkConfig`): the shed check uses the *true* depth,
+    /// then tier selection runs on `depth + bias` clamped just below the
+    /// capacity bound — so a watermark bias can push a request down the
+    /// ladder (degrade earlier) but can never turn an admit into a shed.
+    pub fn decide_biased(&self, depth: usize, bias: usize) -> Decision {
+        if depth >= self.cfg.queue_capacity {
+            return Decision::Shed;
+        }
+        let biased = depth.saturating_add(bias).min(self.cfg.queue_capacity - 1);
+        self.decide(biased)
+    }
+
     /// Decides the tier for a request arriving at queue depth `depth`.
     pub fn decide(&self, depth: usize) -> Decision {
         if depth >= self.cfg.queue_capacity {
@@ -144,6 +157,30 @@ mod tests {
         });
         assert_eq!(a.decide(2), Decision::Admit(Tier::FullFusion));
         assert_eq!(a.decide(3), Decision::Shed);
+    }
+
+    #[test]
+    fn bias_degrades_but_never_sheds() {
+        let a = AdmissionController::new(LadderConfig {
+            full_max_depth: 2,
+            sg_max_depth: 4,
+            surrogate_max_depth: 6,
+            vina_max_depth: 8,
+            queue_capacity: 10,
+        });
+        // Zero bias reduces to plain decide.
+        for d in 0..12 {
+            assert_eq!(a.decide_biased(d, 0), a.decide(d));
+        }
+        // Bias pushes down the ladder...
+        assert_eq!(a.decide_biased(0, 3), Decision::Admit(Tier::SgHead));
+        assert_eq!(a.decide_biased(1, 6), Decision::Admit(Tier::Vina));
+        // ...but clamps at the deepest non-shed band, never shedding an
+        // in-capacity request:
+        assert_eq!(a.decide_biased(0, usize::MAX), Decision::Admit(Tier::LigandOnly));
+        assert_eq!(a.decide_biased(9, 1), Decision::Admit(Tier::LigandOnly));
+        // True depth at capacity still sheds regardless of bias.
+        assert_eq!(a.decide_biased(10, 0), Decision::Shed);
     }
 
     #[test]

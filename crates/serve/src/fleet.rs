@@ -1,0 +1,601 @@
+//! The sharded, replicated serving fleet: N [`ScoreService`] replicas
+//! behind a deterministic consistent-hash router.
+//!
+//! One `ScoreService` is a single batcher and a single cache — throughput
+//! is capped and one fault takes the whole service down. [`Fleet`] runs
+//! `replicas` independent state machines behind a [`HashRing`]: every
+//! request is content-routed to its **home shard** (fnv1a64 of the
+//! compound's canonical fingerprint bytes, memoized in a [`KeyCache`]),
+//! so each shard's score/feature caches only ever see their own key
+//! range — per-shard caches that stay warm because the ring moves ~K/N
+//! keys on membership change, and that are invalidated exactly like the
+//! single-instance caches: replicas **share** the fusion and surrogate
+//! snapshot registries, whose generations are mixed into every score-cache
+//! key, so a hot-swap re-keys all shards at once without a flush.
+//!
+//! **Failover** reuses the deterministic retry/backoff discipline of the
+//! offline scheduler (`dfhts::retry_backoff`): a submit that finds its
+//! home shard down schedules a re-issue at `now + backoff(request, 1)`
+//! virtual ticks; the attempt-th re-issue targets the attempt-th ring
+//! successor of the key, and the budget (`max_reissues`) bounds how long
+//! a request can chase a dying fleet before it is counted as
+//! `failover_shed`. Kill is flush-and-discard: the replica drains its
+//! lanes (the computed responses are *lost in flight*) but keeps its warm
+//! caches, so a restored replica rejoins as a warm standby.
+//!
+//! **Admission** composes with the existing degradation ladder through
+//! per-shard depth watermarks ([`WatermarkConfig`]): a shard past its
+//! watermark receives submits with a depth bias, so it degrades to
+//! cheaper tiers *before* its own ladder would, and sheds no earlier
+//! than the unbiased ladder ever would.
+//!
+//! Everything runs on the virtual clock: same seed + same replica count
+//! ⇒ bit-identical scores, shed decisions and failover counts, and every
+//! score is bit-identical to a single-instance run (locked by
+//! `tests/fleet_determinism.rs`). Real model compute inside each replica
+//! runs on whatever `dfpool` pool is installed, exactly as in the
+//! single-instance service; bulk routing-key hashing fans out on the same
+//! pool via the order-preserving `parallel_map`.
+
+use crate::request::{ScoreRequest, ScoreResponse, SubmitOutcome, Ticks, Tier};
+use crate::router::{HashRing, KeyCache, WatermarkConfig, DEFAULT_VNODES};
+use crate::service::{ScoreService, ServeConfig, ServiceStats};
+use crate::{AdmissionController, SnapshotRegistry};
+use dfchem::genmol::CompoundId;
+use dfsurrogate::SurrogateRegistry;
+use serde::Serialize;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fleet topology + failover + router-admission configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Per-replica service configuration (every replica is identical).
+    pub serve: ServeConfig,
+    /// Number of `ScoreService` replicas (>= 1).
+    pub replicas: usize,
+    /// Virtual nodes per replica on the ring.
+    pub vnodes_per_replica: usize,
+    /// Per-shard depth watermarks for router-level admission.
+    pub watermark: WatermarkConfig,
+    /// Backoff base for failover re-issues, in virtual ticks.
+    pub retry_base: Ticks,
+    /// Backoff cap for failover re-issues, in virtual ticks.
+    pub retry_max: Ticks,
+    /// Re-issue budget per request; exhausting it counts as
+    /// `failover_shed`.
+    pub max_reissues: u32,
+}
+
+impl FleetConfig {
+    /// A small deterministic fleet for tests and benches: `replicas`
+    /// copies of [`ServeConfig::tiny`], watermark admission off (tests
+    /// that exercise it set [`FleetConfig::watermark`] explicitly).
+    pub fn tiny(campaign_seed: u64, replicas: usize) -> FleetConfig {
+        FleetConfig {
+            serve: ServeConfig::tiny(campaign_seed),
+            replicas,
+            vnodes_per_replica: DEFAULT_VNODES,
+            watermark: WatermarkConfig::disabled(),
+            retry_base: 2_000,
+            retry_max: 50_000,
+            max_reissues: 5,
+        }
+    }
+}
+
+/// What the fleet router did with a submitted request.
+#[derive(Debug, Clone)]
+pub enum FleetOutcome {
+    /// The home (or failover-target) shard answered inline.
+    Completed(ScoreResponse),
+    /// Queued on `shard` at `tier`; the response surfaces from a later
+    /// [`Fleet::advance`] / [`Fleet::flush`].
+    Enqueued {
+        /// Replica that accepted the request.
+        shard: u32,
+        /// Ladder tier it was admitted at.
+        tier: Tier,
+    },
+    /// The shard's ladder shed the request at its capacity bound.
+    Shed {
+        /// Replica whose ladder shed.
+        shard: u32,
+        /// Queue depth observed at admission.
+        depth: usize,
+    },
+    /// The home shard is down; a failover re-issue is scheduled for tick
+    /// `at` against the next ring successor.
+    Deferred {
+        /// The (down) home replica.
+        shard: u32,
+        /// Virtual tick of the scheduled re-issue.
+        at: Ticks,
+    },
+}
+
+/// Monotonic router-level accounting (per-shard ladder accounting lives
+/// in each replica's own [`ServiceStats`]).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct FleetStats {
+    /// Submits delivered to a shard (first issues and re-issues).
+    pub routed: u64,
+    /// Submits delivered to their home shard (no failover involved).
+    pub home_routed: u64,
+    /// Failover re-issues scheduled.
+    pub reissues: u64,
+    /// Requests dropped after exhausting the re-issue budget.
+    pub failover_shed: u64,
+    /// Submits where the watermark bias changed the admitted tier.
+    pub degraded: u64,
+    /// Responses discarded because their replica was killed while they
+    /// were still in flight.
+    pub lost_in_flight: u64,
+    /// Ladder sheds observed across all shards (true-depth sheds; the
+    /// watermark never adds to these).
+    pub shed: u64,
+    /// Submits delivered per shard (first issues and re-issues).
+    pub per_shard_routed: Vec<u64>,
+    /// Home-key assignments per shard (counted at routing time, whether
+    /// or not the home shard was up) — the cross-shard balance signal.
+    pub per_shard_home: Vec<u64>,
+}
+
+/// One replica: an independent `ScoreService` plus liveness.
+struct Shard {
+    svc: ScoreService,
+    up: bool,
+}
+
+/// A scheduled failover re-issue. Ordered by `(due, seq)` so the heap
+/// replays in exactly the order decisions were made.
+#[derive(Debug)]
+struct Reissue {
+    due: Ticks,
+    seq: u64,
+    attempt: u32,
+    key: u64,
+    req: ScoreRequest,
+}
+
+impl PartialEq for Reissue {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+impl Eq for Reissue {}
+impl PartialOrd for Reissue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Reissue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-due first.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// The sharded serving fleet (see module docs).
+pub struct Fleet {
+    cfg: FleetConfig,
+    ring: HashRing,
+    shards: Vec<Shard>,
+    keys: KeyCache,
+    admission: AdmissionController,
+    pending: BinaryHeap<Reissue>,
+    seq: u64,
+    ready: Vec<ScoreResponse>,
+    stats: FleetStats,
+}
+
+impl Fleet {
+    /// Builds the fleet: fresh shared registries, `replicas` identical
+    /// replicas, an empty key cache.
+    pub fn new(cfg: FleetConfig) -> Fleet {
+        Fleet::with_key_cache(cfg, KeyCache::new())
+    }
+
+    /// [`Fleet::new`] with a pre-warmed routing-key cache (bench ladders
+    /// share one across rungs so key hashing is paid once).
+    pub fn with_key_cache(cfg: FleetConfig, keys: KeyCache) -> Fleet {
+        assert!(cfg.replicas >= 1, "a fleet needs at least one replica");
+        let registry = Arc::new(SnapshotRegistry::new(cfg.serve.spec.clone()));
+        let surrogate = Arc::new(SurrogateRegistry::new(cfg.serve.surrogate.clone()));
+        let shards: Vec<Shard> = (0..cfg.replicas)
+            .map(|_| Shard {
+                svc: ScoreService::with_registries(
+                    cfg.serve.clone(),
+                    registry.clone(),
+                    surrogate.clone(),
+                ),
+                up: true,
+            })
+            .collect();
+        let members: Vec<u32> = (0..cfg.replicas as u32).collect();
+        let ring = HashRing::new(&members, cfg.vnodes_per_replica);
+        let admission = AdmissionController::new(cfg.serve.ladder);
+        dftrace::gauge_set("serve.router.up_replicas", cfg.replicas as f64);
+        Fleet {
+            ring,
+            shards,
+            keys,
+            admission,
+            pending: BinaryHeap::new(),
+            seq: 0,
+            ready: Vec::new(),
+            stats: FleetStats {
+                per_shard_routed: vec![0; cfg.replicas],
+                per_shard_home: vec![0; cfg.replicas],
+                ..FleetStats::default()
+            },
+            cfg,
+        }
+    }
+
+    /// Number of configured replicas (up or down).
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the fleet has no replicas (never: `new` asserts >= 1).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Replicas currently up.
+    pub fn up_count(&self) -> usize {
+        self.shards.iter().filter(|s| s.up).count()
+    }
+
+    /// Router-level accounting so far.
+    pub fn stats(&self) -> &FleetStats {
+        &self.stats
+    }
+
+    /// One replica's own service accounting.
+    pub fn shard_stats(&self, shard: u32) -> ServiceStats {
+        self.shards[shard as usize].svc.stats()
+    }
+
+    /// Direct access to one replica (determinism locks read reference
+    /// scores and cache stats through this).
+    pub fn shard_mut(&mut self, shard: u32) -> &mut ScoreService {
+        &mut self.shards[shard as usize].svc
+    }
+
+    /// The shared fusion-weight registry (publish here to hot-swap every
+    /// replica at once; the new generation re-keys all per-shard caches).
+    pub fn registry(&self) -> &Arc<SnapshotRegistry> {
+        self.shards[0].svc.registry()
+    }
+
+    /// The shared surrogate registry (same fleet-wide re-key semantics).
+    pub fn surrogate_registry(&self) -> &Arc<SurrogateRegistry> {
+        self.shards[0].svc.surrogate_registry()
+    }
+
+    /// Routing-key cache accounting: `(hits, misses)`.
+    pub fn key_cache_stats(&self) -> (u64, u64) {
+        self.keys.stats()
+    }
+
+    /// Every memoized routing-key entry, sorted by compound id — feed to
+    /// [`KeyCache::from_entries`] + [`Fleet::with_key_cache`] so a bench
+    /// ladder pays canonical-bytes hashing once across rungs (valid only
+    /// for the same campaign seed).
+    pub fn key_entries(&self) -> Vec<(CompoundId, u64)> {
+        self.keys.entries()
+    }
+
+    /// Bulk-hashes routing keys for `ids` (deduplicated internally) on
+    /// the installed `dfpool` pool, so later submits hit the memo.
+    pub fn prewarm_keys(&mut self, ids: &[CompoundId]) {
+        let _ = self.keys.bulk_keys(ids, self.cfg.serve.campaign_seed);
+    }
+
+    /// The home shard a compound routes to right now.
+    pub fn home_shard(&mut self, id: CompoundId) -> u32 {
+        let key = self.keys.key(id, self.cfg.serve.campaign_seed);
+        self.ring.route(key).expect("fleet ring is non-empty")
+    }
+
+    /// Marks `replica` down: its lanes are force-drained, every response
+    /// still in flight is discarded (`lost_in_flight`), and its warm
+    /// caches are retained (warm-standby semantics). Requests routed to
+    /// it fail over to ring successors until [`Fleet::restore`].
+    pub fn kill(&mut self, replica: u32) {
+        let shard = &mut self.shards[replica as usize];
+        if !shard.up {
+            return;
+        }
+        shard.up = false;
+        let t = shard.svc.now();
+        let lost = shard.svc.flush(t);
+        self.stats.lost_in_flight += lost.len() as u64;
+        dftrace::counter_add("serve.router.lost_in_flight", lost.len() as u64);
+        dftrace::counter_add("serve.router.kills", 1);
+        dftrace::gauge_set("serve.router.up_replicas", self.up_count() as f64);
+    }
+
+    /// Marks `replica` up again. Its caches are still warm; its virtual
+    /// clock may have run ahead during the kill-time drain, in which case
+    /// new submits clamp forward to it.
+    pub fn restore(&mut self, replica: u32) {
+        let shard = &mut self.shards[replica as usize];
+        if shard.up {
+            return;
+        }
+        shard.up = true;
+        dftrace::counter_add("serve.router.restores", 1);
+        dftrace::gauge_set("serve.router.up_replicas", self.up_count() as f64);
+    }
+
+    /// Routes and submits one request at tick `now`. Down-home requests
+    /// are deferred to a scheduled failover re-issue (driven by
+    /// [`Fleet::advance`] / [`Fleet::flush`]), which is also where the
+    /// responses of queued submits surface.
+    pub fn submit(&mut self, now: Ticks, req: ScoreRequest) -> FleetOutcome {
+        let _span = dftrace::span("serve.router.route");
+        let key = self.keys.key(req.compound, self.cfg.serve.campaign_seed);
+        let home = self.ring.route(key).expect("fleet ring is non-empty");
+        self.stats.per_shard_home[home as usize] += 1;
+        if self.shards[home as usize].up {
+            self.stats.home_routed += 1;
+            let outcome = self.deliver(home, now, req);
+            self.record_outcome(home, outcome)
+        } else {
+            self.schedule_reissue(now, 1, key, req)
+        }
+    }
+
+    /// Advances virtual time: fires due failover re-issues (in `(due,
+    /// seq)` order, each at its own due tick), advances every live
+    /// replica, and returns all responses that have completed.
+    pub fn advance(&mut self, now: Ticks) -> Vec<ScoreResponse> {
+        self.fire_due_reissues(now);
+        let mut out = std::mem::take(&mut self.ready);
+        for shard in &mut self.shards {
+            if shard.up && now >= shard.svc.now() {
+                out.extend(shard.svc.advance(now));
+            }
+        }
+        out
+    }
+
+    /// End-of-trace drain: runs the re-issue heap dry (entries past `now`
+    /// fire at their own due ticks), then flushes every live replica.
+    /// Returns the remaining responses.
+    pub fn flush(&mut self, now: Ticks) -> Vec<ScoreResponse> {
+        while let Some(r) = self.pending.pop() {
+            self.fire_reissue(r);
+        }
+        let mut out = std::mem::take(&mut self.ready);
+        for shard in &mut self.shards {
+            if shard.up {
+                let t = now.max(shard.svc.now());
+                out.extend(shard.svc.flush(t));
+            }
+        }
+        out
+    }
+
+    /// Delivers one request to `shard` at tick `t` (clamped forward to
+    /// the shard's clock), applying the watermark bias.
+    fn deliver(&mut self, shard: u32, t: Ticks, req: ScoreRequest) -> SubmitOutcome {
+        let idx = shard as usize;
+        let t = t.max(self.shards[idx].svc.now());
+        let drained = self.shards[idx].svc.advance(t);
+        self.ready.extend(drained);
+        let depth = self.shards[idx].svc.depth();
+        let bias = self.cfg.watermark.bias(depth);
+        if bias > 0 && self.admission.decide(depth) != self.admission.decide_biased(depth, bias) {
+            self.stats.degraded += 1;
+            dftrace::counter_add("serve.router.degraded", 1);
+        }
+        self.stats.routed += 1;
+        self.stats.per_shard_routed[idx] += 1;
+        dftrace::counter_add("serve.router.routed", 1);
+        if dftrace::enabled() {
+            // Dynamic name: only pay the format when tracing is on.
+            dftrace::counter_add(&format!("serve.router.shard.{idx}.routed"), 1);
+        }
+        self.shards[idx].svc.submit_with_bias(t, req, bias)
+    }
+
+    /// Books a failover re-issue for `attempt` (1 = first re-issue) and
+    /// returns the deferred outcome; exhausting the budget sheds.
+    fn schedule_reissue(
+        &mut self,
+        now: Ticks,
+        attempt: u32,
+        key: u64,
+        req: ScoreRequest,
+    ) -> FleetOutcome {
+        if attempt > self.cfg.max_reissues {
+            self.stats.failover_shed += 1;
+            dftrace::counter_add("serve.router.failover_shed", 1);
+            let home = self.ring.route(key).expect("fleet ring is non-empty");
+            return FleetOutcome::Shed { shard: home, depth: usize::MAX };
+        }
+        let due = now + self.backoff_ticks(req.id, attempt);
+        self.seq += 1;
+        self.pending.push(Reissue { due, seq: self.seq, attempt, key, req });
+        self.stats.reissues += 1;
+        dftrace::counter_add("serve.router.reissues", 1);
+        let home = self.ring.route(key).expect("fleet ring is non-empty");
+        FleetOutcome::Deferred { shard: home, at: due }
+    }
+
+    /// Fires every pending re-issue due by `now`.
+    fn fire_due_reissues(&mut self, now: Ticks) {
+        while self.pending.peek().is_some_and(|r| r.due <= now) {
+            let r = self.pending.pop().expect("peeked");
+            self.fire_reissue(r);
+        }
+    }
+
+    /// Fires one re-issue: the attempt-th ring successor of the key gets
+    /// it if up, otherwise the next attempt is scheduled (or the budget
+    /// sheds it).
+    fn fire_reissue(&mut self, r: Reissue) {
+        let order = self.ring.successors(r.key);
+        let target = order[r.attempt as usize % order.len()];
+        if self.shards[target as usize].up {
+            let outcome = self.deliver(target, r.due, r.req);
+            let fo = self.record_outcome(target, outcome);
+            if let FleetOutcome::Completed(resp) = fo {
+                self.ready.push(resp);
+            }
+        } else {
+            let _ = self.schedule_reissue(r.due, r.attempt + 1, r.key, r.req);
+        }
+    }
+
+    /// Translates a shard's submit outcome, folding shard-level sheds
+    /// into the router accounting.
+    fn record_outcome(&mut self, shard: u32, outcome: SubmitOutcome) -> FleetOutcome {
+        match outcome {
+            SubmitOutcome::Completed(resp) => FleetOutcome::Completed(resp),
+            SubmitOutcome::Enqueued(tier) => FleetOutcome::Enqueued { shard, tier },
+            SubmitOutcome::Shed { depth } => {
+                self.stats.shed += 1;
+                FleetOutcome::Shed { shard, depth }
+            }
+        }
+    }
+
+    /// Deterministic failover backoff in virtual ticks (PR-3's retry
+    /// discipline, mapped tick-for-µs onto the virtual clock).
+    fn backoff_ticks(&self, job_id: u64, attempt: u32) -> Ticks {
+        dfhts::retry_backoff(
+            Duration::from_micros(self.cfg.retry_base),
+            Duration::from_micros(self.cfg.retry_max),
+            job_id,
+            attempt,
+        )
+        .as_micros() as Ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfchem::genmol::Library;
+    use dfchem::pocket::TargetSite;
+
+    fn req(id: u64, index: u64) -> ScoreRequest {
+        ScoreRequest {
+            id,
+            compound: CompoundId { library: Library::Chembl, index },
+            target: TargetSite::Protease1,
+        }
+    }
+
+    #[test]
+    fn single_replica_fleet_mirrors_plain_service() {
+        let mut fleet = Fleet::new(FleetConfig::tiny(3, 1));
+        let mut single = ScoreService::with_registries(
+            ServeConfig::tiny(3),
+            fleet.registry().clone(),
+            fleet.surrogate_registry().clone(),
+        );
+        let mut fleet_responses = Vec::new();
+        let mut single_responses = Vec::new();
+        for i in 0..40u64 {
+            let t = i * 500;
+            fleet_responses.extend(fleet.advance(t));
+            single_responses.extend(single.advance(t));
+            let r = req(i, i % 7);
+            if let FleetOutcome::Completed(resp) = fleet.submit(t, r) {
+                fleet_responses.push(resp);
+            }
+            if let SubmitOutcome::Completed(resp) = single.submit(t, r) {
+                single_responses.push(resp);
+            }
+        }
+        fleet_responses.extend(fleet.flush(40 * 500));
+        single_responses.extend(single.flush(40 * 500));
+        let norm = |v: &mut Vec<ScoreResponse>| {
+            v.sort_by_key(|r| (r.completed_at, r.request_id));
+        };
+        norm(&mut fleet_responses);
+        norm(&mut single_responses);
+        assert_eq!(fleet_responses, single_responses);
+    }
+
+    #[test]
+    fn down_home_shard_fails_over_to_a_successor() {
+        let mut fleet = Fleet::new(FleetConfig::tiny(5, 3));
+        let r = req(1, 11);
+        let home = fleet.home_shard(r.compound);
+        fleet.kill(home);
+        let outcome = fleet.submit(0, r);
+        let due = match outcome {
+            FleetOutcome::Deferred { shard, at } => {
+                assert_eq!(shard, home);
+                at
+            }
+            other => panic!("expected Deferred, got {other:?}"),
+        };
+        assert!(due > 0, "backoff must be positive");
+        // Firing the re-issue delivers to an up successor and the request
+        // completes by flush.
+        let responses = fleet.flush(due);
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].request_id, 1);
+        assert_eq!(fleet.stats().reissues, 1);
+        assert_eq!(fleet.stats().failover_shed, 0);
+        assert!(fleet.stats().per_shard_routed[home as usize] == 0);
+    }
+
+    #[test]
+    fn all_replicas_down_exhausts_the_budget() {
+        let mut fleet = Fleet::new(FleetConfig::tiny(5, 2));
+        fleet.kill(0);
+        fleet.kill(1);
+        let _ = fleet.submit(0, req(1, 3));
+        let responses = fleet.flush(0);
+        assert!(responses.is_empty());
+        assert_eq!(fleet.stats().failover_shed, 1);
+        assert_eq!(fleet.stats().reissues, fleet.stats().reissues.min(5));
+        assert_eq!(fleet.stats().routed, 0);
+    }
+
+    #[test]
+    fn restore_rejoins_with_warm_caches() {
+        let mut fleet = Fleet::new(FleetConfig::tiny(5, 2));
+        let r = req(1, 4);
+        let home = fleet.home_shard(r.compound);
+        // Score once (warms the home shard's caches), drain, kill, restore.
+        let _ = fleet.submit(0, r);
+        let _ = fleet.flush(0);
+        fleet.kill(home);
+        fleet.restore(home);
+        let before = fleet.shard_stats(home).submit_hits;
+        let t = fleet.shard_mut(home).now();
+        let _ = fleet.submit(t, ScoreRequest { id: 2, ..r });
+        let _ = fleet.flush(t);
+        assert!(
+            fleet.shard_stats(home).submit_hits > before,
+            "restored replica should answer from its warm score cache"
+        );
+    }
+
+    #[test]
+    fn watermark_degrades_before_shedding() {
+        let mut cfg = FleetConfig::tiny(5, 1);
+        cfg.watermark = WatermarkConfig { degrade_depth: 2, bias_per_excess: 4 };
+        let mut fleet = Fleet::new(cfg);
+        // Back-to-back submits at one tick build depth fast; the watermark
+        // must start degrading tiers while depth is far below capacity.
+        for i in 0..12u64 {
+            let _ = fleet.submit(0, req(i, i));
+        }
+        assert!(fleet.stats().degraded > 0, "watermark bias never changed a tier");
+        assert_eq!(fleet.stats().shed, 0, "bias must degrade, not shed");
+        let _ = fleet.flush(0);
+    }
+}

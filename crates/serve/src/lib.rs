@@ -27,28 +27,45 @@
 //!   completions and cache traffic into counters — all write-only, so
 //!   traced and untraced runs stay bit-identical.
 //!
+//! * **Sharded.** [`Fleet`] replicates the state machine N ways behind a
+//!   deterministic consistent-hash router ([`router`]): canonical
+//!   compound bytes hash onto a virtual-node ring, each shard keeps its
+//!   own caches (still invalidated by the shared snapshot generations),
+//!   a down shard fails over to its ring successors under the offline
+//!   scheduler's deterministic retry/backoff, and per-shard depth
+//!   watermarks feed the ladder so a hot shard degrades before it sheds.
+//!
 //! Offered load for tests and benches comes from the seeded traffic
-//! simulator in [`sim`]: open-loop Poisson arrivals (overload shape) and
-//! closed-loop think-time clients (nominal shape), both on the virtual
-//! clock. A wall-clock threaded front-end ([`spawn_server`]) wraps the
-//! state machine behind a bounded channel for interactive use.
+//! simulator in [`sim`]: open-loop Poisson arrivals (overload shape,
+//! optionally Zipf-skewed popularity, single-instance or fleet-wide with
+//! a shard-failure fault plan) and closed-loop think-time clients
+//! (nominal shape), both on the virtual clock. A wall-clock threaded
+//! front-end ([`spawn_server`]) wraps the state machine behind a bounded
+//! channel for interactive use.
 
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod batcher;
 pub mod cache;
+pub mod fleet;
 pub mod registry;
 pub mod request;
+pub mod router;
 pub mod service;
 pub mod sim;
 
 pub use admission::{AdmissionController, Decision, LadderConfig};
 pub use batcher::{BatcherConfig, ClosedBatch, MicroBatcher};
 pub use cache::{fnv1a64, fnv1a64_update, CacheStats, LruCache};
+pub use fleet::{Fleet, FleetConfig, FleetOutcome, FleetStats};
 pub use registry::{Generation, ModelSpec, SnapshotRegistry};
 pub use request::{ScoreRequest, ScoreResponse, SubmitOutcome, Ticks, Tier, TICKS_PER_SEC};
+pub use router::{routing_key, HashRing, KeyCache, WatermarkConfig, DEFAULT_VNODES};
 pub use service::{
     spawn_server, CostModel, ScoreService, ServeConfig, ServerHandle, ServiceStats, TimedRequest,
 };
-pub use sim::{run_closed_loop, run_open_loop, SimReport, TrafficConfig};
+pub use sim::{
+    run_closed_loop, run_fleet_open_loop, run_open_loop, FaultEvent, FaultPlan, FleetSimReport,
+    SimReport, TrafficConfig, ZipfConfig,
+};

@@ -336,10 +336,23 @@ impl ScoreService {
     /// complete inline; model tiers enqueue into their lane. Shed requests
     /// get nothing but the outcome.
     pub fn submit(&mut self, now: Ticks, req: ScoreRequest) -> SubmitOutcome {
+        self.submit_with_bias(now, req, 0)
+    }
+
+    /// [`ScoreService::submit`] with a router-supplied admission **bias**
+    /// (`router::WatermarkConfig`): tier selection sees `depth + bias`
+    /// (clamped below the shed bound), the shed decision sees the true
+    /// depth — a hot shard degrades earlier but never sheds earlier.
+    pub fn submit_with_bias(
+        &mut self,
+        now: Ticks,
+        req: ScoreRequest,
+        bias: usize,
+    ) -> SubmitOutcome {
         self.tick(now);
         let depth = self.depth();
         dftrace::gauge_set("serve.queue_depth", depth as f64);
-        let decision = self.admission.decide(depth);
+        let decision = self.admission.decide_biased(depth, bias);
         let tier = match decision {
             Decision::Shed => {
                 self.stats.shed += 1;
@@ -749,6 +762,72 @@ impl ScoreService {
             dftrace::counter_add("serve.cache.feature.evictions", 1);
         }
         features
+    }
+
+    /// Scores one (compound, target) pair at `tier` directly — no caches,
+    /// no lanes, no virtual server, always against the live generation.
+    /// This is the bit-identity oracle for the fleet determinism locks:
+    /// every response a fleet (or single instance) produces must carry
+    /// exactly these bits, because batched inference equals a batch of
+    /// singles bit-exactly and cache entries are only ever the stored
+    /// result of this same computation.
+    pub fn reference_score(
+        &mut self,
+        compound: dfchem::genmol::CompoundId,
+        target: TargetSite,
+        tier: Tier,
+    ) -> f32 {
+        let pocket = &self.pockets[target_index(target)];
+        match tier {
+            Tier::FullFusion | Tier::SgHead => {
+                let c = {
+                    let mut c = Compound::materialize(
+                        compound.library,
+                        compound.index,
+                        self.cfg.campaign_seed,
+                    );
+                    let centroid = c.mol.centroid();
+                    c.mol.translate(centroid.scale(-1.0));
+                    c
+                };
+                let graph = build_graph(&self.cfg.spec.graph, &c.mol, pocket);
+                let live = self.registry.current();
+                if tier == Tier::FullFusion {
+                    let voxel = voxelize(&self.cfg.spec.voxel, &c.mol, pocket);
+                    score_batch_fusion(&mut self.model, &live.params, &[&voxel], &[&graph])[0]
+                } else {
+                    score_batch_sg_head(&mut self.model, &live.params, &[&graph])[0]
+                }
+            }
+            Tier::Surrogate => {
+                let live = self.surrogate.current();
+                let (_, row) = dfsurrogate::featurize_compound(
+                    &self.surrogate.config().fingerprint,
+                    compound.library,
+                    compound.index,
+                    self.cfg.campaign_seed,
+                );
+                self.surrogate.model().predict(&live.params, &[row])[0]
+            }
+            Tier::Vina => {
+                let mut c =
+                    Compound::materialize(compound.library, compound.index, self.cfg.campaign_seed);
+                let centroid = c.mol.centroid();
+                c.mol.translate(centroid.scale(-1.0));
+                dfdock::vina_affinity(&c.mol, pocket) as f32
+            }
+            Tier::LigandOnly => {
+                let c = Compound::materialize_topology(
+                    compound.library,
+                    compound.index,
+                    self.cfg.campaign_seed,
+                );
+                let d = dfchem::Descriptors::compute(&c.mol);
+                let fp =
+                    dfchem::Fingerprint::compute(&dfchem::FingerprintConfig::default(), &c.mol);
+                dfchem::ligand_score(&d, &fp) as f32
+            }
+        }
     }
 }
 

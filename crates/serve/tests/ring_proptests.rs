@@ -1,0 +1,152 @@
+//! Property tests for the consistent-hash ring.
+//!
+//! Three contracts back the fleet's routing guarantees:
+//!
+//! * **Balance** — with `DEFAULT_VNODES` virtual nodes per replica, the
+//!   busiest shard's key share stays within a constant factor of the
+//!   mean across shard counts.
+//! * **Minimal disruption** — adding a replica only moves keys *onto*
+//!   the new replica; removing one only moves keys *off* it (everything
+//!   else keeps its home shard, which is what keeps per-shard caches
+//!   warm across fleet resizes), and the moved fraction is ~K/N.
+//! * **Thread-count determinism** — bulk routing-key hashing through
+//!   `dfpool::parallel_map` produces bit-identical keys (and therefore
+//!   identical routes) at 1/2/4/8 router threads.
+
+use dfchem::genmol::{CompoundId, Library};
+use dfserve::{HashRing, KeyCache, DEFAULT_VNODES};
+use dftensor::rng::derive_seed;
+use proptest::prelude::*;
+
+/// A spread-out deterministic key population (SplitMix64-mixed indices,
+/// matching how real routing keys are finalized — see
+/// `dfserve::routing_key` — so keys cover the whole ring).
+fn keys(n: usize, salt: u64) -> Vec<u64> {
+    (0..n as u64).map(|i| derive_seed(salt, i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn key_balance_is_bounded_across_shard_counts(
+        salt in 0u64..1_000_000_000,
+        replicas in 2usize..=16,
+    ) {
+        let members: Vec<u32> = (0..replicas as u32).collect();
+        let ring = HashRing::new(&members, DEFAULT_VNODES);
+        let ks = keys(4_000, salt);
+        let mut counts = vec![0u64; replicas];
+        for &k in &ks {
+            counts[ring.route(k).unwrap() as usize] += 1;
+        }
+        let mean = ks.len() as f64 / replicas as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        // 64 vnodes/replica keeps the arc-length spread modest; 1.75x /
+        // 0.4x are loose enough to be flake-free at 16 shards yet tight
+        // enough to catch a broken ring (a single-vnode ring routinely
+        // exceeds 2.5x).
+        prop_assert!(max <= mean * 1.75, "hottest shard {max} vs mean {mean}");
+        prop_assert!(min >= mean * 0.40, "coldest shard {min} vs mean {mean}");
+    }
+
+    #[test]
+    fn replica_add_and_remove_move_only_their_keys(
+        salt in 0u64..1_000_000_000,
+        replicas in 2usize..=12,
+    ) {
+        let members: Vec<u32> = (0..replicas as u32).collect();
+        let before = HashRing::new(&members, DEFAULT_VNODES);
+        let ks = keys(3_000, salt);
+
+        // Add a replica: a key either keeps its route or moves to the
+        // newcomer — never to a third shard.
+        let newcomer = replicas as u32;
+        let mut grown = before.clone();
+        grown.add_replica(newcomer);
+        let mut moved_on_add = 0usize;
+        for &k in &ks {
+            let old = before.route(k).unwrap();
+            let new = grown.route(k).unwrap();
+            if old != new {
+                prop_assert_eq!(new, newcomer, "key moved to a shard that did not change");
+                moved_on_add += 1;
+            }
+        }
+        // Expected share: K/(N+1). Allow 3x slack for arc-length variance.
+        let expected = ks.len() / (replicas + 1);
+        prop_assert!(moved_on_add <= expected * 3, "{moved_on_add} moved, expected ~{expected}");
+        prop_assert!(moved_on_add > 0, "a new replica must take some keys");
+
+        // Remove a replica: only its keys move, each to some survivor.
+        let victim = (salt % replicas as u64) as u32;
+        let mut shrunk = before.clone();
+        shrunk.remove_replica(victim);
+        let mut moved_on_remove = 0usize;
+        for &k in &ks {
+            let old = before.route(k).unwrap();
+            let new = shrunk.route(k).unwrap();
+            if old != new {
+                prop_assert_eq!(old, victim, "a key moved off an unchanged shard");
+                moved_on_remove += 1;
+            } else {
+                prop_assert!(new != victim, "removed replica still owns keys");
+            }
+        }
+        let expected = ks.len() / replicas;
+        prop_assert!(
+            moved_on_remove <= expected * 3,
+            "{moved_on_remove} moved, expected ~{expected}"
+        );
+
+        // Round trip: add back what was removed restores every route.
+        let mut restored = shrunk.clone();
+        restored.add_replica(victim);
+        for &k in &ks {
+            prop_assert_eq!(restored.route(k), before.route(k));
+        }
+    }
+
+    #[test]
+    fn successors_start_at_home_and_cover_members(
+        salt in 0u64..1_000_000_000,
+        replicas in 1usize..=8,
+    ) {
+        let members: Vec<u32> = (0..replicas as u32).collect();
+        let ring = HashRing::new(&members, DEFAULT_VNODES);
+        for &k in keys(50, salt).iter() {
+            let succ = ring.successors(k);
+            prop_assert_eq!(succ.len(), replicas);
+            prop_assert_eq!(succ[0], ring.route(k).unwrap());
+            let mut sorted = succ.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, members.clone());
+        }
+    }
+}
+
+/// Serial (not proptest) because it installs fixed-size pools: the bulk
+/// key-hashing path must be bit-identical at every router thread count.
+#[test]
+fn bulk_routing_keys_are_identical_across_1_2_4_8_threads() {
+    let ids: Vec<CompoundId> = (0..48u64)
+        .map(|i| CompoundId { library: Library::ALL[i as usize % Library::ALL.len()], index: i })
+        .collect();
+    let seed = 77u64;
+    let baseline = dfpool::Pool::new(1).install(|| {
+        let mut cache = KeyCache::new();
+        cache.bulk_keys(&ids, seed)
+    });
+    let ring = HashRing::new(&[0, 1, 2, 3], DEFAULT_VNODES);
+    let baseline_routes: Vec<u32> = baseline.iter().map(|&k| ring.route(k).unwrap()).collect();
+    for threads in [2usize, 4, 8] {
+        let run = dfpool::Pool::new(threads).install(|| {
+            let mut cache = KeyCache::new();
+            cache.bulk_keys(&ids, seed)
+        });
+        assert_eq!(run, baseline, "routing keys diverged at {threads} threads");
+        let routes: Vec<u32> = run.iter().map(|&k| ring.route(k).unwrap()).collect();
+        assert_eq!(routes, baseline_routes, "routes diverged at {threads} threads");
+    }
+}
